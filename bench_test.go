@@ -1,0 +1,245 @@
+// Benchmark harness: one testing.B benchmark per reproduced table/figure
+// (experiments E1-E18, see DESIGN.md), plus micro-benchmarks of the
+// substrates. Each experiment benchmark reports its headline metrics with
+// b.ReportMetric, so `go test -bench=.` regenerates the numbers recorded
+// in EXPERIMENTS.md (at a reduced instruction budget; use cmd/experiments
+// for the full-budget tables).
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/deadness"
+	"repro/internal/dip"
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// benchBudget trades fidelity for wall-clock time; the shapes survive well
+// below the full 1M-instruction budget.
+const benchBudget = 250_000
+
+func runExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		w := core.NewWorkspace(benchBudget)
+		e, err := w.RunExperiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, m := range metrics {
+				v, ok := e.Metrics[m]
+				if !ok {
+					b.Fatalf("experiment %s has no metric %q: %v", id, m, e.Metrics)
+				}
+				b.ReportMetric(100*v, m+"_%")
+			}
+		}
+	}
+}
+
+func BenchmarkE1DeadFraction(b *testing.B) {
+	runExperiment(b, "e1", "dead_min", "dead_max", "dead_mean")
+}
+
+func BenchmarkE2PartiallyDead(b *testing.B) {
+	runExperiment(b, "e2", "dead_from_partial_mean")
+}
+
+func BenchmarkE3SchedulingAblation(b *testing.B) {
+	runExperiment(b, "e3", "dead_mean_with_hoist", "dead_mean_no_hoist")
+}
+
+func BenchmarkE4Locality(b *testing.B) {
+	runExperiment(b, "e4", "top16_coverage_mean", "mostly_dead_share_mean")
+}
+
+func BenchmarkE5Predictor(b *testing.B) {
+	runExperiment(b, "e5", "coverage_mean", "accuracy_mean")
+}
+
+func BenchmarkE6CFIAblation(b *testing.B) {
+	runExperiment(b, "e6", "cfi_accuracy_mean", "counter_accuracy_mean",
+		"cfi_coverage_mean", "counter_coverage_mean")
+}
+
+func BenchmarkE7StateSweep(b *testing.B) {
+	runExperiment(b, "e7")
+}
+
+func BenchmarkE8Resources(b *testing.B) {
+	runExperiment(b, "e8", "alloc_reduction_mean", "rf_read_reduction_mean",
+		"rf_write_reduction_mean", "dcache_reduction_mean")
+}
+
+func BenchmarkE9Speedup(b *testing.B) {
+	runExperiment(b, "e9", "speedup_mean", "speedup_max")
+}
+
+func BenchmarkE10Sensitivity(b *testing.B) {
+	runExperiment(b, "e10", "speedup_at_40_regs", "speedup_uncontended")
+}
+
+func BenchmarkE11BpredSensitivity(b *testing.B) {
+	runExperiment(b, "e11", "coverage_static-taken", "coverage_gshare-4k", "coverage_oracle")
+}
+
+func BenchmarkE12StaticDCE(b *testing.B) {
+	runExperiment(b, "e12", "dead_mean", "dead_mean_dce")
+}
+
+func BenchmarkE13OracleLimit(b *testing.B) {
+	runExperiment(b, "e13", "dip_speedup_mean", "oracle_speedup_mean", "captured_mean")
+}
+
+func BenchmarkE14Confidence(b *testing.B) {
+	runExperiment(b, "e14", "coverage_b2_t2", "accuracy_b2_t2")
+}
+
+func BenchmarkE15MemoryDepth(b *testing.B) {
+	runExperiment(b, "e15", "flat_speedup_mean", "deep_speedup_mean")
+}
+
+func BenchmarkE16ResolveDistance(b *testing.B) {
+	runExperiment(b, "e16", "within_rob_mean")
+}
+
+func BenchmarkE17StaticHints(b *testing.B) {
+	runExperiment(b, "e17", "hint50_coverage_mean", "hint50_accuracy_mean",
+		"dip_coverage_mean", "dip_accuracy_mean")
+}
+
+func BenchmarkE18WindowBias(b *testing.B) {
+	runExperiment(b, "e18", "dead_mean_at_10000", "dead_mean_full")
+}
+
+// ---------------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+// benchProgram is a small mixed loop used by the substrate benchmarks.
+const benchProgramSrc = `
+.data
+buf: .space 4096
+.text
+main:
+    addi r1, r0, 5000
+    la   r2, buf
+    addi r5, r0, 0
+loop:
+    andi r3, r1, 511
+    slli r3, r3, 3
+    add  r3, r2, r3
+    sd   r1, 0(r3)
+    ld   r4, 0(r3)
+    add  r5, r5, r4
+    andi r6, r1, 7
+    bne  r6, r0, skip
+    xor  r5, r5, r1
+skip:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    out  r5
+    halt
+`
+
+func BenchmarkEmulator(b *testing.B) {
+	prog, err := asm.Assemble("bench", benchProgramSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	insts := 0
+	for i := 0; i < b.N; i++ {
+		m := emu.New(prog)
+		if err := m.Run(1_000_000, nil); err != nil {
+			b.Fatal(err)
+		}
+		insts = m.Steps
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkDeadnessOracle(b *testing.B) {
+	prog, err := asm.Assemble("bench", benchProgramSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := emu.Collect(prog, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := deadness.Analyze(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+func BenchmarkDIPLookup(b *testing.B) {
+	p := dip.New(dip.DefaultConfig())
+	for pc := 0; pc < 256; pc++ {
+		p.Update(pc, uint16(pc&3), true)
+		p.Update(pc, uint16(pc&3), true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(i&1023, uint16(i&3))
+	}
+}
+
+func BenchmarkGshare(b *testing.B) {
+	g := bpred.NewGshare(12, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := i & 4095
+		g.Update(pc, g.Predict(pc) != (i&7 == 0))
+	}
+}
+
+func BenchmarkPipeline(b *testing.B) {
+	prog, err := asm.Assemble("bench", benchProgramSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := emu.Collect(prog, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := deadness.Analyze(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.ContendedConfig()
+	cfg.Elim = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Run(tr, an, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e3, "Kinst/s")
+}
+
+func BenchmarkWorkloadCompile(b *testing.B) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := prof.Compile(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

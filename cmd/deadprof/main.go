@@ -1,0 +1,116 @@
+// Command deadprof prints the trace-level deadness profile of one
+// benchmark or the whole suite: dead-instruction fraction, first-level vs
+// transitive breakdown, per-cause attribution, and static locality.
+//
+// Usage:
+//
+//	deadprof [-bench name] [-n budget] [-hoist n] [-licm n] [-regs n] [-locality]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/deadness"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (default: whole suite)")
+	budget := flag.Int("n", 1_000_000, "dynamic instruction budget")
+	hoist := flag.Int("hoist", -1, "override scheduler hoisting limit (-1 = profile default)")
+	licm := flag.Int("licm", -1, "override LICM limit (-1 = profile default)")
+	regs := flag.Int("regs", -1, "override allocatable registers (-1 = profile default)")
+	locality := flag.Bool("locality", false, "print static locality details")
+	mix := flag.Bool("mix", false, "print the dynamic instruction-class mix instead")
+	flag.Parse()
+
+	profiles := workload.Suite()
+	if *bench != "" {
+		p, err := workload.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	if *mix {
+		printMix(profiles, *budget)
+		return
+	}
+
+	tb := stats.NewTable("bench", "dyn", "dead%", "first%", "trans%",
+		"alu", "loads", "stores", "hoist-dead", "spill-dead", "statics")
+	for _, p := range profiles {
+		opts := p.Opts
+		if *hoist >= 0 {
+			opts.MaxHoist = *hoist
+		}
+		if *licm >= 0 {
+			opts.MaxLICM = *licm
+		}
+		if *regs >= 0 {
+			opts.NumRegs = *regs
+		}
+		res, err := core.Profile(p, &opts, *budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		s := res.Summary
+		tb.AddRow(p.Name,
+			fmt.Sprint(s.Total),
+			stats.Pct(s.DeadFraction()),
+			stats.Pct(frac(s.FirstLevel, s.Dead)),
+			stats.Pct(frac(s.Transitive, s.Dead)),
+			fmt.Sprint(s.DeadALU),
+			fmt.Sprint(s.DeadLoads),
+			fmt.Sprint(s.DeadStores),
+			fmt.Sprint(s.ByProv[program.ProvHoisted].Dead),
+			fmt.Sprint(s.ByProv[program.ProvSpill].Dead+s.ByProv[program.ProvReload].Dead),
+			fmt.Sprint(res.Locality.DeadStatics),
+		)
+		if *locality {
+			fmt.Printf("%s locality: %d dead statics, %.1f%% of dead from partially dead statics\n",
+				p.Name, res.Locality.DeadStatics, 100*res.Locality.DeadFromPartial)
+			for i, pt := range res.Locality.CoveragePoints {
+				fmt.Printf("  top %4d statics cover %.1f%% of dead instances\n",
+					pt, 100*res.Locality.CoverageAt[i])
+			}
+		}
+	}
+	fmt.Print(tb)
+}
+
+// printMix emits the suite characterization table: dynamic instruction
+// class distribution and branch behaviour.
+func printMix(profiles []workload.Profile, budget int) {
+	tb := stats.NewTable("bench", "dyn", "alu%", "muldiv%", "load%", "store%",
+		"branch%", "taken%", "jump%")
+	for _, p := range profiles {
+		res, err := core.Profile(p, nil, budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		m := deadness.ComputeMix(res.Trace)
+		tb.AddRow(p.Name, fmt.Sprint(m.Total),
+			stats.Pct(m.Fraction(m.ALU)), stats.Pct(m.Fraction(m.MulDiv)),
+			stats.Pct(m.Fraction(m.Loads)), stats.Pct(m.Fraction(m.Stores)),
+			stats.Pct(m.Fraction(m.Branches)), stats.Pct(m.TakenRate()),
+			stats.Pct(m.Fraction(m.Jumps)))
+	}
+	fmt.Print(tb)
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,86 @@
+// Command deadsim runs the cycle-level out-of-order pipeline over one
+// benchmark (or the whole suite) and reports timing and resource
+// utilization, with dead-instruction elimination off, on, or both.
+//
+// Usage:
+//
+//	deadsim [-bench name] [-n budget] [-machine baseline|contended]
+//	        [-regs n] [-elim off|on|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (default: whole suite)")
+	budget := flag.Int("n", core.DefaultBudget, "dynamic instruction budget")
+	machine := flag.String("machine", "contended", "baseline, contended, or deep")
+	regs := flag.Int("regs", 0, "override physical register count")
+	elim := flag.String("elim", "both", "off, on, or both")
+	flag.Parse()
+
+	var cfg pipeline.Config
+	switch *machine {
+	case "baseline":
+		cfg = pipeline.BaselineConfig()
+	case "contended":
+		cfg = pipeline.ContendedConfig()
+	case "deep":
+		cfg = pipeline.DeepMemoryConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(1)
+	}
+	if *regs > 0 {
+		cfg.PhysRegs = *regs
+	}
+
+	names := core.SuiteNames()
+	if *bench != "" {
+		if _, err := workload.ByName(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		names = []string{*bench}
+	}
+
+	w := core.NewWorkspace(*budget)
+	tb := stats.NewTable("bench", "elim", "IPC", "cycles", "allocs", "rf-reads",
+		"rf-writes", "dcache", "eliminated", "recoveries", "freelist-stall")
+	addRow := func(name, mode string, st pipeline.Stats) {
+		tb.AddRow(name, mode,
+			fmt.Sprintf("%.3f", st.IPC()), fmt.Sprint(st.Cycles),
+			fmt.Sprint(st.PhysAllocs), fmt.Sprint(st.RFReads), fmt.Sprint(st.RFWrites),
+			fmt.Sprint(st.Cache.Accesses), fmt.Sprint(st.Eliminated),
+			fmt.Sprint(st.DeadMispredicts), fmt.Sprint(st.StallFreeList))
+	}
+	for _, name := range names {
+		if *elim == "off" || *elim == "both" {
+			st, err := w.RunMachine(name, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			addRow(name, "off", st)
+		}
+		if *elim == "on" || *elim == "both" {
+			c := cfg
+			c.Elim = true
+			st, err := w.RunMachine(name, c)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			addRow(name, "on", st)
+		}
+	}
+	fmt.Print(tb)
+}

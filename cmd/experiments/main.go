@@ -1,0 +1,73 @@
+// Command experiments regenerates every reproduced table and figure
+// (E1-E10 in DESIGN.md) and prints them in the format EXPERIMENTS.md
+// records.
+//
+// Usage:
+//
+//	experiments [-e id[,id...]] [-n budget] [-md]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	ids := flag.String("e", "", "comma-separated experiment ids (default: all)")
+	budget := flag.Int("n", core.DefaultBudget, "per-benchmark dynamic instruction budget")
+	md := flag.Bool("md", false, "emit markdown sections (EXPERIMENTS.md body)")
+	asJSON := flag.Bool("json", false, "emit machine-readable metrics")
+	flag.Parse()
+
+	list := core.ExperimentIDs()
+	if *ids != "" {
+		list = strings.Split(*ids, ",")
+	}
+	w := core.NewWorkspace(*budget)
+	type jsonExp struct {
+		ID      string             `json:"id"`
+		Title   string             `json:"title"`
+		Claim   string             `json:"claim"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	var collected []jsonExp
+	for _, id := range list {
+		start := time.Now()
+		e, err := w.RunExperiment(strings.TrimSpace(strings.ToLower(id)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			collected = append(collected, jsonExp{e.ID, e.Title, e.Claim, e.Metrics})
+			continue
+		}
+		if *md {
+			fmt.Printf("## %s — %s\n\n", strings.ToUpper(e.ID), e.Title)
+			fmt.Printf("Paper claim: *%s*\n\n```\n%s```\n\n", e.Claim, e.Table)
+			if e.Figure != nil {
+				fmt.Printf("```\n%s```\n\n", e.Figure)
+			}
+		} else {
+			fmt.Printf("=== %s: %s (%.1fs)\n", strings.ToUpper(e.ID), e.Title, time.Since(start).Seconds())
+			fmt.Printf("claim: %s\n\n%s\n", e.Claim, e.Table)
+			if e.Figure != nil {
+				fmt.Printf("%s\n", e.Figure)
+			}
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Command predsweep evaluates dead-instruction predictor configurations
+// over the benchmark suite: the default CFI design point, the no-CFI
+// counter baseline, oracle-path signatures, and a state-budget sweep.
+//
+// Usage:
+//
+//	predsweep [-bench name] [-n budget] [-mode point|sweep|cfi]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dip"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (default: whole suite)")
+	budget := flag.Int("n", core.DefaultBudget, "dynamic instruction budget")
+	mode := flag.String("mode", "point", "point, sweep, assoc, or cfi")
+	pathLen := flag.Int("path", -1, "override signature path length")
+	slots := flag.Int("slots", -1, "override signature slots per entry")
+	flag.Parse()
+	if *pathLen >= 0 {
+		overridePath = *pathLen
+	}
+	if *slots > 0 {
+		overrideSlots = *slots
+	}
+
+	profiles := workload.Suite()
+	if *bench != "" {
+		p, err := workload.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	switch *mode {
+	case "point":
+		point(profiles, *budget)
+	case "cfi":
+		cfi(profiles, *budget)
+	case "sweep":
+		sweep(profiles, *budget)
+	case "assoc":
+		assoc(profiles, *budget)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}
+
+var overridePath = -1
+var overrideSlots = -1
+
+func defaultCfg() dip.Config {
+	cfg := dip.DefaultConfig()
+	if overridePath >= 0 {
+		cfg.PathLen = overridePath
+	}
+	if overrideSlots > 0 {
+		cfg.SigSlots = overrideSlots
+	}
+	return cfg
+}
+
+func point(profiles []workload.Profile, budget int) {
+	cfg := defaultCfg()
+	tb := stats.NewTable("bench", "dead", "covered", "cov%", "acc%", "false+", "br-acc%")
+	var covs, accs []float64
+	for _, p := range profiles {
+		res, err := core.EvalPredictor(p, cfg, budget, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		covs = append(covs, res.Coverage())
+		accs = append(accs, res.Accuracy())
+		tb.AddRow(p.Name, fmt.Sprint(res.Dead), fmt.Sprint(res.TruePos),
+			stats.Pct(res.Coverage()), stats.Pct(res.Accuracy()),
+			fmt.Sprint(res.FalsePositives()), stats.Pct(res.BranchAccuracy))
+	}
+	tb.AddRow("MEAN", "", "", stats.Pct(stats.Mean(covs)), stats.Pct(stats.Mean(accs)), "", "")
+	fmt.Printf("config %s (%.2f KB)\n\n%s", cfg.Name(), cfg.StateKB(), tb)
+}
+
+func cfi(profiles []workload.Profile, budget int) {
+	withCFI := defaultCfg()
+	noCFI := defaultCfg()
+	noCFI.PathLen = 0
+	tb := stats.NewTable("bench", "cfi-cov%", "cfi-acc%", "ctr-cov%", "ctr-acc%", "oracle-cov%", "oracle-acc%")
+	for _, p := range profiles {
+		a, err := core.EvalPredictor(p, withCFI, budget, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b, err := core.EvalPredictor(p, noCFI, budget, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		o, err := core.EvalPredictor(p, withCFI, budget, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tb.AddRow(p.Name,
+			stats.Pct(a.Coverage()), stats.Pct(a.Accuracy()),
+			stats.Pct(b.Coverage()), stats.Pct(b.Accuracy()),
+			stats.Pct(o.Coverage()), stats.Pct(o.Accuracy()))
+	}
+	fmt.Print(tb)
+}
+
+// assoc sweeps set associativity at a roughly constant entry count.
+func assoc(profiles []workload.Profile, budget int) {
+	tb := stats.NewTable("config", "KB", "cov%", "acc%")
+	for _, ways := range []int{1, 2, 4, 8} {
+		cfg := defaultCfg()
+		cfg.Ways = ways
+		// Keep total entries at 512.
+		cfg.LogSets = 9
+		for w := ways; w > 1; w >>= 1 {
+			cfg.LogSets--
+		}
+		var covs, accs []float64
+		for _, p := range profiles {
+			res, err := core.EvalPredictor(p, cfg, budget, false)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			covs = append(covs, res.Coverage())
+			accs = append(accs, res.Accuracy())
+		}
+		tb.AddRow(cfg.Name(), fmt.Sprintf("%.2f", cfg.StateKB()),
+			stats.Pct(stats.Mean(covs)), stats.Pct(stats.Mean(accs)))
+	}
+	fmt.Print(tb)
+}
+
+func sweep(profiles []workload.Profile, budget int) {
+	tb := stats.NewTable("config", "KB", "cov%", "acc%")
+	for _, cfg := range dip.SweepConfigs() {
+		if overridePath >= 0 {
+			cfg.PathLen = overridePath
+		}
+		var covs, accs []float64
+		for _, p := range profiles {
+			res, err := core.EvalPredictor(p, cfg, budget, false)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			covs = append(covs, res.Coverage())
+			accs = append(accs, res.Accuracy())
+		}
+		tb.AddRow(cfg.Name(), fmt.Sprintf("%.2f", cfg.StateKB()),
+			stats.Pct(stats.Mean(covs)), stats.Pct(stats.Mean(accs)))
+	}
+	fmt.Print(tb)
+}

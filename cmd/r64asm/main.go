@@ -1,0 +1,108 @@
+// Command r64asm assembles, disassembles, and runs r64 programs.
+//
+// Usage:
+//
+//	r64asm -in prog.s              assemble and disassemble
+//	r64asm -in prog.s -run         assemble and execute, printing outputs
+//	r64asm -in prog.s -out p.bin   assemble to binary instruction words
+//	r64asm -dis p.bin              disassemble a binary image
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func main() {
+	in := flag.String("in", "", "assembly source file")
+	out := flag.String("out", "", "write encoded instruction words (binary)")
+	dis := flag.String("dis", "", "disassemble a binary image")
+	run := flag.Bool("run", false, "execute the program and print outputs")
+	budget := flag.Int("n", 10_000_000, "execution budget")
+	flag.Parse()
+
+	switch {
+	case *dis != "":
+		disassemble(*dis)
+	case *in != "":
+		src, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := asm.Assemble(*in, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			writeBinary(*out, p)
+			return
+		}
+		if *run {
+			execute(p, *budget)
+			return
+		}
+		fmt.Print(p.Disassemble())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func writeBinary(path string, p *program.Program) {
+	words, err := isa.EncodeProgram(p.Insts)
+	if err != nil {
+		fatal(err)
+	}
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d instructions (%d bytes)\n", len(words), len(buf))
+}
+
+func disassemble(path string) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if len(buf)%8 != 0 {
+		fatal(fmt.Errorf("image size %d is not a multiple of 8", len(buf)))
+	}
+	words := make([]uint64, len(buf)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	insts, err := isa.DecodeProgram(words)
+	if err != nil {
+		fatal(err)
+	}
+	for pc, in := range insts {
+		fmt.Printf("%5d:  %v\n", pc, in)
+	}
+}
+
+func execute(p *program.Program, budget int) {
+	m := emu.New(p)
+	if err := m.Run(budget, nil); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("halted after %d instructions\n", m.Steps)
+	for i, v := range m.Outputs {
+		fmt.Printf("out[%d] = %d (%#x)\n", i, v, v)
+	}
+}

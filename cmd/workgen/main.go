@@ -1,0 +1,73 @@
+// Command workgen materializes a synthetic suite benchmark as r64
+// assembly source, so the generated programs can be inspected, archived,
+// or fed back through cmd/r64asm.
+//
+// Usage:
+//
+//	workgen -bench gcc                  # print assembly to stdout
+//	workgen -bench gcc -o gcc.s         # write to a file
+//	workgen -bench gcc -hoist 0         # compile without the scheduler
+//	workgen -list                       # list suite benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name")
+	out := flag.String("o", "", "output file (default stdout)")
+	hoist := flag.Int("hoist", -1, "override scheduler hoisting limit (-1 = profile default)")
+	licm := flag.Int("licm", -1, "override LICM limit (-1 = profile default)")
+	regs := flag.Int("regs", -1, "override allocatable registers (-1 = profile default)")
+	list := flag.Bool("list", false, "list suite benchmarks")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Suite() {
+			fmt.Printf("%-8s seed=%d nests=%d iters=%d diamonds=%.2f mem=%.2f\n",
+				p.Name, p.Seed, p.LoopNests, p.OuterIters, p.DiamondProb, p.MemProb)
+		}
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := prof.Opts
+	if *hoist >= 0 {
+		opts.MaxHoist = *hoist
+	}
+	if *licm >= 0 {
+		opts.MaxLICM = *licm
+	}
+	if *regs >= 0 {
+		opts.NumRegs = *regs
+	}
+	prog, st, err := prof.Compile(&opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	src := fmt.Sprintf("# %s: %d instructions, %d hoisted, %d LICM, %d spilled vregs\n%s",
+		prof.Name, len(prog.Insts), st.Hoisted, st.LICMMoved, st.Spilled, asm.Format(prog))
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d instructions)\n", *out, len(prog.Insts))
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "Dynamic dead-instruction detection and
+// elimination" (Butts & Sohi, ASPLOS 2002) as a self-contained Go library:
+// an r64 RISC ISA with assembler and functional emulator, an optimizing
+// compiler whose code motion creates partially dead instructions, a
+// deadness oracle, branch predictors, the paper's dead-instruction
+// predictor, and a cycle-level out-of-order pipeline implementing the
+// elimination mechanism.
+//
+// See DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-versus-measured results. The root package holds
+// the benchmark harness (bench_test.go) that regenerates every reproduced
+// table and figure; the implementation lives under internal/.
+package repro

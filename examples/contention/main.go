@@ -1,0 +1,63 @@
+// Contention: run the full out-of-order machine over one benchmark with
+// dead-instruction elimination off and on, on both the amply provisioned
+// baseline and the resource-contended configuration, and report the
+// utilization and performance differences of experiments E8/E9.
+//
+//	go run ./examples/contention [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	name := "crafty"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w := core.NewWorkspace(0)
+
+	machines := []struct {
+		label string
+		cfg   pipeline.Config
+	}{
+		{"baseline (ample resources)", pipeline.BaselineConfig()},
+		{"contended (small PRF/IQ/ports)", pipeline.ContendedConfig()},
+	}
+	for _, mc := range machines {
+		base, err := w.RunMachine(name, mc.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := mc.cfg
+		cfg.Elim = true
+		elim, err := w.RunMachine(name, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s — %s\n", name, mc.label)
+		fmt.Printf("  %-28s %12s %12s %9s\n", "", "elim off", "elim on", "delta")
+		row := func(label string, a, b int64) {
+			fmt.Printf("  %-28s %12d %12d %8.1f%%\n", label, a, b,
+				100*(float64(b)/float64(a)-1))
+		}
+		row("cycles", base.Cycles, elim.Cycles)
+		row("physical reg allocations", base.PhysAllocs, elim.PhysAllocs)
+		row("register file reads", base.RFReads, elim.RFReads)
+		row("register file writes", base.RFWrites, elim.RFWrites)
+		row("data cache accesses", int64(base.Cache.Accesses), int64(elim.Cache.Accesses))
+		row("free-list stall cycles", base.StallFreeList, elim.StallFreeList)
+		fmt.Printf("  IPC %.3f -> %.3f (speedup %+.1f%%), %d eliminated, %d recoveries\n\n",
+			base.IPC(), elim.IPC(), 100*(elim.IPC()/base.IPC()-1),
+			elim.Eliminated, elim.DeadMispredicts)
+	}
+
+	fmt.Println("On the ample machine elimination mostly saves utilization; once")
+	fmt.Println("resources contend, freeing them earlier becomes time.")
+}

@@ -1,0 +1,276 @@
+// Package asm implements a two-pass assembler for r64 programs.
+//
+// Source syntax, one statement per line:
+//
+//	# full-line or trailing comment (';' also starts a comment)
+//	.text                      switch to the text section (default)
+//	.data                      switch to the data section
+//	label:                     define a label in the current section
+//	.byte 1, 2, 0xff           emit bytes (data section)
+//	.half / .word / .quad      emit 2-, 4-, 8-byte little-endian values
+//	.space 64                  reserve zeroed bytes
+//	.align 8                   pad the data section to a multiple of 8
+//
+//	add  r1, r2, r3            register-register ALU
+//	addi r1, r2, -5            register-immediate ALU
+//	lui  r1, 0x10              rd = imm << 16
+//	ld   r1, 8(r2)             loads:  rd, offset(base)
+//	sd   r5, 0(r2)             stores: data, offset(base)
+//	beq  r1, r2, loop          branches take a text label or an immediate
+//	jal  ra, func              direct jump-and-link
+//	jalr r0, ra, 0             indirect jump
+//	out  r1                    report r1 as a program output
+//	halt
+//
+// Pseudo-instructions: li rd, imm (one or two instructions), la rd,
+// datalabel (address of a data label), mv rd, rs, j label, b label,
+// call label, ret, not rd, rs, neg rd, rs.
+//
+// Text labels resolve to instruction indexes; data labels resolve to
+// absolute addresses in the data segment (program.DataBase + offset).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Error describes an assembly failure with its source location.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type pending struct {
+	line  int
+	mnem  string
+	args  []string
+	pc    int // instruction index assigned in pass 1
+	count int // number of instructions this statement expands to
+}
+
+type assembler struct {
+	name    string
+	sec     section
+	stmts   []pending
+	nextPC  int
+	data    []byte
+	text    map[string]int    // label -> instruction index
+	dataLbl map[string]uint64 // label -> absolute address
+	prog    *program.Program
+}
+
+// Assemble translates source into a validated program.
+func Assemble(name, src string) (*program.Program, error) {
+	a := &assembler{
+		name:    name,
+		text:    make(map[string]int),
+		dataLbl: make(map[string]uint64),
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	a.prog.Name = name
+	a.prog.Labels = a.text
+	a.prog.Data = a.data
+	if entry, ok := a.text["main"]; ok {
+		a.prog.Entry = entry
+	}
+	if err := a.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) pass1(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		s := raw
+		if j := strings.IndexAny(s, "#;"); j >= 0 {
+			s = s[:j]
+		}
+		s = strings.TrimSpace(s)
+		for s != "" {
+			// Labels; several may share a line with a statement.
+			if j := strings.Index(s, ":"); j >= 0 && isIdent(s[:j]) {
+				if err := a.defineLabel(line, s[:j]); err != nil {
+					return err
+				}
+				s = strings.TrimSpace(s[j+1:])
+				continue
+			}
+			break
+		}
+		if s == "" {
+			continue
+		}
+		mnem, rest, _ := strings.Cut(s, " ")
+		mnem = strings.ToLower(strings.TrimSpace(mnem))
+		args := splitArgs(rest)
+		if strings.HasPrefix(mnem, ".") {
+			if err := a.directive(line, mnem, args); err != nil {
+				return err
+			}
+			continue
+		}
+		if a.sec != secText {
+			return errf(line, "instruction %q in data section", mnem)
+		}
+		n, err := expansionSize(line, mnem, args)
+		if err != nil {
+			return err
+		}
+		a.stmts = append(a.stmts, pending{line: line, mnem: mnem, args: args, pc: a.nextPC, count: n})
+		a.nextPC += n
+	}
+	return nil
+}
+
+func (a *assembler) defineLabel(line int, name string) error {
+	if _, dup := a.text[name]; dup {
+		return errf(line, "label %q redefined", name)
+	}
+	if _, dup := a.dataLbl[name]; dup {
+		return errf(line, "label %q redefined", name)
+	}
+	if a.sec == secText {
+		a.text[name] = a.nextPC
+	} else {
+		a.dataLbl[name] = program.DataBase + uint64(len(a.data))
+	}
+	return nil
+}
+
+func (a *assembler) directive(line int, mnem string, args []string) error {
+	switch mnem {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".byte", ".half", ".word", ".quad":
+		if a.sec != secData {
+			return errf(line, "%s outside data section", mnem)
+		}
+		size := map[string]int{".byte": 1, ".half": 2, ".word": 4, ".quad": 8}[mnem]
+		if len(args) == 0 {
+			return errf(line, "%s needs at least one value", mnem)
+		}
+		for _, arg := range args {
+			v, err := parseImm(arg)
+			if err != nil {
+				return errf(line, "%s: %v", mnem, err)
+			}
+			for b := 0; b < size; b++ {
+				a.data = append(a.data, byte(uint64(v)>>(8*b)))
+			}
+		}
+	case ".space":
+		if a.sec != secData {
+			return errf(line, ".space outside data section")
+		}
+		if len(args) != 1 {
+			return errf(line, ".space needs one argument")
+		}
+		n, err := parseImm(args[0])
+		if err != nil || n < 0 {
+			return errf(line, "bad .space size %q", args[0])
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".align":
+		if a.sec != secData {
+			return errf(line, ".align outside data section")
+		}
+		if len(args) != 1 {
+			return errf(line, ".align needs one argument")
+		}
+		n, err := parseImm(args[0])
+		if err != nil || n <= 0 {
+			return errf(line, "bad .align %q", args[0])
+		}
+		for len(a.data)%int(n) != 0 {
+			a.data = append(a.data, 0)
+		}
+	default:
+		return errf(line, "unknown directive %q", mnem)
+	}
+	return nil
+}
+
+func (a *assembler) pass2() error {
+	a.prog = &program.Program{Insts: make([]isa.Inst, 0, a.nextPC)}
+	for _, st := range a.stmts {
+		insts, err := a.emit(st)
+		if err != nil {
+			return err
+		}
+		if len(insts) != st.count {
+			return errf(st.line, "internal: %q expanded to %d instructions, sized as %d",
+				st.mnem, len(insts), st.count)
+		}
+		a.prog.Insts = append(a.prog.Insts, insts...)
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex like 0xffffffffffffffff.
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}

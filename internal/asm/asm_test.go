@@ -1,0 +1,262 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func mustAssemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p := mustAssemble(t, `
+# a tiny program
+main:
+    addi r1, r0, 5
+    addi r2, r0, 7
+    add  r3, r1, r2
+    out  r3
+    halt
+`)
+	if len(p.Insts) != 5 {
+		t.Fatalf("got %d instructions, want 5", len(p.Insts))
+	}
+	want := []isa.Inst{
+		{Op: isa.ADDI, Rd: 1, Imm: 5},
+		{Op: isa.ADDI, Rd: 2, Imm: 7},
+		{Op: isa.ADD, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: isa.OUT, Rs1: 3},
+		{Op: isa.HALT},
+	}
+	for i, w := range want {
+		if p.Insts[i] != w {
+			t.Errorf("inst %d = %v, want %v", i, p.Insts[i], w)
+		}
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+}
+
+func TestBranchLabelResolution(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    addi r1, r0, 10
+loop:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+`)
+	br := p.Insts[2]
+	if br.Op != isa.BNE {
+		t.Fatalf("inst 2 = %v, want bne", br)
+	}
+	// Target is PC 1 from PC 2: imm = 1 - (2+1) = -2.
+	if br.Imm != -2 {
+		t.Errorf("bne imm = %d, want -2", br.Imm)
+	}
+	if got, ok := p.BranchTarget(2); !ok || got != 1 {
+		t.Errorf("BranchTarget(2) = %d,%v; want 1,true", got, ok)
+	}
+}
+
+func TestForwardLabel(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    beq r0, r0, done
+    addi r1, r0, 1
+done:
+    halt
+`)
+	if tgt, _ := p.BranchTarget(0); tgt != 2 {
+		t.Errorf("forward branch target = %d, want 2", tgt)
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	p := mustAssemble(t, `
+.data
+vals:  .quad 0x1122334455667788, 2
+small: .byte 1, 2, 3
+       .align 8
+more:  .word 0xdeadbeef
+.text
+main:
+    la  r1, vals
+    ld  r2, 0(r1)
+    out r2
+    halt
+`)
+	if len(p.Data) != 8+8+3+5+4 {
+		t.Fatalf("data length = %d, want 28", len(p.Data))
+	}
+	// .quad little-endian
+	if p.Data[0] != 0x88 || p.Data[7] != 0x11 {
+		t.Errorf("quad bytes wrong: % x", p.Data[:8])
+	}
+	// la resolves to absolute address of vals.
+	la := p.Insts[0]
+	if la.Op != isa.ADDI || uint64(la.Imm) != program.DataBase {
+		t.Errorf("la emitted %v, want addi with imm %#x", la, program.DataBase)
+	}
+	// .align padded to offset 24 before .word.
+	if p.Data[24] != 0xef || p.Data[27] != 0xde {
+		t.Errorf("word bytes wrong: % x", p.Data[24:28])
+	}
+}
+
+func TestDataLabelAsImmediate(t *testing.T) {
+	p := mustAssemble(t, `
+.data
+buf: .space 16
+.text
+main:
+    ld r1, buf(r0)
+    sd r1, buf(r0)
+    halt
+`)
+	if uint64(p.Insts[0].Imm) != program.DataBase {
+		t.Errorf("load imm = %#x, want %#x", p.Insts[0].Imm, program.DataBase)
+	}
+	if p.Insts[1].Op != isa.SD || p.Insts[1].Rs2 != 1 {
+		t.Errorf("store = %v", p.Insts[1])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    li   r1, 42
+    li   r2, 0x123456789
+    mv   r3, r1
+    not  r4, r1
+    neg  r5, r1
+    j    end
+    nop
+end:
+    ret
+    halt
+`)
+	if p.Insts[0].Op != isa.ADDI || p.Insts[0].Imm != 42 {
+		t.Errorf("small li = %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.LUI || p.Insts[2].Op != isa.ORI {
+		t.Errorf("large li = %v, %v", p.Insts[1], p.Insts[2])
+	}
+	if p.Insts[3].Op != isa.ADDI || p.Insts[3].Rs1 != 1 {
+		t.Errorf("mv = %v", p.Insts[3])
+	}
+	if p.Insts[4].Op != isa.XORI || p.Insts[4].Imm != -1 {
+		t.Errorf("not = %v", p.Insts[4])
+	}
+	if p.Insts[5].Op != isa.SUB || p.Insts[5].Rs1 != isa.RZero {
+		t.Errorf("neg = %v", p.Insts[5])
+	}
+	if p.Insts[6].Op != isa.JAL || p.Insts[6].Rd != isa.RZero {
+		t.Errorf("j = %v", p.Insts[6])
+	}
+	if p.Insts[8].Op != isa.JALR || p.Insts[8].Rs1 != isa.RLink {
+		t.Errorf("ret = %v", p.Insts[8])
+	}
+}
+
+func TestLargeLiSizingMatchesLabels(t *testing.T) {
+	// A li that expands to 2 instructions must shift later labels.
+	p := mustAssemble(t, `
+main:
+    li r1, 0x1000000000
+target:
+    beq r0, r0, target
+    halt
+`)
+	if got := p.Labels["target"]; got != 2 {
+		t.Errorf("label after 2-wide li = %d, want 2", got)
+	}
+	if tgt, _ := p.BranchTarget(2); tgt != 2 {
+		t.Errorf("self-branch target = %d, want 2", tgt)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    add r1, zero, gp
+    add r2, sp, ra
+    halt
+`)
+	in := p.Insts[0]
+	if in.Rs1 != isa.RZero || in.Rs2 != isa.RGbl {
+		t.Errorf("aliases: %v", in)
+	}
+	in = p.Insts[1]
+	if in.Rs1 != isa.RSP || in.Rs2 != isa.RLink {
+		t.Errorf("aliases: %v", in)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAssemble(t, `
+main:             # entry
+    nop           ; semicolons too
+    halt
+`)
+	if len(p.Insts) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(p.Insts))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "main:\n frob r1, r2\n halt", "unknown mnemonic"},
+		{"bad register", "main:\n add r1, r2, r99\n halt", "bad register"},
+		{"unknown label", "main:\n beq r0, r0, nowhere\n halt", "unknown label"},
+		{"redefined label", "main:\n nop\nmain:\n halt", "redefined"},
+		{"missing halt", "main:\n nop", "no HALT"},
+		{"data op in text", "main:\n .word 4\n halt", "outside data"},
+		{"wrong arity", "main:\n add r1, r2\n halt", "needs"},
+		{"bad mem operand", "main:\n ld r1, r2\n halt", "memory operand"},
+		{"instruction in data", ".data\n add r1, r2, r3\n.text\nmain:\n halt", "data section"},
+		{"unknown directive", ".fancy 3\nmain:\n halt", "unknown directive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("bad", tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("bad", "main:\n nop\n frob r1\n halt")
+	var aerr *Error
+	if !asError(err, &aerr) {
+		t.Fatalf("error %T is not *asm.Error", err)
+	}
+	if aerr.Line != 3 {
+		t.Errorf("line = %d, want 3", aerr.Line)
+	}
+}
+
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}

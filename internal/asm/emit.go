@@ -1,0 +1,383 @@
+package asm
+
+import (
+	"strings"
+
+	"repro/internal/isa"
+)
+
+var regAliases = map[string]isa.Reg{
+	"zero": isa.RZero,
+	"gp":   isa.RGbl,
+	"sp":   isa.RSP,
+	"ra":   isa.RLink,
+}
+
+var mnemonics = map[string]isa.Op{
+	"add": isa.ADD, "sub": isa.SUB, "and": isa.AND, "or": isa.OR,
+	"xor": isa.XOR, "sll": isa.SLL, "srl": isa.SRL, "sra": isa.SRA,
+	"slt": isa.SLT, "sltu": isa.SLTU, "mul": isa.MUL, "divu": isa.DIVU,
+	"remu": isa.REMU,
+	"addi": isa.ADDI, "andi": isa.ANDI, "ori": isa.ORI, "xori": isa.XORI,
+	"slti": isa.SLTI, "slli": isa.SLLI, "srli": isa.SRLI, "srai": isa.SRAI,
+	"lui": isa.LUI,
+	"lb":  isa.LB, "lh": isa.LH, "lw": isa.LW, "ld": isa.LD,
+	"sb": isa.SB, "sh": isa.SH, "sw": isa.SW, "sd": isa.SD,
+	"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT, "bge": isa.BGE,
+	"jal": isa.JAL, "jalr": isa.JALR,
+	"out": isa.OUT, "halt": isa.HALT, "nop": isa.NOP,
+}
+
+// expansionSize returns how many instructions a statement assembles to.
+// Only li depends on its operand; everything else is a single instruction.
+func expansionSize(line int, mnem string, args []string) (int, error) {
+	switch mnem {
+	case "li":
+		if len(args) != 2 {
+			return 0, errf(line, "li needs rd, imm")
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return 0, errf(line, "li: %v", err)
+		}
+		return liSize(v), nil
+	case "la", "mv", "j", "b", "call", "ret", "not", "neg":
+		return 1, nil
+	default:
+		if _, ok := mnemonics[mnem]; !ok {
+			return 0, errf(line, "unknown mnemonic %q", mnem)
+		}
+		return 1, nil
+	}
+}
+
+func fitsInt32(v int64) bool { return v >= -1<<31 && v < 1<<31 }
+
+func fitsInt48(v int64) bool { return v >= -1<<47 && v < 1<<47 }
+
+// liSize returns the number of instructions li expands to: 1 for 32-bit
+// immediates, 2 for 48-bit, 5 for full 64-bit constants.
+func liSize(v int64) int {
+	switch {
+	case fitsInt32(v):
+		return 1
+	case fitsInt48(v):
+		return 2
+	default:
+		return 5
+	}
+}
+
+// expandLI materializes an arbitrary 64-bit constant into rd.
+func expandLI(rd isa.Reg, v int64) []isa.Inst {
+	switch {
+	case fitsInt32(v):
+		return []isa.Inst{{Op: isa.ADDI, Rd: rd, Rs1: isa.RZero, Imm: int32(v)}}
+	case fitsInt48(v):
+		return []isa.Inst{
+			{Op: isa.LUI, Rd: rd, Imm: int32(v >> 16)},
+			{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: int32(v & 0xffff)},
+		}
+	default:
+		// Build top-down 16 bits at a time: the first ADDI seeds the top 32
+		// bits (sign extension is shifted out), then two shift+or steps
+		// splice in the middle and low 16-bit chunks.
+		return []isa.Inst{
+			{Op: isa.ADDI, Rd: rd, Rs1: isa.RZero, Imm: int32(v >> 32)},
+			{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 16},
+			{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: int32((v >> 16) & 0xffff)},
+			{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 16},
+			{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: int32(v & 0xffff)},
+		}
+	}
+}
+
+func (a *assembler) emit(st pending) ([]isa.Inst, error) {
+	one := func(in isa.Inst) ([]isa.Inst, error) { return []isa.Inst{in}, nil }
+	line, args := st.line, st.args
+
+	// Pseudo-instructions first.
+	switch st.mnem {
+	case "li":
+		rd, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, _ := parseImm(args[1])
+		return expandLI(rd, v), nil
+	case "la":
+		if len(args) != 2 {
+			return nil, errf(line, "la needs rd, datalabel")
+		}
+		rd, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		addr, ok := a.dataLbl[args[1]]
+		if !ok {
+			return nil, errf(line, "unknown data label %q", args[1])
+		}
+		return one(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: isa.RZero, Imm: int32(addr)})
+	case "mv":
+		if len(args) != 2 {
+			return nil, errf(line, "mv needs rd, rs")
+		}
+		rd, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(line, args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs})
+	case "j", "b":
+		if len(args) != 1 {
+			return nil, errf(line, "%s needs a label", st.mnem)
+		}
+		off, err := a.branchOffset(line, args[0], st.pc)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.JAL, Rd: isa.RZero, Imm: off})
+	case "call":
+		if len(args) != 1 {
+			return nil, errf(line, "call needs a label")
+		}
+		off, err := a.branchOffset(line, args[0], st.pc)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.JAL, Rd: isa.RLink, Imm: off})
+	case "ret":
+		return one(isa.Inst{Op: isa.JALR, Rd: isa.RZero, Rs1: isa.RLink})
+	case "not":
+		rd, rs, err := a.twoRegs(line, args)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs, Imm: -1})
+	case "neg":
+		rd, rs, err := a.twoRegs(line, args)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.SUB, Rd: rd, Rs1: isa.RZero, Rs2: rs})
+	}
+
+	op := mnemonics[st.mnem]
+	switch {
+	case op == isa.NOP, op == isa.HALT:
+		if len(args) != 0 {
+			return nil, errf(line, "%s takes no operands", st.mnem)
+		}
+		return one(isa.Inst{Op: op})
+	case op == isa.OUT:
+		if len(args) != 1 {
+			return nil, errf(line, "out needs one register")
+		}
+		rs, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OUT, Rs1: rs})
+	case op.IsALUReg():
+		if len(args) != 3 {
+			return nil, errf(line, "%s needs rd, rs1, rs2", st.mnem)
+		}
+		rd, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(line, args[1])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(line, args[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case op == isa.LUI:
+		if len(args) != 2 {
+			return nil, errf(line, "lui needs rd, imm")
+		}
+		rd, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := a.immOrData(line, args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.LUI, Rd: rd, Imm: imm})
+	case op.IsALUImm():
+		if len(args) != 3 {
+			return nil, errf(line, "%s needs rd, rs1, imm", st.mnem)
+		}
+		rd, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(line, args[1])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := a.immOrData(line, args[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+	case op.IsLoad():
+		if len(args) != 2 {
+			return nil, errf(line, "%s needs rd, offset(base)", st.mnem)
+		}
+		rd, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, base, err := a.parseMemOperand(line, args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: imm})
+	case op.IsStore():
+		if len(args) != 2 {
+			return nil, errf(line, "%s needs data, offset(base)", st.mnem)
+		}
+		data, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, base, err := a.parseMemOperand(line, args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rs1: base, Rs2: data, Imm: imm})
+	case op.IsCondBranch():
+		if len(args) != 3 {
+			return nil, errf(line, "%s needs rs1, rs2, target", st.mnem)
+		}
+		rs1, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(line, args[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOffset(line, args[2], st.pc)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+	case op == isa.JAL:
+		if len(args) != 2 {
+			return nil, errf(line, "jal needs rd, target")
+		}
+		rd, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOffset(line, args[1], st.pc)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.JAL, Rd: rd, Imm: off})
+	case op == isa.JALR:
+		if len(args) != 3 {
+			return nil, errf(line, "jalr needs rd, rs1, imm")
+		}
+		rd, err := parseReg(line, args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(line, args[1])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := a.immOrData(line, args[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.JALR, Rd: rd, Rs1: rs1, Imm: imm})
+	}
+	return nil, errf(line, "unhandled mnemonic %q", st.mnem)
+}
+
+func (a *assembler) twoRegs(line int, args []string) (rd, rs isa.Reg, err error) {
+	if len(args) != 2 {
+		return 0, 0, errf(line, "need rd, rs")
+	}
+	rd, err = parseReg(line, args[0])
+	if err != nil {
+		return
+	}
+	rs, err = parseReg(line, args[1])
+	return
+}
+
+func parseReg(line int, s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := parseImm(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, errf(line, "bad register %q", s)
+}
+
+// immOrData resolves an operand that may be a numeric immediate or a data
+// label (whose value is its absolute address).
+func (a *assembler) immOrData(line int, s string) (int32, error) {
+	if addr, ok := a.dataLbl[s]; ok {
+		return int32(addr), nil
+	}
+	v, err := parseImm(s)
+	if err != nil {
+		return 0, errf(line, "%v", err)
+	}
+	if !fitsInt32(v) {
+		return 0, errf(line, "immediate %d does not fit in 32 bits", v)
+	}
+	return int32(v), nil
+}
+
+// parseMemOperand parses "offset(base)" or "(base)" or a bare data label
+// used with an implicit zero base, e.g. "ld r1, table(gp)".
+func (a *assembler) parseMemOperand(line int, s string) (int32, isa.Reg, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, errf(line, "bad memory operand %q, want offset(base)", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	base, err := parseReg(line, s[open+1:len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	if offStr == "" {
+		return 0, base, nil
+	}
+	off, err := a.immOrData(line, offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+// branchOffset resolves target (a text label or an absolute/relative
+// immediate) into the instruction-relative displacement stored in Imm.
+func (a *assembler) branchOffset(line int, target string, pc int) (int32, error) {
+	if t, ok := a.text[target]; ok {
+		return int32(t - (pc + 1)), nil
+	}
+	v, err := parseImm(target)
+	if err != nil {
+		return 0, errf(line, "unknown label %q", target)
+	}
+	return int32(v), nil
+}

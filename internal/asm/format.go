@@ -1,0 +1,51 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/program"
+)
+
+// Format renders a program as assembly source that Assemble reproduces
+// exactly (same instructions, same data segment). Control-transfer
+// displacements are emitted numerically — the assembler accepts relative
+// immediates wherever it accepts labels — and synthetic labels mark the
+// entry point and branch targets for readability. Provenance tags are not
+// representable in source and are dropped.
+func Format(p *program.Program) string {
+	var b strings.Builder
+	if len(p.Data) > 0 {
+		b.WriteString(".data\n")
+		for i := 0; i < len(p.Data); i += 16 {
+			end := min(i+16, len(p.Data))
+			b.WriteString("    .byte ")
+			for j := i; j < end; j++ {
+				if j > i {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%d", p.Data[j])
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteString(".text\n")
+	}
+
+	// Synthetic labels at branch targets, for human readers only (the
+	// displacements below stay numeric and authoritative).
+	targets := make(map[int]bool)
+	for pc := range p.Insts {
+		if t, ok := p.BranchTarget(pc); ok {
+			targets[t] = true
+		}
+	}
+	for pc, in := range p.Insts {
+		if pc == p.Entry {
+			b.WriteString("main:\n")
+		} else if targets[pc] {
+			fmt.Fprintf(&b, "L%d:\n", pc)
+		}
+		fmt.Fprintf(&b, "    %v\n", in)
+	}
+	return b.String()
+}

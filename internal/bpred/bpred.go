@@ -1,0 +1,212 @@
+// Package bpred implements the branch direction predictors and branch
+// target buffer used by the pipeline front end, and — central to this
+// reproduction — the source of the *future control-flow information* that
+// the dead-instruction predictor consumes: predicted directions for the
+// next few branches after a given instruction.
+package bpred
+
+import "fmt"
+
+// Counter is an n-bit saturating counter. Width is fixed at 2 bits, the
+// standard Smith counter; Taken is the MSB.
+type Counter uint8
+
+const counterMax = 3
+
+// Inc saturates upward.
+func (c *Counter) Inc() {
+	if *c < counterMax {
+		*c++
+	}
+}
+
+// Dec saturates downward.
+func (c *Counter) Dec() {
+	if *c > 0 {
+		*c--
+	}
+}
+
+// Taken reports the predicted direction.
+func (c Counter) Taken() bool { return c >= 2 }
+
+// Train moves the counter toward the outcome.
+func (c *Counter) Train(taken bool) {
+	if taken {
+		c.Inc()
+	} else {
+		c.Dec()
+	}
+}
+
+// DirPredictor predicts conditional branch directions.
+//
+// Predict must not mutate state: all history updates happen in Update,
+// with the branch's actual outcome. This matches a trace-driven front end
+// where global history is repaired at resolution.
+type DirPredictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc int) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc int, taken bool)
+	// StateBits returns the hardware budget of the predictor in bits.
+	StateBits() int
+	// Name identifies the configuration for reports.
+	Name() string
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	counters []Counter
+	mask     int
+}
+
+// NewBimodal creates a bimodal predictor with 2^logEntries counters,
+// initialized weakly taken.
+func NewBimodal(logEntries int) *Bimodal {
+	n := 1 << logEntries
+	b := &Bimodal{counters: make([]Counter, n), mask: n - 1}
+	for i := range b.counters {
+		b.counters[i] = 2
+	}
+	return b
+}
+
+func (b *Bimodal) index(pc int) int { return pc & b.mask }
+
+// Predict implements DirPredictor.
+func (b *Bimodal) Predict(pc int) bool { return b.counters[b.index(pc)].Taken() }
+
+// Update implements DirPredictor.
+func (b *Bimodal) Update(pc int, taken bool) { b.counters[b.index(pc)].Train(taken) }
+
+// StateBits implements DirPredictor.
+func (b *Bimodal) StateBits() int { return 2 * len(b.counters) }
+
+// Name implements DirPredictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", len(b.counters)) }
+
+// Gshare XORs global history with the PC to index a counter table.
+type Gshare struct {
+	counters []Counter
+	mask     uint32
+	ghr      uint32
+	histBits int
+}
+
+// NewGshare creates a gshare predictor with 2^logEntries counters and
+// histBits bits of global history.
+func NewGshare(logEntries, histBits int) *Gshare {
+	n := 1 << logEntries
+	g := &Gshare{counters: make([]Counter, n), mask: uint32(n - 1), histBits: histBits}
+	for i := range g.counters {
+		g.counters[i] = 2
+	}
+	return g
+}
+
+func (g *Gshare) index(pc int) uint32 {
+	h := g.ghr & (1<<g.histBits - 1)
+	return (uint32(pc) ^ h) & g.mask
+}
+
+// Predict implements DirPredictor.
+func (g *Gshare) Predict(pc int) bool { return g.counters[g.index(pc)].Taken() }
+
+// Update implements DirPredictor; it trains the counter and shifts the
+// outcome into the global history register.
+func (g *Gshare) Update(pc int, taken bool) {
+	g.counters[g.index(pc)].Train(taken)
+	g.ghr <<= 1
+	if taken {
+		g.ghr |= 1
+	}
+}
+
+// StateBits implements DirPredictor.
+func (g *Gshare) StateBits() int { return 2*len(g.counters) + g.histBits }
+
+// Name implements DirPredictor.
+func (g *Gshare) Name() string {
+	return fmt.Sprintf("gshare-%d-h%d", len(g.counters), g.histBits)
+}
+
+// TwoLevel is a local-history (PAg-style) predictor: a PC-indexed table of
+// per-branch history registers selects entries in a shared pattern table.
+type TwoLevel struct {
+	hist     []uint16
+	pattern  []Counter
+	histBits int
+	hMask    int
+	pMask    uint32
+}
+
+// NewTwoLevel creates a local predictor with 2^logHist history registers of
+// histBits bits each, and a 2^histBits-entry pattern table.
+func NewTwoLevel(logHist, histBits int) *TwoLevel {
+	if histBits > 16 {
+		histBits = 16
+	}
+	p := &TwoLevel{
+		hist:     make([]uint16, 1<<logHist),
+		pattern:  make([]Counter, 1<<histBits),
+		histBits: histBits,
+		hMask:    1<<logHist - 1,
+		pMask:    uint32(1<<histBits - 1),
+	}
+	for i := range p.pattern {
+		p.pattern[i] = 2
+	}
+	return p
+}
+
+// Predict implements DirPredictor.
+func (p *TwoLevel) Predict(pc int) bool {
+	h := uint32(p.hist[pc&p.hMask]) & p.pMask
+	return p.pattern[h].Taken()
+}
+
+// Update implements DirPredictor.
+func (p *TwoLevel) Update(pc int, taken bool) {
+	hi := pc & p.hMask
+	h := uint32(p.hist[hi]) & p.pMask
+	p.pattern[h].Train(taken)
+	p.hist[hi] = p.hist[hi]<<1 | boolBit(taken)
+}
+
+// StateBits implements DirPredictor.
+func (p *TwoLevel) StateBits() int {
+	return len(p.hist)*p.histBits + 2*len(p.pattern)
+}
+
+// Name implements DirPredictor.
+func (p *TwoLevel) Name() string {
+	return fmt.Sprintf("twolevel-%d-h%d", len(p.hist), p.histBits)
+}
+
+// Static predicts a fixed direction; the zero value predicts not-taken.
+type Static struct{ TakenAlways bool }
+
+// Predict implements DirPredictor.
+func (s Static) Predict(int) bool { return s.TakenAlways }
+
+// Update implements DirPredictor (no state).
+func (Static) Update(int, bool) {}
+
+// StateBits implements DirPredictor.
+func (Static) StateBits() int { return 0 }
+
+// Name implements DirPredictor.
+func (s Static) Name() string {
+	if s.TakenAlways {
+		return "static-taken"
+	}
+	return "static-nottaken"
+}
+
+func boolBit(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,194 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	var c Counter
+	c.Dec()
+	if c != 0 {
+		t.Errorf("dec below zero: %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c.Inc()
+	}
+	if c != counterMax {
+		t.Errorf("inc above max: %d", c)
+	}
+	if !c.Taken() {
+		t.Error("saturated counter not taken")
+	}
+	c = 1
+	if c.Taken() {
+		t.Error("weak not-taken reported taken")
+	}
+}
+
+func TestCounterHysteresis(t *testing.T) {
+	c := Counter(2) // weakly taken
+	c.Train(false)
+	if c.Taken() {
+		t.Error("one not-taken should flip weak counter")
+	}
+	c = Counter(3)
+	c.Train(false)
+	if !c.Taken() {
+		t.Error("strong counter flipped by single outcome")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(10)
+	for i := 0; i < 10; i++ {
+		b.Update(42, true)
+	}
+	if !b.Predict(42) {
+		t.Error("did not learn taken bias")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(42, false)
+	}
+	if b.Predict(42) {
+		t.Error("did not learn not-taken bias")
+	}
+}
+
+func TestBimodalAliasing(t *testing.T) {
+	b := NewBimodal(4) // 16 entries
+	for i := 0; i < 8; i++ {
+		b.Update(3, true)
+	}
+	if !b.Predict(3 + 16) { // aliases to the same counter
+		t.Error("aliased PC should share the counter")
+	}
+}
+
+func TestGshareLearnsAlternation(t *testing.T) {
+	// A branch alternating T,N,T,N is unpredictable for bimodal but
+	// learnable with history.
+	g := NewGshare(12, 8)
+	taken := false
+	correct := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		taken = !taken
+		if g.Predict(7) == taken {
+			correct++
+		}
+		g.Update(7, taken)
+	}
+	// After warmup it should be nearly perfect.
+	if correct < n*9/10 {
+		t.Errorf("gshare alternation accuracy = %d/%d", correct, n)
+	}
+}
+
+func TestTwoLevelLearnsShortPattern(t *testing.T) {
+	p := NewTwoLevel(10, 8)
+	pattern := []bool{true, true, false}
+	correct := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		taken := pattern[i%len(pattern)]
+		if p.Predict(9) == taken {
+			correct++
+		}
+		p.Update(9, taken)
+	}
+	if correct < n*9/10 {
+		t.Errorf("two-level pattern accuracy = %d/%d", correct, n)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	if (Static{}).Predict(5) {
+		t.Error("zero-value Static should predict not-taken")
+	}
+	if !(Static{TakenAlways: true}).Predict(5) {
+		t.Error("static-taken wrong")
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	if got := NewBimodal(10).StateBits(); got != 2048 {
+		t.Errorf("bimodal bits = %d, want 2048", got)
+	}
+	if got := NewGshare(10, 8).StateBits(); got != 2048+8 {
+		t.Errorf("gshare bits = %d, want 2056", got)
+	}
+	if got := NewTwoLevel(4, 8).StateBits(); got != 16*8+2*256 {
+		t.Errorf("twolevel bits = %d", got)
+	}
+	if got := (Static{}).StateBits(); got != 0 {
+		t.Errorf("static bits = %d", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []DirPredictor{
+		NewBimodal(4), NewGshare(4, 4), NewTwoLevel(4, 4), Static{},
+	} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+func TestPredictIsPure(t *testing.T) {
+	// Predicting many times without updating must not change the answer.
+	f := func(pc uint16) bool {
+		g := NewGshare(8, 6)
+		first := g.Predict(int(pc))
+		for i := 0; i < 5; i++ {
+			if g.Predict(int(pc)) != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(4, 8)
+	if _, ok := b.Lookup(100); ok {
+		t.Error("empty BTB hit")
+	}
+	b.Update(100, 7)
+	if tgt, ok := b.Lookup(100); !ok || tgt != 7 {
+		t.Errorf("lookup = %d,%v; want 7,true", tgt, ok)
+	}
+	// A conflicting PC (same index, different tag) evicts.
+	b.Update(100+16*3, 9)
+	if _, ok := b.Lookup(100); ok {
+		t.Error("evicted entry still hits")
+	}
+	if tgt, ok := b.Lookup(100 + 48); !ok || tgt != 9 {
+		t.Errorf("new entry = %d,%v", tgt, ok)
+	}
+	if b.StateBits() != 16*(8+32) {
+		t.Errorf("btb bits = %d", b.StateBits())
+	}
+}
+
+func TestStatsAccuracy(t *testing.T) {
+	s := NewStats(Static{TakenAlways: true})
+	outcomes := []bool{true, true, false, true}
+	for i, o := range outcomes {
+		s.PredictAndTrain(i, o)
+	}
+	if s.Lookups != 4 || s.Mispredict != 1 {
+		t.Errorf("lookups=%d mispredict=%d", s.Lookups, s.Mispredict)
+	}
+	if s.Accuracy() != 0.75 {
+		t.Errorf("accuracy = %v, want 0.75", s.Accuracy())
+	}
+	empty := NewStats(Static{})
+	if empty.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}

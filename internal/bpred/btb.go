@@ -1,0 +1,95 @@
+package bpred
+
+import "fmt"
+
+// BTB is a direct-mapped, tagged branch target buffer. The pipeline charges
+// a fetch redirect when a taken control transfer misses in the BTB even if
+// its direction was predicted correctly.
+type BTB struct {
+	tags    []int32
+	targets []int32
+	mask    int
+	tagBits int
+}
+
+// NewBTB creates a BTB with 2^logEntries entries and tagBits-bit tags.
+func NewBTB(logEntries, tagBits int) *BTB {
+	n := 1 << logEntries
+	b := &BTB{
+		tags:    make([]int32, n),
+		targets: make([]int32, n),
+		mask:    n - 1,
+		tagBits: tagBits,
+	}
+	for i := range b.tags {
+		b.tags[i] = -1
+	}
+	return b
+}
+
+func (b *BTB) split(pc int) (idx int, tag int32) {
+	idx = pc & b.mask
+	tag = int32((pc >> logOf(b.mask+1)) & (1<<b.tagBits - 1))
+	return
+}
+
+// Lookup returns the predicted target for pc, if present.
+func (b *BTB) Lookup(pc int) (target int, ok bool) {
+	idx, tag := b.split(pc)
+	if b.tags[idx] != tag {
+		return 0, false
+	}
+	return int(b.targets[idx]), true
+}
+
+// Update records the observed target of a taken control transfer.
+func (b *BTB) Update(pc, target int) {
+	idx, tag := b.split(pc)
+	b.tags[idx] = tag
+	b.targets[idx] = int32(target)
+}
+
+// StateBits returns the hardware budget of the BTB in bits, assuming
+// 32-bit targets.
+func (b *BTB) StateBits() int { return len(b.tags) * (b.tagBits + 32) }
+
+// Name identifies the configuration.
+func (b *BTB) Name() string { return fmt.Sprintf("btb-%d", len(b.tags)) }
+
+func logOf(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+// Stats wraps a direction predictor and counts accuracy.
+type Stats struct {
+	DirPredictor
+	Lookups    int
+	Mispredict int
+}
+
+// NewStats wraps p.
+func NewStats(p DirPredictor) *Stats { return &Stats{DirPredictor: p} }
+
+// PredictAndTrain predicts pc, trains with the actual outcome, and records
+// accuracy. It returns the prediction.
+func (s *Stats) PredictAndTrain(pc int, taken bool) bool {
+	pred := s.Predict(pc)
+	s.Lookups++
+	if pred != taken {
+		s.Mispredict++
+	}
+	s.Update(pc, taken)
+	return pred
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (s *Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(s.Mispredict)/float64(s.Lookups)
+}

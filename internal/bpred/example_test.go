@@ -1,0 +1,34 @@
+package bpred_test
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+)
+
+func ExampleGshare() {
+	g := bpred.NewGshare(10, 6)
+	// An alternating branch is unpredictable without history; gshare
+	// learns it.
+	taken := false
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		taken = !taken
+		if g.Predict(0x44) == taken {
+			correct++
+		}
+		g.Update(0x44, taken)
+	}
+	fmt.Println("learned the alternation:", correct > 900)
+	// Output: learned the alternation: true
+}
+
+func ExampleRAS() {
+	r := bpred.NewRAS(8)
+	r.Push(101) // call site A returns to 101
+	r.Push(205) // nested call returns to 205
+	t1, _ := r.Pop()
+	t2, _ := r.Pop()
+	fmt.Println(t1, t2)
+	// Output: 205 101
+}

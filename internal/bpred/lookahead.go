@@ -1,0 +1,128 @@
+package bpred
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Lookahead walks a committed trace and exposes, for any point in the
+// stream, the *predicted* directions of upcoming conditional branches.
+// This is the "future control flow information (i.e., branch predictions)"
+// the paper's dead-instruction predictor keys on: in hardware the front end
+// has already predicted those branches by the time an instruction renames.
+//
+// Branches are predicted exactly once, lazily and strictly in trace order,
+// and the direction predictor is trained immediately with the actual
+// outcome (the standard trace-driven "immediate update" idealization: a
+// real front end would use speculatively-updated history repaired on
+// mispredicts, which behaves the same on the correct path that a committed
+// trace represents). Because every prediction is cached, the signature a
+// consumer saw at rename and the direction the same branch was fetched
+// with are always the same bit.
+type Lookahead struct {
+	dir   DirPredictor
+	recs  []trace.Record
+	depth int
+
+	branchPos []int  // trace positions of conditional branches, ascending
+	preds     []bool // cached predictions for branchPos[:len(preds)]
+
+	// Branches and Mispredicts count predicted conditional branches.
+	Branches    int
+	Mispredicts int
+}
+
+// NewLookahead creates a lookahead of the given depth (1..16 bits of path
+// signature) over a linked trace.
+func NewLookahead(dir DirPredictor, t *trace.Trace, depth int) *Lookahead {
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 16 {
+		depth = 16
+	}
+	l := &Lookahead{dir: dir, recs: t.Recs, depth: depth}
+	for i := range t.Recs {
+		if t.Recs[i].Op.IsCondBranch() {
+			l.branchPos = append(l.branchPos, i)
+		}
+	}
+	return l
+}
+
+// ensure predicts branches in order through index idx (inclusive).
+func (l *Lookahead) ensure(idx int) {
+	for len(l.preds) <= idx && len(l.preds) < len(l.branchPos) {
+		pos := l.branchPos[len(l.preds)]
+		r := &l.recs[pos]
+		pred := l.dir.Predict(int(r.PC))
+		l.Branches++
+		if pred != r.Taken {
+			l.Mispredicts++
+		}
+		l.dir.Update(int(r.PC), r.Taken)
+		l.preds = append(l.preds, pred)
+	}
+}
+
+// branchIdxAfter returns the index into branchPos of the first conditional
+// branch strictly after trace position seq.
+func (l *Lookahead) branchIdxAfter(seq int) int {
+	return sort.SearchInts(l.branchPos, seq+1)
+}
+
+// PredAt returns the predicted direction of the conditional branch at
+// trace position pos. It panics if pos is not a conditional branch.
+func (l *Lookahead) PredAt(pos int) bool {
+	idx := sort.SearchInts(l.branchPos, pos)
+	if idx >= len(l.branchPos) || l.branchPos[idx] != pos {
+		panic("bpred: PredAt position is not a conditional branch")
+	}
+	l.ensure(idx)
+	return l.preds[idx]
+}
+
+// SigAfter returns the path signature at trace position seq: bit i is the
+// predicted direction of the (i+1)-th conditional branch after seq. When
+// fewer than depth branches remain, missing bits are zero.
+func (l *Lookahead) SigAfter(seq int) uint16 {
+	idx := l.branchIdxAfter(seq)
+	l.ensure(idx + l.depth - 1)
+	var sig uint16
+	for i := 0; i < l.depth && idx+i < len(l.branchPos); i++ {
+		if l.preds[idx+i] {
+			sig |= 1 << i
+		}
+	}
+	return sig
+}
+
+// ActualSigAfter returns the path signature at seq built from the
+// branches' actual outcomes — the oracle upper bound of control-flow
+// information.
+func (l *Lookahead) ActualSigAfter(seq int) uint16 {
+	idx := l.branchIdxAfter(seq)
+	var sig uint16
+	for i := 0; i < l.depth && idx+i < len(l.branchPos); i++ {
+		if l.recs[l.branchPos[idx+i]].Taken {
+			sig |= 1 << i
+		}
+	}
+	return sig
+}
+
+// EnsureThrough predicts (and trains on) every conditional branch at trace
+// position ≤ seq, so accuracy counters cover the walked region even when
+// no signature was requested there.
+func (l *Lookahead) EnsureThrough(seq int) {
+	l.ensure(l.branchIdxAfter(seq) - 1)
+}
+
+// Accuracy returns the direction-prediction accuracy so far.
+func (l *Lookahead) Accuracy() float64 {
+	if l.Branches == 0 {
+		return 0
+	}
+	return 1 - float64(l.Mispredicts)/float64(l.Branches)
+}

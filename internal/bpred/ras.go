@@ -1,0 +1,48 @@
+package bpred
+
+// RAS is a return-address stack: call instructions push their return PC,
+// return instructions pop a predicted target. The stack is a fixed-depth
+// circular buffer; overflow silently overwrites the oldest entry (the
+// standard hardware behaviour — deep recursion mispredicts on the way
+// out), and underflow returns no prediction.
+type RAS struct {
+	buf  []int32
+	top  int // next push slot
+	size int // valid entries, capped at depth
+
+	Pushes, Pops, Underflows int
+}
+
+// NewRAS creates a return-address stack with the given depth.
+func NewRAS(depth int) *RAS {
+	if depth < 1 {
+		depth = 1
+	}
+	return &RAS{buf: make([]int32, depth)}
+}
+
+// Push records a call's return PC.
+func (r *RAS) Push(retPC int) {
+	r.Pushes++
+	r.buf[r.top] = int32(retPC)
+	r.top = (r.top + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+}
+
+// Pop predicts the target of a return; ok is false when the stack is
+// empty (no prediction).
+func (r *RAS) Pop() (target int, ok bool) {
+	r.Pops++
+	if r.size == 0 {
+		r.Underflows++
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.buf)) % len(r.buf)
+	r.size--
+	return int(r.buf[r.top]), true
+}
+
+// Depth returns the stack capacity.
+func (r *RAS) Depth() int { return len(r.buf) }

@@ -1,0 +1,65 @@
+package bpred
+
+import "testing"
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(100)
+	r.Push(200)
+	if tgt, ok := r.Pop(); !ok || tgt != 200 {
+		t.Errorf("pop = %d,%v; want 200,true", tgt, ok)
+	}
+	if tgt, ok := r.Pop(); !ok || tgt != 100 {
+		t.Errorf("pop = %d,%v; want 100,true", tgt, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop from empty stack succeeded")
+	}
+	if r.Underflows != 1 {
+		t.Errorf("underflows = %d, want 1", r.Underflows)
+	}
+}
+
+func TestRASOverflowWrapsAround(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if tgt, _ := r.Pop(); tgt != 3 {
+		t.Errorf("pop = %d, want 3", tgt)
+	}
+	if tgt, _ := r.Pop(); tgt != 2 {
+		t.Errorf("pop = %d, want 2", tgt)
+	}
+	// The overwritten entry is gone.
+	if _, ok := r.Pop(); ok {
+		t.Error("stale entry survived overflow")
+	}
+}
+
+func TestRASMinimumDepth(t *testing.T) {
+	r := NewRAS(0)
+	if r.Depth() != 1 {
+		t.Errorf("depth = %d, want clamped 1", r.Depth())
+	}
+	r.Push(7)
+	if tgt, ok := r.Pop(); !ok || tgt != 7 {
+		t.Errorf("pop = %d,%v", tgt, ok)
+	}
+}
+
+func TestRASNestedPattern(t *testing.T) {
+	// Simulate call/return nesting: targets must come back LIFO.
+	r := NewRAS(16)
+	var expect []int
+	for depth := 0; depth < 10; depth++ {
+		pc := 1000 + depth
+		r.Push(pc)
+		expect = append(expect, pc)
+	}
+	for i := len(expect) - 1; i >= 0; i-- {
+		if tgt, ok := r.Pop(); !ok || tgt != expect[i] {
+			t.Fatalf("pop %d = %d,%v; want %d", i, tgt, ok, expect[i])
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package bpred
+
+import "fmt"
+
+// Tournament is a McFarling-style hybrid: a global (gshare) and a local
+// (bimodal) component, with a per-PC chooser table of 2-bit counters that
+// learns which component to trust for each branch. It is the strongest
+// direction predictor in this repository and is used by the branch-
+// predictor-sensitivity ablation (experiment E11): better future-direction
+// predictions mean cleaner path signatures for the dead-instruction
+// predictor.
+type Tournament struct {
+	global  *Gshare
+	local   *Bimodal
+	chooser []Counter // >=2 selects global
+	mask    int
+}
+
+// NewTournament builds a tournament predictor with 2^logEntries entries in
+// each component and the chooser.
+func NewTournament(logEntries, histBits int) *Tournament {
+	n := 1 << logEntries
+	t := &Tournament{
+		global:  NewGshare(logEntries, histBits),
+		local:   NewBimodal(logEntries),
+		chooser: make([]Counter, n),
+		mask:    n - 1,
+	}
+	for i := range t.chooser {
+		t.chooser[i] = 2 // weakly prefer global
+	}
+	return t
+}
+
+// Predict implements DirPredictor.
+func (t *Tournament) Predict(pc int) bool {
+	if t.chooser[pc&t.mask].Taken() {
+		return t.global.Predict(pc)
+	}
+	return t.local.Predict(pc)
+}
+
+// Update implements DirPredictor: both components train; the chooser moves
+// toward whichever component was right when they disagree.
+func (t *Tournament) Update(pc int, taken bool) {
+	g := t.global.Predict(pc)
+	l := t.local.Predict(pc)
+	if g != l {
+		t.chooser[pc&t.mask].Train(g == taken)
+	}
+	t.global.Update(pc, taken)
+	t.local.Update(pc, taken)
+}
+
+// StateBits implements DirPredictor.
+func (t *Tournament) StateBits() int {
+	return t.global.StateBits() + t.local.StateBits() + 2*len(t.chooser)
+}
+
+// Name implements DirPredictor.
+func (t *Tournament) Name() string {
+	return fmt.Sprintf("tournament-%d", len(t.chooser))
+}

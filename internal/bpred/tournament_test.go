@@ -1,0 +1,82 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTournamentLearnsBias(t *testing.T) {
+	p := NewTournament(10, 8)
+	for i := 0; i < 20; i++ {
+		p.Update(5, true)
+	}
+	if !p.Predict(5) {
+		t.Error("did not learn taken bias")
+	}
+}
+
+func TestTournamentLearnsAlternation(t *testing.T) {
+	// Alternating branches favor the global component; the chooser must
+	// route to it.
+	p := NewTournament(12, 10)
+	taken := false
+	correct := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		taken = !taken
+		if p.Predict(9) == taken {
+			correct++
+		}
+		p.Update(9, taken)
+	}
+	if correct < n*85/100 {
+		t.Errorf("alternation accuracy = %d/%d", correct, n)
+	}
+}
+
+func TestTournamentBeatsComponentsOnMixedStream(t *testing.T) {
+	// A mix of heavily biased branches (bimodal-friendly) and pattern
+	// branches (gshare-friendly) with deliberate aliasing pressure: the
+	// chooser should do at least as well as the best single component.
+	run := func(p DirPredictor) int {
+		rng := rand.New(rand.NewSource(3))
+		correct := 0
+		for i := 0; i < 20000; i++ {
+			pc := rng.Intn(64)
+			var taken bool
+			if pc%2 == 0 {
+				taken = true // biased
+			} else {
+				taken = i%3 == 0 // short pattern
+			}
+			if p.Predict(pc) == taken {
+				correct++
+			}
+			p.Update(pc, taken)
+		}
+		return correct
+	}
+	tour := run(NewTournament(10, 8))
+	gsh := run(NewGshare(10, 8))
+	bim := run(NewBimodal(10))
+	best := gsh
+	if bim > best {
+		best = bim
+	}
+	// Allow a small warmup deficit.
+	if tour < best-300 {
+		t.Errorf("tournament %d far below best component %d (gshare %d, bimodal %d)",
+			tour, best, gsh, bim)
+	}
+}
+
+func TestTournamentStateBitsAndName(t *testing.T) {
+	p := NewTournament(4, 4)
+	want := (2*16 + 4) + 2*16 + 2*16 // gshare + bimodal + chooser
+	if got := p.StateBits(); got != want {
+		t.Errorf("StateBits = %d, want %d", got, want)
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}

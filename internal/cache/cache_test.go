@@ -1,0 +1,144 @@
+package cache
+
+import "testing"
+
+func small(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{
+		SizeBytes: 256, LineBytes: 32, Ways: 2,
+		HitLatency: 2, MissLatency: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 1024, LineBytes: 0, Ways: 1, HitLatency: 1, MissLatency: 2},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 1, HitLatency: 1, MissLatency: 2},
+		{SizeBytes: 1024, LineBytes: 32, Ways: 0, HitLatency: 1, MissLatency: 2},
+		{SizeBytes: 32, LineBytes: 32, Ways: 2, HitLatency: 1, MissLatency: 2},
+		{SizeBytes: 1024, LineBytes: 32, Ways: 2, HitLatency: 0, MissLatency: 2},
+		{SizeBytes: 1024, LineBytes: 32, Ways: 2, HitLatency: 4, MissLatency: 2},
+		{SizeBytes: 96 * 32, LineBytes: 32, Ways: 32, HitLatency: 1, MissLatency: 2}, // 3 sets
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small(t)
+	if lat := c.Access(0x100, 8, false); lat != 16 {
+		t.Errorf("cold access latency = %d, want 16", lat)
+	}
+	if lat := c.Access(0x100, 8, false); lat != 2 {
+		t.Errorf("warm access latency = %d, want 2", lat)
+	}
+	if c.Stats.Accesses != 2 || c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestSameLineSharing(t *testing.T) {
+	c := small(t)
+	c.Access(0x100, 1, false)
+	if lat := c.Access(0x11f, 1, false); lat != 2 {
+		t.Errorf("same-line access missed: lat=%d", lat)
+	}
+	if lat := c.Access(0x120, 1, false); lat != 16 {
+		t.Errorf("next line should miss: lat=%d", lat)
+	}
+}
+
+func TestLineSpanningAccess(t *testing.T) {
+	c := small(t)
+	// 8-byte access at 0x11c spans lines 0x100 and 0x120.
+	if lat := c.Access(0x11c, 8, false); lat != 16 {
+		t.Errorf("spanning access latency = %d, want 16", lat)
+	}
+	if c.Stats.Misses != 2 {
+		t.Errorf("spanning access misses = %d, want 2", c.Stats.Misses)
+	}
+	if lat := c.Access(0x11c, 8, false); lat != 2 {
+		t.Errorf("warm spanning access = %d, want 2", lat)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := small(t)                                             // 4 sets, 2 ways; set = (addr>>5)&3
+	a0, a1, a2 := uint64(0x000), uint64(0x080), uint64(0x100) // all set 0
+	c.Access(a0, 1, false)
+	c.Access(a1, 1, false)
+	c.Access(a0, 1, false) // a1 becomes LRU
+	c.Access(a2, 1, false) // evicts a1
+	if lat := c.Access(a0, 1, false); lat != 2 {
+		t.Error("MRU line evicted")
+	}
+	if lat := c.Access(a1, 1, false); lat != 16 {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestWritebackOfDirtyVictim(t *testing.T) {
+	c := small(t)
+	c.Access(0x000, 8, true)  // dirty line in set 0
+	c.Access(0x080, 1, false) // set 0
+	c.Access(0x100, 1, false) // set 0: evicts dirty 0x000
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+	// Clean eviction does not write back.
+	c.Access(0x180, 1, false)
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("clean eviction wrote back: %d", c.Stats.Writebacks)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small(t)
+	c.Access(0x40, 8, true)
+	c.Access(0x60, 8, false)
+	c.Flush()
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("flush writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+	if lat := c.Access(0x40, 8, false); lat != 16 {
+		t.Error("line survived flush")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := small(t)
+	if c.Stats.HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+	c.Access(0x40, 1, false)
+	c.Access(0x40, 1, false)
+	c.Access(0x40, 1, false)
+	c.Access(0x40, 1, false)
+	if hr := c.Stats.HitRate(); hr != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", hr)
+	}
+}
+
+func TestDefaultConfigGeometry(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16KB / (32B * 4 ways) = 128 sets.
+	if len(c.sets) != 128 {
+		t.Errorf("sets = %d, want 128", len(c.sets))
+	}
+}

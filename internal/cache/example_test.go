@@ -1,0 +1,38 @@
+package cache_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+)
+
+func ExampleCache_Access() {
+	c, err := cache.New(cache.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cold:", c.Access(0x1000, 8, false), "cycles")
+	fmt.Println("warm:", c.Access(0x1000, 8, false), "cycles")
+	fmt.Printf("hit rate %.2f\n", c.Stats.HitRate())
+	// Output:
+	// cold: 16 cycles
+	// warm: 2 cycles
+	// hit rate 0.50
+}
+
+func ExampleHierarchy() {
+	h, err := cache.NewHierarchy(
+		cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 4, HitLatency: 2, MissLatency: 16},
+		cache.Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, HitLatency: 10, MissLatency: 90},
+		80,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cold (miss both):", h.Access(0x4000, 8, false), "cycles")
+	fmt.Println("L1 hit:", h.Access(0x4000, 8, false), "cycles")
+	// Output:
+	// cold (miss both): 92 cycles
+	// L1 hit: 2 cycles
+}

@@ -1,0 +1,46 @@
+package cache
+
+import "fmt"
+
+// Hierarchy composes an L1 and an L2 data cache over a flat main memory.
+// An access probes the L1; on a miss it probes the L2; on an L2 miss it
+// pays the memory latency. Hit latencies accumulate down the hierarchy
+// (the L1's MissLatency field is ignored when it sits in a hierarchy).
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+	// MemLatency is the flat main-memory penalty paid on an L2 miss.
+	MemLatency int
+}
+
+// NewHierarchy builds a two-level hierarchy; the L2 must be at least as
+// large as the L1.
+func NewHierarchy(l1, l2 Config, memLatency int) (*Hierarchy, error) {
+	if memLatency < 1 {
+		return nil, fmt.Errorf("cache: memory latency %d must be >= 1", memLatency)
+	}
+	if l2.SizeBytes < l1.SizeBytes {
+		return nil, fmt.Errorf("cache: L2 (%d B) smaller than L1 (%d B)",
+			l2.SizeBytes, l1.SizeBytes)
+	}
+	c1, err := New(l1)
+	if err != nil {
+		return nil, fmt.Errorf("cache: L1: %w", err)
+	}
+	c2, err := New(l2)
+	if err != nil {
+		return nil, fmt.Errorf("cache: L2: %w", err)
+	}
+	return &Hierarchy{L1: c1, L2: c2, MemLatency: memLatency}, nil
+}
+
+// Access performs the access and returns its latency in cycles.
+func (h *Hierarchy) Access(addr uint64, width int, write bool) int {
+	if h.L1.Probe(addr, width, write) {
+		return h.L1.cfg.HitLatency
+	}
+	if h.L2.Probe(addr, width, write) {
+		return h.L1.cfg.HitLatency + h.L2.cfg.HitLatency
+	}
+	return h.L1.cfg.HitLatency + h.L2.cfg.HitLatency + h.MemLatency
+}

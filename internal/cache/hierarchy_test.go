@@ -1,0 +1,88 @@
+package cache
+
+import "testing"
+
+func hier(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(
+		Config{SizeBytes: 256, LineBytes: 32, Ways: 2, HitLatency: 2, MissLatency: 16},
+		Config{SizeBytes: 2048, LineBytes: 32, Ways: 4, HitLatency: 8, MissLatency: 80},
+		80,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := hier(t)
+	// Cold: L1 miss, L2 miss -> 2 + 8 + 80.
+	if lat := h.Access(0x100, 8, false); lat != 90 {
+		t.Errorf("cold access = %d, want 90", lat)
+	}
+	// Warm L1.
+	if lat := h.Access(0x100, 8, false); lat != 2 {
+		t.Errorf("L1 hit = %d, want 2", lat)
+	}
+	// Evict from L1 (2-way set; fill two conflicting lines) but stay in L2.
+	h.Access(0x100+256, 8, false)
+	h.Access(0x100+512, 8, false)
+	if lat := h.Access(0x100, 8, false); lat != 10 {
+		t.Errorf("L2 hit = %d, want 10", lat)
+	}
+}
+
+func TestHierarchyStats(t *testing.T) {
+	h := hier(t)
+	h.Access(0x40, 8, true)
+	h.Access(0x40, 8, true)
+	if h.L1.Stats.Accesses != 2 || h.L1.Stats.Hits != 1 {
+		t.Errorf("L1 stats = %+v", h.L1.Stats)
+	}
+	// The L2 only sees L1 misses.
+	if h.L2.Stats.Accesses != 1 {
+		t.Errorf("L2 accesses = %d, want 1", h.L2.Stats.Accesses)
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	l1 := DefaultConfig()
+	l2 := DefaultConfig()
+	l2.SizeBytes = l1.SizeBytes / 2
+	if _, err := NewHierarchy(l1, l2, 80); err == nil {
+		t.Error("L2 smaller than L1 accepted")
+	}
+	if _, err := NewHierarchy(l1, l1, 0); err == nil {
+		t.Error("zero memory latency accepted")
+	}
+	bad := l1
+	bad.Ways = 0
+	if _, err := NewHierarchy(bad, l1, 80); err == nil {
+		t.Error("invalid L1 accepted")
+	}
+	if _, err := NewHierarchy(l1, bad, 80); err == nil {
+		t.Error("invalid L2 accepted")
+	}
+}
+
+func TestProbeSpanningBothMiss(t *testing.T) {
+	c, err := New(Config{SizeBytes: 256, LineBytes: 32, Ways: 2,
+		HitLatency: 2, MissLatency: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Probe(0x3c, 8, false) {
+		t.Error("cold spanning probe hit")
+	}
+	if !c.Probe(0x3c, 8, false) {
+		t.Error("warm spanning probe missed")
+	}
+	// One line warm, one cold: still a miss overall.
+	c2, _ := New(Config{SizeBytes: 256, LineBytes: 32, Ways: 2,
+		HitLatency: 2, MissLatency: 16})
+	c2.Probe(0x20, 1, false)
+	if c2.Probe(0x3c, 8, false) {
+		t.Error("half-warm spanning probe reported hit")
+	}
+}

@@ -1,0 +1,136 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// callFunc builds: x = 3; call double; call double; out x
+// where the subroutine doubles x (shared register space).
+func callFunc() *Func {
+	f := NewFunc("call")
+	entry := f.NewBlock()  // 0
+	cont1 := f.NewBlock()  // 1
+	cont2 := f.NewBlock()  // 2
+	callee := f.NewBlock() // 3
+
+	x := f.NewVReg()
+	entry.Append(Instr{Kind: KConst, Dst: x, Imm: 3})
+	entry.Term = Terminator{Kind: TCall, To: callee.ID, Else: cont1.ID}
+
+	cont1.Term = Terminator{Kind: TCall, To: callee.ID, Else: cont2.ID}
+
+	cont2.Append(Instr{Kind: KOut, A: x})
+	cont2.Term = Terminator{Kind: THalt}
+
+	callee.Append(Instr{Kind: KALU, Op: isa.ADD, Dst: x, A: x, B: x})
+	callee.Term = Terminator{Kind: TRet}
+	return f
+}
+
+func TestCallInterpreted(t *testing.T) {
+	out, err := Interpret(callFunc(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 12 {
+		t.Fatalf("output = %v, want [12]", out)
+	}
+}
+
+func TestCallCompiles(t *testing.T) {
+	for _, opts := range allOptionSets() {
+		out := checkEquiv(t, callFunc(), opts)
+		if out[0] != 12 {
+			t.Fatalf("opts %+v: output = %v, want [12]", opts, out)
+		}
+	}
+}
+
+func TestCallWithLoopInCallee(t *testing.T) {
+	// The callee contains a loop; the caller calls it from inside a loop.
+	f := NewFunc("callloop")
+	entry := f.NewBlock()   // 0
+	loop := f.NewBlock()    // 1: outer loop header / call site
+	cont := f.NewBlock()    // 2: after call: decrement, branch
+	exit := f.NewBlock()    // 3
+	callee := f.NewBlock()  // 4: inner loop
+	calleeX := f.NewBlock() // 5: ret
+
+	i := f.NewVReg()
+	j := f.NewVReg()
+	acc := f.NewVReg()
+	zero := f.NewVReg()
+	entry.Append(Instr{Kind: KConst, Dst: i, Imm: 5})
+	entry.Append(Instr{Kind: KConst, Dst: acc, Imm: 0})
+	entry.Append(Instr{Kind: KConst, Dst: zero, Imm: 0})
+	entry.Term = Terminator{Kind: TJump, To: loop.ID}
+
+	loop.Append(Instr{Kind: KConst, Dst: j, Imm: 3})
+	loop.Term = Terminator{Kind: TCall, To: callee.ID, Else: cont.ID}
+
+	cont.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: i, A: i, Imm: -1})
+	cont.Term = Terminator{Kind: TBranch, Op: isa.BNE, A: i, B: zero, To: loop.ID, Else: exit.ID}
+
+	exit.Append(Instr{Kind: KOut, A: acc})
+	exit.Term = Terminator{Kind: THalt}
+
+	callee.Append(Instr{Kind: KALU, Op: isa.ADD, Dst: acc, A: acc, B: j})
+	callee.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: j, A: j, Imm: -1})
+	callee.Term = Terminator{Kind: TBranch, Op: isa.BNE, A: j, B: zero, To: callee.ID, Else: calleeX.ID}
+
+	calleeX.Term = Terminator{Kind: TRet}
+
+	// Each call adds 3+2+1=6; five calls: 30.
+	out := checkEquiv(t, f, Options{})
+	if out[0] != 30 {
+		t.Fatalf("output = %v, want [30]", out)
+	}
+	for _, opts := range allOptionSets() {
+		checkEquiv(t, f, opts)
+	}
+}
+
+func TestCallLivenessAcrossCall(t *testing.T) {
+	// A value live across the call must not share a register with callee
+	// values: the allocator sees the conservative call/return edges.
+	f := callFunc()
+	live := ComputeLiveness(f)
+	// x (vreg 0) is live into the callee and into both continuations.
+	if !live.LiveIn(3, 0) {
+		t.Error("x not live into callee")
+	}
+	if !live.LiveIn(1, 0) || !live.LiveIn(2, 0) {
+		t.Error("x not live into continuations")
+	}
+}
+
+func TestRetWithEmptyStackRejected(t *testing.T) {
+	f := NewFunc("badret")
+	b := f.NewBlock()
+	v := f.NewVReg()
+	b.Append(Instr{Kind: KConst, Dst: v, Imm: 1})
+	b.Term = Terminator{Kind: TRet}
+	if _, err := Interpret(f, 100); err == nil {
+		t.Error("return with empty call stack accepted")
+	}
+}
+
+func TestCallValidation(t *testing.T) {
+	f := NewFunc("badcall")
+	b := f.NewBlock()
+	b.Term = Terminator{Kind: TCall, To: 99, Else: 0}
+	if err := f.Validate(); err == nil {
+		t.Error("out-of-range call target accepted")
+	}
+}
+
+func TestHoistDoesNotCrossCalls(t *testing.T) {
+	f := callFunc()
+	before := len(f.Blocks[3].Instrs)
+	Hoist(f, 3)
+	if len(f.Blocks[3].Instrs) != before {
+		t.Error("hoisting moved callee instructions")
+	}
+}

@@ -1,0 +1,116 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Options selects the optimization pipeline. The zero value disables both
+// code-motion passes and uses the full register file.
+type Options struct {
+	// MaxHoist is the per-branch limit for speculative hoisting;
+	// 0 disables the pass.
+	MaxHoist int
+	// MaxLICM is the per-loop limit for loop-invariant code motion;
+	// 0 disables the pass.
+	MaxLICM int
+	// NumRegs limits the allocatable machine registers (2..26) to induce
+	// spill pressure; 0 means all 26.
+	NumRegs int
+	// Fold runs block-local constant folding and copy propagation before
+	// DCE.
+	Fold bool
+	// DCE runs static dead-code elimination after the code-motion passes
+	// (experiment E12's ablation).
+	DCE bool
+}
+
+// DefaultOptions is the "production compiler" configuration used by the
+// workload suite: aggressive hoisting and LICM with the full register file.
+func DefaultOptions() Options {
+	return Options{MaxHoist: 3, MaxLICM: 8}
+}
+
+// Clone deep-copies the function so passes can mutate freely.
+func (f *Func) Clone() *Func {
+	g := &Func{
+		Name:     f.Name,
+		Entry:    f.Entry,
+		Data:     append([]byte(nil), f.Data...),
+		nextVReg: f.nextVReg,
+	}
+	g.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &Block{
+			ID:     b.ID,
+			Instrs: append([]Instr(nil), b.Instrs...),
+			Prov:   append([]program.Provenance(nil), b.Prov...),
+			Term:   b.Term,
+		}
+		g.Blocks[i] = nb
+	}
+	return g
+}
+
+// PassStats reports what the optimization pipeline did.
+type PassStats struct {
+	Hoisted    int
+	LICMMoved  int
+	Folded     int
+	DCERemoved int
+	Spilled    int
+	SpillSlots int
+}
+
+// Compile translates an IR function to a program under the given options.
+// The input function is not modified.
+func Compile(f *Func, opts Options) (*program.Program, PassStats, error) {
+	var st PassStats
+	if err := f.Validate(); err != nil {
+		return nil, st, err
+	}
+	work := f.Clone()
+	if opts.MaxLICM > 0 {
+		st.LICMMoved = LICM(work, opts.MaxLICM)
+	}
+	if opts.MaxHoist > 0 {
+		st.Hoisted = Hoist(work, opts.MaxHoist)
+	}
+	if opts.Fold {
+		st.Folded = Fold(work)
+	}
+	if opts.DCE {
+		st.DCERemoved = DCE(work)
+	}
+	var regs []isa.Reg
+	if opts.NumRegs > 0 {
+		all := DefaultAllocatable()
+		if opts.NumRegs > len(all) {
+			opts.NumRegs = len(all)
+		}
+		regs = all[:opts.NumRegs]
+	}
+	asn, err := Allocate(work, regs)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Spilled = asn.NumSpilled
+	st.SpillSlots = asn.NumSlots
+	p, err := Lower(work, asn)
+	if err != nil {
+		return nil, st, err
+	}
+	return p, st, nil
+}
+
+// MustCompile is Compile for known-good functions; it panics on error and
+// exists for tests and the workload generator.
+func MustCompile(f *Func, opts Options) *program.Program {
+	p, _, err := Compile(f, opts)
+	if err != nil {
+		panic(fmt.Sprintf("compiler: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,41 @@
+package compiler
+
+import "repro/internal/program"
+
+// DCE removes statically dead code: side-effect-free instructions whose
+// destination is not live immediately after them, iterated to a fixpoint.
+//
+// Its role in this reproduction is the contrast of experiment E12: static
+// dead-code elimination can only remove instructions that are dead on
+// *every* path, while the paper's subject — dynamically dead instructions
+// — are mostly produced by static instructions that are useful on some
+// paths. Running DCE therefore removes the fully-dead leftovers but
+// barely moves the dynamic dead-instruction fraction.
+//
+// It returns the number of instructions removed.
+func DCE(f *Func) int {
+	removed := 0
+	for {
+		live := ComputeLiveness(f)
+		changed := false
+		for _, b := range f.Blocks {
+			points := liveAcross(f, live, b.ID)
+			var keep []Instr
+			var keepProv []program.Provenance
+			for i, in := range b.Instrs {
+				if in.SideEffectFree() && !points[i+1].has(in.Dst) {
+					removed++
+					changed = true
+					continue
+				}
+				keep = append(keep, in)
+				keepProv = append(keepProv, b.Prov[i])
+			}
+			b.Instrs = keep
+			b.Prov = keepProv
+		}
+		if !changed {
+			return removed
+		}
+	}
+}

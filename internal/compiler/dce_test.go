@@ -1,0 +1,112 @@
+package compiler
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestDCERemovesUnusedChain(t *testing.T) {
+	f := NewFunc("dce")
+	b := f.NewBlock()
+	live := f.NewVReg()
+	d1 := f.NewVReg()
+	d2 := f.NewVReg()
+	b.Append(Instr{Kind: KConst, Dst: live, Imm: 7})
+	b.Append(Instr{Kind: KConst, Dst: d1, Imm: 1})                       // dead
+	b.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: d2, A: d1, Imm: 2}) // dead, cascades
+	b.Append(Instr{Kind: KOut, A: live})
+
+	removed := DCE(f)
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if len(b.Instrs) != 2 {
+		t.Fatalf("remaining = %v", b.Instrs)
+	}
+	out, err := Interpret(f, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 7 {
+		t.Fatalf("outputs = %v", out)
+	}
+}
+
+func TestDCEKeepsStoresAndOuts(t *testing.T) {
+	f := memFunc()
+	before := 0
+	for _, b := range f.Blocks {
+		before += len(b.Instrs)
+	}
+	if removed := DCE(f); removed != 0 {
+		t.Errorf("removed %d instructions from a fully live function", removed)
+	}
+	after := 0
+	for _, b := range f.Blocks {
+		after += len(b.Instrs)
+	}
+	if after != before {
+		t.Errorf("instruction count changed: %d -> %d", before, after)
+	}
+}
+
+func TestDCECannotRemovePartiallyDead(t *testing.T) {
+	// t is used on the then path only: dynamically dead whenever the
+	// branch goes the other way, but statically live — DCE must keep it.
+	f := diamondFunc()
+	Hoist(f, 3) // move then-side computation above the branch
+	hoisted := len(f.Blocks[0].Instrs)
+	if DCE(f) != 0 {
+		t.Error("DCE removed partially dead instructions")
+	}
+	if len(f.Blocks[0].Instrs) != hoisted {
+		t.Error("entry block changed")
+	}
+}
+
+func TestDCEPreservesSemanticsOnRandomFunctions(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(int64(3000 + seed)))
+		f := RandomFunc(rng, 2+rng.Intn(8))
+		want, err := Interpret(f, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := f.Clone()
+		DCE(g)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := Interpret(g, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: outputs differ", seed)
+		}
+	}
+}
+
+func TestCompileWithDCE(t *testing.T) {
+	f := NewFunc("d")
+	b := f.NewBlock()
+	live := f.NewVReg()
+	dead := f.NewVReg()
+	b.Append(Instr{Kind: KConst, Dst: live, Imm: 3})
+	b.Append(Instr{Kind: KConst, Dst: dead, Imm: 4})
+	b.Append(Instr{Kind: KOut, A: live})
+	p, st, err := Compile(f, Options{DCE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DCERemoved != 1 {
+		t.Errorf("DCERemoved = %d, want 1", st.DCERemoved)
+	}
+	// const + out + halt
+	if len(p.Insts) != 3 {
+		t.Errorf("compiled length = %d, want 3", len(p.Insts))
+	}
+}

@@ -1,0 +1,140 @@
+package compiler
+
+// Dominators holds the immediate-dominator tree of a function's CFG,
+// computed with the classic iterative bitset algorithm (adequate for the
+// block counts this compiler sees).
+type Dominators struct {
+	// dom[b] is the set of blocks dominating b (including b itself).
+	dom []bitsetInt
+}
+
+type bitsetInt []uint64
+
+func newBitsetInt(n int) bitsetInt { return make(bitsetInt, (n+63)/64) }
+
+func (s bitsetInt) set(i int)      { s[i/64] |= 1 << (uint(i) % 64) }
+func (s bitsetInt) has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+func (s bitsetInt) fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+func (s bitsetInt) intersectInto(o bitsetInt) bool {
+	changed := false
+	for i := range s {
+		n := s[i] & o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ComputeDominators computes the dominator sets of every block reachable
+// from the entry. Unreachable blocks dominate nothing and are dominated by
+// everything (the usual convention of the iterative algorithm).
+func ComputeDominators(f *Func) *Dominators {
+	n := len(f.Blocks)
+	preds := f.Preds()
+	d := &Dominators{dom: make([]bitsetInt, n)}
+	for i := range d.dom {
+		d.dom[i] = newBitsetInt(n)
+		if i == f.Entry {
+			d.dom[i].set(i)
+		} else {
+			d.dom[i].fill()
+		}
+	}
+	tmp := newBitsetInt(n)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if i == f.Entry {
+				continue
+			}
+			tmp.fill()
+			for _, p := range preds[i] {
+				tmp.intersectInto(d.dom[p])
+			}
+			tmp.set(i)
+			if d.dom[i].intersectInto(tmp) {
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Dominates reports whether block a dominates block b.
+func (d *Dominators) Dominates(a, b int) bool { return d.dom[b].has(a) }
+
+// Loop is one natural loop.
+type Loop struct {
+	Header int
+	// Blocks contains every block in the loop, including the header.
+	Blocks map[int]bool
+	// EntryPreds are the header's predecessors outside the loop.
+	EntryPreds []int
+}
+
+// Contains reports whether block id belongs to the loop.
+func (l *Loop) Contains(id int) bool { return l.Blocks[id] }
+
+// FindLoops discovers the natural loops of the function: for every back
+// edge t→h (where h dominates t), the loop is h plus all blocks that reach
+// t without passing through h. Loops sharing a header are merged.
+func FindLoops(f *Func, d *Dominators) []*Loop {
+	preds := f.Preds()
+	retSites := f.returnSites()
+	byHeader := make(map[int]*Loop)
+	var order []int
+	for _, b := range f.Blocks {
+		for _, s := range f.cfgSuccs(b, retSites) {
+			if !d.Dominates(s, b.ID) {
+				continue
+			}
+			// Back edge b.ID -> s.
+			loop, ok := byHeader[s]
+			if !ok {
+				loop = &Loop{Header: s, Blocks: map[int]bool{s: true}}
+				byHeader[s] = loop
+				order = append(order, s)
+			}
+			// Walk backward from the tail collecting the body.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if loop.Blocks[x] {
+					continue
+				}
+				loop.Blocks[x] = true
+				stack = append(stack, preds[x]...)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, h := range order {
+		loop := byHeader[h]
+		for _, p := range preds[loop.Header] {
+			if !loop.Blocks[p] {
+				loop.EntryPreds = append(loop.EntryPreds, p)
+			}
+		}
+		loops = append(loops, loop)
+	}
+	return loops
+}
+
+// loopDepths returns, per block, the number of natural loops containing it
+// (0 = not in any loop).
+func loopDepths(f *Func) []int {
+	depth := make([]int, len(f.Blocks))
+	for _, l := range FindLoops(f, ComputeDominators(f)) {
+		for id := range l.Blocks {
+			depth[id]++
+		}
+	}
+	return depth
+}

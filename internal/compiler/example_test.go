@@ -1,0 +1,59 @@
+package compiler_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+)
+
+// Example builds a tiny IR function, compiles it, and shows that the
+// interpreter and the generated machine code agree.
+func Example() {
+	f := compiler.NewFunc("triple")
+	b := f.NewBlock()
+	x := f.NewVReg()
+	y := f.NewVReg()
+	b.Append(compiler.Instr{Kind: compiler.KConst, Dst: x, Imm: 14})
+	b.Append(compiler.Instr{Kind: compiler.KALUImm, Op: isa.SLLI, Dst: y, A: x, Imm: 1})
+	b.Append(compiler.Instr{Kind: compiler.KALU, Op: isa.ADD, Dst: y, A: y, B: x})
+	b.Append(compiler.Instr{Kind: compiler.KOut, A: y})
+
+	out, err := compiler.Interpret(f, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, passes, err := compiler.Compile(f, compiler.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interpreted output %v, compiled to %d instructions (%d hoisted)\n",
+		out, len(prog.Insts), passes.Hoisted)
+	// Output: interpreted output [42], compiled to 5 instructions (0 hoisted)
+}
+
+// ExampleHoist demonstrates the scheduler moving a then-side computation
+// above its branch — the transformation that creates partially dead
+// instructions.
+func ExampleHoist() {
+	f := compiler.NewFunc("diamond")
+	entry := f.NewBlock()
+	then := f.NewBlock()
+	join := f.NewBlock()
+	a := f.NewVReg()
+	t := f.NewVReg()
+	entry.Append(compiler.Instr{Kind: compiler.KConst, Dst: a, Imm: 5})
+	entry.Term = compiler.Terminator{
+		Kind: compiler.TBranch, Op: isa.BLT, A: a, B: a,
+		To: then.ID, Else: join.ID,
+	}
+	then.Append(compiler.Instr{Kind: compiler.KALUImm, Op: isa.SLLI, Dst: t, A: a, Imm: 2})
+	then.Append(compiler.Instr{Kind: compiler.KOut, A: t})
+	then.Term = compiler.Terminator{Kind: compiler.TJump, To: join.ID}
+
+	moved := compiler.Hoist(f, 2)
+	fmt.Printf("hoisted %d instruction(s); then-block now has %d\n",
+		moved, len(f.Blocks[then.ID].Instrs))
+	// Output: hoisted 1 instruction(s); then-block now has 1
+}

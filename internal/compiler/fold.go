@@ -1,0 +1,120 @@
+package compiler
+
+import "repro/internal/isa"
+
+// Fold performs block-local constant folding and copy propagation:
+//
+//   - a register known to hold a constant within a block substitutes into
+//     later instructions, folding ALU operations whose operands are all
+//     constant into KConst;
+//   - register-immediate forms with a constant source rewrite to KConst;
+//   - copies (ADDI dst, src, 0 and OR/ADD with the known-zero register)
+//     propagate their source forward.
+//
+// The analysis is deliberately block-local (knowledge resets at block
+// entry), so it needs no dataflow fixpoint and can never be invalidated by
+// unseen predecessors. Fold only rewrites instructions; pair it with DCE
+// to delete the definitions it made unused. It returns the number of
+// instructions rewritten or simplified.
+func Fold(f *Func) int {
+	changed := 0
+	nv := f.NumVRegs()
+	constVal := make([]int64, nv)
+	isConst := make([]bool, nv)
+	copyOf := make([]VReg, nv)
+
+	for _, b := range f.Blocks {
+		for i := range isConst {
+			isConst[i] = false
+			copyOf[i] = NoReg
+		}
+		resolve := func(v VReg) VReg {
+			// Follow at most one copy link; links always point at an
+			// earlier definition that is itself resolved.
+			if c := copyOf[v]; c != NoReg {
+				return c
+			}
+			return v
+		}
+		kill := func(v VReg) {
+			isConst[v] = false
+			copyOf[v] = NoReg
+			// Any copy pointing at v is now stale.
+			for r := range copyOf {
+				if copyOf[r] == v {
+					copyOf[r] = NoReg
+				}
+			}
+		}
+
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Propagate copies into sources.
+			switch in.Kind {
+			case KALU, KStore:
+				if na := resolve(in.A); na != in.A {
+					in.A = na
+					changed++
+				}
+				if nb := resolve(in.B); nb != in.B {
+					in.B = nb
+					changed++
+				}
+			case KALUImm, KLoad, KOut:
+				if in.Kind == KALUImm && in.Op == isa.LUI {
+					break
+				}
+				if na := resolve(in.A); na != in.A {
+					in.A = na
+					changed++
+				}
+			}
+
+			// Fold constant computations.
+			switch in.Kind {
+			case KALU:
+				if isConst[in.A] && isConst[in.B] {
+					v := aluEval(in.Op, uint64(constVal[in.A]), uint64(constVal[in.B]))
+					*in = Instr{Kind: KConst, Dst: in.Dst, Imm: int64(v)}
+					changed++
+				}
+			case KALUImm:
+				if in.Op == isa.LUI {
+					v := aluImmEval(in.Op, 0, in.Imm)
+					*in = Instr{Kind: KConst, Dst: in.Dst, Imm: int64(v)}
+					changed++
+				} else if isConst[in.A] {
+					v := aluImmEval(in.Op, uint64(constVal[in.A]), in.Imm)
+					*in = Instr{Kind: KConst, Dst: in.Dst, Imm: int64(v)}
+					changed++
+				}
+			}
+
+			// Update facts about the destination.
+			if !in.HasDst() {
+				continue
+			}
+			kill(in.Dst)
+			switch {
+			case in.Kind == KConst:
+				isConst[in.Dst] = true
+				constVal[in.Dst] = in.Imm
+			case in.Kind == KALUImm && in.Op == isa.ADDI && in.Imm == 0 && in.A != in.Dst:
+				copyOf[in.Dst] = resolve(in.A)
+			}
+		}
+
+		// Terminator sources see the same propagation.
+		if b.Term.Kind == TBranch {
+			if na := resolve(b.Term.A); na != b.Term.A {
+				b.Term.A = na
+				changed++
+			}
+			if nb := resolve(b.Term.B); nb != b.Term.B {
+				b.Term.B = nb
+				changed++
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,182 @@
+package compiler
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestFoldConstantChain(t *testing.T) {
+	f := NewFunc("fold")
+	b := f.NewBlock()
+	a := f.NewVReg()
+	c := f.NewVReg()
+	d := f.NewVReg()
+	b.Append(Instr{Kind: KConst, Dst: a, Imm: 6})
+	b.Append(Instr{Kind: KConst, Dst: c, Imm: 7})
+	b.Append(Instr{Kind: KALU, Op: isa.MUL, Dst: d, A: a, B: c})
+	b.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: d, A: d, Imm: 100})
+	b.Append(Instr{Kind: KOut, A: d})
+
+	if n := Fold(f); n == 0 {
+		t.Fatal("nothing folded")
+	}
+	if in := b.Instrs[2]; in.Kind != KConst || in.Imm != 42 {
+		t.Errorf("mul not folded: %v", in)
+	}
+	if in := b.Instrs[3]; in.Kind != KConst || in.Imm != 142 {
+		t.Errorf("addi not folded: %v", in)
+	}
+	out, err := Interpret(f, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 142 {
+		t.Errorf("output = %v", out)
+	}
+}
+
+func TestFoldCopyPropagation(t *testing.T) {
+	f := NewFunc("copy")
+	b := f.NewBlock()
+	src := f.NewVReg()
+	cp := f.NewVReg()
+	use := f.NewVReg()
+	b.Append(Instr{Kind: KLoad, Op: isa.LD, Dst: src, A: src}) // non-const source
+	b.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: cp, A: src, Imm: 0})
+	b.Append(Instr{Kind: KALU, Op: isa.XOR, Dst: use, A: cp, B: cp})
+	b.Append(Instr{Kind: KOut, A: use})
+	Fold(f)
+	if in := b.Instrs[2]; in.A != src || in.B != src {
+		t.Errorf("copy not propagated: %v", in)
+	}
+}
+
+func TestFoldCopyKilledByRedefinition(t *testing.T) {
+	// cp = src; src = src+1; use cp  -> cp must NOT resolve to the new src.
+	f := NewFunc("kill")
+	b := f.NewBlock()
+	src := f.NewVReg()
+	cp := f.NewVReg()
+	use := f.NewVReg()
+	b.Append(Instr{Kind: KLoad, Op: isa.LD, Dst: src, A: src})
+	b.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: cp, A: src, Imm: 0})
+	b.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: src, A: src, Imm: 1})
+	b.Append(Instr{Kind: KALU, Op: isa.ADD, Dst: use, A: cp, B: src})
+	b.Append(Instr{Kind: KOut, A: use})
+	ref := f.Clone()
+	Fold(f)
+	if in := f.Blocks[0].Instrs[3]; in.A != cp {
+		t.Errorf("stale copy propagated across redefinition: %v", in)
+	}
+	checkEquivRaw(t, ref, f)
+}
+
+func TestFoldIsBlockLocal(t *testing.T) {
+	// The constant fact must not survive into a block with another
+	// predecessor.
+	f := NewFunc("local")
+	entry := f.NewBlock()
+	loop := f.NewBlock()
+	exit := f.NewBlock()
+	x := f.NewVReg()
+	zero := f.NewVReg()
+	entry.Append(Instr{Kind: KConst, Dst: x, Imm: 3})
+	entry.Append(Instr{Kind: KConst, Dst: zero, Imm: 0})
+	entry.Term = Terminator{Kind: TJump, To: loop.ID}
+	loop.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: x, A: x, Imm: -1})
+	loop.Term = Terminator{Kind: TBranch, Op: isa.BNE, A: x, B: zero, To: loop.ID, Else: exit.ID}
+	exit.Append(Instr{Kind: KOut, A: x})
+
+	Fold(f)
+	if in := f.Blocks[loop.ID].Instrs[0]; in.Kind != KALUImm {
+		t.Errorf("loop-carried variable folded to constant: %v", in)
+	}
+	out, err := Interpret(f, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 {
+		t.Errorf("output = %v", out)
+	}
+}
+
+func TestFoldLUI(t *testing.T) {
+	f := NewFunc("lui")
+	b := f.NewBlock()
+	x := f.NewVReg()
+	b.Append(Instr{Kind: KALUImm, Op: isa.LUI, Dst: x, Imm: 3})
+	b.Append(Instr{Kind: KOut, A: x})
+	Fold(f)
+	if in := b.Instrs[0]; in.Kind != KConst || in.Imm != 3<<16 {
+		t.Errorf("lui not normalized: %v", in)
+	}
+}
+
+func TestFoldDivideByZeroSemantics(t *testing.T) {
+	f := NewFunc("div0")
+	b := f.NewBlock()
+	a := f.NewVReg()
+	z := f.NewVReg()
+	d := f.NewVReg()
+	b.Append(Instr{Kind: KConst, Dst: a, Imm: 9})
+	b.Append(Instr{Kind: KConst, Dst: z, Imm: 0})
+	b.Append(Instr{Kind: KALU, Op: isa.DIVU, Dst: d, A: a, B: z})
+	b.Append(Instr{Kind: KOut, A: d})
+	ref := f.Clone()
+	Fold(f)
+	checkEquivRaw(t, ref, f)
+}
+
+func TestFuzzFoldPreservesSemantics(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(5000 + seed)))
+		f := RandomFunc(rng, 2+rng.Intn(10))
+		want, err := Interpret(f, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := f.Clone()
+		Fold(g)
+		DCE(g)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := Interpret(g, 1_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: outputs differ\n got %v\nwant %v", seed, got, want)
+		}
+	}
+}
+
+func TestCompileWithFold(t *testing.T) {
+	f := NewFunc("cf")
+	b := f.NewBlock()
+	a := f.NewVReg()
+	c := f.NewVReg()
+	d := f.NewVReg()
+	b.Append(Instr{Kind: KConst, Dst: a, Imm: 20})
+	b.Append(Instr{Kind: KConst, Dst: c, Imm: 22})
+	b.Append(Instr{Kind: KALU, Op: isa.ADD, Dst: d, A: a, B: c})
+	b.Append(Instr{Kind: KOut, A: d})
+	p, st, err := Compile(f, Options{Fold: true, DCE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Folded == 0 || st.DCERemoved != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	// After folding + DCE: one constant, out, halt.
+	if len(p.Insts) != 3 {
+		t.Errorf("compiled to %d instructions, want 3", len(p.Insts))
+	}
+}

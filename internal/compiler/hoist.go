@@ -1,0 +1,110 @@
+package compiler
+
+import "repro/internal/program"
+
+// Hoist is the speculative instruction scheduler: it moves side-effect-free
+// instructions from a conditional branch's successors up into the branch's
+// block, so they issue earlier regardless of the branch direction. This is
+// the compile-time code motion the paper identifies as a major creator of
+// partially dead instructions — on the path that does not use the hoisted
+// result, the instance is dynamically dead.
+//
+// An instruction I at the head region of successor S (whose only
+// predecessor is B) may be hoisted when:
+//
+//   - I is side-effect-free (ALU or constant);
+//   - none of I's sources is defined by an instruction kept in S before I;
+//   - I's destination is not read by an instruction kept in S before I
+//     (which would have observed the pre-branch value);
+//   - I's destination is not an operand of B's branch;
+//   - I's destination is not live into the other successor (writing it
+//     early must not clobber a value the other path needs).
+//
+// maxPerBranch bounds how many instructions move above one branch. The
+// pass returns the number of instructions hoisted.
+func Hoist(f *Func, maxPerBranch int) int {
+	if maxPerBranch <= 0 {
+		return 0
+	}
+	preds := f.Preds()
+	live := ComputeLiveness(f)
+	depth := loopDepths(f)
+	moved := 0
+	for _, b := range f.Blocks {
+		if b.Term.Kind != TBranch || b.Term.To == b.Term.Else {
+			continue
+		}
+		for _, pair := range [2][2]int{{b.Term.To, b.Term.Else}, {b.Term.Else, b.Term.To}} {
+			s, other := pair[0], pair[1]
+			if len(preds[s]) != 1 {
+				continue
+			}
+			// Never move code to a more deeply nested position: hoisting
+			// loop-exit code above a latch branch would execute it on
+			// every iteration. Real schedulers only speculate sideways or
+			// upward in the loop nest.
+			if depth[b.ID] > depth[s] {
+				continue
+			}
+			n := hoistFrom(f, live, b, f.Blocks[s], other, maxPerBranch)
+			if n > 0 {
+				// Hoisting moves defs out of s, which can make their
+				// registers live into s; recompute before the next
+				// successor (or block) consults the sets.
+				live = ComputeLiveness(f)
+				moved += n
+			}
+		}
+	}
+	return moved
+}
+
+func hoistFrom(f *Func, live *Liveness, b, s *Block, other, limit int) int {
+	branchUses := newBitset(f.NumVRegs())
+	for _, u := range b.Term.Uses(nil) {
+		branchUses.set(u)
+	}
+	keptDefs := newBitset(f.NumVRegs())
+	keptUses := newBitset(f.NumVRegs())
+
+	var keepInstrs []Instr
+	var keepProv []program.Provenance
+	var hoisted []Instr
+	var scratch []VReg
+	for i, in := range s.Instrs {
+		ok := len(hoisted) < limit && in.SideEffectFree() &&
+			!branchUses.has(in.Dst) &&
+			!live.LiveIn(other, in.Dst) &&
+			!keptUses.has(in.Dst)
+		if ok {
+			scratch = in.Uses(scratch[:0])
+			for _, u := range scratch {
+				if keptDefs.has(u) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			hoisted = append(hoisted, in)
+			continue
+		}
+		keepInstrs = append(keepInstrs, in)
+		keepProv = append(keepProv, s.Prov[i])
+		if in.HasDst() {
+			keptDefs.set(in.Dst)
+		}
+		for _, u := range in.Uses(scratch[:0]) {
+			keptUses.set(u)
+		}
+	}
+	if len(hoisted) == 0 {
+		return 0
+	}
+	for _, in := range hoisted {
+		b.AppendProv(in, program.ProvHoisted)
+	}
+	s.Instrs = keepInstrs
+	s.Prov = keepProv
+	return len(hoisted)
+}

@@ -1,0 +1,182 @@
+package compiler
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// ErrInterpBudget is returned when IR interpretation exceeds its step
+// budget.
+var ErrInterpBudget = errors.New("compiler: interpreter budget exhausted")
+
+// Interpret executes the IR function directly and returns its outputs.
+// It is the compiler's reference semantics: lowering is correct when the
+// compiled program, run on the emulator, produces the same outputs.
+func Interpret(f *Func, budget int) ([]uint64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	regs := make([]uint64, f.NumVRegs())
+	mem := make(map[uint64]byte, len(f.Data))
+	for i, b := range f.Data {
+		mem[program.DataBase+uint64(i)] = b
+	}
+	load := func(addr uint64, w int) uint64 {
+		var v uint64
+		for i := 0; i < w; i++ {
+			v |= uint64(mem[addr+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
+	store := func(addr uint64, w int, v uint64) {
+		for i := 0; i < w; i++ {
+			mem[addr+uint64(i)] = byte(v >> (8 * i))
+		}
+	}
+
+	var outputs []uint64
+	var callStack []int
+	steps := 0
+	cur := f.Entry
+	for {
+		b := f.Blocks[cur]
+		for _, in := range b.Instrs {
+			steps++
+			if steps > budget {
+				return outputs, ErrInterpBudget
+			}
+			switch in.Kind {
+			case KConst:
+				regs[in.Dst] = uint64(in.Imm)
+			case KALU:
+				regs[in.Dst] = aluEval(in.Op, regs[in.A], regs[in.B])
+			case KALUImm:
+				regs[in.Dst] = aluImmEval(in.Op, regs[in.A], in.Imm)
+			case KLoad:
+				regs[in.Dst] = load(regs[in.A]+uint64(in.Imm), in.Op.MemWidth())
+			case KStore:
+				store(regs[in.A]+uint64(in.Imm), in.Op.MemWidth(), regs[in.B])
+			case KOut:
+				outputs = append(outputs, regs[in.A])
+			default:
+				return nil, fmt.Errorf("compiler: interpret: bad kind %v", in.Kind)
+			}
+		}
+		steps++
+		if steps > budget {
+			return outputs, ErrInterpBudget
+		}
+		switch b.Term.Kind {
+		case THalt:
+			return outputs, nil
+		case TJump:
+			cur = b.Term.To
+		case TBranch:
+			if branchEval(b.Term.Op, regs[b.Term.A], regs[b.Term.B]) {
+				cur = b.Term.To
+			} else {
+				cur = b.Term.Else
+			}
+		case TCall:
+			callStack = append(callStack, b.Term.Else)
+			cur = b.Term.To
+		case TRet:
+			if len(callStack) == 0 {
+				return outputs, fmt.Errorf("compiler: interpret: return with empty call stack in block %d", cur)
+			}
+			cur = callStack[len(callStack)-1]
+			callStack = callStack[:len(callStack)-1]
+		}
+	}
+}
+
+// aluEval mirrors the emulator's register-register semantics.
+func aluEval(op isa.Op, a, b uint64) uint64 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.SLL:
+		return a << (b & 63)
+	case isa.SRL:
+		return a >> (b & 63)
+	case isa.SRA:
+		return uint64(int64(a) >> (b & 63))
+	case isa.SLT:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case isa.SLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.MUL:
+		return a * b
+	case isa.DIVU:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case isa.REMU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	}
+	panic(fmt.Sprintf("compiler: aluEval bad op %v", op))
+}
+
+// aluImmEval mirrors the emulator's register-immediate semantics.
+func aluImmEval(op isa.Op, a uint64, imm int64) uint64 {
+	ui := uint64(imm)
+	switch op {
+	case isa.ADDI:
+		return a + ui
+	case isa.ANDI:
+		return a & ui
+	case isa.ORI:
+		return a | ui
+	case isa.XORI:
+		return a ^ ui
+	case isa.SLTI:
+		if int64(a) < imm {
+			return 1
+		}
+		return 0
+	case isa.SLLI:
+		return a << (ui & 63)
+	case isa.SRLI:
+		return a >> (ui & 63)
+	case isa.SRAI:
+		return uint64(int64(a) >> (ui & 63))
+	case isa.LUI:
+		return uint64(imm) << 16
+	}
+	panic(fmt.Sprintf("compiler: aluImmEval bad op %v", op))
+}
+
+func branchEval(op isa.Op, a, b uint64) bool {
+	switch op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLT:
+		return int64(a) < int64(b)
+	case isa.BGE:
+		return int64(a) >= int64(b)
+	}
+	panic(fmt.Sprintf("compiler: branchEval bad op %v", op))
+}

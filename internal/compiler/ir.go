@@ -1,0 +1,367 @@
+// Package compiler implements a small optimizing compiler from a three-
+// address intermediate representation to r64 machine code. Its purpose in
+// this reproduction is twofold:
+//
+//  1. It is the code generator behind internal/workload's synthetic
+//     benchmark suite, producing realistic machine code (address
+//     arithmetic, spills, branch diamonds, loop nests).
+//  2. Its optimization passes — speculative hoisting above branches and
+//     loop-invariant code motion — are the *compiler scheduling* the paper
+//     identifies as a major creator of partially dead instructions, and
+//     the register allocator's spill code is another. Each emitted
+//     instruction carries a program.Provenance tag so the deadness oracle
+//     can attribute dead instances to their cause (experiment E3).
+//
+// The IR is unstructured three-address code over virtual registers: a
+// function is a list of basic blocks, each a sequence of Instr values
+// closed by a Terminator. Virtual registers may be redefined (no SSA).
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// VReg names a virtual register. NoReg marks an unused operand.
+type VReg int32
+
+// NoReg is the absent-operand sentinel.
+const NoReg VReg = -1
+
+func (v VReg) String() string {
+	if v == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("v%d", int32(v))
+}
+
+// Kind discriminates IR instruction forms.
+type Kind uint8
+
+const (
+	// KConst materializes Imm into Dst.
+	KConst Kind = iota
+	// KALU is Dst = Op(A, B) for a register-register isa opcode.
+	KALU
+	// KALUImm is Dst = Op(A, Imm) for an immediate isa opcode.
+	KALUImm
+	// KLoad is Dst = mem[A + Imm] with Op's width.
+	KLoad
+	// KStore is mem[A + Imm] = B with Op's width.
+	KStore
+	// KOut reports A as a program output.
+	KOut
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KConst:
+		return "const"
+	case KALU:
+		return "alu"
+	case KALUImm:
+		return "aluimm"
+	case KLoad:
+		return "load"
+	case KStore:
+		return "store"
+	case KOut:
+		return "out"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Kind Kind
+	// Op is the isa opcode for KALU/KALUImm/KLoad/KStore.
+	Op  isa.Op
+	Dst VReg
+	A   VReg
+	B   VReg
+	Imm int64
+}
+
+// HasDst reports whether the instruction defines Dst.
+func (in Instr) HasDst() bool {
+	switch in.Kind {
+	case KConst, KALU, KALUImm, KLoad:
+		return true
+	}
+	return false
+}
+
+// Uses appends the virtual registers the instruction reads to dst.
+func (in Instr) Uses(dst []VReg) []VReg {
+	switch in.Kind {
+	case KALU:
+		dst = append(dst, in.A, in.B)
+	case KALUImm, KLoad, KOut:
+		dst = append(dst, in.A)
+	case KStore:
+		dst = append(dst, in.A, in.B)
+	}
+	return dst
+}
+
+// SideEffectFree reports whether the instruction can be executed
+// speculatively: it writes only Dst and touches no memory or output.
+func (in Instr) SideEffectFree() bool {
+	switch in.Kind {
+	case KConst, KALU, KALUImm:
+		return true
+	}
+	return false
+}
+
+func (in Instr) String() string {
+	switch in.Kind {
+	case KConst:
+		return fmt.Sprintf("%v = const %d", in.Dst, in.Imm)
+	case KALU:
+		return fmt.Sprintf("%v = %v %v, %v", in.Dst, in.Op, in.A, in.B)
+	case KALUImm:
+		return fmt.Sprintf("%v = %v %v, %d", in.Dst, in.Op, in.A, in.Imm)
+	case KLoad:
+		return fmt.Sprintf("%v = %v [%v+%d]", in.Dst, in.Op, in.A, in.Imm)
+	case KStore:
+		return fmt.Sprintf("%v [%v+%d] = %v", in.Op, in.A, in.Imm, in.B)
+	case KOut:
+		return fmt.Sprintf("out %v", in.A)
+	}
+	return "?"
+}
+
+// TermKind discriminates block terminators.
+type TermKind uint8
+
+const (
+	// TJump transfers unconditionally to To.
+	TJump TermKind = iota
+	// TBranch transfers to To when Op(A,B) holds, else to Else.
+	TBranch
+	// TCall transfers to the subroutine entry To, arranging for a matching
+	// TRet to resume at Else. Subroutines share the caller's register
+	// space (they are labeled code regions, as in assembly) and must be
+	// leaves: a path from a subroutine entry to another TCall before its
+	// TRet would clobber the link register when lowered.
+	TCall
+	// TRet resumes after the most recent TCall.
+	TRet
+	// THalt ends the program.
+	THalt
+)
+
+// Terminator closes a basic block.
+type Terminator struct {
+	Kind TermKind
+	// Op is a conditional branch opcode (BEQ/BNE/BLT/BGE) for TBranch.
+	Op   isa.Op
+	A, B VReg
+	// To is the jump target (TJump), taken target (TBranch), or callee
+	// entry (TCall).
+	To int
+	// Else is the not-taken target (TBranch) or the block a matching TRet
+	// resumes at (TCall).
+	Else int
+}
+
+// Succs returns the statically known successor block IDs. A TCall lists
+// both the callee entry and the post-return continuation; a TRet has no
+// static successors (see Func.CFGSuccs for the conservative call-graph
+// closure used by the dataflow passes).
+func (t Terminator) Succs() []int {
+	switch t.Kind {
+	case TJump:
+		return []int{t.To}
+	case TBranch:
+		return []int{t.To, t.Else}
+	case TCall:
+		return []int{t.To, t.Else}
+	}
+	return nil
+}
+
+// Uses appends the virtual registers the terminator reads.
+func (t Terminator) Uses(dst []VReg) []VReg {
+	if t.Kind == TBranch {
+		dst = append(dst, t.A, t.B)
+	}
+	return dst
+}
+
+// Block is one IR basic block.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	Term   Terminator
+	// Prov tags each instruction's provenance (parallel to Instrs).
+	// Instructions added by the builder are ProvNormal; passes tag what
+	// they move or create.
+	Prov []program.Provenance
+}
+
+// Func is one IR function — the unit the compiler translates. Build with
+// NewFunc and the Block/instruction helpers.
+type Func struct {
+	Name   string
+	Blocks []*Block
+	Entry  int
+	// Data is the initialized data segment the generated code addresses
+	// (loaded at program.DataBase).
+	Data     []byte
+	nextVReg VReg
+}
+
+// NewFunc creates an empty function.
+func NewFunc(name string) *Func {
+	return &Func{Name: name}
+}
+
+// NewBlock appends a new empty block (terminator THalt until set) and
+// returns it.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: len(f.Blocks), Term: Terminator{Kind: THalt}}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewVReg allocates a fresh virtual register.
+func (f *Func) NewVReg() VReg {
+	v := f.nextVReg
+	f.nextVReg++
+	return v
+}
+
+// NumVRegs returns the number of allocated virtual registers.
+func (f *Func) NumVRegs() int { return int(f.nextVReg) }
+
+// Append adds an instruction to the block with ProvNormal provenance.
+func (b *Block) Append(in Instr) {
+	b.AppendProv(in, program.ProvNormal)
+}
+
+// AppendProv adds an instruction with an explicit provenance tag.
+func (b *Block) AppendProv(in Instr, prov program.Provenance) {
+	b.Instrs = append(b.Instrs, in)
+	b.Prov = append(b.Prov, prov)
+}
+
+// Validate checks structural sanity: operands allocated, targets in range,
+// opcode kinds consistent.
+func (f *Func) Validate() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("compiler: func %q has no blocks", f.Name)
+	}
+	if f.Entry < 0 || f.Entry >= len(f.Blocks) {
+		return fmt.Errorf("compiler: func %q entry %d out of range", f.Name, f.Entry)
+	}
+	checkReg := func(v VReg) error {
+		if v < 0 || int(v) >= f.NumVRegs() {
+			return fmt.Errorf("vreg %v out of range", v)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		if len(b.Prov) != len(b.Instrs) {
+			return fmt.Errorf("compiler: block %d provenance length mismatch", b.ID)
+		}
+		for i, in := range b.Instrs {
+			where := func(err error) error {
+				return fmt.Errorf("compiler: block %d instr %d (%v): %w", b.ID, i, in, err)
+			}
+			if in.HasDst() {
+				if err := checkReg(in.Dst); err != nil {
+					return where(err)
+				}
+			}
+			for _, u := range in.Uses(nil) {
+				if err := checkReg(u); err != nil {
+					return where(err)
+				}
+			}
+			switch in.Kind {
+			case KALU:
+				if !in.Op.IsALUReg() {
+					return where(fmt.Errorf("op %v is not reg-reg ALU", in.Op))
+				}
+			case KALUImm:
+				if !in.Op.IsALUImm() {
+					return where(fmt.Errorf("op %v is not imm ALU", in.Op))
+				}
+			case KLoad:
+				if !in.Op.IsLoad() {
+					return where(fmt.Errorf("op %v is not a load", in.Op))
+				}
+			case KStore:
+				if !in.Op.IsStore() {
+					return where(fmt.Errorf("op %v is not a store", in.Op))
+				}
+			}
+		}
+		switch b.Term.Kind {
+		case TCall:
+			if !f.validTarget(b.Term.To) || !f.validTarget(b.Term.Else) {
+				return fmt.Errorf("compiler: block %d call targets %d/%d out of range",
+					b.ID, b.Term.To, b.Term.Else)
+			}
+		case TBranch:
+			if !b.Term.Op.IsCondBranch() {
+				return fmt.Errorf("compiler: block %d branch op %v", b.ID, b.Term.Op)
+			}
+			for _, u := range b.Term.Uses(nil) {
+				if err := checkReg(u); err != nil {
+					return fmt.Errorf("compiler: block %d terminator: %w", b.ID, err)
+				}
+			}
+			if !f.validTarget(b.Term.To) || !f.validTarget(b.Term.Else) {
+				return fmt.Errorf("compiler: block %d branch targets %d/%d out of range",
+					b.ID, b.Term.To, b.Term.Else)
+			}
+		case TJump:
+			if !f.validTarget(b.Term.To) {
+				return fmt.Errorf("compiler: block %d jump target %d out of range", b.ID, b.Term.To)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Func) validTarget(id int) bool { return id >= 0 && id < len(f.Blocks) }
+
+// Preds computes the predecessor lists of every block over the
+// conservative CFG (including call and return edges).
+func (f *Func) Preds() [][]int {
+	preds := make([][]int, len(f.Blocks))
+	ret := f.returnSites()
+	for _, b := range f.Blocks {
+		for _, s := range f.cfgSuccs(b, ret) {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	return preds
+}
+
+// returnSites lists the continuation blocks of every TCall; a TRet may
+// dynamically resume at any of them, so the dataflow passes treat all of
+// them as TRet successors (a safe over-approximation).
+func (f *Func) returnSites() []int {
+	var sites []int
+	for _, b := range f.Blocks {
+		if b.Term.Kind == TCall {
+			sites = append(sites, b.Term.Else)
+		}
+	}
+	return sites
+}
+
+// cfgSuccs returns the conservative successor list of b: the static
+// successors, with every return site substituted for a TRet.
+func (f *Func) cfgSuccs(b *Block, retSites []int) []int {
+	if b.Term.Kind == TRet {
+		return retSites
+	}
+	return b.Term.Succs()
+}

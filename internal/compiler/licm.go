@@ -1,0 +1,121 @@
+package compiler
+
+import (
+	"sort"
+
+	"repro/internal/program"
+)
+
+// LICM performs loop-invariant code motion: side-effect-free instructions
+// whose operands are not defined anywhere in a loop move to the loop's
+// entry predecessor. Like hoisting, the motion is speculative with respect
+// to the loop's internal control flow — an invariant computed on entry is
+// dynamically dead in traversals that never reach its consumer.
+//
+// An instruction I in loop block X is moved when:
+//
+//   - I is side-effect-free;
+//   - no instruction in the loop defines I's sources;
+//   - I is the loop's only definition of its destination;
+//   - I's destination is not live into the loop header (so no path can
+//     observe the pre-loop value);
+//   - I's destination is not live on any loop exit edge (its value is
+//     consumed entirely inside the loop, so executing it early can only
+//     change dead values outside).
+//
+// The loop must have exactly one entry predecessor, which acts as the
+// preheader. maxPerLoop bounds the motion per loop. Returns the number of
+// instructions moved.
+func LICM(f *Func, maxPerLoop int) int {
+	if maxPerLoop <= 0 {
+		return 0
+	}
+	dom := ComputeDominators(f)
+	loops := FindLoops(f, dom)
+	moved := 0
+	for _, loop := range loops {
+		if len(loop.EntryPreds) != 1 {
+			continue
+		}
+		pre := f.Blocks[loop.EntryPreds[0]]
+		// The preheader must fall into the header unconditionally;
+		// otherwise code appended to it would speculate across a branch
+		// whose other path we have not analyzed.
+		if pre.Term.Kind != TJump || pre.Term.To != loop.Header {
+			continue
+		}
+		moved += licmLoop(f, loop, pre, maxPerLoop)
+	}
+	return moved
+}
+
+func licmLoop(f *Func, loop *Loop, pre *Block, limit int) int {
+	live := ComputeLiveness(f)
+	nv := f.NumVRegs()
+
+	// Deterministic block order (loop.Blocks is a set).
+	ids := make([]int, 0, len(loop.Blocks))
+	for id := range loop.Blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	// Count definitions inside the loop.
+	defCount := make([]int, nv)
+	for _, id := range ids {
+		for _, in := range f.Blocks[id].Instrs {
+			if in.HasDst() {
+				defCount[in.Dst]++
+			}
+		}
+	}
+	// Registers live on any exit edge.
+	retSites := f.returnSites()
+	exitLive := newBitset(nv)
+	for _, id := range ids {
+		for _, s := range f.cfgSuccs(f.Blocks[id], retSites) {
+			if !loop.Contains(s) {
+				exitLive.orInto(live.In[s])
+			}
+		}
+	}
+
+	moved := 0
+	var scratch []VReg
+	// Iterate to a fixpoint so chains of invariants move together.
+	for changed := true; changed && moved < limit; {
+		changed = false
+		for _, id := range ids {
+			blk := f.Blocks[id]
+			var keep []Instr
+			var keepProv []program.Provenance
+			for i, in := range blk.Instrs {
+				ok := moved < limit && in.SideEffectFree() &&
+					defCount[in.Dst] == 1 &&
+					!live.LiveIn(loop.Header, in.Dst) &&
+					!exitLive.has(in.Dst)
+				if ok {
+					scratch = in.Uses(scratch[:0])
+					for _, u := range scratch {
+						if defCount[u] > 0 {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok {
+					keep = append(keep, in)
+					keepProv = append(keepProv, blk.Prov[i])
+					continue
+				}
+				pre.AppendProv(in, program.ProvLICM)
+				defCount[in.Dst]--
+				moved++
+				changed = true
+			}
+			blk.Instrs = keep
+			blk.Prov = keepProv
+		}
+	}
+	return moved
+}

@@ -1,0 +1,130 @@
+package compiler
+
+// bitset is a fixed-capacity bit vector over virtual register numbers.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(v VReg)      { s[v/64] |= 1 << (uint(v) % 64) }
+func (s bitset) clear(v VReg)    { s[v/64] &^= 1 << (uint(v) % 64) }
+func (s bitset) has(v VReg) bool { return s[v/64]&(1<<(uint(v)%64)) != 0 }
+
+// orInto sets s |= o and reports whether s changed.
+func (s bitset) orInto(o bitset) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s bitset) copyFrom(o bitset) { copy(s, o) }
+
+// Liveness holds per-block live-in/live-out virtual register sets.
+type Liveness struct {
+	In  []bitset
+	Out []bitset
+}
+
+// LiveIn reports whether v is live at the entry of block id.
+func (l *Liveness) LiveIn(id int, v VReg) bool { return l.In[id].has(v) }
+
+// LiveOut reports whether v is live at the exit of block id.
+func (l *Liveness) LiveOut(id int, v VReg) bool { return l.Out[id].has(v) }
+
+// ComputeLiveness runs the standard backward iterative dataflow:
+//
+//	out[b] = union(in[s] for s in succs(b))
+//	in[b]  = use[b] | (out[b] &^ def[b])
+//
+// where use[b] are registers read before any write in b (including the
+// terminator) and def[b] are registers written in b.
+func ComputeLiveness(f *Func) *Liveness {
+	n := len(f.Blocks)
+	nv := f.NumVRegs()
+	use := make([]bitset, n)
+	def := make([]bitset, n)
+	for i, b := range f.Blocks {
+		u, d := newBitset(nv), newBitset(nv)
+		var scratch []VReg
+		for _, in := range b.Instrs {
+			scratch = in.Uses(scratch[:0])
+			for _, r := range scratch {
+				if !d.has(r) {
+					u.set(r)
+				}
+			}
+			if in.HasDst() {
+				d.set(in.Dst)
+			}
+		}
+		for _, r := range b.Term.Uses(nil) {
+			if !d.has(r) {
+				u.set(r)
+			}
+		}
+		use[i], def[i] = u, d
+	}
+
+	l := &Liveness{In: make([]bitset, n), Out: make([]bitset, n)}
+	for i := 0; i < n; i++ {
+		l.In[i] = newBitset(nv)
+		l.Out[i] = newBitset(nv)
+	}
+	retSites := f.returnSites()
+	tmp := newBitset(nv)
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			for _, s := range f.cfgSuccs(b, retSites) {
+				if l.Out[i].orInto(l.In[s]) {
+					changed = true
+				}
+			}
+			// in = use | (out &^ def)
+			tmp.copyFrom(l.Out[i])
+			for w := range tmp {
+				tmp[w] &^= def[i][w]
+				tmp[w] |= use[i][w]
+			}
+			if l.In[i].orInto(tmp) {
+				changed = true
+			}
+		}
+	}
+	return l
+}
+
+// liveAcross computes, for block id, the set of registers live immediately
+// before each instruction index (0..len(Instrs)); index len(Instrs) is the
+// point just before the terminator. Used by the register allocator's
+// interval construction and by the hoisting pass.
+func liveAcross(f *Func, l *Liveness, id int) []bitset {
+	b := f.Blocks[id]
+	n := len(b.Instrs)
+	points := make([]bitset, n+1)
+	cur := newBitset(f.NumVRegs())
+	cur.copyFrom(l.Out[id])
+	for _, r := range b.Term.Uses(nil) {
+		cur.set(r)
+	}
+	points[n] = cur
+	for i := n - 1; i >= 0; i-- {
+		next := newBitset(f.NumVRegs())
+		next.copyFrom(points[i+1])
+		in := b.Instrs[i]
+		if in.HasDst() {
+			next.clear(in.Dst)
+		}
+		for _, r := range in.Uses(nil) {
+			next.set(r)
+		}
+		points[i] = next
+	}
+	return points
+}

@@ -1,0 +1,195 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// lowerer emits machine code for one function under a register assignment.
+type lowerer struct {
+	f   *Func
+	asn *Assignment
+
+	insts []isa.Inst
+	prov  []program.Provenance
+
+	blockPC []int
+	fixups  []fixup
+}
+
+type fixup struct {
+	pc     int // instruction to patch
+	target int // block ID
+}
+
+// Lower translates an allocated function to an r64 program. Spilled
+// virtual registers live at StackBase + 8*slot, addressed off RSP; the
+// reserved temporaries RTmp0/RTmp1 stage reloads and spill stores.
+func Lower(f *Func, asn *Assignment) (*program.Program, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	lo := &lowerer{f: f, asn: asn, blockPC: make([]int, len(f.Blocks))}
+	if f.Entry != 0 {
+		return nil, fmt.Errorf("compiler: entry block must be block 0, got %d", f.Entry)
+	}
+	for _, b := range f.Blocks {
+		lo.blockPC[b.ID] = len(lo.insts)
+		if err := lo.block(b); err != nil {
+			return nil, fmt.Errorf("compiler: block %d: %w", b.ID, err)
+		}
+	}
+	for _, fx := range lo.fixups {
+		lo.insts[fx.pc].Imm = int32(lo.blockPC[fx.target] - (fx.pc + 1))
+	}
+	p := &program.Program{
+		Name:  f.Name,
+		Insts: lo.insts,
+		Prov:  lo.prov,
+		Data:  append([]byte(nil), f.Data...),
+		Entry: 0,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (lo *lowerer) emit(in isa.Inst, prov program.Provenance) {
+	lo.insts = append(lo.insts, in)
+	lo.prov = append(lo.prov, prov)
+}
+
+// src stages virtual register v into a readable machine register, emitting
+// a reload into tmp when v is spilled.
+func (lo *lowerer) src(v VReg, tmp isa.Reg) isa.Reg {
+	if !lo.asn.Spilled[v] {
+		return lo.asn.Phys[v]
+	}
+	lo.emit(isa.Inst{
+		Op: isa.LD, Rd: tmp, Rs1: isa.RSP, Imm: int32(8 * lo.asn.Slot[v]),
+	}, program.ProvReload)
+	return tmp
+}
+
+// dst returns the machine register an instruction should write, staging
+// through tmp for spilled destinations; the caller must then call
+// finishDst to store the staged value.
+func (lo *lowerer) dst(v VReg, tmp isa.Reg) isa.Reg {
+	if lo.asn.Spilled[v] {
+		return tmp
+	}
+	return lo.asn.Phys[v]
+}
+
+func (lo *lowerer) finishDst(v VReg, tmp isa.Reg) {
+	if lo.asn.Spilled[v] {
+		lo.emit(isa.Inst{
+			Op: isa.SD, Rs1: isa.RSP, Rs2: tmp, Imm: int32(8 * lo.asn.Slot[v]),
+		}, program.ProvSpill)
+	}
+}
+
+func fitsImm32(v int64) bool { return v >= -1<<31 && v < 1<<31 }
+
+// materialize emits the shortest constant-materialization sequence into
+// rd. The first instruction carries the IR instruction's provenance; any
+// additional instructions are glue.
+func (lo *lowerer) materialize(rd isa.Reg, v int64, prov program.Provenance) {
+	switch {
+	case fitsImm32(v):
+		lo.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: isa.RZero, Imm: int32(v)}, prov)
+	case v >= -1<<47 && v < 1<<47:
+		lo.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: int32(v >> 16)}, prov)
+		lo.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: int32(v & 0xffff)}, program.ProvGlue)
+	default:
+		lo.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: isa.RZero, Imm: int32(v >> 32)}, prov)
+		lo.emit(isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 16}, program.ProvGlue)
+		lo.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: int32((v >> 16) & 0xffff)}, program.ProvGlue)
+		lo.emit(isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 16}, program.ProvGlue)
+		lo.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: int32(v & 0xffff)}, program.ProvGlue)
+	}
+}
+
+func (lo *lowerer) block(b *Block) error {
+	for i, in := range b.Instrs {
+		prov := b.Prov[i]
+		switch in.Kind {
+		case KConst:
+			rd := lo.dst(in.Dst, isa.RTmp0)
+			lo.materialize(rd, in.Imm, prov)
+			lo.finishDst(in.Dst, isa.RTmp0)
+		case KALU:
+			ra := lo.src(in.A, isa.RTmp0)
+			rb := lo.src(in.B, isa.RTmp1)
+			rd := lo.dst(in.Dst, isa.RTmp0)
+			lo.emit(isa.Inst{Op: in.Op, Rd: rd, Rs1: ra, Rs2: rb}, prov)
+			lo.finishDst(in.Dst, isa.RTmp0)
+		case KALUImm:
+			if !fitsImm32(in.Imm) {
+				return fmt.Errorf("immediate %d of %v does not fit", in.Imm, in)
+			}
+			var ra isa.Reg
+			if in.Op != isa.LUI {
+				ra = lo.src(in.A, isa.RTmp0)
+			}
+			rd := lo.dst(in.Dst, isa.RTmp0)
+			lo.emit(isa.Inst{Op: in.Op, Rd: rd, Rs1: ra, Imm: int32(in.Imm)}, prov)
+			lo.finishDst(in.Dst, isa.RTmp0)
+		case KLoad:
+			if !fitsImm32(in.Imm) {
+				return fmt.Errorf("offset %d of %v does not fit", in.Imm, in)
+			}
+			ra := lo.src(in.A, isa.RTmp0)
+			rd := lo.dst(in.Dst, isa.RTmp0)
+			lo.emit(isa.Inst{Op: in.Op, Rd: rd, Rs1: ra, Imm: int32(in.Imm)}, prov)
+			lo.finishDst(in.Dst, isa.RTmp0)
+		case KStore:
+			if !fitsImm32(in.Imm) {
+				return fmt.Errorf("offset %d of %v does not fit", in.Imm, in)
+			}
+			ra := lo.src(in.A, isa.RTmp0)
+			rb := lo.src(in.B, isa.RTmp1)
+			lo.emit(isa.Inst{Op: in.Op, Rs1: ra, Rs2: rb, Imm: int32(in.Imm)}, prov)
+		case KOut:
+			ra := lo.src(in.A, isa.RTmp0)
+			lo.emit(isa.Inst{Op: isa.OUT, Rs1: ra}, prov)
+		default:
+			return fmt.Errorf("unhandled instruction kind %v", in.Kind)
+		}
+	}
+
+	next := b.ID + 1
+	switch b.Term.Kind {
+	case THalt:
+		lo.emit(isa.Inst{Op: isa.HALT}, program.ProvNormal)
+	case TJump:
+		if b.Term.To != next {
+			lo.fixups = append(lo.fixups, fixup{len(lo.insts), b.Term.To})
+			lo.emit(isa.Inst{Op: isa.JAL, Rd: isa.RZero}, program.ProvNormal)
+		}
+	case TBranch:
+		ra := lo.src(b.Term.A, isa.RTmp0)
+		rb := lo.src(b.Term.B, isa.RTmp1)
+		lo.fixups = append(lo.fixups, fixup{len(lo.insts), b.Term.To})
+		lo.emit(isa.Inst{Op: b.Term.Op, Rs1: ra, Rs2: rb}, program.ProvNormal)
+		if b.Term.Else != next {
+			lo.fixups = append(lo.fixups, fixup{len(lo.insts), b.Term.Else})
+			lo.emit(isa.Inst{Op: isa.JAL, Rd: isa.RZero}, program.ProvNormal)
+		}
+	case TCall:
+		// The return lands on the instruction after the JAL, which then
+		// proceeds to the continuation block.
+		lo.fixups = append(lo.fixups, fixup{len(lo.insts), b.Term.To})
+		lo.emit(isa.Inst{Op: isa.JAL, Rd: isa.RLink}, program.ProvNormal)
+		if b.Term.Else != next {
+			lo.fixups = append(lo.fixups, fixup{len(lo.insts), b.Term.Else})
+			lo.emit(isa.Inst{Op: isa.JAL, Rd: isa.RZero}, program.ProvNormal)
+		}
+	case TRet:
+		lo.emit(isa.Inst{Op: isa.JALR, Rd: isa.RZero, Rs1: isa.RLink}, program.ProvNormal)
+	}
+	return nil
+}

@@ -1,0 +1,376 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func TestLivenessStraightLine(t *testing.T) {
+	f := NewFunc("l")
+	b := f.NewBlock()
+	a := f.NewVReg()
+	c := f.NewVReg()
+	b.Append(Instr{Kind: KConst, Dst: a, Imm: 1})
+	b.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: c, A: a, Imm: 1})
+	b.Append(Instr{Kind: KOut, A: c})
+	l := ComputeLiveness(f)
+	if l.LiveIn(0, a) || l.LiveIn(0, c) {
+		t.Error("defined-before-use regs live-in")
+	}
+	if l.LiveOut(0, a) || l.LiveOut(0, c) {
+		t.Error("regs live-out of exit block")
+	}
+}
+
+func TestLivenessAcrossLoop(t *testing.T) {
+	f := sumFunc(10)
+	l := ComputeLiveness(f)
+	// In block 1 (the loop), i(0), acc(1), zero(2) are live-in: all are
+	// used in the block or its terminator and live around the back edge.
+	for v := VReg(0); v < 3; v++ {
+		if !l.LiveIn(1, v) {
+			t.Errorf("v%d not live into loop", v)
+		}
+	}
+	// acc is live out of the loop (used by exit's out).
+	if !l.LiveOut(1, 1) {
+		t.Error("acc not live out of loop")
+	}
+}
+
+func TestLiveAcrossPoints(t *testing.T) {
+	f := NewFunc("p")
+	b := f.NewBlock()
+	a := f.NewVReg()
+	c := f.NewVReg()
+	b.Append(Instr{Kind: KConst, Dst: a, Imm: 1})                      // point 0
+	b.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: c, A: a, Imm: 1}) // point 1
+	b.Append(Instr{Kind: KOut, A: c})                                  // point 2
+	l := ComputeLiveness(f)
+	pts := liveAcross(f, l, 0)
+	if pts[0].has(a) {
+		t.Error("a live before its def")
+	}
+	if !pts[1].has(a) {
+		t.Error("a dead before its use")
+	}
+	if pts[2].has(a) {
+		t.Error("a live after last use")
+	}
+	if !pts[2].has(c) {
+		t.Error("c dead before out")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := diamondFunc() // 0 -> 1,2 -> 3
+	d := ComputeDominators(f)
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{0, 0, true}, {0, 1, true}, {0, 2, true}, {0, 3, true},
+		{1, 3, false}, {2, 3, false}, {3, 3, true}, {1, 2, false},
+	}
+	for _, c := range cases {
+		if got := d.Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	f := sumFunc(10) // block 1 branches to itself
+	loops := FindLoops(f, ComputeDominators(f))
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 || !l.Contains(1) || l.Contains(0) || l.Contains(2) {
+		t.Errorf("loop = %+v", l)
+	}
+	if len(l.EntryPreds) != 1 || l.EntryPreds[0] != 0 {
+		t.Errorf("entry preds = %v", l.EntryPreds)
+	}
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	// 0 -> 1(outer hdr) -> 2(inner hdr, self-loop) -> 3(latch->1) -> 4
+	f := NewFunc("nest")
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	b4 := f.NewBlock()
+	v := f.NewVReg()
+	b0.Append(Instr{Kind: KConst, Dst: v, Imm: 2})
+	b0.Term = Terminator{Kind: TJump, To: b1.ID}
+	b1.Term = Terminator{Kind: TJump, To: b2.ID}
+	b2.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: v, A: v, Imm: -1})
+	b2.Term = Terminator{Kind: TBranch, Op: isa.BNE, A: v, B: v, To: b2.ID, Else: b3.ID}
+	b3.Term = Terminator{Kind: TBranch, Op: isa.BNE, A: v, B: v, To: b1.ID, Else: b4.ID}
+	b4.Term = Terminator{Kind: THalt}
+
+	loops := FindLoops(f, ComputeDominators(f))
+	if len(loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(loops))
+	}
+	var inner, outer *Loop
+	for _, l := range loops {
+		switch l.Header {
+		case 2:
+			inner = l
+		case 1:
+			outer = l
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatalf("headers wrong: %+v", loops)
+	}
+	if len(inner.Blocks) != 1 {
+		t.Errorf("inner loop blocks = %v", inner.Blocks)
+	}
+	if !outer.Contains(2) || !outer.Contains(3) || outer.Contains(0) || outer.Contains(4) {
+		t.Errorf("outer loop blocks = %v", outer.Blocks)
+	}
+}
+
+func TestHoistMovesThenSideComputation(t *testing.T) {
+	f := diamondFunc()
+	moved := Hoist(f, 3)
+	if moved == 0 {
+		t.Fatal("nothing hoisted")
+	}
+	// The slli (and possibly the add chain head) moved into block 0 with
+	// hoisted provenance.
+	entry := f.Blocks[0]
+	found := false
+	for i, in := range entry.Instrs {
+		if in.Kind == KALUImm && in.Op == isa.SLLI {
+			found = true
+			if entry.Prov[i] != program.ProvHoisted {
+				t.Errorf("hoisted instr provenance = %v", entry.Prov[i])
+			}
+		}
+	}
+	if !found {
+		t.Error("slli not hoisted into entry")
+	}
+	// Semantics preserved.
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkEquivRaw(t, diamondFunc(), f)
+}
+
+func TestHoistRespectsBranchOperands(t *testing.T) {
+	// then-block redefines a branch operand; it must not move above the
+	// branch that reads it.
+	f := NewFunc("h")
+	entry := f.NewBlock()
+	then := f.NewBlock()
+	join := f.NewBlock()
+	a := f.NewVReg()
+	entry.Append(Instr{Kind: KConst, Dst: a, Imm: 1})
+	entry.Term = Terminator{Kind: TBranch, Op: isa.BNE, A: a, B: a, To: then.ID, Else: join.ID}
+	then.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: a, A: a, Imm: 5})
+	then.Term = Terminator{Kind: TJump, To: join.ID}
+	join.Append(Instr{Kind: KOut, A: a})
+
+	if moved := Hoist(f, 3); moved != 0 {
+		t.Errorf("hoisted %d instrs that redefine branch operands", moved)
+	}
+}
+
+func TestHoistRespectsOtherPathLiveness(t *testing.T) {
+	// x is live into the else path (used by join via else's definition
+	// order): hoisting then's redefinition would clobber it.
+	f := NewFunc("h2")
+	entry := f.NewBlock()
+	then := f.NewBlock()
+	join := f.NewBlock()
+	a := f.NewVReg()
+	x := f.NewVReg()
+	entry.Append(Instr{Kind: KConst, Dst: a, Imm: 1})
+	entry.Append(Instr{Kind: KConst, Dst: x, Imm: 42})
+	entry.Term = Terminator{Kind: TBranch, Op: isa.BEQ, A: a, B: a, To: then.ID, Else: join.ID}
+	then.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: x, A: a, Imm: 7}) // redefines x
+	then.Term = Terminator{Kind: TJump, To: join.ID}
+	join.Append(Instr{Kind: KOut, A: x}) // x live into join (the "other" succ)
+
+	before, err := Interpret(f, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Hoist(f, 3)
+	after, err := Interpret(f, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) || before[0] != after[0] {
+		t.Fatalf("hoisting changed semantics: %v -> %v", before, after)
+	}
+}
+
+func TestHoistSkipsMemoryOps(t *testing.T) {
+	f := NewFunc("hm")
+	f.Data = make([]byte, 16)
+	entry := f.NewBlock()
+	then := f.NewBlock()
+	join := f.NewBlock()
+	a := f.NewVReg()
+	base := f.NewVReg()
+	entry.Append(Instr{Kind: KConst, Dst: a, Imm: 1})
+	entry.Append(Instr{Kind: KConst, Dst: base, Imm: int64(program.DataBase)})
+	entry.Term = Terminator{Kind: TBranch, Op: isa.BEQ, A: a, B: a, To: then.ID, Else: join.ID}
+	then.Append(Instr{Kind: KStore, Op: isa.SD, A: base, B: a})
+	then.Term = Terminator{Kind: TJump, To: join.ID}
+	join.Term = Terminator{Kind: THalt}
+
+	if moved := Hoist(f, 3); moved != 0 {
+		t.Errorf("hoisted %d memory operations", moved)
+	}
+}
+
+func TestLICMMovesInvariant(t *testing.T) {
+	// loop: t = a*b (invariant); acc += t; i--
+	f := NewFunc("licm")
+	entry := f.NewBlock()
+	loop := f.NewBlock()
+	exit := f.NewBlock()
+	a := f.NewVReg()
+	b := f.NewVReg()
+	i := f.NewVReg()
+	acc := f.NewVReg()
+	tv := f.NewVReg()
+	zero := f.NewVReg()
+	entry.Append(Instr{Kind: KConst, Dst: a, Imm: 6})
+	entry.Append(Instr{Kind: KConst, Dst: b, Imm: 7})
+	entry.Append(Instr{Kind: KConst, Dst: i, Imm: 10})
+	entry.Append(Instr{Kind: KConst, Dst: acc, Imm: 0})
+	entry.Append(Instr{Kind: KConst, Dst: zero, Imm: 0})
+	entry.Term = Terminator{Kind: TJump, To: loop.ID}
+	loop.Append(Instr{Kind: KALU, Op: isa.MUL, Dst: tv, A: a, B: b})
+	loop.Append(Instr{Kind: KALU, Op: isa.ADD, Dst: acc, A: acc, B: tv})
+	loop.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: i, A: i, Imm: -1})
+	loop.Term = Terminator{Kind: TBranch, Op: isa.BNE, A: i, B: zero, To: loop.ID, Else: exit.ID}
+	exit.Append(Instr{Kind: KOut, A: acc})
+
+	ref := f.Clone()
+	moved := LICM(f, 8)
+	if moved != 1 {
+		t.Fatalf("moved = %d, want 1", moved)
+	}
+	// The mul now sits in the entry block with LICM provenance.
+	last := len(f.Blocks[0].Instrs) - 1
+	if in := f.Blocks[0].Instrs[last]; in.Op != isa.MUL {
+		t.Errorf("entry tail = %v, want mul", in)
+	}
+	if f.Blocks[0].Prov[last] != program.ProvLICM {
+		t.Errorf("prov = %v, want licm", f.Blocks[0].Prov[last])
+	}
+	checkEquivRaw(t, ref, f)
+}
+
+func TestLICMKeepsVariant(t *testing.T) {
+	f := sumFunc(10) // acc += i is not invariant (i changes)
+	if moved := LICM(f, 8); moved != 0 {
+		t.Errorf("moved %d variant instructions", moved)
+	}
+}
+
+func TestAllocateWithoutPressure(t *testing.T) {
+	f := sumFunc(10)
+	asn, err := Allocate(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asn.NumSpilled != 0 {
+		t.Errorf("spilled %d with 26 regs for 3 vregs", asn.NumSpilled)
+	}
+	// Simultaneously-live vregs get distinct registers.
+	if asn.Phys[0] == asn.Phys[1] || asn.Phys[1] == asn.Phys[2] || asn.Phys[0] == asn.Phys[2] {
+		t.Errorf("overlapping intervals share a register: %v", asn.Phys[:3])
+	}
+}
+
+func TestAllocateSpillsUnderPressure(t *testing.T) {
+	f := sumFunc(10)
+	asn, err := Allocate(f, DefaultAllocatable()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asn.NumSpilled == 0 {
+		t.Error("no spills with 2 regs for 3 overlapping vregs")
+	}
+	if asn.NumSlots != asn.NumSpilled {
+		t.Errorf("slots = %d, spilled = %d", asn.NumSlots, asn.NumSpilled)
+	}
+}
+
+func TestAllocateRejectsTinyRegFile(t *testing.T) {
+	if _, err := Allocate(sumFunc(3), DefaultAllocatable()[:1]); err == nil {
+		t.Error("1-register allocation accepted")
+	}
+}
+
+func TestLowerRejectsHugeImmediates(t *testing.T) {
+	f := NewFunc("imm")
+	b := f.NewBlock()
+	v := f.NewVReg()
+	b.Append(Instr{Kind: KConst, Dst: v, Imm: 0})
+	b.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: v, A: v, Imm: 1 << 40})
+	asn, err := Allocate(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(f, asn); err == nil {
+		t.Error("huge ALU immediate accepted")
+	}
+}
+
+func TestSpillCodeProvenance(t *testing.T) {
+	f := sumFunc(50)
+	p, st, err := Compile(f, Options{NumRegs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spilled == 0 {
+		t.Fatal("expected spills")
+	}
+	var spills, reloads int
+	for pc := range p.Insts {
+		switch p.ProvenanceOf(pc) {
+		case program.ProvSpill:
+			spills++
+		case program.ProvReload:
+			reloads++
+		}
+	}
+	if spills == 0 || reloads == 0 {
+		t.Errorf("spill/reload provenance missing: %d/%d", spills, reloads)
+	}
+}
+
+// checkEquivRaw interprets two IR functions and compares outputs.
+func checkEquivRaw(t *testing.T, a, b *Func) {
+	t.Helper()
+	wa, err := Interpret(a, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := Interpret(b, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wa) != len(wb) {
+		t.Fatalf("output lengths differ: %v vs %v", wa, wb)
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("outputs differ at %d: %v vs %v", i, wa, wb)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package compiler
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// RandomFunc generates a structurally valid, always-terminating IR function
+// from a seeded source of randomness. It exists for differential testing:
+// the function's interpreted outputs must match its compiled outputs under
+// every optimization configuration (see the fuzz tests), and its traces
+// exercise the deadness oracle's invariants on shapes no hand-written
+// program covers.
+//
+// size controls how many constructs (straight-line bursts, diamonds,
+// bounded loops) are generated; every loop has a constant trip count, so
+// the function always halts.
+func RandomFunc(rng *rand.Rand, size int) *Func {
+	if size < 1 {
+		size = 1
+	}
+	g := &randGen{rng: rng, f: NewFunc("random")}
+	g.f.Data = make([]byte, 512)
+	rng.Read(g.f.Data)
+	g.cur = g.f.NewBlock()
+
+	// Seed pool with constants and a memory base register.
+	g.base = g.def(Instr{Kind: KConst, Imm: int64(program.DataBase)})
+	for i := 0; i < 4; i++ {
+		g.pool = append(g.pool, g.def(Instr{Kind: KConst, Imm: int64(rng.Int31()) - 1<<30}))
+	}
+
+	for i := 0; i < size; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			g.diamond()
+		case 1:
+			g.loop()
+		case 2:
+			g.memory()
+		case 3:
+			g.call()
+		default:
+			g.burst()
+		}
+	}
+
+	// Output everything still in the pool so results are observable.
+	for _, v := range g.pool {
+		g.cur.Append(Instr{Kind: KOut, A: v})
+	}
+	g.cur.Term = Terminator{Kind: THalt}
+	return g.f
+}
+
+type randGen struct {
+	rng     *rand.Rand
+	f       *Func
+	cur     *Block
+	pool    []VReg
+	base    VReg
+	callees []int // entry blocks of generated leaf subroutines
+}
+
+func (g *randGen) def(in Instr) VReg {
+	v := g.f.NewVReg()
+	in.Dst = v
+	g.cur.Append(in)
+	return v
+}
+
+func (g *randGen) pick() VReg { return g.pool[g.rng.Intn(len(g.pool))] }
+
+func (g *randGen) put(v VReg) {
+	if len(g.pool) < 12 {
+		g.pool = append(g.pool, v)
+		return
+	}
+	g.pool[g.rng.Intn(len(g.pool))] = v
+}
+
+var randALUOps = []isa.Op{
+	isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL, isa.SRA,
+	isa.SLT, isa.SLTU, isa.MUL, isa.DIVU, isa.REMU,
+}
+
+var randImmOps = []isa.Op{
+	isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI, isa.SLLI, isa.SRLI,
+	isa.SRAI, isa.LUI,
+}
+
+var randBranchOps = []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE}
+
+// randInstr emits one random computation into the current block.
+func (g *randGen) randInstr() VReg {
+	if g.rng.Intn(3) == 0 {
+		op := randImmOps[g.rng.Intn(len(randImmOps))]
+		imm := int64(g.rng.Intn(4096) - 2048)
+		if op == isa.SLLI || op == isa.SRLI || op == isa.SRAI {
+			imm = int64(g.rng.Intn(64))
+		}
+		return g.def(Instr{Kind: KALUImm, Op: op, A: g.pick(), Imm: imm})
+	}
+	op := randALUOps[g.rng.Intn(len(randALUOps))]
+	return g.def(Instr{Kind: KALU, Op: op, A: g.pick(), B: g.pick()})
+}
+
+// burst emits a short straight-line run.
+func (g *randGen) burst() {
+	n := 1 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		g.put(g.randInstr())
+	}
+}
+
+// memory emits a store/load pair through a masked in-bounds address.
+func (g *randGen) memory() {
+	// addr = base + ((v & 63) << 3): 8-byte aligned within the data page.
+	idx := g.def(Instr{Kind: KALUImm, Op: isa.ANDI, A: g.pick(), Imm: 63})
+	idx = g.def(Instr{Kind: KALUImm, Op: isa.SLLI, A: idx, Imm: 3})
+	addr := g.def(Instr{Kind: KALU, Op: isa.ADD, A: g.base, B: idx})
+	widths := []isa.Op{isa.SB, isa.SH, isa.SW, isa.SD}
+	w := g.rng.Intn(len(widths))
+	g.cur.Append(Instr{Kind: KStore, Op: widths[w], A: addr, B: g.pick(),
+		Imm: int64(g.rng.Intn(16))})
+	loads := []isa.Op{isa.LB, isa.LH, isa.LW, isa.LD}
+	v := g.def(Instr{Kind: KLoad, Op: loads[g.rng.Intn(len(loads))], A: addr,
+		Imm: int64(g.rng.Intn(16))})
+	g.put(v)
+}
+
+// diamond emits an if/else with random arms.
+func (g *randGen) diamond() {
+	then := g.f.NewBlock()
+	els := g.f.NewBlock()
+	join := g.f.NewBlock()
+	op := randBranchOps[g.rng.Intn(len(randBranchOps))]
+	g.cur.Term = Terminator{Kind: TBranch, Op: op, A: g.pick(), B: g.pick(),
+		To: then.ID, Else: els.ID}
+
+	// Arms may redefine pool values (defined before the branch, so the
+	// join sees a well-defined value either way) but may not grow the pool.
+	for _, arm := range []*Block{then, els} {
+		g.cur = arm
+		for i := 0; i < g.rng.Intn(3); i++ {
+			target := g.pick()
+			op := randALUOps[g.rng.Intn(len(randALUOps))]
+			g.cur.Append(Instr{Kind: KALU, Op: op, Dst: target, A: g.pick(), B: g.pick()})
+		}
+		g.cur.Term = Terminator{Kind: TJump, To: join.ID}
+	}
+	g.cur = join
+}
+
+// call invokes a leaf subroutine (sharing the register space), creating a
+// new one or reusing an earlier one — multiple call sites exercise the
+// conservative return edges in the dataflow passes and the return-address
+// stack in the pipeline.
+func (g *randGen) call() {
+	var entry int
+	if len(g.callees) > 0 && g.rng.Intn(2) == 0 {
+		entry = g.callees[g.rng.Intn(len(g.callees))]
+	} else {
+		caller := g.cur
+		callee := g.f.NewBlock()
+		g.cur = callee
+		// Leaf body: straight-line redefinitions of pre-existing values.
+		for k := 0; k < 1+g.rng.Intn(4); k++ {
+			target := g.pick()
+			op := randALUOps[g.rng.Intn(len(randALUOps))]
+			g.cur.Append(Instr{Kind: KALU, Op: op, Dst: target, A: g.pick(), B: g.pick()})
+		}
+		g.cur.Term = Terminator{Kind: TRet}
+		g.callees = append(g.callees, callee.ID)
+		g.cur = caller
+		entry = callee.ID
+	}
+	cont := g.f.NewBlock()
+	g.cur.Term = Terminator{Kind: TCall, To: entry, Else: cont.ID}
+	g.cur = cont
+}
+
+// loop emits a counted loop with a small constant trip count.
+func (g *randGen) loop() {
+	trips := 1 + g.rng.Intn(6)
+	i := g.def(Instr{Kind: KConst, Imm: int64(trips)})
+	zero := g.def(Instr{Kind: KConst, Imm: 0})
+
+	header := g.f.NewBlock()
+	exit := g.f.NewBlock()
+	g.cur.Term = Terminator{Kind: TJump, To: header.ID}
+	g.cur = header
+	for k := 0; k < 1+g.rng.Intn(3); k++ {
+		// Loop bodies may define new values, but only redefinitions of
+		// pre-loop values survive in the pool (they are defined on every
+		// path); fresh values stay local to the body.
+		target := g.pick()
+		op := randALUOps[g.rng.Intn(len(randALUOps))]
+		g.cur.Append(Instr{Kind: KALU, Op: op, Dst: target, A: g.pick(), B: g.pick()})
+	}
+	g.cur.Append(Instr{Kind: KALUImm, Op: isa.ADDI, Dst: i, A: i, Imm: -1})
+	g.cur.Term = Terminator{Kind: TBranch, Op: isa.BNE, A: i, B: zero,
+		To: header.ID, Else: exit.ID}
+	g.cur = exit
+}

@@ -1,0 +1,168 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// DefaultAllocatable returns the machine registers available to the
+// allocator: r1..r26. r27/r28 are reserved as spill temporaries, r29/r30
+// for the global and stack base pointers, r31 as the link register, and r0
+// is the zero register.
+func DefaultAllocatable() []isa.Reg {
+	regs := make([]isa.Reg, 0, 26)
+	for r := isa.Reg(1); r <= 26; r++ {
+		regs = append(regs, r)
+	}
+	return regs
+}
+
+// Assignment maps every virtual register either to a machine register or
+// to a spill slot (an 8-byte stack location).
+type Assignment struct {
+	// Phys[v] is the machine register of v, valid when !Spilled[v].
+	Phys []isa.Reg
+	// Spilled[v] reports v lives in memory; Slot[v] is its slot index.
+	Spilled []bool
+	Slot    []int
+	// NumSlots is the number of spill slots used.
+	NumSlots int
+	// NumSpilled counts spilled virtual registers (reported by the
+	// spill-pressure experiments).
+	NumSpilled int
+}
+
+type interval struct {
+	v          VReg
+	start, end int
+}
+
+// Allocate runs linear-scan register allocation over the function using
+// the given allocatable register set (DefaultAllocatable if nil).
+//
+// Intervals are per-vreg [first definition/live-in point, last use/live-out
+// point] over a linearization of the blocks in ID order; the allocator
+// spills the interval with the furthest end point when it runs out of
+// registers — the classic Poletto/Sarkar heuristic.
+func Allocate(f *Func, allocatable []isa.Reg) (*Assignment, error) {
+	if allocatable == nil {
+		allocatable = DefaultAllocatable()
+	}
+	if len(allocatable) < 2 {
+		return nil, fmt.Errorf("compiler: need at least 2 allocatable registers, have %d",
+			len(allocatable))
+	}
+	nv := f.NumVRegs()
+	live := ComputeLiveness(f)
+
+	const unset = -1
+	starts := make([]int, nv)
+	ends := make([]int, nv)
+	for v := 0; v < nv; v++ {
+		starts[v], ends[v] = unset, unset
+	}
+	touch := func(v VReg, pos int) {
+		if starts[v] == unset || pos < starts[v] {
+			starts[v] = pos
+		}
+		if pos > ends[v] {
+			ends[v] = pos
+		}
+	}
+
+	pos := 0
+	var scratch []VReg
+	for _, b := range f.Blocks {
+		blockStart := pos
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses(scratch[:0]) {
+				touch(u, pos)
+			}
+			if in.HasDst() {
+				touch(in.Dst, pos)
+			}
+			pos++
+		}
+		for _, u := range b.Term.Uses(scratch[:0]) {
+			touch(u, pos)
+		}
+		pos++ // terminator position
+		blockEnd := pos - 1
+		for v := VReg(0); int(v) < nv; v++ {
+			if live.LiveIn(b.ID, v) {
+				touch(v, blockStart)
+			}
+			if live.LiveOut(b.ID, v) {
+				touch(v, blockEnd)
+			}
+		}
+	}
+
+	var ivs []interval
+	for v := 0; v < nv; v++ {
+		if starts[v] != unset {
+			ivs = append(ivs, interval{VReg(v), starts[v], ends[v]})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].v < ivs[j].v
+	})
+
+	asn := &Assignment{
+		Phys:    make([]isa.Reg, nv),
+		Spilled: make([]bool, nv),
+		Slot:    make([]int, nv),
+	}
+	free := make([]isa.Reg, len(allocatable))
+	copy(free, allocatable)
+	var active []interval // sorted by end
+
+	expire := func(now int) {
+		i := 0
+		for ; i < len(active); i++ {
+			if active[i].end >= now {
+				break
+			}
+			free = append(free, asn.Phys[active[i].v])
+		}
+		active = active[i:]
+	}
+	insertActive := func(iv interval) {
+		at := sort.Search(len(active), func(i int) bool { return active[i].end > iv.end })
+		active = append(active, interval{})
+		copy(active[at+1:], active[at:])
+		active[at] = iv
+	}
+	spill := func(v VReg) {
+		asn.Spilled[v] = true
+		asn.Slot[v] = asn.NumSlots
+		asn.NumSlots++
+		asn.NumSpilled++
+	}
+
+	for _, iv := range ivs {
+		expire(iv.start)
+		if len(free) > 0 {
+			asn.Phys[iv.v] = free[len(free)-1]
+			free = free[:len(free)-1]
+			insertActive(iv)
+			continue
+		}
+		// Spill the interval that ends last.
+		victim := active[len(active)-1]
+		if victim.end > iv.end {
+			asn.Phys[iv.v] = asn.Phys[victim.v]
+			spill(victim.v)
+			active = active[:len(active)-1]
+			insertActive(iv)
+		} else {
+			spill(iv.v)
+		}
+	}
+	return asn, nil
+}

@@ -1,0 +1,80 @@
+// Package core is the facade tying the substrates together: it runs a
+// workload through the emulator, the deadness oracle, the dead-instruction
+// predictor, and the pipeline timing model, and exposes one driver per
+// experiment (E1-E18) of DESIGN.md's experiment index.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/deadness"
+	"repro/internal/dip"
+	"repro/internal/emu"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DefaultBudget is the per-benchmark dynamic instruction budget used by
+// the experiment drivers.
+const DefaultBudget = 1_000_000
+
+// ProfileResult bundles everything a trace-level analysis produces.
+type ProfileResult struct {
+	Bench     string
+	Prog      *program.Program
+	Trace     *trace.Trace
+	Analysis  *deadness.Analysis
+	Summary   deadness.Summary
+	Locality  deadness.Locality
+	PassStats compiler.PassStats
+}
+
+// Profile builds a benchmark (optionally overriding its compile options),
+// runs it for at most budget instructions, and runs the deadness oracle.
+func Profile(p workload.Profile, opts *compiler.Options, budget int) (*ProfileResult, error) {
+	prog, passStats, err := p.Compile(opts)
+	if err != nil {
+		return nil, err
+	}
+	return ProfileProgram(p.Name, prog, passStats, budget)
+}
+
+// ProfileProgram runs the oracle analysis over an already-compiled program.
+func ProfileProgram(name string, prog *program.Program, passStats compiler.PassStats, budget int) (*ProfileResult, error) {
+	tr, _, err := emu.Collect(prog, budget)
+	if err != nil {
+		return nil, fmt.Errorf("core: running %s: %w", name, err)
+	}
+	a, err := deadness.Analyze(tr)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyzing %s: %w", name, err)
+	}
+	res := &ProfileResult{
+		Bench:     name,
+		Prog:      prog,
+		Trace:     tr,
+		Analysis:  a,
+		Summary:   a.Summarize(tr, prog),
+		PassStats: passStats,
+	}
+	res.Locality = deadness.ComputeLocality(a.StaticProfile(tr), nil)
+	return res, nil
+}
+
+// EvalPredictor runs a dead-instruction predictor configuration over a
+// benchmark's trace.
+func EvalPredictor(p workload.Profile, cfg dip.Config, budget int, actualPath bool) (dip.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return dip.Result{}, err
+	}
+	prof, err := Profile(p, nil, budget)
+	if err != nil {
+		return dip.Result{}, err
+	}
+	return dip.Evaluate(prof.Trace, prof.Analysis, dip.Options{
+		Config:        cfg,
+		UseActualPath: actualPath,
+	}), nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Workspace caches per-benchmark traces and oracle analyses so the
+// experiment drivers can run many machine configurations over the same
+// inputs without re-emulating. It is safe for concurrent use; each
+// benchmark's profile is built exactly once.
+type Workspace struct {
+	Budget int
+
+	mu       sync.Mutex
+	profiles map[string]*profileEntry
+}
+
+type profileEntry struct {
+	once sync.Once
+	res  *ProfileResult
+	err  error
+}
+
+// NewWorkspace creates a workspace with the given per-benchmark dynamic
+// instruction budget (DefaultBudget if 0).
+func NewWorkspace(budget int) *Workspace {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Workspace{
+		Budget:   budget,
+		profiles: make(map[string]*profileEntry),
+	}
+}
+
+// ProfileOf returns the cached trace-level analysis of a suite benchmark,
+// building it on first use.
+func (w *Workspace) ProfileOf(name string) (*ProfileResult, error) {
+	w.mu.Lock()
+	e, ok := w.profiles[name]
+	if !ok {
+		e = &profileEntry{}
+		w.profiles[name] = e
+	}
+	w.mu.Unlock()
+
+	e.once.Do(func() {
+		p, err := workload.ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res, e.err = Profile(p, nil, w.Budget)
+	})
+	return e.res, e.err
+}
+
+// RunMachine simulates one benchmark on one machine configuration.
+func (w *Workspace) RunMachine(name string, cfg pipeline.Config) (pipeline.Stats, error) {
+	res, err := w.ProfileOf(name)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	st, err := pipeline.Run(res.Trace, res.Analysis, cfg)
+	if err != nil {
+		return pipeline.Stats{}, fmt.Errorf("core: simulating %s: %w", name, err)
+	}
+	return st, nil
+}
+
+// SuiteNames returns the benchmark names in suite order.
+func SuiteNames() []string {
+	profiles := workload.Suite()
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// overSuite runs fn for every suite benchmark concurrently and returns the
+// results in suite order (the concurrency is invisible in the output:
+// every per-benchmark computation is independent and deterministic).
+func overSuite[T any](w *Workspace, fn func(name string) (T, error)) ([]T, error) {
+	names := SuiteNames()
+	out := make([]T, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			out[i], errs[i] = fn(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,263 @@
+// Package deadness implements the oracle dead-instruction analysis at the
+// heart of the study: given a linked dynamic trace, it decides for every
+// result-producing dynamic instruction whether its result was ever useful.
+//
+// Definitions follow Butts & Sohi (ASPLOS 2002):
+//
+//   - A dynamic instruction instance is *dead* if the value it produces (a
+//     register write or the bytes of a store) is never used by any useful
+//     instruction.
+//   - *First-level dead*: the result is never read at all — the register is
+//     overwritten (or the trace ends) before any read; a store's bytes are
+//     overwritten or never loaded.
+//   - *Transitively dead*: the result is read, but only by instructions
+//     that are themselves dead.
+//
+// Usefulness roots are instructions with architectural side effects beyond
+// producing a value: control transfers (branches and jumps, which steer the
+// PC), OUT (program output), and HALT. Control instructions are never
+// classified dead, conservatively, even when a JAL link value goes unread.
+package deadness
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Kind classifies one dynamic instruction instance.
+type Kind uint8
+
+const (
+	// Live means the instruction's effect reached a usefulness root (or
+	// the instruction produces no predictable result, e.g. a branch).
+	Live Kind = iota
+	// FirstLevel means the result was never read before being overwritten
+	// or the trace ending.
+	FirstLevel
+	// Transitive means the result was read only by dead instructions.
+	Transitive
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Live:
+		return "live"
+	case FirstLevel:
+		return "first-level"
+	case Transitive:
+		return "transitive"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Dead reports whether the kind is one of the dead classes.
+func (k Kind) Dead() bool { return k != Live }
+
+// Analysis holds per-dynamic-instruction oracle results. Index every slice
+// by the dynamic sequence number.
+type Analysis struct {
+	// Kind classifies each record.
+	Kind []Kind
+	// Candidate marks records whose deadness is defined at all: register
+	// writers that are not control instructions, plus stores.
+	Candidate []bool
+	// EverRead marks records whose result was read by at least one later
+	// instruction (dead or alive).
+	EverRead []bool
+	// Resolve is the sequence number at which hardware could know the
+	// outcome: the overwriting write (dead) or the first read (read).
+	// Records resolved only by the end of the trace get the trace length.
+	Resolve []int32
+}
+
+// Candidates counts the records with defined deadness.
+func (a *Analysis) Candidates() int {
+	n := 0
+	for _, c := range a.Candidate {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// isRoot reports usefulness roots: instructions whose execution matters
+// regardless of any produced value.
+func isRoot(op isa.Op) bool {
+	return op.IsControl() || op == isa.OUT || op == isa.HALT
+}
+
+// Analyze runs the oracle over a linked trace.
+func Analyze(t *trace.Trace) (*Analysis, error) {
+	if !t.Linked {
+		if err := t.Link(); err != nil {
+			return nil, err
+		}
+	}
+	n := t.Len()
+	a := &Analysis{
+		Kind:      make([]Kind, n),
+		Candidate: make([]bool, n),
+		EverRead:  make([]bool, n),
+		Resolve:   make([]int32, n),
+	}
+	for i := range a.Resolve {
+		a.Resolve[i] = int32(n)
+	}
+
+	// Forward pass: candidates, everRead, and resolve points.
+	var lastRegWriter [isa.NumRegs]int32
+	for i := range lastRegWriter {
+		lastRegWriter[i] = trace.NoProducer
+	}
+	memWriter := trace.NewWriterMap()
+	markRead := func(producer, reader int32) {
+		if producer != trace.NoProducer {
+			a.EverRead[producer] = true
+			if a.Resolve[producer] == int32(n) {
+				a.Resolve[producer] = reader
+			}
+		}
+	}
+	for seq := range t.Recs {
+		r := &t.Recs[seq]
+		markRead(r.Src1, int32(seq))
+		markRead(r.Src2, int32(seq))
+		for _, s := range r.MemProducers() {
+			markRead(s, int32(seq))
+		}
+		if r.Op.IsStore() {
+			a.Candidate[seq] = true
+			for b := uint64(0); b < uint64(r.Width); b++ {
+				addr := r.Addr + b
+				if prev := memWriter.Get(addr); prev != trace.NoProducer && a.Resolve[prev] == int32(n) {
+					a.Resolve[prev] = int32(seq) // overwrite resolves the old store
+				}
+				memWriter.Set(addr, int32(seq))
+			}
+		}
+		if r.HasResult() {
+			if !r.Op.IsControl() {
+				a.Candidate[seq] = true
+			}
+			if prev := lastRegWriter[r.Rd]; prev != trace.NoProducer && a.Resolve[prev] == int32(n) {
+				a.Resolve[prev] = int32(seq) // overwrite resolves the old value
+			}
+			lastRegWriter[r.Rd] = int32(seq)
+		}
+	}
+
+	// Reverse pass: propagate usefulness from roots to producers. When the
+	// trace was truncated by an instruction budget rather than ending at
+	// HALT, a value that never resolved (neither read nor overwritten)
+	// might still be used beyond the horizon; hardware could never prove
+	// it dead, so the oracle conservatively treats unresolved candidates
+	// as useful roots.
+	truncated := n > 0 && t.Recs[n-1].Op != isa.HALT
+	useful := make([]bool, n)
+	mark := func(producer int32) {
+		if producer != trace.NoProducer {
+			useful[producer] = true
+		}
+	}
+	for seq := n - 1; seq >= 0; seq-- {
+		r := &t.Recs[seq]
+		unresolved := truncated && a.Candidate[seq] && a.Resolve[seq] == int32(n)
+		if !useful[seq] && !isRoot(r.Op) && !unresolved {
+			continue
+		}
+		useful[seq] = true
+		mark(r.Src1)
+		mark(r.Src2)
+		for _, s := range r.MemProducers() {
+			mark(s)
+		}
+	}
+
+	// Classification.
+	for seq := range t.Recs {
+		switch {
+		case !a.Candidate[seq], useful[seq]:
+			a.Kind[seq] = Live
+		case a.EverRead[seq]:
+			a.Kind[seq] = Transitive
+		default:
+			a.Kind[seq] = FirstLevel
+		}
+	}
+	return a, nil
+}
+
+// Summary aggregates an analysis over a whole trace.
+type Summary struct {
+	Total      int // dynamic instructions
+	Candidates int // result-producing instructions
+	Dead       int
+	FirstLevel int
+	Transitive int
+
+	DeadALU    int // dead register-writing ALU results
+	DeadLoads  int
+	DeadStores int
+
+	// ByProv attributes dynamic candidates and dead instances to the
+	// compiler transformation that emitted the static instruction.
+	ByProv [program.NumProvenances]ProvCount
+}
+
+// ProvCount is the per-provenance dynamic instance count.
+type ProvCount struct {
+	Dyn  int // candidate instances
+	Dead int
+}
+
+// DeadFraction is dead candidates over all dynamic instructions, the
+// paper's headline "3 to 16%" metric.
+func (s Summary) DeadFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Dead) / float64(s.Total)
+}
+
+// Summarize aggregates the analysis. prog supplies provenance; it may be
+// nil, in which case everything is attributed to ProvNormal.
+func (a *Analysis) Summarize(t *trace.Trace, prog *program.Program) Summary {
+	var s Summary
+	s.Total = t.Len()
+	for seq := range t.Recs {
+		if !a.Candidate[seq] {
+			continue
+		}
+		r := &t.Recs[seq]
+		s.Candidates++
+		prov := program.ProvNormal
+		if prog != nil {
+			prov = prog.ProvenanceOf(int(r.PC))
+		}
+		s.ByProv[prov].Dyn++
+		if !a.Kind[seq].Dead() {
+			continue
+		}
+		s.Dead++
+		s.ByProv[prov].Dead++
+		switch {
+		case a.Kind[seq] == FirstLevel:
+			s.FirstLevel++
+		default:
+			s.Transitive++
+		}
+		switch {
+		case r.Op.IsLoad():
+			s.DeadLoads++
+		case r.Op.IsStore():
+			s.DeadStores++
+		default:
+			s.DeadALU++
+		}
+	}
+	return s
+}

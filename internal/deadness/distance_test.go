@@ -1,0 +1,63 @@
+package deadness
+
+import "testing"
+
+func TestResolveDistances(t *testing.T) {
+	_, a, _ := analyzeSrc(t, `
+main:
+    addi r1, r0, 1    # 0: dead, resolved by overwrite at 2 (distance 2)
+    nop               # 1
+    addi r1, r0, 2    # 2: live, resolved by read at 3 (distance 1)
+    out  r1           # 3
+    addi r2, r0, 9    # 4: dead, unresolved (trace ends at halt)
+    halt              # 5
+`)
+	dead := a.ResolveDistances(true)
+	if dead.Count != 1 {
+		t.Fatalf("dead resolved = %d, want 1 (the overwritten addi)", dead.Count)
+	}
+	if dead.P50 != 2 || dead.Mean != 2 {
+		t.Errorf("distance = p50 %d mean %v, want 2", dead.P50, dead.Mean)
+	}
+	// Trace ends at HALT, so the final write is genuinely dead but its
+	// resolve point is the trace end: counted unresolved.
+	if dead.Unresolved != 1 {
+		t.Errorf("unresolved = %d, want 1", dead.Unresolved)
+	}
+	if dead.WithinROB != 1 {
+		t.Errorf("withinROB = %v, want 1", dead.WithinROB)
+	}
+
+	all := a.ResolveDistances(false)
+	if all.Count != 2 {
+		t.Errorf("all resolved = %d, want 2", all.Count)
+	}
+}
+
+func TestResolveDistancesEmpty(t *testing.T) {
+	_, a, _ := analyzeSrc(t, "main:\n halt\n")
+	st := a.ResolveDistances(true)
+	if st.Count != 0 || st.Mean != 0 {
+		t.Errorf("empty distances = %+v", st)
+	}
+}
+
+func TestResolveDistancesLoop(t *testing.T) {
+	_, a, _ := analyzeSrc(t, `
+main:
+    addi r1, r0, 100
+loop:
+    slli r3, r1, 2    # dead; overwritten next iteration (distance 3)
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    out  r1
+    halt
+`)
+	st := a.ResolveDistances(true)
+	if st.Count < 99 {
+		t.Fatalf("resolved dead = %d", st.Count)
+	}
+	if st.P50 != 3 {
+		t.Errorf("p50 = %d, want 3 (loop body length)", st.P50)
+	}
+}

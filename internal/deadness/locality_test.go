@@ -1,0 +1,82 @@
+package deadness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStaticProfile(t *testing.T) {
+	tr, a, _ := analyzeSrc(t, `
+main:
+    addi r1, r0, 4    # pc 0: loop counter, live
+loop:
+    slli r2, r1, 1    # pc 1: dead every iteration (r2 unread before redef)
+    addi r2, r0, 7    # pc 2: dead except last iteration (out below)
+    addi r1, r1, -1   # pc 3: live
+    bne  r1, r0, loop # pc 4
+    out  r2           # pc 5
+    halt
+`)
+	prof := a.StaticProfile(tr)
+	if len(prof) != 2 {
+		t.Fatalf("profile = %+v, want 2 static instructions", prof)
+	}
+	// pc 1 executes 4 times, dead 4 times; pc 2 executes 4, dead 3.
+	if prof[0].PC != 1 || prof[0].Dyn != 4 || prof[0].Dead != 4 {
+		t.Errorf("top static = %+v, want pc 1, 4/4 dead", prof[0])
+	}
+	if prof[1].PC != 2 || prof[1].Dyn != 4 || prof[1].Dead != 3 {
+		t.Errorf("second static = %+v, want pc 2, 3/4 dead", prof[1])
+	}
+	if r := prof[1].Ratio(); math.Abs(r-0.75) > 1e-9 {
+		t.Errorf("ratio = %v, want 0.75", r)
+	}
+}
+
+func TestComputeLocality(t *testing.T) {
+	profile := []StaticStat{
+		{PC: 10, Dyn: 100, Dead: 100}, // fully dead
+		{PC: 20, Dyn: 100, Dead: 60},  // partially, mostly dead
+		{PC: 30, Dyn: 100, Dead: 40},  // partially, not mostly
+	}
+	loc := ComputeLocality(profile, []int{1, 2, 3, 10})
+	if loc.DeadStatics != 3 || loc.TotalDead != 200 {
+		t.Fatalf("loc = %+v", loc)
+	}
+	wantCov := []float64{0.5, 0.8, 1.0, 1.0}
+	for i, w := range wantCov {
+		if math.Abs(loc.CoverageAt[i]-w) > 1e-9 {
+			t.Errorf("coverage[%d] = %v, want %v", i, loc.CoverageAt[i], w)
+		}
+	}
+	if loc.FullyDeadStatics != 1 || loc.PartiallyDeadStatics != 2 {
+		t.Errorf("fully=%d partially=%d", loc.FullyDeadStatics, loc.PartiallyDeadStatics)
+	}
+	if math.Abs(loc.DeadFromPartial-0.5) > 1e-9 {
+		t.Errorf("DeadFromPartial = %v, want 0.5", loc.DeadFromPartial)
+	}
+	// 100 (fully) + 60 (60%) of 200 are from mostly-dead statics.
+	if math.Abs(loc.MostlyDeadShare-0.8) > 1e-9 {
+		t.Errorf("MostlyDeadShare = %v, want 0.8", loc.MostlyDeadShare)
+	}
+}
+
+func TestComputeLocalityEmpty(t *testing.T) {
+	loc := ComputeLocality(nil, nil)
+	if loc.TotalDead != 0 || loc.DeadStatics != 0 {
+		t.Errorf("empty locality = %+v", loc)
+	}
+	if len(loc.CoverageAt) != len(DefaultCoveragePoints) {
+		t.Errorf("default points not applied")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Live.String() != "live" || FirstLevel.String() != "first-level" ||
+		Transitive.String() != "transitive" {
+		t.Error("kind names wrong")
+	}
+	if !FirstLevel.Dead() || !Transitive.Dead() || Live.Dead() {
+		t.Error("Dead() wrong")
+	}
+}

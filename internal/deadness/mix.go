@@ -1,0 +1,69 @@
+package deadness
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Mix is the dynamic instruction-class distribution of a trace — the
+// benchmark-characterization table architecture papers lead with. It both
+// documents the synthetic suite's realism and normalizes the resource
+// metrics of experiment E8 (e.g. dead loads against total loads).
+type Mix struct {
+	Total    int
+	ALU      int // register-register and register-immediate compute
+	MulDiv   int
+	Loads    int
+	Stores   int
+	Branches int // conditional
+	Jumps    int
+	Other    int // NOP, OUT, HALT
+
+	// TakenBranches counts taken conditional branches.
+	TakenBranches int
+}
+
+// Fraction returns part/Total.
+func (m Mix) Fraction(part int) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(part) / float64(m.Total)
+}
+
+// TakenRate is the fraction of conditional branches that were taken.
+func (m Mix) TakenRate() float64 {
+	if m.Branches == 0 {
+		return 0
+	}
+	return float64(m.TakenBranches) / float64(m.Branches)
+}
+
+// ComputeMix tallies the dynamic instruction classes of a trace.
+func ComputeMix(t *trace.Trace) Mix {
+	var m Mix
+	m.Total = t.Len()
+	for i := range t.Recs {
+		r := &t.Recs[i]
+		switch {
+		case r.Op == isa.MUL || r.Op == isa.DIVU || r.Op == isa.REMU:
+			m.MulDiv++
+		case r.Op.IsALUReg() || r.Op.IsALUImm():
+			m.ALU++
+		case r.Op.IsLoad():
+			m.Loads++
+		case r.Op.IsStore():
+			m.Stores++
+		case r.Op.IsCondBranch():
+			m.Branches++
+			if r.Taken {
+				m.TakenBranches++
+			}
+		case r.Op.IsJump():
+			m.Jumps++
+		default:
+			m.Other++
+		}
+	}
+	return m
+}

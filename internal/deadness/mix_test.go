@@ -1,0 +1,61 @@
+package deadness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeMix(t *testing.T) {
+	tr, _, _ := analyzeSrc(t, `
+.data
+buf: .space 16
+.text
+main:
+    addi r1, r0, 4     # alu
+    la   r2, buf       # alu (addi)
+loop:
+    sd   r1, 0(r2)     # store
+    ld   r3, 0(r2)     # load
+    mul  r4, r3, r1    # muldiv
+    addi r1, r1, -1    # alu
+    bne  r1, r0, loop  # branch (taken 3, not taken 1)
+    out  r4            # other
+    halt               # other
+`)
+	m := ComputeMix(tr)
+	if m.Total != tr.Len() {
+		t.Fatalf("total = %d, want %d", m.Total, tr.Len())
+	}
+	if m.Loads != 4 || m.Stores != 4 || m.MulDiv != 4 {
+		t.Errorf("mem/muldiv = %d/%d/%d, want 4/4/4", m.Loads, m.Stores, m.MulDiv)
+	}
+	if m.Branches != 4 || m.TakenBranches != 3 {
+		t.Errorf("branches = %d taken %d, want 4/3", m.Branches, m.TakenBranches)
+	}
+	if m.ALU != 2+4 { // two init + one addi per iteration
+		t.Errorf("alu = %d, want 6", m.ALU)
+	}
+	if m.Other != 2 {
+		t.Errorf("other = %d, want 2 (out, halt)", m.Other)
+	}
+	if m.Jumps != 0 {
+		t.Errorf("jumps = %d", m.Jumps)
+	}
+	sum := m.ALU + m.MulDiv + m.Loads + m.Stores + m.Branches + m.Jumps + m.Other
+	if sum != m.Total {
+		t.Errorf("classes sum to %d, total %d", sum, m.Total)
+	}
+	if math.Abs(m.TakenRate()-0.75) > 1e-9 {
+		t.Errorf("taken rate = %v, want 0.75", m.TakenRate())
+	}
+	if math.Abs(m.Fraction(m.Loads)-4.0/float64(m.Total)) > 1e-9 {
+		t.Errorf("fraction wrong")
+	}
+}
+
+func TestMixZeroValues(t *testing.T) {
+	var m Mix
+	if m.Fraction(1) != 0 || m.TakenRate() != 0 {
+		t.Error("zero-trace mix rates should be 0")
+	}
+}

@@ -1,0 +1,60 @@
+package dip
+
+import "testing"
+
+func TestSweepConfigsAllValid(t *testing.T) {
+	cfgs := SweepConfigs()
+	if len(cfgs) < 4 {
+		t.Fatalf("sweep has only %d points", len(cfgs))
+	}
+	prev := 0.0
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name(), err)
+		}
+		if cfg.StateKB() <= prev {
+			t.Errorf("sweep not monotone in state: %s at %.2f KB after %.2f",
+				cfg.Name(), cfg.StateKB(), prev)
+		}
+		prev = cfg.StateKB()
+	}
+}
+
+func TestStateBitsMonotoneInEveryKnob(t *testing.T) {
+	base := DefaultConfig()
+	grow := []func(*Config){
+		func(c *Config) { c.LogSets++ },
+		func(c *Config) { c.Ways *= 2 },
+		func(c *Config) { c.TagBits++ },
+		func(c *Config) { c.PathLen++ },
+		func(c *Config) { c.SigSlots++ },
+		func(c *Config) { c.CounterBits++ },
+	}
+	for i, g := range grow {
+		c := base
+		g(&c)
+		if c.StateBits() <= base.StateBits() {
+			t.Errorf("knob %d did not grow state: %d vs %d", i, c.StateBits(), base.StateBits())
+		}
+	}
+}
+
+func TestPredictorIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		p := New(DefaultConfig())
+		var out []bool
+		for i := 0; i < 5000; i++ {
+			pc := (i * 37) & 1023
+			sig := uint16(i & 3)
+			out = append(out, p.Predict(pc, sig))
+			p.Update(pc, sig, i%3 == 0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d differs between identical runs", i)
+		}
+	}
+}

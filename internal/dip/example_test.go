@@ -1,0 +1,33 @@
+package dip_test
+
+import (
+	"fmt"
+
+	"repro/internal/dip"
+)
+
+// ExamplePredictor shows the path-signature mechanism directly: the same
+// static instruction (one PC) is dead on one future path and useful on
+// another, and the predictor learns to separate the two.
+func ExamplePredictor() {
+	p := dip.New(dip.DefaultConfig())
+	const pc = 0x40
+	const deadPath, livePath = 0b01, 0b00 // next-branch taken vs not
+
+	// Train: instances on deadPath resolve dead, on livePath useful.
+	for i := 0; i < 3; i++ {
+		p.Update(pc, deadPath, true)
+		p.Update(pc, livePath, false)
+	}
+	fmt.Println("predict dead on dead path:", p.Predict(pc, deadPath))
+	fmt.Println("predict dead on live path:", p.Predict(pc, livePath))
+	// Output:
+	// predict dead on dead path: true
+	// predict dead on live path: false
+}
+
+func ExampleConfig_StateKB() {
+	cfg := dip.DefaultConfig()
+	fmt.Printf("%s uses %.2f KB\n", cfg.Name(), cfg.StateKB())
+	// Output: dip-cfi-512e-4w-p2-s4-t2 uses 1.94 KB
+}

@@ -1,0 +1,299 @@
+// Package emu is the architectural (functional) emulator for r64. It
+// executes a program.Program instruction by instruction, maintaining the
+// register file and a sparse paged memory, and can stream a dynamic trace
+// of committed instructions to a sink.
+//
+// The emulator is the reference semantics for the whole repository: the
+// compiler's correctness tests compare emulator outputs across optimization
+// levels, and the pipeline timing model consumes the emulator's trace.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// ErrBudget is returned by Run when the instruction budget is exhausted
+// before the program halts.
+var ErrBudget = errors.New("emu: instruction budget exhausted")
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+type page [pageSize]byte
+
+// Machine is one r64 hardware context. Create it with New.
+type Machine struct {
+	prog *program.Program
+
+	PC    int
+	Regs  [isa.NumRegs]uint64
+	mem   map[uint64]*page
+	Steps int
+	// Outputs accumulates the values reported by OUT, in order.
+	Outputs []uint64
+	Halted  bool
+}
+
+// New creates a machine with the program's data segment loaded at
+// program.DataBase, RGbl pointing at it, RSP at program.StackBase, and the
+// PC at the program entry.
+func New(p *program.Program) *Machine {
+	m := &Machine{
+		prog: p,
+		PC:   p.Entry,
+		mem:  make(map[uint64]*page),
+	}
+	for i, b := range p.Data {
+		m.StoreByte(program.DataBase+uint64(i), b)
+	}
+	m.Regs[isa.RGbl] = program.DataBase
+	m.Regs[isa.RSP] = program.StackBase
+	return m
+}
+
+// LoadByte reads one byte of memory (unmapped memory reads as zero).
+func (m *Machine) LoadByte(addr uint64) byte {
+	pg, ok := m.mem[addr>>pageBits]
+	if !ok {
+		return 0
+	}
+	return pg[addr&(pageSize-1)]
+}
+
+// StoreByte writes one byte of memory, allocating the page on demand.
+func (m *Machine) StoreByte(addr uint64, b byte) {
+	key := addr >> pageBits
+	pg, ok := m.mem[key]
+	if !ok {
+		pg = new(page)
+		m.mem[key] = pg
+	}
+	pg[addr&(pageSize-1)] = b
+}
+
+// Load reads width bytes little-endian, zero-extended to 64 bits.
+func (m *Machine) Load(addr uint64, width int) uint64 {
+	off := addr & (pageSize - 1)
+	if off+uint64(width) <= pageSize {
+		// Fast path: the access stays within one page.
+		pg, ok := m.mem[addr>>pageBits]
+		if !ok {
+			return 0
+		}
+		var v uint64
+		for i := 0; i < width; i++ {
+			v |= uint64(pg[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Store writes the low width bytes of v little-endian.
+func (m *Machine) Store(addr uint64, width int, v uint64) {
+	off := addr & (pageSize - 1)
+	if off+uint64(width) <= pageSize {
+		key := addr >> pageBits
+		pg, ok := m.mem[key]
+		if !ok {
+			pg = new(page)
+			m.mem[key] = pg
+		}
+		for i := 0; i < width; i++ {
+			pg[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := 0; i < width; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+func (m *Machine) reg(r isa.Reg) uint64 {
+	if r == isa.RZero {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+func (m *Machine) setReg(r isa.Reg, v uint64) {
+	if r != isa.RZero {
+		m.Regs[r] = v
+	}
+}
+
+// Step executes one instruction and returns its trace record. Stepping a
+// halted machine or running off the end of the text is an error.
+func (m *Machine) Step() (trace.Record, error) {
+	if m.Halted {
+		return trace.Record{}, fmt.Errorf("emu: step after halt at pc=%d", m.PC)
+	}
+	if m.PC < 0 || m.PC >= len(m.prog.Insts) {
+		return trace.Record{}, fmt.Errorf("emu: pc %d out of range [0,%d)", m.PC, len(m.prog.Insts))
+	}
+	in := m.prog.Insts[m.PC]
+	rec := trace.Record{
+		PC: int32(m.PC), Op: in.Op, Rd: in.Rd, Rs1: in.Rs1, Rs2: in.Rs2,
+	}
+	a, b := m.reg(in.Rs1), m.reg(in.Rs2)
+	imm := uint64(int64(in.Imm)) // sign-extended
+	next := m.PC + 1
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD:
+		m.setReg(in.Rd, a+b)
+	case isa.SUB:
+		m.setReg(in.Rd, a-b)
+	case isa.AND:
+		m.setReg(in.Rd, a&b)
+	case isa.OR:
+		m.setReg(in.Rd, a|b)
+	case isa.XOR:
+		m.setReg(in.Rd, a^b)
+	case isa.SLL:
+		m.setReg(in.Rd, a<<(b&63))
+	case isa.SRL:
+		m.setReg(in.Rd, a>>(b&63))
+	case isa.SRA:
+		m.setReg(in.Rd, uint64(int64(a)>>(b&63)))
+	case isa.SLT:
+		m.setReg(in.Rd, boolTo64(int64(a) < int64(b)))
+	case isa.SLTU:
+		m.setReg(in.Rd, boolTo64(a < b))
+	case isa.MUL:
+		m.setReg(in.Rd, a*b)
+	case isa.DIVU:
+		if b == 0 {
+			m.setReg(in.Rd, ^uint64(0))
+		} else {
+			m.setReg(in.Rd, a/b)
+		}
+	case isa.REMU:
+		if b == 0 {
+			m.setReg(in.Rd, a)
+		} else {
+			m.setReg(in.Rd, a%b)
+		}
+	case isa.ADDI:
+		m.setReg(in.Rd, a+imm)
+	case isa.ANDI:
+		m.setReg(in.Rd, a&imm)
+	case isa.ORI:
+		m.setReg(in.Rd, a|imm)
+	case isa.XORI:
+		m.setReg(in.Rd, a^imm)
+	case isa.SLTI:
+		m.setReg(in.Rd, boolTo64(int64(a) < int64(imm)))
+	case isa.SLLI:
+		m.setReg(in.Rd, a<<(imm&63))
+	case isa.SRLI:
+		m.setReg(in.Rd, a>>(imm&63))
+	case isa.SRAI:
+		m.setReg(in.Rd, uint64(int64(a)>>(imm&63)))
+	case isa.LUI:
+		m.setReg(in.Rd, uint64(int64(in.Imm))<<16)
+	case isa.LB, isa.LH, isa.LW, isa.LD:
+		w := in.Op.MemWidth()
+		addr := a + imm
+		m.setReg(in.Rd, m.Load(addr, w))
+		rec.Addr, rec.Width = addr, uint8(w)
+	case isa.SB, isa.SH, isa.SW, isa.SD:
+		w := in.Op.MemWidth()
+		addr := a + imm
+		m.Store(addr, w, b)
+		rec.Addr, rec.Width = addr, uint8(w)
+	case isa.BEQ:
+		if a == b {
+			next = m.PC + 1 + int(in.Imm)
+			rec.Taken = true
+		}
+	case isa.BNE:
+		if a != b {
+			next = m.PC + 1 + int(in.Imm)
+			rec.Taken = true
+		}
+	case isa.BLT:
+		if int64(a) < int64(b) {
+			next = m.PC + 1 + int(in.Imm)
+			rec.Taken = true
+		}
+	case isa.BGE:
+		if int64(a) >= int64(b) {
+			next = m.PC + 1 + int(in.Imm)
+			rec.Taken = true
+		}
+	case isa.JAL:
+		m.setReg(in.Rd, uint64(m.PC+1))
+		next = m.PC + 1 + int(in.Imm)
+	case isa.JALR:
+		t := a + imm
+		m.setReg(in.Rd, uint64(m.PC+1))
+		next = int(t)
+	case isa.OUT:
+		m.Outputs = append(m.Outputs, a)
+	case isa.HALT:
+		m.Halted = true
+		next = m.PC
+	default:
+		return trace.Record{}, fmt.Errorf("emu: pc=%d: unimplemented opcode %v", m.PC, in.Op)
+	}
+
+	rec.NextPC = int32(next)
+	m.PC = next
+	m.Steps++
+	return rec, nil
+}
+
+// Run executes until HALT or until budget instructions have committed,
+// passing each record to sink (which may be nil). It returns ErrBudget when
+// the budget expires first.
+func (m *Machine) Run(budget int, sink func(trace.Record)) error {
+	for !m.Halted {
+		if m.Steps >= budget {
+			return ErrBudget
+		}
+		rec, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if sink != nil {
+			sink(rec)
+		}
+	}
+	return nil
+}
+
+// Collect runs the program to completion (or budget) and returns the linked
+// trace. A budget overrun is not an error here: the partial trace is still
+// analyzable, mirroring how architecture studies simulate a fixed
+// instruction window of a longer-running benchmark. Hard execution faults
+// still return an error.
+func Collect(p *program.Program, budget int) (*trace.Trace, *Machine, error) {
+	m := New(p)
+	t := &trace.Trace{Recs: make([]trace.Record, 0, min(budget, 1<<20))}
+	err := m.Run(budget, t.Append)
+	if err != nil && !errors.Is(err, ErrBudget) {
+		return nil, nil, err
+	}
+	if err := t.Link(); err != nil {
+		return nil, nil, err
+	}
+	return t, m, nil
+}
+
+func boolTo64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestJALRComputedTarget(t *testing.T) {
+	// Jump through a register-computed table of instruction indexes.
+	m, _ := run(t, `
+main:
+    addi r1, r0, 5     # target pc of "five"
+    jalr r2, r1, 0     # jump to pc 5, link in r2
+dead:
+    halt               # skipped
+    nop
+    nop
+five:
+    out r2             # link = pc of "dead" (2)
+    halt
+`, 100)
+	if len(m.Outputs) != 1 || m.Outputs[0] != 2 {
+		t.Fatalf("link register = %v, want [2]", m.Outputs)
+	}
+}
+
+func TestJALZeroLinkDiscarded(t *testing.T) {
+	m, _ := run(t, `
+main:
+    j skip
+    nop
+skip:
+    out r0
+    halt
+`, 100)
+	if m.Outputs[0] != 0 {
+		t.Errorf("r0 after jal r0 = %d", m.Outputs[0])
+	}
+}
+
+func TestNestedCallDepth(t *testing.T) {
+	// Three-deep manual call nest with link-register spilling.
+	m, _ := run(t, `
+main:
+    addi r10, r0, 1
+    call a
+    out  r10
+    halt
+a:
+    mv   r20, ra
+    slli r10, r10, 1    # *2
+    call b
+    mv   ra, r20
+    ret
+b:
+    mv   r21, ra
+    slli r10, r10, 1    # *2
+    call c
+    mv   ra, r21
+    ret
+c:
+    addi r10, r10, 3    # +3
+    ret
+`, 1000)
+	if m.Outputs[0] != 7 { // ((1*2)*2)+3
+		t.Fatalf("nested calls = %d, want 7", m.Outputs[0])
+	}
+}
+
+func TestTraceRecordsJumps(t *testing.T) {
+	_, tr := run(t, `
+main:
+    call f
+    halt
+f:
+    ret
+`, 100)
+	if tr.Recs[0].Op != isa.JAL || int(tr.Recs[0].NextPC) != 2 {
+		t.Errorf("call record = %+v", tr.Recs[0])
+	}
+	if tr.Recs[1].Op != isa.JALR || int(tr.Recs[1].NextPC) != 1 {
+		t.Errorf("ret record = %+v", tr.Recs[1])
+	}
+}

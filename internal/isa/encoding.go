@@ -1,0 +1,96 @@
+package isa
+
+import "fmt"
+
+// Instruction word layout (64-bit words, little bit indexes first):
+//
+//	bits  0..7   opcode
+//	bits  8..12  rd
+//	bits 13..17  rs1
+//	bits 18..22  rs2
+//	bits 23..31  reserved, must be zero
+//	bits 32..63  imm (two's-complement 32-bit)
+//
+// A 64-bit word is deliberately generous — the point of the encoding in
+// this reproduction is a well-tested, lossless binary form for program
+// images, not code density.
+const (
+	opShift  = 0
+	rdShift  = 8
+	rs1Shift = 13
+	rs2Shift = 18
+	immShift = 32
+
+	regMask  = 0x1f
+	opMask   = 0xff
+	rsvdMask = uint64(0x1ff) << 23
+)
+
+// Encode packs the instruction into its 64-bit binary form. Encode of a
+// valid instruction always round-trips through Decode.
+func Encode(in Inst) (uint64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	w := uint64(in.Op)&opMask<<opShift |
+		uint64(in.Rd)&regMask<<rdShift |
+		uint64(in.Rs1)&regMask<<rs1Shift |
+		uint64(in.Rs2)&regMask<<rs2Shift |
+		uint64(uint32(in.Imm))<<immShift
+	return w, nil
+}
+
+// MustEncode is Encode for instructions known to be valid; it panics on a
+// malformed instruction and exists for tests and generators.
+func MustEncode(in Inst) uint64 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 64-bit instruction word. It rejects unknown opcodes and
+// nonzero reserved bits so corrupted images fail loudly.
+func Decode(w uint64) (Inst, error) {
+	if w&rsvdMask != 0 {
+		return Inst{}, fmt.Errorf("isa: reserved bits set in word %#016x", w)
+	}
+	in := Inst{
+		Op:  Op(w >> opShift & opMask),
+		Rd:  Reg(w >> rdShift & regMask),
+		Rs1: Reg(w >> rs1Shift & regMask),
+		Rs2: Reg(w >> rs2Shift & regMask),
+		Imm: int32(uint32(w >> immShift)),
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: unknown opcode %d in word %#016x", uint8(in.Op), w)
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a sequence of instructions into words.
+func EncodeProgram(insts []Inst) ([]uint64, error) {
+	words := make([]uint64, len(insts))
+	for i, in := range insts {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// DecodeProgram decodes a sequence of instruction words.
+func DecodeProgram(words []uint64) ([]Inst, error) {
+	insts := make([]Inst, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("word %d: %w", i, err)
+		}
+		insts[i] = in
+	}
+	return insts, nil
+}

@@ -1,0 +1,29 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+func ExampleEncode() {
+	in := isa.Inst{Op: isa.ADD, Rd: 3, Rs1: 1, Rs2: 2}
+	word, _ := isa.Encode(in)
+	back, _ := isa.Decode(word)
+	fmt.Printf("%#016x decodes to %v\n", word, back)
+	// Output: 0x0000000000082301 decodes to add r3, r1, r2
+}
+
+func ExampleInst_Sources() {
+	in := isa.Inst{Op: isa.SD, Rs1: 2, Rs2: 5, Imm: 8}
+	fmt.Println(in, "reads", in.Sources(nil))
+	// Output: sd r5, 8(r2) reads [r2 r5]
+}
+
+func ExampleOp_MemWidth() {
+	for _, op := range []isa.Op{isa.LB, isa.LH, isa.LW, isa.LD, isa.ADD} {
+		fmt.Printf("%v:%d ", op, op.MemWidth())
+	}
+	fmt.Println()
+	// Output: lb:1 lh:2 lw:4 ld:8 add:0
+}

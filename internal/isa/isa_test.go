@@ -1,0 +1,220 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	tests := []struct {
+		op                                              Op
+		aluReg, aluImm, load, store, condBr, jump, dest bool
+	}{
+		{NOP, false, false, false, false, false, false, false},
+		{ADD, true, false, false, false, false, false, true},
+		{REMU, true, false, false, false, false, false, true},
+		{ADDI, false, true, false, false, false, false, true},
+		{LUI, false, true, false, false, false, false, true},
+		{LB, false, false, true, false, false, false, true},
+		{LD, false, false, true, false, false, false, true},
+		{SB, false, false, false, true, false, false, false},
+		{SD, false, false, false, true, false, false, false},
+		{BEQ, false, false, false, false, true, false, false},
+		{BGE, false, false, false, false, true, false, false},
+		{JAL, false, false, false, false, false, true, true},
+		{JALR, false, false, false, false, false, true, true},
+		{OUT, false, false, false, false, false, false, false},
+		{HALT, false, false, false, false, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.IsALUReg(); got != tt.aluReg {
+			t.Errorf("%v.IsALUReg() = %v, want %v", tt.op, got, tt.aluReg)
+		}
+		if got := tt.op.IsALUImm(); got != tt.aluImm {
+			t.Errorf("%v.IsALUImm() = %v, want %v", tt.op, got, tt.aluImm)
+		}
+		if got := tt.op.IsLoad(); got != tt.load {
+			t.Errorf("%v.IsLoad() = %v, want %v", tt.op, got, tt.load)
+		}
+		if got := tt.op.IsStore(); got != tt.store {
+			t.Errorf("%v.IsStore() = %v, want %v", tt.op, got, tt.store)
+		}
+		if got := tt.op.IsCondBranch(); got != tt.condBr {
+			t.Errorf("%v.IsCondBranch() = %v, want %v", tt.op, got, tt.condBr)
+		}
+		if got := tt.op.IsJump(); got != tt.jump {
+			t.Errorf("%v.IsJump() = %v, want %v", tt.op, got, tt.jump)
+		}
+		if got := tt.op.HasDest(); got != tt.dest {
+			t.Errorf("%v.HasDest() = %v, want %v", tt.op, got, tt.dest)
+		}
+	}
+}
+
+func TestMemWidth(t *testing.T) {
+	widths := map[Op]int{
+		LB: 1, SB: 1, LH: 2, SH: 2, LW: 4, SW: 4, LD: 8, SD: 8,
+		ADD: 0, BEQ: 0, NOP: 0, HALT: 0,
+	}
+	for op, want := range widths {
+		if got := op.MemWidth(); got != want {
+			t.Errorf("%v.MemWidth() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestEveryOpHasAName(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		s := o.String()
+		if s == "" || s[0] == 'o' && len(s) > 2 && s[:3] == "op(" {
+			t.Errorf("opcode %d has no name", uint8(o))
+		}
+	}
+}
+
+func TestDest(t *testing.T) {
+	if _, ok := (Inst{Op: ADD, Rd: 3}).Dest(); !ok {
+		t.Error("add r3 should have a destination")
+	}
+	if _, ok := (Inst{Op: ADD, Rd: RZero}).Dest(); ok {
+		t.Error("add r0 should have no effective destination")
+	}
+	if _, ok := (Inst{Op: SD, Rd: 3}).Dest(); ok {
+		t.Error("store should have no destination")
+	}
+}
+
+func TestSources(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want []Reg
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, []Reg{2, 3}},
+		{Inst{Op: ADD, Rd: 1, Rs1: 0, Rs2: 3}, []Reg{3}},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 2}, []Reg{2}},
+		{Inst{Op: LUI, Rd: 1, Rs1: 9}, nil}, // LUI ignores rs1
+		{Inst{Op: LD, Rd: 1, Rs1: 2}, []Reg{2}},
+		{Inst{Op: SD, Rs1: 2, Rs2: 4}, []Reg{2, 4}},
+		{Inst{Op: BEQ, Rs1: 5, Rs2: 6}, []Reg{5, 6}},
+		{Inst{Op: JAL, Rd: 31}, nil},
+		{Inst{Op: JALR, Rd: 31, Rs1: 7}, []Reg{7}},
+		{Inst{Op: OUT, Rs1: 8}, []Reg{8}},
+		{Inst{Op: HALT}, nil},
+	}
+	for _, tt := range tests {
+		got := tt.in.Sources(nil)
+		if len(got) != len(tt.want) {
+			t.Errorf("%v.Sources() = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%v.Sources() = %v, want %v", tt.in, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}).Validate(); err != nil {
+		t.Errorf("valid instruction rejected: %v", err)
+	}
+	if err := (Inst{Op: numOps}).Validate(); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	if err := (Inst{Op: ADD, Rd: 32}).Validate(); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+}
+
+func randInst(r *rand.Rand) Inst {
+	return Inst{
+		Op:  Op(r.Intn(NumOps)),
+		Rd:  Reg(r.Intn(NumRegs)),
+		Rs1: Reg(r.Intn(NumRegs)),
+		Rs2: Reg(r.Intn(NumRegs)),
+		Imm: int32(r.Uint32()),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %#x: %v", w, err)
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(uint64(0xff)); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+	w := MustEncode(Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3})
+	if _, err := Decode(w | 1<<23); err == nil {
+		t.Error("reserved bits accepted")
+	}
+}
+
+func TestEncodeProgramRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	insts := make([]Inst, 100)
+	for i := range insts {
+		insts[i] = randInst(r)
+	}
+	words, err := EncodeProgram(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if back[i] != insts[i] {
+			t.Fatalf("instruction %d: got %v, want %v", i, back[i], insts[i])
+		}
+	}
+}
+
+func TestEncodeProgramReportsBadInstruction(t *testing.T) {
+	_, err := EncodeProgram([]Inst{{Op: ADD}, {Op: numOps}})
+	if err == nil {
+		t.Fatal("expected error for invalid instruction")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Inst{Op: LUI, Rd: 4, Imm: 16}, "lui r4, 16"},
+		{Inst{Op: LD, Rd: 1, Rs1: 2, Imm: 8}, "ld r1, 8(r2)"},
+		{Inst{Op: SW, Rs1: 2, Rs2: 5, Imm: -4}, "sw r5, -4(r2)"},
+		{Inst{Op: BNE, Rs1: 1, Rs2: 0, Imm: 12}, "bne r1, r0, 12"},
+		{Inst{Op: JAL, Rd: 31, Imm: -3}, "jal r31, -3"},
+		{Inst{Op: JALR, Rd: 0, Rs1: 31}, "jalr r0, r31, 0"},
+		{Inst{Op: OUT, Rs1: 9}, "out r9"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

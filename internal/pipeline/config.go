@@ -1,0 +1,188 @@
+// Package pipeline is the cycle-level out-of-order core model: fetch with
+// branch prediction, register renaming over a finite physical register
+// file, an issue queue with limited-width select, functional units, a
+// load/store queue with store-to-load forwarding, an L1 data cache, and
+// in-order commit from a reorder buffer.
+//
+// The model is trace-driven: it consumes the committed-path dynamic trace
+// the functional emulator produced, so values are always correct and
+// wrong-path instructions are not simulated; control mispredictions charge
+// their cost as a fetch redirect that lasts until the branch executes.
+// Every contended resource the paper's mechanism saves — physical
+// registers, register-file ports, issue slots, cache bandwidth — is
+// modelled explicitly, which is what lets dead-instruction elimination
+// translate into measurable utilization and IPC differences (experiments
+// E8-E10).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dip"
+)
+
+// Config describes one machine configuration.
+type Config struct {
+	// FetchWidth..CommitWidth are per-cycle stage bandwidths.
+	FetchWidth  int
+	RenameWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	// Window capacities.
+	ROBSize int
+	IQSize  int
+	LSQSize int
+	// PhysRegs is the physical register file size (must exceed the 32
+	// architectural registers).
+	PhysRegs int
+
+	// Functional units per cycle.
+	IntALUs  int
+	MulDivs  int
+	MemPorts int
+
+	// Register file ports per cycle; 0 means unlimited.
+	RFReadPorts  int
+	RFWritePorts int
+
+	// Latencies in cycles.
+	MulLatency    int
+	DivLatency    int
+	BTBMissBubble int
+	// DeadRecoveryPenalty is the rename stall charged when a consumer
+	// exposes a mispredicted-dead value.
+	DeadRecoveryPenalty int
+
+	// Branch predictor geometry (gshare), BTB, and return-address stack.
+	GshareLogEntries int
+	GshareHistBits   int
+	BTBLogEntries    int
+	RASDepth         int
+
+	// Cache is the L1D configuration.
+	Cache cache.Config
+	// L2, when non-nil, adds a second-level cache; MemLatency is then the
+	// flat main-memory penalty beyond the L2 (the L1's MissLatency field
+	// is ignored in that case).
+	L2         *cache.Config
+	MemLatency int
+
+	// Elim enables dead-instruction elimination with the given predictor.
+	Elim bool
+	DIP  dip.Config
+	// OracleElim replaces the predictor with the deadness oracle: every
+	// actually-dead candidate is eliminated and nothing else. This is the
+	// limit study of experiment E13 (no mispredictions, no recoveries).
+	OracleElim bool
+}
+
+// BaselineConfig is a generously provisioned 4-wide machine in the spirit
+// of the paper's baseline: resources are large enough that elimination
+// mostly saves utilization rather than time.
+func BaselineConfig() Config {
+	return Config{
+		FetchWidth:  4,
+		RenameWidth: 4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+
+		ROBSize:  128,
+		IQSize:   64,
+		LSQSize:  64,
+		PhysRegs: 128,
+
+		IntALUs:  4,
+		MulDivs:  2,
+		MemPorts: 2,
+
+		RFReadPorts:  0,
+		RFWritePorts: 0,
+
+		MulLatency:          3,
+		DivLatency:          12,
+		BTBMissBubble:       2,
+		DeadRecoveryPenalty: 8,
+
+		GshareLogEntries: 12,
+		GshareHistBits:   10,
+		BTBLogEntries:    9,
+		RASDepth:         16,
+
+		Cache: cache.DefaultConfig(),
+		DIP:   dip.DefaultConfig(),
+	}
+}
+
+// DeepMemoryConfig extends the contended machine with an L2 and a slower
+// main memory (experiment E15): misses get pricier, so eliminating dead
+// loads buys more.
+func DeepMemoryConfig() Config {
+	c := ContendedConfig()
+	l2 := cache.Config{
+		SizeBytes:   256 * 1024,
+		LineBytes:   64,
+		Ways:        8,
+		HitLatency:  10,
+		MissLatency: 90, // unused in a hierarchy; kept valid
+	}
+	c.L2 = &l2
+	c.MemLatency = 80
+	return c
+}
+
+// ContendedConfig is the resource-constrained machine of experiment E9:
+// the same width with a small physical register file, issue queue, and
+// memory/register-file bandwidth, so freeing resources earlier shows up as
+// performance.
+func ContendedConfig() Config {
+	c := BaselineConfig()
+	c.PhysRegs = 52
+	c.ROBSize = 96
+	c.IQSize = 20
+	c.LSQSize = 24
+	c.IntALUs = 3
+	c.MemPorts = 2
+	c.RFReadPorts = 4
+	c.RFWritePorts = 2
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth < 1 || c.RenameWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1:
+		return errors.New("pipeline: stage widths must be >= 1")
+	case c.ROBSize < 4:
+		return fmt.Errorf("pipeline: ROB size %d too small", c.ROBSize)
+	case c.IQSize < 1 || c.LSQSize < 1:
+		return errors.New("pipeline: IQ/LSQ must hold at least one entry")
+	case c.PhysRegs < 34:
+		return fmt.Errorf("pipeline: %d physical registers cannot back 32 architectural + rename",
+			c.PhysRegs)
+	case c.IntALUs < 1 || c.MulDivs < 1 || c.MemPorts < 1:
+		return errors.New("pipeline: need at least one of each functional unit")
+	case c.MulLatency < 1 || c.DivLatency < 1:
+		return errors.New("pipeline: latencies must be >= 1")
+	case c.DeadRecoveryPenalty < 1:
+		return errors.New("pipeline: DeadRecoveryPenalty must be >= 1")
+	case c.GshareLogEntries < 1 || c.BTBLogEntries < 1 || c.RASDepth < 1:
+		return errors.New("pipeline: predictor geometry must be positive")
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if c.L2 != nil {
+		if _, err := cache.NewHierarchy(c.Cache, *c.L2, c.MemLatency); err != nil {
+			return err
+		}
+	}
+	if c.Elim && !c.OracleElim {
+		if err := c.DIP.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

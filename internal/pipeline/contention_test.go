@@ -1,0 +1,166 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestRFReadPortContention(t *testing.T) {
+	tr, a := prep(t, loopSrc, 100000)
+	wide := BaselineConfig()
+	narrow := BaselineConfig()
+	narrow.RFReadPorts = 2
+	w, err := Run(tr, a, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Run(tr, a, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cycles <= w.Cycles {
+		t.Errorf("2 read ports not slower than unlimited: %d vs %d", n.Cycles, w.Cycles)
+	}
+	if n.RFReads != w.RFReads {
+		t.Errorf("total RF reads changed with ports: %d vs %d", n.RFReads, w.RFReads)
+	}
+}
+
+func TestRFWritePortContention(t *testing.T) {
+	tr, a := prep(t, loopSrc, 100000)
+	narrow := BaselineConfig()
+	narrow.RFWritePorts = 1
+	w, err := Run(tr, a, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Run(tr, a, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cycles <= w.Cycles {
+		t.Errorf("1 write port not slower: %d vs %d", n.Cycles, w.Cycles)
+	}
+	if n.RFWrites != w.RFWrites {
+		t.Errorf("total RF writes changed with ports: %d vs %d", n.RFWrites, w.RFWrites)
+	}
+}
+
+func TestLSQContention(t *testing.T) {
+	memSrc := `
+.data
+buf: .space 4096
+.text
+main:
+    la   r1, buf
+    addi r2, r0, 300
+loop:
+    sd   r2, 0(r1)
+    ld   r3, 0(r1)
+    sd   r3, 8(r1)
+    ld   r4, 8(r1)
+    out  r4
+    addi r2, r2, -1
+    bne  r2, r0, loop
+    halt
+`
+	tr, a := prep(t, memSrc, 100000)
+	tiny := BaselineConfig()
+	tiny.LSQSize = 2
+	st, err := Run(tr, a, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StallLSQ == 0 {
+		t.Error("no LSQ stalls with a 2-entry LSQ on a memory loop")
+	}
+	big, err := Run(tr, a, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles <= big.Cycles {
+		t.Errorf("tiny LSQ not slower: %d vs %d", st.Cycles, big.Cycles)
+	}
+}
+
+func TestIQContention(t *testing.T) {
+	tr, a := prep(t, loopSrc, 100000)
+	tiny := BaselineConfig()
+	tiny.IQSize = 2
+	st, err := Run(tr, a, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StallIQ == 0 {
+		t.Error("no IQ stalls with a 2-entry issue queue")
+	}
+}
+
+func TestL2HierarchyStats(t *testing.T) {
+	// Walk an array much larger than the L1 but within the L2.
+	bigSrc := `
+.data
+buf: .space 8
+.text
+main:
+    addi r1, r0, 0
+    li   r5, 0x200000     # 2 MB region, untouched memory reads as zero
+    addi r2, r0, 4000
+loop:
+    andi r3, r2, 2047
+    slli r3, r3, 5        # stride 32: one line per access, 64 KB footprint
+    add  r3, r5, r3
+    ld   r4, 0(r3)
+    add  r1, r1, r4
+    addi r2, r2, -1
+    bne  r2, r0, loop
+    out  r1
+    halt
+`
+	tr, a := prep(t, bigSrc, 200000)
+	flat, err := Run(tr, a, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.L2.Accesses != 0 {
+		t.Error("flat config populated L2 stats")
+	}
+
+	deep := BaselineConfig()
+	l2 := cache.Config{SizeBytes: 128 * 1024, LineBytes: 64, Ways: 8,
+		HitLatency: 10, MissLatency: 90}
+	deep.L2 = &l2
+	deep.MemLatency = 80
+	st, err := Run(tr, a, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L2.Accesses == 0 {
+		t.Fatal("L2 saw no accesses")
+	}
+	if st.L2.Accesses > st.Cache.Accesses {
+		t.Errorf("L2 accesses (%d) exceed L1 accesses (%d)", st.L2.Accesses, st.Cache.Accesses)
+	}
+	// The 64 KB footprint thrashes the 16 KB L1 but fits in the 128 KB L2:
+	// after warmup the L2 should hit far more often than the L1.
+	if st.L2.HitRate() < st.Cache.HitRate() {
+		t.Errorf("L2 hit rate %.2f below L1 %.2f on an L2-resident footprint",
+			st.L2.HitRate(), st.Cache.HitRate())
+	}
+}
+
+func TestDeepMemoryConfigValidates(t *testing.T) {
+	if err := DeepMemoryConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr, a := prep(t, loopSrc, 10000)
+	if _, err := Run(tr, a, DeepMemoryConfig()); err != nil {
+		t.Fatal(err)
+	}
+	bad := DeepMemoryConfig()
+	bad.MemLatency = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero memory latency accepted with L2")
+	}
+}

@@ -1,0 +1,600 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/deadness"
+	"repro/internal/dip"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// memSystem is the data-memory access path (a cache or hierarchy).
+type memSystem interface {
+	Access(addr uint64, width int, write bool) int
+}
+
+type uopState uint8
+
+const (
+	sWaiting uopState = iota
+	sIssued
+	sDone
+	sEliminated
+)
+
+type uop struct {
+	seq       int
+	state     uopState
+	doneCycle int64
+	allocated bool // holds a physical register, freed at commit
+	hasDest   bool
+	isLoad    bool
+	isStore   bool
+}
+
+// pendingUpd is a dead-predictor training event waiting for its resolution
+// instruction to commit.
+type pendingUpd struct {
+	pc   int32
+	sig  uint16
+	dead bool
+}
+
+// Machine is one pipeline simulation. Create with New, drive with Run.
+type Machine struct {
+	cfg  Config
+	recs []trace.Record
+	an   *deadness.Analysis
+
+	look *bpred.Lookahead
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+	dc   *cache.Cache // L1 (statistics source)
+	mem  memSystem    // access path: the L1 alone or an L1+L2 hierarchy
+	l2   *cache.Cache
+	pred *dip.Predictor
+
+	// Reorder buffer as a ring keyed by sequence number.
+	rob     []*uop
+	headSeq int // oldest in-flight sequence
+	tailSeq int // next sequence to rename
+	count   int
+
+	iq       []*uop
+	lsqCount int
+
+	freeRegs int
+	// Architectural rename state: poisoned marks registers whose current
+	// mapping belongs to an eliminated (not yet resurrected) producer.
+	poisoned [isa.NumRegs]bool
+	// elimStores holds eliminated stores whose bytes were never re-read.
+	elimStores map[int32]bool
+
+	fetchQ     []int // sequence numbers fetched, waiting for rename
+	fetchSeq   int   // next sequence to fetch
+	fetchStall int64 // bubble cycles remaining
+	redirect   int   // seq of unresolved mispredicted branch; -1 none
+
+	renameStallUntil int64
+
+	pending map[int32][]pendingUpd
+
+	now   int64
+	stats Stats
+}
+
+// New prepares a machine over a linked, analyzed trace.
+func New(t *trace.Trace, a *deadness.Analysis, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !t.Linked {
+		return nil, fmt.Errorf("pipeline: trace must be linked")
+	}
+	if len(a.Candidate) != t.Len() {
+		return nil, fmt.Errorf("pipeline: analysis covers %d records, trace has %d",
+			len(a.Candidate), t.Len())
+	}
+	dc, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	var mem memSystem = dc
+	var l2 *cache.Cache
+	if cfg.L2 != nil {
+		h, err := cache.NewHierarchy(cfg.Cache, *cfg.L2, cfg.MemLatency)
+		if err != nil {
+			return nil, err
+		}
+		dc, l2, mem = h.L1, h.L2, h
+	}
+	m := &Machine{
+		cfg:        cfg,
+		recs:       t.Recs,
+		an:         a,
+		btb:        bpred.NewBTB(cfg.BTBLogEntries, 12),
+		ras:        bpred.NewRAS(cfg.RASDepth),
+		dc:         dc,
+		mem:        mem,
+		l2:         l2,
+		rob:        make([]*uop, cfg.ROBSize),
+		freeRegs:   cfg.PhysRegs - isa.NumRegs,
+		elimStores: make(map[int32]bool),
+		redirect:   -1,
+		pending:    make(map[int32][]pendingUpd),
+	}
+	depth := 1
+	if cfg.Elim && cfg.DIP.PathLen > 0 {
+		depth = cfg.DIP.PathLen
+	}
+	m.look = bpred.NewLookahead(
+		bpred.NewGshare(cfg.GshareLogEntries, cfg.GshareHistBits), t, depth)
+	if cfg.Elim && !cfg.OracleElim {
+		m.pred = dip.New(cfg.DIP)
+	}
+	return m, nil
+}
+
+// Run simulates to completion and returns the statistics.
+func Run(t *trace.Trace, a *deadness.Analysis, cfg Config) (Stats, error) {
+	m, err := New(t, a, cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return m.Simulate()
+}
+
+// Simulate drives the machine until every trace record has committed.
+func (m *Machine) Simulate() (Stats, error) {
+	n := len(m.recs)
+	maxCycles := int64(200)*int64(n) + 10_000
+	for m.headSeq < n || m.count > 0 {
+		m.commit()
+		m.writeback()
+		m.issue()
+		m.rename()
+		m.fetch()
+		m.now++
+		if m.now > maxCycles {
+			return m.stats, fmt.Errorf("pipeline: no forward progress after %d cycles (head=%d)",
+				m.now, m.headSeq)
+		}
+	}
+	m.stats.Cycles = m.now
+	m.stats.Cache = m.dc.Stats
+	if m.l2 != nil {
+		m.stats.L2 = m.l2.Stats
+	}
+	m.stats.BranchMispredicts = int64(m.look.Mispredicts)
+	return m.stats, nil
+}
+
+func (m *Machine) at(seq int) *uop { return m.rob[seq%len(m.rob)] }
+
+// producerReady reports whether dynamic producer p no longer blocks a
+// consumer: committed, finished executing, or eliminated (an eliminated
+// producer is only ever "read" by consumers that are themselves eliminated
+// or that already paid a recovery).
+func (m *Machine) producerReady(p int32) bool {
+	if p == trace.NoProducer || int(p) < m.headSeq {
+		return true
+	}
+	u := m.at(int(p))
+	return u.state == sDone || u.state == sEliminated
+}
+
+// ---------------------------------------------------------------- commit
+
+func (m *Machine) commit() {
+	for k := 0; k < m.cfg.CommitWidth && m.count > 0; k++ {
+		u := m.at(m.headSeq)
+		if u.state != sDone && u.state != sEliminated {
+			return
+		}
+		r := &m.recs[u.seq]
+		if u.state == sEliminated {
+			m.stats.Eliminated++
+		} else {
+			if u.isStore {
+				m.mem.Access(r.Addr, int(r.Width), true)
+			}
+			if u.isLoad || u.isStore {
+				m.lsqCount--
+			}
+		}
+		if u.allocated {
+			// Committing a register writer retires the previous mapping
+			// of its architectural register to the free list.
+			m.freeRegs++
+			m.stats.PhysFrees++
+		}
+		// Dead-predictor training events resolved by this instruction.
+		if m.pred != nil {
+			for _, up := range m.pending[int32(u.seq)] {
+				m.pred.Update(int(up.pc), up.sig, up.dead)
+			}
+			delete(m.pending, int32(u.seq))
+		}
+		m.headSeq++
+		m.count--
+		m.stats.Committed++
+	}
+}
+
+// ------------------------------------------------------------- writeback
+
+func (m *Machine) writeback() {
+	ports := m.cfg.RFWritePorts
+	used := 0
+	for seq := m.headSeq; seq < m.tailSeq; seq++ {
+		u := m.at(seq)
+		if u.state != sIssued || u.doneCycle > m.now {
+			continue
+		}
+		if u.hasDest {
+			if ports > 0 && used >= ports {
+				u.doneCycle = m.now + 1 // retry next cycle
+				continue
+			}
+			used++
+			m.stats.RFWrites++
+		}
+		u.state = sDone
+	}
+}
+
+// ----------------------------------------------------------------- issue
+
+func latencyClass(op isa.Op) int {
+	switch {
+	case op == isa.MUL:
+		return 1
+	case op == isa.DIVU || op == isa.REMU:
+		return 2
+	case op.IsMem():
+		return 3
+	}
+	return 0
+}
+
+func (m *Machine) issue() {
+	alus := m.cfg.IntALUs
+	muldivs := m.cfg.MulDivs
+	memPorts := m.cfg.MemPorts
+	readPorts := m.cfg.RFReadPorts
+	readsUsed := 0
+	issued := 0
+
+	for i := 0; i < len(m.iq) && issued < m.cfg.IssueWidth; i++ {
+		u := m.iq[i]
+		if u == nil || u.state != sWaiting {
+			continue
+		}
+		r := &m.recs[u.seq]
+		// Functional unit availability.
+		var unit *int
+		switch latencyClass(r.Op) {
+		case 1, 2:
+			unit = &muldivs
+		case 3:
+			unit = &memPorts
+		default:
+			unit = &alus
+		}
+		if *unit == 0 {
+			continue
+		}
+		// Register-file read ports.
+		nsrc := 0
+		if r.Op.ReadsRs1() && r.Rs1 != isa.RZero {
+			nsrc++
+		}
+		if r.Op.ReadsRs2() && r.Rs2 != isa.RZero {
+			nsrc++
+		}
+		if readPorts > 0 && readsUsed+nsrc > readPorts {
+			continue
+		}
+		// Operand readiness.
+		if !m.producerReady(r.Src1) || !m.producerReady(r.Src2) {
+			continue
+		}
+		if u.isLoad && !m.memReady(r) {
+			continue
+		}
+
+		*unit--
+		readsUsed += nsrc
+		issued++
+		m.stats.RFReads += int64(nsrc)
+		u.state = sIssued
+		u.doneCycle = m.now + int64(m.execLatency(u, r))
+		m.iq[i] = nil
+	}
+	m.compactIQ()
+}
+
+// memReady reports whether every in-flight producer store of a load has
+// executed (address and data available for forwarding or visible in the
+// cache order).
+func (m *Machine) memReady(r *trace.Record) bool {
+	for _, p := range r.MemProducers() {
+		if int(p) < m.headSeq {
+			continue
+		}
+		u := m.at(int(p))
+		if u.state == sWaiting {
+			return false
+		}
+		if u.state == sIssued && u.doneCycle > m.now {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) execLatency(u *uop, r *trace.Record) int {
+	switch {
+	case u.isLoad:
+		// A load whose youngest producer store is still in flight forwards
+		// from the LSQ and never probes the cache.
+		for _, p := range r.MemProducers() {
+			if int(p) >= m.headSeq {
+				return m.cfg.Cache.HitLatency
+			}
+		}
+		return m.mem.Access(r.Addr, int(r.Width), false)
+	case u.isStore:
+		return 1 // address generation; data written at commit
+	case r.Op == isa.MUL:
+		return m.cfg.MulLatency
+	case r.Op == isa.DIVU || r.Op == isa.REMU:
+		return m.cfg.DivLatency
+	default:
+		return 1
+	}
+}
+
+func (m *Machine) compactIQ() {
+	out := m.iq[:0]
+	for _, u := range m.iq {
+		if u != nil {
+			out = append(out, u)
+		}
+	}
+	m.iq = out
+}
+
+// ---------------------------------------------------------------- rename
+
+func (m *Machine) rename() {
+	if m.now < m.renameStallUntil {
+		m.stats.StallRecovery++
+		return
+	}
+	for k := 0; k < m.cfg.RenameWidth && len(m.fetchQ) > 0; k++ {
+		seq := m.fetchQ[0]
+		r := &m.recs[seq]
+		if m.count == len(m.rob) {
+			m.stats.StallROB++
+			return
+		}
+
+		u := &uop{
+			seq:     seq,
+			isLoad:  r.Op.IsLoad(),
+			isStore: r.Op.IsStore(),
+		}
+		if _, ok := rdest(r); ok {
+			u.hasDest = true
+		}
+
+		elim := false
+		switch {
+		case m.cfg.Elim && m.cfg.OracleElim && m.an.Candidate[seq]:
+			// Limit study: perfect deadness knowledge, no training.
+			if m.an.Kind[seq].Dead() {
+				elim = true
+				m.stats.DeadPredictions++
+			}
+		case m.pred != nil && m.an.Candidate[seq]:
+			var sig uint16
+			if m.cfg.DIP.PathLen > 0 {
+				sig = m.look.SigAfter(seq)
+			}
+			if m.pred.Predict(int(r.PC), sig) {
+				elim = true
+				m.stats.DeadPredictions++
+			}
+			m.schedule(seq, r.PC, sig)
+		}
+
+		if !elim {
+			// A consumer of a poisoned value exposes a dead
+			// misprediction: recover before this instruction renames.
+			if m.checkPoison(r) {
+				return
+			}
+			if len(m.iq) == m.cfg.IQSize {
+				m.stats.StallIQ++
+				return
+			}
+			if (u.isLoad || u.isStore) && m.lsqCount == m.cfg.LSQSize {
+				m.stats.StallLSQ++
+				return
+			}
+			if u.hasDest {
+				if m.freeRegs == 0 {
+					m.stats.StallFreeList++
+					return
+				}
+				m.freeRegs--
+				m.stats.PhysAllocs++
+				u.allocated = true
+			}
+		}
+
+		// Commit point of no return: consume the fetch queue entry.
+		m.fetchQ = m.fetchQ[1:]
+		if rd, ok := rdest(r); ok {
+			m.poisoned[rd] = elim
+		}
+		if elim {
+			u.state = sEliminated
+			if u.isStore {
+				m.elimStores[int32(seq)] = true
+			}
+		} else {
+			u.state = sWaiting
+			m.iq = append(m.iq, u)
+			if u.isLoad || u.isStore {
+				m.lsqCount++
+			}
+		}
+		m.rob[seq%len(m.rob)] = u
+		m.tailSeq = seq + 1
+		m.count++
+	}
+}
+
+// rdest returns the effective destination register of a record.
+func rdest(r *trace.Record) (isa.Reg, bool) {
+	if r.Op.HasDest() && r.Rd != isa.RZero {
+		return r.Rd, true
+	}
+	return 0, false
+}
+
+// checkPoison fires a recovery if the instruction reads a value whose
+// producer was eliminated. It returns true when rename must stall.
+func (m *Machine) checkPoison(r *trace.Record) bool {
+	hit := false
+	if r.Op.ReadsRs1() && r.Rs1 != isa.RZero && m.poisoned[r.Rs1] {
+		m.poisoned[r.Rs1] = false
+		hit = true
+	}
+	if r.Op.ReadsRs2() && r.Rs2 != isa.RZero && m.poisoned[r.Rs2] {
+		m.poisoned[r.Rs2] = false
+		hit = true
+	}
+	if r.Op.IsLoad() {
+		for _, p := range r.MemProducers() {
+			if m.elimStores[p] {
+				delete(m.elimStores, p)
+				// Resurrecting the store performs its cache write now.
+				pr := &m.recs[p]
+				m.mem.Access(pr.Addr, int(pr.Width), true)
+				hit = true
+			}
+		}
+	}
+	if !hit {
+		return false
+	}
+	// Recovery: squash-and-reexecute of the eliminated producer, charged
+	// as a flat rename stall plus the producer's resource costs.
+	m.stats.DeadMispredicts++
+	m.stats.PhysAllocs++
+	m.stats.PhysFrees++
+	m.stats.RFWrites++
+	m.renameStallUntil = m.now + int64(m.cfg.DeadRecoveryPenalty)
+	return true
+}
+
+// schedule queues the dead-predictor training event at the instruction's
+// resolution point (when the pipeline learns the outcome).
+func (m *Machine) schedule(seq int, pc int32, sig uint16) {
+	dead := m.an.Kind[seq].Dead()
+	resolve := m.an.Resolve[seq]
+	if int(resolve) >= len(m.recs) {
+		// Resolves beyond the simulated window; train at own commit.
+		resolve = int32(seq)
+	}
+	m.pending[resolve] = append(m.pending[resolve], pendingUpd{pc, sig, dead})
+}
+
+// ----------------------------------------------------------------- fetch
+
+func (m *Machine) fetch() {
+	if m.fetchStall > 0 {
+		m.fetchStall--
+		return
+	}
+	if m.redirect >= 0 {
+		if m.redirect >= m.tailSeq {
+			return // the branch has not even renamed yet
+		}
+		if m.redirect >= m.headSeq {
+			u := m.at(m.redirect)
+			if u.state != sDone || u.doneCycle > m.now {
+				return
+			}
+		}
+		m.redirect = -1
+	}
+	n := len(m.recs)
+	capQ := 4 * m.cfg.FetchWidth
+	for k := 0; k < m.cfg.FetchWidth; k++ {
+		if m.fetchSeq >= n || len(m.fetchQ) >= capQ {
+			return
+		}
+		seq := m.fetchSeq
+		r := &m.recs[seq]
+		m.fetchQ = append(m.fetchQ, seq)
+		m.fetchSeq++
+
+		switch {
+		case r.Op.IsCondBranch():
+			pred := m.look.PredAt(seq)
+			if pred != r.Taken {
+				m.redirect = seq
+				return
+			}
+			if r.Taken && !m.btbHit(r) {
+				return
+			}
+		case r.Op == isa.JAL:
+			if r.Rd == isa.RLink {
+				// A call: remember the return address.
+				m.ras.Push(int(r.PC) + 1)
+			}
+			if !m.btbHit(r) {
+				return
+			}
+		case r.Op == isa.JALR:
+			if r.Rs1 == isa.RLink && r.Rd == isa.RZero {
+				// A return: the RAS predicts the target.
+				if tgt, ok := m.ras.Pop(); ok && tgt == int(r.NextPC) {
+					continue // correctly predicted; keep fetching
+				}
+				m.stats.ReturnMispredicts++
+				m.redirect = seq
+				return
+			}
+			// Other indirect target: a BTB miss or a stale target stalls
+			// the front end until the jump resolves.
+			if tgt, ok := m.btb.Lookup(int(r.PC)); !ok || tgt != int(r.NextPC) {
+				m.btb.Update(int(r.PC), int(r.NextPC))
+				m.stats.BTBMisses++
+				m.redirect = seq
+				return
+			}
+		}
+	}
+}
+
+// btbHit looks up a taken control transfer, charging the miss bubble and
+// installing the target on a miss. It reports whether fetch may continue
+// this cycle.
+func (m *Machine) btbHit(r *trace.Record) bool {
+	if tgt, ok := m.btb.Lookup(int(r.PC)); ok && tgt == int(r.NextPC) {
+		return true
+	}
+	m.btb.Update(int(r.PC), int(r.NextPC))
+	m.stats.BTBMisses++
+	m.fetchStall = int64(m.cfg.BTBMissBubble)
+	return false
+}

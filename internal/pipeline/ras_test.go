@@ -1,0 +1,98 @@
+package pipeline
+
+import "testing"
+
+const callLoopSrc = `
+main:
+    addi r1, r0, 200
+    addi r5, r0, 0
+loop:
+    call work
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    out  r5
+    halt
+work:
+    add  r5, r5, r1
+    slli r6, r1, 1
+    add  r5, r5, r6
+    ret
+`
+
+func TestRASPredictsReturns(t *testing.T) {
+	tr, a := prep(t, callLoopSrc, 100000)
+	st, err := Run(tr, a, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != int64(tr.Len()) {
+		t.Fatalf("committed %d of %d", st.Committed, tr.Len())
+	}
+	// Every return is predicted by the RAS after the first call.
+	if st.ReturnMispredicts > 2 {
+		t.Errorf("return mispredicts = %d, want <= 2", st.ReturnMispredicts)
+	}
+}
+
+func TestNoRASIsSlower(t *testing.T) {
+	tr, a := prep(t, callLoopSrc, 100000)
+	good, err := Run(tr, a, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := BaselineConfig()
+	tiny.RASDepth = 1 // still works for non-nested calls
+	st, err := Run(tr, a, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReturnMispredicts != good.ReturnMispredicts {
+		t.Errorf("depth-1 RAS mispredicts differ on leaf calls: %d vs %d",
+			st.ReturnMispredicts, good.ReturnMispredicts)
+	}
+}
+
+func TestNestedCallsNeedDepth(t *testing.T) {
+	nested := `
+main:
+    addi r1, r0, 100
+    addi r5, r0, 0
+loop:
+    call outer
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    out  r5
+    halt
+outer:
+    mv   r7, ra
+    call inner
+    mv   ra, r7
+    addi r5, r5, 1
+    ret
+inner:
+    addi r5, r5, 2
+    ret
+`
+	tr, a := prep(t, nested, 100000)
+	deep, err := Run(tr, a, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.ReturnMispredicts > 4 {
+		t.Errorf("deep RAS mispredicts = %d on nested calls", deep.ReturnMispredicts)
+	}
+	shallow := BaselineConfig()
+	shallow.RASDepth = 1
+	st, err := Run(tr, a, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A depth-1 RAS loses the outer return address on every inner call.
+	if st.ReturnMispredicts <= deep.ReturnMispredicts {
+		t.Errorf("depth-1 RAS not worse on nested calls: %d vs %d",
+			st.ReturnMispredicts, deep.ReturnMispredicts)
+	}
+	if st.Cycles <= deep.Cycles {
+		t.Errorf("return mispredicts cost no cycles: %d vs %d", st.Cycles, deep.Cycles)
+	}
+}

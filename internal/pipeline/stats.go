@@ -1,0 +1,50 @@
+package pipeline
+
+import "repro/internal/cache"
+
+// Stats are the machine's counters after a run. The resource counters
+// (physical-register management, register-file traffic, cache accesses)
+// are the utilization metrics of experiment E8; Cycles/IPC feed E9/E10.
+type Stats struct {
+	Cycles    int64
+	Committed int64
+
+	// Physical-register management.
+	PhysAllocs int64
+	PhysFrees  int64
+
+	// Register-file traffic.
+	RFReads  int64
+	RFWrites int64
+
+	// Cache counters (accesses include loads at execute and stores at
+	// commit; eliminated memory operations never reach the cache). L2 is
+	// populated only when the configuration has a second level.
+	Cache cache.Stats
+	L2    cache.Stats
+
+	// Front end.
+	BranchMispredicts int64
+	BTBMisses         int64
+	ReturnMispredicts int64
+
+	// Elimination.
+	Eliminated      int64 // instructions committed without executing
+	DeadPredictions int64 // instances predicted dead at rename
+	DeadMispredicts int64 // recoveries (consumer read a poisoned value)
+
+	// Stall accounting (cycles the rename stage could not advance).
+	StallFreeList int64
+	StallIQ       int64
+	StallLSQ      int64
+	StallROB      int64
+	StallRecovery int64
+}
+
+// IPC is committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}

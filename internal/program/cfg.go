@@ -1,0 +1,95 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Block is one basic block of the static control-flow graph: a maximal
+// straight-line run of instructions entered only at the first and left only
+// at the last.
+type Block struct {
+	ID    int
+	Start int // first instruction PC (inclusive)
+	End   int // last instruction PC (inclusive)
+	Succs []int
+	Preds []int
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start + 1 }
+
+// CFG is the static control-flow graph of a program.
+type CFG struct {
+	Blocks  []Block
+	blockOf []int // PC -> block ID
+}
+
+// BlockOf returns the ID of the block containing pc.
+func (g *CFG) BlockOf(pc int) int { return g.blockOf[pc] }
+
+// BuildCFG derives the basic-block graph. JALR successors are unknown
+// statically and yield no successor edges (the instruction still ends its
+// block); HALT ends a block with no successors.
+func BuildCFG(p *Program) (*CFG, error) {
+	n := len(p.Insts)
+	if n == 0 {
+		return nil, fmt.Errorf("program %q: empty", p.Name)
+	}
+	leader := make([]bool, n)
+	leader[p.Entry] = true
+	leader[0] = true
+	for pc, in := range p.Insts {
+		if t, ok := p.BranchTarget(pc); ok {
+			leader[t] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+		if (in.Op == isa.JALR || in.Op == isa.HALT) && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+
+	g := &CFG{blockOf: make([]int, n)}
+	start := 0
+	for pc := 1; pc <= n; pc++ {
+		if pc == n || leader[pc] {
+			id := len(g.Blocks)
+			g.Blocks = append(g.Blocks, Block{ID: id, Start: start, End: pc - 1})
+			for i := start; i < pc; i++ {
+				g.blockOf[i] = id
+			}
+			start = pc
+		}
+	}
+
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		last := p.Insts[b.End]
+		switch {
+		case last.Op == isa.HALT, last.Op == isa.JALR:
+			// No static successors.
+		case last.Op == isa.JAL:
+			t, _ := p.BranchTarget(b.End)
+			b.Succs = append(b.Succs, g.blockOf[t])
+		case last.Op.IsCondBranch():
+			if b.End+1 < n {
+				b.Succs = append(b.Succs, g.blockOf[b.End+1])
+			}
+			t, _ := p.BranchTarget(b.End)
+			b.Succs = append(b.Succs, g.blockOf[t])
+		default:
+			if b.End+1 < n {
+				b.Succs = append(b.Succs, g.blockOf[b.End+1])
+			}
+		}
+	}
+	for i := range g.Blocks {
+		for _, s := range g.Blocks[i].Succs {
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, i)
+		}
+	}
+	return g, nil
+}

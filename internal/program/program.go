@@ -1,0 +1,163 @@
+// Package program models a loadable r64 program image: the static
+// instruction sequence, initialized data, symbolic labels, and per-
+// instruction provenance recording which compiler transformation produced
+// each instruction. It also derives the static control-flow graph used by
+// the deadness oracle's cause attribution and by the compiler tests.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// DataBase is the default address of the initialized data segment. The
+// emulator initializes RGbl to this address before the first instruction.
+const DataBase uint64 = 0x10_0000
+
+// StackBase is the default top of the spill/stack area; RSP starts here and
+// grows down.
+const StackBase uint64 = 0x80_0000
+
+// Provenance records which transformation produced a static instruction.
+// The deadness oracle aggregates dead dynamic instances by provenance to
+// attribute dead instructions to their compiler-level cause (experiment E3).
+type Provenance uint8
+
+const (
+	// ProvNormal marks instructions emitted directly from source IR.
+	ProvNormal Provenance = iota
+	// ProvHoisted marks instructions speculatively hoisted above a branch
+	// by the instruction scheduler.
+	ProvHoisted
+	// ProvLICM marks loop-invariant instructions moved to a preheader.
+	ProvLICM
+	// ProvSpill marks stores inserted by the register allocator.
+	ProvSpill
+	// ProvReload marks loads inserted by the register allocator.
+	ProvReload
+	// ProvGlue marks address arithmetic, constant materialization, and
+	// other codegen bookkeeping.
+	ProvGlue
+	// ProvCallSave marks calling-convention register saves around calls.
+	ProvCallSave
+	// ProvCallRestore marks the matching restores.
+	ProvCallRestore
+
+	numProv
+)
+
+// NumProvenances is the number of provenance classes.
+const NumProvenances = int(numProv)
+
+var provNames = [...]string{
+	ProvNormal: "normal", ProvHoisted: "hoisted", ProvLICM: "licm",
+	ProvSpill: "spill", ProvReload: "reload", ProvGlue: "glue",
+	ProvCallSave: "callsave", ProvCallRestore: "callrestore",
+}
+
+func (p Provenance) String() string {
+	if int(p) < len(provNames) {
+		return provNames[p]
+	}
+	return fmt.Sprintf("prov(%d)", uint8(p))
+}
+
+// Program is a complete loadable image. PCs are instruction indexes into
+// Insts. The zero value is an empty program.
+type Program struct {
+	Name  string
+	Insts []isa.Inst
+	// Prov has one entry per instruction when non-nil; a nil Prov means
+	// every instruction is ProvNormal.
+	Prov []Provenance
+	// Labels maps symbolic names to instruction indexes.
+	Labels map[string]int
+	// Data holds the initialized data segment, loaded at DataBase.
+	Data []byte
+	// Entry is the initial PC.
+	Entry int
+}
+
+// ProvenanceOf returns the provenance of the instruction at pc.
+func (p *Program) ProvenanceOf(pc int) Provenance {
+	if p.Prov == nil || pc < 0 || pc >= len(p.Prov) {
+		return ProvNormal
+	}
+	return p.Prov[pc]
+}
+
+// Validate checks structural well-formedness: instruction validity, branch
+// targets in range, provenance table length, and a terminating HALT
+// reachable in the instruction stream.
+func (p *Program) Validate() error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("program %q: empty", p.Name)
+	}
+	if p.Prov != nil && len(p.Prov) != len(p.Insts) {
+		return fmt.Errorf("program %q: provenance table length %d != %d instructions",
+			p.Name, len(p.Prov), len(p.Insts))
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Insts) {
+		return fmt.Errorf("program %q: entry %d out of range", p.Name, p.Entry)
+	}
+	sawHalt := false
+	for pc, in := range p.Insts {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("program %q pc=%d: %w", p.Name, pc, err)
+		}
+		if in.Op == isa.HALT {
+			sawHalt = true
+		}
+		if in.Op.IsCondBranch() || in.Op == isa.JAL {
+			if t := pc + 1 + int(in.Imm); t < 0 || t >= len(p.Insts) {
+				return fmt.Errorf("program %q pc=%d: %v targets %d, out of range",
+					p.Name, pc, in, t)
+			}
+		}
+	}
+	if !sawHalt {
+		return fmt.Errorf("program %q: no HALT instruction", p.Name)
+	}
+	return nil
+}
+
+// BranchTarget returns the static target of a direct control transfer at
+// pc (conditional branch or JAL) and true, or 0 and false for any other
+// instruction (including JALR, whose target is dynamic).
+func (p *Program) BranchTarget(pc int) (int, bool) {
+	in := p.Insts[pc]
+	if in.Op.IsCondBranch() || in.Op == isa.JAL {
+		return pc + 1 + int(in.Imm), true
+	}
+	return 0, false
+}
+
+// LabelAt returns the (sorted, deterministic) first label naming pc, if any.
+func (p *Program) LabelAt(pc int) (string, bool) {
+	var names []string
+	for name, at := range p.Labels {
+		if at == pc {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", false
+	}
+	sort.Strings(names)
+	return names[0], true
+}
+
+// Disassemble renders the whole program, one instruction per line, with
+// labels and PCs, primarily for debugging and the r64asm tool.
+func (p *Program) Disassemble() string {
+	var out []byte
+	for pc, in := range p.Insts {
+		if name, ok := p.LabelAt(pc); ok {
+			out = append(out, fmt.Sprintf("%s:\n", name)...)
+		}
+		out = append(out, fmt.Sprintf("%5d:  %v\n", pc, in)...)
+	}
+	return string(out)
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean = %v, want 4", got)
+	}
+	// Non-positive entries are skipped.
+	if got := GeoMean([]float64{0, -1, 9}); math.Abs(got-9) > 1e-12 {
+		t.Errorf("geomean with skips = %v, want 9", got)
+	}
+	if GeoMean([]float64{0, -3}) != 0 {
+		t.Error("all-skipped geomean should be 0")
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Min(xs) != 1 || Max(xs) != 3 {
+		t.Errorf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.0361); got != "3.6%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("bench", "dead%", "notes")
+	tb.AddRow("gzip", "8.2%")
+	tb.AddRowf("mcf", 0.5, "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "bench") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-----") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "0.500") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "22")
+	out := tb.String()
+	lines := strings.Split(out, "\n")
+	// All rows render to the same width.
+	if len(lines[0]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableExtraAndMissingCells(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "2", "3") // extra dropped
+	tb.AddRow("only")        // missing rendered empty
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Errorf("extra cell leaked:\n%s", out)
+	}
+}

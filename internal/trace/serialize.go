@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Binary trace format: a fixed header followed by fixed-width records.
+// Producer links are not stored — they are derived state, recomputed by
+// Link on load — so the format stays compact (24 bytes per record) and
+// version-stable.
+const (
+	traceMagic   = 0x64746363 // "dtcc"
+	traceVersion = 1
+	recordBytes  = 24
+)
+
+// Save writes the trace to w. The trace need not be linked.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(t.Recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [recordBytes]byte
+	for i := range t.Recs {
+		r := &t.Recs[i]
+		binary.LittleEndian.PutUint32(buf[0:], uint32(r.PC))
+		buf[4] = uint8(r.Op)
+		buf[5] = uint8(r.Rd)
+		buf[6] = uint8(r.Rs1)
+		buf[7] = uint8(r.Rs2)
+		binary.LittleEndian.PutUint32(buf[8:], uint32(r.NextPC))
+		binary.LittleEndian.PutUint64(buf[12:], r.Addr)
+		buf[20] = r.Width
+		if r.Taken {
+			buf[21] = 1
+		} else {
+			buf[21] = 0
+		}
+		// buf[22:24] reserved, zero.
+		buf[22], buf[23] = 0, 0
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a trace written by Save and links it.
+func Load(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	t := &Trace{Recs: make([]Record, n)}
+	var buf [recordBytes]byte
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		r := &t.Recs[i]
+		r.PC = int32(binary.LittleEndian.Uint32(buf[0:]))
+		r.Op = isa.Op(buf[4])
+		r.Rd = isa.Reg(buf[5])
+		r.Rs1 = isa.Reg(buf[6])
+		r.Rs2 = isa.Reg(buf[7])
+		r.NextPC = int32(binary.LittleEndian.Uint32(buf[8:]))
+		r.Addr = binary.LittleEndian.Uint64(buf[12:])
+		r.Width = buf[20]
+		r.Taken = buf[21] != 0
+		if !r.Op.Valid() {
+			return nil, fmt.Errorf("trace: record %d: invalid opcode %d", i, buf[4])
+		}
+	}
+	if err := t.Link(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func sampleTrace() *Trace {
+	t := &Trace{Recs: []Record{
+		{PC: 0, Op: isa.ADDI, Rd: 1, NextPC: 1},
+		{PC: 1, Op: isa.SD, Rs1: 1, Rs2: 1, Addr: 0x1234, Width: 8, NextPC: 2},
+		{PC: 2, Op: isa.LD, Rd: 2, Rs1: 1, Addr: 0x1234, Width: 8, NextPC: 3},
+		{PC: 3, Op: isa.BNE, Rs1: 2, Rs2: 0, Taken: true, NextPC: 0},
+		{PC: 4, Op: isa.HALT, NextPC: 4},
+	}}
+	return t
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	if err := orig.Link(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), 12+24*orig.Len(); got != want {
+		t.Errorf("serialized size = %d, want %d", got, want)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Linked {
+		t.Error("loaded trace not linked")
+	}
+	// Producer links are recomputed by Load's Link, so whole records
+	// must match the original linked trace exactly.
+	if !reflect.DeepEqual(back.Recs, orig.Recs) {
+		t.Fatalf("records differ:\n got %+v\nwant %+v", back.Recs, orig.Recs)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Correct magic, wrong version.
+	var buf bytes.Buffer
+	_ = sampleTrace().Save(&buf)
+	b := buf.Bytes()
+	b[4] = 99
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated record area.
+	buf.Reset()
+	_ = sampleTrace().Save(&buf)
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:20])); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Invalid opcode.
+	buf.Reset()
+	_ = sampleTrace().Save(&buf)
+	b = buf.Bytes()
+	b[12+4] = 0xee
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+func TestSaveEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{}).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("loaded %d records from empty trace", back.Len())
+	}
+}

@@ -1,0 +1,132 @@
+// Package trace defines the dynamic instruction record produced by the
+// functional emulator and the def-use linker that connects every dynamic
+// operand to its producing dynamic instruction. The linked trace is the
+// substrate for the deadness oracle (internal/deadness) and the timing
+// model (internal/pipeline).
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// NoProducer marks an operand with no dynamic producer in the trace: the
+// register or memory byte still held its initial (pre-trace) value.
+const NoProducer int32 = -1
+
+// MaxMemProducers bounds the producer stores of one load: a load reads at
+// most 8 bytes, each with one most-recent writer.
+const MaxMemProducers = 8
+
+// Record is one committed dynamic instruction.
+type Record struct {
+	PC  int32 // static instruction index
+	Op  isa.Op
+	Rd  isa.Reg
+	Rs1 isa.Reg
+	Rs2 isa.Reg
+
+	// Control-flow outcome.
+	Taken  bool  // conditional branches only
+	NextPC int32 // PC of the next committed instruction
+
+	// Memory access (loads and stores only).
+	Addr  uint64
+	Width uint8
+
+	// Producer links, filled by Link. Src1/Src2 are the dynamic sequence
+	// numbers of the instructions that produced the register operands,
+	// or NoProducer.
+	Src1, Src2 int32
+	// MemSrcs[:NumMemSrcs] are the distinct producer stores of a load.
+	MemSrcs    [MaxMemProducers]int32
+	NumMemSrcs uint8
+}
+
+// HasResult reports whether the record produces a register value that a
+// later instruction could read (destination exists and is not R0).
+func (r *Record) HasResult() bool {
+	return r.Op.HasDest() && r.Rd != isa.RZero
+}
+
+// Trace is a linked dynamic instruction trace.
+type Trace struct {
+	Recs []Record
+	// Linked records whether Link has run.
+	Linked bool
+}
+
+// Len returns the number of dynamic instructions.
+func (t *Trace) Len() int { return len(t.Recs) }
+
+// Append adds a record (unlinked).
+func (t *Trace) Append(r Record) {
+	t.Recs = append(t.Recs, r)
+	t.Linked = false
+}
+
+// Link fills the producer fields of every record: register operands via a
+// last-writer table, load bytes via a per-byte last-store map. Linking is
+// idempotent. It returns an error if a record is malformed (e.g. a memory
+// op with zero width).
+func (t *Trace) Link() error {
+	var regWriter [isa.NumRegs]int32
+	for i := range regWriter {
+		regWriter[i] = NoProducer
+	}
+	memWriter := NewWriterMap()
+
+	for seq := range t.Recs {
+		r := &t.Recs[seq]
+		r.Src1, r.Src2 = NoProducer, NoProducer
+		r.NumMemSrcs = 0
+		if r.Op.ReadsRs1() && r.Rs1 != isa.RZero {
+			r.Src1 = regWriter[r.Rs1]
+		}
+		if r.Op.ReadsRs2() && r.Rs2 != isa.RZero {
+			r.Src2 = regWriter[r.Rs2]
+		}
+		if r.Op.IsMem() {
+			if r.Width == 0 || int(r.Width) != r.Op.MemWidth() {
+				return fmt.Errorf("trace: seq %d: %v has width %d, want %d",
+					seq, r.Op, r.Width, r.Op.MemWidth())
+			}
+		}
+		if r.Op.IsLoad() {
+			for b := uint64(0); b < uint64(r.Width); b++ {
+				r.addMemSrc(memWriter.Get(r.Addr + b))
+			}
+		}
+		if r.Op.IsStore() {
+			for b := uint64(0); b < uint64(r.Width); b++ {
+				memWriter.Set(r.Addr+b, int32(seq))
+			}
+		}
+		if r.HasResult() {
+			regWriter[r.Rd] = int32(seq)
+		}
+	}
+	t.Linked = true
+	return nil
+}
+
+func (r *Record) addMemSrc(w int32) {
+	if w == NoProducer {
+		return
+	}
+	for i := uint8(0); i < r.NumMemSrcs; i++ {
+		if r.MemSrcs[i] == w {
+			return
+		}
+	}
+	if int(r.NumMemSrcs) < MaxMemProducers {
+		r.MemSrcs[r.NumMemSrcs] = w
+		r.NumMemSrcs++
+	}
+}
+
+// MemProducers returns the slice view of a load's producer stores.
+func (r *Record) MemProducers() []int32 {
+	return r.MemSrcs[:r.NumMemSrcs]
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLinkRegisterProducers(t *testing.T) {
+	tr := &Trace{Recs: []Record{
+		{PC: 0, Op: isa.ADDI, Rd: 1},                // 0: r1 = ...
+		{PC: 1, Op: isa.ADDI, Rd: 2},                // 1: r2 = ...
+		{PC: 2, Op: isa.ADD, Rd: 3, Rs1: 1, Rs2: 2}, // 2: r3 = r1+r2
+		{PC: 3, Op: isa.ADD, Rd: 1, Rs1: 3, Rs2: 0}, // 3: r1 = r3 (+r0)
+		{PC: 4, Op: isa.BEQ, Rs1: 1, Rs2: 3},        // 4: reads r1, r3
+	}}
+	if err := tr.Link(); err != nil {
+		t.Fatal(err)
+	}
+	r := tr.Recs
+	if r[2].Src1 != 0 || r[2].Src2 != 1 {
+		t.Errorf("add producers = %d,%d; want 0,1", r[2].Src1, r[2].Src2)
+	}
+	if r[3].Src1 != 2 {
+		t.Errorf("r3 producer = %d, want 2", r[3].Src1)
+	}
+	if r[3].Src2 != NoProducer {
+		t.Errorf("r0 should have no producer, got %d", r[3].Src2)
+	}
+	if r[4].Src1 != 3 || r[4].Src2 != 2 {
+		t.Errorf("branch producers = %d,%d; want 3,2", r[4].Src1, r[4].Src2)
+	}
+}
+
+func TestLinkInitialValuesHaveNoProducer(t *testing.T) {
+	tr := &Trace{Recs: []Record{
+		{PC: 0, Op: isa.ADD, Rd: 3, Rs1: 5, Rs2: 6},
+	}}
+	if err := tr.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Recs[0].Src1 != NoProducer || tr.Recs[0].Src2 != NoProducer {
+		t.Errorf("initial regs have producers: %+v", tr.Recs[0])
+	}
+}
+
+func TestLinkMemoryProducers(t *testing.T) {
+	tr := &Trace{Recs: []Record{
+		{PC: 0, Op: isa.SD, Rs1: 1, Rs2: 2, Addr: 0x100, Width: 8}, // 0
+		{PC: 1, Op: isa.SW, Rs1: 1, Rs2: 2, Addr: 0x104, Width: 4}, // 1: overwrites high half
+		{PC: 2, Op: isa.LD, Rd: 3, Rs1: 1, Addr: 0x100, Width: 8},  // 2: reads both stores
+		{PC: 3, Op: isa.LW, Rd: 4, Rs1: 1, Addr: 0x104, Width: 4},  // 3: reads store 1 only
+		{PC: 4, Op: isa.LB, Rd: 5, Rs1: 1, Addr: 0x200, Width: 1},  // 4: untouched memory
+	}}
+	if err := tr.Link(); err != nil {
+		t.Fatal(err)
+	}
+	ld := tr.Recs[2]
+	if ld.NumMemSrcs != 2 {
+		t.Fatalf("ld producers = %v, want 2", ld.MemProducers())
+	}
+	got := map[int32]bool{}
+	for _, s := range ld.MemProducers() {
+		got[s] = true
+	}
+	if !got[0] || !got[1] {
+		t.Errorf("ld producers = %v, want {0,1}", ld.MemProducers())
+	}
+	lw := tr.Recs[3]
+	if lw.NumMemSrcs != 1 || lw.MemSrcs[0] != 1 {
+		t.Errorf("lw producers = %v, want {1}", lw.MemProducers())
+	}
+	if tr.Recs[4].NumMemSrcs != 0 {
+		t.Errorf("untouched load has producers: %v", tr.Recs[4].MemProducers())
+	}
+}
+
+func TestLinkRejectsBadWidth(t *testing.T) {
+	tr := &Trace{Recs: []Record{
+		{PC: 0, Op: isa.LD, Rd: 1, Width: 4},
+	}}
+	if err := tr.Link(); err == nil {
+		t.Error("bad width accepted")
+	}
+}
+
+func TestLinkIdempotent(t *testing.T) {
+	tr := &Trace{Recs: []Record{
+		{PC: 0, Op: isa.ADDI, Rd: 1},
+		{PC: 1, Op: isa.ADD, Rd: 2, Rs1: 1, Rs2: 1},
+	}}
+	if err := tr.Link(); err != nil {
+		t.Fatal(err)
+	}
+	first := tr.Recs[1]
+	if err := tr.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Recs[1] != first {
+		t.Errorf("second Link changed record: %+v vs %+v", tr.Recs[1], first)
+	}
+	if !tr.Linked {
+		t.Error("Linked flag not set")
+	}
+}
+
+func TestHasResult(t *testing.T) {
+	tests := []struct {
+		rec  Record
+		want bool
+	}{
+		{Record{Op: isa.ADD, Rd: 1}, true},
+		{Record{Op: isa.ADD, Rd: 0}, false},
+		{Record{Op: isa.SD}, false},
+		{Record{Op: isa.BEQ}, false},
+		{Record{Op: isa.LD, Rd: 5}, true},
+		{Record{Op: isa.JAL, Rd: 31}, true},
+		{Record{Op: isa.OUT, Rs1: 2}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.rec.HasResult(); got != tt.want {
+			t.Errorf("%v HasResult = %v, want %v", tt.rec.Op, got, tt.want)
+		}
+	}
+}
+
+func TestAppendResetsLinked(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Record{Op: isa.ADDI, Rd: 1})
+	if err := tr.Link(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Append(Record{Op: isa.ADD, Rd: 2, Rs1: 1, Rs2: 1})
+	if tr.Linked {
+		t.Error("Append should clear Linked")
+	}
+}
+
+func TestAddMemSrcDedupAndOverflow(t *testing.T) {
+	var r Record
+	for i := 0; i < 12; i++ {
+		r.addMemSrc(int32(i % 10)) // 10 distinct, but capacity is 8
+	}
+	if r.NumMemSrcs != MaxMemProducers {
+		t.Errorf("NumMemSrcs = %d, want %d", r.NumMemSrcs, MaxMemProducers)
+	}
+	r = Record{}
+	r.addMemSrc(5)
+	r.addMemSrc(5)
+	if r.NumMemSrcs != 1 {
+		t.Errorf("dedup failed: %v", r.MemProducers())
+	}
+	r.addMemSrc(NoProducer)
+	if r.NumMemSrcs != 1 {
+		t.Error("NoProducer recorded")
+	}
+}

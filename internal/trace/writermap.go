@@ -1,0 +1,42 @@
+package trace
+
+// WriterMap tracks the most recent dynamic writer (a sequence number) of
+// every memory byte, using page-grained storage so the per-byte bookkeeping
+// of the linker and the deadness oracle stays fast on multi-million-
+// instruction traces.
+type WriterMap struct {
+	pages map[uint64]*writerPage
+}
+
+const wpageBits = 12
+const wpageSize = 1 << wpageBits
+
+type writerPage [wpageSize]int32
+
+// NewWriterMap creates an empty map; every byte reads NoProducer.
+func NewWriterMap() *WriterMap {
+	return &WriterMap{pages: make(map[uint64]*writerPage, 64)}
+}
+
+// Get returns the last writer of addr, or NoProducer.
+func (w *WriterMap) Get(addr uint64) int32 {
+	pg, ok := w.pages[addr>>wpageBits]
+	if !ok {
+		return NoProducer
+	}
+	return pg[addr&(wpageSize-1)]
+}
+
+// Set records seq as the last writer of addr.
+func (w *WriterMap) Set(addr uint64, seq int32) {
+	key := addr >> wpageBits
+	pg, ok := w.pages[key]
+	if !ok {
+		pg = new(writerPage)
+		for i := range pg {
+			pg[i] = NoProducer
+		}
+		w.pages[key] = pg
+	}
+	pg[addr&(wpageSize-1)] = seq
+}

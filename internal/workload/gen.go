@@ -1,0 +1,505 @@
+// Package workload generates the deterministic synthetic benchmark suite
+// standing in for the paper's SPEC CPU2000 programs. Each benchmark is
+// built as compiler IR from a seeded random program generator and compiled
+// through the full optimization pipeline, so its machine code exhibits the
+// phenomena the paper studies with realistic provenance:
+//
+//   - partially dead assignments (a value computed unconditionally but
+//     overwritten on one side of a diamond);
+//   - speculatively hoisted computations that are dead whenever the branch
+//     takes the other path (created by the compiler's scheduler, not by
+//     the generator — disable hoisting and they disappear, experiment E3);
+//   - spill/reload traffic whose stores can die;
+//   - dead stores (arrays written and rewritten without intervening
+//     loads);
+//   - loop-nest control with predictable periodic and data-dependent
+//     branch behaviour, so deadness correlates with future control flow.
+//
+// Every profile is fully deterministic: the same Profile always produces
+// bit-identical IR and machine code.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Profile describes one synthetic benchmark's shape.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// LoopNests is the number of sequential top-level loops.
+	LoopNests int
+	// OuterIters is the trip count of each top-level loop.
+	OuterIters int
+	// InnerIters, when nonzero, nests an inner loop of this trip count
+	// inside roughly half the outer loop bodies.
+	InnerIters int
+	// Patterns is the number of code patterns emitted per loop body.
+	Patterns int
+
+	// DiamondProb is the probability a pattern is an if/else diamond.
+	DiamondProb float64
+	// ThenBias is the probability the diamond condition selects the
+	// then-path; values far from 0.5 give predictable branches.
+	ThenBias float64
+	// DataBranchProb makes a diamond's condition depend on loaded data
+	// rather than the induction variable (harder to predict).
+	DataBranchProb float64
+	// OverwriteProb is the probability a diamond uses the "partially dead
+	// assignment" flavor: a pre-branch definition overwritten on the
+	// then-path.
+	OverwriteProb float64
+
+	// MemProb is the probability a non-diamond pattern is an array
+	// load-compute-store; ChaseProb makes it a pointer chase instead.
+	MemProb   float64
+	ChaseProb float64
+	// DeadStoreProb makes an emitted store target the write-only array
+	// (never loaded, so the store dies when overwritten or at trace end).
+	DeadStoreProb float64
+	// SinkProb is the probability a pattern's result is folded into the
+	// live output accumulator; unfolded results die.
+	SinkProb float64
+	// CallProb is the probability a pattern is a subroutine call wrapped
+	// in calling-convention register saves and restores. The restores are
+	// partially dead: a post-call diamond overwrites one of the restored
+	// registers on its then-path (the calling-convention deadness the
+	// paper attributes to save/restore overhead).
+	CallProb float64
+
+	// ArrayWords sizes each data array in 8-byte words (power of two);
+	// 0 selects defaultArrayWords. Memory-bound profiles use arrays larger
+	// than the L1 (or L2) to produce realistic miss rates.
+	ArrayWords int
+
+	// Compilation defaults for this benchmark.
+	Opts compiler.Options
+}
+
+// defaultArrayWords is the per-array size when a profile does not override
+// it: 4 KB arrays that mostly fit in a 16 KB L1.
+const defaultArrayWords = 512
+
+func (p Profile) arrayWords() int {
+	if p.ArrayWords > 0 {
+		return p.ArrayWords
+	}
+	return defaultArrayWords
+}
+
+// Build generates the benchmark's IR. The result is valid (Func.Validate
+// passes) and always terminates when interpreted or executed.
+func (p Profile) Build() (*compiler.Func, error) {
+	if p.LoopNests < 1 || p.OuterIters < 1 || p.Patterns < 1 {
+		return nil, fmt.Errorf("workload %q: degenerate profile %+v", p.Name, p)
+	}
+	if n := p.arrayWords(); n&(n-1) != 0 {
+		return nil, fmt.Errorf("workload %q: ArrayWords %d must be a power of two", p.Name, n)
+	}
+	g := &gen{
+		prof: p,
+		rng:  rand.New(rand.NewSource(p.Seed)),
+		f:    compiler.NewFunc(p.Name),
+		nw:   p.arrayWords(),
+	}
+	g.build()
+	if err := g.f.Validate(); err != nil {
+		return nil, fmt.Errorf("workload %q: generated invalid IR: %w", p.Name, err)
+	}
+	return g.f, nil
+}
+
+// Compile builds and compiles the benchmark. A nil opts uses the profile's
+// own options.
+func (p Profile) Compile(opts *compiler.Options) (*program.Program, compiler.PassStats, error) {
+	f, err := p.Build()
+	if err != nil {
+		return nil, compiler.PassStats{}, err
+	}
+	o := p.Opts
+	if opts != nil {
+		o = *opts
+	}
+	return compiler.Compile(f, o)
+}
+
+type gen struct {
+	prof Profile
+	rng  *rand.Rand
+	f    *compiler.Func
+
+	cur *compiler.Block // current mainline block
+
+	// Unconditionally defined values available as operands.
+	pool []compiler.VReg
+	// sink accumulates live results; it is OUT at program end.
+	sink compiler.VReg
+	// zero and one are shared constants.
+	zero compiler.VReg
+	// baseA/baseB/baseDead are array base addresses; ring is the pointer-
+	// chase cursor.
+	baseA, baseB, baseDead compiler.VReg
+	ring                   compiler.VReg
+	// baseSave addresses the calling-convention save area; callSites
+	// numbers the call regions (each gets two private slots); subs lists
+	// generated subroutine entry blocks for reuse across call sites.
+	baseSave  compiler.VReg
+	callSites int
+	subs      []int
+	// nw is the per-array size in words; array offsets derive from it.
+	nw int
+}
+
+func (g *gen) offB() int    { return 8 * g.nw }
+func (g *gen) offRing() int { return 16 * g.nw }
+func (g *gen) offDead() int { return 24 * g.nw }
+func (g *gen) offSave() int { return 32 * g.nw }
+
+// saveArea is the size of the calling-convention save region appended to
+// the data segment (two 8-byte slots per call site).
+const saveArea = 4096
+
+func (g *gen) build() {
+	f := g.f
+	// Data: array A with pseudo-random values, array B zeroed, a pointer
+	// ring for chasing, and a scratch array.
+	f.Data = make([]byte, 32*g.nw+saveArea)
+	for i := 0; i < g.nw; i++ {
+		binary.LittleEndian.PutUint64(f.Data[8*i:], g.rng.Uint64()>>32)
+	}
+	perm := g.rng.Perm(g.nw)
+	for i := 0; i < g.nw; i++ {
+		next := program.DataBase + uint64(g.offRing()) + 8*uint64(perm[i])
+		binary.LittleEndian.PutUint64(f.Data[g.offRing()+8*i:], next)
+	}
+
+	g.cur = f.NewBlock()
+	g.zero = g.constant(0)
+	g.sink = g.constant(int64(g.rng.Uint32()))
+	g.baseA = g.constant(int64(program.DataBase))
+	g.baseB = g.constant(int64(program.DataBase) + int64(g.offB()))
+	g.baseDead = g.constant(int64(program.DataBase) + int64(g.offDead()))
+	g.baseSave = g.constant(int64(program.DataBase) + int64(g.offSave()))
+	g.ring = g.f.NewVReg()
+	g.cur.Append(compiler.Instr{
+		Kind: compiler.KALUImm, Op: isa.ADDI, Dst: g.ring, A: g.baseA, Imm: int64(g.offRing()),
+	})
+	for i := 0; i < 6; i++ {
+		g.pool = append(g.pool, g.constant(int64(g.rng.Int31())))
+	}
+
+	for n := 0; n < g.prof.LoopNests; n++ {
+		g.loopNest(g.prof.OuterIters, true)
+		// Programs report progress between phases, like real benchmarks
+		// writing output; this also roots the accumulator chain so that
+		// usefulness does not hinge on reaching the final HALT.
+		g.cur.Append(compiler.Instr{Kind: compiler.KOut, A: g.sink})
+	}
+
+	// Outputs: the sink plus a few pool members stay live to the end.
+	g.cur.Append(compiler.Instr{Kind: compiler.KOut, A: g.sink})
+	for i := 0; i < 4 && i < len(g.pool); i++ {
+		g.cur.Append(compiler.Instr{Kind: compiler.KOut, A: g.pool[len(g.pool)-1-i]})
+	}
+	g.cur.Term = compiler.Terminator{Kind: compiler.THalt}
+}
+
+func (g *gen) constant(v int64) compiler.VReg {
+	r := g.f.NewVReg()
+	g.cur.Append(compiler.Instr{Kind: compiler.KConst, Dst: r, Imm: v})
+	return r
+}
+
+func (g *gen) pick() compiler.VReg {
+	return g.pool[g.rng.Intn(len(g.pool))]
+}
+
+// alu emits dst = op(a, b) in the current block.
+func (g *gen) alu(op isa.Op, dst, a, b compiler.VReg) {
+	g.cur.Append(compiler.Instr{Kind: compiler.KALU, Op: op, Dst: dst, A: a, B: b})
+}
+
+func (g *gen) aluImm(op isa.Op, dst, a compiler.VReg, imm int64) {
+	g.cur.Append(compiler.Instr{Kind: compiler.KALUImm, Op: op, Dst: dst, A: a, Imm: imm})
+}
+
+var aluOps = []isa.Op{isa.ADD, isa.SUB, isa.XOR, isa.OR, isa.AND, isa.ADD, isa.SUB, isa.MUL}
+
+func (g *gen) randALUOp() isa.Op { return aluOps[g.rng.Intn(len(aluOps))] }
+
+// foldSink merges v into the live accumulator with probability SinkProb;
+// otherwise v's last definition is left to die.
+func (g *gen) foldSink(v compiler.VReg) {
+	if g.rng.Float64() < g.prof.SinkProb {
+		g.alu(isa.XOR, g.sink, g.sink, v)
+	}
+}
+
+// loopNest emits one counted loop; outer selects top-level loops that may
+// nest an inner loop.
+func (g *gen) loopNest(iters int, outer bool) {
+	f := g.f
+	i := f.NewVReg()
+	limit := g.constant(int64(iters))
+	g.cur.Append(compiler.Instr{Kind: compiler.KConst, Dst: i, Imm: 0})
+
+	header := f.NewBlock()
+	exit := f.NewBlock()
+	g.cur.Term = compiler.Terminator{Kind: compiler.TJump, To: header.ID}
+	g.cur = header
+
+	// Body patterns; inner loops get smaller bodies so nests do not
+	// explode the dynamic instruction count.
+	patterns := g.prof.Patterns
+	if !outer {
+		patterns = min(3, patterns)
+	}
+	nested := false
+	for k := 0; k < patterns; k++ {
+		switch r := g.rng.Float64(); {
+		case r < g.prof.DiamondProb:
+			g.diamond(i)
+		case outer && g.rng.Float64() < g.prof.CallProb:
+			g.callRegion(i)
+		case outer && g.prof.InnerIters > 0 && !nested && g.rng.Float64() < 0.5:
+			nested = true
+			g.loopNest(g.prof.InnerIters, false)
+		case g.rng.Float64() < g.prof.ChaseProb:
+			g.chase()
+		case g.rng.Float64() < g.prof.MemProb:
+			g.arrayStep(i)
+		default:
+			g.chainStep(i)
+		}
+	}
+
+	// Latch: i++; if i < limit goto header.
+	g.aluImm(isa.ADDI, i, i, 1)
+	g.cur.Term = compiler.Terminator{
+		Kind: compiler.TBranch, Op: isa.BLT, A: i, B: limit,
+		To: header.ID, Else: exit.ID,
+	}
+	g.cur = exit
+}
+
+// chainStep emits a short dependent ALU chain ending in a new pool value.
+func (g *gen) chainStep(i compiler.VReg) {
+	v := g.f.NewVReg()
+	g.alu(g.randALUOp(), v, g.pick(), g.pick())
+	n := 1 + g.rng.Intn(3)
+	for k := 0; k < n; k++ {
+		g.alu(g.randALUOp(), v, v, g.pick())
+	}
+	g.aluImm(isa.ADDI, v, v, int64(g.rng.Intn(64)))
+	g.addPool(v)
+	g.foldSink(v)
+	_ = i
+}
+
+// arrayStep loads A[i mod n], combines, stores the result to B, and reads
+// it back into the live accumulator, so plain stores are useful. With
+// probability DeadStoreProb, the store is guarded by an overwriting
+// diamond — a second store to the same address on the then-path — making
+// the first store *partially dead*: its bytes die exactly when the branch
+// takes the overwriting path, the memory analog of a partially dead
+// assignment.
+func (g *gen) arrayStep(i compiler.VReg) {
+	f := g.f
+	idx := f.NewVReg()
+	addr := f.NewVReg()
+	v := f.NewVReg()
+	g.aluImm(isa.ANDI, idx, i, int64(g.nw-1))
+	g.aluImm(isa.SLLI, idx, idx, 3)
+	g.alu(isa.ADD, addr, g.baseA, idx)
+	g.cur.Append(compiler.Instr{Kind: compiler.KLoad, Op: isa.LD, Dst: v, A: addr})
+	g.alu(g.randALUOp(), v, v, g.pick())
+
+	addrB := f.NewVReg()
+	g.alu(isa.ADD, addrB, g.baseB, idx)
+	g.cur.Append(compiler.Instr{Kind: compiler.KStore, Op: isa.SD, A: addrB, B: v})
+
+	if g.rng.Float64() < g.prof.DeadStoreProb {
+		then := f.NewBlock()
+		join := f.NewBlock()
+		g.periodicBranch(i, then.ID, join.ID)
+		g.cur = then
+		v2 := f.NewVReg()
+		g.alu(g.randALUOp(), v2, v, g.pick())
+		g.cur.Append(compiler.Instr{Kind: compiler.KStore, Op: isa.SD, A: addrB, B: v2})
+		g.cur.Term = compiler.Terminator{Kind: compiler.TJump, To: join.ID}
+		g.cur = join
+	}
+
+	w := f.NewVReg()
+	g.cur.Append(compiler.Instr{Kind: compiler.KLoad, Op: isa.LD, Dst: w, A: addrB})
+	g.foldSink(w)
+}
+
+// periodicBranch closes the current block with a periodic condition on the
+// induction variable, taking the then target roughly per ThenBias.
+func (g *gen) periodicBranch(i compiler.VReg, then, els int) {
+	period := 1 << (1 + g.rng.Intn(3)) // 2, 4, or 8
+	k := g.rng.Intn(period)
+	cond := g.f.NewVReg()
+	g.aluImm(isa.ANDI, cond, i, int64(period-1))
+	kv := g.constant(int64(k))
+	op := isa.BEQ
+	if g.prof.ThenBias > 0.5 {
+		op = isa.BNE // then-path taken (period-1)/period of the time
+	}
+	g.cur.Term = compiler.Terminator{
+		Kind: compiler.TBranch, Op: op, A: cond, B: kv,
+		To: then, Else: els,
+	}
+}
+
+// chase advances the pointer ring: ring = mem[ring].
+func (g *gen) chase() {
+	g.cur.Append(compiler.Instr{Kind: compiler.KLoad, Op: isa.LD, Dst: g.ring, A: g.ring})
+	v := g.f.NewVReg()
+	g.aluImm(isa.ANDI, v, g.ring, 0xff)
+	g.foldSink(v)
+}
+
+// callRegion emits a subroutine call bracketed by calling-convention
+// saves and restores of two working registers. The subroutine (shared
+// across call sites with 50% probability) clobbers pool registers, so the
+// convention is semantically necessary; the deadness arises afterwards,
+// when a periodic diamond overwrites one restored register before any
+// read — making that restore (and transitively its save) dead exactly on
+// the overwriting path.
+func (g *gen) callRegion(i compiler.VReg) {
+	f := g.f
+	s1, s2 := g.pick(), g.pick()
+	for tries := 0; s2 == s1 && tries < 8; tries++ {
+		s2 = g.pick()
+	}
+	if s1 == s2 {
+		return // degenerate pool; skip the pattern
+	}
+	slot := int64((g.callSites * 16) % saveArea)
+	g.callSites++
+	g.cur.AppendProv(compiler.Instr{
+		Kind: compiler.KStore, Op: isa.SD, A: g.baseSave, B: s1, Imm: slot,
+	}, program.ProvCallSave)
+	g.cur.AppendProv(compiler.Instr{
+		Kind: compiler.KStore, Op: isa.SD, A: g.baseSave, B: s2, Imm: slot + 8,
+	}, program.ProvCallSave)
+
+	// Find or build a leaf subroutine that clobbers pool registers.
+	var entry int
+	if len(g.subs) > 0 && g.rng.Float64() < 0.5 {
+		entry = g.subs[g.rng.Intn(len(g.subs))]
+	} else {
+		caller := g.cur
+		callee := f.NewBlock()
+		g.cur = callee
+		for k := 0; k < 2+g.rng.Intn(3); k++ {
+			g.alu(g.randALUOp(), g.pick(), g.pick(), g.pick())
+		}
+		g.alu(isa.XOR, g.sink, g.sink, g.pick())
+		g.cur.Term = compiler.Terminator{Kind: compiler.TRet}
+		g.subs = append(g.subs, callee.ID)
+		g.cur = caller
+		entry = callee.ID
+	}
+	cont := f.NewBlock()
+	g.cur.Term = compiler.Terminator{Kind: compiler.TCall, To: entry, Else: cont.ID}
+	g.cur = cont
+
+	// Restore the convention registers.
+	g.cur.AppendProv(compiler.Instr{
+		Kind: compiler.KLoad, Op: isa.LD, Dst: s1, A: g.baseSave, Imm: slot,
+	}, program.ProvCallRestore)
+	g.cur.AppendProv(compiler.Instr{
+		Kind: compiler.KLoad, Op: isa.LD, Dst: s2, A: g.baseSave, Imm: slot + 8,
+	}, program.ProvCallRestore)
+
+	// The caller overwrites one restored register on a periodic path,
+	// killing that restore's value before any read.
+	then := f.NewBlock()
+	join := f.NewBlock()
+	g.periodicBranch(i, then.ID, join.ID)
+	g.cur = then
+	g.alu(g.randALUOp(), s1, g.pick(), g.pick())
+	g.cur.Term = compiler.Terminator{Kind: compiler.TJump, To: join.ID}
+	g.cur = join
+	g.foldSink(s1)
+	g.foldSink(s2)
+}
+
+// diamond emits an if/else whose shape creates path-correlated deadness.
+func (g *gen) diamond(i compiler.VReg) {
+	f := g.f
+	then := f.NewBlock()
+	els := f.NewBlock()
+	join := f.NewBlock()
+
+	overwrite := g.rng.Float64() < g.prof.OverwriteProb
+	var x compiler.VReg
+	if overwrite {
+		// Partially dead assignment: x defined here, overwritten in then.
+		x = f.NewVReg()
+		g.alu(g.randALUOp(), x, g.pick(), g.pick())
+	}
+
+	if g.rng.Float64() < g.prof.DataBranchProb {
+		// Data-dependent: load A[i mod n] and compare against a threshold
+		// chosen to approximate ThenBias over A's uniform values.
+		cond := f.NewVReg()
+		addr := f.NewVReg()
+		g.aluImm(isa.ANDI, cond, i, int64(g.nw-1))
+		g.aluImm(isa.SLLI, cond, cond, 3)
+		g.alu(isa.ADD, addr, g.baseA, cond)
+		g.cur.Append(compiler.Instr{Kind: compiler.KLoad, Op: isa.LD, Dst: cond, A: addr})
+		thr := g.constant(int64(float64(1<<32) * g.prof.ThenBias))
+		g.cur.Term = compiler.Terminator{
+			Kind: compiler.TBranch, Op: isa.BLT, A: cond, B: thr,
+			To: then.ID, Else: els.ID,
+		}
+	} else {
+		// Periodic: the then-path recurs with a short, learnable period.
+		g.periodicBranch(i, then.ID, els.ID)
+	}
+
+	// then-arm: computation whose inputs are available before the branch —
+	// exactly what the scheduler will hoist.
+	g.cur = then
+	t := f.NewVReg()
+	g.alu(g.randALUOp(), t, g.pick(), g.pick())
+	g.aluImm(isa.SLLI, t, t, int64(1+g.rng.Intn(4)))
+	if overwrite {
+		g.aluImm(isa.ADDI, x, t, 1)
+	} else {
+		g.alu(isa.XOR, g.sink, g.sink, t)
+	}
+	g.cur.Term = compiler.Terminator{Kind: compiler.TJump, To: join.ID}
+
+	// else-arm: cheap alternative.
+	g.cur = els
+	if overwrite && g.rng.Float64() < 0.3 {
+		g.aluImm(isa.ADDI, x, x, 3)
+	}
+	g.cur.Term = compiler.Terminator{Kind: compiler.TJump, To: join.ID}
+
+	g.cur = join
+	if overwrite {
+		g.foldSink(x)
+	}
+}
+
+func (g *gen) addPool(v compiler.VReg) {
+	const maxPool = 10
+	if len(g.pool) < maxPool {
+		g.pool = append(g.pool, v)
+		return
+	}
+	g.pool[g.rng.Intn(len(g.pool))] = v
+}

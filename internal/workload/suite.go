@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/program"
+)
+
+// Benchmark is one compiled suite member.
+type Benchmark struct {
+	Profile Profile
+	Prog    *program.Program
+	Stats   compiler.PassStats
+}
+
+// opts builds a benchmark's production-compiler configuration. numRegs
+// below the full 26 models reserved/ABI registers and induces the spill
+// pressure real allocators face.
+func opts(hoist, numRegs int) compiler.Options {
+	return compiler.Options{MaxHoist: hoist, MaxLICM: 8, NumRegs: numRegs}
+}
+
+// Suite returns the profiles of the eleven SPEC CPU2000-named synthetic
+// benchmarks evaluated by every experiment. Iteration counts are sized so
+// each program commits roughly 0.5-0.8M instructions before halting, and
+// the shape knobs are tuned so the suite spans the paper's reported 3-16%
+// dynamic dead-instruction range with varied branch predictability and
+// memory behaviour (see the TestSuiteDeadFractions tuning guard).
+func Suite() []Profile {
+	return []Profile{
+		{
+			Name: "gzip", Seed: 101,
+			LoopNests: 3, OuterIters: 1100, InnerIters: 8, Patterns: 7,
+			DiamondProb: 0.35, ThenBias: 0.25, DataBranchProb: 0.1,
+			OverwriteProb: 0.45, MemProb: 0.5, ChaseProb: 0.05,
+			DeadStoreProb: 0.3, SinkProb: 1.0, CallProb: 0.06,
+			Opts: opts(2, 20),
+		},
+		{
+			Name: "vpr", Seed: 102,
+			LoopNests: 4, OuterIters: 520, InnerIters: 6, Patterns: 8,
+			DiamondProb: 0.2, ThenBias: 0.8, DataBranchProb: 0.2,
+			OverwriteProb: 0.45, MemProb: 0.4, ChaseProb: 0.05,
+			DeadStoreProb: 0.04, SinkProb: 0.97, CallProb: 0.05,
+			Opts: opts(2, 20),
+		},
+		{
+			Name: "gcc", Seed: 103,
+			LoopNests: 8, OuterIters: 285, InnerIters: 5, Patterns: 9,
+			DiamondProb: 0.4, ThenBias: 0.42, DataBranchProb: 0.25,
+			OverwriteProb: 0.5, MemProb: 0.45, ChaseProb: 0.1,
+			DeadStoreProb: 0.15, SinkProb: 0.92, CallProb: 0.2,
+			ArrayWords: 2048, // 16 KB arrays: contends with the L1
+			Opts:       opts(2, 16),
+		},
+		{
+			Name: "mcf", Seed: 104,
+			LoopNests: 2, OuterIters: 10000, InnerIters: 0, Patterns: 7,
+			DiamondProb: 0.2, ThenBias: 0.3, DataBranchProb: 0.3,
+			OverwriteProb: 0.4, MemProb: 0.75, ChaseProb: 0.5,
+			DeadStoreProb: 0.4, SinkProb: 1.0, CallProb: 0.03,
+			ArrayWords: 16384, // 128 KB arrays: the pointer chase lives in memory
+			Opts:       opts(1, 22),
+		},
+		{
+			Name: "crafty", Seed: 105,
+			LoopNests: 5, OuterIters: 455, InnerIters: 6, Patterns: 9,
+			DiamondProb: 0.62, ThenBias: 0.3, DataBranchProb: 0.15,
+			OverwriteProb: 0.5, MemProb: 0.3, ChaseProb: 0.0,
+			DeadStoreProb: 0.1, SinkProb: 0.88, CallProb: 0.15,
+			Opts: opts(3, 18),
+		},
+		{
+			Name: "parser", Seed: 106,
+			LoopNests: 4, OuterIters: 730, InnerIters: 5, Patterns: 8,
+			DiamondProb: 0.2, ThenBias: 0.7, DataBranchProb: 0.4,
+			OverwriteProb: 0.45, MemProb: 0.5, ChaseProb: 0.15,
+			DeadStoreProb: 0.08, SinkProb: 0.96, CallProb: 0.15,
+			Opts: opts(2, 22),
+		},
+		{
+			Name: "perlbmk", Seed: 107,
+			LoopNests: 6, OuterIters: 425, InnerIters: 4, Patterns: 9,
+			DiamondProb: 0.35, ThenBias: 0.6, DataBranchProb: 0.3,
+			OverwriteProb: 0.5, MemProb: 0.35, ChaseProb: 0.1,
+			DeadStoreProb: 0.15, SinkProb: 0.96, CallProb: 0.2,
+			Opts: opts(2, 18),
+		},
+		{
+			Name: "gap", Seed: 108,
+			LoopNests: 3, OuterIters: 615, InnerIters: 8, Patterns: 8,
+			DiamondProb: 0.18, ThenBias: 0.8, DataBranchProb: 0.1,
+			OverwriteProb: 0.4, MemProb: 0.45, ChaseProb: 0.05,
+			DeadStoreProb: 0.1, SinkProb: 1.0, CallProb: 0.12,
+			Opts: opts(2, 20),
+		},
+		{
+			Name: "vortex", Seed: 109,
+			LoopNests: 5, OuterIters: 480, InnerIters: 5, Patterns: 8,
+			DiamondProb: 0.3, ThenBias: 0.3, DataBranchProb: 0.2,
+			OverwriteProb: 0.45, MemProb: 0.65, ChaseProb: 0.2,
+			DeadStoreProb: 0.45, SinkProb: 1.0, CallProb: 0.15,
+			ArrayWords: 4096, // 32 KB arrays: spills past the L1
+			Opts:       opts(2, 20),
+		},
+		{
+			Name: "bzip2", Seed: 110,
+			LoopNests: 3, OuterIters: 580, InnerIters: 10, Patterns: 7,
+			DiamondProb: 0.58, ThenBias: 0.22, DataBranchProb: 0.05,
+			OverwriteProb: 0.5, MemProb: 0.5, ChaseProb: 0.0,
+			DeadStoreProb: 0.3, SinkProb: 0.97, CallProb: 0.05,
+			Opts: opts(2, 18),
+		},
+		{
+			Name: "twolf", Seed: 111,
+			LoopNests: 5, OuterIters: 400, InnerIters: 6, Patterns: 8,
+			DiamondProb: 0.4, ThenBias: 0.55, DataBranchProb: 0.25,
+			OverwriteProb: 0.5, MemProb: 0.4, ChaseProb: 0.1,
+			DeadStoreProb: 0.2, SinkProb: 0.96, CallProb: 0.1,
+			Opts: opts(2, 18),
+		},
+	}
+}
+
+// ByName returns the suite profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// BuildSuite compiles every profile with its default options.
+func BuildSuite() ([]Benchmark, error) {
+	profiles := Suite()
+	out := make([]Benchmark, 0, len(profiles))
+	for _, p := range profiles {
+		prog, st, err := p.Compile(nil)
+		if err != nil {
+			return nil, fmt.Errorf("workload %q: %w", p.Name, err)
+		}
+		out = append(out, Benchmark{Profile: p, Prog: prog, Stats: st})
+	}
+	return out, nil
+}
