@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the full suite under the
+# race detector (which includes the concurrent-vs-sequential engine test).
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/asm"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/deadness"
 	"repro/internal/dip"
 	"repro/internal/emu"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -27,7 +29,7 @@ func runExperiment(b *testing.B, id string, metrics ...string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		w := core.NewWorkspace(benchBudget)
-		e, err := w.RunExperiment(id)
+		e, err := w.RunExperiment(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,6 +118,27 @@ func BenchmarkE17StaticHints(b *testing.B) {
 
 func BenchmarkE18WindowBias(b *testing.B) {
 	runExperiment(b, "e18", "dead_mean_at_10000", "dead_mean_full")
+}
+
+// BenchmarkEngineAllExperiments runs the full 18-experiment engine on a
+// shared concurrent workspace, reporting how many machine simulations ran
+// versus how many were served from the (benchmark, config) memo — the
+// dedup the engine exists to provide.
+func BenchmarkEngineAllExperiments(b *testing.B) {
+	ids := core.ExperimentIDs()
+	for i := 0; i < b.N; i++ {
+		w := core.NewWorkspace(benchBudget)
+		mc := metrics.New()
+		w.Metrics = mc
+		if _, err := w.RunExperiments(context.Background(), ids); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(mc.Counter(core.CounterMachineSims)), "sims")
+			b.ReportMetric(float64(mc.Counter(core.CounterMachineMemoHits)), "memo-hits")
+			b.ReportMetric(float64(mc.Counter(core.CounterProfileBuilds)), "profiles")
+		}
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -1,13 +1,17 @@
 // Command deadprof prints the trace-level deadness profile of one
 // benchmark or the whole suite: dead-instruction fraction, first-level vs
 // transitive breakdown, per-cause attribution, and static locality.
+// Profiles build concurrently through a bounded pool; rows print in suite
+// order regardless of -j.
 //
 // Usage:
 //
-//	deadprof [-bench name] [-n budget] [-hoist n] [-licm n] [-regs n] [-locality]
+//	deadprof [-bench name] [-n budget] [-hoist n] [-licm n] [-regs n]
+//	         [-locality] [-mix] [-j workers]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +31,7 @@ func main() {
 	regs := flag.Int("regs", -1, "override allocatable registers (-1 = profile default)")
 	locality := flag.Bool("locality", false, "print static locality details")
 	mix := flag.Bool("mix", false, "print the dynamic instruction-class mix instead")
+	workers := flag.Int("j", 0, "max concurrently building profiles (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	profiles := workload.Suite()
@@ -39,14 +44,13 @@ func main() {
 		profiles = []workload.Profile{p}
 	}
 
-	if *mix {
-		printMix(profiles, *budget)
-		return
-	}
-
-	tb := stats.NewTable("bench", "dyn", "dead%", "first%", "trans%",
-		"alu", "loads", "stores", "hoist-dead", "spill-dead", "statics")
-	for _, p := range profiles {
+	// Compiler-option overrides make these profiles distinct from the
+	// workspace defaults, so build them directly through a bounded pool
+	// (no memo to share) and render sequentially from the indexed results.
+	pool := core.NewPool(*workers)
+	results := make([]*core.ProfileResult, len(profiles))
+	err := pool.ForEach(context.Background(), len(profiles), func(i int) error {
+		p := profiles[i]
 		opts := p.Opts
 		if *hoist >= 0 {
 			opts.MaxHoist = *hoist
@@ -59,9 +63,25 @@ func main() {
 		}
 		res, err := core.Profile(p, &opts, *budget)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", p.Name, err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *mix {
+		printMix(profiles, results)
+		return
+	}
+
+	tb := stats.NewTable("bench", "dyn", "dead%", "first%", "trans%",
+		"alu", "loads", "stores", "hoist-dead", "spill-dead", "statics")
+	for i, p := range profiles {
+		res := results[i]
 		s := res.Summary
 		tb.AddRow(p.Name,
 			fmt.Sprint(s.Total),
@@ -89,16 +109,11 @@ func main() {
 
 // printMix emits the suite characterization table: dynamic instruction
 // class distribution and branch behaviour.
-func printMix(profiles []workload.Profile, budget int) {
+func printMix(profiles []workload.Profile, results []*core.ProfileResult) {
 	tb := stats.NewTable("bench", "dyn", "alu%", "muldiv%", "load%", "store%",
 		"branch%", "taken%", "jump%")
-	for _, p := range profiles {
-		res, err := core.Profile(p, nil, budget)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
-			os.Exit(1)
-		}
-		m := deadness.ComputeMix(res.Trace)
+	for i, p := range profiles {
+		m := deadness.ComputeMix(results[i].Trace)
 		tb.AddRow(p.Name, fmt.Sprint(m.Total),
 			stats.Pct(m.Fraction(m.ALU)), stats.Pct(m.Fraction(m.MulDiv)),
 			stats.Pct(m.Fraction(m.Loads)), stats.Pct(m.Fraction(m.Stores)),

@@ -1,19 +1,23 @@
 // Command deadsim runs the cycle-level out-of-order pipeline over one
 // benchmark (or the whole suite) and reports timing and resource
 // utilization, with dead-instruction elimination off, on, or both.
+// Independent (benchmark, elim-mode) runs execute concurrently through
+// the workspace pool; rows print in suite order regardless of -j.
 //
 // Usage:
 //
-//	deadsim [-bench name] [-n budget] [-machine baseline|contended]
-//	        [-regs n] [-elim off|on|both]
+//	deadsim [-bench name] [-n budget] [-machine baseline|contended|deep]
+//	        [-regs n] [-elim off|on|both] [-j workers] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -25,6 +29,8 @@ func main() {
 	machine := flag.String("machine", "contended", "baseline, contended, or deep")
 	regs := flag.Int("regs", 0, "override physical register count")
 	elim := flag.String("elim", "both", "off, on, or both")
+	workers := flag.Int("j", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
 	flag.Parse()
 
 	var cfg pipeline.Config
@@ -52,35 +58,61 @@ func main() {
 		names = []string{*bench}
 	}
 
-	w := core.NewWorkspace(*budget)
+	w := core.NewWorkspaceWorkers(*budget, *workers)
+	mc := metrics.New()
+	if *verbose {
+		mc.SetVerbose(os.Stderr)
+	}
+	w.Metrics = mc
+
+	// One task per (benchmark, elim-mode) pair, fanned through the pool;
+	// results land by index so the table stays in suite order.
+	type task struct {
+		name string
+		mode string
+		cfg  pipeline.Config
+	}
+	var tasks []task
+	for _, name := range names {
+		if *elim == "off" || *elim == "both" {
+			tasks = append(tasks, task{name, "off", cfg})
+		}
+		if *elim == "on" || *elim == "both" {
+			c := cfg
+			c.Elim = true
+			tasks = append(tasks, task{name, "on", c})
+		}
+	}
+	if len(tasks) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown elim mode %q\n", *elim)
+		os.Exit(1)
+	}
+
+	results := make([]pipeline.Stats, len(tasks))
+	err := w.Pool().ForEach(context.Background(), len(tasks), func(i int) error {
+		st, err := w.RunMachine(tasks[i].name, tasks[i].cfg)
+		results[i] = st
+		return err
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	tb := stats.NewTable("bench", "elim", "IPC", "cycles", "allocs", "rf-reads",
 		"rf-writes", "dcache", "eliminated", "recoveries", "freelist-stall")
-	addRow := func(name, mode string, st pipeline.Stats) {
-		tb.AddRow(name, mode,
+	for i, tk := range tasks {
+		st := results[i]
+		tb.AddRow(tk.name, tk.mode,
 			fmt.Sprintf("%.3f", st.IPC()), fmt.Sprint(st.Cycles),
 			fmt.Sprint(st.PhysAllocs), fmt.Sprint(st.RFReads), fmt.Sprint(st.RFWrites),
 			fmt.Sprint(st.Cache.Accesses), fmt.Sprint(st.Eliminated),
 			fmt.Sprint(st.DeadMispredicts), fmt.Sprint(st.StallFreeList))
 	}
-	for _, name := range names {
-		if *elim == "off" || *elim == "both" {
-			st, err := w.RunMachine(name, cfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			addRow(name, "off", st)
-		}
-		if *elim == "on" || *elim == "both" {
-			c := cfg
-			c.Elim = true
-			st, err := w.RunMachine(name, c)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			addRow(name, "on", st)
-		}
-	}
 	fmt.Print(tb)
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "\n--- run summary (%d workers) ---\n", w.Pool().Workers())
+		mc.WriteText(os.Stderr)
+	}
 }

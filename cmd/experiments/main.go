@@ -1,21 +1,26 @@
 // Command experiments regenerates every reproduced table and figure
-// (E1-E10 in DESIGN.md) and prints them in the format EXPERIMENTS.md
-// records.
+// (E1-E18 in DESIGN.md) and prints them in the format EXPERIMENTS.md
+// records. Independent experiments run concurrently over a shared
+// workspace — machine runs are memoized by (benchmark, config), so sweeps
+// and elim-pairs shared across experiments simulate exactly once — and
+// results print in deterministic ID order regardless of -j.
 //
 // Usage:
 //
-//	experiments [-e id[,id...]] [-n budget] [-md]
+//	experiments [-e id[,id...]] [-n budget] [-j workers] [-v] [-md | -json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
-	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -23,51 +28,81 @@ func main() {
 	budget := flag.Int("n", core.DefaultBudget, "per-benchmark dynamic instruction budget")
 	md := flag.Bool("md", false, "emit markdown sections (EXPERIMENTS.md body)")
 	asJSON := flag.Bool("json", false, "emit machine-readable metrics")
+	workers := flag.Int("j", 0, "max concurrently executing heavy tasks (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
 	flag.Parse()
 
 	list := core.ExperimentIDs()
 	if *ids != "" {
 		list = strings.Split(*ids, ",")
 	}
-	w := core.NewWorkspace(*budget)
-	type jsonExp struct {
-		ID      string             `json:"id"`
-		Title   string             `json:"title"`
-		Claim   string             `json:"claim"`
-		Metrics map[string]float64 `json:"metrics"`
+	for i, id := range list {
+		list[i] = strings.TrimSpace(strings.ToLower(id))
 	}
-	var collected []jsonExp
-	for _, id := range list {
-		start := time.Now()
-		e, err := w.RunExperiment(strings.TrimSpace(strings.ToLower(id)))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		if *asJSON {
-			collected = append(collected, jsonExp{e.ID, e.Title, e.Claim, e.Metrics})
-			continue
-		}
-		if *md {
+
+	w := core.NewWorkspaceWorkers(*budget, *workers)
+	mc := metrics.New()
+	if *verbose {
+		mc.SetVerbose(os.Stderr)
+	}
+	w.Metrics = mc
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	exps, err := w.RunExperiments(ctx, list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *asJSON:
+		printJSON(exps, mc)
+	case *md:
+		for _, e := range exps {
 			fmt.Printf("## %s — %s\n\n", strings.ToUpper(e.ID), e.Title)
 			fmt.Printf("Paper claim: *%s*\n\n```\n%s```\n\n", e.Claim, e.Table)
 			if e.Figure != nil {
 				fmt.Printf("```\n%s```\n\n", e.Figure)
 			}
-		} else {
-			fmt.Printf("=== %s: %s (%.1fs)\n", strings.ToUpper(e.ID), e.Title, time.Since(start).Seconds())
+		}
+	default:
+		for _, e := range exps {
+			fmt.Printf("=== %s: %s (%.1fs)\n", strings.ToUpper(e.ID), e.Title, e.Wall.Seconds())
 			fmt.Printf("claim: %s\n\n%s\n", e.Claim, e.Table)
 			if e.Figure != nil {
 				fmt.Printf("%s\n", e.Figure)
 			}
 		}
 	}
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(collected); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "\n--- run summary (%d workers) ---\n", w.Pool().Workers())
+		mc.WriteText(os.Stderr)
+	}
+}
+
+// printJSON emits the machine-readable form: the experiments array is
+// deterministic (identical for any -j), while the run section carries the
+// wall-clock phase report and memoization counters of this particular run.
+func printJSON(exps []*core.Experiment, mc *metrics.Collector) {
+	type jsonExp struct {
+		ID      string             `json:"id"`
+		Title   string             `json:"title"`
+		Claim   string             `json:"claim"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	out := struct {
+		Experiments []jsonExp       `json:"experiments"`
+		Run         metrics.Summary `json:"run"`
+	}{Run: mc.Summary()}
+	for _, e := range exps {
+		out.Experiments = append(out.Experiments, jsonExp{e.ID, e.Title, e.Claim, e.Metrics})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -1,13 +1,18 @@
 // Command predsweep evaluates dead-instruction predictor configurations
 // over the benchmark suite: the default CFI design point, the no-CFI
 // counter baseline, oracle-path signatures, and a state-budget sweep.
+// Evaluations run through a shared workspace, so each benchmark's trace
+// and oracle analysis build once and are reused by every configuration;
+// independent evaluations run concurrently, bounded by -j.
 //
 // Usage:
 //
-//	predsweep [-bench name] [-n budget] [-mode point|sweep|cfi]
+//	predsweep [-bench name] [-n budget] [-mode point|sweep|assoc|cfi]
+//	          [-path n] [-slots n] [-j workers]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +29,7 @@ func main() {
 	mode := flag.String("mode", "point", "point, sweep, assoc, or cfi")
 	pathLen := flag.Int("path", -1, "override signature path length")
 	slots := flag.Int("slots", -1, "override signature slots per entry")
+	workers := flag.Int("j", 0, "max concurrently executing evaluations (0 = GOMAXPROCS)")
 	flag.Parse()
 	if *pathLen >= 0 {
 		overridePath = *pathLen
@@ -32,27 +38,32 @@ func main() {
 		overrideSlots = *slots
 	}
 
-	profiles := workload.Suite()
+	names := core.SuiteNames()
 	if *bench != "" {
-		p, err := workload.ByName(*bench)
-		if err != nil {
+		if _, err := workload.ByName(*bench); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		profiles = []workload.Profile{p}
+		names = []string{*bench}
 	}
 
+	w := core.NewWorkspaceWorkers(*budget, *workers)
+
+	var err error
 	switch *mode {
 	case "point":
-		point(profiles, *budget)
+		err = point(w, names)
 	case "cfi":
-		cfi(profiles, *budget)
+		err = cfi(w, names)
 	case "sweep":
-		sweep(profiles, *budget)
+		err = sweep(w, names)
 	case "assoc":
-		assoc(profiles, *budget)
+		err = assoc(w, names)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
@@ -71,73 +82,87 @@ func defaultCfg() dip.Config {
 	return cfg
 }
 
-func point(profiles []workload.Profile, budget int) {
+// evalAll evaluates one predictor configuration over every benchmark
+// through the workspace pool, returning results in suite order.
+func evalAll(w *core.Workspace, names []string, cfg dip.Config, actualPath bool) ([]dip.Result, error) {
+	out := make([]dip.Result, len(names))
+	err := w.Pool().ForEach(context.Background(), len(names), func(i int) error {
+		r, err := w.EvalPredictor(names[i], cfg, actualPath)
+		out[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func point(w *core.Workspace, names []string) error {
 	cfg := defaultCfg()
+	results, err := evalAll(w, names, cfg, false)
+	if err != nil {
+		return err
+	}
 	tb := stats.NewTable("bench", "dead", "covered", "cov%", "acc%", "false+", "br-acc%")
 	var covs, accs []float64
-	for _, p := range profiles {
-		res, err := core.EvalPredictor(p, cfg, budget, false)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	for i, name := range names {
+		res := results[i]
 		covs = append(covs, res.Coverage())
 		accs = append(accs, res.Accuracy())
-		tb.AddRow(p.Name, fmt.Sprint(res.Dead), fmt.Sprint(res.TruePos),
+		tb.AddRow(name, fmt.Sprint(res.Dead), fmt.Sprint(res.TruePos),
 			stats.Pct(res.Coverage()), stats.Pct(res.Accuracy()),
 			fmt.Sprint(res.FalsePositives()), stats.Pct(res.BranchAccuracy))
 	}
 	tb.AddRow("MEAN", "", "", stats.Pct(stats.Mean(covs)), stats.Pct(stats.Mean(accs)), "", "")
 	fmt.Printf("config %s (%.2f KB)\n\n%s", cfg.Name(), cfg.StateKB(), tb)
+	return nil
 }
 
-func cfi(profiles []workload.Profile, budget int) {
+func cfi(w *core.Workspace, names []string) error {
 	withCFI := defaultCfg()
 	noCFI := defaultCfg()
 	noCFI.PathLen = 0
+	as, err := evalAll(w, names, withCFI, false)
+	if err != nil {
+		return err
+	}
+	bs, err := evalAll(w, names, noCFI, false)
+	if err != nil {
+		return err
+	}
+	os_, err := evalAll(w, names, withCFI, true)
+	if err != nil {
+		return err
+	}
 	tb := stats.NewTable("bench", "cfi-cov%", "cfi-acc%", "ctr-cov%", "ctr-acc%", "oracle-cov%", "oracle-acc%")
-	for _, p := range profiles {
-		a, err := core.EvalPredictor(p, withCFI, budget, false)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		b, err := core.EvalPredictor(p, noCFI, budget, false)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		o, err := core.EvalPredictor(p, withCFI, budget, true)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		tb.AddRow(p.Name,
+	for i, name := range names {
+		a, b, o := as[i], bs[i], os_[i]
+		tb.AddRow(name,
 			stats.Pct(a.Coverage()), stats.Pct(a.Accuracy()),
 			stats.Pct(b.Coverage()), stats.Pct(b.Accuracy()),
 			stats.Pct(o.Coverage()), stats.Pct(o.Accuracy()))
 	}
 	fmt.Print(tb)
+	return nil
 }
 
 // assoc sweeps set associativity at a roughly constant entry count.
-func assoc(profiles []workload.Profile, budget int) {
+func assoc(w *core.Workspace, names []string) error {
 	tb := stats.NewTable("config", "KB", "cov%", "acc%")
 	for _, ways := range []int{1, 2, 4, 8} {
 		cfg := defaultCfg()
 		cfg.Ways = ways
 		// Keep total entries at 512.
 		cfg.LogSets = 9
-		for w := ways; w > 1; w >>= 1 {
+		for v := ways; v > 1; v >>= 1 {
 			cfg.LogSets--
 		}
+		results, err := evalAll(w, names, cfg, false)
+		if err != nil {
+			return err
+		}
 		var covs, accs []float64
-		for _, p := range profiles {
-			res, err := core.EvalPredictor(p, cfg, budget, false)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+		for _, res := range results {
 			covs = append(covs, res.Coverage())
 			accs = append(accs, res.Accuracy())
 		}
@@ -145,21 +170,21 @@ func assoc(profiles []workload.Profile, budget int) {
 			stats.Pct(stats.Mean(covs)), stats.Pct(stats.Mean(accs)))
 	}
 	fmt.Print(tb)
+	return nil
 }
 
-func sweep(profiles []workload.Profile, budget int) {
+func sweep(w *core.Workspace, names []string) error {
 	tb := stats.NewTable("config", "KB", "cov%", "acc%")
 	for _, cfg := range dip.SweepConfigs() {
 		if overridePath >= 0 {
 			cfg.PathLen = overridePath
 		}
+		results, err := evalAll(w, names, cfg, false)
+		if err != nil {
+			return err
+		}
 		var covs, accs []float64
-		for _, p := range profiles {
-			res, err := core.EvalPredictor(p, cfg, budget, false)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+		for _, res := range results {
 			covs = append(covs, res.Coverage())
 			accs = append(accs, res.Accuracy())
 		}
@@ -167,4 +192,5 @@ func sweep(profiles []workload.Profile, budget int) {
 			stats.Pct(stats.Mean(covs)), stats.Pct(stats.Mean(accs)))
 	}
 	fmt.Print(tb)
+	return nil
 }

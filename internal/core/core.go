@@ -5,12 +5,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/compiler"
 	"repro/internal/deadness"
 	"repro/internal/dip"
 	"repro/internal/emu"
+	"repro/internal/metrics"
 	"repro/internal/program"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -34,19 +36,44 @@ type ProfileResult struct {
 // Profile builds a benchmark (optionally overriding its compile options),
 // runs it for at most budget instructions, and runs the deadness oracle.
 func Profile(p workload.Profile, opts *compiler.Options, budget int) (*ProfileResult, error) {
+	return profileWith(p, opts, budget, nil)
+}
+
+// profileWith is Profile with phase-level observability: compile, emulate,
+// link, and analyze each report wall time, instruction throughput, and
+// allocation deltas through the (nil-safe) collector.
+func profileWith(p workload.Profile, opts *compiler.Options, budget int, mc *metrics.Collector) (*ProfileResult, error) {
+	sp := mc.Start("compile", p.Name)
 	prog, passStats, err := p.Compile(opts)
+	sp.End(0)
 	if err != nil {
 		return nil, err
 	}
-	return ProfileProgram(p.Name, prog, passStats, budget)
+	return profileProgramWith(p.Name, prog, passStats, budget, mc)
 }
 
 // ProfileProgram runs the oracle analysis over an already-compiled program.
 func ProfileProgram(name string, prog *program.Program, passStats compiler.PassStats, budget int) (*ProfileResult, error) {
-	tr, _, err := emu.Collect(prog, budget)
+	return profileProgramWith(name, prog, passStats, budget, nil)
+}
+
+func profileProgramWith(name string, prog *program.Program, passStats compiler.PassStats, budget int, mc *metrics.Collector) (*ProfileResult, error) {
+	sp := mc.Start("emulate", name)
+	m := emu.New(prog)
+	tr := &trace.Trace{Recs: make([]trace.Record, 0, min(budget, 1<<20))}
+	err := m.Run(budget, tr.Append)
+	sp.End(int64(tr.Len()))
+	if err != nil && !errors.Is(err, emu.ErrBudget) {
+		return nil, fmt.Errorf("core: running %s: %w", name, err)
+	}
+	sp = mc.Start("link", name)
+	err = tr.Link()
+	sp.End(int64(tr.Len()))
 	if err != nil {
 		return nil, fmt.Errorf("core: running %s: %w", name, err)
 	}
+	sp = mc.Start("analyze", name)
+	defer func() { sp.End(int64(tr.Len())) }()
 	a, err := deadness.Analyze(tr)
 	if err != nil {
 		return nil, fmt.Errorf("core: analyzing %s: %w", name, err)

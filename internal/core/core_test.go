@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -111,10 +112,10 @@ func TestExperimentDispatch(t *testing.T) {
 	if len(ids) != 18 {
 		t.Fatalf("experiment ids = %v", ids)
 	}
-	if _, err := w.RunExperiment("bogus"); err == nil {
+	if _, err := w.RunExperiment(context.Background(), "bogus"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	e, err := w.RunExperiment("e1")
+	e, err := w.RunExperiment(context.Background(), "e1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestE5MetricsShape(t *testing.T) {
 		t.Skip("short mode")
 	}
 	w := NewWorkspace(testBudget)
-	e, err := w.E5()
+	e, err := w.E5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// RunExperiments runs the requested experiments concurrently over the
+// workspace and returns them in input order, so output stays
+// deterministic no matter how the work was scheduled. Each experiment
+// gets a lightweight coordinator goroutine (with panic recovery); all
+// heavy per-benchmark work inside the experiments funnels through the
+// workspace's bounded pool, so total parallelism stays at the pool's
+// bound even with experiments × suite fan-out. The first failure cancels
+// the work still pending.
+func (w *Workspace) RunExperiments(ctx context.Context, ids []string) ([]*Experiment, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Build every benchmark profile once upfront: all experiments need
+	// them, and preloading keeps the verbose phase report tidy.
+	if err := w.Preload(ctx); err != nil {
+		return nil, err
+	}
+
+	out := make([]*Experiment, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("core: experiment %s panicked: %v\n%s", id, r, debug.Stack())
+					cancel()
+				}
+			}()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			sp := w.Metrics.Start("experiment", id)
+			start := time.Now()
+			e, err := w.dispatch(ctx, id)
+			sp.End(0)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiment %s: %w", id, err)
+				cancel()
+				return
+			}
+			e.Wall = time.Since(start)
+			out[i] = e
+		}(i, id)
+	}
+	wg.Wait()
+
+	// Deterministic error selection: lowest input index, preferring real
+	// failures over cancellation casualties.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// Preload builds every suite benchmark's profile through the bounded pool.
+func (w *Workspace) Preload(ctx context.Context) error {
+	_, err := overSuite(ctx, w, func(name string) (struct{}, error) {
+		_, err := w.ProfileOf(name)
+		return struct{}{}, err
+	})
+	return err
+}
+
+// RunExperiment preloads the suite and dispatches one experiment by ID
+// (case-sensitive, lowercase).
+func (w *Workspace) RunExperiment(ctx context.Context, id string) (*Experiment, error) {
+	if err := w.Preload(ctx); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e, err := w.dispatch(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	e.Wall = time.Since(start)
+	return e, nil
+}
+
+func (w *Workspace) dispatch(ctx context.Context, id string) (*Experiment, error) {
+	switch id {
+	case "e1":
+		return w.E1(ctx)
+	case "e2":
+		return w.E2(ctx)
+	case "e3":
+		return w.E3(ctx)
+	case "e4":
+		return w.E4(ctx)
+	case "e5":
+		return w.E5(ctx)
+	case "e6":
+		return w.E6(ctx)
+	case "e7":
+		return w.E7(ctx)
+	case "e8":
+		return w.E8(ctx)
+	case "e9":
+		return w.E9(ctx)
+	case "e10":
+		return w.E10(ctx)
+	case "e11":
+		return w.E11(ctx)
+	case "e12":
+		return w.E12(ctx)
+	case "e13":
+		return w.E13(ctx)
+	case "e14":
+		return w.E14(ctx)
+	case "e15":
+		return w.E15(ctx)
+	case "e16":
+		return w.E16(ctx)
+	case "e17":
+		return w.E17(ctx)
+	case "e18":
+		return w.E18(ctx)
+	}
+	return nil, fmt.Errorf("core: unknown experiment %q", id)
+}

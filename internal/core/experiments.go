@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/dip"
 	"repro/internal/pipeline"
@@ -24,6 +26,9 @@ type Experiment struct {
 	// Metrics carries the headline numbers (percentages as fractions)
 	// checked by the benchmark harness and recorded in EXPERIMENTS.md.
 	Metrics map[string]float64
+	// Wall is how long the experiment took; it reflects scheduling and
+	// memoization, so it is excluded from deterministic comparisons.
+	Wall time.Duration
 }
 
 // ExperimentIDs lists the reproduced experiments in order.
@@ -32,64 +37,9 @@ func ExperimentIDs() []string {
 		"e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
 }
 
-// Preload builds every suite benchmark's profile concurrently.
-func (w *Workspace) Preload() error {
-	_, err := overSuite(w, func(name string) (struct{}, error) {
-		_, err := w.ProfileOf(name)
-		return struct{}{}, err
-	})
-	return err
-}
-
-// RunExperiment dispatches by experiment ID (case-sensitive, lowercase).
-func (w *Workspace) RunExperiment(id string) (*Experiment, error) {
-	if err := w.Preload(); err != nil {
-		return nil, err
-	}
-	switch id {
-	case "e1":
-		return w.E1()
-	case "e2":
-		return w.E2()
-	case "e3":
-		return w.E3()
-	case "e4":
-		return w.E4()
-	case "e5":
-		return w.E5()
-	case "e6":
-		return w.E6()
-	case "e7":
-		return w.E7()
-	case "e8":
-		return w.E8()
-	case "e9":
-		return w.E9()
-	case "e10":
-		return w.E10()
-	case "e11":
-		return w.E11()
-	case "e12":
-		return w.E12()
-	case "e13":
-		return w.E13()
-	case "e14":
-		return w.E14()
-	case "e15":
-		return w.E15()
-	case "e16":
-		return w.E16()
-	case "e17":
-		return w.E17()
-	case "e18":
-		return w.E18()
-	}
-	return nil, fmt.Errorf("core: unknown experiment %q", id)
-}
-
 // E1 measures the dynamic dead-instruction fraction of every benchmark and
 // its breakdown by level and operation class.
-func (w *Workspace) E1() (*Experiment, error) {
+func (w *Workspace) E1(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e1",
 		Title: "Dynamic dead-instruction fraction",
@@ -107,9 +57,16 @@ func (w *Workspace) E1() (*Experiment, error) {
 		s := res.Summary
 		f := s.DeadFraction()
 		fracs = append(fracs, f)
+		firstLevel, err := safeDiv(s.FirstLevel, s.Dead)
+		if err != nil {
+			return nil, fmt.Errorf("e1 %s first-level share: %w", name, err)
+		}
+		transitive, err := safeDiv(s.Transitive, s.Dead)
+		if err != nil {
+			return nil, fmt.Errorf("e1 %s transitive share: %w", name, err)
+		}
 		e.Table.AddRow(name, fmt.Sprint(s.Total), stats.Pct(f),
-			stats.Pct(safeDiv(s.FirstLevel, s.Dead)),
-			stats.Pct(safeDiv(s.Transitive, s.Dead)),
+			stats.Pct(firstLevel), stats.Pct(transitive),
 			fmt.Sprint(s.DeadALU), fmt.Sprint(s.DeadLoads), fmt.Sprint(s.DeadStores))
 	}
 	e.Table.AddRow("MEAN", "", stats.Pct(stats.Mean(fracs)), "", "", "", "", "")
@@ -121,7 +78,7 @@ func (w *Workspace) E1() (*Experiment, error) {
 
 // E2 shows that most dynamic dead instances come from static instructions
 // that also produce useful results (partially dead statics).
-func (w *Workspace) E2() (*Experiment, error) {
+func (w *Workspace) E2(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e2",
 		Title: "Partially dead static instructions",
@@ -149,8 +106,9 @@ func (w *Workspace) E2() (*Experiment, error) {
 
 // E3 is the compiler-scheduling ablation: dead fraction with the suite's
 // production options versus hoisting disabled, plus the dead volume
-// attributed to each provenance class.
-func (w *Workspace) E3() (*Experiment, error) {
+// attributed to each provenance class. The no-hoist rebuilds are
+// independent per benchmark and run through the bounded pool.
+func (w *Workspace) E3(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e3",
 		Title: "Compiler scheduling creates partially dead instructions",
@@ -159,23 +117,30 @@ func (w *Workspace) E3() (*Experiment, error) {
 			"hoist-dead", "spill-dead", "callconv-dead", "licm-dead", "normal-dead"),
 		Metrics: map[string]float64{},
 	}
-	var with, without []float64
-	for _, name := range SuiteNames() {
+	type pair struct{ res, noh *ProfileResult }
+	results, err := overSuite(ctx, w, func(name string) (pair, error) {
 		res, err := w.ProfileOf(name)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		prof, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		opts := prof.Opts
 		opts.MaxHoist = 0
-		noh, err := Profile(prof, &opts, w.Budget)
+		noh, err := profileWith(prof, &opts, w.Budget, w.Metrics)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		s := res.Summary
+		return pair{res, noh}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var with, without []float64
+	for i, name := range SuiteNames() {
+		s, noh := results[i].res.Summary, results[i].noh
 		f0, f1 := s.DeadFraction(), noh.Summary.DeadFraction()
 		with = append(with, f0)
 		without = append(without, f1)
@@ -195,7 +160,7 @@ func (w *Workspace) E3() (*Experiment, error) {
 }
 
 // E4 measures the static locality of dead instances.
-func (w *Workspace) E4() (*Experiment, error) {
+func (w *Workspace) E4(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e4",
 		Title: "Static locality of dead instances",
@@ -203,10 +168,6 @@ func (w *Workspace) E4() (*Experiment, error) {
 		Table: stats.NewTable("bench", "dead-statics", "top8-cov%", "top16-cov%",
 			"top32-cov%", "top64-cov%", "mostly-dead-share%"),
 		Metrics: map[string]float64{},
-	}
-	points := map[int]int{} // coverage point -> index
-	for i, pt := range []int{8, 16, 32, 64} {
-		points[pt] = i
 	}
 	var top16, mostly []float64
 	for _, name := range SuiteNames() {
@@ -238,7 +199,7 @@ func (w *Workspace) E4() (*Experiment, error) {
 }
 
 // E5 evaluates the default dead-instruction predictor.
-func (w *Workspace) E5() (*Experiment, error) {
+func (w *Workspace) E5(ctx context.Context) (*Experiment, error) {
 	cfg := dip.DefaultConfig()
 	e := &Experiment{
 		ID:    "e5",
@@ -248,7 +209,7 @@ func (w *Workspace) E5() (*Experiment, error) {
 			"accuracy%", "false+", "branch-acc%"),
 		Metrics: map[string]float64{},
 	}
-	results, err := overSuite(w, func(name string) (dip.Result, error) {
+	results, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
 		return w.evalDIP(name, cfg, false)
 	})
 	if err != nil {
@@ -270,21 +231,33 @@ func (w *Workspace) E5() (*Experiment, error) {
 	return e, nil
 }
 
+// EvalPredictor evaluates a dead-instruction predictor configuration over
+// a cached benchmark profile.
+func (w *Workspace) EvalPredictor(name string, cfg dip.Config, actualPath bool) (dip.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return dip.Result{}, err
+	}
+	return w.evalDIP(name, cfg, actualPath)
+}
+
 func (w *Workspace) evalDIP(name string, cfg dip.Config, actualPath bool) (dip.Result, error) {
 	res, err := w.ProfileOf(name)
 	if err != nil {
 		return dip.Result{}, err
 	}
-	return dip.Evaluate(res.Trace, res.Analysis, dip.Options{
+	sp := w.Metrics.Start("predict", fmt.Sprintf("%s %s", name, cfg.Name()))
+	r := dip.Evaluate(res.Trace, res.Analysis, dip.Options{
 		Config:        cfg,
 		UseActualPath: actualPath,
-	}), nil
+	})
+	sp.End(int64(res.Trace.Len()))
+	return r, nil
 }
 
 // E6 is the future-control-flow ablation: the CFI predictor against a
 // plain per-PC counter at the same design point, plus the actual-path
 // oracle upper bound.
-func (w *Workspace) E6() (*Experiment, error) {
+func (w *Workspace) E6(ctx context.Context) (*Experiment, error) {
 	withCFI := dip.DefaultConfig()
 	noCFI := dip.DefaultConfig()
 	noCFI.PathLen = 0
@@ -297,7 +270,7 @@ func (w *Workspace) E6() (*Experiment, error) {
 		Metrics: map[string]float64{},
 	}
 	type trio struct{ a, b, o dip.Result }
-	results, err := overSuite(w, func(name string) (trio, error) {
+	results, err := overSuite(ctx, w, func(name string) (trio, error) {
 		a, err := w.evalDIP(name, withCFI, false)
 		if err != nil {
 			return trio{}, err
@@ -337,7 +310,7 @@ func (w *Workspace) E6() (*Experiment, error) {
 }
 
 // E7 sweeps the predictor's state budget.
-func (w *Workspace) E7() (*Experiment, error) {
+func (w *Workspace) E7(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:      "e7",
 		Title:   "Predictor state-budget sweep",
@@ -348,7 +321,7 @@ func (w *Workspace) E7() (*Experiment, error) {
 	var covPts, accPts []stats.Point
 	for _, cfg := range dip.SweepConfigs() {
 		cfg := cfg
-		results, err := overSuite(w, func(name string) (dip.Result, error) {
+		results, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
 			return w.evalDIP(name, cfg, false)
 		})
 		if err != nil {
@@ -372,7 +345,8 @@ func (w *Workspace) E7() (*Experiment, error) {
 	return e, nil
 }
 
-// elimPair runs one benchmark with elimination off and on.
+// elimPair runs one benchmark with elimination off and on. Both runs are
+// memoized, so experiments sharing a configuration reuse the simulations.
 func (w *Workspace) elimPair(name string, cfg pipeline.Config) (base, elim pipeline.Stats, err error) {
 	base, err = w.RunMachine(name, cfg)
 	if err != nil {
@@ -384,7 +358,7 @@ func (w *Workspace) elimPair(name string, cfg pipeline.Config) (base, elim pipel
 }
 
 // E8 measures resource-utilization reductions on the baseline machine.
-func (w *Workspace) E8() (*Experiment, error) {
+func (w *Workspace) E8(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e8",
 		Title: "Resource utilization reduction (baseline machine)",
@@ -395,7 +369,7 @@ func (w *Workspace) E8() (*Experiment, error) {
 	}
 	cfg := pipeline.BaselineConfig()
 	type pair struct{ base, elim pipeline.Stats }
-	results, err := overSuite(w, func(name string) (pair, error) {
+	results, err := overSuite(ctx, w, func(name string) (pair, error) {
 		base, elim, err := w.elimPair(name, cfg)
 		return pair{base, elim}, err
 	})
@@ -405,16 +379,31 @@ func (w *Workspace) E8() (*Experiment, error) {
 	var alloc, rfr, rfw, dc []float64
 	for i, name := range SuiteNames() {
 		base, elim := results[i].base, results[i].elim
-		ra := reduction(base.PhysAllocs, elim.PhysAllocs)
-		rr := reduction(base.RFReads, elim.RFReads)
-		rw := reduction(base.RFWrites, elim.RFWrites)
-		rd := reduction(int64(base.Cache.Accesses), int64(elim.Cache.Accesses))
+		var redErr error
+		red := func(metric string, b, el int64) float64 {
+			v, err := reduction(b, el)
+			if err != nil && redErr == nil {
+				redErr = fmt.Errorf("e8 %s %s: %w", name, metric, err)
+			}
+			return v
+		}
+		ra := red("phys-allocs", base.PhysAllocs, elim.PhysAllocs)
+		rr := red("rf-reads", base.RFReads, elim.RFReads)
+		rw := red("rf-writes", base.RFWrites, elim.RFWrites)
+		rd := red("dcache-accesses", int64(base.Cache.Accesses), int64(elim.Cache.Accesses))
+		if redErr != nil {
+			return nil, redErr
+		}
+		frac, err := safeDiv(int(elim.Eliminated), int(elim.Committed))
+		if err != nil {
+			return nil, fmt.Errorf("e8 %s eliminated share: %w", name, err)
+		}
 		alloc = append(alloc, ra)
 		rfr = append(rfr, rr)
 		rfw = append(rfw, rw)
 		dc = append(dc, rd)
 		e.Table.AddRow(name,
-			stats.Pct(float64(elim.Eliminated)/float64(elim.Committed)),
+			stats.Pct(frac),
 			stats.Pct(ra), stats.Pct(rr), stats.Pct(rw), stats.Pct(rd),
 			fmt.Sprint(elim.DeadMispredicts))
 	}
@@ -429,7 +418,7 @@ func (w *Workspace) E8() (*Experiment, error) {
 }
 
 // E9 measures the speedup on the resource-contended machine.
-func (w *Workspace) E9() (*Experiment, error) {
+func (w *Workspace) E9(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e9",
 		Title: "Performance on a resource-contended machine",
@@ -440,7 +429,7 @@ func (w *Workspace) E9() (*Experiment, error) {
 	}
 	cfg := pipeline.ContendedConfig()
 	type pair struct{ base, elim pipeline.Stats }
-	results, err := overSuite(w, func(name string) (pair, error) {
+	results, err := overSuite(ctx, w, func(name string) (pair, error) {
 		base, elim, err := w.elimPair(name, cfg)
 		return pair{base, elim}, err
 	})
@@ -452,11 +441,15 @@ func (w *Workspace) E9() (*Experiment, error) {
 		base, elim := results[i].base, results[i].elim
 		sp := elim.IPC()/base.IPC() - 1
 		speedups = append(speedups, sp)
+		stallRed, err := reduction(base.StallFreeList, elim.StallFreeList)
+		if err != nil {
+			return nil, fmt.Errorf("e9 %s freelist-stall reduction: %w", name, err)
+		}
 		e.Table.AddRow(name,
 			fmt.Sprintf("%.3f", base.IPC()), fmt.Sprintf("%.3f", elim.IPC()),
 			fmt.Sprintf("%+.1f%%", 100*sp),
 			fmt.Sprint(elim.Eliminated), fmt.Sprint(elim.DeadMispredicts),
-			stats.Pct(reduction(base.StallFreeList, elim.StallFreeList)))
+			stats.Pct(stallRed))
 	}
 	e.Table.AddRow("MEAN", "", "", fmt.Sprintf("%+.1f%%", 100*stats.Mean(speedups)), "", "", "")
 	e.Metrics["speedup_mean"] = stats.Mean(speedups)
@@ -466,7 +459,7 @@ func (w *Workspace) E9() (*Experiment, error) {
 }
 
 // E10 sweeps the degree of contention (physical register file size).
-func (w *Workspace) E10() (*Experiment, error) {
+func (w *Workspace) E10(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:      "e10",
 		Title:   "Speedup vs degree of resource contention",
@@ -481,7 +474,7 @@ func (w *Workspace) E10() (*Experiment, error) {
 		cfg := pipeline.BaselineConfig()
 		cfg.PhysRegs = regs
 		type pair struct{ base, elim pipeline.Stats }
-		results, err := overSuite(w, func(name string) (pair, error) {
+		results, err := overSuite(ctx, w, func(name string) (pair, error) {
 			base, elim, err := w.elimPair(name, cfg)
 			return pair{base, elim}, err
 		})
@@ -512,16 +505,23 @@ func (w *Workspace) E10() (*Experiment, error) {
 	return e, nil
 }
 
-func safeDiv(a, b int) float64 {
+// safeDiv divides a by b. A zero denominator is reported as an explicit
+// error rather than silently yielding 0: in an experiment table a 0/0
+// means the underlying measurement was empty or degenerate, and masking
+// it as "0%" hides the problem from the reader.
+func safeDiv(a, b int) (float64, error) {
 	if b == 0 {
-		return 0
+		return 0, fmt.Errorf("core: division by zero (%d/0): empty or degenerate measurement", a)
 	}
-	return float64(a) / float64(b)
+	return float64(a) / float64(b), nil
 }
 
-func reduction(base, elim int64) float64 {
+// reduction computes the relative reduction from base to elim. A zero
+// baseline is an explicit error for the same reason as safeDiv: "0%
+// reduction of nothing" would silently mask a run that measured nothing.
+func reduction(base, elim int64) (float64, error) {
 	if base == 0 {
-		return 0
+		return 0, fmt.Errorf("core: reduction against a zero baseline (elim=%d)", elim)
 	}
-	return 1 - float64(elim)/float64(base)
+	return 1 - float64(elim)/float64(base), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -17,7 +18,7 @@ import (
 // E11 measures how the dead-instruction predictor degrades with the
 // quality of the underlying branch direction predictor — the path
 // signatures are only as good as the predictions they are built from.
-func (w *Workspace) E11() (*Experiment, error) {
+func (w *Workspace) E11(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:      "e11",
 		Title:   "Sensitivity to branch-predictor quality",
@@ -39,7 +40,7 @@ func (w *Workspace) E11() (*Experiment, error) {
 	var covPts []stats.Point
 	for _, mk := range makers {
 		mk := mk
-		results, err := overSuite(w, func(name string) (dip.Result, error) {
+		results, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
 			res, err := w.ProfileOf(name)
 			if err != nil {
 				return dip.Result{}, err
@@ -68,7 +69,7 @@ func (w *Workspace) E11() (*Experiment, error) {
 		Series: []stats.Series{{Name: "coverage", Points: covPts}},
 	}
 	// Oracle future directions as the upper bound.
-	oracle, err := overSuite(w, func(name string) (dip.Result, error) {
+	oracle, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
 		return w.evalDIP(name, cfg, true)
 	})
 	if err != nil {
@@ -88,8 +89,9 @@ func (w *Workspace) E11() (*Experiment, error) {
 // E12 contrasts static dead-code elimination with dynamic deadness:
 // running a classic DCE pass removes the always-dead leftovers but cannot
 // touch partially dead instructions, so the dynamic dead fraction barely
-// moves.
-func (w *Workspace) E12() (*Experiment, error) {
+// moves. The with-DCE rebuilds are independent per benchmark and run
+// through the bounded pool.
+func (w *Workspace) E12(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e12",
 		Title: "Static DCE cannot recover dynamic deadness",
@@ -98,22 +100,30 @@ func (w *Workspace) E12() (*Experiment, error) {
 			"statically-removed"),
 		Metrics: map[string]float64{},
 	}
-	var base, dce []float64
-	for _, name := range SuiteNames() {
+	type pair struct{ res, dce *ProfileResult }
+	results, err := overSuite(ctx, w, func(name string) (pair, error) {
 		res, err := w.ProfileOf(name)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		prof, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		opts := prof.Opts
 		opts.DCE = true
-		withDCE, err := Profile(prof, &opts, w.Budget)
+		withDCE, err := profileWith(prof, &opts, w.Budget, w.Metrics)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
+		return pair{res, withDCE}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var base, dce []float64
+	for i, name := range SuiteNames() {
+		res, withDCE := results[i].res, results[i].dce
 		f0 := res.Summary.DeadFraction()
 		f1 := withDCE.Summary.DeadFraction()
 		base = append(base, f0)
@@ -132,7 +142,7 @@ func (w *Workspace) E12() (*Experiment, error) {
 // E13 is the limit study: predictor-driven elimination against oracle
 // elimination (perfect deadness knowledge, no recoveries) on the contended
 // machine.
-func (w *Workspace) E13() (*Experiment, error) {
+func (w *Workspace) E13(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e13",
 		Title: "Predictor-driven vs oracle elimination (limit study)",
@@ -143,7 +153,7 @@ func (w *Workspace) E13() (*Experiment, error) {
 	}
 	cfg := pipeline.ContendedConfig()
 	type triple struct{ base, dip, ora pipeline.Stats }
-	results, err := overSuite(w, func(name string) (triple, error) {
+	results, err := overSuite(ctx, w, func(name string) (triple, error) {
 		base, err := w.RunMachine(name, cfg)
 		if err != nil {
 			return triple{}, err
@@ -203,7 +213,7 @@ func (w *Workspace) E13() (*Experiment, error) {
 // the bottleneck is a serialized chain of cache misses, executing fewer
 // dead instructions does not shorten the critical path. Elimination pays
 // off where *bandwidth and occupancy* contend, not where latency does.
-func (w *Workspace) E15() (*Experiment, error) {
+func (w *Workspace) E15(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e15",
 		Title: "Memory-hierarchy depth sensitivity",
@@ -218,7 +228,7 @@ func (w *Workspace) E15() (*Experiment, error) {
 		flat, deep             float64
 		l1MissRate, l2MissRate float64
 	}
-	results, err := overSuite(w, func(name string) (row, error) {
+	results, err := overSuite(ctx, w, func(name string) (row, error) {
 		fb, fe, err := w.elimPair(name, flatCfg)
 		if err != nil {
 			return row{}, err
@@ -263,7 +273,7 @@ func (w *Workspace) E15() (*Experiment, error) {
 // E14 sweeps the predictor's confidence machinery: counter width and
 // prediction threshold trade coverage against accuracy (and therefore
 // recovery cost).
-func (w *Workspace) E14() (*Experiment, error) {
+func (w *Workspace) E14(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:      "e14",
 		Title:   "Predictor confidence sweep",
@@ -277,7 +287,7 @@ func (w *Workspace) E14() (*Experiment, error) {
 		cfg := dip.DefaultConfig()
 		cfg.CounterBits = pt.bits
 		cfg.Threshold = pt.thr
-		results, err := overSuite(w, func(name string) (dip.Result, error) {
+		results, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
 			return w.evalDIP(name, cfg, false)
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/deadness"
@@ -12,7 +13,7 @@ import (
 // result-producing instruction to the overwrite or read that settles its
 // fate. Short distances justify the mechanism's commit-time training and
 // bound how long an eliminated instruction would wait for verification.
-func (w *Workspace) E16() (*Experiment, error) {
+func (w *Workspace) E16(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e16",
 		Title: "Resolve distance of deadness outcomes",
@@ -21,7 +22,7 @@ func (w *Workspace) E16() (*Experiment, error) {
 			"p90", "p99", "within-ROB%", "unresolved"),
 		Metrics: map[string]float64{},
 	}
-	results, err := overSuite(w, func(name string) (deadness.DistanceStats, error) {
+	results, err := overSuite(ctx, w, func(name string) (deadness.DistanceStats, error) {
 		res, err := w.ProfileOf(name)
 		if err != nil {
 			return deadness.DistanceStats{}, err
@@ -49,7 +50,7 @@ func (w *Workspace) E16() (*Experiment, error) {
 // static hint (unbounded profile storage, threshold 0.9): the hint's
 // accuracy is capped by the deadness ratios of partially dead
 // instructions, which only future control flow can split.
-func (w *Workspace) E17() (*Experiment, error) {
+func (w *Workspace) E17(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:    "e17",
 		Title: "Profile-guided static hints vs dynamic prediction",
@@ -60,7 +61,7 @@ func (w *Workspace) E17() (*Experiment, error) {
 	}
 	cfg := dip.DefaultConfig()
 	type trio struct{ strict, loose, dyn dip.Result }
-	results, err := overSuite(w, func(name string) (trio, error) {
+	results, err := overSuite(ctx, w, func(name string) (trio, error) {
 		res, err := w.ProfileOf(name)
 		if err != nil {
 			return trio{}, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/deadness"
@@ -16,7 +17,7 @@ import (
 // few instructions, so only a window's last handful of values are ever
 // left unresolved. The suite's 1M-instruction budget is comfortably
 // unbiased.
-func (w *Workspace) E18() (*Experiment, error) {
+func (w *Workspace) E18(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:      "e18",
 		Title:   "Measurement-window bias of the deadness oracle",
@@ -30,7 +31,7 @@ func (w *Workspace) E18() (*Experiment, error) {
 		full float64
 		at   []float64 // one per window size
 	}
-	results, err := overSuite(w, func(name string) (row, error) {
+	results, err := overSuite(ctx, w, func(name string) (row, error) {
 		res, err := w.ProfileOf(name)
 		if err != nil {
 			return row{}, err
@@ -79,12 +80,22 @@ func (w *Workspace) E18() (*Experiment, error) {
 // windowedDeadFraction splits the trace into disjoint windows, analyzes
 // each independently (values crossing a boundary are conservatively
 // live), and returns the aggregate dead fraction.
+//
+// Windows are re-linked in place over subslices of a single private copy
+// of the records instead of cloning every window: Link rewrites the
+// producer fields, and the input trace is shared by every experiment
+// running concurrently, so it must stay untouched — but one copy per call
+// (instead of one allocation per window) is all that isolation needs.
 func windowedDeadFraction(t *trace.Trace, window int) (float64, error) {
-	n := t.Len()
+	if window <= 0 {
+		return 0, fmt.Errorf("core: window size %d must be positive", window)
+	}
+	recs := make([]trace.Record, t.Len())
+	copy(recs, t.Recs)
 	dead, total := 0, 0
-	for start := 0; start < n; start += window {
-		end := min(start+window, n)
-		sub := &trace.Trace{Recs: append([]trace.Record(nil), t.Recs[start:end]...)}
+	for start := 0; start < len(recs); start += window {
+		end := min(start+window, len(recs))
+		sub := &trace.Trace{Recs: recs[start:end]}
 		if err := sub.Link(); err != nil {
 			return 0, err
 		}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers, tasks = 3, 32
+	p := NewPool(workers)
+	var inFlight, peak atomic.Int64
+	err := p.ForEach(context.Background(), tasks, func(int) error {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeds bound %d", got, workers)
+	}
+}
+
+func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Error("default pool has no workers")
+	}
+	if got := NewPool(7).Workers(); got != 7 {
+		t.Errorf("Workers() = %d, want 7", got)
+	}
+}
+
+func TestPoolRecoversPanics(t *testing.T) {
+	p := NewPool(2)
+	err := p.Do(context.Background(), func() error { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("panic not converted to error: %v", err)
+	}
+	// The slot must have been released despite the panic.
+	if err := p.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Errorf("pool unusable after panic: %v", err)
+	}
+}
+
+func TestPoolContextCancellation(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Occupy the only slot, then cancel: the queued task must not run.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(ctx, func() error { <-release; return nil })
+	}()
+	for len(p.sem) == 0 {
+		time.Sleep(time.Microsecond)
+	}
+	cancel()
+	ran := false
+	err := p.Do(ctx, func() error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("task ran after cancellation")
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	const tasks = 8
+	p := NewPool(tasks)
+	errA, errB := errors.New("a"), errors.New("b")
+	// A barrier ensures every task starts (and so actually reports its
+	// error) before the first failure can cancel anything.
+	var barrier sync.WaitGroup
+	barrier.Add(tasks)
+	err := p.ForEach(context.Background(), tasks, func(i int) error {
+		barrier.Done()
+		barrier.Wait()
+		switch i {
+		case 2:
+			time.Sleep(2 * time.Millisecond)
+			return errA
+		case 5:
+			return errB
+		}
+		return nil
+	})
+	// Both fail, but the lowest-index error wins regardless of which one
+	// fired first.
+	if !errors.Is(err, errA) {
+		t.Errorf("err = %v, want %v", err, errA)
+	}
+}
+
+func TestForEachHonoursPreCancelledContext(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := p.ForEach(ctx, 16, func(int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d tasks ran under a cancelled context", got)
+	}
+}

@@ -1,22 +1,46 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
-// Workspace caches per-benchmark traces and oracle analyses so the
-// experiment drivers can run many machine configurations over the same
-// inputs without re-emulating. It is safe for concurrent use; each
-// benchmark's profile is built exactly once.
+// Counter names the workspace reports through its metrics collector.
+const (
+	// CounterProfileBuilds counts benchmark profiles built from scratch
+	// (compile + emulate + link + analyze).
+	CounterProfileBuilds = "profile_builds"
+	// CounterProfileMemoHits counts profile requests served from the memo.
+	CounterProfileMemoHits = "profile_memo_hits"
+	// CounterMachineSims counts pipeline simulations actually executed.
+	CounterMachineSims = "machine_sims"
+	// CounterMachineMemoHits counts machine runs served from the memo: a
+	// (benchmark, config-digest) pair another experiment already simulated.
+	CounterMachineMemoHits = "machine_memo_hits"
+)
+
+// Workspace caches per-benchmark traces, oracle analyses, and machine
+// simulations so the experiment drivers can run many machine
+// configurations over the same inputs without re-emulating or
+// re-simulating. It is safe for concurrent use: each benchmark's profile
+// and each (benchmark, machine-configuration) simulation is built exactly
+// once, and all heavy work is bounded by the workspace pool.
 type Workspace struct {
 	Budget int
+	// Metrics, when non-nil, receives phase timings and memoization
+	// counters. Set it before first use; a nil collector disables
+	// collection at zero cost.
+	Metrics *metrics.Collector
 
 	mu       sync.Mutex
 	profiles map[string]*profileEntry
+	machines map[machineKey]*machineEntry
+	pool     *Pool
 }
 
 type profileEntry struct {
@@ -25,22 +49,56 @@ type profileEntry struct {
 	err  error
 }
 
+// machineKey identifies one memoized simulation: a benchmark run on one
+// canonical machine configuration.
+type machineKey struct {
+	bench  string
+	digest string
+}
+
+type machineEntry struct {
+	once sync.Once
+	st   pipeline.Stats
+	err  error
+}
+
 // NewWorkspace creates a workspace with the given per-benchmark dynamic
-// instruction budget (DefaultBudget if 0).
+// instruction budget (DefaultBudget if 0) and a GOMAXPROCS-bounded pool.
 func NewWorkspace(budget int) *Workspace {
+	return NewWorkspaceWorkers(budget, 0)
+}
+
+// NewWorkspaceWorkers creates a workspace whose heavy tasks run at most
+// workers at a time (GOMAXPROCS if workers <= 0).
+func NewWorkspaceWorkers(budget, workers int) *Workspace {
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
 	return &Workspace{
 		Budget:   budget,
 		profiles: make(map[string]*profileEntry),
+		machines: make(map[machineKey]*machineEntry),
+		pool:     NewPool(workers),
 	}
+}
+
+// Pool returns the workspace's bounded task pool.
+func (w *Workspace) Pool() *Pool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pool == nil {
+		w.pool = NewPool(0)
+	}
+	return w.pool
 }
 
 // ProfileOf returns the cached trace-level analysis of a suite benchmark,
 // building it on first use.
 func (w *Workspace) ProfileOf(name string) (*ProfileResult, error) {
 	w.mu.Lock()
+	if w.profiles == nil {
+		w.profiles = make(map[string]*profileEntry)
+	}
 	e, ok := w.profiles[name]
 	if !ok {
 		e = &profileEntry{}
@@ -48,28 +106,79 @@ func (w *Workspace) ProfileOf(name string) (*ProfileResult, error) {
 	}
 	w.mu.Unlock()
 
+	built := false
 	e.once.Do(func() {
+		built = true
 		p, err := workload.ByName(name)
 		if err != nil {
 			e.err = err
 			return
 		}
-		e.res, e.err = Profile(p, nil, w.Budget)
+		w.Metrics.Add(CounterProfileBuilds, 1)
+		e.res, e.err = profileWith(p, nil, w.Budget, w.Metrics)
 	})
+	if !built {
+		w.Metrics.Add(CounterProfileMemoHits, 1)
+	}
 	return e.res, e.err
 }
 
-// RunMachine simulates one benchmark on one machine configuration.
+// RunMachine simulates one benchmark on one machine configuration. Runs
+// are memoized by (benchmark, canonical configuration digest): sweeps and
+// elim-off/on pairs shared across experiments simulate exactly once, and
+// repeats are served from the memo (counted by CounterMachineMemoHits).
+// The simulation itself runs on the calling goroutine — callers fanning
+// out should do so through the workspace pool.
 func (w *Workspace) RunMachine(name string, cfg pipeline.Config) (pipeline.Stats, error) {
+	key := machineKey{bench: name, digest: cfg.Digest()}
+	w.mu.Lock()
+	if w.machines == nil {
+		w.machines = make(map[machineKey]*machineEntry)
+	}
+	e, ok := w.machines[key]
+	if !ok {
+		e = &machineEntry{}
+		w.machines[key] = e
+	}
+	w.mu.Unlock()
+
+	simulated := false
+	e.once.Do(func() {
+		simulated = true
+		e.st, e.err = w.simulate(name, cfg)
+	})
+	if !simulated {
+		w.Metrics.Add(CounterMachineMemoHits, 1)
+	}
+	return e.st, e.err
+}
+
+func (w *Workspace) simulate(name string, cfg pipeline.Config) (pipeline.Stats, error) {
 	res, err := w.ProfileOf(name)
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
+	w.Metrics.Add(CounterMachineSims, 1)
+	sp := w.Metrics.Start("simulate", fmt.Sprintf("%s %s", name, cfgLabel(cfg)))
 	st, err := pipeline.Run(res.Trace, res.Analysis, cfg)
+	sp.End(int64(res.Trace.Len()))
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("core: simulating %s: %w", name, err)
 	}
 	return st, nil
+}
+
+// cfgLabel is the short human-readable form of a machine configuration
+// used in verbose progress lines.
+func cfgLabel(cfg pipeline.Config) string {
+	mode := "base"
+	switch {
+	case cfg.OracleElim:
+		mode = "oracle"
+	case cfg.Elim:
+		mode = "elim"
+	}
+	return fmt.Sprintf("%s r%d [%s]", mode, cfg.PhysRegs, cfg.Digest()[:8])
 }
 
 // SuiteNames returns the benchmark names in suite order.
@@ -82,26 +191,20 @@ func SuiteNames() []string {
 	return names
 }
 
-// overSuite runs fn for every suite benchmark concurrently and returns the
-// results in suite order (the concurrency is invisible in the output:
-// every per-benchmark computation is independent and deterministic).
-func overSuite[T any](w *Workspace, fn func(name string) (T, error)) ([]T, error) {
+// overSuite runs fn for every suite benchmark through the workspace's
+// bounded pool and returns the results in suite order (the concurrency is
+// invisible in the output: every per-benchmark computation is independent
+// and deterministic, and errors surface in suite order).
+func overSuite[T any](ctx context.Context, w *Workspace, fn func(name string) (T, error)) ([]T, error) {
 	names := SuiteNames()
 	out := make([]T, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			out[i], errs[i] = fn(name)
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := w.Pool().ForEach(ctx, len(names), func(i int) error {
+		v, err := fn(names[i])
+		out[i] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,238 @@
+// Package metrics provides run observability for the experiment engine:
+// per-phase wall time, dynamic-instruction throughput, allocation deltas,
+// and named counters (memoization hits, simulation counts).
+//
+// A Collector is safe for concurrent use and nil-safe: every method on a
+// nil *Collector is a no-op, so instrumented code can pass a collector
+// through unconditionally and callers that do not care pay nothing.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	runtimemetrics "runtime/metrics"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phase aggregates every span recorded under one phase name (compile,
+// emulate, link, analyze, simulate, ...).
+type Phase struct {
+	Count      int64
+	Wall       time.Duration
+	Insts      int64
+	AllocBytes int64
+}
+
+// MInstPerSec is the phase's aggregate dynamic-instruction throughput in
+// millions per second of wall time (0 when no instructions were recorded).
+func (p Phase) MInstPerSec() float64 {
+	if p.Insts == 0 || p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.Insts) / p.Wall.Seconds() / 1e6
+}
+
+// Collector accumulates phase timings and counters.
+type Collector struct {
+	mu       sync.Mutex
+	verbose  io.Writer
+	phases   map[string]*Phase
+	counters map[string]int64
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{
+		phases:   make(map[string]*Phase),
+		counters: make(map[string]int64),
+	}
+}
+
+// SetVerbose directs a one-line progress message per completed span to w
+// (nil disables). Call before concurrent use.
+func (c *Collector) SetVerbose(w io.Writer) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.verbose = w
+	c.mu.Unlock()
+}
+
+// Add increments a named counter.
+func (c *Collector) Add(counter string, n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters[counter] += n
+	c.mu.Unlock()
+}
+
+// Counter returns a counter's current value.
+func (c *Collector) Counter(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// Span is one in-flight timed region; close it with End.
+type Span struct {
+	c      *Collector
+	phase  string
+	detail string
+	start  time.Time
+	alloc0 uint64
+}
+
+// Start opens a span under the given phase name. The detail string only
+// appears in verbose progress lines, not in the aggregate.
+func (c *Collector) Start(phase, detail string) *Span {
+	if c == nil {
+		return nil
+	}
+	return &Span{
+		c:      c,
+		phase:  phase,
+		detail: detail,
+		start:  time.Now(),
+		alloc0: heapAllocBytes(),
+	}
+}
+
+// End closes the span, folding its wall time, the given dynamic
+// instruction count, and the heap-allocation delta into the phase
+// aggregate. The allocation delta reads a process-global counter, so under
+// concurrency it attributes other goroutines' allocations too — treat it
+// as an upper bound, exact only for serial runs.
+func (s *Span) End(insts int64) {
+	if s == nil {
+		return
+	}
+	wall := time.Since(s.start)
+	alloc := int64(heapAllocBytes() - s.alloc0)
+	c := s.c
+	c.mu.Lock()
+	p := c.phases[s.phase]
+	if p == nil {
+		p = &Phase{}
+		c.phases[s.phase] = p
+	}
+	p.Count++
+	p.Wall += wall
+	p.Insts += insts
+	p.AllocBytes += alloc
+	w := c.verbose
+	c.mu.Unlock()
+	if w != nil {
+		thr := ""
+		if insts > 0 && wall > 0 {
+			thr = fmt.Sprintf("  %6.1f Minst/s", float64(insts)/wall.Seconds()/1e6)
+		}
+		fmt.Fprintf(w, "%-10s %-36s %8.3fs%s  +%s\n",
+			s.phase, s.detail, wall.Seconds(), thr, fmtBytes(alloc))
+	}
+}
+
+// PhaseSummary is the JSON form of one phase aggregate.
+type PhaseSummary struct {
+	Count       int64   `json:"count"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Insts       int64   `json:"instructions,omitempty"`
+	MInstPerSec float64 `json:"minst_per_sec,omitempty"`
+	AllocBytes  int64   `json:"alloc_bytes"`
+}
+
+// Summary is the JSON-serializable snapshot of a collector.
+type Summary struct {
+	Phases   map[string]PhaseSummary `json:"phases,omitempty"`
+	Counters map[string]int64        `json:"counters,omitempty"`
+}
+
+// Summary snapshots the collector.
+func (c *Collector) Summary() Summary {
+	if c == nil {
+		return Summary{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Summary{
+		Phases:   make(map[string]PhaseSummary, len(c.phases)),
+		Counters: make(map[string]int64, len(c.counters)),
+	}
+	for name, p := range c.phases {
+		s.Phases[name] = PhaseSummary{
+			Count:       p.Count,
+			WallSeconds: p.Wall.Seconds(),
+			Insts:       p.Insts,
+			MInstPerSec: p.MInstPerSec(),
+			AllocBytes:  p.AllocBytes,
+		}
+	}
+	for name, v := range c.counters {
+		s.Counters[name] = v
+	}
+	return s
+}
+
+// WriteText renders the summary as an aligned text block (phases sorted by
+// name, then counters), for end-of-run verbose output.
+func (c *Collector) WriteText(w io.Writer) {
+	if c == nil {
+		return
+	}
+	s := c.Summary()
+	names := make([]string, 0, len(s.Phases))
+	for name := range s.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := s.Phases[name]
+		fmt.Fprintf(w, "%-10s %5d calls %9.3fs", name, p.Count, p.WallSeconds)
+		if p.MInstPerSec > 0 {
+			fmt.Fprintf(w, "  %8.1f Minst/s", p.MInstPerSec)
+		}
+		fmt.Fprintf(w, "  +%s\n", fmtBytes(p.AllocBytes))
+	}
+	ctrs := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		ctrs = append(ctrs, name)
+	}
+	sort.Strings(ctrs)
+	for _, name := range ctrs {
+		fmt.Fprintf(w, "%-28s %d\n", name, s.Counters[name])
+	}
+}
+
+var allocSampleName = "/gc/heap/allocs:bytes"
+
+// heapAllocBytes reads the cumulative heap allocation counter; unlike
+// runtime.ReadMemStats it does not stop the world.
+func heapAllocBytes() uint64 {
+	sample := []runtimemetrics.Sample{{Name: allocSampleName}}
+	runtimemetrics.Read(sample)
+	if sample[0].Value.Kind() != runtimemetrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n < 0:
+		return "0B"
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	}
+	return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Add("x", 1)
+	c.SetVerbose(nil)
+	sp := c.Start("simulate", "gzip")
+	if sp != nil {
+		t.Fatal("nil collector returned a live span")
+	}
+	sp.End(100)
+	if got := c.Counter("x"); got != 0 {
+		t.Errorf("nil counter = %d", got)
+	}
+	if s := c.Summary(); s.Phases != nil || s.Counters != nil {
+		t.Errorf("nil summary = %+v", s)
+	}
+	c.WriteText(&bytes.Buffer{})
+}
+
+func TestCountersAndSpans(t *testing.T) {
+	c := New()
+	c.Add("hits", 2)
+	c.Add("hits", 3)
+	if got := c.Counter("hits"); got != 5 {
+		t.Errorf("hits = %d, want 5", got)
+	}
+
+	sp := c.Start("emulate", "gzip")
+	time.Sleep(time.Millisecond)
+	sp.End(1000)
+	sp = c.Start("emulate", "vpr")
+	sp.End(500)
+
+	s := c.Summary()
+	p, ok := s.Phases["emulate"]
+	if !ok {
+		t.Fatalf("no emulate phase: %+v", s)
+	}
+	if p.Count != 2 || p.Insts != 1500 {
+		t.Errorf("emulate phase = %+v", p)
+	}
+	if p.WallSeconds <= 0 || p.MInstPerSec <= 0 {
+		t.Errorf("no wall time or throughput recorded: %+v", p)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add("n", 1)
+				sp := c.Start("analyze", "bench")
+				sp.End(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counter("n"); got != 1600 {
+		t.Errorf("n = %d, want 1600", got)
+	}
+	if p := c.Summary().Phases["analyze"]; p.Count != 1600 || p.Insts != 16000 {
+		t.Errorf("analyze phase = %+v", p)
+	}
+}
+
+func TestVerboseAndText(t *testing.T) {
+	c := New()
+	var buf bytes.Buffer
+	c.SetVerbose(&buf)
+	sp := c.Start("simulate", "gzip [elim]")
+	sp.End(250_000)
+	if out := buf.String(); !strings.Contains(out, "simulate") || !strings.Contains(out, "gzip [elim]") {
+		t.Errorf("verbose line = %q", out)
+	}
+
+	c.Add("machine_memo_hits", 7)
+	var txt bytes.Buffer
+	c.WriteText(&txt)
+	if out := txt.String(); !strings.Contains(out, "simulate") || !strings.Contains(out, "machine_memo_hits") {
+		t.Errorf("text summary = %q", out)
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	c := New()
+	c.Start("compile", "gzip").End(0)
+	c.Add("profile_builds", 1)
+	b, err := json.Marshal(c.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Phases["compile"].Count != 1 || s.Counters["profile_builds"] != 1 {
+		t.Errorf("round-tripped summary = %+v", s)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want string
+	}{{-5, "0B"}, {12, "12B"}, {2048, "2.0KiB"}, {3 << 20, "3.0MiB"}} {
+		if got := fmtBytes(tc.n); got != tc.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}

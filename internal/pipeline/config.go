@@ -16,6 +16,9 @@
 package pipeline
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -148,6 +151,21 @@ func ContendedConfig() Config {
 	c.RFReadPorts = 4
 	c.RFWritePorts = 2
 	return c
+}
+
+// Digest returns a canonical fingerprint of the configuration: two
+// configs describing the same machine (including a dereferenced L2 and
+// the predictor geometry) produce equal digests, which makes it usable as
+// a memoization key for simulation results.
+func (c Config) Digest() string {
+	// Every field is a plain exported value (the L2 pointer marshals by
+	// content, nil as null), so JSON is a stable canonical encoding.
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: config not digestible: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Validate reports configuration errors.

@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestConfigDigestCanonical(t *testing.T) {
+	a, b := ContendedConfig(), ContendedConfig()
+	if a.Digest() != b.Digest() {
+		t.Error("identical configs digest differently")
+	}
+	if BaselineConfig().Digest() == ContendedConfig().Digest() {
+		t.Error("different configs share a digest")
+	}
+
+	b.Elim = true
+	if a.Digest() == b.Digest() {
+		t.Error("elim on/off share a digest")
+	}
+
+	c := BaselineConfig()
+	c.PhysRegs = 64
+	d := BaselineConfig()
+	d.PhysRegs = 64
+	if c.Digest() != d.Digest() {
+		t.Error("equal sweep points digest differently")
+	}
+
+	// L2 must be compared by content, not pointer identity.
+	e, f := DeepMemoryConfig(), DeepMemoryConfig()
+	if e.L2 == f.L2 {
+		t.Fatal("test needs distinct L2 pointers")
+	}
+	if e.Digest() != f.Digest() {
+		t.Error("equal L2 contents digest differently")
+	}
+	l2 := cache.Config{SizeBytes: 512 * 1024, LineBytes: 64, Ways: 8, HitLatency: 12, MissLatency: 90}
+	f.L2 = &l2
+	if e.Digest() == f.Digest() {
+		t.Error("different L2 contents share a digest")
+	}
+	if e.Digest() == ContendedConfig().Digest() {
+		t.Error("nil and non-nil L2 share a digest")
+	}
+}
