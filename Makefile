@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench bench-all check
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,17 @@ race:
 # race detector (which includes the concurrent-vs-sequential engine test).
 check: vet race
 
+# SUBSTRATE_BENCHES are the per-substrate throughput benchmarks tracked in
+# BENCH_2.json: emulator, fused oracle (plus its legacy two-pass
+# comparison), pipeline timing model, and the full experiment engine.
+SUBSTRATE_BENCHES = ^(BenchmarkEmulator|BenchmarkDeadnessOracle|BenchmarkDeadnessOracleLegacy|BenchmarkPipeline|BenchmarkEngineAllExperiments)$$
+
+# bench regenerates BENCH_2.json from the substrate benchmarks (with
+# -benchmem, so allocation counts are tracked alongside throughput).
 bench:
-	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCHES)' -benchmem . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_2.json
+
+# bench-all runs every benchmark once, as a smoke test.
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -187,6 +187,10 @@ func BenchmarkEmulator(b *testing.B) {
 	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }
 
+// BenchmarkDeadnessOracle measures the fused single-pass substrate: one
+// walk derives both the def-use links and the oracle's forward facts.
+// Re-running on the same trace re-derives the links, so each iteration
+// does the full raw-trace-to-analysis work.
 func BenchmarkDeadnessOracle(b *testing.B) {
 	prog, err := asm.Assemble("bench", benchProgramSrc)
 	if err != nil {
@@ -199,6 +203,30 @@ func BenchmarkDeadnessOracle(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if _, err := deadness.LinkAndAnalyze(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkDeadnessOracleLegacy measures the two-pass path (Link, then
+// Analyze) the fused pass replaced, for the speedup comparison.
+func BenchmarkDeadnessOracleLegacy(b *testing.B) {
+	prog, err := asm.Assemble("bench", benchProgramSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := emu.Collect(prog, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Link(); err != nil {
+			b.Fatal(err)
+		}
 		if _, err := deadness.Analyze(tr); err != nil {
 			b.Fatal(err)
 		}

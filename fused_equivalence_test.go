@@ -1,0 +1,140 @@
+// Golden-equivalence guard for the fused trace substrate: the single-pass
+// deadness.LinkAndAnalyze must reproduce, byte for byte, what the legacy
+// two-pass trace.Link + deadness.Analyze computes — producer links, every
+// Analysis fact, and the pipeline statistics simulated on top — across the
+// full workload suite. The fusion changes when facts are computed, never
+// what is computed.
+package repro_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/deadness"
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// collectRaw emulates a suite benchmark without linking.
+func collectRaw(t *testing.T, prof workload.Profile, budget int) *trace.Trace {
+	t.Helper()
+	prog, _, err := prof.Compile(nil)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", prof.Name, err)
+	}
+	m := emu.New(prog)
+	tr := &trace.Trace{}
+	if err := m.Run(budget, tr.Append); err != nil && !errors.Is(err, emu.ErrBudget) {
+		t.Fatalf("%s: run: %v", prof.Name, err)
+	}
+	return tr
+}
+
+func cloneTrace(tr *trace.Trace) *trace.Trace {
+	return &trace.Trace{Recs: append([]trace.Record(nil), tr.Recs...), Linked: tr.Linked}
+}
+
+func TestFusedAnalysisMatchesLegacyTwoPass(t *testing.T) {
+	const budget = 120_000
+	for _, prof := range workload.Suite() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			raw := collectRaw(t, prof, budget)
+
+			legacyTr := cloneTrace(raw)
+			if err := legacyTr.Link(); err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := deadness.Analyze(legacyTr)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fusedTr := cloneTrace(raw)
+			fused, err := deadness.LinkAndAnalyze(fusedTr)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !fusedTr.Linked {
+				t.Error("fused trace not marked linked")
+			}
+			for seq := range legacyTr.Recs {
+				l, f := &legacyTr.Recs[seq], &fusedTr.Recs[seq]
+				if *l != *f {
+					t.Fatalf("seq %d: fused record %+v, legacy %+v", seq, *f, *l)
+				}
+			}
+			if !reflect.DeepEqual(legacy.Kind, fused.Kind) {
+				t.Error("Kind differs")
+			}
+			if !reflect.DeepEqual(legacy.Candidate, fused.Candidate) {
+				t.Error("Candidate differs")
+			}
+			if !reflect.DeepEqual(legacy.EverRead, fused.EverRead) {
+				t.Error("EverRead differs")
+			}
+			if !reflect.DeepEqual(legacy.Resolve, fused.Resolve) {
+				t.Error("Resolve differs")
+			}
+			if legacy.Candidates() != fused.Candidates() {
+				t.Errorf("Candidates() = %d fused, %d legacy",
+					fused.Candidates(), legacy.Candidates())
+			}
+			ls, fs := legacy.Summarize(legacyTr, nil), fused.Summarize(fusedTr, nil)
+			if ls != fs {
+				t.Errorf("summaries differ: fused %+v, legacy %+v", fs, ls)
+			}
+		})
+	}
+}
+
+// TestFusedPipelineStatsMatchLegacy simulates the timing model over both
+// analysis paths (with elimination and the trained predictor on, so the
+// pending-update and eliminated-store machinery is exercised) and requires
+// identical statistics.
+func TestFusedPipelineStatsMatchLegacy(t *testing.T) {
+	const budget = 60_000
+	cfgElim := pipeline.ContendedConfig()
+	cfgElim.Elim = true
+	cfgOracle := pipeline.ContendedConfig()
+	cfgOracle.Elim = true
+	cfgOracle.OracleElim = true
+	for _, prof := range workload.Suite()[:4] {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			raw := collectRaw(t, prof, budget)
+
+			legacyTr := cloneTrace(raw)
+			if err := legacyTr.Link(); err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := deadness.Analyze(legacyTr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fusedTr := cloneTrace(raw)
+			fused, err := deadness.LinkAndAnalyze(fusedTr)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, cfg := range []pipeline.Config{cfgElim, cfgOracle} {
+				ls, err := pipeline.Run(legacyTr, legacy, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs, err := pipeline.Run(fusedTr, fused, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ls, fs) {
+					t.Errorf("stats differ:\nfused  %+v\nlegacy %+v", fs, ls)
+				}
+			}
+		})
+	}
+}

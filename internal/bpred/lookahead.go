@@ -43,6 +43,14 @@ func NewLookahead(dir DirPredictor, t *trace.Trace, depth int) *Lookahead {
 		depth = 16
 	}
 	l := &Lookahead{dir: dir, recs: t.Recs, depth: depth}
+	n := 0
+	for i := range t.Recs {
+		if t.Recs[i].Op.IsCondBranch() {
+			n++
+		}
+	}
+	l.branchPos = make([]int, 0, n)
+	l.preds = make([]bool, 0, n)
 	for i := range t.Recs {
 		if t.Recs[i].Op.IsCondBranch() {
 			l.branchPos = append(l.branchPos, i)

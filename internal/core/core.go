@@ -43,7 +43,7 @@ func Profile(p workload.Profile, opts *compiler.Options, budget int) (*ProfileRe
 // link, and analyze each report wall time, instruction throughput, and
 // allocation deltas through the (nil-safe) collector.
 func profileWith(p workload.Profile, opts *compiler.Options, budget int, mc *metrics.Collector) (*ProfileResult, error) {
-	sp := mc.Start("compile", p.Name)
+	sp := mc.Start(metrics.PhaseCompile, p.Name)
 	prog, passStats, err := p.Compile(opts)
 	sp.End(0)
 	if err != nil {
@@ -58,7 +58,7 @@ func ProfileProgram(name string, prog *program.Program, passStats compiler.PassS
 }
 
 func profileProgramWith(name string, prog *program.Program, passStats compiler.PassStats, budget int, mc *metrics.Collector) (*ProfileResult, error) {
-	sp := mc.Start("emulate", name)
+	sp := mc.Start(metrics.PhaseEmulate, name)
 	m := emu.New(prog)
 	tr := &trace.Trace{Recs: make([]trace.Record, 0, min(budget, 1<<20))}
 	err := m.Run(budget, tr.Append)
@@ -66,15 +66,11 @@ func profileProgramWith(name string, prog *program.Program, passStats compiler.P
 	if err != nil && !errors.Is(err, emu.ErrBudget) {
 		return nil, fmt.Errorf("core: running %s: %w", name, err)
 	}
-	sp = mc.Start("link", name)
-	err = tr.Link()
-	sp.End(int64(tr.Len()))
-	if err != nil {
-		return nil, fmt.Errorf("core: running %s: %w", name, err)
-	}
-	sp = mc.Start("analyze", name)
+	// The fused pass links and analyzes the raw trace in one walk; there
+	// is no separate link phase on this path anymore.
+	sp = mc.Start(metrics.PhaseAnalyze, name)
 	defer func() { sp.End(int64(tr.Len())) }()
-	a, err := deadness.Analyze(tr)
+	a, err := deadness.LinkAndAnalyze(tr)
 	if err != nil {
 		return nil, fmt.Errorf("core: analyzing %s: %w", name, err)
 	}

@@ -82,8 +82,8 @@ func (w *Workspace) E18(ctx context.Context) (*Experiment, error) {
 // live), and returns the aggregate dead fraction.
 //
 // Windows are re-linked in place over subslices of a single private copy
-// of the records instead of cloning every window: Link rewrites the
-// producer fields, and the input trace is shared by every experiment
+// of the records instead of cloning every window: the fused pass rewrites
+// the producer fields, and the input trace is shared by every experiment
 // running concurrently, so it must stay untouched — but one copy per call
 // (instead of one allocation per window) is all that isolation needs.
 func windowedDeadFraction(t *trace.Trace, window int) (float64, error) {
@@ -96,10 +96,7 @@ func windowedDeadFraction(t *trace.Trace, window int) (float64, error) {
 	for start := 0; start < len(recs); start += window {
 		end := min(start+window, len(recs))
 		sub := &trace.Trace{Recs: recs[start:end]}
-		if err := sub.Link(); err != nil {
-			return 0, err
-		}
-		a, err := deadness.Analyze(sub)
+		a, err := deadness.LinkAndAnalyze(sub)
 		if err != nil {
 			return 0, err
 		}

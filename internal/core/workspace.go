@@ -159,7 +159,7 @@ func (w *Workspace) simulate(name string, cfg pipeline.Config) (pipeline.Stats, 
 		return pipeline.Stats{}, err
 	}
 	w.Metrics.Add(CounterMachineSims, 1)
-	sp := w.Metrics.Start("simulate", fmt.Sprintf("%s %s", name, cfgLabel(cfg)))
+	sp := w.Metrics.Start(metrics.PhaseSimulate, fmt.Sprintf("%s %s", name, cfgLabel(cfg)))
 	st, err := pipeline.Run(res.Trace, res.Analysis, cfg)
 	sp.End(int64(res.Trace.Len()))
 	if err != nil {

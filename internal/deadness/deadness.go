@@ -20,12 +20,18 @@
 package deadness
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/isa"
 	"repro/internal/program"
 	"repro/internal/trace"
 )
+
+// ErrUnlinked is returned by Analyze when the trace has not been linked.
+// Callers holding a raw (unlinked) trace should use LinkAndAnalyze, which
+// links and analyzes in a single pass instead of duplicating the walk.
+var ErrUnlinked = errors.New("deadness: trace is not linked (use LinkAndAnalyze)")
 
 // Kind classifies one dynamic instruction instance.
 type Kind uint8
@@ -71,18 +77,14 @@ type Analysis struct {
 	// outcome: the overwriting write (dead) or the first read (read).
 	// Records resolved only by the end of the trace get the trace length.
 	Resolve []int32
+
+	// candidates is the number of true entries in Candidate, counted once
+	// during classification.
+	candidates int
 }
 
 // Candidates counts the records with defined deadness.
-func (a *Analysis) Candidates() int {
-	n := 0
-	for _, c := range a.Candidate {
-		if c {
-			n++
-		}
-	}
-	return n
-}
+func (a *Analysis) Candidates() int { return a.candidates }
 
 // isRoot reports usefulness roots: instructions whose execution matters
 // regardless of any produced value.
@@ -90,14 +92,7 @@ func isRoot(op isa.Op) bool {
 	return op.IsControl() || op == isa.OUT || op == isa.HALT
 }
 
-// Analyze runs the oracle over a linked trace.
-func Analyze(t *trace.Trace) (*Analysis, error) {
-	if !t.Linked {
-		if err := t.Link(); err != nil {
-			return nil, err
-		}
-	}
-	n := t.Len()
+func newAnalysis(n int) *Analysis {
 	a := &Analysis{
 		Kind:      make([]Kind, n),
 		Candidate: make([]bool, n),
@@ -107,6 +102,29 @@ func Analyze(t *trace.Trace) (*Analysis, error) {
 	for i := range a.Resolve {
 		a.Resolve[i] = int32(n)
 	}
+	return a
+}
+
+// markRead records that reader consumed producer's result.
+func (a *Analysis) markRead(producer, reader int32) {
+	if producer != trace.NoProducer {
+		a.EverRead[producer] = true
+		if a.Resolve[producer] == int32(len(a.Resolve)) {
+			a.Resolve[producer] = reader
+		}
+	}
+}
+
+// Analyze runs the oracle over a linked trace (the legacy two-pass path:
+// Link first, then a second full walk for the forward deadness facts). It
+// returns ErrUnlinked rather than silently re-deriving the links; callers
+// with a raw trace should use LinkAndAnalyze.
+func Analyze(t *trace.Trace) (*Analysis, error) {
+	if !t.Linked {
+		return nil, ErrUnlinked
+	}
+	n := t.Len()
+	a := newAnalysis(n)
 
 	// Forward pass: candidates, everRead, and resolve points.
 	var lastRegWriter [isa.NumRegs]int32
@@ -114,29 +132,22 @@ func Analyze(t *trace.Trace) (*Analysis, error) {
 		lastRegWriter[i] = trace.NoProducer
 	}
 	memWriter := trace.NewWriterMap()
-	markRead := func(producer, reader int32) {
-		if producer != trace.NoProducer {
-			a.EverRead[producer] = true
-			if a.Resolve[producer] == int32(n) {
-				a.Resolve[producer] = reader
-			}
-		}
-	}
+	defer memWriter.Reset()
+	var prevBuf []int32
 	for seq := range t.Recs {
 		r := &t.Recs[seq]
-		markRead(r.Src1, int32(seq))
-		markRead(r.Src2, int32(seq))
+		a.markRead(r.Src1, int32(seq))
+		a.markRead(r.Src2, int32(seq))
 		for _, s := range r.MemProducers() {
-			markRead(s, int32(seq))
+			a.markRead(s, int32(seq))
 		}
 		if r.Op.IsStore() {
 			a.Candidate[seq] = true
-			for b := uint64(0); b < uint64(r.Width); b++ {
-				addr := r.Addr + b
-				if prev := memWriter.Get(addr); prev != trace.NoProducer && a.Resolve[prev] == int32(n) {
+			prevBuf = memWriter.Overwrite(r.Addr, int(r.Width), int32(seq), prevBuf[:0])
+			for _, prev := range prevBuf {
+				if a.Resolve[prev] == int32(n) {
 					a.Resolve[prev] = int32(seq) // overwrite resolves the old store
 				}
-				memWriter.Set(addr, int32(seq))
 			}
 		}
 		if r.HasResult() {
@@ -149,7 +160,77 @@ func Analyze(t *trace.Trace) (*Analysis, error) {
 			lastRegWriter[r.Rd] = int32(seq)
 		}
 	}
+	return a.finish(t), nil
+}
 
+// LinkAndAnalyze links the trace and runs the oracle's forward pass in one
+// fused walk over the records: the def-use links and the deadness facts
+// (candidates, everRead, resolve points) maintain identical last-writer
+// state, so deriving both at once halves the substrate's passes. The
+// record producer fields are (re)written exactly as trace.Link would.
+func LinkAndAnalyze(t *trace.Trace) (*Analysis, error) {
+	n := t.Len()
+	a := newAnalysis(n)
+
+	var regWriter [isa.NumRegs]int32
+	for i := range regWriter {
+		regWriter[i] = trace.NoProducer
+	}
+	memWriter := trace.NewWriterMap()
+	defer memWriter.Reset()
+	var prevBuf []int32
+	for seq := range t.Recs {
+		r := &t.Recs[seq]
+		r.Src1, r.Src2 = trace.NoProducer, trace.NoProducer
+		r.NumMemSrcs = 0
+		if r.Op.ReadsRs1() && r.Rs1 != isa.RZero {
+			r.Src1 = regWriter[r.Rs1]
+			a.markRead(r.Src1, int32(seq))
+		}
+		if r.Op.ReadsRs2() && r.Rs2 != isa.RZero {
+			r.Src2 = regWriter[r.Rs2]
+			a.markRead(r.Src2, int32(seq))
+		}
+		if r.Op.IsMem() {
+			if r.Width == 0 || int(r.Width) != r.Op.MemWidth() {
+				return nil, fmt.Errorf("deadness: seq %d: %v has width %d, want %d",
+					seq, r.Op, r.Width, r.Op.MemWidth())
+			}
+		}
+		if r.Op.IsLoad() {
+			memWriter.LoadProducers(r)
+			for _, s := range r.MemProducers() {
+				a.markRead(s, int32(seq))
+			}
+		}
+		if r.Op.IsStore() {
+			a.Candidate[seq] = true
+			prevBuf = memWriter.Overwrite(r.Addr, int(r.Width), int32(seq), prevBuf[:0])
+			for _, prev := range prevBuf {
+				if a.Resolve[prev] == int32(n) {
+					a.Resolve[prev] = int32(seq) // overwrite resolves the old store
+				}
+			}
+		}
+		if r.HasResult() {
+			if !r.Op.IsControl() {
+				a.Candidate[seq] = true
+			}
+			if prev := regWriter[r.Rd]; prev != trace.NoProducer && a.Resolve[prev] == int32(n) {
+				a.Resolve[prev] = int32(seq) // overwrite resolves the old value
+			}
+			regWriter[r.Rd] = int32(seq)
+		}
+	}
+	t.Linked = true
+	return a.finish(t), nil
+}
+
+// finish runs the shared tail of both analysis paths over the forward
+// facts: the reverse usefulness pass, the classification, and the
+// candidate count.
+func (a *Analysis) finish(t *trace.Trace) *Analysis {
+	n := t.Len()
 	// Reverse pass: propagate usefulness from roots to producers. When the
 	// trace was truncated by an instruction budget rather than ending at
 	// HALT, a value that never resolved (neither read nor overwritten)
@@ -187,8 +268,11 @@ func Analyze(t *trace.Trace) (*Analysis, error) {
 		default:
 			a.Kind[seq] = FirstLevel
 		}
+		if a.Candidate[seq] {
+			a.candidates++
+		}
 	}
-	return a, nil
+	return a
 }
 
 // Summary aggregates an analysis over a whole trace.

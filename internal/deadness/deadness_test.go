@@ -1,16 +1,18 @@
-package deadness
+package deadness_test
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/deadness"
 	"repro/internal/emu"
 	"repro/internal/program"
 	"repro/internal/trace"
 )
 
 // analyzeSrc assembles and runs src, then runs the oracle.
-func analyzeSrc(t *testing.T, src string) (*trace.Trace, *Analysis, *program.Program) {
+func analyzeSrc(t *testing.T, src string) (*trace.Trace, *deadness.Analysis, *program.Program) {
 	t.Helper()
 	p, err := asm.Assemble("t", src)
 	if err != nil {
@@ -20,15 +22,15 @@ func analyzeSrc(t *testing.T, src string) (*trace.Trace, *Analysis, *program.Pro
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	a, err := Analyze(tr)
+	a, err := deadness.Analyze(tr)
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
 	}
 	return tr, a, p
 }
 
-// kindAtPC returns the Kind of the single dynamic instance of static pc.
-func kindAtPC(t *testing.T, tr *trace.Trace, a *Analysis, pc int) Kind {
+// kindAtPC returns the deadness.Kind of the single dynamic instance of static pc.
+func kindAtPC(t *testing.T, tr *trace.Trace, a *deadness.Analysis, pc int) deadness.Kind {
 	t.Helper()
 	for seq := range tr.Recs {
 		if int(tr.Recs[seq].PC) == pc {
@@ -36,7 +38,7 @@ func kindAtPC(t *testing.T, tr *trace.Trace, a *Analysis, pc int) Kind {
 		}
 	}
 	t.Fatalf("pc %d not in trace", pc)
-	return Live
+	return deadness.Live
 }
 
 func TestFirstLevelDeadOverwrite(t *testing.T) {
@@ -47,10 +49,10 @@ main:
     out  r1           # 2
     halt              # 3
 `)
-	if a.Kind[0] != FirstLevel {
+	if a.Kind[0] != deadness.FirstLevel {
 		t.Errorf("inst 0 kind = %v, want first-level", a.Kind[0])
 	}
-	if a.Kind[1] != Live {
+	if a.Kind[1] != deadness.Live {
 		t.Errorf("inst 1 kind = %v, want live", a.Kind[1])
 	}
 	if a.Resolve[0] != 1 {
@@ -64,7 +66,7 @@ main:
     addi r1, r0, 1    # 0: never read, trace ends
     halt
 `)
-	if a.Kind[0] != FirstLevel {
+	if a.Kind[0] != deadness.FirstLevel {
 		t.Errorf("kind = %v, want first-level", a.Kind[0])
 	}
 	if a.Resolve[0] != int32(tr.Len()) {
@@ -81,10 +83,10 @@ main:
     out  r2
     halt
 `)
-	if a.Kind[0] != Transitive {
+	if a.Kind[0] != deadness.Transitive {
 		t.Errorf("inst 0 = %v, want transitive", a.Kind[0])
 	}
-	if a.Kind[1] != FirstLevel {
+	if a.Kind[1] != deadness.FirstLevel {
 		t.Errorf("inst 1 = %v, want first-level", a.Kind[1])
 	}
 	if !a.EverRead[0] || a.EverRead[1] {
@@ -100,7 +102,7 @@ main:
     add  r3, r2, r0   # 2: first-level
     halt
 `)
-	for pc, want := range map[int]Kind{0: Transitive, 1: Transitive, 2: FirstLevel} {
+	for pc, want := range map[int]deadness.Kind{0: deadness.Transitive, 1: deadness.Transitive, 2: deadness.FirstLevel} {
 		if a.Kind[pc] != want {
 			t.Errorf("inst %d = %v, want %v", pc, a.Kind[pc], want)
 		}
@@ -116,7 +118,7 @@ main:
 done:
     halt
 `)
-	if a.Kind[0] != Live {
+	if a.Kind[0] != deadness.Live {
 		t.Errorf("branch operand producer = %v, want live", a.Kind[0])
 	}
 }
@@ -128,7 +130,7 @@ main:
     out  r1
     halt
 `)
-	if a.Kind[0] != Live {
+	if a.Kind[0] != deadness.Live {
 		t.Errorf("out operand = %v, want live", a.Kind[0])
 	}
 }
@@ -148,13 +150,13 @@ main:
     halt
 `)
 	_ = p
-	if a.Kind[2] != FirstLevel {
+	if a.Kind[2] != deadness.FirstLevel {
 		t.Errorf("overwritten store = %v, want first-level", a.Kind[2])
 	}
-	if a.Kind[3] != Live {
+	if a.Kind[3] != deadness.Live {
 		t.Errorf("loaded store = %v, want live", a.Kind[3])
 	}
-	if a.Kind[4] != Live {
+	if a.Kind[4] != deadness.Live {
 		t.Errorf("load feeding out = %v, want live", a.Kind[4])
 	}
 }
@@ -169,7 +171,7 @@ main:
     sd r1, 0(r1)      # 1: never loaded
     halt
 `)
-	if a.Kind[1] != FirstLevel {
+	if a.Kind[1] != deadness.FirstLevel {
 		t.Errorf("unloaded store = %v, want first-level", a.Kind[1])
 	}
 }
@@ -188,11 +190,11 @@ main:
     out r3
     halt
 `)
-	if a.Kind[2] != Live {
+	if a.Kind[2] != deadness.Live {
 		t.Errorf("partially overwritten store = %v, want live", a.Kind[2])
 	}
 	// Store 3's byte is never loaded.
-	if a.Kind[3] != FirstLevel {
+	if a.Kind[3] != deadness.FirstLevel {
 		t.Errorf("covering store = %v, want first-level", a.Kind[3])
 	}
 }
@@ -208,10 +210,10 @@ main:
     ld  r2, 0(r1)     # 2: result unread -> first-level
     halt
 `)
-	if a.Kind[1] != Transitive {
+	if a.Kind[1] != deadness.Transitive {
 		t.Errorf("store = %v, want transitive", a.Kind[1])
 	}
-	if a.Kind[2] != FirstLevel {
+	if a.Kind[2] != deadness.FirstLevel {
 		t.Errorf("dead load = %v, want first-level", a.Kind[2])
 	}
 }
@@ -324,7 +326,7 @@ main:
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Analyze(tr)
+	a, err := deadness.Analyze(tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +339,7 @@ main:
 	}
 }
 
-func TestAnalyzeLinksUnlinkedTrace(t *testing.T) {
+func TestAnalyzeRejectsUnlinkedTrace(t *testing.T) {
 	p, err := asm.Assemble("t", "main:\n addi r1, r0, 1\n halt\n")
 	if err != nil {
 		t.Fatal(err)
@@ -350,8 +352,19 @@ func TestAnalyzeLinksUnlinkedTrace(t *testing.T) {
 	if tr.Linked {
 		t.Fatal("trace unexpectedly linked")
 	}
-	if _, err := Analyze(tr); err != nil {
+	if _, err := deadness.Analyze(tr); !errors.Is(err, deadness.ErrUnlinked) {
+		t.Fatalf("Analyze(unlinked) error = %v, want ErrUnlinked", err)
+	}
+	// The fused pass is the entry point for raw traces: it links in place.
+	a, err := deadness.LinkAndAnalyze(tr)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !tr.Linked {
+		t.Error("LinkAndAnalyze did not mark the trace linked")
+	}
+	if a.Candidates() == 0 {
+		t.Error("no candidates after LinkAndAnalyze")
 	}
 }
 

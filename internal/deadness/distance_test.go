@@ -1,4 +1,4 @@
-package deadness
+package deadness_test
 
 import "testing"
 

@@ -1,7 +1,8 @@
-package deadness
+package deadness_test
 
 import (
 	"math"
+	"repro/internal/deadness"
 	"testing"
 )
 
@@ -34,12 +35,12 @@ loop:
 }
 
 func TestComputeLocality(t *testing.T) {
-	profile := []StaticStat{
+	profile := []deadness.StaticStat{
 		{PC: 10, Dyn: 100, Dead: 100}, // fully dead
 		{PC: 20, Dyn: 100, Dead: 60},  // partially, mostly dead
 		{PC: 30, Dyn: 100, Dead: 40},  // partially, not mostly
 	}
-	loc := ComputeLocality(profile, []int{1, 2, 3, 10})
+	loc := deadness.ComputeLocality(profile, []int{1, 2, 3, 10})
 	if loc.DeadStatics != 3 || loc.TotalDead != 200 {
 		t.Fatalf("loc = %+v", loc)
 	}
@@ -62,21 +63,21 @@ func TestComputeLocality(t *testing.T) {
 }
 
 func TestComputeLocalityEmpty(t *testing.T) {
-	loc := ComputeLocality(nil, nil)
+	loc := deadness.ComputeLocality(nil, nil)
 	if loc.TotalDead != 0 || loc.DeadStatics != 0 {
 		t.Errorf("empty locality = %+v", loc)
 	}
-	if len(loc.CoverageAt) != len(DefaultCoveragePoints) {
+	if len(loc.CoverageAt) != len(deadness.DefaultCoveragePoints) {
 		t.Errorf("default points not applied")
 	}
 }
 
 func TestKindString(t *testing.T) {
-	if Live.String() != "live" || FirstLevel.String() != "first-level" ||
-		Transitive.String() != "transitive" {
+	if deadness.Live.String() != "live" || deadness.FirstLevel.String() != "first-level" ||
+		deadness.Transitive.String() != "transitive" {
 		t.Error("kind names wrong")
 	}
-	if !FirstLevel.Dead() || !Transitive.Dead() || Live.Dead() {
+	if !deadness.FirstLevel.Dead() || !deadness.Transitive.Dead() || deadness.Live.Dead() {
 		t.Error("Dead() wrong")
 	}
 }

@@ -1,7 +1,8 @@
-package deadness
+package deadness_test
 
 import (
 	"math"
+	"repro/internal/deadness"
 	"testing"
 )
 
@@ -22,7 +23,7 @@ loop:
     out  r4            # other
     halt               # other
 `)
-	m := ComputeMix(tr)
+	m := deadness.ComputeMix(tr)
 	if m.Total != tr.Len() {
 		t.Fatalf("total = %d, want %d", m.Total, tr.Len())
 	}
@@ -54,7 +55,7 @@ loop:
 }
 
 func TestMixZeroValues(t *testing.T) {
-	var m Mix
+	var m deadness.Mix
 	if m.Fraction(1) != 0 || m.TakenRate() != 0 {
 		t.Error("zero-trace mix rates should be 0")
 	}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/deadness"
 	"repro/internal/isa"
 	"repro/internal/program"
 	"repro/internal/trace"
@@ -279,13 +280,38 @@ func (m *Machine) Run(budget int, sink func(trace.Record)) error {
 // instruction window of a longer-running benchmark. Hard execution faults
 // still return an error.
 func Collect(p *program.Program, budget int) (*trace.Trace, *Machine, error) {
+	t, m, err := collect(p, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := t.Link(); err != nil {
+		return nil, nil, err
+	}
+	return t, m, nil
+}
+
+// CollectAnalyzed runs the program like Collect and feeds the raw trace
+// straight into the fused link+analyze pass, so the whole substrate —
+// emulate, link, oracle — walks the records exactly twice (once to emit,
+// once fused) instead of three times.
+func CollectAnalyzed(p *program.Program, budget int) (*trace.Trace, *deadness.Analysis, *Machine, error) {
+	t, m, err := collect(p, budget)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	a, err := deadness.LinkAndAnalyze(t)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return t, a, m, nil
+}
+
+// collect emits the raw (unlinked) trace of one run.
+func collect(p *program.Program, budget int) (*trace.Trace, *Machine, error) {
 	m := New(p)
 	t := &trace.Trace{Recs: make([]trace.Record, 0, min(budget, 1<<20))}
 	err := m.Run(budget, t.Append)
 	if err != nil && !errors.Is(err, ErrBudget) {
-		return nil, nil, err
-	}
-	if err := t.Link(); err != nil {
 		return nil, nil, err
 	}
 	return t, m, nil

@@ -16,6 +16,18 @@ import (
 	"time"
 )
 
+// Canonical phase names used by the experiment engine. PhaseAnalyze covers
+// the fused link+analyze pass over a raw trace (the separate "link" phase
+// disappeared when the substrate became single-pass); PhaseLink remains for
+// callers that still link without analyzing (e.g. trace deserialization).
+const (
+	PhaseCompile  = "compile"
+	PhaseEmulate  = "emulate"
+	PhaseLink     = "link"
+	PhaseAnalyze  = "analyze"
+	PhaseSimulate = "simulate"
+)
+
 // Phase aggregates every span recorded under one phase name (compile,
 // emulate, link, analyze, simulate, ...).
 type Phase struct {

@@ -57,30 +57,44 @@ type Machine struct {
 	l2   *cache.Cache
 	pred *dip.Predictor
 
-	// Reorder buffer as a ring keyed by sequence number.
-	rob     []*uop
+	// Reorder buffer as a ring keyed by sequence number. Slots are values
+	// in a fixed arena indexed seq%ROBSize, so renaming an instruction
+	// reuses its slot instead of allocating a uop.
+	rob     []uop
 	headSeq int // oldest in-flight sequence
 	tailSeq int // next sequence to rename
 	count   int
 
-	iq       []*uop
+	// iq holds the sequence numbers of waiting uops; issued entries are
+	// marked -1 until compaction. Capacity is fixed at IQSize.
+	iq       []int32
 	lsqCount int
 
 	freeRegs int
 	// Architectural rename state: poisoned marks registers whose current
 	// mapping belongs to an eliminated (not yet resurrected) producer.
 	poisoned [isa.NumRegs]bool
-	// elimStores holds eliminated stores whose bytes were never re-read.
-	elimStores map[int32]bool
+	// elimStore[seq] marks eliminated stores whose bytes were never
+	// re-read; nil unless elimination is enabled.
+	elimStore []bool
 
-	fetchQ     []int // sequence numbers fetched, waiting for rename
+	// Fetch queue: a fixed ring of sequence numbers waiting for rename.
+	fq         []int
+	fqHead     int
+	fqLen      int
 	fetchSeq   int   // next sequence to fetch
 	fetchStall int64 // bubble cycles remaining
 	redirect   int   // seq of unresolved mispredicted branch; -1 none
 
 	renameStallUntil int64
 
-	pending map[int32][]pendingUpd
+	// Dead-predictor training events bucketed by resolution sequence: a
+	// seq-indexed intrusive list (head/tail per resolve point, next links
+	// through the event arena). Only allocated when a predictor trains.
+	pendHead []int32
+	pendTail []int32
+	pendBuf  []pendingUpd
+	pendNext []int32
 
 	now   int64
 	stats Stats
@@ -112,19 +126,22 @@ func New(t *trace.Trace, a *deadness.Analysis, cfg Config) (*Machine, error) {
 		dc, l2, mem = h.L1, h.L2, h
 	}
 	m := &Machine{
-		cfg:        cfg,
-		recs:       t.Recs,
-		an:         a,
-		btb:        bpred.NewBTB(cfg.BTBLogEntries, 12),
-		ras:        bpred.NewRAS(cfg.RASDepth),
-		dc:         dc,
-		mem:        mem,
-		l2:         l2,
-		rob:        make([]*uop, cfg.ROBSize),
-		freeRegs:   cfg.PhysRegs - isa.NumRegs,
-		elimStores: make(map[int32]bool),
-		redirect:   -1,
-		pending:    make(map[int32][]pendingUpd),
+		cfg:      cfg,
+		recs:     t.Recs,
+		an:       a,
+		btb:      bpred.NewBTB(cfg.BTBLogEntries, 12),
+		ras:      bpred.NewRAS(cfg.RASDepth),
+		dc:       dc,
+		mem:      mem,
+		l2:       l2,
+		rob:      make([]uop, cfg.ROBSize),
+		iq:       make([]int32, 0, cfg.IQSize),
+		fq:       make([]int, 4*cfg.FetchWidth),
+		freeRegs: cfg.PhysRegs - isa.NumRegs,
+		redirect: -1,
+	}
+	if cfg.Elim {
+		m.elimStore = make([]bool, t.Len())
 	}
 	depth := 1
 	if cfg.Elim && cfg.DIP.PathLen > 0 {
@@ -134,6 +151,11 @@ func New(t *trace.Trace, a *deadness.Analysis, cfg Config) (*Machine, error) {
 		bpred.NewGshare(cfg.GshareLogEntries, cfg.GshareHistBits), t, depth)
 	if cfg.Elim && !cfg.OracleElim {
 		m.pred = dip.New(cfg.DIP)
+		m.pendHead = make([]int32, t.Len())
+		for i := range m.pendHead {
+			m.pendHead[i] = -1
+		}
+		m.pendTail = make([]int32, t.Len())
 	}
 	return m, nil
 }
@@ -172,7 +194,7 @@ func (m *Machine) Simulate() (Stats, error) {
 	return m.stats, nil
 }
 
-func (m *Machine) at(seq int) *uop { return m.rob[seq%len(m.rob)] }
+func (m *Machine) at(seq int) *uop { return &m.rob[seq%len(m.rob)] }
 
 // producerReady reports whether dynamic producer p no longer blocks a
 // consumer: committed, finished executing, or eliminated (an eliminated
@@ -213,10 +235,11 @@ func (m *Machine) commit() {
 		}
 		// Dead-predictor training events resolved by this instruction.
 		if m.pred != nil {
-			for _, up := range m.pending[int32(u.seq)] {
+			for idx := m.pendHead[u.seq]; idx >= 0; idx = m.pendNext[idx] {
+				up := &m.pendBuf[idx]
 				m.pred.Update(int(up.pc), up.sig, up.dead)
 			}
-			delete(m.pending, int32(u.seq))
+			m.pendHead[u.seq] = -1
 		}
 		m.headSeq++
 		m.count--
@@ -269,8 +292,12 @@ func (m *Machine) issue() {
 	issued := 0
 
 	for i := 0; i < len(m.iq) && issued < m.cfg.IssueWidth; i++ {
-		u := m.iq[i]
-		if u == nil || u.state != sWaiting {
+		s := m.iq[i]
+		if s < 0 {
+			continue
+		}
+		u := m.at(int(s))
+		if u.state != sWaiting {
 			continue
 		}
 		r := &m.recs[u.seq]
@@ -312,7 +339,7 @@ func (m *Machine) issue() {
 		m.stats.RFReads += int64(nsrc)
 		u.state = sIssued
 		u.doneCycle = m.now + int64(m.execLatency(u, r))
-		m.iq[i] = nil
+		m.iq[i] = -1
 	}
 	m.compactIQ()
 }
@@ -360,9 +387,9 @@ func (m *Machine) execLatency(u *uop, r *trace.Record) int {
 
 func (m *Machine) compactIQ() {
 	out := m.iq[:0]
-	for _, u := range m.iq {
-		if u != nil {
-			out = append(out, u)
+	for _, s := range m.iq {
+		if s >= 0 {
+			out = append(out, s)
 		}
 	}
 	m.iq = out
@@ -375,15 +402,19 @@ func (m *Machine) rename() {
 		m.stats.StallRecovery++
 		return
 	}
-	for k := 0; k < m.cfg.RenameWidth && len(m.fetchQ) > 0; k++ {
-		seq := m.fetchQ[0]
+	for k := 0; k < m.cfg.RenameWidth && m.fqLen > 0; k++ {
+		seq := m.fq[m.fqHead]
 		r := &m.recs[seq]
 		if m.count == len(m.rob) {
 			m.stats.StallROB++
 			return
 		}
 
-		u := &uop{
+		// The slot for seq is free (its previous occupant committed when
+		// count dropped below the ROB size), so build the uop in place; a
+		// stall below simply leaves the slot to be rewritten on retry.
+		u := m.at(seq)
+		*u = uop{
 			seq:     seq,
 			isLoad:  r.Op.IsLoad(),
 			isStore: r.Op.IsStore(),
@@ -438,23 +469,23 @@ func (m *Machine) rename() {
 		}
 
 		// Commit point of no return: consume the fetch queue entry.
-		m.fetchQ = m.fetchQ[1:]
+		m.fqHead = (m.fqHead + 1) % len(m.fq)
+		m.fqLen--
 		if rd, ok := rdest(r); ok {
 			m.poisoned[rd] = elim
 		}
 		if elim {
 			u.state = sEliminated
 			if u.isStore {
-				m.elimStores[int32(seq)] = true
+				m.elimStore[seq] = true
 			}
 		} else {
 			u.state = sWaiting
-			m.iq = append(m.iq, u)
+			m.iq = append(m.iq, int32(seq))
 			if u.isLoad || u.isStore {
 				m.lsqCount++
 			}
 		}
-		m.rob[seq%len(m.rob)] = u
 		m.tailSeq = seq + 1
 		m.count++
 	}
@@ -480,10 +511,10 @@ func (m *Machine) checkPoison(r *trace.Record) bool {
 		m.poisoned[r.Rs2] = false
 		hit = true
 	}
-	if r.Op.IsLoad() {
+	if r.Op.IsLoad() && m.elimStore != nil {
 		for _, p := range r.MemProducers() {
-			if m.elimStores[p] {
-				delete(m.elimStores, p)
+			if m.elimStore[p] {
+				m.elimStore[p] = false
 				// Resurrecting the store performs its cache write now.
 				pr := &m.recs[p]
 				m.mem.Access(pr.Addr, int(pr.Width), true)
@@ -505,7 +536,8 @@ func (m *Machine) checkPoison(r *trace.Record) bool {
 }
 
 // schedule queues the dead-predictor training event at the instruction's
-// resolution point (when the pipeline learns the outcome).
+// resolution point (when the pipeline learns the outcome). Events append
+// to the arena and chain onto their resolve bucket in arrival order.
 func (m *Machine) schedule(seq int, pc int32, sig uint16) {
 	dead := m.an.Kind[seq].Dead()
 	resolve := m.an.Resolve[seq]
@@ -513,7 +545,15 @@ func (m *Machine) schedule(seq int, pc int32, sig uint16) {
 		// Resolves beyond the simulated window; train at own commit.
 		resolve = int32(seq)
 	}
-	m.pending[resolve] = append(m.pending[resolve], pendingUpd{pc, sig, dead})
+	idx := int32(len(m.pendBuf))
+	m.pendBuf = append(m.pendBuf, pendingUpd{pc, sig, dead})
+	m.pendNext = append(m.pendNext, -1)
+	if m.pendHead[resolve] < 0 {
+		m.pendHead[resolve] = idx
+	} else {
+		m.pendNext[m.pendTail[resolve]] = idx
+	}
+	m.pendTail[resolve] = idx
 }
 
 // ----------------------------------------------------------------- fetch
@@ -536,14 +576,14 @@ func (m *Machine) fetch() {
 		m.redirect = -1
 	}
 	n := len(m.recs)
-	capQ := 4 * m.cfg.FetchWidth
 	for k := 0; k < m.cfg.FetchWidth; k++ {
-		if m.fetchSeq >= n || len(m.fetchQ) >= capQ {
+		if m.fetchSeq >= n || m.fqLen >= len(m.fq) {
 			return
 		}
 		seq := m.fetchSeq
 		r := &m.recs[seq]
-		m.fetchQ = append(m.fetchQ, seq)
+		m.fq[(m.fqHead+m.fqLen)%len(m.fq)] = seq
+		m.fqLen++
 		m.fetchSeq++
 
 		switch {

@@ -76,6 +76,7 @@ func (t *Trace) Link() error {
 		regWriter[i] = NoProducer
 	}
 	memWriter := NewWriterMap()
+	defer memWriter.Reset()
 
 	for seq := range t.Recs {
 		r := &t.Recs[seq]
@@ -94,14 +95,10 @@ func (t *Trace) Link() error {
 			}
 		}
 		if r.Op.IsLoad() {
-			for b := uint64(0); b < uint64(r.Width); b++ {
-				r.addMemSrc(memWriter.Get(r.Addr + b))
-			}
+			memWriter.LoadProducers(r)
 		}
 		if r.Op.IsStore() {
-			for b := uint64(0); b < uint64(r.Width); b++ {
-				memWriter.Set(r.Addr+b, int32(seq))
-			}
+			memWriter.Claim(r.Addr, int(r.Width), int32(seq))
 		}
 		if r.HasResult() {
 			regWriter[r.Rd] = int32(seq)

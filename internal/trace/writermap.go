@@ -1,21 +1,84 @@
 package trace
 
+import "sync"
+
 // WriterMap tracks the most recent dynamic writer (a sequence number) of
 // every memory byte, using page-grained storage so the per-byte bookkeeping
 // of the linker and the deadness oracle stays fast on multi-million-
 // instruction traces.
+//
+// Within a page the tracking is word-granular: each aligned 8-byte word
+// records one covering writer plus a byte mask selecting which of its bytes
+// that writer owns. The common case — an aligned doubleword store later
+// read by an aligned load — touches one slot instead of eight. Bytes
+// claimed by partial or unaligned stores spill into a per-byte overflow
+// array allocated on first use. Pages are recycled through a sync.Pool
+// (see Reset), so repeated link/analyze runs in one process reuse pages
+// instead of reallocating and re-initializing them.
 type WriterMap struct {
 	pages map[uint64]*writerPage
 }
 
 const wpageBits = 12
-const wpageSize = 1 << wpageBits
+const wpageSize = 1 << wpageBits // bytes per page
+const wpageWords = wpageSize / 8 // aligned 8-byte words per page
 
-type writerPage [wpageSize]int32
+// fullMask marks every byte of a word as covered by the word writer.
+const fullMask = 0xff
+
+type writerPage struct {
+	// word[w] wrote the bytes of word w whose bit in mask[w] is set; a
+	// byte with a clear bit reads from the overflow array instead. A
+	// fresh (or scrubbed) page has every mask full and every word writer
+	// NoProducer, so the overflow array never needs scrubbing: its stale
+	// entries are unreachable until a partial store re-claims the byte.
+	word [wpageWords]int32
+	mask [wpageWords]uint8
+	// bytes holds per-byte writers for partially-claimed words; nil until
+	// the first unaligned or sub-word store touches the page.
+	bytes *[wpageSize]int32
+}
+
+// scrub restores the page to the empty state (every byte NoProducer).
+func (p *writerPage) scrub() {
+	for i := range p.word {
+		p.word[i] = NoProducer
+	}
+	for i := range p.mask {
+		p.mask[i] = fullMask
+	}
+}
+
+var pagePool = sync.Pool{
+	New: func() any {
+		p := new(writerPage)
+		p.scrub()
+		return p
+	},
+}
 
 // NewWriterMap creates an empty map; every byte reads NoProducer.
 func NewWriterMap() *WriterMap {
 	return &WriterMap{pages: make(map[uint64]*writerPage, 64)}
+}
+
+// Reset empties the map and returns its pages to the shared pool so a
+// later link or analysis run (this map or another) can reuse them.
+func (w *WriterMap) Reset() {
+	for key, pg := range w.pages {
+		pg.scrub()
+		pagePool.Put(pg)
+		delete(w.pages, key)
+	}
+}
+
+func (w *WriterMap) page(key uint64) *writerPage {
+	pg, ok := w.pages[key]
+	if !ok {
+		pg = pagePool.Get().(*writerPage)
+		w.pages[key] = pg
+	}
+	return pg
 }
 
 // Get returns the last writer of addr, or NoProducer.
@@ -24,19 +87,150 @@ func (w *WriterMap) Get(addr uint64) int32 {
 	if !ok {
 		return NoProducer
 	}
-	return pg[addr&(wpageSize-1)]
+	off := addr & (wpageSize - 1)
+	if pg.mask[off>>3]&(1<<(off&7)) != 0 {
+		return pg.word[off>>3]
+	}
+	if pg.bytes == nil {
+		return NoProducer
+	}
+	return pg.bytes[off]
 }
 
-// Set records seq as the last writer of addr.
+// Set records seq as the last writer of the single byte at addr.
 func (w *WriterMap) Set(addr uint64, seq int32) {
-	key := addr >> wpageBits
-	pg, ok := w.pages[key]
-	if !ok {
-		pg = new(writerPage)
-		for i := range pg {
-			pg[i] = NoProducer
-		}
-		w.pages[key] = pg
+	pg := w.page(addr >> wpageBits)
+	pg.setByte(addr&(wpageSize-1), seq)
+}
+
+// setByte claims one byte for seq, demoting it out of the word writer's
+// coverage into the overflow array.
+func (p *writerPage) setByte(off uint64, seq int32) {
+	if p.bytes == nil {
+		p.bytes = new([wpageSize]int32)
 	}
-	pg[addr&(wpageSize-1)] = seq
+	p.bytes[off] = seq
+	p.mask[off>>3] &^= 1 << (off & 7)
+}
+
+// getByte returns the writer of one byte.
+func (p *writerPage) getByte(off uint64) int32 {
+	if p.mask[off>>3]&(1<<(off&7)) != 0 {
+		return p.word[off>>3]
+	}
+	if p.bytes == nil {
+		return NoProducer
+	}
+	return p.bytes[off]
+}
+
+// aligned reports whether [addr, addr+width) is exactly one aligned
+// 8-byte word.
+func aligned(addr uint64, width int) bool {
+	return width == 8 && addr&7 == 0
+}
+
+// Claim records seq as the writer of every byte in [addr, addr+width)
+// without collecting the previous writers (the linker's store path).
+func (w *WriterMap) Claim(addr uint64, width int, seq int32) {
+	if aligned(addr, width) {
+		pg := w.page(addr >> wpageBits)
+		wi := (addr & (wpageSize - 1)) >> 3
+		pg.word[wi] = seq
+		pg.mask[wi] = fullMask
+		return
+	}
+	for width > 0 {
+		pg := w.page(addr >> wpageBits)
+		off := addr & (wpageSize - 1)
+		n := uint64(width)
+		if off+n > wpageSize {
+			n = wpageSize - off
+		}
+		for b := uint64(0); b < n; b++ {
+			pg.setByte(off+b, seq)
+		}
+		addr += n
+		width -= int(n)
+	}
+}
+
+// Overwrite records seq as the writer of [addr, addr+width) and appends
+// the previous writers of the span, in byte order and skipping
+// NoProducer, to prev (the oracle's store path: each returned writer is a
+// store whose bytes this one overwrote). The full-word fast path reports
+// a single covering writer once instead of eight times; callers must not
+// rely on per-byte multiplicity, only on the set of writers.
+func (w *WriterMap) Overwrite(addr uint64, width int, seq int32, prev []int32) []int32 {
+	if aligned(addr, width) {
+		pg := w.page(addr >> wpageBits)
+		wi := (addr & (wpageSize - 1)) >> 3
+		if pg.mask[wi] == fullMask {
+			if p := pg.word[wi]; p != NoProducer {
+				prev = append(prev, p)
+			}
+		} else {
+			for b := uint64(0); b < 8; b++ {
+				if p := pg.getByte(wi<<3 + b); p != NoProducer {
+					prev = append(prev, p)
+				}
+			}
+		}
+		pg.word[wi] = seq
+		pg.mask[wi] = fullMask
+		return prev
+	}
+	for width > 0 {
+		pg := w.page(addr >> wpageBits)
+		off := addr & (wpageSize - 1)
+		n := uint64(width)
+		if off+n > wpageSize {
+			n = wpageSize - off
+		}
+		for b := uint64(0); b < n; b++ {
+			if p := pg.getByte(off + b); p != NoProducer {
+				prev = append(prev, p)
+			}
+			pg.setByte(off+b, seq)
+		}
+		addr += n
+		width -= int(n)
+	}
+	return prev
+}
+
+// LoadProducers fills r.MemSrcs with the distinct writers of the load's
+// byte span, in byte order (the linker's load path).
+func (w *WriterMap) LoadProducers(r *Record) {
+	r.NumMemSrcs = 0
+	addr, width := r.Addr, int(r.Width)
+	if aligned(addr, width) {
+		pg, ok := w.pages[addr>>wpageBits]
+		if !ok {
+			return
+		}
+		wi := (addr & (wpageSize - 1)) >> 3
+		if pg.mask[wi] == fullMask {
+			r.addMemSrc(pg.word[wi])
+			return
+		}
+		for b := uint64(0); b < 8; b++ {
+			r.addMemSrc(pg.getByte(wi<<3 + b))
+		}
+		return
+	}
+	for width > 0 {
+		off := addr & (wpageSize - 1)
+		n := uint64(width)
+		if off+n > wpageSize {
+			n = wpageSize - off
+		}
+		if pg, ok := w.pages[addr>>wpageBits]; ok {
+			for b := uint64(0); b < n; b++ {
+				r.addMemSrc(pg.getByte(off + b))
+			}
+		}
+		addr += n
+		width -= int(n)
+	}
 }
