@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-all check
+.PHONY: build test vet race bench bench-all check fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,18 @@ race:
 # check is the CI gate: static analysis plus the full suite under the
 # race detector (which includes the concurrent-vs-sequential engine test).
 check: vet race
+
+# fuzz runs the untrusted-input fuzz targets for a short budget each:
+# trace deserialization and assembler parsing. CI runs this non-gating;
+# raise FUZZTIME for local soaking.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz '^FuzzTraceLoad$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -fuzz '^FuzzAsmParse$$' -fuzztime $(FUZZTIME) ./internal/asm
+
+# chaos runs the fault-injection soak on its own under the race detector.
+chaos:
+	$(GO) test -race -run '^TestChaosSoak$$' -v ./internal/core
 
 # SUBSTRATE_BENCHES are the per-substrate throughput benchmarks tracked in
 # BENCH_2.json: emulator, fused oracle (plus its legacy two-pass

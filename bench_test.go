@@ -235,7 +235,10 @@ func BenchmarkDeadnessOracleLegacy(b *testing.B) {
 }
 
 func BenchmarkDIPLookup(b *testing.B) {
-	p := dip.New(dip.DefaultConfig())
+	p, err := dip.New(dip.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
 	for pc := 0; pc < 256; pc++ {
 		p.Update(pc, uint16(pc&3), true)
 		p.Update(pc, uint16(pc&3), true)

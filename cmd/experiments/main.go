@@ -8,6 +8,15 @@
 // Usage:
 //
 //	experiments [-e id[,id...]] [-n budget] [-j workers] [-v] [-md | -json]
+//	            [-keep-going] [-timeout d] [-retries n]
+//
+// Failure handling: each experiment attempt is bounded by -timeout,
+// transient failures (see internal/faults) retry up to -retries attempts
+// with exponential backoff, and -keep-going switches to partial-results
+// mode — every experiment runs, failures are reported per experiment, and
+// the exit code is 3 instead of 1 when at least one experiment succeeded.
+// The FAULTS / FAULTS_SEED environment variables arm the deterministic
+// fault injector for resilience testing.
 package main
 
 import (
@@ -20,16 +29,33 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 )
 
+// Exit codes: 0 all experiments succeeded, 1 run failed, 2 bad usage or
+// environment, 3 partial success under -keep-going.
+const (
+	exitOK      = 0
+	exitFailed  = 1
+	exitUsage   = 2
+	exitPartial = 3
+)
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	ids := flag.String("e", "", "comma-separated experiment ids (default: all)")
 	budget := flag.Int("n", core.DefaultBudget, "per-benchmark dynamic instruction budget")
 	md := flag.Bool("md", false, "emit markdown sections (EXPERIMENTS.md body)")
 	asJSON := flag.Bool("json", false, "emit machine-readable metrics")
 	workers := flag.Int("j", 0, "max concurrently executing heavy tasks (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
+	keepGoing := flag.Bool("keep-going", false, "run every experiment even after failures; report failures per experiment")
+	timeout := flag.Duration("timeout", 0, "deadline per experiment attempt (0 = none)")
+	retries := flag.Int("retries", 1, "attempts per experiment; failures classified transient are retried with backoff")
 	flag.Parse()
 
 	list := core.ExperimentIDs()
@@ -46,21 +72,51 @@ func main() {
 		mc.SetVerbose(os.Stderr)
 	}
 	w.Metrics = mc
+	w.KeepGoing = *keepGoing
+	w.Timeout = *timeout
+	if *retries > 1 {
+		p := core.DefaultRetryPolicy()
+		p.MaxAttempts = *retries
+		w.Retry = p
+	}
+
+	if inj, err := faults.FromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
+	} else if inj != nil {
+		inj.Metrics = mc
+		faults.Set(inj)
+		fmt.Fprintf(os.Stderr, "fault injection armed at %d site(s) via $%s\n",
+			len(inj.Sites()), faults.EnvSpec)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	exps, err := w.RunExperiments(ctx, list)
-	if err != nil {
+	if err != nil && !*keepGoing {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return exitFailed
 	}
 
+	failed := 0
 	switch {
 	case *asJSON:
-		printJSON(exps, mc)
+		if !printJSON(exps, mc) {
+			return exitFailed
+		}
+		for _, e := range exps {
+			if e.Err != nil {
+				failed++
+			}
+		}
 	case *md:
 		for _, e := range exps {
+			if e.Err != nil {
+				failed++
+				fmt.Printf("## %s — FAILED\n\n```\n%v\n```\n\n", strings.ToUpper(e.ID), e.Err)
+				continue
+			}
 			fmt.Printf("## %s — %s\n\n", strings.ToUpper(e.ID), e.Title)
 			fmt.Printf("Paper claim: *%s*\n\n```\n%s```\n\n", e.Claim, e.Table)
 			if e.Figure != nil {
@@ -69,6 +125,11 @@ func main() {
 		}
 	default:
 		for _, e := range exps {
+			if e.Err != nil {
+				failed++
+				fmt.Printf("=== %s: FAILED after %d attempt(s)\n%v\n\n", strings.ToUpper(e.ID), e.Attempts, e.Err)
+				continue
+			}
 			fmt.Printf("=== %s: %s (%.1fs)\n", strings.ToUpper(e.ID), e.Title, e.Wall.Seconds())
 			fmt.Printf("claim: %s\n\n%s\n", e.Claim, e.Table)
 			if e.Figure != nil {
@@ -80,29 +141,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "\n--- run summary (%d workers) ---\n", w.Pool().Workers())
 		mc.WriteText(os.Stderr)
 	}
+	switch {
+	case failed == 0:
+		return exitOK
+	case failed == len(exps):
+		fmt.Fprintf(os.Stderr, "all %d experiments failed\n", failed)
+		return exitFailed
+	default:
+		fmt.Fprintf(os.Stderr, "%d of %d experiments failed\n", failed, len(exps))
+		return exitPartial
+	}
 }
 
 // printJSON emits the machine-readable form: the experiments array is
 // deterministic (identical for any -j), while the run section carries the
 // wall-clock phase report and memoization counters of this particular run.
-func printJSON(exps []*core.Experiment, mc *metrics.Collector) {
+// Failed experiments (partial-results mode) carry error and attempts in
+// place of metrics.
+func printJSON(exps []*core.Experiment, mc *metrics.Collector) bool {
 	type jsonExp struct {
-		ID      string             `json:"id"`
-		Title   string             `json:"title"`
-		Claim   string             `json:"claim"`
-		Metrics map[string]float64 `json:"metrics"`
+		ID       string             `json:"id"`
+		Title    string             `json:"title,omitempty"`
+		Claim    string             `json:"claim,omitempty"`
+		Metrics  map[string]float64 `json:"metrics,omitempty"`
+		Error    string             `json:"error,omitempty"`
+		Attempts int                `json:"attempts,omitempty"`
 	}
 	out := struct {
 		Experiments []jsonExp       `json:"experiments"`
 		Run         metrics.Summary `json:"run"`
 	}{Run: mc.Summary()}
 	for _, e := range exps {
-		out.Experiments = append(out.Experiments, jsonExp{e.ID, e.Title, e.Claim, e.Metrics})
+		je := jsonExp{ID: e.ID, Title: e.Title, Claim: e.Claim, Metrics: e.Metrics}
+		if e.Err != nil {
+			// Keep only the first line: injected-panic errors embed stacks.
+			je.Error, _, _ = strings.Cut(e.Err.Error(), "\n")
+			je.Attempts = e.Attempts
+		}
+		out.Experiments = append(out.Experiments, je)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return false
 	}
+	return true
 }

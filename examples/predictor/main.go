@@ -58,7 +58,11 @@ func main() {
 		{"CFI (oracle future paths)   ", dip.Options{Config: cfi, UseActualPath: true}},
 	}
 	for _, row := range rows {
-		r := dip.Evaluate(tr, an, row.opt)
+		r, err := dip.Evaluate(tr, an, row.opt)
+		if err != nil {
+			fmt.Println("evaluate:", err)
+			return
+		}
 		fmt.Printf("%s  %.2f KB  coverage %5.1f%%  accuracy %5.1f%%  (%d false positives)\n",
 			row.label, row.opt.Config.StateKB(),
 			100*r.Coverage(), 100*r.Accuracy(), r.FalsePositives())

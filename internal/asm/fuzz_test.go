@@ -1,0 +1,48 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAsmParse feeds arbitrary source text to the assembler. Assembly
+// source arrives from files and generators, so the property is total:
+// any input either assembles into a program that passes validation (which
+// Assemble runs internally) or returns an error — never a panic.
+func FuzzAsmParse(f *testing.F) {
+	for _, src := range []string{
+		"",
+		"main:\n halt\n",
+		"main:\n addi r1, r0, 1\n out r1\n halt\n",
+		"main:\n addi r1, r0, 4\nloop:\n addi r1, r1, -1\n bne r1, r0, loop\n halt\n",
+		".data\nbuf: .quad 1, 2, 3\n.text\nmain:\n la r1, buf\n ld r2, 0(r1)\n halt\n",
+		"main:\n call fn\n halt\nfn:\n ret\n",
+		"# comment only\n; and another\n",
+		"main:\n addi r1, r0, 99999999999999999999\n halt\n", // overflowing immediate
+		"main:\n ld r1, 8(r2\n halt\n",                       // unbalanced paren
+		"dup:\ndup:\n halt\n",                                // duplicate label
+	} {
+		f.Add(src)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		// The assembler splits on newlines; gigantic single lines only
+		// slow the fuzzer down without covering new parse states.
+		if len(src) > 1<<16 {
+			return
+		}
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			if p != nil {
+				t.Fatal("error with non-nil program")
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("nil program with nil error")
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("assembled program fails validation: %v\nsource:\n%s", err, strings.TrimSpace(src))
+		}
+	})
+}

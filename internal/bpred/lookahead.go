@@ -1,6 +1,7 @@
 package bpred
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/trace"
@@ -80,15 +81,27 @@ func (l *Lookahead) branchIdxAfter(seq int) int {
 	return sort.SearchInts(l.branchPos, seq+1)
 }
 
+// NotBranchError is the typed error for a lookahead query at a trace
+// position that does not hold a conditional branch.
+type NotBranchError struct {
+	Pos int
+}
+
+func (e *NotBranchError) Error() string {
+	return fmt.Sprintf("bpred: trace position %d is not a conditional branch", e.Pos)
+}
+
 // PredAt returns the predicted direction of the conditional branch at
-// trace position pos. It panics if pos is not a conditional branch.
-func (l *Lookahead) PredAt(pos int) bool {
+// trace position pos. Querying a position that is not a conditional
+// branch returns a *NotBranchError: callers index into traces they did
+// not construct, so a misaligned position must be reportable, not fatal.
+func (l *Lookahead) PredAt(pos int) (bool, error) {
 	idx := sort.SearchInts(l.branchPos, pos)
 	if idx >= len(l.branchPos) || l.branchPos[idx] != pos {
-		panic("bpred: PredAt position is not a conditional branch")
+		return false, &NotBranchError{Pos: pos}
 	}
 	l.ensure(idx)
-	return l.preds[idx]
+	return l.preds[idx], nil
 }
 
 // SigAfter returns the path signature at trace position seq: bit i is the

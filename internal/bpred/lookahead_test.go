@@ -1,6 +1,7 @@
 package bpred
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/asm"
@@ -90,18 +91,20 @@ func TestPredictionsAreCachedAndCounted(t *testing.T) {
 func TestPredAt(t *testing.T) {
 	tr := loopTrace(t)
 	l := NewLookahead(Static{TakenAlways: true}, tr, 4)
-	if !l.PredAt(2) {
+	pred, err := l.PredAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred {
 		t.Error("static-taken should predict taken")
 	}
 	if l.Branches != 1 {
 		t.Errorf("branches = %d, want 1", l.Branches)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("PredAt on a non-branch did not panic")
-		}
-	}()
-	l.PredAt(0)
+	var nbe *NotBranchError
+	if _, err := l.PredAt(0); !errors.As(err, &nbe) || nbe.Pos != 0 {
+		t.Errorf("PredAt on a non-branch returned %v, want *NotBranchError", err)
+	}
 }
 
 func TestEnsureThroughTrainsAll(t *testing.T) {

@@ -1,8 +1,6 @@
 package compiler
 
 import (
-	"fmt"
-
 	"repro/internal/isa"
 	"repro/internal/program"
 )
@@ -103,14 +101,4 @@ func Compile(f *Func, opts Options) (*program.Program, PassStats, error) {
 		return nil, st, err
 	}
 	return p, st, nil
-}
-
-// MustCompile is Compile for known-good functions; it panics on error and
-// exists for tests and the workload generator.
-func MustCompile(f *Func, opts Options) *program.Program {
-	p, _, err := Compile(f, opts)
-	if err != nil {
-		panic(fmt.Sprintf("compiler: %v", err))
-	}
-	return p
 }

@@ -94,6 +94,13 @@ func Interpret(f *Func, budget int) ([]uint64, error) {
 }
 
 // aluEval mirrors the emulator's register-register semantics.
+//
+// Invariant: the eval helpers below are only reached for opcodes the
+// interpreter's dispatch already classified (ALU, ALU-immediate, branch),
+// so their trailing switch panics are unreachable for any IR that passed
+// Func.Validate. They stay panics deliberately — hitting one means the
+// classifier and the evaluator disagree, which is a bug in this package,
+// not a condition a caller can provoke or handle.
 func aluEval(op isa.Op, a, b uint64) uint64 {
 	switch op {
 	case isa.ADD:

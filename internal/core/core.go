@@ -99,5 +99,5 @@ func EvalPredictor(p workload.Profile, cfg dip.Config, budget int, actualPath bo
 	return dip.Evaluate(prof.Trace, prof.Analysis, dip.Options{
 		Config:        cfg,
 		UseActualPath: actualPath,
-	}), nil
+	})
 }

@@ -4,10 +4,59 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
 )
+
+// Failure is one experiment's structured failure.
+type Failure struct {
+	ID string
+	// Err is the final error after any retries; injected faults remain
+	// reachable through its chain (errors.As(*faults.Error)).
+	Err error
+	// Attempts is how many dispatch attempts ran.
+	Attempts int
+}
+
+// RunError reports a partially failed run. It always carries the
+// experiments that completed before (or despite) the failure, so callers
+// never lose finished work to an unrelated error — the chaos soak relies
+// on this to compare survivors against a clean run.
+type RunError struct {
+	// Completed holds the successfully finished experiments in input
+	// order.
+	Completed []*Experiment
+	// Failures holds the failed experiments in input order. Experiments
+	// cancelled because a sibling failed first appear with a
+	// context.Canceled error.
+	Failures []Failure
+}
+
+// Error summarizes the run: the failure count and the first failure that
+// is not a cancellation casualty.
+func (e *RunError) Error() string {
+	primary := e.Failures[0].Err
+	for _, f := range e.Failures {
+		if !errors.Is(f.Err, context.Canceled) {
+			primary = f.Err
+			break
+		}
+	}
+	return fmt.Sprintf("core: %d of %d experiments failed (%d completed): %v",
+		len(e.Failures), len(e.Failures)+len(e.Completed), len(e.Completed), primary)
+}
+
+// Unwrap exposes every failure's error to errors.Is / errors.As.
+func (e *RunError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f.Err
+	}
+	return errs
+}
 
 // RunExperiments runs the requested experiments concurrently over the
 // workspace and returns them in input order, so output stays
@@ -15,93 +64,145 @@ import (
 // gets a lightweight coordinator goroutine (with panic recovery); all
 // heavy per-benchmark work inside the experiments funnels through the
 // workspace's bounded pool, so total parallelism stays at the pool's
-// bound even with experiments × suite fan-out. The first failure cancels
-// the work still pending.
+// bound even with experiments × suite fan-out.
+//
+// Failure semantics follow the workspace's knobs: each attempt is bounded
+// by Timeout, transient failures retry per Retry, and the run degrades
+// per KeepGoing. With KeepGoing false (the default) the first failure
+// cancels the work still pending and RunExperiments returns (nil, *RunError)
+// carrying the experiments that had already completed. With KeepGoing
+// true every experiment runs to completion; the returned slice has one
+// entry per requested ID — failed entries carry Err and no Table — and
+// the error is a *RunError describing the failures (nil if none).
 func (w *Workspace) RunExperiments(ctx context.Context, ids []string) ([]*Experiment, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	// Build every benchmark profile once upfront: all experiments need
-	// them, and preloading keeps the verbose phase report tidy.
-	if err := w.Preload(ctx); err != nil {
+	// them, and preloading keeps the verbose phase report tidy. Transient
+	// build failures retry here; under KeepGoing a benchmark that still
+	// fails is left for the experiments that need it to report.
+	if err := w.Preload(ctx); err != nil && !w.KeepGoing {
 		return nil, err
 	}
 
 	out := make([]*Experiment, len(ids))
-	errs := make([]error, len(ids))
+	failures := make([]*Failure, len(ids))
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("core: experiment %s panicked: %v\n%s", id, r, debug.Stack())
+			e, attempts, err := w.runOne(ctx, id)
+			if err != nil {
+				failures[i] = &Failure{ID: id, Err: fmt.Errorf("experiment %s: %w", id, err), Attempts: attempts}
+				w.Metrics.Add(metrics.CounterExperimentFailures, 1)
+				if !w.KeepGoing {
 					cancel()
 				}
-			}()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
 				return
 			}
-			sp := w.Metrics.Start("experiment", id)
-			start := time.Now()
-			e, err := w.dispatch(ctx, id)
-			sp.End(0)
-			if err != nil {
-				errs[i] = fmt.Errorf("experiment %s: %w", id, err)
-				cancel()
-				return
-			}
-			e.Wall = time.Since(start)
+			e.Attempts = attempts
 			out[i] = e
 		}(i, id)
 	}
 	wg.Wait()
 
-	// Deterministic error selection: lowest input index, preferring real
-	// failures over cancellation casualties.
-	var first error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if !errors.Is(err, context.Canceled) {
-			return nil, err
-		}
-		if first == nil {
-			first = err
+	runErr := &RunError{}
+	for i, f := range failures {
+		if f != nil {
+			runErr.Failures = append(runErr.Failures, *f)
+		} else if out[i] != nil {
+			runErr.Completed = append(runErr.Completed, out[i])
 		}
 	}
-	if first != nil {
-		return nil, first
+	if len(runErr.Failures) == 0 {
+		return out, nil
 	}
-	return out, nil
+	if !w.KeepGoing {
+		return nil, runErr
+	}
+	// Partial-results mode: every requested ID gets an entry; failed ones
+	// carry their error in place of tables and metrics.
+	for i, f := range failures {
+		if f != nil {
+			out[i] = &Experiment{ID: f.ID, Err: f.Err, Attempts: f.Attempts}
+		}
+	}
+	return out, runErr
 }
 
-// Preload builds every suite benchmark's profile through the bounded pool.
+// runOne runs one experiment with per-attempt deadlines and transient
+// retry, reporting wall time across all attempts.
+func (w *Workspace) runOne(ctx context.Context, id string) (*Experiment, int, error) {
+	sp := w.Metrics.Start("experiment", id)
+	start := time.Now()
+	var e *Experiment
+	attempts, err := retryTransient(ctx, w.Retry, w.Metrics, func(ctx context.Context) error {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if w.Timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, w.Timeout)
+		}
+		defer cancel()
+		var aerr error
+		e, aerr = w.dispatchSafe(actx, id)
+		return aerr
+	})
+	sp.End(0)
+	if err != nil {
+		return nil, attempts, err
+	}
+	e.Wall = time.Since(start)
+	return e, attempts, nil
+}
+
+// dispatchSafe is dispatch with panic containment: a panicking experiment
+// (or an injected panic that escaped deeper recovery layers) becomes an
+// error whose chain still reaches the panic value.
+func (w *Workspace) dispatchSafe(ctx context.Context, id string) (e *Experiment, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, err = nil, recoveredError(fmt.Sprintf("core: experiment %s panicked", id), r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return w.dispatch(ctx, id)
+}
+
+// Preload builds every suite benchmark's profile through the bounded
+// pool, retrying transient build failures per the workspace policy.
 func (w *Workspace) Preload(ctx context.Context) error {
 	_, err := overSuite(ctx, w, func(name string) (struct{}, error) {
-		_, err := w.ProfileOf(name)
+		_, err := retryTransient(ctx, w.Retry, w.Metrics, func(context.Context) error {
+			_, err := w.ProfileOf(name)
+			return err
+		})
 		return struct{}{}, err
 	})
 	return err
 }
 
 // RunExperiment preloads the suite and dispatches one experiment by ID
-// (case-sensitive, lowercase).
+// (case-sensitive, lowercase) under the workspace's timeout and retry
+// policy.
 func (w *Workspace) RunExperiment(ctx context.Context, id string) (*Experiment, error) {
 	if err := w.Preload(ctx); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	e, err := w.dispatch(ctx, id)
+	e, attempts, err := w.runOne(ctx, id)
 	if err != nil {
 		return nil, err
 	}
-	e.Wall = time.Since(start)
+	e.Attempts = attempts
 	return e, nil
 }
+
+// IsTransient reports whether an error is worth retrying; it is
+// faults.IsTransient re-exported so engine callers need not import the
+// injector package.
+func IsTransient(err error) bool { return faults.IsTransient(err) }
 
 func (w *Workspace) dispatch(ctx context.Context, id string) (*Experiment, error) {
 	switch id {

@@ -29,6 +29,13 @@ type Experiment struct {
 	// Wall is how long the experiment took; it reflects scheduling and
 	// memoization, so it is excluded from deterministic comparisons.
 	Wall time.Duration
+	// Attempts is how many dispatch attempts ran (>1 means transient
+	// failures were retried). Like Wall, it is run-specific.
+	Attempts int
+	// Err is the structured failure of an experiment that did not
+	// complete; set only in RunExperiments' partial-results (KeepGoing)
+	// mode, where such entries carry no Table, Figure, or Metrics.
+	Err error
 }
 
 // ExperimentIDs lists the reproduced experiments in order.
@@ -246,12 +253,12 @@ func (w *Workspace) evalDIP(name string, cfg dip.Config, actualPath bool) (dip.R
 		return dip.Result{}, err
 	}
 	sp := w.Metrics.Start("predict", fmt.Sprintf("%s %s", name, cfg.Name()))
-	r := dip.Evaluate(res.Trace, res.Analysis, dip.Options{
+	r, err := dip.Evaluate(res.Trace, res.Analysis, dip.Options{
 		Config:        cfg,
 		UseActualPath: actualPath,
 	})
 	sp.End(int64(res.Trace.Len()))
-	return r, nil
+	return r, err
 }
 
 // E6 is the future-control-flow ablation: the CFI predictor against a

@@ -48,7 +48,7 @@ func (w *Workspace) E11(ctx context.Context) (*Experiment, error) {
 			return dip.Evaluate(res.Trace, res.Analysis, dip.Options{
 				Config: cfg,
 				Dir:    mk.make(),
-			}), nil
+			})
 		})
 		if err != nil {
 			return nil, err

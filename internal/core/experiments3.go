@@ -66,10 +66,14 @@ func (w *Workspace) E17(ctx context.Context) (*Experiment, error) {
 		if err != nil {
 			return trio{}, err
 		}
+		dyn, err := dip.Evaluate(res.Trace, res.Analysis, dip.Options{Config: cfg})
+		if err != nil {
+			return trio{}, err
+		}
 		return trio{
 			strict: dip.StaticHintResult(res.Trace, res.Analysis, 0.5, 0.9),
 			loose:  dip.StaticHintResult(res.Trace, res.Analysis, 0.5, 0.5),
-			dyn:    dip.Evaluate(res.Trace, res.Analysis, dip.Options{Config: cfg}),
+			dyn:    dyn,
 		}, nil
 	})
 	if err != nil {

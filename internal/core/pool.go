@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"repro/internal/faults"
 )
 
 // Pool bounds the number of concurrently executing heavy tasks (profile
@@ -32,9 +34,10 @@ func NewPool(workers int) *Pool {
 func (p *Pool) Workers() int { return cap(p.sem) }
 
 // Do runs fn on the calling goroutine once a slot is free. A panic in fn
-// is recovered and returned as an error; a context cancelled while
-// waiting for a slot returns ctx.Err() without running fn. Tasks must not
-// call Do re-entrantly while holding a slot.
+// is recovered and returned as an error (preserving the panic value's
+// error chain, so injected faults stay attributable); a context cancelled
+// while waiting for a slot returns ctx.Err() without running fn. Tasks
+// must not call Do re-entrantly while holding a slot.
 func (p *Pool) Do(ctx context.Context, fn func() error) (err error) {
 	// Check upfront so an already-cancelled context never runs the task
 	// (the select below picks randomly when both channels are ready).
@@ -49,10 +52,23 @@ func (p *Pool) Do(ctx context.Context, fn func() error) (err error) {
 	defer func() { <-p.sem }()
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("core: task panic: %v\n%s", r, debug.Stack())
+			err = recoveredError("core: task panic", r)
 		}
 	}()
+	if err := faults.Fire(faults.SitePoolTask); err != nil {
+		return err
+	}
 	return fn()
+}
+
+// recoveredError converts a recovered panic value into an error. Error
+// panic values are wrapped (not stringified) so errors.Is/As still see
+// the chain — the fault injector's panics carry their site this way.
+func recoveredError(prefix string, r any) error {
+	if e, ok := r.(error); ok {
+		return fmt.Errorf("%s: %w\n%s", prefix, e, debug.Stack())
+	}
+	return fmt.Errorf("%s: %v\n%s", prefix, r, debug.Stack())
 }
 
 // ForEach runs fn(i) for every i in [0, n) with the pool's concurrency

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// RetryPolicy bounds how the engine re-runs transiently failing work:
+// exponential backoff from BaseDelay, doubling per attempt, capped at
+// MaxDelay. Only errors classified transient (faults.IsTransient) are
+// retried; permanent errors, context cancellation, and deadline expiry
+// fail immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (<= 1 means no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms when
+	// retries are enabled).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is a reasonable interactive policy: three attempts
+// with 10ms/20ms backoffs.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the delay before retrying after the given 1-based
+// failed attempt: BaseDelay << (attempt-1), capped at MaxDelay.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	return min(d, p.MaxDelay)
+}
+
+// retryTransient runs op until it succeeds, fails permanently, exhausts
+// the policy's attempts, or the context ends. It returns how many
+// attempts ran and the final error. Each retry is counted on mc under
+// metrics.CounterRetries.
+func retryTransient(ctx context.Context, p RetryPolicy, mc *metrics.Collector, op func(context.Context) error) (int, error) {
+	p = p.normalized()
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return attempt, err
+		}
+		err := op(ctx)
+		if err == nil {
+			return attempt, nil
+		}
+		if ctx.Err() != nil || !faults.IsTransient(err) || attempt >= p.MaxAttempts {
+			return attempt, err
+		}
+		mc.Add(metrics.CounterRetries, 1)
+		select {
+		case <-ctx.Done():
+			return attempt, ctx.Err()
+		case <-time.After(p.backoff(attempt)):
+		}
+	}
+}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
@@ -36,6 +39,17 @@ type Workspace struct {
 	// counters. Set it before first use; a nil collector disables
 	// collection at zero cost.
 	Metrics *metrics.Collector
+
+	// Timeout bounds each experiment attempt with a deadline that
+	// propagates through the pool fan-out (0 = none).
+	Timeout time.Duration
+	// Retry governs re-running experiments that fail transiently (see
+	// faults.IsTransient). The zero policy means a single attempt.
+	Retry RetryPolicy
+	// KeepGoing switches RunExperiments to partial-results mode: every
+	// experiment runs to completion and failures are reported per
+	// experiment instead of cancelling the whole run.
+	KeepGoing bool
 
 	mu       sync.Mutex
 	profiles map[string]*profileEntry
@@ -93,7 +107,11 @@ func (w *Workspace) Pool() *Pool {
 }
 
 // ProfileOf returns the cached trace-level analysis of a suite benchmark,
-// building it on first use.
+// building it on first use. Only successes and deterministic (permanent)
+// failures are memoized: an entry that fails transiently — an injected
+// fault, a cancelled context — is evicted so a later attempt rebuilds it,
+// which is what makes engine-level retry effective. A panicking build is
+// converted to an error rather than poisoning the entry.
 func (w *Workspace) ProfileOf(name string) (*ProfileResult, error) {
 	w.mu.Lock()
 	if w.profiles == nil {
@@ -109,18 +127,46 @@ func (w *Workspace) ProfileOf(name string) (*ProfileResult, error) {
 	built := false
 	e.once.Do(func() {
 		built = true
-		p, err := workload.ByName(name)
-		if err != nil {
-			e.err = err
-			return
-		}
-		w.Metrics.Add(CounterProfileBuilds, 1)
-		e.res, e.err = profileWith(p, nil, w.Budget, w.Metrics)
+		e.res, e.err = w.buildProfile(name)
 	})
 	if !built {
 		w.Metrics.Add(CounterProfileMemoHits, 1)
 	}
+	if e.err != nil && evictable(e.err) {
+		w.mu.Lock()
+		if w.profiles[name] == e {
+			delete(w.profiles, name)
+		}
+		w.mu.Unlock()
+	}
 	return e.res, e.err
+}
+
+// buildProfile runs one memoized profile build with panic containment.
+func (w *Workspace) buildProfile(name string) (res *ProfileResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recoveredError(fmt.Sprintf("core: profiling %s panicked", name), r)
+		}
+	}()
+	if err := faults.Fire(faults.SiteWorkspaceMemo); err != nil {
+		return nil, fmt.Errorf("core: profiling %s: %w", name, err)
+	}
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	w.Metrics.Add(CounterProfileBuilds, 1)
+	return profileWith(p, nil, w.Budget, w.Metrics)
+}
+
+// evictable reports whether a memo entry's failure should be forgotten so
+// the work can be re-attempted: transient faults and context cancellation
+// or expiry (a run aborted mid-build must not poison the next run).
+// Deterministic failures stay memoized — rebuilding would just fail again.
+func evictable(err error) bool {
+	return faults.IsTransient(err) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // RunMachine simulates one benchmark on one machine configuration. Runs
@@ -150,17 +196,32 @@ func (w *Workspace) RunMachine(name string, cfg pipeline.Config) (pipeline.Stats
 	if !simulated {
 		w.Metrics.Add(CounterMachineMemoHits, 1)
 	}
+	if e.err != nil && evictable(e.err) {
+		w.mu.Lock()
+		if w.machines[key] == e {
+			delete(w.machines, key)
+		}
+		w.mu.Unlock()
+	}
 	return e.st, e.err
 }
 
-func (w *Workspace) simulate(name string, cfg pipeline.Config) (pipeline.Stats, error) {
+func (w *Workspace) simulate(name string, cfg pipeline.Config) (st pipeline.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = pipeline.Stats{}, recoveredError(fmt.Sprintf("core: simulating %s panicked", name), r)
+		}
+	}()
+	if err := faults.Fire(faults.SiteSimulate); err != nil {
+		return pipeline.Stats{}, fmt.Errorf("core: simulating %s: %w", name, err)
+	}
 	res, err := w.ProfileOf(name)
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
 	w.Metrics.Add(CounterMachineSims, 1)
 	sp := w.Metrics.Start(metrics.PhaseSimulate, fmt.Sprintf("%s %s", name, cfgLabel(cfg)))
-	st, err := pipeline.Run(res.Trace, res.Analysis, cfg)
+	st, err = pipeline.Run(res.Trace, res.Analysis, cfg)
 	sp.End(int64(res.Trace.Len()))
 	if err != nil {
 		return pipeline.Stats{}, fmt.Errorf("core: simulating %s: %w", name, err)

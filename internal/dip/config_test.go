@@ -41,7 +41,7 @@ func TestStateBitsMonotoneInEveryKnob(t *testing.T) {
 
 func TestPredictorIsDeterministic(t *testing.T) {
 	run := func() []bool {
-		p := New(DefaultConfig())
+		p := mustNew(t, DefaultConfig())
 		var out []bool
 		for i := 0; i < 5000; i++ {
 			pc := (i * 37) & 1023

@@ -18,7 +18,6 @@
 package dip
 
 import (
-	"errors"
 	"fmt"
 )
 
@@ -66,24 +65,35 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// ConfigError reports an invalid predictor geometry. It is the typed
+// error returned by Config.Validate and New, so callers wiring
+// user-supplied geometry can distinguish a bad configuration from other
+// failures with errors.As.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string { return fmt.Sprintf("dip: %s %s", e.Field, e.Reason) }
+
+// Validate reports configuration errors (as a *ConfigError).
 func (c Config) Validate() error {
 	switch {
 	case c.LogSets < 0 || c.LogSets > 20:
-		return fmt.Errorf("dip: LogSets %d out of range", c.LogSets)
+		return &ConfigError{"LogSets", fmt.Sprintf("%d out of range", c.LogSets)}
 	case c.Ways < 1:
-		return errors.New("dip: Ways must be >= 1")
+		return &ConfigError{"Ways", "must be >= 1"}
 	case c.TagBits < 1 || c.TagBits > 30:
-		return fmt.Errorf("dip: TagBits %d out of range", c.TagBits)
+		return &ConfigError{"TagBits", fmt.Sprintf("%d out of range", c.TagBits)}
 	case c.PathLen < 0 || c.PathLen > 16:
-		return fmt.Errorf("dip: PathLen %d out of range", c.PathLen)
+		return &ConfigError{"PathLen", fmt.Sprintf("%d out of range", c.PathLen)}
 	case c.SigSlots < 1:
-		return errors.New("dip: SigSlots must be >= 1")
+		return &ConfigError{"SigSlots", "must be >= 1"}
 	case c.CounterBits < 1 || c.CounterBits > 8:
-		return fmt.Errorf("dip: CounterBits %d out of range", c.CounterBits)
+		return &ConfigError{"CounterBits", fmt.Sprintf("%d out of range", c.CounterBits)}
 	case c.Threshold < 1 || c.Threshold > 1<<c.CounterBits-1:
-		return fmt.Errorf("dip: Threshold %d out of range for %d-bit counters",
-			c.Threshold, c.CounterBits)
+		return &ConfigError{"Threshold", fmt.Sprintf("%d out of range for %d-bit counters",
+			c.Threshold, c.CounterBits)}
 	}
 	return nil
 }
@@ -161,11 +171,13 @@ type Predictor struct {
 	Evictions   int
 }
 
-// New creates a predictor. It panics on an invalid configuration (detect
-// with Config.Validate first when the geometry is user input).
-func New(cfg Config) *Predictor {
+// New creates a predictor. An invalid configuration returns a typed
+// *ConfigError instead of panicking: geometry is routinely user input
+// (sweep flags, experiment configs), so the caller must be able to
+// handle it.
+func New(cfg Config) (*Predictor, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	nsets := 1 << cfg.LogSets
 	p := &Predictor{
@@ -182,7 +194,7 @@ func New(cfg Config) *Predictor {
 		}
 		p.sets[i] = ways
 	}
-	return p
+	return p, nil
 }
 
 // Config returns the predictor's configuration.

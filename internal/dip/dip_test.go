@@ -1,10 +1,20 @@
 package dip
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+func mustNew(t testing.TB, cfg Config) *Predictor {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
 
 func TestDefaultConfigValidAndSmall(t *testing.T) {
 	cfg := DefaultConfig()
@@ -58,7 +68,7 @@ func TestCounterVariantName(t *testing.T) {
 }
 
 func TestLearnsDeadPC(t *testing.T) {
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	const pc, sig = 100, 0b1010
 	if p.Predict(pc, sig) {
 		t.Fatal("cold predictor predicted dead")
@@ -75,7 +85,7 @@ func TestLearnsDeadPC(t *testing.T) {
 
 func TestPathSignatureSeparatesInstances(t *testing.T) {
 	// Same PC: dead on path A, live on path B. CFI keeps them apart.
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	const pc = 7
 	const deadPath, livePath = 0b0001, 0b0000
 	for i := 0; i < 4; i++ {
@@ -93,7 +103,7 @@ func TestPathSignatureSeparatesInstances(t *testing.T) {
 func TestNoCFICannotSeparatePaths(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PathLen = 0
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	const pc = 7
 	// Alternating outcomes keep the single counter oscillating below a
 	// confident dead prediction on at least one phase; crucially the two
@@ -110,7 +120,7 @@ func TestNoCFICannotSeparatePaths(t *testing.T) {
 }
 
 func TestLiveOutcomeDecaysConfidence(t *testing.T) {
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	const pc, sig = 3, 0b11
 	for i := 0; i < 4; i++ {
 		p.Update(pc, sig, true)
@@ -127,7 +137,7 @@ func TestLiveOutcomeDecaysConfidence(t *testing.T) {
 }
 
 func TestLiveOnlyPCAllocatesNothing(t *testing.T) {
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	for pc := 0; pc < 100; pc++ {
 		p.Update(pc, 0, false)
 	}
@@ -139,7 +149,7 @@ func TestLiveOnlyPCAllocatesNothing(t *testing.T) {
 func TestSlotReplacement(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SigSlots = 2
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	const pc = 11
 	// Fill both slots with strong signatures.
 	for i := 0; i < 3; i++ {
@@ -167,7 +177,7 @@ func TestEntryEvictionLRU(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LogSets = 0 // single set
 	cfg.Ways = 2
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	train := func(pc int) {
 		p.Update(pc, 0, true)
 		p.Update(pc, 0, true)
@@ -191,7 +201,7 @@ func TestEntryEvictionLRU(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	p.Update(5, 0, true)
 	p.Update(5, 0, true)
 	if !p.Predict(5, 0) {
@@ -209,7 +219,7 @@ func TestReset(t *testing.T) {
 func TestSignatureMasking(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PathLen = 4
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	// Bits above PathLen must be ignored.
 	p.Update(9, 0xfff3, true)
 	p.Update(9, 0x0003, true)
@@ -220,7 +230,7 @@ func TestSignatureMasking(t *testing.T) {
 
 func TestPredictIsSideEffectFreeOnMisses(t *testing.T) {
 	f := func(pc uint16, sig uint16) bool {
-		p := New(DefaultConfig())
+		p := mustNew(t, DefaultConfig())
 		before := p.Allocations
 		_ = p.Predict(int(pc), sig)
 		_ = p.Predict(int(pc), sig)
@@ -231,11 +241,13 @@ func TestPredictIsSideEffectFreeOnMisses(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnInvalidConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("New did not panic on invalid config")
-		}
-	}()
-	New(Config{})
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	p, err := New(Config{})
+	if p != nil || err == nil {
+		t.Fatalf("New(Config{}) = %v, %v; want nil, error", p, err)
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Errorf("error %v is not a *ConfigError", err)
+	}
 }

@@ -72,19 +72,23 @@ type pendingUpdate struct {
 	dead bool
 }
 
-// Evaluate runs the predictor over a linked, analyzed trace.
+// Evaluate runs the predictor over a linked, analyzed trace. An invalid
+// predictor geometry returns a *ConfigError.
 //
 // The walk models the hardware timeline: a prediction for instance i uses
 // the branch-predictor lookahead at i; the predictor trains only when the
 // instance's deadness *resolves* (its register is overwritten or read, its
 // stored bytes are overwritten or loaded — deadness.Analysis.Resolve), not
 // at prediction time.
-func Evaluate(t *trace.Trace, a *deadness.Analysis, opt Options) Result {
+func Evaluate(t *trace.Trace, a *deadness.Analysis, opt Options) (Result, error) {
 	dir := opt.Dir
 	if dir == nil {
 		dir = DefaultDir()
 	}
-	p := New(opt.Config)
+	p, err := New(opt.Config)
+	if err != nil {
+		return Result{}, err
+	}
 	look := bpred.NewLookahead(dir, t, max(opt.Config.PathLen, 1))
 	res := Result{Name: opt.Config.Name(), StateBits: opt.Config.StateBits()}
 
@@ -131,5 +135,5 @@ func Evaluate(t *trace.Trace, a *deadness.Analysis, opt Options) Result {
 		}
 	}
 	res.BranchAccuracy = look.Accuracy()
-	return res
+	return res, nil
 }

@@ -46,7 +46,11 @@ func evalSrc(t *testing.T, src string, opt Options) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Evaluate(tr, a, opt)
+	res, err := Evaluate(tr, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestEvaluateCFIOnPathCorrelatedDeadness(t *testing.T) {
@@ -155,7 +159,10 @@ func TestEvaluateWithExplicitDirPredictor(t *testing.T) {
 	}
 	// A static not-taken predictor produces constant signatures, so CFI
 	// degenerates; evaluation must still run and report sane totals.
-	res := Evaluate(tr, a, Options{Config: DefaultConfig(), Dir: bpred.Static{}})
+	res, err := Evaluate(tr, a, Options{Config: DefaultConfig(), Dir: bpred.Static{}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Candidates == 0 || res.Dead == 0 {
 		t.Fatalf("bad totals: %+v", res)
 	}
@@ -197,7 +204,9 @@ func TestEvaluateLeavesTraceIntact(t *testing.T) {
 	}
 	before := make([]trace.Record, len(tr.Recs))
 	copy(before, tr.Recs)
-	_ = Evaluate(tr, a, Options{Config: DefaultConfig()})
+	if _, err := Evaluate(tr, a, Options{Config: DefaultConfig()}); err != nil {
+		t.Fatal(err)
+	}
 	for i := range before {
 		if tr.Recs[i] != before[i] {
 			t.Fatalf("record %d mutated", i)

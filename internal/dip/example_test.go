@@ -10,7 +10,7 @@ import (
 // static instruction (one PC) is dead on one future path and useful on
 // another, and the predictor learns to separate the two.
 func ExamplePredictor() {
-	p := dip.New(dip.DefaultConfig())
+	p, _ := dip.New(dip.DefaultConfig())
 	const pc = 0x40
 	const deadPath, livePath = 0b01, 0b00 // next-branch taken vs not
 

@@ -71,7 +71,10 @@ func TestStaticHintCappedByDeadnessRatio(t *testing.T) {
 		t.Errorf("no predictions should report accuracy 1, got %v", strict.Accuracy())
 	}
 	// The dynamic CFI predictor beats both horns of the dilemma.
-	dyn := Evaluate(tr, a, Options{Config: DefaultConfig()})
+	dyn, err := Evaluate(tr, a, Options{Config: DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dyn.Coverage() < loose.Coverage()-0.1 || dyn.Accuracy() < loose.Accuracy()+0.1 {
 		t.Errorf("dynamic predictor (%v) not clearly better than hints (%v)", dyn, loose)
 	}

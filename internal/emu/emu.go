@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/deadness"
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/program"
 	"repro/internal/trace"
@@ -257,11 +258,36 @@ func (m *Machine) Step() (trace.Record, error) {
 
 // Run executes until HALT or until budget instructions have committed,
 // passing each record to sink (which may be nil). It returns ErrBudget when
-// the budget expires first.
+// the budget expires first. When a fault injector is installed, every
+// committed instruction is a firing opportunity at faults.SiteEmuStep; the
+// injector is sampled once at entry so the clean path stays branch-free.
 func (m *Machine) Run(budget int, sink func(trace.Record)) error {
+	if inj := faults.Active(); inj != nil {
+		return m.runInjected(inj, budget, sink)
+	}
 	for !m.Halted {
 		if m.Steps >= budget {
 			return ErrBudget
+		}
+		rec, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if sink != nil {
+			sink(rec)
+		}
+	}
+	return nil
+}
+
+// runInjected is Run with a per-step fault opportunity.
+func (m *Machine) runInjected(inj *faults.Injector, budget int, sink func(trace.Record)) error {
+	for !m.Halted {
+		if m.Steps >= budget {
+			return ErrBudget
+		}
+		if err := inj.Fire(faults.SiteEmuStep); err != nil {
+			return fmt.Errorf("emu: step %d: %w", m.Steps, err)
 		}
 		rec, err := m.Step()
 		if err != nil {

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Environment knobs read by FromEnv. They let any binary in the repo run
+// under injection without new flags:
+//
+//	FAULTS       comma-separated rules "site:kind:rate[:max[:delay]]",
+//	             e.g. "pool.task:transient:0.05,emu.step:panic:0.001:2"
+//	FAULTS_SEED  decimal seed for the deterministic schedule (default 1)
+const (
+	EnvSpec = "FAULTS"
+	EnvSeed = "FAULTS_SEED"
+)
+
+// FromEnv builds an injector from the FAULTS / FAULTS_SEED environment
+// variables. It returns (nil, nil) when FAULTS is unset or empty.
+func FromEnv() (*Injector, error) {
+	spec := os.Getenv(EnvSpec)
+	if spec == "" {
+		return nil, nil
+	}
+	seed := uint64(1)
+	if s := os.Getenv(EnvSeed); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad %s %q: %w", EnvSeed, s, err)
+		}
+		seed = v
+	}
+	return FromSpec(spec, seed)
+}
+
+// FromSpec parses a rule spec (the FAULTS syntax) into an injector.
+func FromSpec(spec string, seed uint64) (*Injector, error) {
+	in := NewInjector(seed)
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		parts := strings.Split(field, ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("faults: rule %q: want site:kind:rate[:max[:delay]]", field)
+		}
+		kind, err := parseKind(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("faults: rule %q: %w", field, err)
+		}
+		rate, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faults: rule %q: rate must be in [0,1]", field)
+		}
+		r := Rule{Kind: kind, Rate: rate}
+		if len(parts) > 3 && parts[3] != "" {
+			if r.Max, err = strconv.Atoi(parts[3]); err != nil || r.Max < 0 {
+				return nil, fmt.Errorf("faults: rule %q: bad max %q", field, parts[3])
+			}
+		}
+		if len(parts) > 4 && parts[4] != "" {
+			if r.Delay, err = time.ParseDuration(parts[4]); err != nil {
+				return nil, fmt.Errorf("faults: rule %q: bad delay %q: %w", field, parts[4], err)
+			}
+		}
+		in.Arm(Site(parts[0]), r)
+	}
+	return in, nil
+}
+
+func parseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "transient":
+		return Transient, nil
+	case "permanent", "error":
+		return Permanent, nil
+	case "panic":
+		return Panic, nil
+	case "delay":
+		return Delay, nil
+	case "corrupt":
+		return Corrupt, nil
+	}
+	return 0, fmt.Errorf("unknown kind %q", s)
+}

@@ -28,6 +28,16 @@ const (
 	PhaseSimulate = "simulate"
 )
 
+// Canonical counter names for the failure model: injected faults (the
+// fault injector also emits a per-site/kind breakdown under
+// "faults_injected.<site>.<kind>"), retries of transient failures, and
+// experiments that exhausted their attempts.
+const (
+	CounterFaultsInjected     = "faults_injected"
+	CounterRetries            = "retries"
+	CounterExperimentFailures = "experiment_failures"
+)
+
 // Phase aggregates every span recorded under one phase name (compile,
 // emulate, link, analyze, simulate, ...).
 type Phase struct {

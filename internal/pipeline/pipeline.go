@@ -98,6 +98,10 @@ type Machine struct {
 
 	now   int64
 	stats Stats
+	// simErr aborts the simulation: set by a pipeline stage that hits a
+	// broken invariant it cannot report through its own signature (the
+	// stages return nothing), checked once per cycle by Simulate.
+	simErr error
 }
 
 // New prepares a machine over a linked, analyzed trace.
@@ -150,7 +154,10 @@ func New(t *trace.Trace, a *deadness.Analysis, cfg Config) (*Machine, error) {
 	m.look = bpred.NewLookahead(
 		bpred.NewGshare(cfg.GshareLogEntries, cfg.GshareHistBits), t, depth)
 	if cfg.Elim && !cfg.OracleElim {
-		m.pred = dip.New(cfg.DIP)
+		var err error
+		if m.pred, err = dip.New(cfg.DIP); err != nil {
+			return nil, err
+		}
 		m.pendHead = make([]int32, t.Len())
 		for i := range m.pendHead {
 			m.pendHead[i] = -1
@@ -179,6 +186,9 @@ func (m *Machine) Simulate() (Stats, error) {
 		m.issue()
 		m.rename()
 		m.fetch()
+		if m.simErr != nil {
+			return m.stats, m.simErr
+		}
 		m.now++
 		if m.now > maxCycles {
 			return m.stats, fmt.Errorf("pipeline: no forward progress after %d cycles (head=%d)",
@@ -588,7 +598,13 @@ func (m *Machine) fetch() {
 
 		switch {
 		case r.Op.IsCondBranch():
-			pred := m.look.PredAt(seq)
+			pred, err := m.look.PredAt(seq)
+			if err != nil {
+				// Unreachable while the lookahead and the machine walk the
+				// same trace; surface a desync instead of mispredicting.
+				m.simErr = fmt.Errorf("pipeline: fetch at seq %d: %w", seq, err)
+				return
+			}
 			if pred != r.Taken {
 				m.redirect = seq
 				return

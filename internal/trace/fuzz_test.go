@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceLoad throws arbitrary bytes at the trace deserializer. Load
+// handles untrusted input, so the property is total: any input either
+// yields a valid linked trace that round-trips bit-for-bit through Save,
+// or a clean error — never a panic or a runaway allocation (the fuzzer's
+// memory limit enforces the latter).
+func FuzzTraceLoad(f *testing.F) {
+	// Seed with real serializations: empty, the sample trace, and a
+	// truncated + a padded variant so the mutator starts near the
+	// interesting boundaries.
+	var empty bytes.Buffer
+	if err := (&Trace{}).Save(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	var full bytes.Buffer
+	if err := sampleTrace().Save(&full); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full.Bytes())
+	f.Add(full.Bytes()[:len(full.Bytes())-7])
+	f.Add(append(bytes.Clone(full.Bytes()), 0xff))
+	// A header claiming far more records than the body holds.
+	huge := bytes.Clone(full.Bytes())
+	binary.LittleEndian.PutUint32(huge[8:], 1<<30)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := LoadLimit(bytes.NewReader(data), 1<<16)
+		if err != nil {
+			return
+		}
+		if !tr.Linked {
+			t.Fatal("Load returned an unlinked trace")
+		}
+		var out bytes.Buffer
+		if err := tr.Save(&out); err != nil {
+			t.Fatalf("re-saving a loaded trace: %v", err)
+		}
+		back, err := LoadLimit(bytes.NewReader(out.Bytes()), 1<<16)
+		if err != nil {
+			t.Fatalf("reloading a re-saved trace: %v", err)
+		}
+		if !reflect.DeepEqual(back.Recs, tr.Recs) {
+			t.Fatal("Save/Load round trip is not a fixed point")
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/faults"
 	"repro/internal/isa"
 )
 
@@ -54,8 +55,29 @@ func (t *Trace) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a trace written by Save and links it.
+// DefaultLoadLimit caps how many records Load accepts. The header count
+// is untrusted input: without a cap, 4 corrupt bytes could demand a
+// multi-hundred-gigabyte allocation before a single record is validated.
+// 16M records (~1.5 minutes of emulation at the default budget, ~1 GiB
+// in memory) is far beyond any trace this repository produces.
+const DefaultLoadLimit = 1 << 24
+
+// Load reads a trace written by Save and links it. It rejects traces
+// larger than DefaultLoadLimit records; use LoadLimit for other bounds.
 func Load(r io.Reader) (*Trace, error) {
+	return LoadLimit(r, DefaultLoadLimit)
+}
+
+// LoadLimit reads a trace written by Save, rejecting headers that claim
+// more than limit records (limit <= 0 means DefaultLoadLimit). The record
+// slice grows incrementally as records validate, so a corrupt header
+// cannot force a giant upfront allocation, and the stream must end
+// exactly at the last record: trailing garbage and nonzero reserved bytes
+// are errors.
+func LoadLimit(r io.Reader, limit int) (*Trace, error) {
+	if limit <= 0 {
+		limit = DefaultLoadLimit
+	}
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -68,25 +90,52 @@ func Load(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
 	n := binary.LittleEndian.Uint32(hdr[8:])
-	t := &Trace{Recs: make([]Record, n)}
+	if uint64(n) > uint64(limit) {
+		return nil, fmt.Errorf("trace: header claims %d records, limit %d", n, limit)
+	}
+	// Grow from a modest initial capacity: the header count steers the
+	// first allocation but never demands more than one chunk of trust.
+	t := &Trace{Recs: make([]Record, 0, min(int(n), 1<<16))}
+	inj := faults.Active()
 	var buf [recordBytes]byte
 	for i := uint32(0); i < n; i++ {
+		if inj != nil {
+			if err := inj.Fire(faults.SiteTraceLoad); err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			}
+		}
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
-		r := &t.Recs[i]
-		r.PC = int32(binary.LittleEndian.Uint32(buf[0:]))
-		r.Op = isa.Op(buf[4])
-		r.Rd = isa.Reg(buf[5])
-		r.Rs1 = isa.Reg(buf[6])
-		r.Rs2 = isa.Reg(buf[7])
-		r.NextPC = int32(binary.LittleEndian.Uint32(buf[8:]))
-		r.Addr = binary.LittleEndian.Uint64(buf[12:])
-		r.Width = buf[20]
-		r.Taken = buf[21] != 0
-		if !r.Op.Valid() {
+		if inj != nil {
+			inj.Mangle(faults.SiteTraceLoad, buf[:])
+		}
+		if buf[22] != 0 || buf[23] != 0 {
+			return nil, fmt.Errorf("trace: record %d: nonzero reserved bytes", i)
+		}
+		var rec Record
+		rec.PC = int32(binary.LittleEndian.Uint32(buf[0:]))
+		rec.Op = isa.Op(buf[4])
+		rec.Rd = isa.Reg(buf[5])
+		rec.Rs1 = isa.Reg(buf[6])
+		rec.Rs2 = isa.Reg(buf[7])
+		rec.NextPC = int32(binary.LittleEndian.Uint32(buf[8:]))
+		rec.Addr = binary.LittleEndian.Uint64(buf[12:])
+		rec.Width = buf[20]
+		rec.Taken = buf[21] != 0
+		if !rec.Op.Valid() {
 			return nil, fmt.Errorf("trace: record %d: invalid opcode %d", i, buf[4])
 		}
+		if rec.Rd >= isa.NumRegs || rec.Rs1 >= isa.NumRegs || rec.Rs2 >= isa.NumRegs {
+			return nil, fmt.Errorf("trace: record %d: register out of range", i)
+		}
+		t.Recs = append(t.Recs, rec)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, fmt.Errorf("trace: after record %d: %w", n, err)
+		}
+		return nil, fmt.Errorf("trace: trailing garbage after %d records", n)
 	}
 	if err := t.Link(); err != nil {
 		return nil, err

@@ -2,8 +2,12 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"reflect"
 	"testing"
+
+	"repro/internal/faults"
 
 	"repro/internal/isa"
 )
@@ -84,5 +88,79 @@ func TestSaveEmptyTrace(t *testing.T) {
 	}
 	if back.Len() != 0 {
 		t.Errorf("loaded %d records from empty trace", back.Len())
+	}
+}
+
+func TestLoadLimitRejectsOversizedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	_ = sampleTrace().Save(&buf)
+	b := buf.Bytes()
+	if _, err := LoadLimit(bytes.NewReader(b), 3); err == nil {
+		t.Error("header count above limit accepted")
+	}
+	if _, err := LoadLimit(bytes.NewReader(b), 5); err != nil {
+		t.Errorf("count at limit rejected: %v", err)
+	}
+	// A huge claimed count must fail fast on the header, not by attempting
+	// the allocation or reading gigabytes of records.
+	binary.LittleEndian.PutUint32(b[8:], 0xffffffff)
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Error("4-billion-record header accepted")
+	}
+}
+
+func TestLoadRejectsNonzeroReservedBytes(t *testing.T) {
+	var buf bytes.Buffer
+	_ = sampleTrace().Save(&buf)
+	b := buf.Bytes()
+	b[12+22] = 1 // first record's reserved area
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Error("nonzero reserved byte accepted")
+	}
+}
+
+func TestLoadRejectsTrailingGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	_ = sampleTrace().Save(&buf)
+	buf.WriteByte(0)
+	if _, err := Load(&buf); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+// TestLoadUnderCorruptionInjection drives Load with the fault injector's
+// Corrupt rule mangling every record: each load must either succeed (the
+// flipped bit landed somewhere representable) or fail cleanly — never
+// panic — and injected read faults must surface with attribution.
+func TestLoadUnderCorruptionInjection(t *testing.T) {
+	var buf bytes.Buffer
+	_ = sampleTrace().Save(&buf)
+	raw := buf.Bytes()
+
+	for seed := uint64(0); seed < 20; seed++ {
+		in := faults.NewInjector(seed).
+			Arm(faults.SiteTraceLoad, faults.Rule{Kind: faults.Corrupt, Rate: 1})
+		faults.Set(in)
+		tr, err := Load(bytes.NewReader(raw))
+		faults.Set(nil)
+		if err == nil && tr.Len() != 5 {
+			t.Errorf("seed %d: corrupted load returned %d records", seed, tr.Len())
+		}
+		if in.Fired(faults.SiteTraceLoad) == 0 {
+			t.Errorf("seed %d: corrupt rule never fired", seed)
+		}
+	}
+
+	in := faults.NewInjector(1).
+		Arm(faults.SiteTraceLoad, faults.Rule{Kind: faults.Transient, Rate: 1, Max: 1})
+	faults.Set(in)
+	defer faults.Set(nil)
+	_, err := Load(bytes.NewReader(raw))
+	var fe *faults.Error
+	if !errors.As(err, &fe) || fe.Site != faults.SiteTraceLoad {
+		t.Errorf("injected read fault not attributed: %v", err)
+	}
+	if !faults.IsTransient(err) {
+		t.Error("injected transient load fault lost its retryability")
 	}
 }
