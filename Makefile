@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-all check fuzz chaos
+.PHONY: build test vet race bench bench-compare bench-all check fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -31,15 +31,30 @@ chaos:
 	$(GO) test -race -run '^TestChaosSoak$$' -v ./internal/core
 
 # SUBSTRATE_BENCHES are the per-substrate throughput benchmarks tracked in
-# BENCH_2.json: emulator, fused oracle (plus its legacy two-pass
-# comparison), pipeline timing model, and the full experiment engine.
-SUBSTRATE_BENCHES = ^(BenchmarkEmulator|BenchmarkDeadnessOracle|BenchmarkDeadnessOracleLegacy|BenchmarkPipeline|BenchmarkEngineAllExperiments)$$
+# the committed BENCH_*.json reports: emulator, fused oracle (plus its
+# legacy two-pass comparison), pipeline timing model, and the full
+# experiment engine.
+SUBSTRATE_BENCHES = ^(BenchmarkEmulator|BenchmarkCollectAnalyzed|BenchmarkDeadnessOracle|BenchmarkDeadnessOracleLegacy|BenchmarkPipeline|BenchmarkEngineAllExperiments)$$
 
-# bench regenerates BENCH_2.json from the substrate benchmarks (with
+# BENCH_BASELINE is the committed report that bench-compare diffs against;
+# BENCH_TOL is the relative regression tolerance (benchmarks vary with
+# host hardware, so keep it loose).
+BENCH_BASELINE ?= BENCH_4.json
+BENCH_TOL ?= 0.25
+
+# bench regenerates $(BENCH_BASELINE) from the substrate benchmarks (with
 # -benchmem, so allocation counts are tracked alongside throughput).
 bench:
 	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCHES)' -benchmem . \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_2.json
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_BASELINE)
+
+# bench-compare reruns the substrate benchmarks and diffs them against the
+# committed baseline without overwriting it: every shared metric prints
+# old/new/delta, and a metric more than $(BENCH_TOL) worse flags a
+# regression (nonzero exit). CI runs this non-gating.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(SUBSTRATE_BENCHES)' -benchmem . \
+		| $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) -tol $(BENCH_TOL)
 
 # bench-all runs every benchmark once, as a smoke test.
 bench-all:

@@ -120,27 +120,6 @@ func BenchmarkE18WindowBias(b *testing.B) {
 	runExperiment(b, "e18", "dead_mean_at_10000", "dead_mean_full")
 }
 
-// BenchmarkEngineAllExperiments runs the full 18-experiment engine on a
-// shared concurrent workspace, reporting how many machine simulations ran
-// versus how many were served from the (benchmark, config) memo — the
-// dedup the engine exists to provide.
-func BenchmarkEngineAllExperiments(b *testing.B) {
-	ids := core.ExperimentIDs()
-	for i := 0; i < b.N; i++ {
-		w := core.NewWorkspace(benchBudget)
-		mc := metrics.New()
-		w.Metrics = mc
-		if _, err := w.RunExperiments(context.Background(), ids); err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			b.ReportMetric(float64(mc.Counter(core.CounterMachineSims)), "sims")
-			b.ReportMetric(float64(mc.Counter(core.CounterMachineMemoHits)), "memo-hits")
-			b.ReportMetric(float64(mc.Counter(core.CounterProfileBuilds)), "profiles")
-		}
-	}
-}
-
 // ---------------------------------------------------------------------
 // Substrate micro-benchmarks.
 
@@ -208,6 +187,27 @@ func BenchmarkDeadnessOracle(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkCollectAnalyzed measures the streaming emulate→analyze path
+// end to end: completed chunks flow through a bounded ring into the fused
+// oracle running concurrently one chunk behind the emulator, so the
+// combined cost approaches max(emulate, analyze) instead of their sum.
+func BenchmarkCollectAnalyzed(b *testing.B) {
+	prog, err := asm.Assemble("bench", benchProgramSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	insts := 0
+	for i := 0; i < b.N; i++ {
+		tr, _, _, err := emu.CollectAnalyzed(prog, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = tr.Len()
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }
 
 // BenchmarkDeadnessOracleLegacy measures the two-pass path (Link, then
@@ -283,6 +283,30 @@ func BenchmarkPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e3, "Kinst/s")
+}
+
+// BenchmarkEngineAllExperiments runs the full 18-experiment engine on a
+// shared concurrent workspace, reporting how many machine simulations ran
+// versus how many were served from the (benchmark, config) memo — the
+// dedup the engine exists to provide. It runs after the substrate
+// micro-benchmarks (Go executes benchmarks in source order): its heap
+// footprint dwarfs theirs, and running it first leaves enough retained
+// pool memory behind to depress every later measurement by 10-20%.
+func BenchmarkEngineAllExperiments(b *testing.B) {
+	ids := core.ExperimentIDs()
+	for i := 0; i < b.N; i++ {
+		w := core.NewWorkspace(benchBudget)
+		mc := metrics.New()
+		w.Metrics = mc
+		if _, err := w.RunExperiments(context.Background(), ids); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(mc.Counter(core.CounterMachineSims)), "sims")
+			b.ReportMetric(float64(mc.Counter(core.CounterMachineMemoHits)), "memo-hits")
+			b.ReportMetric(float64(mc.Counter(core.CounterProfileBuilds)), "profiles")
+		}
+	}
 }
 
 func BenchmarkWorkloadCompile(b *testing.B) {

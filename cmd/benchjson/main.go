@@ -1,10 +1,20 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // report, so benchmark numbers can be checked in and diffed across PRs
-// (see BENCH_2.json and the `make bench` target).
+// (see BENCH_4.json and the `make bench` / `make bench-compare` targets).
 //
 // Usage:
 //
-//	go test -bench Substrate -benchmem . | go run ./cmd/benchjson -o BENCH_2.json
+//	go test -bench Substrate -benchmem . | go run ./cmd/benchjson -o BENCH_4.json
+//	go test -bench Substrate -benchmem . | go run ./cmd/benchjson -compare BENCH_4.json -tol 0.25
+//
+// With -compare, the parsed report is diffed against a committed baseline
+// report: every shared (benchmark, metric) pair prints old, new, and the
+// relative delta, and pairs that got worse by more than -tol flag a
+// regression (exit code 1). Time- and allocation-like units (ns/op, B/op,
+// allocs/op) regress upward; rate units (anything per second) regress
+// downward; other units are informational only. Benchmark numbers vary
+// with host hardware, so CI runs the comparison non-gating — the table is
+// for humans, the exit code for local use.
 //
 // Each benchmark line ("BenchmarkFoo-8  100  11860 ns/op  44.27 Minst/s")
 // becomes one entry: the name with the Benchmark prefix and -GOMAXPROCS
@@ -18,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -66,6 +77,8 @@ func parseLine(line string) (entry, bool) {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline report to diff against")
+	tol := flag.Float64("tol", 0.25, "relative regression tolerance for -compare")
 	flag.Parse()
 
 	var rep report
@@ -103,12 +116,89 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	if *out == "" && *compare == "" {
 		os.Stdout.Write(buf)
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
+	if *compare != "" {
+		regressed, err := compareReports(os.Stdout, *compare, rep, *tol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+// metricDirection classifies a unit: -1 when lower is better (times,
+// bytes, allocation counts), +1 when higher is better (rates), 0 for
+// units with no regression semantics.
+func metricDirection(unit string) int {
+	switch {
+	case unit == "ns/op" || unit == "B/op" || unit == "allocs/op":
+		return -1
+	case strings.HasSuffix(unit, "/s"):
+		return +1
+	}
+	return 0
+}
+
+// compareReports diffs the new report against the baseline file and
+// reports whether any directional metric regressed beyond tol.
+func compareReports(w *os.File, baselinePath string, rep report, tol float64) (bool, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]entry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseline[e.Name] = e
+	}
+
+	fmt.Fprintf(w, "comparison against %s (tolerance %.0f%%):\n", baselinePath, 100*tol)
+	fmt.Fprintf(w, "%-28s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	regressed := false
+	for _, e := range rep.Benchmarks {
+		b, ok := baseline[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s (no baseline)\n", e.Name)
+			continue
+		}
+		units := make([]string, 0, len(e.Metrics))
+		for unit := range e.Metrics {
+			if _, ok := b.Metrics[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			oldV, newV := b.Metrics[unit], e.Metrics[unit]
+			var delta float64
+			if oldV != 0 {
+				delta = (newV - oldV) / oldV
+			}
+			note := ""
+			if dir := metricDirection(unit); dir != 0 && oldV != 0 {
+				if worse := float64(dir) * -delta; worse > tol {
+					note = "  REGRESSION"
+					regressed = true
+				}
+			}
+			fmt.Fprintf(w, "%-28s %-12s %14.4g %14.4g %+8.1f%%%s\n",
+				e.Name, unit, oldV, newV, 100*delta, note)
+		}
+	}
+	return regressed, nil
 }

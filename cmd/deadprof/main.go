@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deadness"
+	"repro/internal/metrics"
 	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -32,6 +33,8 @@ func main() {
 	locality := flag.Bool("locality", false, "print static locality details")
 	mix := flag.Bool("mix", false, "print the dynamic instruction-class mix instead")
 	workers := flag.Int("j", 0, "max concurrently building profiles (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the profiling runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	profiles := workload.Suite()
@@ -47,9 +50,15 @@ func main() {
 	// Compiler-option overrides make these profiles distinct from the
 	// workspace defaults, so build them directly through a bounded pool
 	// (no memo to share) and render sequentially from the indexed results.
+	stopCPU, err := metrics.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	pool := core.NewPool(*workers)
 	results := make([]*core.ProfileResult, len(profiles))
-	err := pool.ForEach(context.Background(), len(profiles), func(i int) error {
+	err = pool.ForEach(context.Background(), len(profiles), func(i int) error {
 		p := profiles[i]
 		opts := p.Opts
 		if *hoist >= 0 {
@@ -68,10 +77,17 @@ func main() {
 		results[i] = res
 		return nil
 	})
+	stopCPU()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer func() {
+		if err := metrics.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
 
 	if *mix {
 		printMix(profiles, results)

@@ -31,6 +31,8 @@ func main() {
 	elim := flag.String("elim", "both", "off, on, or both")
 	workers := flag.Int("j", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulations to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	var cfg pipeline.Config
@@ -88,12 +90,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	stopCPU, err := metrics.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	results := make([]pipeline.Stats, len(tasks))
-	err := w.Pool().ForEach(context.Background(), len(tasks), func(i int) error {
+	err = w.Pool().ForEach(context.Background(), len(tasks), func(i int) error {
 		st, err := w.RunMachine(tasks[i].name, tasks[i].cfg)
 		results[i] = st
 		return err
 	})
+	stopCPU()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -112,7 +121,12 @@ func main() {
 	fmt.Print(tb)
 
 	if *verbose {
+		mc.RecordMemStats()
 		fmt.Fprintf(os.Stderr, "\n--- run summary (%d workers) ---\n", w.Pool().Workers())
 		mc.WriteText(os.Stderr)
+	}
+	if err := metrics.WriteHeapProfile(*memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

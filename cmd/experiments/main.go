@@ -56,7 +56,21 @@ func run() int {
 	keepGoing := flag.Bool("keep-going", false, "run every experiment even after failures; report failures per experiment")
 	timeout := flag.Duration("timeout", 0, "deadline per experiment attempt (0 = none)")
 	retries := flag.Int("retries", 1, "attempts per experiment; failures classified transient are retried with backoff")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopCPU, err := metrics.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
+	}
+	defer stopCPU()
+	defer func() {
+		if err := metrics.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	list := core.ExperimentIDs()
 	if *ids != "" {
@@ -94,6 +108,7 @@ func run() int {
 	defer stop()
 
 	exps, err := w.RunExperiments(ctx, list)
+	mc.RecordMemStats()
 	if err != nil && !*keepGoing {
 		fmt.Fprintln(os.Stderr, err)
 		return exitFailed

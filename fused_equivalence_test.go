@@ -1,9 +1,12 @@
-// Golden-equivalence guard for the fused trace substrate: the single-pass
-// deadness.LinkAndAnalyze must reproduce, byte for byte, what the legacy
-// two-pass trace.Link + deadness.Analyze computes — producer links, every
+// Golden-equivalence guard for the columnar trace substrate. The chunked
+// SoA store, the fused deadness.LinkAndAnalyze pass, and the streaming
+// emulate→analyze overlap must all reproduce, byte for byte, what a plain
+// slice-of-records implementation computes — producer links, every
 // Analysis fact, and the pipeline statistics simulated on top — across the
-// full workload suite. The fusion changes when facts are computed, never
-// what is computed.
+// full workload suite and across chunk-boundary shapes. refLink/refAnalyze
+// below are the seed's []Record implementation kept verbatim as the
+// reference; the storage layout and the pass schedule change, never the
+// results.
 package repro_test
 
 import (
@@ -13,13 +16,192 @@ import (
 
 	"repro/internal/deadness"
 	"repro/internal/emu"
+	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// collectRaw emulates a suite benchmark without linking.
-func collectRaw(t *testing.T, prof workload.Profile, budget int) *trace.Trace {
+// refAnalysis mirrors deadness.Analysis for the reference path.
+type refAnalysis struct {
+	Kind       []deadness.Kind
+	Candidate  []bool
+	EverRead   []bool
+	Resolve    []int32
+	Candidates int
+}
+
+// refLink fills producer fields exactly as the seed's slice-based
+// trace.Link did. The byte-granular WriterMap is shared with the real
+// implementation; it is pinned separately by its own randomized reference
+// test in internal/trace.
+func refLink(recs []trace.Record) error {
+	var regWriter [isa.NumRegs]int32
+	for i := range regWriter {
+		regWriter[i] = trace.NoProducer
+	}
+	memWriter := trace.NewWriterMap()
+	defer memWriter.Reset()
+
+	for seq := range recs {
+		r := &recs[seq]
+		r.Src1, r.Src2 = trace.NoProducer, trace.NoProducer
+		r.NumMemSrcs = 0
+		if r.Op.ReadsRs1() && r.Rs1 != isa.RZero {
+			r.Src1 = regWriter[r.Rs1]
+		}
+		if r.Op.ReadsRs2() && r.Rs2 != isa.RZero {
+			r.Src2 = regWriter[r.Rs2]
+		}
+		if r.Op.IsMem() {
+			if r.Width == 0 || int(r.Width) != r.Op.MemWidth() {
+				return errors.New("ref: bad memory width")
+			}
+		}
+		if r.Op.IsLoad() {
+			memWriter.LoadProducers(r)
+		}
+		if r.Op.IsStore() {
+			memWriter.Claim(r.Addr, int(r.Width), int32(seq))
+		}
+		if r.HasResult() {
+			regWriter[r.Rd] = int32(seq)
+		}
+	}
+	return nil
+}
+
+func refIsRoot(op isa.Op) bool {
+	return op.IsControl() || op == isa.OUT || op == isa.HALT
+}
+
+// refAnalyze runs the seed's two-pass oracle over linked records.
+func refAnalyze(recs []trace.Record) *refAnalysis {
+	n := len(recs)
+	a := &refAnalysis{
+		Kind:      make([]deadness.Kind, n),
+		Candidate: make([]bool, n),
+		EverRead:  make([]bool, n),
+		Resolve:   make([]int32, n),
+	}
+	for i := range a.Resolve {
+		a.Resolve[i] = int32(n)
+	}
+	markRead := func(producer, reader int32) {
+		if producer != trace.NoProducer {
+			a.EverRead[producer] = true
+			if a.Resolve[producer] == int32(n) {
+				a.Resolve[producer] = reader
+			}
+		}
+	}
+
+	var lastRegWriter [isa.NumRegs]int32
+	for i := range lastRegWriter {
+		lastRegWriter[i] = trace.NoProducer
+	}
+	memWriter := trace.NewWriterMap()
+	defer memWriter.Reset()
+	var prevBuf []int32
+	for seq := range recs {
+		r := &recs[seq]
+		markRead(r.Src1, int32(seq))
+		markRead(r.Src2, int32(seq))
+		for _, s := range r.MemProducers() {
+			markRead(s, int32(seq))
+		}
+		if r.Op.IsStore() {
+			a.Candidate[seq] = true
+			prevBuf = memWriter.Overwrite(r.Addr, int(r.Width), int32(seq), prevBuf[:0])
+			for _, prev := range prevBuf {
+				if a.Resolve[prev] == int32(n) {
+					a.Resolve[prev] = int32(seq)
+				}
+			}
+		}
+		if r.HasResult() {
+			if !r.Op.IsControl() {
+				a.Candidate[seq] = true
+			}
+			if prev := lastRegWriter[r.Rd]; prev != trace.NoProducer && a.Resolve[prev] == int32(n) {
+				a.Resolve[prev] = int32(seq)
+			}
+			lastRegWriter[r.Rd] = int32(seq)
+		}
+	}
+
+	truncated := n > 0 && recs[n-1].Op != isa.HALT
+	useful := make([]bool, n)
+	mark := func(producer int32) {
+		if producer != trace.NoProducer {
+			useful[producer] = true
+		}
+	}
+	for seq := n - 1; seq >= 0; seq-- {
+		r := &recs[seq]
+		unresolved := truncated && a.Candidate[seq] && a.Resolve[seq] == int32(n)
+		if !useful[seq] && !refIsRoot(r.Op) && !unresolved {
+			continue
+		}
+		useful[seq] = true
+		mark(r.Src1)
+		mark(r.Src2)
+		for _, s := range r.MemProducers() {
+			mark(s)
+		}
+	}
+	for seq := range recs {
+		switch {
+		case !a.Candidate[seq], useful[seq]:
+			a.Kind[seq] = deadness.Live
+		case a.EverRead[seq]:
+			a.Kind[seq] = deadness.Transitive
+		default:
+			a.Kind[seq] = deadness.FirstLevel
+		}
+		if a.Candidate[seq] {
+			a.Candidates++
+		}
+	}
+	return a
+}
+
+// checkAgainstRef requires a columnar trace + analysis to match the
+// reference []Record implementation exactly.
+func checkAgainstRef(t *testing.T, tag string, tr *trace.Trace, a *deadness.Analysis, linked []trace.Record, ref *refAnalysis) {
+	t.Helper()
+	if !tr.Linked {
+		t.Errorf("%s: trace not marked linked", tag)
+	}
+	got := tr.Records()
+	if len(got) != len(linked) {
+		t.Fatalf("%s: records differ in length: %d vs %d", tag, len(got), len(linked))
+	}
+	for seq := range linked {
+		if got[seq] != linked[seq] {
+			t.Fatalf("%s: seq %d: record %+v, reference %+v", tag, seq, got[seq], linked[seq])
+		}
+	}
+	if !reflect.DeepEqual(a.Kind, ref.Kind) {
+		t.Errorf("%s: Kind differs", tag)
+	}
+	if !reflect.DeepEqual(a.Candidate, ref.Candidate) {
+		t.Errorf("%s: Candidate differs", tag)
+	}
+	if !reflect.DeepEqual(a.EverRead, ref.EverRead) {
+		t.Errorf("%s: EverRead differs", tag)
+	}
+	if !reflect.DeepEqual(a.Resolve, ref.Resolve) {
+		t.Errorf("%s: Resolve differs", tag)
+	}
+	if a.Candidates() != ref.Candidates {
+		t.Errorf("%s: Candidates() = %d, reference %d", tag, a.Candidates(), ref.Candidates)
+	}
+}
+
+// collectRaw emulates a suite benchmark into both a columnar trace and a
+// plain record slice from the same run (the sink copies before pushing).
+func collectRaw(t *testing.T, prof workload.Profile, budget int) (*trace.Trace, []trace.Record) {
 	t.Helper()
 	prog, _, err := prof.Compile(nil)
 	if err != nil {
@@ -27,24 +209,30 @@ func collectRaw(t *testing.T, prof workload.Profile, budget int) *trace.Trace {
 	}
 	m := emu.New(prog)
 	tr := &trace.Trace{}
-	if err := m.Run(budget, tr.Append); err != nil && !errors.Is(err, emu.ErrBudget) {
+	var recs []trace.Record
+	sink := func(r *trace.Record) {
+		recs = append(recs, *r)
+		tr.Push(r)
+	}
+	if err := m.Run(budget, sink); err != nil && !errors.Is(err, emu.ErrBudget) {
 		t.Fatalf("%s: run: %v", prof.Name, err)
 	}
-	return tr
+	return tr, recs
 }
 
-func cloneTrace(tr *trace.Trace) *trace.Trace {
-	return &trace.Trace{Recs: append([]trace.Record(nil), tr.Recs...), Linked: tr.Linked}
-}
-
-func TestFusedAnalysisMatchesLegacyTwoPass(t *testing.T) {
+func TestColumnarAnalysisMatchesReference(t *testing.T) {
 	const budget = 120_000
 	for _, prof := range workload.Suite() {
 		prof := prof
 		t.Run(prof.Name, func(t *testing.T) {
-			raw := collectRaw(t, prof, budget)
+			raw, recs := collectRaw(t, prof, budget)
+			if err := refLink(recs); err != nil {
+				t.Fatal(err)
+			}
+			ref := refAnalyze(recs)
 
-			legacyTr := cloneTrace(raw)
+			// Legacy two-pass path: Link, then Analyze.
+			legacyTr := raw.Clone()
 			if err := legacyTr.Link(); err != nil {
 				t.Fatal(err)
 			}
@@ -52,41 +240,32 @@ func TestFusedAnalysisMatchesLegacyTwoPass(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			checkAgainstRef(t, "legacy", legacyTr, legacy, recs, ref)
 
-			fusedTr := cloneTrace(raw)
+			// Fused single-pass path over the raw trace.
+			fusedTr := raw.Clone()
 			fused, err := deadness.LinkAndAnalyze(fusedTr)
 			if err != nil {
 				t.Fatal(err)
 			}
+			checkAgainstRef(t, "fused", fusedTr, fused, recs, ref)
 
-			if !fusedTr.Linked {
-				t.Error("fused trace not marked linked")
+			// Streaming path: re-emulate with the analyzer running
+			// concurrently one chunk behind the emulator.
+			prog, _, err := prof.Compile(nil)
+			if err != nil {
+				t.Fatal(err)
 			}
-			for seq := range legacyTr.Recs {
-				l, f := &legacyTr.Recs[seq], &fusedTr.Recs[seq]
-				if *l != *f {
-					t.Fatalf("seq %d: fused record %+v, legacy %+v", seq, *f, *l)
-				}
+			streamTr, stream, _, err := emu.CollectAnalyzed(prog, budget)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(legacy.Kind, fused.Kind) {
-				t.Error("Kind differs")
-			}
-			if !reflect.DeepEqual(legacy.Candidate, fused.Candidate) {
-				t.Error("Candidate differs")
-			}
-			if !reflect.DeepEqual(legacy.EverRead, fused.EverRead) {
-				t.Error("EverRead differs")
-			}
-			if !reflect.DeepEqual(legacy.Resolve, fused.Resolve) {
-				t.Error("Resolve differs")
-			}
-			if legacy.Candidates() != fused.Candidates() {
-				t.Errorf("Candidates() = %d fused, %d legacy",
-					fused.Candidates(), legacy.Candidates())
-			}
+			checkAgainstRef(t, "stream", streamTr, stream, recs, ref)
+
 			ls, fs := legacy.Summarize(legacyTr, nil), fused.Summarize(fusedTr, nil)
-			if ls != fs {
-				t.Errorf("summaries differ: fused %+v, legacy %+v", fs, ls)
+			ss := stream.Summarize(streamTr, nil)
+			if ls != fs || ls != ss {
+				t.Errorf("summaries differ: legacy %+v, fused %+v, stream %+v", ls, fs, ss)
 			}
 		})
 	}
@@ -106,9 +285,9 @@ func TestFusedPipelineStatsMatchLegacy(t *testing.T) {
 	for _, prof := range workload.Suite()[:4] {
 		prof := prof
 		t.Run(prof.Name, func(t *testing.T) {
-			raw := collectRaw(t, prof, budget)
+			raw, _ := collectRaw(t, prof, budget)
 
-			legacyTr := cloneTrace(raw)
+			legacyTr := raw.Clone()
 			if err := legacyTr.Link(); err != nil {
 				t.Fatal(err)
 			}
@@ -116,7 +295,7 @@ func TestFusedPipelineStatsMatchLegacy(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			fusedTr := cloneTrace(raw)
+			fusedTr := raw.Clone()
 			fused, err := deadness.LinkAndAnalyze(fusedTr)
 			if err != nil {
 				t.Fatal(err)
@@ -137,4 +316,154 @@ func TestFusedPipelineStatsMatchLegacy(t *testing.T) {
 			}
 		})
 	}
+}
+
+// synthRecords builds a deterministic synthetic trace of exactly n records
+// with register and memory producer chains that span chunk boundaries:
+// ALU writes, stores and loads over a small address pool (including
+// unaligned page-straddling accesses), and periodic branches. A positive
+// haltTail replaces the final record with HALT so both the truncated and
+// the cleanly-terminated reverse passes are exercised.
+func synthRecords(n int, halted bool) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		pc := int32(i % 61)
+		rd := isa.Reg(1 + i%7)
+		rs1 := isa.Reg(1 + (i+3)%7)
+		rs2 := isa.Reg(1 + (i+5)%7)
+		switch i % 11 {
+		case 0, 1, 2, 3:
+			recs[i] = trace.Record{PC: pc, Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2}
+		case 4, 5:
+			recs[i] = trace.Record{PC: pc, Op: isa.ADDI, Rd: rd, Rs1: rs1}
+		case 6:
+			addr := uint64(0x1000 + 8*(i%97) + i%3) // sometimes unaligned
+			recs[i] = trace.Record{PC: pc, Op: isa.SD, Rs1: rs1, Rs2: rs2, Addr: addr, Width: 8}
+		case 7:
+			addr := uint64(0x1000 + 8*((i+55)%97) + i%3)
+			recs[i] = trace.Record{PC: pc, Op: isa.LD, Rd: rd, Rs1: rs1, Addr: addr, Width: 8}
+		case 8:
+			addr := uint64(0x1000 + 4*(i%193))
+			recs[i] = trace.Record{PC: pc, Op: isa.SW, Rs1: rs1, Rs2: rs2, Addr: addr, Width: 4}
+		case 9:
+			addr := uint64(0x1000 + 4*((i+31)%193))
+			recs[i] = trace.Record{PC: pc, Op: isa.LW, Rd: rd, Rs1: rs1, Addr: addr, Width: 4}
+		case 10:
+			recs[i] = trace.Record{PC: pc, Op: isa.BNE, Rs1: rs1, Rs2: rs2, Taken: i%2 == 0}
+		}
+		recs[i].NextPC = int32((i + 1) % 61)
+	}
+	if halted && n > 0 {
+		recs[n-1] = trace.Record{PC: 60, Op: isa.HALT, NextPC: 60}
+	}
+	return recs
+}
+
+// TestChunkBoundaryShapes pins the columnar paths against the reference on
+// trace lengths straddling every chunk-layout edge: empty, single record,
+// one partially-filled chunk, exactly one chunk, one-past-a-chunk, and a
+// multi-chunk length that is not a multiple of the chunk size.
+func TestChunkBoundaryShapes(t *testing.T) {
+	const cs = trace.ChunkSize
+	lengths := []int{0, 1, 2, cs - 1, cs, cs + 1, 2*cs + cs/3}
+	for _, n := range lengths {
+		for _, halted := range []bool{false, true} {
+			if n == 0 && halted {
+				continue
+			}
+			name := "trunc"
+			if halted {
+				name = "halt"
+			}
+			t.Run(name+"/"+itoa(n), func(t *testing.T) {
+				recs := synthRecords(n, halted)
+				tr := trace.FromRecords(recs)
+				if tr.Len() != n {
+					t.Fatalf("Len = %d, want %d", tr.Len(), n)
+				}
+				wantChunks := 0
+				if n > 0 {
+					wantChunks = (n-1)/cs + 1
+				}
+				if tr.NumChunks() != wantChunks {
+					t.Fatalf("NumChunks = %d, want %d", tr.NumChunks(), wantChunks)
+				}
+
+				ref := append([]trace.Record(nil), recs...)
+				if err := refLink(ref); err != nil {
+					t.Fatal(err)
+				}
+				refA := refAnalyze(ref)
+
+				fused, err := deadness.LinkAndAnalyze(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkAgainstRef(t, "fused", tr, fused, ref, refA)
+
+				// Per-record accessors agree with the bulk view at every
+				// boundary position.
+				for _, seq := range []int{0, cs - 1, cs, n - 1} {
+					if seq < 0 || seq >= n {
+						continue
+					}
+					if got := tr.At(seq); got != ref[seq] {
+						t.Errorf("At(%d) = %+v, want %+v", seq, got, ref[seq])
+					}
+					if tr.OpAt(seq) != ref[seq].Op || tr.PCAt(seq) != ref[seq].PC {
+						t.Errorf("OpAt/PCAt(%d) mismatch", seq)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAppendRangeAcrossChunks pins windowed sub-trace extraction (the
+// scratch-trace path used by the window-bias experiment) against slicing
+// the reference records, for windows that straddle chunk boundaries.
+func TestAppendRangeAcrossChunks(t *testing.T) {
+	const cs = trace.ChunkSize
+	n := 2*cs + 123
+	recs := synthRecords(n, false)
+	tr := trace.FromRecords(recs)
+	if _, err := deadness.LinkAndAnalyze(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	sub := trace.NewWithCapacity(cs + 7)
+	defer sub.Release()
+	windows := [][2]int{{0, 5}, {cs - 3, cs + 4}, {cs, 2 * cs}, {2*cs - 1, n}, {0, n}}
+	for _, w := range windows {
+		start, end := w[0], w[1]
+		sub.Reset()
+		sub.AppendRange(tr, start, end)
+		if sub.Len() != end-start {
+			t.Fatalf("window [%d,%d): Len = %d", start, end, sub.Len())
+		}
+		ref := append([]trace.Record(nil), recs[start:end]...)
+		if err := refLink(ref); err != nil {
+			t.Fatal(err)
+		}
+		refA := refAnalyze(ref)
+		a, err := deadness.LinkAndAnalyze(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstRef(t, "window", sub, a, ref, refA)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
 }

@@ -23,11 +23,15 @@ import (
 // with are always the same bit.
 type Lookahead struct {
 	dir   DirPredictor
-	recs  []trace.Record
 	depth int
 
-	branchPos []int  // trace positions of conditional branches, ascending
-	preds     []bool // cached predictions for branchPos[:len(preds)]
+	// The conditional branches of the trace, extracted once into dense
+	// parallel arrays (positions ascending): everything lookahead queries
+	// touch, without walking the trace again.
+	branchPos   []int
+	branchPC    []int32
+	branchTaken []bool
+	preds       []bool // cached predictions for branchPos[:len(preds)]
 
 	// Branches and Mispredicts count predicted conditional branches.
 	Branches    int
@@ -43,18 +47,29 @@ func NewLookahead(dir DirPredictor, t *trace.Trace, depth int) *Lookahead {
 	if depth > 16 {
 		depth = 16
 	}
-	l := &Lookahead{dir: dir, recs: t.Recs, depth: depth}
+	l := &Lookahead{dir: dir, depth: depth}
 	n := 0
-	for i := range t.Recs {
-		if t.Recs[i].Op.IsCondBranch() {
-			n++
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		c := t.Chunk(ci)
+		for i := 0; i < c.Len(); i++ {
+			if c.Op[i].IsCondBranch() {
+				n++
+			}
 		}
 	}
 	l.branchPos = make([]int, 0, n)
+	l.branchPC = make([]int32, 0, n)
+	l.branchTaken = make([]bool, 0, n)
 	l.preds = make([]bool, 0, n)
-	for i := range t.Recs {
-		if t.Recs[i].Op.IsCondBranch() {
-			l.branchPos = append(l.branchPos, i)
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		c := t.Chunk(ci)
+		base := ci << trace.ChunkBits
+		for i := 0; i < c.Len(); i++ {
+			if c.Op[i].IsCondBranch() {
+				l.branchPos = append(l.branchPos, base+i)
+				l.branchPC = append(l.branchPC, c.PC[i])
+				l.branchTaken = append(l.branchTaken, c.Taken[i])
+			}
 		}
 	}
 	return l
@@ -63,14 +78,14 @@ func NewLookahead(dir DirPredictor, t *trace.Trace, depth int) *Lookahead {
 // ensure predicts branches in order through index idx (inclusive).
 func (l *Lookahead) ensure(idx int) {
 	for len(l.preds) <= idx && len(l.preds) < len(l.branchPos) {
-		pos := l.branchPos[len(l.preds)]
-		r := &l.recs[pos]
-		pred := l.dir.Predict(int(r.PC))
+		bi := len(l.preds)
+		pc, taken := int(l.branchPC[bi]), l.branchTaken[bi]
+		pred := l.dir.Predict(pc)
 		l.Branches++
-		if pred != r.Taken {
+		if pred != taken {
 			l.Mispredicts++
 		}
-		l.dir.Update(int(r.PC), r.Taken)
+		l.dir.Update(pc, taken)
 		l.preds = append(l.preds, pred)
 	}
 }
@@ -126,7 +141,7 @@ func (l *Lookahead) ActualSigAfter(seq int) uint16 {
 	idx := l.branchIdxAfter(seq)
 	var sig uint16
 	for i := 0; i < l.depth && idx+i < len(l.branchPos); i++ {
-		if l.recs[l.branchPos[idx+i]].Taken {
+		if l.branchTaken[idx+i] {
 			sig |= 1 << i
 		}
 	}

@@ -5,7 +5,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/compiler"
@@ -58,21 +57,12 @@ func ProfileProgram(name string, prog *program.Program, passStats compiler.PassS
 }
 
 func profileProgramWith(name string, prog *program.Program, passStats compiler.PassStats, budget int, mc *metrics.Collector) (*ProfileResult, error) {
-	sp := mc.Start(metrics.PhaseEmulate, name)
-	m := emu.New(prog)
-	tr := &trace.Trace{Recs: make([]trace.Record, 0, min(budget, 1<<20))}
-	err := m.Run(budget, tr.Append)
-	sp.End(int64(tr.Len()))
-	if err != nil && !errors.Is(err, emu.ErrBudget) {
-		return nil, fmt.Errorf("core: running %s: %w", name, err)
-	}
-	// The fused pass links and analyzes the raw trace in one walk; there
-	// is no separate link phase on this path anymore.
-	sp = mc.Start(metrics.PhaseAnalyze, name)
-	defer func() { sp.End(int64(tr.Len())) }()
-	a, err := deadness.LinkAndAnalyze(tr)
+	// The streaming path emulates and runs the fused link+analyze pass
+	// concurrently, one chunk apart; the spans it records keep emulation
+	// and the non-overlapped analysis tail separate.
+	tr, a, _, err := emu.CollectAnalyzedObserved(prog, budget, mc, name)
 	if err != nil {
-		return nil, fmt.Errorf("core: analyzing %s: %w", name, err)
+		return nil, fmt.Errorf("core: profiling %s: %w", name, err)
 	}
 	res := &ProfileResult{
 		Bench:     name,

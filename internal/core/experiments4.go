@@ -81,21 +81,23 @@ func (w *Workspace) E18(ctx context.Context) (*Experiment, error) {
 // each independently (values crossing a boundary are conservatively
 // live), and returns the aggregate dead fraction.
 //
-// Windows are re-linked in place over subslices of a single private copy
-// of the records instead of cloning every window: the fused pass rewrites
-// the producer fields, and the input trace is shared by every experiment
-// running concurrently, so it must stay untouched — but one copy per call
-// (instead of one allocation per window) is all that isolation needs.
+// The input trace is shared by every experiment running concurrently, so
+// its chunks must stay untouched; each window's records are block-copied
+// into one reusable scratch trace (Reset keeps the chunk storage between
+// windows, Release returns the pooled arenas at the end), so the call
+// allocates one window's worth of columns instead of a whole-trace copy.
 func windowedDeadFraction(t *trace.Trace, window int) (float64, error) {
 	if window <= 0 {
 		return 0, fmt.Errorf("core: window size %d must be positive", window)
 	}
-	recs := make([]trace.Record, t.Len())
-	copy(recs, t.Recs)
+	n := t.Len()
+	sub := trace.NewWithCapacity(min(window, n))
+	defer sub.Release()
 	dead, total := 0, 0
-	for start := 0; start < len(recs); start += window {
-		end := min(start+window, len(recs))
-		sub := &trace.Trace{Recs: recs[start:end]}
+	for start := 0; start < n; start += window {
+		end := min(start+window, n)
+		sub.Reset()
+		sub.AppendRange(t, start, end)
 		a, err := deadness.LinkAndAnalyze(sub)
 		if err != nil {
 			return 0, err

@@ -47,7 +47,7 @@ func refWindowedDeadFraction(t *trace.Trace, window int) (float64, error) {
 	dead, total := 0, 0
 	for start := 0; start < n; start += window {
 		end := min(start+window, n)
-		sub := &trace.Trace{Recs: append([]trace.Record(nil), t.Recs[start:end]...)}
+		sub := trace.FromRecords(t.Records()[start:end])
 		if err := sub.Link(); err != nil {
 			return 0, err
 		}
@@ -81,7 +81,7 @@ func TestWindowedDeadFractionRegression(t *testing.T) {
 	idxs := []int{0, tr.Len() / 3, tr.Len() / 2, tr.Len() - 1}
 	before := make([]trace.Record, len(idxs))
 	for i, k := range idxs {
-		before[i] = tr.Recs[k]
+		before[i] = tr.At(k)
 	}
 
 	for _, win := range []int{1_000, 7_777, 10_000, tr.Len(), 2 * tr.Len()} {
@@ -99,7 +99,7 @@ func TestWindowedDeadFractionRegression(t *testing.T) {
 	}
 
 	for i, k := range idxs {
-		if tr.Recs[k] != before[i] {
+		if tr.At(k) != before[i] {
 			t.Errorf("shared trace mutated at record %d", k)
 		}
 	}

@@ -22,6 +22,7 @@ package deadness
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/isa"
 	"repro/internal/program"
@@ -62,6 +63,18 @@ func (k Kind) String() string {
 // Dead reports whether the kind is one of the dead classes.
 func (k Kind) Dead() bool { return k != Live }
 
+// unresolved is the internal Resolve sentinel used while the forward pass
+// runs: a streaming analysis cannot pre-fill "trace length" because the
+// length is unknown until the last chunk arrives. finish rewrites every
+// surviving sentinel to int32(n), so exported Resolve values are exactly
+// the documented ones.
+//
+// The sentinel is zero so freshly cleared (or freshly allocated) fact
+// arrays are already in the initial state. Zero can never collide with a
+// real resolve point: a producer is resolved by a strictly later record,
+// so every recorded resolve sequence is at least 1.
+const unresolved int32 = 0
+
 // Analysis holds per-dynamic-instruction oracle results. Index every slice
 // by the dynamic sequence number.
 type Analysis struct {
@@ -93,25 +106,163 @@ func isRoot(op isa.Op) bool {
 }
 
 func newAnalysis(n int) *Analysis {
-	a := &Analysis{
+	// The zero value of every column is the initial state: Live,
+	// non-candidate, unread, unresolved.
+	return &Analysis{
 		Kind:      make([]Kind, n),
 		Candidate: make([]bool, n),
 		EverRead:  make([]bool, n),
 		Resolve:   make([]int32, n),
 	}
-	for i := range a.Resolve {
-		a.Resolve[i] = int32(n)
-	}
-	return a
 }
 
 // markRead records that reader consumed producer's result.
 func (a *Analysis) markRead(producer, reader int32) {
 	if producer != trace.NoProducer {
 		a.EverRead[producer] = true
-		if a.Resolve[producer] == int32(len(a.Resolve)) {
+		if a.Resolve[producer] == unresolved {
 			a.Resolve[producer] = reader
 		}
+	}
+}
+
+// Stream is the incremental fused link+analyze pass: feed it completed
+// trace chunks in order (Chunk), then Finish. The forward deadness facts
+// and the producer links are derived exactly as LinkAndAnalyze would —
+// the stream just lets the analysis run one chunk behind the emulator
+// (see emu.CollectAnalyzed) instead of after it.
+type Stream struct {
+	a         *Analysis
+	regWriter [isa.NumRegs]int32
+	memWriter *trace.WriterMap
+	prevBuf   []int32
+	n         int // records consumed so far
+}
+
+// NewStream starts a fused analysis pass. hint pre-sizes the fact arrays
+// (pass the emulation budget or trace length; 0 is fine).
+func NewStream(hint int) *Stream {
+	s := &Stream{
+		a: &Analysis{
+			Kind:      make([]Kind, 0, hint),
+			Candidate: make([]bool, 0, hint),
+			EverRead:  make([]bool, 0, hint),
+			Resolve:   make([]int32, 0, hint),
+		},
+		memWriter: trace.NewWriterMap(),
+	}
+	for i := range s.regWriter {
+		s.regWriter[i] = trace.NoProducer
+	}
+	return s
+}
+
+// Chunk links and analyzes the next chunk of the trace. Chunks must
+// arrive in trace order; the chunk's Src1/Src2 columns and load producer
+// tables are (re)written exactly as trace.Link would write them.
+func (s *Stream) Chunk(c *trace.Chunk) error {
+	a := s.a
+	base := s.n
+	cn := c.Len()
+	end := base + cn
+	a.Kind = slices.Grow(a.Kind, cn)[:end]
+	a.Candidate = slices.Grow(a.Candidate, cn)[:end]
+	a.EverRead = slices.Grow(a.EverRead, cn)[:end]
+	a.Resolve = slices.Grow(a.Resolve, cn)[:end]
+	// The zero value of every column is the initial state (Live,
+	// non-candidate, unread, unresolved), so bulk clears replace the
+	// old element-wise init loop.
+	clear(a.Kind[base:end])
+	clear(a.Candidate[base:end])
+	clear(a.EverRead[base:end])
+	clear(a.Resolve[base:end])
+
+	c.BeginLink()
+	// Slice every column to the chunk length once so the loop body indexes
+	// bounds-check-free, and hoist the fact arrays out of the Analysis —
+	// with markRead inlined this keeps the per-record path branch + load
+	// only (one Flags table hit replaces the predicate range chains).
+	op, rd, rs1, rs2 := c.Op[:cn], c.Rd[:cn], c.Rs1[:cn], c.Rs2[:cn]
+	memIdx := c.MemIdx[:cn]
+	src1, src2 := c.Src1[:cn], c.Src2[:cn]
+	resolve, everRead, cand := a.Resolve, a.EverRead, a.Candidate
+	for i := 0; i < cn; i++ {
+		seq := int32(base + i)
+		f := op[i].Flags()
+		s1, s2 := trace.NoProducer, trace.NoProducer
+		if f&isa.FlagReadsRs1 != 0 && rs1[i] != isa.RZero {
+			if s1 = s.regWriter[rs1[i]]; s1 != trace.NoProducer {
+				everRead[s1] = true
+				if resolve[s1] == unresolved {
+					resolve[s1] = seq
+				}
+			}
+		}
+		if f&isa.FlagReadsRs2 != 0 && rs2[i] != isa.RZero {
+			if s2 = s.regWriter[rs2[i]]; s2 != trace.NoProducer {
+				everRead[s2] = true
+				if resolve[s2] == unresolved {
+					resolve[s2] = seq
+				}
+			}
+		}
+		src1[i], src2[i] = s1, s2
+		if mi := memIdx[i]; mi >= 0 {
+			o := op[i]
+			w := c.Width[mi]
+			if w == 0 || w != o.MemWidthFast() {
+				return fmt.Errorf("deadness: seq %d: %v has width %d, want %d",
+					seq, o, w, o.MemWidth())
+			}
+			if f&isa.FlagLoad != 0 {
+				for _, p := range c.LinkLoadProducers(i, s.memWriter) {
+					if p != trace.NoProducer {
+						everRead[p] = true
+						if resolve[p] == unresolved {
+							resolve[p] = seq
+						}
+					}
+				}
+			} else {
+				cand[seq] = true
+				s.prevBuf = s.memWriter.Overwrite(c.Addr[mi], int(w), seq, s.prevBuf[:0])
+				for _, prev := range s.prevBuf {
+					if resolve[prev] == unresolved {
+						resolve[prev] = seq // overwrite resolves the old store
+					}
+				}
+			}
+		}
+		if f&isa.FlagHasDest != 0 && rd[i] != isa.RZero {
+			if f&isa.FlagControl == 0 {
+				cand[seq] = true
+			}
+			if prev := s.regWriter[rd[i]]; prev != trace.NoProducer && resolve[prev] == unresolved {
+				resolve[prev] = seq // overwrite resolves the old value
+			}
+			s.regWriter[rd[i]] = seq
+		}
+	}
+	s.n += cn
+	return nil
+}
+
+// Finish completes the pass over the fully collected trace (whose chunks
+// must all have been fed through Chunk): it releases the writer map,
+// marks the trace linked, and runs the reverse usefulness pass and
+// classification. The stream must not be used afterwards.
+func (s *Stream) Finish(t *trace.Trace) *Analysis {
+	s.Close()
+	t.Linked = true
+	return s.a.finish(t)
+}
+
+// Close releases the stream's writer-map pages back to the shared pool.
+// It is idempotent and safe after an aborted pass; Finish calls it.
+func (s *Stream) Close() {
+	if s.memWriter != nil {
+		s.memWriter.Reset()
+		s.memWriter = nil
 	}
 }
 
@@ -134,30 +285,36 @@ func Analyze(t *trace.Trace) (*Analysis, error) {
 	memWriter := trace.NewWriterMap()
 	defer memWriter.Reset()
 	var prevBuf []int32
-	for seq := range t.Recs {
-		r := &t.Recs[seq]
-		a.markRead(r.Src1, int32(seq))
-		a.markRead(r.Src2, int32(seq))
-		for _, s := range r.MemProducers() {
-			a.markRead(s, int32(seq))
-		}
-		if r.Op.IsStore() {
-			a.Candidate[seq] = true
-			prevBuf = memWriter.Overwrite(r.Addr, int(r.Width), int32(seq), prevBuf[:0])
-			for _, prev := range prevBuf {
-				if a.Resolve[prev] == int32(n) {
-					a.Resolve[prev] = int32(seq) // overwrite resolves the old store
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		c := t.Chunk(ci)
+		base := ci << trace.ChunkBits
+		for i := 0; i < c.Len(); i++ {
+			seq := int32(base + i)
+			a.markRead(c.Src1[i], seq)
+			a.markRead(c.Src2[i], seq)
+			for _, p := range c.MemProducers(i) {
+				a.markRead(p, seq)
+			}
+			o := c.Op[i]
+			if o.IsStore() {
+				a.Candidate[seq] = true
+				mi := c.MemIdx[i]
+				prevBuf = memWriter.Overwrite(c.Addr[mi], int(c.Width[mi]), seq, prevBuf[:0])
+				for _, prev := range prevBuf {
+					if a.Resolve[prev] == unresolved {
+						a.Resolve[prev] = seq // overwrite resolves the old store
+					}
 				}
 			}
-		}
-		if r.HasResult() {
-			if !r.Op.IsControl() {
-				a.Candidate[seq] = true
+			if o.HasDest() && c.Rd[i] != isa.RZero {
+				if !o.IsControl() {
+					a.Candidate[seq] = true
+				}
+				if prev := lastRegWriter[c.Rd[i]]; prev != trace.NoProducer && a.Resolve[prev] == unresolved {
+					a.Resolve[prev] = seq // overwrite resolves the old value
+				}
+				lastRegWriter[c.Rd[i]] = seq
 			}
-			if prev := lastRegWriter[r.Rd]; prev != trace.NoProducer && a.Resolve[prev] == int32(n) {
-				a.Resolve[prev] = int32(seq) // overwrite resolves the old value
-			}
-			lastRegWriter[r.Rd] = int32(seq)
 		}
 	}
 	return a.finish(t), nil
@@ -167,68 +324,22 @@ func Analyze(t *trace.Trace) (*Analysis, error) {
 // fused walk over the records: the def-use links and the deadness facts
 // (candidates, everRead, resolve points) maintain identical last-writer
 // state, so deriving both at once halves the substrate's passes. The
-// record producer fields are (re)written exactly as trace.Link would.
+// chunk producer columns are (re)written exactly as trace.Link would.
 func LinkAndAnalyze(t *trace.Trace) (*Analysis, error) {
-	n := t.Len()
-	a := newAnalysis(n)
-
-	var regWriter [isa.NumRegs]int32
-	for i := range regWriter {
-		regWriter[i] = trace.NoProducer
-	}
-	memWriter := trace.NewWriterMap()
-	defer memWriter.Reset()
-	var prevBuf []int32
-	for seq := range t.Recs {
-		r := &t.Recs[seq]
-		r.Src1, r.Src2 = trace.NoProducer, trace.NoProducer
-		r.NumMemSrcs = 0
-		if r.Op.ReadsRs1() && r.Rs1 != isa.RZero {
-			r.Src1 = regWriter[r.Rs1]
-			a.markRead(r.Src1, int32(seq))
-		}
-		if r.Op.ReadsRs2() && r.Rs2 != isa.RZero {
-			r.Src2 = regWriter[r.Rs2]
-			a.markRead(r.Src2, int32(seq))
-		}
-		if r.Op.IsMem() {
-			if r.Width == 0 || int(r.Width) != r.Op.MemWidth() {
-				return nil, fmt.Errorf("deadness: seq %d: %v has width %d, want %d",
-					seq, r.Op, r.Width, r.Op.MemWidth())
-			}
-		}
-		if r.Op.IsLoad() {
-			memWriter.LoadProducers(r)
-			for _, s := range r.MemProducers() {
-				a.markRead(s, int32(seq))
-			}
-		}
-		if r.Op.IsStore() {
-			a.Candidate[seq] = true
-			prevBuf = memWriter.Overwrite(r.Addr, int(r.Width), int32(seq), prevBuf[:0])
-			for _, prev := range prevBuf {
-				if a.Resolve[prev] == int32(n) {
-					a.Resolve[prev] = int32(seq) // overwrite resolves the old store
-				}
-			}
-		}
-		if r.HasResult() {
-			if !r.Op.IsControl() {
-				a.Candidate[seq] = true
-			}
-			if prev := regWriter[r.Rd]; prev != trace.NoProducer && a.Resolve[prev] == int32(n) {
-				a.Resolve[prev] = int32(seq) // overwrite resolves the old value
-			}
-			regWriter[r.Rd] = int32(seq)
+	s := NewStream(t.Len())
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		if err := s.Chunk(t.Chunk(ci)); err != nil {
+			s.Close()
+			return nil, err
 		}
 	}
-	t.Linked = true
-	return a.finish(t), nil
+	return s.Finish(t), nil
 }
 
 // finish runs the shared tail of both analysis paths over the forward
 // facts: the reverse usefulness pass, the classification, and the
-// candidate count.
+// candidate count. It also rewrites the internal unresolved sentinel to
+// the documented "trace length" value.
 func (a *Analysis) finish(t *trace.Trace) *Analysis {
 	n := t.Len()
 	// Reverse pass: propagate usefulness from roots to producers. When the
@@ -237,41 +348,64 @@ func (a *Analysis) finish(t *trace.Trace) *Analysis {
 	// might still be used beyond the horizon; hardware could never prove
 	// it dead, so the oracle conservatively treats unresolved candidates
 	// as useful roots.
-	truncated := n > 0 && t.Recs[n-1].Op != isa.HALT
+	truncated := n > 0 && t.OpAt(n-1) != isa.HALT
 	useful := make([]bool, n)
-	mark := func(producer int32) {
-		if producer != trace.NoProducer {
-			useful[producer] = true
+	resolve, cand := a.Resolve, a.Candidate
+	kind, everRead := a.Kind, a.EverRead
+	candidates := 0
+	// Classification fuses into the reverse pass: by the time the walk
+	// reaches seq, every record that could mark it useful (all are later
+	// in the trace) has been visited, so useful[seq] is final and the
+	// record can be classified, counted, and sentinel-fixed in place.
+	for ci := t.NumChunks() - 1; ci >= 0; ci-- {
+		c := t.Chunk(ci)
+		base := ci << trace.ChunkBits
+		cn := c.Len()
+		op, src1, src2, memIdx := c.Op[:cn], c.Src1[:cn], c.Src2[:cn], c.MemIdx[:cn]
+		for i := cn - 1; i >= 0; i-- {
+			seq := base + i
+			isCand := cand[seq]
+			if isCand {
+				candidates++
+			}
+			u := useful[seq]
+			if !u && op[i].Flags()&isa.FlagRoot == 0 {
+				// Unresolved-candidate check only on the cold path: most
+				// records are neither useful yet nor roots.
+				if !truncated || !isCand || resolve[seq] != unresolved {
+					if resolve[seq] == unresolved {
+						resolve[seq] = int32(n)
+					}
+					switch {
+					case !isCand: // u is known false here
+						kind[seq] = Live
+					case everRead[seq]:
+						kind[seq] = Transitive
+					default:
+						kind[seq] = FirstLevel
+					}
+					continue
+				}
+			}
+			if resolve[seq] == unresolved {
+				resolve[seq] = int32(n)
+			}
+			kind[seq] = Live
+			useful[seq] = true
+			if p := src1[i]; p != trace.NoProducer {
+				useful[p] = true
+			}
+			if p := src2[i]; p != trace.NoProducer {
+				useful[p] = true
+			}
+			if memIdx[i] >= 0 {
+				for _, p := range c.MemProducers(i) {
+					useful[p] = true
+				}
+			}
 		}
 	}
-	for seq := n - 1; seq >= 0; seq-- {
-		r := &t.Recs[seq]
-		unresolved := truncated && a.Candidate[seq] && a.Resolve[seq] == int32(n)
-		if !useful[seq] && !isRoot(r.Op) && !unresolved {
-			continue
-		}
-		useful[seq] = true
-		mark(r.Src1)
-		mark(r.Src2)
-		for _, s := range r.MemProducers() {
-			mark(s)
-		}
-	}
-
-	// Classification.
-	for seq := range t.Recs {
-		switch {
-		case !a.Candidate[seq], useful[seq]:
-			a.Kind[seq] = Live
-		case a.EverRead[seq]:
-			a.Kind[seq] = Transitive
-		default:
-			a.Kind[seq] = FirstLevel
-		}
-		if a.Candidate[seq] {
-			a.candidates++
-		}
-	}
+	a.candidates = candidates
 	return a
 }
 
@@ -312,35 +446,39 @@ func (s Summary) DeadFraction() float64 {
 func (a *Analysis) Summarize(t *trace.Trace, prog *program.Program) Summary {
 	var s Summary
 	s.Total = t.Len()
-	for seq := range t.Recs {
-		if !a.Candidate[seq] {
-			continue
-		}
-		r := &t.Recs[seq]
-		s.Candidates++
-		prov := program.ProvNormal
-		if prog != nil {
-			prov = prog.ProvenanceOf(int(r.PC))
-		}
-		s.ByProv[prov].Dyn++
-		if !a.Kind[seq].Dead() {
-			continue
-		}
-		s.Dead++
-		s.ByProv[prov].Dead++
-		switch {
-		case a.Kind[seq] == FirstLevel:
-			s.FirstLevel++
-		default:
-			s.Transitive++
-		}
-		switch {
-		case r.Op.IsLoad():
-			s.DeadLoads++
-		case r.Op.IsStore():
-			s.DeadStores++
-		default:
-			s.DeadALU++
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		c := t.Chunk(ci)
+		base := ci << trace.ChunkBits
+		for i := 0; i < c.Len(); i++ {
+			seq := base + i
+			if !a.Candidate[seq] {
+				continue
+			}
+			s.Candidates++
+			prov := program.ProvNormal
+			if prog != nil {
+				prov = prog.ProvenanceOf(int(c.PC[i]))
+			}
+			s.ByProv[prov].Dyn++
+			if !a.Kind[seq].Dead() {
+				continue
+			}
+			s.Dead++
+			s.ByProv[prov].Dead++
+			switch {
+			case a.Kind[seq] == FirstLevel:
+				s.FirstLevel++
+			default:
+				s.Transitive++
+			}
+			switch {
+			case c.Op[i].IsLoad():
+				s.DeadLoads++
+			case c.Op[i].IsStore():
+				s.DeadStores++
+			default:
+				s.DeadALU++
+			}
 		}
 	}
 	return s

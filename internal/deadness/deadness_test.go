@@ -32,8 +32,8 @@ func analyzeSrc(t *testing.T, src string) (*trace.Trace, *deadness.Analysis, *pr
 // kindAtPC returns the deadness.Kind of the single dynamic instance of static pc.
 func kindAtPC(t *testing.T, tr *trace.Trace, a *deadness.Analysis, pc int) deadness.Kind {
 	t.Helper()
-	for seq := range tr.Recs {
-		if int(tr.Recs[seq].PC) == pc {
+	for seq := 0; seq < tr.Len(); seq++ {
+		if int(tr.PCAt(seq)) == pc {
 			return a.Kind[seq]
 		}
 	}
@@ -227,13 +227,13 @@ f:
     addi r1, r0, 1    # dead
     ret
 `)
-	for seq := range tr.Recs {
-		r := tr.Recs[seq]
-		if r.Op.IsControl() && a.Kind[seq].Dead() {
-			t.Errorf("control inst %v at seq %d classified dead", r.Op, seq)
+	for seq := 0; seq < tr.Len(); seq++ {
+		op := tr.OpAt(seq)
+		if op.IsControl() && a.Kind[seq].Dead() {
+			t.Errorf("control inst %v at seq %d classified dead", op, seq)
 		}
-		if r.Op.IsControl() && a.Candidate[seq] {
-			t.Errorf("control inst %v at seq %d is a candidate", r.Op, seq)
+		if op.IsControl() && a.Candidate[seq] {
+			t.Errorf("control inst %v at seq %d is a candidate", op, seq)
 		}
 	}
 }
@@ -256,8 +256,8 @@ use:
     halt
 `)
 	deadShifts := 0
-	for seq := range tr.Recs {
-		if tr.Recs[seq].PC == 1 && a.Kind[seq].Dead() {
+	for seq := 0; seq < tr.Len(); seq++ {
+		if tr.PCAt(seq) == 1 && a.Kind[seq].Dead() {
 			deadShifts++
 		}
 	}
@@ -346,7 +346,7 @@ func TestAnalyzeRejectsUnlinkedTrace(t *testing.T) {
 	}
 	m := emu.New(p)
 	tr := &trace.Trace{}
-	if err := m.Run(100, tr.Append); err != nil {
+	if err := m.Run(100, tr.Push); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Linked {

@@ -30,8 +30,8 @@ main:
 	if err != nil {
 		log.Fatal(err)
 	}
-	for seq := range tr.Recs {
-		fmt.Printf("%-16v %v\n", prog.Insts[tr.Recs[seq].PC], an.Kind[seq])
+	for seq := 0; seq < tr.Len(); seq++ {
+		fmt.Printf("%-16v %v\n", prog.Insts[tr.PCAt(seq)], an.Kind[seq])
 	}
 	// Output:
 	// addi r1, r0, 1   first-level

@@ -26,19 +26,24 @@ func (s StaticStat) Ratio() float64 {
 // descending dead count (ties broken by PC for determinism).
 func (a *Analysis) StaticProfile(t *trace.Trace) []StaticStat {
 	byPC := make(map[int32]*StaticStat)
-	for seq := range t.Recs {
-		if !a.Candidate[seq] {
-			continue
-		}
-		pc := t.Recs[seq].PC
-		st, ok := byPC[pc]
-		if !ok {
-			st = &StaticStat{PC: int(pc)}
-			byPC[pc] = st
-		}
-		st.Dyn++
-		if a.Kind[seq].Dead() {
-			st.Dead++
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		c := t.Chunk(ci)
+		base := ci << trace.ChunkBits
+		for i := 0; i < c.Len(); i++ {
+			seq := base + i
+			if !a.Candidate[seq] {
+				continue
+			}
+			pc := c.PC[i]
+			st, ok := byPC[pc]
+			if !ok {
+				st = &StaticStat{PC: int(pc)}
+				byPC[pc] = st
+			}
+			st.Dyn++
+			if a.Kind[seq].Dead() {
+				st.Dead++
+			}
 		}
 	}
 	out := make([]StaticStat, 0, len(byPC))

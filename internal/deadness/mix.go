@@ -43,26 +43,29 @@ func (m Mix) TakenRate() float64 {
 func ComputeMix(t *trace.Trace) Mix {
 	var m Mix
 	m.Total = t.Len()
-	for i := range t.Recs {
-		r := &t.Recs[i]
-		switch {
-		case r.Op == isa.MUL || r.Op == isa.DIVU || r.Op == isa.REMU:
-			m.MulDiv++
-		case r.Op.IsALUReg() || r.Op.IsALUImm():
-			m.ALU++
-		case r.Op.IsLoad():
-			m.Loads++
-		case r.Op.IsStore():
-			m.Stores++
-		case r.Op.IsCondBranch():
-			m.Branches++
-			if r.Taken {
-				m.TakenBranches++
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		c := t.Chunk(ci)
+		for i := 0; i < c.Len(); i++ {
+			op := c.Op[i]
+			switch {
+			case op == isa.MUL || op == isa.DIVU || op == isa.REMU:
+				m.MulDiv++
+			case op.IsALUReg() || op.IsALUImm():
+				m.ALU++
+			case op.IsLoad():
+				m.Loads++
+			case op.IsStore():
+				m.Stores++
+			case op.IsCondBranch():
+				m.Branches++
+				if c.Taken[i] {
+					m.TakenBranches++
+				}
+			case op.IsJump():
+				m.Jumps++
+			default:
+				m.Other++
 			}
-		case r.Op.IsJump():
-			m.Jumps++
-		default:
-			m.Other++
 		}
 	}
 	return m

@@ -2,6 +2,7 @@ package dip
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bpred"
 	"repro/internal/deadness"
@@ -65,12 +66,23 @@ type Options struct {
 // a 4K-entry gshare with 10 bits of history.
 func DefaultDir() bpred.DirPredictor { return bpred.NewGshare(12, 10) }
 
-// pendingUpdate is a prediction awaiting its resolution point.
-type pendingUpdate struct {
-	pc   int32
-	sig  uint16
-	dead bool
+// nilPend terminates a pending-update list.
+const nilPend = int32(-1)
+
+// evalScratch carries Evaluate's working arrays between runs through a
+// pool: the engine evaluates dozens of predictor configurations over the
+// same budget, and recycling the arrays keeps each run's allocation cost
+// near zero instead of O(candidates).
+type evalScratch struct {
+	pendHead []int32
+	pendPC   []int32
+	pendSig  []uint16
+	pendDead []bool
+	pendNext []int32
+	scratch  []int32
 }
+
+var evalPool = sync.Pool{New: func() any { return new(evalScratch) }}
 
 // Evaluate runs the predictor over a linked, analyzed trace. An invalid
 // predictor geometry returns a *ConfigError.
@@ -79,7 +91,10 @@ type pendingUpdate struct {
 // the branch-predictor lookahead at i; the predictor trains only when the
 // instance's deadness *resolves* (its register is overwritten or read, its
 // stored bytes are overwritten or loaded — deadness.Analysis.Resolve), not
-// at prediction time.
+// at prediction time. Predictions awaiting resolution live in intrusive
+// lists headed by resolve point (parallel flat arrays indexed by a next
+// pointer), not a map: the walk allocates a handful of slices total
+// instead of one map entry per in-flight prediction.
 func Evaluate(t *trace.Trace, a *deadness.Analysis, opt Options) (Result, error) {
 	dir := opt.Dir
 	if dir == nil {
@@ -93,47 +108,100 @@ func Evaluate(t *trace.Trace, a *deadness.Analysis, opt Options) (Result, error)
 	res := Result{Name: opt.Config.Name(), StateBits: opt.Config.StateBits()}
 
 	n := t.Len()
-	pending := make(map[int32][]pendingUpdate)
-	for seq := 0; seq < n; seq++ {
-		// Outcomes that resolve here train the predictor first.
-		for _, u := range pending[int32(seq)] {
-			p.Update(int(u.pc), u.sig, u.dead)
-		}
-		delete(pending, int32(seq))
+	es := evalPool.Get().(*evalScratch)
+	pendHead := es.pendHead
+	if cap(pendHead) < n {
+		pendHead = make([]int32, n)
+	}
+	pendHead = pendHead[:n]
+	for i := range pendHead {
+		pendHead[i] = nilPend
+	}
+	pendPC := es.pendPC[:0]
+	pendSig := es.pendSig[:0]
+	pendDead := es.pendDead[:0]
+	pendNext := es.pendNext[:0]
+	scratch := es.scratch
+	// Replayed nodes go onto a free list threaded through pendNext, so the
+	// flat arrays grow to the peak number of in-flight predictions (bounded
+	// by the longest resolve distance), not one slot per candidate.
+	freeHead := nilPend
+	useCFI := opt.Config.UseCFI()
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		c := t.Chunk(ci)
+		base := ci << trace.ChunkBits
+		for i := 0; i < c.Len(); i++ {
+			seq := base + i
+			// Outcomes that resolve here train the predictor first, in
+			// prediction order (the intrusive list is LIFO, so replay it
+			// reversed through a scratch buffer).
+			if h := pendHead[seq]; h != nilPend {
+				scratch = scratch[:0]
+				for u := h; u != nilPend; u = pendNext[u] {
+					scratch = append(scratch, u)
+				}
+				for k := len(scratch) - 1; k >= 0; k-- {
+					u := scratch[k]
+					p.Update(int(pendPC[u]), pendSig[u], pendDead[u])
+				}
+				for _, u := range scratch {
+					pendNext[u] = freeHead
+					freeHead = u
+				}
+			}
 
-		look.EnsureThrough(seq)
-		if !a.Candidate[seq] {
-			continue
-		}
-		var sig uint16
-		if opt.Config.UseCFI() {
-			if opt.UseActualPath {
-				sig = look.ActualSigAfter(seq)
-			} else {
-				sig = look.SigAfter(seq)
+			look.EnsureThrough(seq)
+			if !a.Candidate[seq] {
+				continue
 			}
-		}
-		r := &t.Recs[seq]
-		dead := a.Kind[seq].Dead()
-		res.Candidates++
-		if dead {
-			res.Dead++
-		}
-		if p.Predict(int(r.PC), sig) {
-			res.Predicted++
+			var sig uint16
+			if useCFI {
+				if opt.UseActualPath {
+					sig = look.ActualSigAfter(seq)
+				} else {
+					sig = look.SigAfter(seq)
+				}
+			}
+			pc := c.PC[i]
+			dead := a.Kind[seq].Dead()
+			res.Candidates++
 			if dead {
-				res.TruePos++
+				res.Dead++
 			}
-		}
-		resolve := a.Resolve[seq]
-		if int(resolve) >= n {
-			// Resolves past the end of the trace; train immediately so
-			// short traces still learn end-of-trace deadness.
-			p.Update(int(r.PC), sig, dead)
-		} else {
-			pending[resolve] = append(pending[resolve], pendingUpdate{r.PC, sig, dead})
+			if p.Predict(int(pc), sig) {
+				res.Predicted++
+				if dead {
+					res.TruePos++
+				}
+			}
+			resolve := a.Resolve[seq]
+			if int(resolve) >= n {
+				// Resolves past the end of the trace; train immediately so
+				// short traces still learn end-of-trace deadness.
+				p.Update(int(pc), sig, dead)
+			} else {
+				var idx int32
+				if freeHead != nilPend {
+					idx = freeHead
+					freeHead = pendNext[idx]
+					pendPC[idx] = pc
+					pendSig[idx] = sig
+					pendDead[idx] = dead
+					pendNext[idx] = pendHead[resolve]
+				} else {
+					idx = int32(len(pendPC))
+					pendPC = append(pendPC, pc)
+					pendSig = append(pendSig, sig)
+					pendDead = append(pendDead, dead)
+					pendNext = append(pendNext, pendHead[resolve])
+				}
+				pendHead[resolve] = idx
+			}
 		}
 	}
 	res.BranchAccuracy = look.Accuracy()
+	es.pendHead, es.pendPC, es.pendSig = pendHead, pendPC, pendSig
+	es.pendDead, es.pendNext, es.scratch = pendDead, pendNext, scratch
+	evalPool.Put(es)
 	return res, nil
 }

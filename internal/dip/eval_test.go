@@ -7,7 +7,6 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/deadness"
 	"repro/internal/emu"
-	"repro/internal/trace"
 )
 
 // pathDeadProgram builds a loop where one static instruction's deadness is
@@ -202,13 +201,13 @@ func TestEvaluateLeavesTraceIntact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := make([]trace.Record, len(tr.Recs))
-	copy(before, tr.Recs)
+	before := tr.Records()
 	if _, err := Evaluate(tr, a, Options{Config: DefaultConfig()}); err != nil {
 		t.Fatal(err)
 	}
+	after := tr.Records()
 	for i := range before {
-		if tr.Recs[i] != before[i] {
+		if after[i] != before[i] {
 			t.Fatalf("record %d mutated", i)
 		}
 	}

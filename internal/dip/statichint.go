@@ -34,7 +34,7 @@ func StaticHintResult(t *trace.Trace, a *deadness.Analysis, trainFrac, threshold
 		if !a.Candidate[seq] {
 			continue
 		}
-		pc := t.Recs[seq].PC
+		pc := t.PCAt(seq)
 		r := profile[pc]
 		if r == nil {
 			r = &ratio{}
@@ -62,7 +62,7 @@ func StaticHintResult(t *trace.Trace, a *deadness.Analysis, trainFrac, threshold
 		if dead {
 			res.Dead++
 		}
-		if hint[t.Recs[seq].PC] {
+		if hint[t.PCAt(seq)] {
 			res.Predicted++
 			if dead {
 				res.TruePos++

@@ -15,6 +15,7 @@ import (
 	"repro/internal/deadness"
 	"repro/internal/faults"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/program"
 	"repro/internal/trace"
 )
@@ -136,16 +137,30 @@ func (m *Machine) setReg(r isa.Reg, v uint64) {
 // Step executes one instruction and returns its trace record. Stepping a
 // halted machine or running off the end of the text is an error.
 func (m *Machine) Step() (trace.Record, error) {
+	var rec trace.Record
+	if err := m.step(&rec); err != nil {
+		return trace.Record{}, err
+	}
+	return rec, nil
+}
+
+// step executes one instruction, writing its trace record in place (the
+// hot path: Run reuses one record value across the whole run rather than
+// zeroing and copying an 80-byte struct per committed instruction). Every
+// field a consumer reads is (re)assigned; the producer-link fields are
+// reset to their raw-trace zero values.
+func (m *Machine) step(rec *trace.Record) error {
 	if m.Halted {
-		return trace.Record{}, fmt.Errorf("emu: step after halt at pc=%d", m.PC)
+		return fmt.Errorf("emu: step after halt at pc=%d", m.PC)
 	}
 	if m.PC < 0 || m.PC >= len(m.prog.Insts) {
-		return trace.Record{}, fmt.Errorf("emu: pc %d out of range [0,%d)", m.PC, len(m.prog.Insts))
+		return fmt.Errorf("emu: pc %d out of range [0,%d)", m.PC, len(m.prog.Insts))
 	}
 	in := m.prog.Insts[m.PC]
-	rec := trace.Record{
-		PC: int32(m.PC), Op: in.Op, Rd: in.Rd, Rs1: in.Rs1, Rs2: in.Rs2,
-	}
+	rec.PC, rec.Op, rec.Rd, rec.Rs1, rec.Rs2 = int32(m.PC), in.Op, in.Rd, in.Rs1, in.Rs2
+	rec.Taken = false
+	rec.Addr, rec.Width = 0, 0
+	rec.Src1, rec.Src2, rec.NumMemSrcs = 0, 0, 0
 	a, b := m.reg(in.Rs1), m.reg(in.Rs2)
 	imm := uint64(int64(in.Imm)) // sign-extended
 	next := m.PC + 1
@@ -247,41 +262,43 @@ func (m *Machine) Step() (trace.Record, error) {
 		m.Halted = true
 		next = m.PC
 	default:
-		return trace.Record{}, fmt.Errorf("emu: pc=%d: unimplemented opcode %v", m.PC, in.Op)
+		return fmt.Errorf("emu: pc=%d: unimplemented opcode %v", m.PC, in.Op)
 	}
 
 	rec.NextPC = int32(next)
 	m.PC = next
 	m.Steps++
-	return rec, nil
+	return nil
 }
 
 // Run executes until HALT or until budget instructions have committed,
-// passing each record to sink (which may be nil). It returns ErrBudget when
-// the budget expires first. When a fault injector is installed, every
-// committed instruction is a firing opportunity at faults.SiteEmuStep; the
-// injector is sampled once at entry so the clean path stays branch-free.
-func (m *Machine) Run(budget int, sink func(trace.Record)) error {
+// passing each record to sink (which may be nil; the record is only valid
+// for the duration of the call). It returns ErrBudget when the budget
+// expires first. When a fault injector is installed, every committed
+// instruction is a firing opportunity at faults.SiteEmuStep; the injector
+// is sampled once at entry so the clean path stays branch-free.
+func (m *Machine) Run(budget int, sink func(*trace.Record)) error {
 	if inj := faults.Active(); inj != nil {
 		return m.runInjected(inj, budget, sink)
 	}
+	var rec trace.Record
 	for !m.Halted {
 		if m.Steps >= budget {
 			return ErrBudget
 		}
-		rec, err := m.Step()
-		if err != nil {
+		if err := m.step(&rec); err != nil {
 			return err
 		}
 		if sink != nil {
-			sink(rec)
+			sink(&rec)
 		}
 	}
 	return nil
 }
 
 // runInjected is Run with a per-step fault opportunity.
-func (m *Machine) runInjected(inj *faults.Injector, budget int, sink func(trace.Record)) error {
+func (m *Machine) runInjected(inj *faults.Injector, budget int, sink func(*trace.Record)) error {
+	var rec trace.Record
 	for !m.Halted {
 		if m.Steps >= budget {
 			return ErrBudget
@@ -289,16 +306,19 @@ func (m *Machine) runInjected(inj *faults.Injector, budget int, sink func(trace.
 		if err := inj.Fire(faults.SiteEmuStep); err != nil {
 			return fmt.Errorf("emu: step %d: %w", m.Steps, err)
 		}
-		rec, err := m.Step()
-		if err != nil {
+		if err := m.step(&rec); err != nil {
 			return err
 		}
 		if sink != nil {
-			sink(rec)
+			sink(&rec)
 		}
 	}
 	return nil
 }
+
+// collectCap bounds how much storage the budget hint pre-sizes (the same
+// cap the pre-columnar substrate used for its record slice).
+const collectCap = 1 << 20
 
 // Collect runs the program to completion (or budget) and returns the linked
 // trace. A budget overrun is not an error here: the partial trace is still
@@ -316,27 +336,84 @@ func Collect(p *program.Program, budget int) (*trace.Trace, *Machine, error) {
 	return t, m, nil
 }
 
-// CollectAnalyzed runs the program like Collect and feeds the raw trace
-// straight into the fused link+analyze pass, so the whole substrate —
-// emulate, link, oracle — walks the records exactly twice (once to emit,
-// once fused) instead of three times.
+// CollectAnalyzed runs the program like Collect and streams completed
+// trace chunks through a small bounded ring into the fused link+analyze
+// pass: the oracle runs concurrently one chunk behind the emulator, so the
+// analysis cost hides under emulation instead of following it. The fused
+// pass itself stays sequential in trace order (chunks are consumed in
+// order by one goroutine), so results are bit-identical to analyzing after
+// the fact.
 func CollectAnalyzed(p *program.Program, budget int) (*trace.Trace, *deadness.Analysis, *Machine, error) {
-	t, m, err := collect(p, budget)
-	if err != nil {
-		return nil, nil, nil, err
+	return CollectAnalyzedObserved(p, budget, nil, "")
+}
+
+// analyzeRingDepth is the chunk-channel capacity: enough that the emulator
+// never stalls behind a momentarily slower analyzer, small enough that the
+// pair works on neighboring (cache-warm) chunks.
+const analyzeRingDepth = 2
+
+// CollectAnalyzedObserved is CollectAnalyzed with phase observability
+// through the (nil-safe) collector: PhaseEmulate spans the producer run,
+// and PhaseAnalyze spans only the non-overlapped tail of the fused pass —
+// the chunks still in flight when emulation finished, plus the reverse
+// usefulness pass — which is exactly the analysis time on the critical
+// path.
+func CollectAnalyzedObserved(p *program.Program, budget int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
+	m := New(p)
+	t := trace.NewWithCapacity(min(budget, collectCap))
+	st := deadness.NewStream(min(budget, collectCap))
+	ch := make(chan *trace.Chunk, analyzeRingDepth)
+	errCh := make(chan error, 1)
+	go func() {
+		var first error
+		for c := range ch {
+			// Keep draining after an error so the producer never blocks
+			// on a full ring.
+			if first == nil {
+				first = st.Chunk(c)
+			}
+		}
+		errCh <- first
+	}()
+
+	sent := 0
+	sp := mc.Start(metrics.PhaseEmulate, name)
+	runErr := m.Run(budget, func(r *trace.Record) {
+		t.Push(r)
+		if t.Len()>>trace.ChunkBits > sent {
+			ch <- t.Chunk(sent)
+			sent++
+		}
+	})
+	sp.End(int64(t.Len()))
+
+	sp = mc.Start(metrics.PhaseAnalyze, name)
+	if sent < t.NumChunks() {
+		ch <- t.Chunk(sent)
 	}
-	a, err := deadness.LinkAndAnalyze(t)
-	if err != nil {
-		return nil, nil, nil, err
+	close(ch)
+	aErr := <-errCh
+	if runErr != nil && !errors.Is(runErr, ErrBudget) {
+		st.Close()
+		sp.End(0)
+		return nil, nil, nil, runErr
 	}
+	if aErr != nil {
+		st.Close()
+		sp.End(0)
+		return nil, nil, nil, aErr
+	}
+	a := st.Finish(t)
+	sp.End(int64(t.Len()))
 	return t, a, m, nil
 }
 
-// collect emits the raw (unlinked) trace of one run.
+// collect emits the raw (unlinked) trace of one run, pre-sized from the
+// budget hint so collection never grows from zero.
 func collect(p *program.Program, budget int) (*trace.Trace, *Machine, error) {
 	m := New(p)
-	t := &trace.Trace{Recs: make([]trace.Record, 0, min(budget, 1<<20))}
-	err := m.Run(budget, t.Append)
+	t := trace.NewWithCapacity(min(budget, collectCap))
+	err := m.Run(budget, t.Push)
 	if err != nil && !errors.Is(err, ErrBudget) {
 		return nil, nil, err
 	}

@@ -214,7 +214,7 @@ loop:
 	}
 	// Branch taken 9 times, not taken once.
 	taken := 0
-	for _, r := range tr.Recs {
+	for _, r := range tr.Records() {
 		if r.Op == isa.BNE && r.Taken {
 			taken++
 		}
@@ -332,7 +332,7 @@ skip:
 	if tr.Len() != 2 {
 		t.Fatalf("trace len = %d, want 2", tr.Len())
 	}
-	br := tr.Recs[0]
+	br := tr.At(0)
 	if !br.Taken || br.NextPC != 2 {
 		t.Errorf("branch record = %+v", br)
 	}

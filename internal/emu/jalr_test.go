@@ -76,10 +76,10 @@ main:
 f:
     ret
 `, 100)
-	if tr.Recs[0].Op != isa.JAL || int(tr.Recs[0].NextPC) != 2 {
-		t.Errorf("call record = %+v", tr.Recs[0])
+	if call := tr.At(0); call.Op != isa.JAL || int(call.NextPC) != 2 {
+		t.Errorf("call record = %+v", call)
 	}
-	if tr.Recs[1].Op != isa.JALR || int(tr.Recs[1].NextPC) != 1 {
-		t.Errorf("ret record = %+v", tr.Recs[1])
+	if ret := tr.At(1); ret.Op != isa.JALR || int(ret.NextPC) != 1 {
+		t.Errorf("ret record = %+v", ret)
 	}
 }

@@ -10,6 +10,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"runtime"
 	runtimemetrics "runtime/metrics"
 	"sort"
 	"sync"
@@ -62,6 +63,40 @@ type Collector struct {
 	verbose  io.Writer
 	phases   map[string]*Phase
 	counters map[string]int64
+	mem      *MemStats
+}
+
+// MemStats is the end-of-run process memory snapshot carried by the run
+// report. PeakHeapBytes is the OS-reserved heap footprint (HeapSys): the
+// runtime seldom returns heap pages mid-run, so it reads as the high-water
+// mark of the run's memory demand; TotalAllocBytes is cumulative
+// allocation over the whole run.
+type MemStats struct {
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	PeakHeapBytes   uint64 `json:"peak_heap_bytes"`
+	HeapInuseBytes  uint64 `json:"heap_inuse_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+}
+
+// RecordMemStats snapshots process memory into the collector via
+// runtime.ReadMemStats. The read stops the world, so call it once at the
+// end of a run, not per phase (phase-level allocation deltas come from the
+// stop-the-world-free runtime/metrics counter instead).
+func (c *Collector) RecordMemStats() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m := &MemStats{
+		TotalAllocBytes: ms.TotalAlloc,
+		PeakHeapBytes:   ms.HeapSys,
+		HeapInuseBytes:  ms.HeapInuse,
+		NumGC:           ms.NumGC,
+	}
+	c.mu.Lock()
+	c.mem = m
+	c.mu.Unlock()
 }
 
 // New returns an empty collector.
@@ -170,10 +205,12 @@ type PhaseSummary struct {
 	AllocBytes  int64   `json:"alloc_bytes"`
 }
 
-// Summary is the JSON-serializable snapshot of a collector.
+// Summary is the JSON-serializable snapshot of a collector. Mem is
+// present only after RecordMemStats.
 type Summary struct {
 	Phases   map[string]PhaseSummary `json:"phases,omitempty"`
 	Counters map[string]int64        `json:"counters,omitempty"`
+	Mem      *MemStats               `json:"mem,omitempty"`
 }
 
 // Summary snapshots the collector.
@@ -198,6 +235,10 @@ func (c *Collector) Summary() Summary {
 	}
 	for name, v := range c.counters {
 		s.Counters[name] = v
+	}
+	if c.mem != nil {
+		m := *c.mem
+		s.Mem = &m
 	}
 	return s
 }
@@ -229,6 +270,11 @@ func (c *Collector) WriteText(w io.Writer) {
 	sort.Strings(ctrs)
 	for _, name := range ctrs {
 		fmt.Fprintf(w, "%-28s %d\n", name, s.Counters[name])
+	}
+	if s.Mem != nil {
+		fmt.Fprintf(w, "%-10s total=%s peak=%s inuse=%s gc=%d\n", "memory",
+			fmtBytes(int64(s.Mem.TotalAllocBytes)), fmtBytes(int64(s.Mem.PeakHeapBytes)),
+			fmtBytes(int64(s.Mem.HeapInuseBytes)), s.Mem.NumGC)
 	}
 }
 

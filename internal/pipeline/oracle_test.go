@@ -24,7 +24,7 @@ func TestOracleEliminationIsCleanAndFaster(t *testing.T) {
 		t.Errorf("oracle elimination recovered %d times", st.DeadMispredicts)
 	}
 	dead := int64(0)
-	for seq := range tr.Recs {
+	for seq := 0; seq < tr.Len(); seq++ {
 		if a.Kind[seq].Dead() {
 			dead++
 		}

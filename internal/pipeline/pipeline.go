@@ -45,9 +45,10 @@ type pendingUpd struct {
 
 // Machine is one pipeline simulation. Create with New, drive with Run.
 type Machine struct {
-	cfg  Config
-	recs []trace.Record
-	an   *deadness.Analysis
+	cfg Config
+	tr  *trace.Trace
+	n   int // trace length
+	an  *deadness.Analysis
 
 	look *bpred.Lookahead
 	btb  *bpred.BTB
@@ -95,6 +96,7 @@ type Machine struct {
 	pendTail []int32
 	pendBuf  []pendingUpd
 	pendNext []int32
+	pendFree int32 // head of the free list threaded through pendNext
 
 	now   int64
 	stats Stats
@@ -131,14 +133,15 @@ func New(t *trace.Trace, a *deadness.Analysis, cfg Config) (*Machine, error) {
 	}
 	m := &Machine{
 		cfg:      cfg,
-		recs:     t.Recs,
+		tr:       t,
+		n:        t.Len(),
 		an:       a,
 		btb:      bpred.NewBTB(cfg.BTBLogEntries, 12),
 		ras:      bpred.NewRAS(cfg.RASDepth),
 		dc:       dc,
 		mem:      mem,
 		l2:       l2,
-		rob:      make([]uop, cfg.ROBSize),
+		rob:      make([]uop, ringSize(cfg.ROBSize)),
 		iq:       make([]int32, 0, cfg.IQSize),
 		fq:       make([]int, 4*cfg.FetchWidth),
 		freeRegs: cfg.PhysRegs - isa.NumRegs,
@@ -163,6 +166,7 @@ func New(t *trace.Trace, a *deadness.Analysis, cfg Config) (*Machine, error) {
 			m.pendHead[i] = -1
 		}
 		m.pendTail = make([]int32, t.Len())
+		m.pendFree = -1
 	}
 	return m, nil
 }
@@ -178,7 +182,7 @@ func Run(t *trace.Trace, a *deadness.Analysis, cfg Config) (Stats, error) {
 
 // Simulate drives the machine until every trace record has committed.
 func (m *Machine) Simulate() (Stats, error) {
-	n := len(m.recs)
+	n := m.n
 	maxCycles := int64(200)*int64(n) + 10_000
 	for m.headSeq < n || m.count > 0 {
 		m.commit()
@@ -204,7 +208,18 @@ func (m *Machine) Simulate() (Stats, error) {
 	return m.stats, nil
 }
 
-func (m *Machine) at(seq int) *uop { return &m.rob[seq%len(m.rob)] }
+// ringSize rounds the ROB capacity up to a power of two so the ring
+// index in at is a mask instead of a modulo; occupancy is still gated by
+// the configured size (see rename), so the extra slots stay unused.
+func ringSize(n int) int {
+	r := 1
+	for r < n {
+		r <<= 1
+	}
+	return r
+}
+
+func (m *Machine) at(seq int) *uop { return &m.rob[seq&(len(m.rob)-1)] }
 
 // producerReady reports whether dynamic producer p no longer blocks a
 // consumer: committed, finished executing, or eliminated (an eliminated
@@ -226,12 +241,12 @@ func (m *Machine) commit() {
 		if u.state != sDone && u.state != sEliminated {
 			return
 		}
-		r := &m.recs[u.seq]
 		if u.state == sEliminated {
 			m.stats.Eliminated++
 		} else {
 			if u.isStore {
-				m.mem.Access(r.Addr, int(r.Width), true)
+				r := m.tr.Ref(u.seq)
+				m.mem.Access(r.Addr(), int(r.Width()), true)
 			}
 			if u.isLoad || u.isStore {
 				m.lsqCount--
@@ -245,9 +260,16 @@ func (m *Machine) commit() {
 		}
 		// Dead-predictor training events resolved by this instruction.
 		if m.pred != nil {
-			for idx := m.pendHead[u.seq]; idx >= 0; idx = m.pendNext[idx] {
+			idx := m.pendHead[u.seq]
+			for idx >= 0 {
 				up := &m.pendBuf[idx]
 				m.pred.Update(int(up.pc), up.sig, up.dead)
+				// Consumed events return to the free list, capping the
+				// arena at the peak number of in-flight trainings.
+				next := m.pendNext[idx]
+				m.pendNext[idx] = m.pendFree
+				m.pendFree = idx
+				idx = next
 			}
 			m.pendHead[u.seq] = -1
 		}
@@ -310,10 +332,10 @@ func (m *Machine) issue() {
 		if u.state != sWaiting {
 			continue
 		}
-		r := &m.recs[u.seq]
+		r := m.tr.Ref(u.seq)
 		// Functional unit availability.
 		var unit *int
-		switch latencyClass(r.Op) {
+		switch latencyClass(r.Op()) {
 		case 1, 2:
 			unit = &muldivs
 		case 3:
@@ -326,17 +348,18 @@ func (m *Machine) issue() {
 		}
 		// Register-file read ports.
 		nsrc := 0
-		if r.Op.ReadsRs1() && r.Rs1 != isa.RZero {
+		op := r.Op()
+		if op.ReadsRs1() && r.Rs1() != isa.RZero {
 			nsrc++
 		}
-		if r.Op.ReadsRs2() && r.Rs2 != isa.RZero {
+		if op.ReadsRs2() && r.Rs2() != isa.RZero {
 			nsrc++
 		}
 		if readPorts > 0 && readsUsed+nsrc > readPorts {
 			continue
 		}
 		// Operand readiness.
-		if !m.producerReady(r.Src1) || !m.producerReady(r.Src2) {
+		if !m.producerReady(r.Src1()) || !m.producerReady(r.Src2()) {
 			continue
 		}
 		if u.isLoad && !m.memReady(r) {
@@ -357,7 +380,7 @@ func (m *Machine) issue() {
 // memReady reports whether every in-flight producer store of a load has
 // executed (address and data available for forwarding or visible in the
 // cache order).
-func (m *Machine) memReady(r *trace.Record) bool {
+func (m *Machine) memReady(r trace.Ref) bool {
 	for _, p := range r.MemProducers() {
 		if int(p) < m.headSeq {
 			continue
@@ -373,7 +396,7 @@ func (m *Machine) memReady(r *trace.Record) bool {
 	return true
 }
 
-func (m *Machine) execLatency(u *uop, r *trace.Record) int {
+func (m *Machine) execLatency(u *uop, r trace.Ref) int {
 	switch {
 	case u.isLoad:
 		// A load whose youngest producer store is still in flight forwards
@@ -383,12 +406,12 @@ func (m *Machine) execLatency(u *uop, r *trace.Record) int {
 				return m.cfg.Cache.HitLatency
 			}
 		}
-		return m.mem.Access(r.Addr, int(r.Width), false)
+		return m.mem.Access(r.Addr(), int(r.Width()), false)
 	case u.isStore:
 		return 1 // address generation; data written at commit
-	case r.Op == isa.MUL:
+	case r.Op() == isa.MUL:
 		return m.cfg.MulLatency
-	case r.Op == isa.DIVU || r.Op == isa.REMU:
+	case r.Op() == isa.DIVU || r.Op() == isa.REMU:
 		return m.cfg.DivLatency
 	default:
 		return 1
@@ -414,8 +437,8 @@ func (m *Machine) rename() {
 	}
 	for k := 0; k < m.cfg.RenameWidth && m.fqLen > 0; k++ {
 		seq := m.fq[m.fqHead]
-		r := &m.recs[seq]
-		if m.count == len(m.rob) {
+		r := m.tr.Ref(seq)
+		if m.count == m.cfg.ROBSize {
 			m.stats.StallROB++
 			return
 		}
@@ -426,8 +449,8 @@ func (m *Machine) rename() {
 		u := m.at(seq)
 		*u = uop{
 			seq:     seq,
-			isLoad:  r.Op.IsLoad(),
-			isStore: r.Op.IsStore(),
+			isLoad:  r.Op().IsLoad(),
+			isStore: r.Op().IsStore(),
 		}
 		if _, ok := rdest(r); ok {
 			u.hasDest = true
@@ -446,11 +469,11 @@ func (m *Machine) rename() {
 			if m.cfg.DIP.PathLen > 0 {
 				sig = m.look.SigAfter(seq)
 			}
-			if m.pred.Predict(int(r.PC), sig) {
+			if m.pred.Predict(int(r.PC()), sig) {
 				elim = true
 				m.stats.DeadPredictions++
 			}
-			m.schedule(seq, r.PC, sig)
+			m.schedule(seq, r.PC(), sig)
 		}
 
 		if !elim {
@@ -502,32 +525,32 @@ func (m *Machine) rename() {
 }
 
 // rdest returns the effective destination register of a record.
-func rdest(r *trace.Record) (isa.Reg, bool) {
-	if r.Op.HasDest() && r.Rd != isa.RZero {
-		return r.Rd, true
+func rdest(r trace.Ref) (isa.Reg, bool) {
+	if r.Op().HasDest() && r.Rd() != isa.RZero {
+		return r.Rd(), true
 	}
 	return 0, false
 }
 
 // checkPoison fires a recovery if the instruction reads a value whose
 // producer was eliminated. It returns true when rename must stall.
-func (m *Machine) checkPoison(r *trace.Record) bool {
+func (m *Machine) checkPoison(r trace.Ref) bool {
 	hit := false
-	if r.Op.ReadsRs1() && r.Rs1 != isa.RZero && m.poisoned[r.Rs1] {
-		m.poisoned[r.Rs1] = false
+	if r.Op().ReadsRs1() && r.Rs1() != isa.RZero && m.poisoned[r.Rs1()] {
+		m.poisoned[r.Rs1()] = false
 		hit = true
 	}
-	if r.Op.ReadsRs2() && r.Rs2 != isa.RZero && m.poisoned[r.Rs2] {
-		m.poisoned[r.Rs2] = false
+	if r.Op().ReadsRs2() && r.Rs2() != isa.RZero && m.poisoned[r.Rs2()] {
+		m.poisoned[r.Rs2()] = false
 		hit = true
 	}
-	if r.Op.IsLoad() && m.elimStore != nil {
+	if r.Op().IsLoad() && m.elimStore != nil {
 		for _, p := range r.MemProducers() {
 			if m.elimStore[p] {
 				m.elimStore[p] = false
 				// Resurrecting the store performs its cache write now.
-				pr := &m.recs[p]
-				m.mem.Access(pr.Addr, int(pr.Width), true)
+				pr := m.tr.Ref(int(p))
+				m.mem.Access(pr.Addr(), int(pr.Width()), true)
 				hit = true
 			}
 		}
@@ -551,13 +574,21 @@ func (m *Machine) checkPoison(r *trace.Record) bool {
 func (m *Machine) schedule(seq int, pc int32, sig uint16) {
 	dead := m.an.Kind[seq].Dead()
 	resolve := m.an.Resolve[seq]
-	if int(resolve) >= len(m.recs) {
+	if int(resolve) >= m.n {
 		// Resolves beyond the simulated window; train at own commit.
 		resolve = int32(seq)
 	}
-	idx := int32(len(m.pendBuf))
-	m.pendBuf = append(m.pendBuf, pendingUpd{pc, sig, dead})
-	m.pendNext = append(m.pendNext, -1)
+	var idx int32
+	if m.pendFree >= 0 {
+		idx = m.pendFree
+		m.pendFree = m.pendNext[idx]
+		m.pendBuf[idx] = pendingUpd{pc, sig, dead}
+		m.pendNext[idx] = -1
+	} else {
+		idx = int32(len(m.pendBuf))
+		m.pendBuf = append(m.pendBuf, pendingUpd{pc, sig, dead})
+		m.pendNext = append(m.pendNext, -1)
+	}
 	if m.pendHead[resolve] < 0 {
 		m.pendHead[resolve] = idx
 	} else {
@@ -585,19 +616,19 @@ func (m *Machine) fetch() {
 		}
 		m.redirect = -1
 	}
-	n := len(m.recs)
+	n := m.n
 	for k := 0; k < m.cfg.FetchWidth; k++ {
 		if m.fetchSeq >= n || m.fqLen >= len(m.fq) {
 			return
 		}
 		seq := m.fetchSeq
-		r := &m.recs[seq]
+		r := m.tr.Ref(seq)
 		m.fq[(m.fqHead+m.fqLen)%len(m.fq)] = seq
 		m.fqLen++
 		m.fetchSeq++
 
 		switch {
-		case r.Op.IsCondBranch():
+		case r.Op().IsCondBranch():
 			pred, err := m.look.PredAt(seq)
 			if err != nil {
 				// Unreachable while the lookahead and the machine walk the
@@ -605,25 +636,25 @@ func (m *Machine) fetch() {
 				m.simErr = fmt.Errorf("pipeline: fetch at seq %d: %w", seq, err)
 				return
 			}
-			if pred != r.Taken {
+			if pred != r.Taken() {
 				m.redirect = seq
 				return
 			}
-			if r.Taken && !m.btbHit(r) {
+			if r.Taken() && !m.btbHit(r) {
 				return
 			}
-		case r.Op == isa.JAL:
-			if r.Rd == isa.RLink {
+		case r.Op() == isa.JAL:
+			if r.Rd() == isa.RLink {
 				// A call: remember the return address.
-				m.ras.Push(int(r.PC) + 1)
+				m.ras.Push(int(r.PC()) + 1)
 			}
 			if !m.btbHit(r) {
 				return
 			}
-		case r.Op == isa.JALR:
-			if r.Rs1 == isa.RLink && r.Rd == isa.RZero {
+		case r.Op() == isa.JALR:
+			if r.Rs1() == isa.RLink && r.Rd() == isa.RZero {
 				// A return: the RAS predicts the target.
-				if tgt, ok := m.ras.Pop(); ok && tgt == int(r.NextPC) {
+				if tgt, ok := m.ras.Pop(); ok && tgt == int(r.NextPC()) {
 					continue // correctly predicted; keep fetching
 				}
 				m.stats.ReturnMispredicts++
@@ -632,8 +663,8 @@ func (m *Machine) fetch() {
 			}
 			// Other indirect target: a BTB miss or a stale target stalls
 			// the front end until the jump resolves.
-			if tgt, ok := m.btb.Lookup(int(r.PC)); !ok || tgt != int(r.NextPC) {
-				m.btb.Update(int(r.PC), int(r.NextPC))
+			if tgt, ok := m.btb.Lookup(int(r.PC())); !ok || tgt != int(r.NextPC()) {
+				m.btb.Update(int(r.PC()), int(r.NextPC()))
 				m.stats.BTBMisses++
 				m.redirect = seq
 				return
@@ -645,11 +676,11 @@ func (m *Machine) fetch() {
 // btbHit looks up a taken control transfer, charging the miss bubble and
 // installing the target on a miss. It reports whether fetch may continue
 // this cycle.
-func (m *Machine) btbHit(r *trace.Record) bool {
-	if tgt, ok := m.btb.Lookup(int(r.PC)); ok && tgt == int(r.NextPC) {
+func (m *Machine) btbHit(r trace.Ref) bool {
+	if tgt, ok := m.btb.Lookup(int(r.PC())); ok && tgt == int(r.NextPC()) {
 		return true
 	}
-	m.btb.Update(int(r.PC), int(r.NextPC))
+	m.btb.Update(int(r.PC()), int(r.NextPC()))
 	m.stats.BTBMisses++
 	m.fetchStall = int64(m.cfg.BTBMissBubble)
 	return false

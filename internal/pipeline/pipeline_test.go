@@ -85,8 +85,9 @@ func TestResourceAccountingConsistency(t *testing.T) {
 	// Every committed register writer allocates exactly one register and
 	// frees exactly one.
 	writers := int64(0)
-	for i := range tr.Recs {
-		if tr.Recs[i].HasResult() {
+	for i := 0; i < tr.Len(); i++ {
+		r := tr.At(i)
+		if r.HasResult() {
 			writers++
 		}
 	}

@@ -49,7 +49,7 @@ func FuzzTraceLoad(f *testing.F) {
 		if err != nil {
 			t.Fatalf("reloading a re-saved trace: %v", err)
 		}
-		if !reflect.DeepEqual(back.Recs, tr.Recs) {
+		if !reflect.DeepEqual(back.Records(), tr.Records()) {
 			t.Fatal("Save/Load round trip is not a fixed point")
 		}
 	})

@@ -26,30 +26,37 @@ func (t *Trace) Save(w io.Writer) error {
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(t.Recs)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.n))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
 	var buf [recordBytes]byte
-	for i := range t.Recs {
-		r := &t.Recs[i]
-		binary.LittleEndian.PutUint32(buf[0:], uint32(r.PC))
-		buf[4] = uint8(r.Op)
-		buf[5] = uint8(r.Rd)
-		buf[6] = uint8(r.Rs1)
-		buf[7] = uint8(r.Rs2)
-		binary.LittleEndian.PutUint32(buf[8:], uint32(r.NextPC))
-		binary.LittleEndian.PutUint64(buf[12:], r.Addr)
-		buf[20] = r.Width
-		if r.Taken {
-			buf[21] = 1
-		} else {
-			buf[21] = 0
-		}
-		// buf[22:24] reserved, zero.
-		buf[22], buf[23] = 0, 0
-		if _, err := bw.Write(buf[:]); err != nil {
-			return err
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		c := t.chunks[ci]
+		for i := 0; i < c.Len(); i++ {
+			binary.LittleEndian.PutUint32(buf[0:], uint32(c.PC[i]))
+			buf[4] = uint8(c.Op[i])
+			buf[5] = uint8(c.Rd[i])
+			buf[6] = uint8(c.Rs1[i])
+			buf[7] = uint8(c.Rs2[i])
+			binary.LittleEndian.PutUint32(buf[8:], uint32(c.NextPC[i]))
+			var addr uint64
+			var width uint8
+			if mi := c.MemIdx[i]; mi >= 0 {
+				addr, width = c.Addr[mi], c.Width[mi]
+			}
+			binary.LittleEndian.PutUint64(buf[12:], addr)
+			buf[20] = width
+			if c.Taken[i] {
+				buf[21] = 1
+			} else {
+				buf[21] = 0
+			}
+			// buf[22:24] reserved, zero.
+			buf[22], buf[23] = 0, 0
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
@@ -93,9 +100,11 @@ func LoadLimit(r io.Reader, limit int) (*Trace, error) {
 	if uint64(n) > uint64(limit) {
 		return nil, fmt.Errorf("trace: header claims %d records, limit %d", n, limit)
 	}
-	// Grow from a modest initial capacity: the header count steers the
-	// first allocation but never demands more than one chunk of trust.
-	t := &Trace{Recs: make([]Record, 0, min(int(n), 1<<16))}
+	// Honor the validated header count as the capacity hint: chunked
+	// storage means a lying header can demand at most one chunk of
+	// upfront allocation, and further chunks materialize only as records
+	// validate.
+	t := NewWithCapacity(int(n))
 	inj := faults.Active()
 	var buf [recordBytes]byte
 	for i := uint32(0); i < n; i++ {
@@ -129,7 +138,10 @@ func LoadLimit(r io.Reader, limit int) (*Trace, error) {
 		if rec.Rd >= isa.NumRegs || rec.Rs1 >= isa.NumRegs || rec.Rs2 >= isa.NumRegs {
 			return nil, fmt.Errorf("trace: record %d: register out of range", i)
 		}
-		t.Recs = append(t.Recs, rec)
+		if !rec.Op.IsMem() && (rec.Addr != 0 || rec.Width != 0) {
+			return nil, fmt.Errorf("trace: record %d: memory fields on non-memory op %v", i, rec.Op)
+		}
+		t.append(&rec)
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
 		if err != nil {

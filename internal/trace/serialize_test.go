@@ -13,13 +13,13 @@ import (
 )
 
 func sampleTrace() *Trace {
-	t := &Trace{Recs: []Record{
+	t := FromRecords([]Record{
 		{PC: 0, Op: isa.ADDI, Rd: 1, NextPC: 1},
 		{PC: 1, Op: isa.SD, Rs1: 1, Rs2: 1, Addr: 0x1234, Width: 8, NextPC: 2},
 		{PC: 2, Op: isa.LD, Rd: 2, Rs1: 1, Addr: 0x1234, Width: 8, NextPC: 3},
 		{PC: 3, Op: isa.BNE, Rs1: 2, Rs2: 0, Taken: true, NextPC: 0},
 		{PC: 4, Op: isa.HALT, NextPC: 4},
-	}}
+	})
 	return t
 }
 
@@ -44,8 +44,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Producer links are recomputed by Load's Link, so whole records
 	// must match the original linked trace exactly.
-	if !reflect.DeepEqual(back.Recs, orig.Recs) {
-		t.Fatalf("records differ:\n got %+v\nwant %+v", back.Recs, orig.Recs)
+	if got, want := back.Records(), orig.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("records differ:\n got %+v\nwant %+v", got, want)
 	}
 }
 

@@ -3,10 +3,23 @@
 // operand to its producing dynamic instruction. The linked trace is the
 // substrate for the deadness oracle (internal/deadness) and the timing
 // model (internal/pipeline).
+//
+// Storage is chunked and columnar (structure-of-arrays): the hot fields
+// that every trace walk touches (PC, Op, registers, control-flow outcome,
+// and the register producer links) live in dense per-chunk parallel
+// arrays, while memory-access data (address, width) and load producer
+// links live in side tables indexed only by the records that need them.
+// A multi-million-record trace therefore costs ~25-30 bytes per record in
+// steady state instead of the ~80 of an array-of-structs layout, and
+// sequential scans (the fused oracle, predictor evaluation, the pipeline)
+// stream through cache-friendly columns. Full-size chunk arenas are
+// recycled through a sync.Pool (see Release), so repeated collections in
+// one process reuse storage instead of reallocating it.
 package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -19,7 +32,19 @@ const NoProducer int32 = -1
 // most 8 bytes, each with one most-recent writer.
 const MaxMemProducers = 8
 
-// Record is one committed dynamic instruction.
+// Chunk geometry. ChunkSize records per chunk keeps one chunk's hot
+// columns around 200 KiB — large enough that chunk bookkeeping is noise,
+// small enough that a producer/consumer pair streaming one chunk apart
+// (see emu.CollectAnalyzed) stays cache-warm.
+const (
+	ChunkBits = 13
+	ChunkSize = 1 << ChunkBits
+	chunkMask = ChunkSize - 1
+)
+
+// Record is one committed dynamic instruction, materialized. The columnar
+// store assembles a Record on demand (At) and splits one on Append; use
+// Ref or the per-chunk columns to walk a trace without materializing.
 type Record struct {
 	PC  int32 // static instruction index
 	Op  isa.Op
@@ -50,64 +75,6 @@ func (r *Record) HasResult() bool {
 	return r.Op.HasDest() && r.Rd != isa.RZero
 }
 
-// Trace is a linked dynamic instruction trace.
-type Trace struct {
-	Recs []Record
-	// Linked records whether Link has run.
-	Linked bool
-}
-
-// Len returns the number of dynamic instructions.
-func (t *Trace) Len() int { return len(t.Recs) }
-
-// Append adds a record (unlinked).
-func (t *Trace) Append(r Record) {
-	t.Recs = append(t.Recs, r)
-	t.Linked = false
-}
-
-// Link fills the producer fields of every record: register operands via a
-// last-writer table, load bytes via a per-byte last-store map. Linking is
-// idempotent. It returns an error if a record is malformed (e.g. a memory
-// op with zero width).
-func (t *Trace) Link() error {
-	var regWriter [isa.NumRegs]int32
-	for i := range regWriter {
-		regWriter[i] = NoProducer
-	}
-	memWriter := NewWriterMap()
-	defer memWriter.Reset()
-
-	for seq := range t.Recs {
-		r := &t.Recs[seq]
-		r.Src1, r.Src2 = NoProducer, NoProducer
-		r.NumMemSrcs = 0
-		if r.Op.ReadsRs1() && r.Rs1 != isa.RZero {
-			r.Src1 = regWriter[r.Rs1]
-		}
-		if r.Op.ReadsRs2() && r.Rs2 != isa.RZero {
-			r.Src2 = regWriter[r.Rs2]
-		}
-		if r.Op.IsMem() {
-			if r.Width == 0 || int(r.Width) != r.Op.MemWidth() {
-				return fmt.Errorf("trace: seq %d: %v has width %d, want %d",
-					seq, r.Op, r.Width, r.Op.MemWidth())
-			}
-		}
-		if r.Op.IsLoad() {
-			memWriter.LoadProducers(r)
-		}
-		if r.Op.IsStore() {
-			memWriter.Claim(r.Addr, int(r.Width), int32(seq))
-		}
-		if r.HasResult() {
-			regWriter[r.Rd] = int32(seq)
-		}
-	}
-	t.Linked = true
-	return nil
-}
-
 func (r *Record) addMemSrc(w int32) {
 	if w == NoProducer {
 		return
@@ -126,4 +93,473 @@ func (r *Record) addMemSrc(w int32) {
 // MemProducers returns the slice view of a load's producer stores.
 func (r *Record) MemProducers() []int32 {
 	return r.MemSrcs[:r.NumMemSrcs]
+}
+
+// Chunk holds up to ChunkSize records in parallel column arrays. Every
+// exported column slice has the same length (the number of records in the
+// chunk); local index i within a chunk addresses record chunkIndex<<
+// ChunkBits + i of the trace. Consumers may read columns freely and the
+// linker writes Src1/Src2 through them, but only the trace may append.
+type Chunk struct {
+	// Hot columns, one entry per record.
+	PC     []int32
+	Op     []isa.Op
+	Rd     []isa.Reg
+	Rs1    []isa.Reg
+	Rs2    []isa.Reg
+	Taken  []bool
+	NextPC []int32
+	Src1   []int32
+	Src2   []int32
+	// MemIdx[i] is record i's slot in the memory side tables, or -1 when
+	// the record is not a memory access.
+	MemIdx []int32
+
+	// Memory side tables, indexed by MemIdx slot.
+	Addr  []uint64
+	Width []uint8
+
+	// Load producer links: slot mi of a linked load covers
+	// memSrcs[srcOff[mi] : srcOff[mi]+srcLen[mi]]. Store slots keep
+	// srcLen 0. The flat array is rebuilt by each link pass.
+	srcOff  []int32
+	srcLen  []uint8
+	memSrcs []int32
+
+	pooled bool // full-capacity arena owned by the chunk pool
+}
+
+// Len returns the number of records in the chunk.
+func (c *Chunk) Len() int { return len(c.PC) }
+
+// MemProducers returns the producer stores of the load at local index i
+// (empty for non-loads and unlinked records).
+func (c *Chunk) MemProducers(i int) []int32 {
+	mi := c.MemIdx[i]
+	if mi < 0 || c.srcLen[mi] == 0 {
+		return nil
+	}
+	off := c.srcOff[mi]
+	return c.memSrcs[off : off+int32(c.srcLen[mi])]
+}
+
+// BeginLink resets the chunk's load-producer storage ahead of a link pass
+// over the chunk. Each load's span is rewritten by LinkLoadProducers, so
+// only the flat array needs truncating.
+func (c *Chunk) BeginLink() {
+	c.memSrcs = c.memSrcs[:0]
+}
+
+// LinkLoadProducers computes and records the distinct producer stores of
+// the load at local index i from the writer map, returning the producer
+// span (valid until the next BeginLink). The caller must have called
+// BeginLink on this chunk and must link loads in trace order.
+func (c *Chunk) LinkLoadProducers(i int, w *WriterMap) []int32 {
+	mi := c.MemIdx[i]
+	start := len(c.memSrcs)
+	c.memSrcs = w.AppendLoadProducers(c.Addr[mi], int(c.Width[mi]), c.memSrcs)
+	c.srcOff[mi] = int32(start)
+	c.srcLen[mi] = uint8(len(c.memSrcs) - start)
+	return c.memSrcs[start:]
+}
+
+// push appends one record's fields to the columns. Non-memory records
+// canonicalize Addr/Width to zero (they have no side-table slot), and
+// MemSrcs are never taken from the input: producer links are derived
+// state, recomputed by Link.
+func (c *Chunk) push(r *Record) {
+	c.PC = append(c.PC, r.PC)
+	c.Op = append(c.Op, r.Op)
+	c.Rd = append(c.Rd, r.Rd)
+	c.Rs1 = append(c.Rs1, r.Rs1)
+	c.Rs2 = append(c.Rs2, r.Rs2)
+	c.Taken = append(c.Taken, r.Taken)
+	c.NextPC = append(c.NextPC, r.NextPC)
+	c.Src1 = append(c.Src1, r.Src1)
+	c.Src2 = append(c.Src2, r.Src2)
+	mi := int32(-1)
+	if r.Op.IsMem() {
+		mi = int32(len(c.Addr))
+		c.Addr = append(c.Addr, r.Addr)
+		c.Width = append(c.Width, r.Width)
+		c.srcOff = append(c.srcOff, 0)
+		c.srcLen = append(c.srcLen, 0)
+	}
+	c.MemIdx = append(c.MemIdx, mi)
+}
+
+// reset truncates every column, keeping capacity.
+func (c *Chunk) reset() {
+	c.PC = c.PC[:0]
+	c.Op = c.Op[:0]
+	c.Rd = c.Rd[:0]
+	c.Rs1 = c.Rs1[:0]
+	c.Rs2 = c.Rs2[:0]
+	c.Taken = c.Taken[:0]
+	c.NextPC = c.NextPC[:0]
+	c.Src1 = c.Src1[:0]
+	c.Src2 = c.Src2[:0]
+	c.MemIdx = c.MemIdx[:0]
+	c.Addr = c.Addr[:0]
+	c.Width = c.Width[:0]
+	c.srcOff = c.srcOff[:0]
+	c.srcLen = c.srcLen[:0]
+	c.memSrcs = c.memSrcs[:0]
+}
+
+// allocChunk builds a chunk whose hot columns hold capacity records
+// without growing. The memory side tables start at a quarter of that (the
+// suite's traces run 25-35% memory operations) and grow as needed.
+func allocChunk(capacity int) *Chunk {
+	memCap := capacity / 4
+	return &Chunk{
+		PC:     make([]int32, 0, capacity),
+		Op:     make([]isa.Op, 0, capacity),
+		Rd:     make([]isa.Reg, 0, capacity),
+		Rs1:    make([]isa.Reg, 0, capacity),
+		Rs2:    make([]isa.Reg, 0, capacity),
+		Taken:  make([]bool, 0, capacity),
+		NextPC: make([]int32, 0, capacity),
+		Src1:   make([]int32, 0, capacity),
+		Src2:   make([]int32, 0, capacity),
+		MemIdx: make([]int32, 0, capacity),
+		Addr:   make([]uint64, 0, memCap),
+		Width:  make([]uint8, 0, memCap),
+		srcOff: make([]int32, 0, memCap),
+		srcLen: make([]uint8, 0, memCap),
+	}
+}
+
+// chunkPool recycles full-capacity chunk arenas across traces (Release
+// feeds it). Pooled chunks come back reset.
+var chunkPool = sync.Pool{
+	New: func() any { return allocChunk(ChunkSize) },
+}
+
+// newChunk returns a chunk able to hold capacity records. Full-size
+// requests draw recycled arenas from the pool; smaller hints allocate
+// exactly-sized columns (which still grow by append if the hint was low).
+func newChunk(capacity int) *Chunk {
+	if capacity >= ChunkSize {
+		c := chunkPool.Get().(*Chunk)
+		c.pooled = true
+		return c
+	}
+	return allocChunk(capacity)
+}
+
+// Trace is a chunked columnar dynamic instruction trace.
+type Trace struct {
+	chunks []*Chunk
+	n      int
+	// Linked records whether Link has run.
+	Linked bool
+}
+
+// NewWithCapacity returns an empty trace pre-sized for hint records: the
+// first chunk's columns are allocated up front (clamped to one chunk), so
+// collection does not grow from zero. Hints of a full chunk or more draw
+// recycled arenas from the chunk pool; pass the emulation budget (or a
+// validated header count) as the hint.
+func NewWithCapacity(hint int) *Trace {
+	t := &Trace{}
+	if hint > 0 {
+		t.chunks = append(t.chunks, newChunk(min(hint, ChunkSize)))
+	}
+	return t
+}
+
+// FromRecords builds a trace from materialized records (primarily a test
+// convenience; hot paths append streamingly).
+func FromRecords(recs []Record) *Trace {
+	t := NewWithCapacity(len(recs))
+	for i := range recs {
+		t.append(&recs[i])
+	}
+	return t
+}
+
+// Len returns the number of dynamic instructions.
+func (t *Trace) Len() int { return t.n }
+
+// NumChunks returns the number of chunks holding records. Chunks
+// 0..NumChunks-2 are full; the last may be partial.
+func (t *Trace) NumChunks() int {
+	if t.n == 0 {
+		return 0
+	}
+	return (t.n-1)>>ChunkBits + 1
+}
+
+// Chunk returns chunk i for sequential column scans.
+func (t *Trace) Chunk(i int) *Chunk { return t.chunks[i] }
+
+// Append adds a record (unlinked).
+func (t *Trace) Append(r Record) { t.append(&r) }
+
+// Push adds a record without copying it through the stack (the emulator's
+// sink path; the record is read, never retained).
+func (t *Trace) Push(r *Record) { t.append(r) }
+
+func (t *Trace) append(r *Record) {
+	ci := t.n >> ChunkBits
+	var c *Chunk
+	if ci < len(t.chunks) {
+		c = t.chunks[ci]
+	} else {
+		if t.n == 0 {
+			// A zero-value trace starts with a growable chunk rather
+			// than claiming a full pooled arena for what is usually a
+			// handful of hand-built records.
+			c = allocChunk(0)
+		} else {
+			c = newChunk(ChunkSize)
+		}
+		t.chunks = append(t.chunks, c)
+	}
+	c.push(r)
+	t.n++
+	t.Linked = false
+}
+
+// At materializes record seq, including its producer links when the trace
+// is linked.
+func (t *Trace) At(seq int) Record {
+	c := t.chunks[seq>>ChunkBits]
+	i := seq & chunkMask
+	r := Record{
+		PC: c.PC[i], Op: c.Op[i], Rd: c.Rd[i], Rs1: c.Rs1[i], Rs2: c.Rs2[i],
+		Taken: c.Taken[i], NextPC: c.NextPC[i],
+		Src1: c.Src1[i], Src2: c.Src2[i],
+	}
+	if mi := c.MemIdx[i]; mi >= 0 {
+		r.Addr, r.Width = c.Addr[mi], c.Width[mi]
+		off := c.srcOff[mi]
+		r.NumMemSrcs = uint8(copy(r.MemSrcs[:], c.memSrcs[off:off+int32(c.srcLen[mi])]))
+	}
+	return r
+}
+
+// Records materializes the whole trace (a test convenience).
+func (t *Trace) Records() []Record {
+	out := make([]Record, t.n)
+	for i := range out {
+		out[i] = t.At(i)
+	}
+	return out
+}
+
+// Ref is a cheap positioned view of one record: a chunk pointer plus a
+// local index, resolved once so repeated field reads cost one array index
+// each.
+type Ref struct {
+	c *Chunk
+	i int32
+}
+
+// Ref returns the record view at seq.
+func (t *Trace) Ref(seq int) Ref {
+	return Ref{t.chunks[seq>>ChunkBits], int32(seq & chunkMask)}
+}
+
+func (r Ref) PC() int32      { return r.c.PC[r.i] }
+func (r Ref) Op() isa.Op     { return r.c.Op[r.i] }
+func (r Ref) Rd() isa.Reg    { return r.c.Rd[r.i] }
+func (r Ref) Rs1() isa.Reg   { return r.c.Rs1[r.i] }
+func (r Ref) Rs2() isa.Reg   { return r.c.Rs2[r.i] }
+func (r Ref) Taken() bool    { return r.c.Taken[r.i] }
+func (r Ref) NextPC() int32  { return r.c.NextPC[r.i] }
+func (r Ref) Src1() int32    { return r.c.Src1[r.i] }
+func (r Ref) Src2() int32    { return r.c.Src2[r.i] }
+
+// Addr returns the memory address of a load or store (0 otherwise).
+func (r Ref) Addr() uint64 {
+	if mi := r.c.MemIdx[r.i]; mi >= 0 {
+		return r.c.Addr[mi]
+	}
+	return 0
+}
+
+// Width returns the access width of a load or store (0 otherwise).
+func (r Ref) Width() uint8 {
+	if mi := r.c.MemIdx[r.i]; mi >= 0 {
+		return r.c.Width[mi]
+	}
+	return 0
+}
+
+// HasResult reports whether the record produces a readable register value.
+func (r Ref) HasResult() bool {
+	return r.c.Op[r.i].HasDest() && r.c.Rd[r.i] != isa.RZero
+}
+
+// MemProducers returns the producer stores of a linked load (empty
+// otherwise).
+func (r Ref) MemProducers() []int32 { return r.c.MemProducers(int(r.i)) }
+
+// OpAt returns the opcode of record seq.
+func (t *Trace) OpAt(seq int) isa.Op {
+	return t.chunks[seq>>ChunkBits].Op[seq&chunkMask]
+}
+
+// PCAt returns the static instruction index of record seq.
+func (t *Trace) PCAt(seq int) int32 {
+	return t.chunks[seq>>ChunkBits].PC[seq&chunkMask]
+}
+
+// Reset truncates the trace to empty, keeping chunk storage for reuse
+// (the windowed-analysis pattern: refill, relink, repeat).
+func (t *Trace) Reset() {
+	for _, c := range t.chunks {
+		c.reset()
+	}
+	t.n = 0
+	t.Linked = false
+}
+
+// Release empties the trace and returns its pooled chunk arenas for
+// reuse. The trace (and every Ref or column view into it) must not be
+// used afterwards.
+func (t *Trace) Release() {
+	for _, c := range t.chunks {
+		if c.pooled {
+			c.pooled = false
+			c.reset()
+			chunkPool.Put(c)
+		}
+	}
+	t.chunks = nil
+	t.n = 0
+	t.Linked = false
+}
+
+// AppendRange appends records [start, end) of src, copying hot columns
+// chunk-segment-at-a-time. Producer links are not copied (the destination
+// is unlinked); relink to derive them for the new sub-trace.
+func (t *Trace) AppendRange(src *Trace, start, end int) {
+	for start < end {
+		sc := src.chunks[start>>ChunkBits]
+		si := start & chunkMask
+		run := min(end-start, sc.Len()-si)
+
+		// Destination chunk and the room left in it.
+		ci := t.n >> ChunkBits
+		if ci >= len(t.chunks) {
+			if t.n == 0 {
+				t.chunks = append(t.chunks, newChunk(min(run, ChunkSize)))
+			} else {
+				t.chunks = append(t.chunks, newChunk(ChunkSize))
+			}
+		}
+		c := t.chunks[ci]
+		run = min(run, ChunkSize-c.Len())
+
+		c.PC = append(c.PC, sc.PC[si:si+run]...)
+		c.Op = append(c.Op, sc.Op[si:si+run]...)
+		c.Rd = append(c.Rd, sc.Rd[si:si+run]...)
+		c.Rs1 = append(c.Rs1, sc.Rs1[si:si+run]...)
+		c.Rs2 = append(c.Rs2, sc.Rs2[si:si+run]...)
+		c.Taken = append(c.Taken, sc.Taken[si:si+run]...)
+		c.NextPC = append(c.NextPC, sc.NextPC[si:si+run]...)
+		for k := 0; k < run; k++ {
+			c.Src1 = append(c.Src1, 0)
+			c.Src2 = append(c.Src2, 0)
+			mi := int32(-1)
+			if smi := sc.MemIdx[si+k]; smi >= 0 {
+				mi = int32(len(c.Addr))
+				c.Addr = append(c.Addr, sc.Addr[smi])
+				c.Width = append(c.Width, sc.Width[smi])
+				c.srcOff = append(c.srcOff, 0)
+				c.srcLen = append(c.srcLen, 0)
+			}
+			c.MemIdx = append(c.MemIdx, mi)
+		}
+		t.n += run
+		start += run
+	}
+	t.Linked = false
+}
+
+// Clone deep-copies the trace, including any producer links.
+func (t *Trace) Clone() *Trace {
+	out := &Trace{n: t.n, Linked: t.Linked}
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		c := t.chunks[ci]
+		nc := &Chunk{
+			PC:      append([]int32(nil), c.PC...),
+			Op:      append([]isa.Op(nil), c.Op...),
+			Rd:      append([]isa.Reg(nil), c.Rd...),
+			Rs1:     append([]isa.Reg(nil), c.Rs1...),
+			Rs2:     append([]isa.Reg(nil), c.Rs2...),
+			Taken:   append([]bool(nil), c.Taken...),
+			NextPC:  append([]int32(nil), c.NextPC...),
+			Src1:    append([]int32(nil), c.Src1...),
+			Src2:    append([]int32(nil), c.Src2...),
+			MemIdx:  append([]int32(nil), c.MemIdx...),
+			Addr:    append([]uint64(nil), c.Addr...),
+			Width:   append([]uint8(nil), c.Width...),
+			srcOff:  append([]int32(nil), c.srcOff...),
+			srcLen:  append([]uint8(nil), c.srcLen...),
+			memSrcs: append([]int32(nil), c.memSrcs...),
+		}
+		out.chunks = append(out.chunks, nc)
+	}
+	return out
+}
+
+// Link fills the producer columns of every record: register operands via
+// a last-writer table, load bytes via a per-byte last-store map. Linking
+// is idempotent. It returns an error if a record is malformed (e.g. a
+// memory op with a width that does not match its opcode).
+func (t *Trace) Link() error {
+	var regWriter [isa.NumRegs]int32
+	for i := range regWriter {
+		regWriter[i] = NoProducer
+	}
+	memWriter := NewWriterMap()
+	defer memWriter.Reset()
+
+	for ci := 0; ci < t.NumChunks(); ci++ {
+		if err := t.chunks[ci].link(ci<<ChunkBits, &regWriter, memWriter); err != nil {
+			return err
+		}
+	}
+	t.Linked = true
+	return nil
+}
+
+// link runs the def-use linker over one chunk whose first record is
+// dynamic sequence number base, carrying the register and memory
+// last-writer state across chunks.
+func (c *Chunk) link(base int, regWriter *[isa.NumRegs]int32, memWriter *WriterMap) error {
+	c.BeginLink()
+	op, rd, rs1, rs2 := c.Op, c.Rd, c.Rs1, c.Rs2
+	for i := range op {
+		o := op[i]
+		seq := int32(base + i)
+		s1, s2 := NoProducer, NoProducer
+		if o.ReadsRs1() && rs1[i] != isa.RZero {
+			s1 = regWriter[rs1[i]]
+		}
+		if o.ReadsRs2() && rs2[i] != isa.RZero {
+			s2 = regWriter[rs2[i]]
+		}
+		c.Src1[i], c.Src2[i] = s1, s2
+		if mi := c.MemIdx[i]; mi >= 0 {
+			w := c.Width[mi]
+			if w == 0 || int(w) != o.MemWidth() {
+				return fmt.Errorf("trace: seq %d: %v has width %d, want %d",
+					seq, o, w, o.MemWidth())
+			}
+			if o.IsLoad() {
+				c.LinkLoadProducers(i, memWriter)
+			} else {
+				memWriter.Claim(c.Addr[mi], int(w), seq)
+			}
+		}
+		if o.HasDest() && rd[i] != isa.RZero {
+			regWriter[rd[i]] = seq
+		}
+	}
+	return nil
 }

@@ -7,17 +7,17 @@ import (
 )
 
 func TestLinkRegisterProducers(t *testing.T) {
-	tr := &Trace{Recs: []Record{
+	tr := FromRecords([]Record{
 		{PC: 0, Op: isa.ADDI, Rd: 1},                // 0: r1 = ...
 		{PC: 1, Op: isa.ADDI, Rd: 2},                // 1: r2 = ...
 		{PC: 2, Op: isa.ADD, Rd: 3, Rs1: 1, Rs2: 2}, // 2: r3 = r1+r2
 		{PC: 3, Op: isa.ADD, Rd: 1, Rs1: 3, Rs2: 0}, // 3: r1 = r3 (+r0)
 		{PC: 4, Op: isa.BEQ, Rs1: 1, Rs2: 3},        // 4: reads r1, r3
-	}}
+	})
 	if err := tr.Link(); err != nil {
 		t.Fatal(err)
 	}
-	r := tr.Recs
+	r := tr.Records()
 	if r[2].Src1 != 0 || r[2].Src2 != 1 {
 		t.Errorf("add producers = %d,%d; want 0,1", r[2].Src1, r[2].Src2)
 	}
@@ -33,29 +33,29 @@ func TestLinkRegisterProducers(t *testing.T) {
 }
 
 func TestLinkInitialValuesHaveNoProducer(t *testing.T) {
-	tr := &Trace{Recs: []Record{
+	tr := FromRecords([]Record{
 		{PC: 0, Op: isa.ADD, Rd: 3, Rs1: 5, Rs2: 6},
-	}}
+	})
 	if err := tr.Link(); err != nil {
 		t.Fatal(err)
 	}
-	if tr.Recs[0].Src1 != NoProducer || tr.Recs[0].Src2 != NoProducer {
-		t.Errorf("initial regs have producers: %+v", tr.Recs[0])
+	if r := tr.At(0); r.Src1 != NoProducer || r.Src2 != NoProducer {
+		t.Errorf("initial regs have producers: %+v", r)
 	}
 }
 
 func TestLinkMemoryProducers(t *testing.T) {
-	tr := &Trace{Recs: []Record{
+	tr := FromRecords([]Record{
 		{PC: 0, Op: isa.SD, Rs1: 1, Rs2: 2, Addr: 0x100, Width: 8}, // 0
 		{PC: 1, Op: isa.SW, Rs1: 1, Rs2: 2, Addr: 0x104, Width: 4}, // 1: overwrites high half
 		{PC: 2, Op: isa.LD, Rd: 3, Rs1: 1, Addr: 0x100, Width: 8},  // 2: reads both stores
 		{PC: 3, Op: isa.LW, Rd: 4, Rs1: 1, Addr: 0x104, Width: 4},  // 3: reads store 1 only
 		{PC: 4, Op: isa.LB, Rd: 5, Rs1: 1, Addr: 0x200, Width: 1},  // 4: untouched memory
-	}}
+	})
 	if err := tr.Link(); err != nil {
 		t.Fatal(err)
 	}
-	ld := tr.Recs[2]
+	ld := tr.At(2)
 	if ld.NumMemSrcs != 2 {
 		t.Fatalf("ld producers = %v, want 2", ld.MemProducers())
 	}
@@ -66,38 +66,38 @@ func TestLinkMemoryProducers(t *testing.T) {
 	if !got[0] || !got[1] {
 		t.Errorf("ld producers = %v, want {0,1}", ld.MemProducers())
 	}
-	lw := tr.Recs[3]
+	lw := tr.At(3)
 	if lw.NumMemSrcs != 1 || lw.MemSrcs[0] != 1 {
 		t.Errorf("lw producers = %v, want {1}", lw.MemProducers())
 	}
-	if tr.Recs[4].NumMemSrcs != 0 {
-		t.Errorf("untouched load has producers: %v", tr.Recs[4].MemProducers())
+	if r := tr.At(4); r.NumMemSrcs != 0 {
+		t.Errorf("untouched load has producers: %v", r.MemProducers())
 	}
 }
 
 func TestLinkRejectsBadWidth(t *testing.T) {
-	tr := &Trace{Recs: []Record{
+	tr := FromRecords([]Record{
 		{PC: 0, Op: isa.LD, Rd: 1, Width: 4},
-	}}
+	})
 	if err := tr.Link(); err == nil {
 		t.Error("bad width accepted")
 	}
 }
 
 func TestLinkIdempotent(t *testing.T) {
-	tr := &Trace{Recs: []Record{
+	tr := FromRecords([]Record{
 		{PC: 0, Op: isa.ADDI, Rd: 1},
 		{PC: 1, Op: isa.ADD, Rd: 2, Rs1: 1, Rs2: 1},
-	}}
+	})
 	if err := tr.Link(); err != nil {
 		t.Fatal(err)
 	}
-	first := tr.Recs[1]
+	first := tr.At(1)
 	if err := tr.Link(); err != nil {
 		t.Fatal(err)
 	}
-	if tr.Recs[1] != first {
-		t.Errorf("second Link changed record: %+v vs %+v", tr.Recs[1], first)
+	if got := tr.At(1); got != first {
+		t.Errorf("second Link changed record: %+v vs %+v", got, first)
 	}
 	if !tr.Linked {
 		t.Error("Linked flag not set")

@@ -17,6 +17,10 @@ import "sync"
 // instead of reallocating and re-initializing them.
 type WriterMap struct {
 	pages map[uint64]*writerPage
+	// One-entry lookup cache: traces are strongly page-local, so most
+	// consecutive memory operations hit the same page and skip the map.
+	lastKey uint64
+	lastPg  *writerPage
 }
 
 const wpageBits = 12
@@ -70,21 +74,35 @@ func (w *WriterMap) Reset() {
 		pagePool.Put(pg)
 		delete(w.pages, key)
 	}
+	w.lastPg = nil
+}
+
+// lookup returns the page for key, or nil without creating it.
+func (w *WriterMap) lookup(key uint64) *writerPage {
+	if w.lastPg != nil && w.lastKey == key {
+		return w.lastPg
+	}
+	pg := w.pages[key]
+	if pg != nil {
+		w.lastKey, w.lastPg = key, pg
+	}
+	return pg
 }
 
 func (w *WriterMap) page(key uint64) *writerPage {
-	pg, ok := w.pages[key]
-	if !ok {
-		pg = pagePool.Get().(*writerPage)
-		w.pages[key] = pg
+	if pg := w.lookup(key); pg != nil {
+		return pg
 	}
+	pg := pagePool.Get().(*writerPage)
+	w.pages[key] = pg
+	w.lastKey, w.lastPg = key, pg
 	return pg
 }
 
 // Get returns the last writer of addr, or NoProducer.
 func (w *WriterMap) Get(addr uint64) int32 {
-	pg, ok := w.pages[addr>>wpageBits]
-	if !ok {
+	pg := w.lookup(addr >> wpageBits)
+	if pg == nil {
 		return NoProducer
 	}
 	off := addr & (wpageSize - 1)
@@ -202,35 +220,68 @@ func (w *WriterMap) Overwrite(addr uint64, width int, seq int32, prev []int32) [
 // LoadProducers fills r.MemSrcs with the distinct writers of the load's
 // byte span, in byte order (the linker's load path).
 func (w *WriterMap) LoadProducers(r *Record) {
-	r.NumMemSrcs = 0
-	addr, width := r.Addr, int(r.Width)
+	out := w.AppendLoadProducers(r.Addr, int(r.Width), r.MemSrcs[:0])
+	r.NumMemSrcs = uint8(len(out))
+}
+
+// AppendLoadProducers appends the distinct writers of [addr, addr+width)
+// to dst — in byte order, skipping NoProducer, capped at MaxMemProducers;
+// exactly LoadProducers' semantics, but into a caller-provided slice (the
+// columnar linker's flat per-chunk producer pool).
+func (w *WriterMap) AppendLoadProducers(addr uint64, width int, dst []int32) []int32 {
+	// Fast path: an aligned load of a fully word-covered span has exactly
+	// one candidate producer — no dedup state needed.
 	if aligned(addr, width) {
-		pg, ok := w.pages[addr>>wpageBits]
-		if !ok {
-			return
+		pg := w.lookup(addr >> wpageBits)
+		if pg == nil {
+			return dst
 		}
 		wi := (addr & (wpageSize - 1)) >> 3
 		if pg.mask[wi] == fullMask {
-			r.addMemSrc(pg.word[wi])
+			if p := pg.word[wi]; p != NoProducer {
+				dst = append(dst, p)
+			}
+			return dst
+		}
+	}
+	var seen [MaxMemProducers]int32
+	n := 0
+	emit := func(p int32) {
+		if p == NoProducer {
 			return
 		}
-		for b := uint64(0); b < 8; b++ {
-			r.addMemSrc(pg.getByte(wi<<3 + b))
+		for k := 0; k < n; k++ {
+			if seen[k] == p {
+				return
+			}
 		}
-		return
+		if n < MaxMemProducers {
+			seen[n] = p
+			n++
+		}
+	}
+	if aligned(addr, width) {
+		if pg := w.lookup(addr >> wpageBits); pg != nil {
+			wi := (addr & (wpageSize - 1)) >> 3
+			for b := uint64(0); b < 8; b++ {
+				emit(pg.getByte(wi<<3 + b))
+			}
+		}
+		return append(dst, seen[:n]...)
 	}
 	for width > 0 {
 		off := addr & (wpageSize - 1)
-		n := uint64(width)
-		if off+n > wpageSize {
-			n = wpageSize - off
+		run := uint64(width)
+		if off+run > wpageSize {
+			run = wpageSize - off
 		}
-		if pg, ok := w.pages[addr>>wpageBits]; ok {
-			for b := uint64(0); b < n; b++ {
-				r.addMemSrc(pg.getByte(off + b))
+		if pg := w.lookup(addr >> wpageBits); pg != nil {
+			for b := uint64(0); b < run; b++ {
+				emit(pg.getByte(off + b))
 			}
 		}
-		addr += n
-		width -= int(n)
+		addr += run
+		width -= int(run)
 	}
+	return append(dst, seen[:n]...)
 }

@@ -148,8 +148,9 @@ func TestLinkRandomizedUnalignedVsReference(t *testing.T) {
 			t.Fatal(err)
 		}
 		ref := refWriterMap{}
-		for seq := range tr.Recs {
-			r := &tr.Recs[seq]
+		recs := tr.Records()
+		for seq := range recs {
+			r := &recs[seq]
 			if r.Op.IsLoad() {
 				var want Record
 				for b := uint64(0); b < uint64(r.Width); b++ {

@@ -42,8 +42,9 @@ func TestOracleInvariantsOnRandomPrograms(t *testing.T) {
 	}
 	for seed := 0; seed < seeds; seed++ {
 		tr, a := buildRandom(t, int64(seed))
-		for seq := range tr.Recs {
-			r := &tr.Recs[seq]
+		recs := tr.Records()
+		for seq := range recs {
+			r := &recs[seq]
 			kind := a.Kind[seq]
 
 			// Only candidates may be dead.
