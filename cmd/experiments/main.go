@@ -7,8 +7,21 @@
 //
 // Usage:
 //
-//	experiments [-e id[,id...]] [-n budget] [-j workers] [-v] [-md | -json]
+//	experiments [-only id[,id...]] [-skip id[,id...]] [-n budget] [-j workers]
+//	            [-cache-budget bytes] [-v] [-md | -json]
 //	            [-keep-going] [-timeout d] [-retries n]
+//
+// Experiment selection: -only restricts the run to the listed ids, -skip
+// excludes ids from whatever -only selected (default: all); both validate
+// against the known experiment ids up front. -e is a legacy alias of
+// -only.
+//
+// The workspace derives programs, profiles, predictor evaluations, and
+// machine runs through a content-addressed artifact cache; -cache-budget
+// bounds its resident bytes (suffixes KiB/MiB/GiB; 0 = unlimited), with
+// least-recently-used artifacts evicted and rebuilt deterministically on
+// demand. Per-kind hit/miss/eviction counters appear in the -v run
+// summary and the -json "artifacts" section.
 //
 // Failure handling: each experiment attempt is bounded by -timeout,
 // transient failures (see internal/faults) retry up to -retries attempts
@@ -26,8 +39,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -47,8 +62,11 @@ func main() {
 }
 
 func run() int {
-	ids := flag.String("e", "", "comma-separated experiment ids (default: all)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	ids := flag.String("e", "", "alias of -only (legacy)")
+	skip := flag.String("skip", "", "comma-separated experiment ids to exclude")
 	budget := flag.Int("n", core.DefaultBudget, "per-benchmark dynamic instruction budget")
+	cacheBudget := flag.String("cache-budget", "", "artifact-cache resident-byte budget, e.g. 256MiB (empty or 0 = unlimited)")
 	md := flag.Bool("md", false, "emit markdown sections (EXPERIMENTS.md body)")
 	asJSON := flag.Bool("json", false, "emit machine-readable metrics")
 	workers := flag.Int("j", 0, "max concurrently executing heavy tasks (0 = GOMAXPROCS)")
@@ -72,15 +90,27 @@ func run() int {
 		}
 	}()
 
-	list := core.ExperimentIDs()
-	if *ids != "" {
-		list = strings.Split(*ids, ",")
+	if *only != "" && *ids != "" && *only != *ids {
+		fmt.Fprintln(os.Stderr, "experiments: -e is an alias of -only; pass one of them")
+		return exitUsage
 	}
-	for i, id := range list {
-		list[i] = strings.TrimSpace(strings.ToLower(id))
+	if *only == "" {
+		*only = *ids
+	}
+	list, err := selectExperiments(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
+	}
+
+	cacheBytes, err := parseBytes(*cacheBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
 	}
 
 	w := core.NewWorkspaceWorkers(*budget, *workers)
+	w.CacheBudget = cacheBytes
 	mc := metrics.New()
 	if *verbose {
 		mc.SetVerbose(os.Stderr)
@@ -117,7 +147,7 @@ func run() int {
 	failed := 0
 	switch {
 	case *asJSON:
-		if !printJSON(exps, mc) {
+		if !printJSON(exps, w.ArtifactStats(), mc) {
 			return exitFailed
 		}
 		for _, e := range exps {
@@ -168,12 +198,95 @@ func run() int {
 	}
 }
 
+// selectExperiments resolves the -only / -skip id lists against the
+// known experiment ids, preserving declaration order. Unknown ids are a
+// usage error up front, not a per-experiment failure mid-run.
+func selectExperiments(only, skip string) ([]string, error) {
+	known := make(map[string]bool)
+	for _, id := range core.ExperimentIDs() {
+		known[id] = true
+	}
+	parse := func(flagName, csv string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if csv == "" {
+			return set, nil
+		}
+		for _, id := range strings.Split(csv, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				return nil, fmt.Errorf("experiments: -%s: unknown experiment %q (have %s)",
+					flagName, id, strings.Join(core.ExperimentIDs(), ","))
+			}
+			set[id] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var list []string
+	for _, id := range core.ExperimentIDs() {
+		if len(onlySet) > 0 && !onlySet[id] {
+			continue
+		}
+		if skipSet[id] {
+			continue
+		}
+		list = append(list, id)
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("experiments: -only/-skip selected no experiments")
+	}
+	return list, nil
+}
+
+// parseBytes parses a byte count with an optional KB/MB/GB or binary
+// KiB/MiB/GiB suffix. Empty means 0 (unlimited).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	orig := s
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1000}, {"MB", 1000 * 1000}, {"GB", 1000 * 1000 * 1000},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mult
+			s = strings.TrimSpace(s[:len(s)-len(suf.name)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("experiments: bad byte count %q (want e.g. 256MiB, 1GiB, 900000)", orig)
+	}
+	return n * mult, nil
+}
+
 // printJSON emits the machine-readable form: the experiments array is
 // deterministic (identical for any -j), while the run section carries the
-// wall-clock phase report and memoization counters of this particular run.
+// wall-clock phase report and counters of this particular run, and the
+// artifacts section the per-kind cache hit/miss/eviction statistics and
+// residency.
 // Failed experiments (partial-results mode) carry error and attempts in
 // place of metrics.
-func printJSON(exps []*core.Experiment, mc *metrics.Collector) bool {
+func printJSON(exps []*core.Experiment, arts artifact.Stats, mc *metrics.Collector) bool {
 	type jsonExp struct {
 		ID       string             `json:"id"`
 		Title    string             `json:"title,omitempty"`
@@ -184,8 +297,9 @@ func printJSON(exps []*core.Experiment, mc *metrics.Collector) bool {
 	}
 	out := struct {
 		Experiments []jsonExp       `json:"experiments"`
+		Artifacts   artifact.Stats  `json:"artifacts"`
 		Run         metrics.Summary `json:"run"`
-	}{Run: mc.Summary()}
+	}{Artifacts: arts, Run: mc.Summary()}
 	for _, e := range exps {
 		je := jsonExp{ID: e.ID, Title: e.Title, Claim: e.Claim, Metrics: e.Metrics}
 		if e.Err != nil {

@@ -82,12 +82,12 @@ func defaultCfg() dip.Config {
 	return cfg
 }
 
-// evalAll evaluates one predictor configuration over every benchmark
-// through the workspace pool, returning results in suite order.
-func evalAll(w *core.Workspace, names []string, cfg dip.Config, actualPath bool) ([]dip.Result, error) {
+// evalAll evaluates one predictor spec over every benchmark through the
+// workspace pool, returning results in suite order.
+func evalAll(w *core.Workspace, names []string, spec dip.Spec) ([]dip.Result, error) {
 	out := make([]dip.Result, len(names))
 	err := w.Pool().ForEach(context.Background(), len(names), func(i int) error {
-		r, err := w.EvalPredictor(names[i], cfg, actualPath)
+		r, err := w.EvalPredictor(names[i], spec)
 		out[i] = r
 		return err
 	})
@@ -99,7 +99,7 @@ func evalAll(w *core.Workspace, names []string, cfg dip.Config, actualPath bool)
 
 func point(w *core.Workspace, names []string) error {
 	cfg := defaultCfg()
-	results, err := evalAll(w, names, cfg, false)
+	results, err := evalAll(w, names, dip.Spec{Flavor: dip.FlavorCFI, Config: cfg})
 	if err != nil {
 		return err
 	}
@@ -122,15 +122,15 @@ func cfi(w *core.Workspace, names []string) error {
 	withCFI := defaultCfg()
 	noCFI := defaultCfg()
 	noCFI.PathLen = 0
-	as, err := evalAll(w, names, withCFI, false)
+	as, err := evalAll(w, names, dip.Spec{Flavor: dip.FlavorCFI, Config: withCFI})
 	if err != nil {
 		return err
 	}
-	bs, err := evalAll(w, names, noCFI, false)
+	bs, err := evalAll(w, names, dip.Spec{Flavor: dip.FlavorCounter, Config: noCFI})
 	if err != nil {
 		return err
 	}
-	os_, err := evalAll(w, names, withCFI, true)
+	os_, err := evalAll(w, names, dip.Spec{Flavor: dip.FlavorOracle, Config: withCFI})
 	if err != nil {
 		return err
 	}
@@ -157,7 +157,7 @@ func assoc(w *core.Workspace, names []string) error {
 		for v := ways; v > 1; v >>= 1 {
 			cfg.LogSets--
 		}
-		results, err := evalAll(w, names, cfg, false)
+		results, err := evalAll(w, names, dip.Spec{Flavor: dip.FlavorCFI, Config: cfg})
 		if err != nil {
 			return err
 		}
@@ -179,7 +179,7 @@ func sweep(w *core.Workspace, names []string) error {
 		if overridePath >= 0 {
 			cfg.PathLen = overridePath
 		}
-		results, err := evalAll(w, names, cfg, false)
+		results, err := evalAll(w, names, dip.Spec{Flavor: dip.FlavorCFI, Config: cfg})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,365 @@
+// Package artifact is a typed, content-addressed derivation cache: every
+// value the experiment engine computes — compiled programs, emulated and
+// analyzed trace profiles, predictor evaluations, machine runs — is an
+// artifact addressed by its kind and a canonical digest of the full input
+// spec that produced it. The store provides single-flight computation
+// (concurrent requesters of one artifact block on one producer), per-kind
+// hit/miss/eviction/in-flight counters, and LRU eviction under a
+// configurable byte budget, so sweep-heavy workloads reuse work across
+// experiments while peak memory stays bounded.
+//
+// Artifacts are pure functions of their spec: a rebuild after eviction
+// must be bit-identical to the original, which is what makes eviction
+// invisible to the experiment outputs.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Kind names one artifact type. Per-kind counters are reported as
+// "artifact_hits.<kind>", "artifact_misses.<kind>",
+// "artifact_evictions.<kind>", and "artifact_inflight_waits.<kind>".
+type Kind string
+
+// Key is an artifact's content address: its kind plus the canonical
+// digest of the full input spec that produces it.
+type Key struct {
+	Kind   Kind
+	Digest string
+}
+
+func (k Key) String() string { return string(k.Kind) + ":" + k.Digest }
+
+// Digest canonically fingerprints an input spec. Specs must be plain
+// exported data (JSON is the stable canonical encoding, as it is for
+// pipeline.Config.Digest); two specs describing the same inputs produce
+// equal digests.
+func Digest(spec any) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("artifact: spec not digestible: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Releaser is implemented by artifact values that recycle pooled
+// resources (e.g. a profile's columnar trace chunks) when the store
+// evicts them. ReleaseArtifact is called only once the artifact has no
+// pinned readers, so implementations may return arenas to a sync.Pool.
+type Releaser interface {
+	ReleaseArtifact()
+}
+
+// KindStats is the per-kind counter snapshot carried by Stats.
+type KindStats struct {
+	// Hits counts requests served from an existing artifact, including
+	// requesters that waited on an in-flight build (so Hits+Misses is
+	// schedule-independent; InflightWaits breaks out the waiters).
+	Hits int64 `json:"hits"`
+	// Misses counts builds actually executed (including rebuilds after
+	// eviction or a forgotten transient failure).
+	Misses int64 `json:"misses"`
+	// Evictions counts artifacts dropped by the LRU byte budget.
+	Evictions int64 `json:"evictions"`
+	// InflightWaits counts requesters that blocked on another goroutine's
+	// in-flight build of the same artifact.
+	InflightWaits int64 `json:"inflight_waits"`
+}
+
+// Stats is a snapshot of the store.
+type Stats struct {
+	Kinds map[Kind]KindStats `json:"kinds"`
+	// ResidentBytes is the total size of completed artifacts currently
+	// held; BudgetBytes is the configured bound (0 = unlimited).
+	ResidentBytes int64 `json:"resident_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes,omitempty"`
+}
+
+// entry is one artifact slot: in-flight until done is closed, then either
+// a resident value or a memoized error.
+type entry struct {
+	key  Key
+	done chan struct{}
+
+	// Written by the builder before done closes, read-only after.
+	val      any
+	size     int64
+	err      error
+	panicked bool
+
+	// Guarded by the store lock.
+	refs       int    // pinned readers (builder + hit requesters)
+	resident   bool   // counted in usedBytes, evictable when refs == 0
+	prev, next *entry // LRU list links, set only while unpinned
+}
+
+// Store is a content-addressed artifact cache with single-flight
+// computation and LRU eviction. The zero value is unusable; create with
+// New.
+type Store struct {
+	// MemoErr, when non-nil, reports whether a build error should stay
+	// memoized (rebuilding a deterministic failure would just fail again).
+	// Errors it rejects — and all errors when nil — are forgotten, so the
+	// next request rebuilds; this is what makes engine-level retry of
+	// transient faults effective. Set before first use.
+	MemoErr func(error) bool
+
+	budget int64
+
+	mu    sync.Mutex
+	mc    *metrics.Collector
+	items map[Key]*entry
+	used  int64
+	stats map[Kind]*KindStats
+	// lru is a doubly-linked list of unpinned resident entries; head is
+	// the least recently released, tail the most recent.
+	head, tail *entry
+}
+
+// New creates a store bounded to budgetBytes of resident artifact data
+// (0 = unlimited). The budget is soft: pinned artifacts are never
+// evicted, so concurrent pins can exceed it transiently.
+func New(budgetBytes int64) *Store {
+	return &Store{
+		budget: budgetBytes,
+		items:  make(map[Key]*entry),
+		stats:  make(map[Kind]*KindStats),
+	}
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (s *Store) Budget() int64 { return s.budget }
+
+// SetMetrics directs per-kind counters to mc as well (nil disables).
+// Safe to call between operations.
+func (s *Store) SetMetrics(mc *metrics.Collector) {
+	s.mu.Lock()
+	s.mc = mc
+	s.mu.Unlock()
+}
+
+// Stats snapshots the per-kind counters and resident size.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{
+		Kinds:         make(map[Kind]KindStats, len(s.stats)),
+		ResidentBytes: s.used,
+		BudgetBytes:   s.budget,
+	}
+	for k, ks := range s.stats {
+		out.Kinds[k] = *ks
+	}
+	return out
+}
+
+// count bumps one per-kind counter pair (snapshot + collector). Call with
+// s.mu held; the collector add happens outside the critical section via
+// the returned func when non-trivial contention matters — counters are
+// low-rate, so we just add inline (Collector has its own lock).
+func (s *Store) count(prefix string, k Kind, slot *int64) {
+	*slot++
+	if s.mc != nil {
+		s.mc.Add(prefix+"."+string(k), 1)
+	}
+}
+
+// kindStats returns the mutable per-kind counters; call with s.mu held.
+func (s *Store) kindStats(k Kind) *KindStats {
+	ks := s.stats[k]
+	if ks == nil {
+		ks = &KindStats{}
+		s.stats[k] = ks
+	}
+	return ks
+}
+
+// Get returns the artifact at key, computing it with build at most once
+// no matter how many goroutines ask concurrently. The artifact is pinned
+// until the returned release function is called: a pinned artifact is
+// never evicted, so values holding pooled resources (see Releaser) stay
+// valid until released. release is always non-nil and idempotent.
+//
+// build returns the value and its resident size in bytes. A build error
+// is propagated to every concurrent requester; whether it stays memoized
+// is decided by the store's MemoErr. A panicking build is converted to an
+// error (never memoized) so waiters are not deadlocked.
+func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), error) {
+	s.mu.Lock()
+	e, ok := s.items[key]
+	if ok {
+		e.refs++
+		s.unlink(e) // pinned entries leave the LRU list
+		building := false
+		select {
+		case <-e.done:
+		default:
+			building = true
+		}
+		ks := s.kindStats(key.Kind)
+		s.count("artifact_hits", key.Kind, &ks.Hits)
+		if building {
+			s.count("artifact_inflight_waits", key.Kind, &ks.InflightWaits)
+		}
+		s.mu.Unlock()
+		if building {
+			<-e.done
+		}
+		return finishGet[T](s, e)
+	}
+
+	e = &entry{key: key, done: make(chan struct{}), refs: 1}
+	s.items[key] = e
+	ks := s.kindStats(key.Kind)
+	s.count("artifact_misses", key.Kind, &ks.Misses)
+	s.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// Never memoize a panic; surface it as an error so every
+				// waiter unblocks instead of deadlocking on done.
+				e.val, e.size = nil, 0
+				e.err = fmt.Errorf("artifact: building %s panicked: %v", key, r)
+				e.panicked = true
+			}
+			close(e.done)
+		}()
+		var v T
+		v, e.size, e.err = build()
+		e.val = v
+	}()
+
+	s.mu.Lock()
+	if e.err != nil {
+		memo := !e.panicked && s.MemoErr != nil && s.MemoErr(e.err)
+		if !memo && s.items[key] == e {
+			delete(s.items, key)
+		}
+	} else {
+		e.resident = true
+		s.used += e.size
+	}
+	s.mu.Unlock()
+	return finishGet[T](s, e)
+}
+
+// finishGet reads a completed entry and hands the caller its pin.
+func finishGet[T any](s *Store, e *entry) (T, func(), error) {
+	if e.err != nil {
+		var zero T
+		s.release(e)
+		return zero, func() {}, e.err
+	}
+	var released sync.Once
+	rel := func() { released.Do(func() { s.release(e) }) }
+	v, ok := e.val.(T)
+	if !ok {
+		// Two different value types under one key is a caller bug; fail
+		// loudly rather than corrupting the typed contract.
+		rel()
+		var zero T
+		return zero, func() {}, fmt.Errorf("artifact: %s holds %T, requested %T", e.key, e.val, v)
+	}
+	return v, rel, nil
+}
+
+// release unpins the entry; the last unpin of a resident entry makes it
+// evictable (appended at the MRU end of the LRU list) and triggers budget
+// enforcement.
+func (s *Store) release(e *entry) {
+	s.mu.Lock()
+	e.refs--
+	var victims []*entry
+	if e.refs == 0 && e.resident && s.items[e.key] == e {
+		s.pushTail(e)
+		victims = s.evictOverBudgetLocked()
+	}
+	s.mu.Unlock()
+	releaseVictims(victims)
+}
+
+// EvictAll drops every unpinned resident artifact regardless of budget,
+// releasing pooled resources. Useful at the end of a run.
+func (s *Store) EvictAll() {
+	s.mu.Lock()
+	var victims []*entry
+	for s.head != nil {
+		victims = append(victims, s.evictHeadLocked())
+	}
+	s.mu.Unlock()
+	releaseVictims(victims)
+}
+
+// releaseVictims runs evicted values' Releasers outside the store lock.
+func releaseVictims(victims []*entry) {
+	for _, v := range victims {
+		if r, ok := v.val.(Releaser); ok {
+			r.ReleaseArtifact()
+		}
+	}
+}
+
+// evictOverBudgetLocked drops least-recently-used unpinned entries until
+// the resident size fits the budget. Call with s.mu held; the caller
+// runs the victims' Releasers outside the lock.
+func (s *Store) evictOverBudgetLocked() []*entry {
+	if s.budget <= 0 {
+		return nil
+	}
+	var victims []*entry
+	for s.used > s.budget && s.head != nil {
+		victims = append(victims, s.evictHeadLocked())
+	}
+	return victims
+}
+
+// evictHeadLocked removes the LRU head from the list, the map, and the
+// resident accounting. Call with s.mu held and s.head != nil.
+func (s *Store) evictHeadLocked() *entry {
+	e := s.head
+	s.unlink(e)
+	delete(s.items, e.key)
+	e.resident = false
+	s.used -= e.size
+	ks := s.kindStats(e.key.Kind)
+	s.count("artifact_evictions", e.key.Kind, &ks.Evictions)
+	return e
+}
+
+// pushTail appends e at the MRU end. Call with s.mu held.
+func (s *Store) pushTail(e *entry) {
+	e.prev, e.next = s.tail, nil
+	if s.tail != nil {
+		s.tail.next = e
+	} else {
+		s.head = e
+	}
+	s.tail = e
+}
+
+// unlink removes e from the LRU list if present. Call with s.mu held.
+func (s *Store) unlink(e *entry) {
+	if s.head != e && e.prev == nil && e.next == nil {
+		return // not in the list
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

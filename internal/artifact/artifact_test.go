@@ -1,0 +1,302 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(kind Kind, spec string) Key {
+	return Key{Kind: kind, Digest: Digest(spec)}
+}
+
+// tracked is an artifact value whose eviction is observable: the store
+// must call ReleaseArtifact exactly once per eviction, after the last
+// pin is gone.
+type tracked struct {
+	name string
+	log  *[]string
+}
+
+func (v *tracked) ReleaseArtifact() { *v.log = append(*v.log, v.name) }
+
+func TestDigestCanonical(t *testing.T) {
+	type spec struct {
+		A string
+		B int
+	}
+	if Digest(spec{"x", 1}) != Digest(spec{"x", 1}) {
+		t.Error("equal specs digest differently")
+	}
+	if Digest(spec{"x", 1}) == Digest(spec{"x", 2}) {
+		t.Error("different specs share a digest")
+	}
+	if key("a", "s") == key("b", "s") {
+		t.Error("kinds do not separate keys")
+	}
+}
+
+func TestGetSingleFlight(t *testing.T) {
+	s := New(0)
+	var builds atomic.Int64
+	const n = 32
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	vals := make([]int, n)
+	errs := make([]error, n)
+	k := key("profile", "gzip")
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, release, err := Get(s, k, func() (int, int64, error) {
+				builds.Add(1)
+				time.Sleep(20 * time.Millisecond) // widen the in-flight window
+				return 42, 8, nil
+			})
+			defer release()
+			vals[i], errs[i] = v, err
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d builds for one key under %d concurrent requests", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || vals[i] != 42 {
+			t.Fatalf("request %d: val=%d err=%v", i, vals[i], errs[i])
+		}
+	}
+	ks := s.Stats().Kinds["profile"]
+	if ks.Misses != 1 || ks.Hits != n-1 {
+		t.Errorf("counters: hits=%d misses=%d, want %d/1", ks.Hits, ks.Misses, n-1)
+	}
+	if ks.InflightWaits > ks.Hits {
+		t.Errorf("inflight waits %d exceed hits %d", ks.InflightWaits, ks.Hits)
+	}
+}
+
+// TestLRUEvictionOrder scripts a deterministic sequence of gets and
+// releases against a small budget and asserts the exact eviction order
+// (least recently released first), that pinned artifacts are never
+// victims, and that an evicted artifact rebuilds on the next request.
+func TestLRUEvictionOrder(t *testing.T) {
+	s := New(8)
+	var log []string
+	builds := map[string]int{}
+	get := func(name string) func() {
+		_, release, err := Get(s, key("profile", name), func() (*tracked, int64, error) {
+			builds[name]++
+			return &tracked{name, &log}, 4, nil
+		})
+		if err != nil {
+			t.Fatalf("get %s: %v", name, err)
+		}
+		return release
+	}
+
+	get("a")()
+	get("b")()
+	get("c")() // 12 bytes > 8: evicts a
+	if want := []string{"a"}; !sameSeq(log, want) {
+		t.Fatalf("eviction log %v, want %v", log, want)
+	}
+	get("b")()       // touch b: LRU order becomes [c, b]
+	get("d")()       // 12 > 8: evicts c, not the recently used b
+	relE := get("e") // pinned: resident but not evictable
+	get("f")()       // b, d unpinned: both evicted to make room
+	if want := []string{"a", "c", "b", "d"}; !sameSeq(log, want) {
+		t.Fatalf("eviction log %v, want %v", log, want)
+	}
+	relE()
+	if st := s.Stats(); st.ResidentBytes != 8 {
+		t.Errorf("resident bytes = %d, want 8 (e + f)", st.ResidentBytes)
+	}
+
+	// The evicted artifact is rebuilt on demand.
+	get("a")()
+	if builds["a"] != 2 {
+		t.Errorf("a built %d times, want 2 (original + post-eviction rebuild)", builds["a"])
+	}
+	if ks := s.Stats().Kinds["profile"]; ks.Evictions < 4 {
+		t.Errorf("evictions = %d, want >= 4", ks.Evictions)
+	}
+}
+
+// TestEvictThenRecomputeBitIdentical checks the pure-function contract
+// the experiment engine relies on: a value rebuilt after eviction is
+// identical to the cold-store value.
+func TestEvictThenRecomputeBitIdentical(t *testing.T) {
+	mk := func(budget int64) func(name string) string {
+		s := New(budget)
+		return func(name string) string {
+			v, release, err := Get(s, key("profile", name), func() (string, int64, error) {
+				return strings.Repeat(name, 3), 6, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			release()
+			return v
+		}
+	}
+	cold := mk(0)
+	churn := mk(6) // only one artifact fits: every get evicts the prior one
+	for _, name := range []string{"aa", "bb", "aa", "cc", "aa"} {
+		if c, h := cold(name), churn(name); c != h {
+			t.Fatalf("%s: churned store returned %q, cold store %q", name, h, c)
+		}
+	}
+}
+
+func TestErrorMemoizationPolicy(t *testing.T) {
+	errPerm := errors.New("permanent")
+	errTransient := errors.New("transient")
+
+	s := New(0)
+	s.MemoErr = func(err error) bool { return errors.Is(err, errPerm) }
+	builds := map[string]int{}
+	get := func(name string, fail error) error {
+		_, release, err := Get(s, key("run", name), func() (int, int64, error) {
+			builds[name]++
+			return 0, 1, fail
+		})
+		release()
+		return err
+	}
+
+	// Transient failures are forgotten: every request rebuilds.
+	if err := get("t", errTransient); !errors.Is(err, errTransient) {
+		t.Fatalf("first transient get: %v", err)
+	}
+	if err := get("t", errTransient); !errors.Is(err, errTransient) {
+		t.Fatalf("second transient get: %v", err)
+	}
+	if builds["t"] != 2 {
+		t.Errorf("transient failure built %d times, want 2 (not memoized)", builds["t"])
+	}
+
+	// Permanent failures stay memoized: one build, repeated error.
+	if err := get("p", errPerm); !errors.Is(err, errPerm) {
+		t.Fatalf("first permanent get: %v", err)
+	}
+	if err := get("p", nil); !errors.Is(err, errPerm) {
+		t.Fatalf("memoized permanent get returned %v, want the original error", err)
+	}
+	if builds["p"] != 1 {
+		t.Errorf("permanent failure built %d times, want 1 (memoized)", builds["p"])
+	}
+}
+
+func TestPanicNeverMemoized(t *testing.T) {
+	s := New(0)
+	s.MemoErr = func(error) bool { return true } // even an always-memoize policy
+	calls := 0
+	get := func() (int, error) {
+		v, release, err := Get(s, key("run", "x"), func() (int, int64, error) {
+			calls++
+			if calls == 1 {
+				panic("boom")
+			}
+			return 7, 1, nil
+		})
+		release()
+		return v, err
+	}
+	if _, err := get(); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("first get: err = %v, want a contained panic", err)
+	}
+	if v, err := get(); err != nil || v != 7 {
+		t.Fatalf("post-panic rebuild: v=%d err=%v", v, err)
+	}
+}
+
+func TestTypeMismatchFailsLoudly(t *testing.T) {
+	s := New(0)
+	k := key("run", "x")
+	_, release, err := Get(s, k, func() (int, int64, error) { return 1, 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	_, release2, err := Get(s, k, func() (string, int64, error) { return "", 1, nil })
+	release2()
+	if err == nil || !strings.Contains(err.Error(), "holds") {
+		t.Fatalf("type mismatch err = %v, want a loud failure", err)
+	}
+}
+
+func TestEvictAll(t *testing.T) {
+	s := New(0)
+	var log []string
+	for _, name := range []string{"a", "b"} {
+		_, release, err := Get(s, key("profile", name), func() (*tracked, int64, error) {
+			return &tracked{name, &log}, 4, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	s.EvictAll()
+	if len(log) != 2 {
+		t.Errorf("EvictAll released %d artifacts, want 2 (%v)", len(log), log)
+	}
+	if st := s.Stats(); st.ResidentBytes != 0 {
+		t.Errorf("resident bytes = %d after EvictAll", st.ResidentBytes)
+	}
+}
+
+// TestConcurrentChurn hammers a tiny-budget store from many goroutines
+// (run with -race): gets, releases, and evictions interleave, and the
+// counters must still balance — every request is exactly one hit or miss.
+func TestConcurrentChurn(t *testing.T) {
+	s := New(10)
+	var requests atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("it-%d", (g+i)%7)
+				requests.Add(1)
+				v, release, err := Get(s, key("churn", name), func() (string, int64, error) {
+					return name + name, 4, nil
+				})
+				if err != nil || v != name+name {
+					t.Errorf("get %s: v=%q err=%v", name, v, err)
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	ks := s.Stats().Kinds["churn"]
+	if total := ks.Hits + ks.Misses; total != requests.Load() {
+		t.Errorf("hits+misses = %d, want %d requests", total, requests.Load())
+	}
+	if ks.Evictions == 0 {
+		t.Error("churn over a tiny budget evicted nothing")
+	}
+}
+
+func sameSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

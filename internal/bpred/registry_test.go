@@ -1,0 +1,38 @@
+package bpred
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDirRegistry(t *testing.T) {
+	names := DirNames()
+	if len(names) == 0 {
+		t.Fatal("no registered direction predictors")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("DirNames not sorted: %v", names)
+		}
+	}
+	for _, name := range names {
+		d, err := NewDirByName(name)
+		if err != nil || d == nil {
+			t.Errorf("NewDirByName(%q) = %v, %v", name, d, err)
+		}
+	}
+	// Two constructions are independent instances, not shared state.
+	a, _ := NewDirByName("gshare-4k")
+	b, _ := NewDirByName("gshare-4k")
+	if a == b {
+		t.Error("NewDirByName returned a shared predictor instance")
+	}
+
+	_, err := NewDirByName("no-such-predictor")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if !strings.Contains(err.Error(), "gshare-4k") {
+		t.Errorf("error %q does not list the registered names", err)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dip"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// TestPredEvalArtifactSharedAcrossSpecs checks that canonicalization
+// makes equivalent predictor requests share one evaluation artifact:
+// E5's implicit-default-dir request and E11's explicit gshare-4k row are
+// the same computation.
+func TestPredEvalArtifactSharedAcrossSpecs(t *testing.T) {
+	w := NewWorkspace(testBudget)
+	mc := metrics.New()
+	w.Metrics = mc
+
+	cfg := dip.DefaultConfig()
+	a, err := w.EvalPredictor("gzip", dip.Spec{Flavor: dip.FlavorCFI, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.EvalPredictor("gzip", dip.Spec{Flavor: dip.FlavorCFI, Config: cfg, Dir: dip.DefaultDirName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("equivalent specs returned different results")
+	}
+	if hits := mc.Counter("artifact_hits." + string(KindPredEval)); hits != 1 {
+		t.Errorf("predeval hits = %d, want 1 (second request served from the store)", hits)
+	}
+	if misses := mc.Counter("artifact_misses." + string(KindPredEval)); misses != 1 {
+		t.Errorf("predeval misses = %d, want 1", misses)
+	}
+
+	// A genuinely different spec is a different artifact.
+	if _, err := w.EvalPredictor("gzip", dip.Spec{Flavor: dip.FlavorOracle, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	if misses := mc.Counter("artifact_misses." + string(KindPredEval)); misses != 2 {
+		t.Errorf("predeval misses = %d after an oracle request, want 2", misses)
+	}
+
+	// An invalid spec is rejected before touching the store.
+	if _, err := w.EvalPredictor("gzip", dip.Spec{Flavor: "nope"}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// TestCacheBudgetEvictsAndStaysBitIdentical is the acceptance check for
+// the bounded artifact cache: a run under a budget small enough to force
+// evictions must produce byte-identical experiment output to an
+// unbounded run, with evictions actually happening and predictor
+// evaluations still deduplicating across experiments.
+func TestCacheBudgetEvictsAndStaysBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice")
+	}
+	const budget = 60_000
+	ids := ExperimentIDs()
+
+	clean := NewWorkspaceWorkers(budget, 0)
+	cleanRes, err := clean.RunExperiments(context.Background(), ids)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	// Cross-experiment dedup is asserted on the unbounded workspace: under
+	// a tight budget a predeval artifact may legitimately be evicted by
+	// profile churn before its reuse arrives, so its hit count there is
+	// schedule-dependent.
+	if hits := clean.ArtifactStats().Kinds[KindPredEval].Hits; hits == 0 {
+		t.Error("no predictor-evaluation artifact hits across the unbounded suite")
+	}
+
+	w := NewWorkspaceWorkers(budget, 0)
+	// Small enough that the 33 profile artifacts (3 per benchmark) churn
+	// constantly; large enough to hold the handful pinned at once.
+	w.CacheBudget = 8 << 20
+	mc := metrics.New()
+	w.Metrics = mc
+	res, err := w.RunExperiments(context.Background(), ids)
+	if err != nil {
+		t.Fatalf("budgeted run: %v", err)
+	}
+
+	for i := range ids {
+		a, b := renderExperiment(cleanRes[i]), renderExperiment(res[i])
+		if a != b {
+			t.Errorf("%s diverges under cache eviction:\n--- unbounded\n%s\n--- budgeted\n%s", ids[i], a, b)
+		}
+	}
+
+	st := w.ArtifactStats()
+	var evictions int64
+	for _, ks := range st.Kinds {
+		evictions += ks.Evictions
+	}
+	if evictions == 0 {
+		t.Error("no artifact evicted under an 8 MiB budget; the test is vacuous")
+	}
+	if rebuilds := st.Kinds[KindProfile].Misses; rebuilds <= int64(3*len(SuiteNames())) {
+		t.Errorf("profile misses = %d under churn, want rebuilds beyond the initial %d",
+			rebuilds, 3*len(SuiteNames()))
+	}
+	if mc.Counter("artifact_evictions."+string(KindProfile)) != st.Kinds[KindProfile].Evictions {
+		t.Error("metrics counter and store snapshot disagree on profile evictions")
+	}
+}
+
+// TestTransientFaultEvictsOnlyPoisonedArtifact is the focused version of
+// the chaos soak's eviction contract: a transient workspace.memo fault
+// poisons exactly the artifact being built — survivors stay resident,
+// identical, and served from the store.
+func TestTransientFaultEvictsOnlyPoisonedArtifact(t *testing.T) {
+	w := NewWorkspace(testBudget)
+	a1, err := w.ProfileOf("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := w.ProfileOf("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := faults.NewInjector(7).
+		Arm(faults.SiteWorkspaceMemo, faults.Rule{Kind: faults.Transient, Rate: 1, Max: 1})
+	faults.Set(in)
+	defer faults.Set(nil)
+
+	if _, err := w.ProfileOf("mcf"); !faults.IsTransient(err) {
+		t.Fatalf("poisoned build returned %v, want the injected transient", err)
+	}
+
+	mc := metrics.New()
+	w.Metrics = mc
+	a2, err := w.ProfileOf("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := w.ProfileOf("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1 || b2 != b1 {
+		t.Error("survivor artifacts were rebuilt; the fault must evict only the poisoned one")
+	}
+	if hits := mc.Counter(CounterProfileMemoHits); hits != 2 {
+		t.Errorf("survivor hits = %d, want 2", hits)
+	}
+
+	// The poisoned artifact was forgotten, not memoized: the retry (the
+	// injector's Max is exhausted) rebuilds it successfully.
+	c, err := w.ProfileOf("mcf")
+	if err != nil || c == nil {
+		t.Fatalf("post-fault rebuild: res=%v err=%v", c, err)
+	}
+	if builds := mc.Counter(CounterProfileBuilds); builds != 1 {
+		t.Errorf("rebuild count = %d, want 1 (only the poisoned artifact)", builds)
+	}
+}

@@ -61,6 +61,10 @@ func TestChaosSoak(t *testing.T) {
 	w.Metrics = mc
 	w.KeepGoing = true
 	w.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	// Arm the artifact cache's LRU eviction too, so transient-fault
+	// eviction, budget eviction, and rebuilds all interleave under
+	// injection — survivors must still match the clean run bit for bit.
+	w.CacheBudget = 16 << 20
 
 	type result struct {
 		res []*Experiment

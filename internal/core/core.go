@@ -32,6 +32,29 @@ type ProfileResult struct {
 	PassStats compiler.PassStats
 }
 
+// SizeBytes estimates the resident footprint charged against the
+// workspace's artifact-cache budget: the columnar trace dominates, with
+// the per-record analysis arrays second.
+func (r *ProfileResult) SizeBytes() int64 {
+	var n int64 = 4096 // summaries, locality, headers
+	if r.Trace != nil {
+		n += r.Trace.SizeBytes()
+	}
+	if r.Analysis != nil {
+		n += r.Analysis.SizeBytes()
+	}
+	return n
+}
+
+// ReleaseArtifact returns the profile's pooled trace chunks to the
+// chunk pool when the artifact store evicts it. Only unpinned profiles
+// are evicted, so no reader can still hold the trace.
+func (r *ProfileResult) ReleaseArtifact() {
+	if r.Trace != nil {
+		r.Trace.Release()
+	}
+}
+
 // Profile builds a benchmark (optionally overriding its compile options),
 // runs it for at most budget instructions, and runs the deadness oracle.
 func Profile(p workload.Profile, opts *compiler.Options, budget int) (*ProfileResult, error) {
@@ -77,17 +100,21 @@ func profileProgramWith(name string, prog *program.Program, passStats compiler.P
 }
 
 // EvalPredictor runs a dead-instruction predictor configuration over a
-// benchmark's trace.
+// benchmark's trace (the predicted-path CFI flavor, or the oracle-path
+// flavor when actualPath is set), routed through the dip.Predictor
+// registry.
 func EvalPredictor(p workload.Profile, cfg dip.Config, budget int, actualPath bool) (dip.Result, error) {
-	if err := cfg.Validate(); err != nil {
+	spec := dip.Spec{Flavor: dip.FlavorCFI, Config: cfg}
+	if actualPath {
+		spec.Flavor = dip.FlavorOracle
+	}
+	pred, err := spec.New()
+	if err != nil {
 		return dip.Result{}, err
 	}
 	prof, err := Profile(p, nil, budget)
 	if err != nil {
 		return dip.Result{}, err
 	}
-	return dip.Evaluate(prof.Trace, prof.Analysis, dip.Options{
-		Config:        cfg,
-		UseActualPath: actualPath,
-	})
+	return pred.Evaluate(prof.Trace, prof.Analysis)
 }

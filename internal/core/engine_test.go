@@ -78,8 +78,12 @@ func TestRunExperimentsConcurrentMatchesSequential(t *testing.T) {
 	if sims, hits := mc.Counter(CounterMachineSims), mc.Counter(CounterMachineMemoHits); sims == 0 || hits+sims == 0 {
 		t.Errorf("implausible counters: sims=%d hits=%d", sims, hits)
 	}
-	if builds := mc.Counter(CounterProfileBuilds); builds != int64(len(SuiteNames())) {
-		t.Errorf("profile builds = %d, want %d (one per benchmark)", builds, len(SuiteNames()))
+	// Three profile artifacts per benchmark: the default compile, E3's
+	// no-hoist variant, and E12's with-DCE variant all flow through the
+	// artifact store now, each built exactly once.
+	if builds := mc.Counter(CounterProfileBuilds); builds != int64(3*len(SuiteNames())) {
+		t.Errorf("profile builds = %d, want %d (three per benchmark: default, no-hoist, DCE)",
+			builds, 3*len(SuiteNames()))
 	}
 }
 

@@ -136,7 +136,7 @@ func (w *Workspace) E3(ctx context.Context) (*Experiment, error) {
 		}
 		opts := prof.Opts
 		opts.MaxHoist = 0
-		noh, err := profileWith(prof, &opts, w.Budget, w.Metrics)
+		noh, err := w.ProfileWithOptions(name, &opts)
 		if err != nil {
 			return pair{}, err
 		}
@@ -217,7 +217,7 @@ func (w *Workspace) E5(ctx context.Context) (*Experiment, error) {
 		Metrics: map[string]float64{},
 	}
 	results, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
-		return w.evalDIP(name, cfg, false)
+		return w.EvalPredictor(name, dip.Spec{Flavor: dip.FlavorCFI, Config: cfg})
 	})
 	if err != nil {
 		return nil, err
@@ -238,29 +238,6 @@ func (w *Workspace) E5(ctx context.Context) (*Experiment, error) {
 	return e, nil
 }
 
-// EvalPredictor evaluates a dead-instruction predictor configuration over
-// a cached benchmark profile.
-func (w *Workspace) EvalPredictor(name string, cfg dip.Config, actualPath bool) (dip.Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return dip.Result{}, err
-	}
-	return w.evalDIP(name, cfg, actualPath)
-}
-
-func (w *Workspace) evalDIP(name string, cfg dip.Config, actualPath bool) (dip.Result, error) {
-	res, err := w.ProfileOf(name)
-	if err != nil {
-		return dip.Result{}, err
-	}
-	sp := w.Metrics.Start("predict", fmt.Sprintf("%s %s", name, cfg.Name()))
-	r, err := dip.Evaluate(res.Trace, res.Analysis, dip.Options{
-		Config:        cfg,
-		UseActualPath: actualPath,
-	})
-	sp.End(int64(res.Trace.Len()))
-	return r, err
-}
-
 // E6 is the future-control-flow ablation: the CFI predictor against a
 // plain per-PC counter at the same design point, plus the actual-path
 // oracle upper bound.
@@ -278,15 +255,15 @@ func (w *Workspace) E6(ctx context.Context) (*Experiment, error) {
 	}
 	type trio struct{ a, b, o dip.Result }
 	results, err := overSuite(ctx, w, func(name string) (trio, error) {
-		a, err := w.evalDIP(name, withCFI, false)
+		a, err := w.EvalPredictor(name, dip.Spec{Flavor: dip.FlavorCFI, Config: withCFI})
 		if err != nil {
 			return trio{}, err
 		}
-		b, err := w.evalDIP(name, noCFI, false)
+		b, err := w.EvalPredictor(name, dip.Spec{Flavor: dip.FlavorCounter, Config: noCFI})
 		if err != nil {
 			return trio{}, err
 		}
-		o, err := w.evalDIP(name, withCFI, true)
+		o, err := w.EvalPredictor(name, dip.Spec{Flavor: dip.FlavorOracle, Config: withCFI})
 		if err != nil {
 			return trio{}, err
 		}
@@ -329,7 +306,7 @@ func (w *Workspace) E7(ctx context.Context) (*Experiment, error) {
 	for _, cfg := range dip.SweepConfigs() {
 		cfg := cfg
 		results, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
-			return w.evalDIP(name, cfg, false)
+			return w.EvalPredictor(name, dip.Spec{Flavor: dip.FlavorCFI, Config: cfg})
 		})
 		if err != nil {
 			return nil, err

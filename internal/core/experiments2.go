@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/bpred"
 	"repro/internal/dip"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
@@ -26,29 +25,16 @@ func (w *Workspace) E11(ctx context.Context) (*Experiment, error) {
 		Table:   stats.NewTable("direction predictor", "branch-acc%", "coverage%", "accuracy%"),
 		Metrics: map[string]float64{},
 	}
-	makers := []struct {
-		key  string
-		make func() bpred.DirPredictor
-	}{
-		{"static-taken", func() bpred.DirPredictor { return bpred.Static{TakenAlways: true} }},
-		{"bimodal-4k", func() bpred.DirPredictor { return bpred.NewBimodal(12) }},
-		{"twolevel-4k", func() bpred.DirPredictor { return bpred.NewTwoLevel(12, 10) }},
-		{"gshare-4k", func() bpred.DirPredictor { return bpred.NewGshare(12, 10) }},
-		{"tournament-4k", func() bpred.DirPredictor { return bpred.NewTournament(12, 10) }},
-	}
+	// The sweep is declarative: every registered direction predictor, by
+	// name, through the same predictor-evaluation artifacts the other
+	// experiments use (the gshare-4k row shares E5's artifact).
+	dirs := []string{"static-taken", "bimodal-4k", "twolevel-4k", "gshare-4k", "tournament-4k"}
 	cfg := dip.DefaultConfig()
 	var covPts []stats.Point
-	for _, mk := range makers {
-		mk := mk
+	for _, dir := range dirs {
+		dir := dir
 		results, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
-			res, err := w.ProfileOf(name)
-			if err != nil {
-				return dip.Result{}, err
-			}
-			return dip.Evaluate(res.Trace, res.Analysis, dip.Options{
-				Config: cfg,
-				Dir:    mk.make(),
-			})
+			return w.EvalPredictor(name, dip.Spec{Flavor: dip.FlavorCFI, Config: cfg, Dir: dir})
 		})
 		if err != nil {
 			return nil, err
@@ -59,9 +45,9 @@ func (w *Workspace) E11(ctx context.Context) (*Experiment, error) {
 			accs = append(accs, r.Accuracy())
 			baccs = append(baccs, r.BranchAccuracy)
 		}
-		e.Table.AddRow(mk.key, stats.Pct(stats.Mean(baccs)),
+		e.Table.AddRow(dir, stats.Pct(stats.Mean(baccs)),
 			stats.Pct(stats.Mean(covs)), stats.Pct(stats.Mean(accs)))
-		e.Metrics["coverage_"+mk.key] = stats.Mean(covs)
+		e.Metrics["coverage_"+dir] = stats.Mean(covs)
 		covPts = append(covPts, stats.Point{X: 100 * stats.Mean(baccs), Y: 100 * stats.Mean(covs)})
 	}
 	e.Figure = &stats.Chart{
@@ -70,7 +56,7 @@ func (w *Workspace) E11(ctx context.Context) (*Experiment, error) {
 	}
 	// Oracle future directions as the upper bound.
 	oracle, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
-		return w.evalDIP(name, cfg, true)
+		return w.EvalPredictor(name, dip.Spec{Flavor: dip.FlavorOracle, Config: cfg})
 	})
 	if err != nil {
 		return nil, err
@@ -112,7 +98,7 @@ func (w *Workspace) E12(ctx context.Context) (*Experiment, error) {
 		}
 		opts := prof.Opts
 		opts.DCE = true
-		withDCE, err := profileWith(prof, &opts, w.Budget, w.Metrics)
+		withDCE, err := w.ProfileWithOptions(name, &opts)
 		if err != nil {
 			return pair{}, err
 		}
@@ -288,7 +274,7 @@ func (w *Workspace) E14(ctx context.Context) (*Experiment, error) {
 		cfg.CounterBits = pt.bits
 		cfg.Threshold = pt.thr
 		results, err := overSuite(ctx, w, func(name string) (dip.Result, error) {
-			return w.evalDIP(name, cfg, false)
+			return w.EvalPredictor(name, dip.Spec{Flavor: dip.FlavorCFI, Config: cfg})
 		})
 		if err != nil {
 			return nil, err

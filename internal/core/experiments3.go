@@ -62,19 +62,21 @@ func (w *Workspace) E17(ctx context.Context) (*Experiment, error) {
 	cfg := dip.DefaultConfig()
 	type trio struct{ strict, loose, dyn dip.Result }
 	results, err := overSuite(ctx, w, func(name string) (trio, error) {
-		res, err := w.ProfileOf(name)
+		strict, err := w.EvalPredictor(name,
+			dip.Spec{Flavor: dip.FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 0.9})
 		if err != nil {
 			return trio{}, err
 		}
-		dyn, err := dip.Evaluate(res.Trace, res.Analysis, dip.Options{Config: cfg})
+		loose, err := w.EvalPredictor(name,
+			dip.Spec{Flavor: dip.FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 0.5})
 		if err != nil {
 			return trio{}, err
 		}
-		return trio{
-			strict: dip.StaticHintResult(res.Trace, res.Analysis, 0.5, 0.9),
-			loose:  dip.StaticHintResult(res.Trace, res.Analysis, 0.5, 0.5),
-			dyn:    dyn,
-		}, nil
+		dyn, err := w.EvalPredictor(name, dip.Spec{Flavor: dip.FlavorCFI, Config: cfg})
+		if err != nil {
+			return trio{}, err
+		}
+		return trio{strict: strict, loose: loose, dyn: dyn}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -32,17 +32,22 @@ func (w *Workspace) E18(ctx context.Context) (*Experiment, error) {
 		at   []float64 // one per window size
 	}
 	results, err := overSuite(ctx, w, func(name string) (row, error) {
-		res, err := w.ProfileOf(name)
+		var r row
+		// The windowed analysis reads the trace, so the profile stays
+		// pinned (no eviction) for the duration.
+		err := w.WithProfile(name, func(res *ProfileResult) error {
+			r.full = res.Summary.DeadFraction()
+			for _, win := range windows {
+				f, err := windowedDeadFraction(res.Trace, win)
+				if err != nil {
+					return err
+				}
+				r.at = append(r.at, f)
+			}
+			return nil
+		})
 		if err != nil {
 			return row{}, err
-		}
-		r := row{full: res.Summary.DeadFraction()}
-		for _, win := range windows {
-			f, err := windowedDeadFraction(res.Trace, win)
-			if err != nil {
-				return row{}, err
-			}
-			r.at = append(r.at, f)
 		}
 		return r, nil
 	})

@@ -7,38 +7,74 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/compiler"
+	"repro/internal/dip"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/program"
 	"repro/internal/workload"
 )
 
-// Counter names the workspace reports through its metrics collector.
+// Artifact kinds the workspace derives. They form a small DAG: a compiled
+// program feeds a profile (emulated + linked + analyzed trace), which
+// feeds predictor evaluations and machine runs. Every kind is addressed
+// by a canonical digest of its full input spec, so two experiments asking
+// for the same computation share one artifact regardless of which asked
+// first.
 const (
-	// CounterProfileBuilds counts benchmark profiles built from scratch
-	// (compile + emulate + link + analyze).
-	CounterProfileBuilds = "profile_builds"
-	// CounterProfileMemoHits counts profile requests served from the memo.
-	CounterProfileMemoHits = "profile_memo_hits"
-	// CounterMachineSims counts pipeline simulations actually executed.
-	CounterMachineSims = "machine_sims"
-	// CounterMachineMemoHits counts machine runs served from the memo: a
-	// (benchmark, config-digest) pair another experiment already simulated.
-	CounterMachineMemoHits = "machine_memo_hits"
+	// KindProgram is a compiled benchmark: (benchmark, compile options).
+	KindProgram artifact.Kind = "program"
+	// KindProfile is an emulated + analyzed trace with its summaries:
+	// (benchmark, budget, compile options).
+	KindProfile artifact.Kind = "profile"
+	// KindPredEval is one trace-level predictor evaluation: (benchmark,
+	// budget, canonical dip.Spec digest).
+	KindPredEval artifact.Kind = "predeval"
+	// KindMachine is one pipeline simulation: (benchmark, budget,
+	// canonical pipeline.Config digest).
+	KindMachine artifact.Kind = "machine"
 )
 
-// Workspace caches per-benchmark traces, oracle analyses, and machine
-// simulations so the experiment drivers can run many machine
-// configurations over the same inputs without re-emulating or
-// re-simulating. It is safe for concurrent use: each benchmark's profile
-// and each (benchmark, machine-configuration) simulation is built exactly
-// once, and all heavy work is bounded by the workspace pool.
+// Counter names the workspace reports through its metrics collector.
+// They alias the artifact store's per-kind counters: a "build" is a
+// cache miss, a "memo hit" is a cache hit (including waiting on an
+// in-flight build, so hits+misses is schedule-independent).
+const (
+	// CounterProfileBuilds counts benchmark profiles built from scratch
+	// (emulate + link + analyze).
+	CounterProfileBuilds = "artifact_misses." + string(KindProfile)
+	// CounterProfileMemoHits counts profile requests served from the
+	// artifact store.
+	CounterProfileMemoHits = "artifact_hits." + string(KindProfile)
+	// CounterMachineSims counts pipeline simulations actually executed.
+	CounterMachineSims = "artifact_misses." + string(KindMachine)
+	// CounterMachineMemoHits counts machine runs served from the store: a
+	// (benchmark, config-digest) pair another experiment already simulated.
+	CounterMachineMemoHits = "artifact_hits." + string(KindMachine)
+)
+
+// Workspace derives per-benchmark programs, traces, oracle analyses,
+// predictor evaluations, and machine simulations through a
+// content-addressed artifact store, so the experiment drivers can run
+// many machine configurations over the same inputs without re-emulating
+// or re-simulating. It is safe for concurrent use: each artifact is
+// built exactly once (single-flight), and all heavy work is bounded by
+// the workspace pool.
 type Workspace struct {
 	Budget int
-	// Metrics, when non-nil, receives phase timings and memoization
+	// Metrics, when non-nil, receives phase timings and artifact-cache
 	// counters. Set it before first use; a nil collector disables
 	// collection at zero cost.
 	Metrics *metrics.Collector
+
+	// CacheBudget, when positive, bounds the resident bytes of unpinned
+	// artifacts: the least-recently-used artifacts beyond the budget are
+	// evicted (profiles return their pooled trace chunks) and rebuilt
+	// deterministically on the next request. Zero means no eviction.
+	// Set it before first use.
+	CacheBudget int64
 
 	// Timeout bounds each experiment attempt with a deadline that
 	// propagates through the pool fan-out (0 = none).
@@ -51,29 +87,46 @@ type Workspace struct {
 	// experiment instead of cancelling the whole run.
 	KeepGoing bool
 
-	mu       sync.Mutex
-	profiles map[string]*profileEntry
-	machines map[machineKey]*machineEntry
-	pool     *Pool
+	mu    sync.Mutex
+	store *artifact.Store
+	pool  *Pool
 }
 
-type profileEntry struct {
-	once sync.Once
-	res  *ProfileResult
-	err  error
+// programSpec keys a compiled-program artifact. Opts marshals by content
+// (nil means the workload's own options), matching Profile.Compile.
+type programSpec struct {
+	Bench string
+	Opts  *compiler.Options `json:",omitempty"`
 }
 
-// machineKey identifies one memoized simulation: a benchmark run on one
-// canonical machine configuration.
-type machineKey struct {
-	bench  string
-	digest string
+// profileSpec keys a profile artifact.
+type profileSpec struct {
+	Bench  string
+	Budget int
+	Opts   *compiler.Options `json:",omitempty"`
 }
 
-type machineEntry struct {
-	once sync.Once
-	st   pipeline.Stats
-	err  error
+// predEvalSpec keys a predictor-evaluation artifact. The predictor
+// itself contributes through the canonical dip.Spec digest, so the two
+// digest schemes compose and cannot drift.
+type predEvalSpec struct {
+	Bench      string
+	Budget     int
+	SpecDigest string
+}
+
+// machineSpec keys a machine-run artifact via the canonical
+// pipeline.Config digest.
+type machineSpec struct {
+	Bench        string
+	Budget       int
+	ConfigDigest string
+}
+
+// compiledProgram is the program-artifact value.
+type compiledProgram struct {
+	Prog  *program.Program
+	Stats compiler.PassStats
 }
 
 // NewWorkspace creates a workspace with the given per-benchmark dynamic
@@ -89,10 +142,8 @@ func NewWorkspaceWorkers(budget, workers int) *Workspace {
 		budget = DefaultBudget
 	}
 	return &Workspace{
-		Budget:   budget,
-		profiles: make(map[string]*profileEntry),
-		machines: make(map[machineKey]*machineEntry),
-		pool:     NewPool(workers),
+		Budget: budget,
+		pool:   NewPool(workers),
 	}
 }
 
@@ -106,61 +157,124 @@ func (w *Workspace) Pool() *Pool {
 	return w.pool
 }
 
-// ProfileOf returns the cached trace-level analysis of a suite benchmark,
-// building it on first use. Only successes and deterministic (permanent)
-// failures are memoized: an entry that fails transiently — an injected
-// fault, a cancelled context — is evicted so a later attempt rebuilds it,
-// which is what makes engine-level retry effective. A panicking build is
-// converted to an error rather than poisoning the entry.
-func (w *Workspace) ProfileOf(name string) (*ProfileResult, error) {
+// artifacts returns the workspace's artifact store, creating it on first
+// use. The collector reference is refreshed on every access so a
+// Metrics field assigned after construction still receives the store's
+// counters.
+func (w *Workspace) artifacts() *artifact.Store {
 	w.mu.Lock()
-	if w.profiles == nil {
-		w.profiles = make(map[string]*profileEntry)
+	defer w.mu.Unlock()
+	if w.store == nil {
+		w.store = artifact.New(w.CacheBudget)
+		// Only successes and deterministic (permanent) failures are
+		// memoized: an artifact that fails transiently — an injected
+		// fault, a cancelled context — is forgotten so a later attempt
+		// rebuilds it, which is what makes engine-level retry effective.
+		w.store.MemoErr = func(err error) bool { return !evictable(err) }
 	}
-	e, ok := w.profiles[name]
-	if !ok {
-		e = &profileEntry{}
-		w.profiles[name] = e
-	}
-	w.mu.Unlock()
-
-	built := false
-	e.once.Do(func() {
-		built = true
-		e.res, e.err = w.buildProfile(name)
-	})
-	if !built {
-		w.Metrics.Add(CounterProfileMemoHits, 1)
-	}
-	if e.err != nil && evictable(e.err) {
-		w.mu.Lock()
-		if w.profiles[name] == e {
-			delete(w.profiles, name)
-		}
-		w.mu.Unlock()
-	}
-	return e.res, e.err
+	w.store.SetMetrics(w.Metrics)
+	return w.store
 }
 
-// buildProfile runs one memoized profile build with panic containment.
-func (w *Workspace) buildProfile(name string) (res *ProfileResult, err error) {
+// ArtifactStats snapshots the workspace's artifact-cache counters and
+// residency for run reports.
+func (w *Workspace) ArtifactStats() artifact.Stats {
+	return w.artifacts().Stats()
+}
+
+// programOf returns the compiled program artifact for a benchmark. The
+// value is plain GC-managed data, so it needs no pinning.
+func (w *Workspace) programOf(name string, opts *compiler.Options) (compiledProgram, error) {
+	key := artifact.Key{Kind: KindProgram, Digest: artifact.Digest(programSpec{name, opts})}
+	cp, release, err := artifact.Get(w.artifacts(), key, func() (compiledProgram, int64, error) {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return compiledProgram{}, 0, err
+		}
+		sp := w.Metrics.Start(metrics.PhaseCompile, name)
+		prog, passStats, err := p.Compile(opts)
+		sp.End(0)
+		if err != nil {
+			return compiledProgram{}, 0, err
+		}
+		return compiledProgram{prog, passStats}, programSize(prog), nil
+	})
+	release()
+	return cp, err
+}
+
+func programSize(p *program.Program) int64 {
+	const instBytes = 8 // isa.Inst: Op/Rd/Rs1/Rs2 uint8 + Imm int32
+	return int64(cap(p.Insts)*instBytes + cap(p.Prov) + cap(p.Data))
+}
+
+// profileFor fetches (building on miss) the profile artifact for one
+// benchmark and compile-option override, returning it pinned: the trace
+// cannot be evicted until the release function runs.
+func (w *Workspace) profileFor(name string, opts *compiler.Options) (*ProfileResult, func(), error) {
+	key := artifact.Key{Kind: KindProfile, Digest: artifact.Digest(profileSpec{name, w.Budget, opts})}
+	return artifact.Get(w.artifacts(), key, func() (*ProfileResult, int64, error) {
+		return w.buildProfile(name, opts)
+	})
+}
+
+// ProfileOf returns the trace-level analysis of a suite benchmark,
+// building it on first use. The result is returned unpinned: the
+// GC-managed fields (Summary, Locality, Analysis, PassStats, Prog) stay
+// valid indefinitely, but Trace may be recycled once a cache budget is
+// set — callers that read the trace must use WithProfile instead.
+func (w *Workspace) ProfileOf(name string) (*ProfileResult, error) {
+	res, release, err := w.profileFor(name, nil)
+	release()
+	return res, err
+}
+
+// ProfileWithOptions is ProfileOf with an explicit compile-option
+// override (nil means the workload's own options); variant compilations
+// (E3, E12) are distinct artifacts keyed by their options. The unpinned
+// contract of ProfileOf applies.
+func (w *Workspace) ProfileWithOptions(name string, opts *compiler.Options) (*ProfileResult, error) {
+	res, release, err := w.profileFor(name, opts)
+	release()
+	return res, err
+}
+
+// WithProfile runs fn with the benchmark's profile pinned: the trace is
+// guaranteed resident (not evicted, chunks not recycled) until fn
+// returns. Use it for any consumer that reads res.Trace.
+func (w *Workspace) WithProfile(name string, fn func(*ProfileResult) error) error {
+	res, release, err := w.profileFor(name, nil)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return fn(res)
+}
+
+// buildProfile runs one profile build with panic containment. The panic
+// is converted to an error here, inside the build, so the store memoizes
+// it like any other deterministic failure.
+func (w *Workspace) buildProfile(name string, opts *compiler.Options) (res *ProfileResult, size int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, recoveredError(fmt.Sprintf("core: profiling %s panicked", name), r)
+			res, size, err = nil, 0, recoveredError(fmt.Sprintf("core: profiling %s panicked", name), r)
 		}
 	}()
 	if err := faults.Fire(faults.SiteWorkspaceMemo); err != nil {
-		return nil, fmt.Errorf("core: profiling %s: %w", name, err)
+		return nil, 0, fmt.Errorf("core: profiling %s: %w", name, err)
 	}
-	p, err := workload.ByName(name)
+	cp, err := w.programOf(name, opts)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	w.Metrics.Add(CounterProfileBuilds, 1)
-	return profileWith(p, nil, w.Budget, w.Metrics)
+	res, err = profileProgramWith(name, cp.Prog, cp.Stats, w.Budget, w.Metrics)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, res.SizeBytes(), nil
 }
 
-// evictable reports whether a memo entry's failure should be forgotten so
+// evictable reports whether an artifact's failure should be forgotten so
 // the work can be re-attempted: transient faults and context cancellation
 // or expiry (a run aborted mid-build must not poison the next run).
 // Deterministic failures stay memoized — rebuilding would just fail again.
@@ -169,77 +283,93 @@ func evictable(err error) bool {
 		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// RunMachine simulates one benchmark on one machine configuration. Runs
-// are memoized by (benchmark, canonical configuration digest): sweeps and
-// elim-off/on pairs shared across experiments simulate exactly once, and
-// repeats are served from the memo (counted by CounterMachineMemoHits).
-// The simulation itself runs on the calling goroutine — callers fanning
-// out should do so through the workspace pool.
-func (w *Workspace) RunMachine(name string, cfg pipeline.Config) (pipeline.Stats, error) {
-	key := machineKey{bench: name, digest: cfg.Digest()}
-	w.mu.Lock()
-	if w.machines == nil {
-		w.machines = make(map[machineKey]*machineEntry)
+// EvalPredictor runs one predictor evaluation — any registered flavor —
+// over a benchmark's trace, served from the predictor-evaluation
+// artifact: specs canonicalize before digesting, so e.g. the default
+// CFI point requested by E5, E6, and E11 evaluates once.
+func (w *Workspace) EvalPredictor(name string, spec dip.Spec) (dip.Result, error) {
+	spec = spec.Canonical()
+	pred, err := spec.New()
+	if err != nil {
+		return dip.Result{}, err
 	}
-	e, ok := w.machines[key]
-	if !ok {
-		e = &machineEntry{}
-		w.machines[key] = e
-	}
-	w.mu.Unlock()
-
-	simulated := false
-	e.once.Do(func() {
-		simulated = true
-		e.st, e.err = w.simulate(name, cfg)
+	key := artifact.Key{Kind: KindPredEval, Digest: artifact.Digest(predEvalSpec{name, w.Budget, spec.Digest()})}
+	r, release, err := artifact.Get(w.artifacts(), key, func() (dip.Result, int64, error) {
+		return w.buildPredEval(name, spec, pred)
 	})
-	if !simulated {
-		w.Metrics.Add(CounterMachineMemoHits, 1)
-	}
-	if e.err != nil && evictable(e.err) {
-		w.mu.Lock()
-		if w.machines[key] == e {
-			delete(w.machines, key)
-		}
-		w.mu.Unlock()
-	}
-	return e.st, e.err
+	release()
+	return r, err
 }
 
-func (w *Workspace) simulate(name string, cfg pipeline.Config) (st pipeline.Stats, err error) {
+// predEvalSize is the flat footprint charged per evaluation result.
+const predEvalSize = int64(128)
+
+func (w *Workspace) buildPredEval(name string, spec dip.Spec, pred dip.Predictor) (res dip.Result, size int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			st, err = pipeline.Stats{}, recoveredError(fmt.Sprintf("core: simulating %s panicked", name), r)
+			res, size, err = dip.Result{}, 0,
+				recoveredError(fmt.Sprintf("core: evaluating %s on %s panicked", spec.Label(), name), r)
+		}
+	}()
+	if err := faults.Fire(faults.SiteWorkspaceMemo); err != nil {
+		return dip.Result{}, 0, fmt.Errorf("core: evaluating %s on %s: %w", spec.Label(), name, err)
+	}
+	err = w.WithProfile(name, func(p *ProfileResult) error {
+		sp := w.Metrics.Start("predict", name+" "+spec.Label())
+		r, eerr := pred.Evaluate(p.Trace, p.Analysis)
+		sp.End(int64(p.Trace.Len()))
+		res = r
+		return eerr
+	})
+	if err != nil {
+		return dip.Result{}, 0, err
+	}
+	return res, predEvalSize, nil
+}
+
+// RunMachine simulates one benchmark on one machine configuration,
+// served from the machine-run artifact keyed by (benchmark, canonical
+// configuration digest): sweeps and elim-off/on pairs shared across
+// experiments simulate exactly once, and repeats are served from the
+// store (counted by CounterMachineMemoHits). The simulation itself runs
+// on the calling goroutine — callers fanning out should do so through
+// the workspace pool.
+func (w *Workspace) RunMachine(name string, cfg pipeline.Config) (pipeline.Stats, error) {
+	key := artifact.Key{Kind: KindMachine, Digest: artifact.Digest(machineSpec{name, w.Budget, cfg.Digest()})}
+	st, release, err := artifact.Get(w.artifacts(), key, func() (pipeline.Stats, int64, error) {
+		return w.simulate(name, cfg)
+	})
+	release()
+	return st, err
+}
+
+// machineStatsSize is the flat footprint charged per simulation result.
+const machineStatsSize = int64(512)
+
+func (w *Workspace) simulate(name string, cfg pipeline.Config) (st pipeline.Stats, size int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, size, err = pipeline.Stats{}, 0,
+				recoveredError(fmt.Sprintf("core: simulating %s panicked", name), r)
 		}
 	}()
 	if err := faults.Fire(faults.SiteSimulate); err != nil {
-		return pipeline.Stats{}, fmt.Errorf("core: simulating %s: %w", name, err)
+		return pipeline.Stats{}, 0, fmt.Errorf("core: simulating %s %s: %w", name, cfg.Label(), err)
 	}
-	res, err := w.ProfileOf(name)
+	err = w.WithProfile(name, func(res *ProfileResult) error {
+		sp := w.Metrics.Start(metrics.PhaseSimulate, fmt.Sprintf("%s %s", name, cfg.Label()))
+		s, serr := pipeline.Run(res.Trace, res.Analysis, cfg)
+		sp.End(int64(res.Trace.Len()))
+		if serr != nil {
+			return fmt.Errorf("core: simulating %s: %w", name, serr)
+		}
+		st = s
+		return nil
+	})
 	if err != nil {
-		return pipeline.Stats{}, err
+		return pipeline.Stats{}, 0, err
 	}
-	w.Metrics.Add(CounterMachineSims, 1)
-	sp := w.Metrics.Start(metrics.PhaseSimulate, fmt.Sprintf("%s %s", name, cfgLabel(cfg)))
-	st, err = pipeline.Run(res.Trace, res.Analysis, cfg)
-	sp.End(int64(res.Trace.Len()))
-	if err != nil {
-		return pipeline.Stats{}, fmt.Errorf("core: simulating %s: %w", name, err)
-	}
-	return st, nil
-}
-
-// cfgLabel is the short human-readable form of a machine configuration
-// used in verbose progress lines.
-func cfgLabel(cfg pipeline.Config) string {
-	mode := "base"
-	switch {
-	case cfg.OracleElim:
-		mode = "oracle"
-	case cfg.Elim:
-		mode = "elim"
-	}
-	return fmt.Sprintf("%s r%d [%s]", mode, cfg.PhysRegs, cfg.Digest()[:8])
+	return st, machineStatsSize, nil
 }
 
 // SuiteNames returns the benchmark names in suite order.

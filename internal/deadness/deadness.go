@@ -99,6 +99,12 @@ type Analysis struct {
 // Candidates counts the records with defined deadness.
 func (a *Analysis) Candidates() int { return a.candidates }
 
+// SizeBytes estimates the memory the analysis retains (its per-record
+// fact arrays), for artifact-cache byte accounting.
+func (a *Analysis) SizeBytes() int64 {
+	return int64(cap(a.Kind) + cap(a.Candidate) + cap(a.EverRead) + cap(a.Resolve)*4)
+}
+
 // isRoot reports usefulness roots: instructions whose execution matters
 // regardless of any produced value.
 func isRoot(op isa.Op) bool {

@@ -18,6 +18,9 @@
 package dip
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 )
 
@@ -123,6 +126,20 @@ func (c Config) Name() string {
 		kind, (1<<c.LogSets)*c.Ways, c.Ways, c.PathLen, c.SigSlots, c.Threshold)
 }
 
+// Digest returns a canonical fingerprint of the geometry: two configs
+// describing the same predictor produce equal digests. It composes into
+// pipeline.Config.Digest and the experiment workspace's artifact keys.
+func (c Config) Digest() string {
+	// Every field is a plain exported int, so JSON is a stable canonical
+	// encoding (the same convention as pipeline.Config.Digest).
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("dip: config not digestible: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
 // SweepConfigs returns the state-budget design points of experiment E7:
 // the default geometry scaled from 64 to 2048 entries (~0.4 to 13.8 KB).
 func SweepConfigs() []Config {
@@ -156,8 +173,11 @@ type entry struct {
 	slots []slot
 }
 
-// Predictor is a dead-instruction predictor instance. Create with New.
-type Predictor struct {
+// Table is the hardware dead-instruction predictor structure: the tagged
+// set-associative table of dead-path signatures. Create with New. The
+// trace-level evaluation flavors that drive it (and its baselines) live
+// behind the Predictor interface.
+type Table struct {
 	cfg     Config
 	sets    [][]entry
 	setMask uint32
@@ -175,12 +195,12 @@ type Predictor struct {
 // *ConfigError instead of panicking: geometry is routinely user input
 // (sweep flags, experiment configs), so the caller must be able to
 // handle it.
-func New(cfg Config) (*Predictor, error) {
+func New(cfg Config) (*Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	nsets := 1 << cfg.LogSets
-	p := &Predictor{
+	p := &Table{
 		cfg:     cfg,
 		sets:    make([][]entry, nsets),
 		setMask: uint32(nsets - 1),
@@ -198,15 +218,15 @@ func New(cfg Config) (*Predictor, error) {
 }
 
 // Config returns the predictor's configuration.
-func (p *Predictor) Config() Config { return p.cfg }
+func (p *Table) Config() Config { return p.cfg }
 
-func (p *Predictor) index(pc int) (set uint32, tag uint32) {
+func (p *Table) index(pc int) (set uint32, tag uint32) {
 	set = uint32(pc) & p.setMask
 	tag = (uint32(pc) >> p.cfg.LogSets) & (1<<p.cfg.TagBits - 1)
 	return
 }
 
-func (p *Predictor) find(pc int) *entry {
+func (p *Table) find(pc int) *entry {
 	set, tag := p.index(pc)
 	for w := range p.sets[set] {
 		e := &p.sets[set][w]
@@ -220,7 +240,7 @@ func (p *Predictor) find(pc int) *entry {
 // Predict returns true when the instruction at pc, on the future path
 // described by sig, is predicted dead. Predict does not modify predictor
 // state except the LRU stamp of a hit entry.
-func (p *Predictor) Predict(pc int, sig uint16) bool {
+func (p *Table) Predict(pc int, sig uint16) bool {
 	e := p.find(pc)
 	if e == nil {
 		return false
@@ -245,7 +265,7 @@ func (p *Predictor) Predict(pc int, sig uint16) bool {
 // always-live instructions consume no table space. Within an entry, a dead
 // outcome reinforces (or allocates) the matching signature slot; a live
 // outcome decays the matching slot if present and is otherwise ignored.
-func (p *Predictor) Update(pc int, sig uint16, dead bool) {
+func (p *Table) Update(pc int, sig uint16, dead bool) {
 	sig &= p.sigMask
 	e := p.find(pc)
 	if e == nil {
@@ -284,7 +304,7 @@ func (p *Predictor) Update(pc int, sig uint16, dead bool) {
 	*victim = slot{valid: true, sig: sig, ctr: 1}
 }
 
-func (p *Predictor) allocate(pc int) *entry {
+func (p *Table) allocate(pc int) *entry {
 	set, tag := p.index(pc)
 	ways := p.sets[set]
 	victim := &ways[0]
@@ -311,7 +331,7 @@ func (p *Predictor) allocate(pc int) *entry {
 }
 
 // Reset clears all predictor state but keeps the configuration.
-func (p *Predictor) Reset() {
+func (p *Table) Reset() {
 	for s := range p.sets {
 		for w := range p.sets[s] {
 			e := &p.sets[s][w]

@@ -7,7 +7,7 @@ import (
 	"testing/quick"
 )
 
-func mustNew(t testing.TB, cfg Config) *Predictor {
+func mustNew(t testing.TB, cfg Config) *Table {
 	t.Helper()
 	p, err := New(cfg)
 	if err != nil {

@@ -1,0 +1,148 @@
+package dip
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecCanonicalDedup(t *testing.T) {
+	cfg := DefaultConfig()
+
+	// The default direction predictor named explicitly is the same
+	// computation as leaving Dir empty.
+	implicit := Spec{Flavor: FlavorCFI, Config: cfg}
+	explicit := Spec{Flavor: FlavorCFI, Config: cfg, Dir: DefaultDirName}
+	if implicit.Digest() != explicit.Digest() {
+		t.Error("empty Dir and explicit default Dir digest differently")
+	}
+
+	// A CFI spec whose geometry disables path signatures is the counter
+	// flavor — one artifact, not two.
+	noCFI := cfg
+	noCFI.PathLen = 0
+	asCFI := Spec{Flavor: FlavorCFI, Config: noCFI}
+	asCounter := Spec{Flavor: FlavorCounter, Config: noCFI}
+	if asCFI.Digest() != asCounter.Digest() {
+		t.Error("cfi-with-PathLen-0 and counter digest differently")
+	}
+	if asCFI.Canonical().Flavor != FlavorCounter {
+		t.Errorf("cfi with PathLen 0 canonicalizes to %q, want counter", asCFI.Canonical().Flavor)
+	}
+
+	// The counter flavor ignores PathLen entirely.
+	withPath := Spec{Flavor: FlavorCounter, Config: cfg}
+	if withPath.Digest() != asCounter.Digest() {
+		t.Error("counter specs with different (ignored) PathLen digest differently")
+	}
+
+	// The static hint ignores the table geometry and direction predictor.
+	h1 := Spec{Flavor: FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 0.9, Config: cfg, Dir: "bimodal-4k"}
+	h2 := Spec{Flavor: FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 0.9}
+	if h1.Digest() != h2.Digest() {
+		t.Error("static-hint specs with different (ignored) table fields digest differently")
+	}
+}
+
+func TestSpecDigestCollisions(t *testing.T) {
+	cfg := DefaultConfig()
+	specs := []Spec{
+		{Flavor: FlavorCFI, Config: cfg},
+		{Flavor: FlavorCounter, Config: cfg},
+		{Flavor: FlavorOracle, Config: cfg},
+		{Flavor: FlavorCFI, Config: cfg, Dir: "bimodal-4k"},
+		{Flavor: FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 0.9},
+		{Flavor: FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 0.5},
+	}
+	seen := make(map[string]Spec)
+	for _, s := range specs {
+		d := s.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("distinct specs %+v and %+v share digest %s", prev, s, d[:8])
+		}
+		seen[d] = s
+	}
+
+	// Geometry changes must change the digest.
+	big := cfg
+	big.LogSets++
+	if (Spec{Flavor: FlavorCFI, Config: big}).Digest() == (Spec{Flavor: FlavorCFI, Config: cfg}).Digest() {
+		t.Error("different geometries share a digest")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	good := []Spec{
+		{Flavor: FlavorCFI, Config: cfg},
+		{Flavor: FlavorOracle, Config: cfg, Dir: "tournament-4k"},
+		{Flavor: FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 0.9},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("valid spec %+v rejected: %v", s, err)
+		}
+		if _, err := s.New(); err != nil {
+			t.Errorf("valid spec %+v not buildable: %v", s, err)
+		}
+	}
+
+	bad := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Flavor: "nope", Config: cfg}, "unknown predictor flavor"},
+		{Spec{Flavor: FlavorCFI}, ""}, // zero geometry: Config.Validate error
+		{Spec{Flavor: FlavorCFI, Config: cfg, Dir: "no-such-dir"}, "no-such-dir"},
+		{Spec{Flavor: FlavorStaticHint, TrainFrac: 0, HintThreshold: 0.5}, "training fraction"},
+		{Spec{Flavor: FlavorStaticHint, TrainFrac: 1.5, HintThreshold: 0.5}, "training fraction"},
+		{Spec{Flavor: FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 1.5}, "threshold"},
+	}
+	for _, tc := range bad {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("invalid spec %+v accepted", tc.spec)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %+v: error %q does not mention %q", tc.spec, err, tc.want)
+		}
+		if _, nerr := tc.spec.New(); nerr == nil {
+			t.Errorf("invalid spec %+v buildable by New", tc.spec)
+		}
+	}
+}
+
+func TestFlavorsRegistry(t *testing.T) {
+	want := []string{FlavorCFI, FlavorCounter, FlavorOracle, FlavorStaticHint}
+	got := Flavors()
+	if len(got) != len(want) {
+		t.Fatalf("Flavors() = %v, want %d entries", got, len(want))
+	}
+	have := make(map[string]bool)
+	for _, f := range got {
+		have[f] = true
+	}
+	for _, f := range want {
+		if !have[f] {
+			t.Errorf("flavor %q missing from registry", f)
+		}
+	}
+}
+
+func TestSpecLabels(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Flavor: FlavorCFI, Config: cfg}, cfg.Name()},
+		{Spec{Flavor: FlavorOracle, Config: cfg}, cfg.Name() + "-oracle"},
+		{Spec{Flavor: FlavorCFI, Config: cfg, Dir: "bimodal-4k"}, cfg.Name() + "+bimodal-4k"},
+		{Spec{Flavor: FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 0.9}, "statichint-f0.5-t0.9"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.Label(); got != tc.want {
+			t.Errorf("Label(%+v) = %q, want %q", tc.spec, got, tc.want)
+		}
+	}
+}

@@ -155,17 +155,42 @@ func ContendedConfig() Config {
 
 // Digest returns a canonical fingerprint of the configuration: two
 // configs describing the same machine (including a dereferenced L2 and
-// the predictor geometry) produce equal digests, which makes it usable as
-// a memoization key for simulation results.
+// the predictor geometry) produce equal digests. It is THE memoization /
+// artifact-cache key for simulation results, and the digest every
+// human-facing label derives from (see Label), so cache keys, fault
+// attribution, and verbose logs can never drift apart.
 func (c Config) Digest() string {
 	// Every field is a plain exported value (the L2 pointer marshals by
-	// content, nil as null), so JSON is a stable canonical encoding.
-	b, err := json.Marshal(c)
+	// content, nil as null), so JSON is a stable canonical encoding. The
+	// predictor geometry contributes through its own canonical digest
+	// rather than raw re-serialization, so the two digest schemes compose
+	// and cannot diverge.
+	shadow := struct {
+		Machine Config
+		DIP     string
+	}{Machine: c, DIP: c.DIP.Digest()}
+	shadow.Machine.DIP = dip.Config{}
+	b, err := json.Marshal(shadow)
 	if err != nil {
 		panic(fmt.Sprintf("pipeline: config not digestible: %v", err))
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// Label is the short human-readable form of the configuration used in
+// verbose progress lines and error attribution: the elimination mode, the
+// register-file size (the main contention knob the experiments sweep),
+// and a digest prefix tying the label to the canonical cache key.
+func (c Config) Label() string {
+	mode := "base"
+	switch {
+	case c.OracleElim:
+		mode = "oracle"
+	case c.Elim:
+		mode = "elim"
+	}
+	return fmt.Sprintf("%s r%d [%s]", mode, c.PhysRegs, c.Digest()[:8])
 }
 
 // Validate reports configuration errors.

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cache"
@@ -43,5 +44,46 @@ func TestConfigDigestCanonical(t *testing.T) {
 	}
 	if e.Digest() == ContendedConfig().Digest() {
 		t.Error("nil and non-nil L2 share a digest")
+	}
+}
+
+// TestConfigDigestComposesDIP pins the composition rule: the machine
+// digest incorporates the predictor geometry through dip.Config.Digest,
+// so a DIP change — and only a DIP change — must change the machine
+// digest exactly when the predictor digest changes.
+func TestConfigDigestComposesDIP(t *testing.T) {
+	a := BaselineConfig()
+	b := BaselineConfig()
+	b.DIP.Threshold++
+	if a.DIP.Digest() == b.DIP.Digest() {
+		t.Fatal("different predictor geometries share a dip digest")
+	}
+	if a.Digest() == b.Digest() {
+		t.Error("a DIP geometry change did not change the machine digest")
+	}
+	b.DIP = a.DIP
+	if a.Digest() != b.Digest() {
+		t.Error("equal configs digest differently after DIP round-trip")
+	}
+}
+
+// TestConfigLabelTiedToDigest: the human-readable label embeds a prefix
+// of the canonical digest, so verbose logs and fault attributions can be
+// matched to cache keys and never drift to a separate naming scheme.
+func TestConfigLabelTiedToDigest(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		mode string
+	}{
+		{BaselineConfig(), "base"},
+		{func() Config { c := ContendedConfig(); c.Elim = true; return c }(), "elim"},
+		{func() Config { c := ContendedConfig(); c.Elim = true; c.OracleElim = true; return c }(), "oracle"},
+	}
+	for _, tc := range cases {
+		label := tc.cfg.Label()
+		want := fmt.Sprintf("%s r%d [%s]", tc.mode, tc.cfg.PhysRegs, tc.cfg.Digest()[:8])
+		if label != want {
+			t.Errorf("Label() = %q, want %q", label, want)
+		}
 	}
 }

@@ -56,7 +56,7 @@ type Machine struct {
 	dc   *cache.Cache // L1 (statistics source)
 	mem  memSystem    // access path: the L1 alone or an L1+L2 hierarchy
 	l2   *cache.Cache
-	pred *dip.Predictor
+	pred *dip.Table
 
 	// Reorder buffer as a ring keyed by sequence number. Slots are values
 	// in a fixed arena indexed seq%ROBSize, so renaming an instruction

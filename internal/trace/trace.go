@@ -294,6 +294,26 @@ func (t *Trace) NumChunks() int {
 // Chunk returns chunk i for sequential column scans.
 func (t *Trace) Chunk(i int) *Chunk { return t.chunks[i] }
 
+// SizeBytes estimates the memory the trace retains: the capacity of every
+// column arena across its chunks. Cache layers use it to account resident
+// artifacts against a byte budget, so it reflects what Release would give
+// back (plus what the GC could reclaim for unpooled chunks).
+func (t *Trace) SizeBytes() int64 {
+	var n int64
+	for _, c := range t.chunks {
+		n += c.sizeBytes()
+	}
+	return n
+}
+
+// sizeBytes is the capacity footprint of one chunk's column arenas.
+func (c *Chunk) sizeBytes() int64 {
+	hot := cap(c.PC)*4 + cap(c.Op) + cap(c.Rd) + cap(c.Rs1) + cap(c.Rs2) +
+		cap(c.Taken) + cap(c.NextPC)*4 + cap(c.Src1)*4 + cap(c.Src2)*4 + cap(c.MemIdx)*4
+	side := cap(c.Addr)*8 + cap(c.Width) + cap(c.srcOff)*4 + cap(c.srcLen) + cap(c.memSrcs)*4
+	return int64(hot + side)
+}
+
 // Append adds a record (unlinked).
 func (t *Trace) Append(r Record) { t.append(&r) }
 
@@ -362,15 +382,15 @@ func (t *Trace) Ref(seq int) Ref {
 	return Ref{t.chunks[seq>>ChunkBits], int32(seq & chunkMask)}
 }
 
-func (r Ref) PC() int32      { return r.c.PC[r.i] }
-func (r Ref) Op() isa.Op     { return r.c.Op[r.i] }
-func (r Ref) Rd() isa.Reg    { return r.c.Rd[r.i] }
-func (r Ref) Rs1() isa.Reg   { return r.c.Rs1[r.i] }
-func (r Ref) Rs2() isa.Reg   { return r.c.Rs2[r.i] }
-func (r Ref) Taken() bool    { return r.c.Taken[r.i] }
-func (r Ref) NextPC() int32  { return r.c.NextPC[r.i] }
-func (r Ref) Src1() int32    { return r.c.Src1[r.i] }
-func (r Ref) Src2() int32    { return r.c.Src2[r.i] }
+func (r Ref) PC() int32     { return r.c.PC[r.i] }
+func (r Ref) Op() isa.Op    { return r.c.Op[r.i] }
+func (r Ref) Rd() isa.Reg   { return r.c.Rd[r.i] }
+func (r Ref) Rs1() isa.Reg  { return r.c.Rs1[r.i] }
+func (r Ref) Rs2() isa.Reg  { return r.c.Rs2[r.i] }
+func (r Ref) Taken() bool   { return r.c.Taken[r.i] }
+func (r Ref) NextPC() int32 { return r.c.NextPC[r.i] }
+func (r Ref) Src1() int32   { return r.c.Src1[r.i] }
+func (r Ref) Src2() int32   { return r.c.Src2[r.i] }
 
 // Addr returns the memory address of a load or store (0 otherwise).
 func (r Ref) Addr() uint64 {
