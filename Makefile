@@ -32,14 +32,14 @@ chaos:
 
 # SUBSTRATE_BENCHES are the per-substrate throughput benchmarks tracked in
 # the committed BENCH_*.json reports: emulator, fused oracle (plus its
-# legacy two-pass comparison), pipeline timing model, and the full
-# experiment engine.
-SUBSTRATE_BENCHES = ^(BenchmarkEmulator|BenchmarkCollectAnalyzed|BenchmarkDeadnessOracle|BenchmarkDeadnessOracleLegacy|BenchmarkPipeline|BenchmarkEngineAllExperiments)$$
+# legacy two-pass comparison), the analyze shard-count sweep, pipeline
+# timing model, and the full experiment engine.
+SUBSTRATE_BENCHES = ^(BenchmarkEmulator|BenchmarkCollectAnalyzed|BenchmarkDeadnessOracle|BenchmarkDeadnessOracleLegacy|BenchmarkAnalyzeShards|BenchmarkPipeline|BenchmarkEngineAllExperiments)$$
 
 # BENCH_BASELINE is the committed report that bench-compare diffs against;
 # BENCH_TOL is the relative regression tolerance (benchmarks vary with
 # host hardware, so keep it loose).
-BENCH_BASELINE ?= BENCH_4.json
+BENCH_BASELINE ?= BENCH_6.json
 BENCH_TOL ?= 0.25
 
 # bench regenerates $(BENCH_BASELINE) from the substrate benchmarks (with

@@ -190,9 +190,10 @@ func BenchmarkDeadnessOracle(b *testing.B) {
 }
 
 // BenchmarkCollectAnalyzed measures the streaming emulate→analyze path
-// end to end: completed chunks flow through a bounded ring into the fused
-// oracle running concurrently one chunk behind the emulator, so the
-// combined cost approaches max(emulate, analyze) instead of their sum.
+// end to end: completed chunks feed the fused oracle — in-line on one
+// CPU, through the shard scheduler otherwise — as the emulator produces
+// them. Each iteration releases the trace, the real caller lifecycle, so
+// chunk arenas recycle through the pool instead of piling onto the GC.
 func BenchmarkCollectAnalyzed(b *testing.B) {
 	prog, err := asm.Assemble("bench", benchProgramSrc)
 	if err != nil {
@@ -206,8 +207,36 @@ func BenchmarkCollectAnalyzed(b *testing.B) {
 			b.Fatal(err)
 		}
 		insts = tr.Len()
+		tr.Release()
 	}
 	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkAnalyzeShards sweeps the sharded analyzer over a pre-collected
+// trace, isolating the analyze stage's scaling curve (forward shards +
+// boundary reconciliation + three-phase reverse). shards=1 still runs the
+// full sharded machinery, so the delta against BenchmarkDeadnessOracle is
+// the sharding overhead and the curve across counts is the parallel win.
+func BenchmarkAnalyzeShards(b *testing.B) {
+	prog, err := asm.Assemble("bench", benchProgramSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := emu.Collect(prog, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := deadness.LinkAndAnalyzeSharded(tr, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+		})
+	}
 }
 
 // BenchmarkDeadnessOracleLegacy measures the two-pass path (Link, then

@@ -1,11 +1,11 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // report, so benchmark numbers can be checked in and diffed across PRs
-// (see BENCH_4.json and the `make bench` / `make bench-compare` targets).
+// (see BENCH_6.json and the `make bench` / `make bench-compare` targets).
 //
 // Usage:
 //
-//	go test -bench Substrate -benchmem . | go run ./cmd/benchjson -o BENCH_4.json
-//	go test -bench Substrate -benchmem . | go run ./cmd/benchjson -compare BENCH_4.json -tol 0.25
+//	go test -bench Substrate -benchmem . | go run ./cmd/benchjson -o BENCH_6.json
+//	go test -bench Substrate -benchmem . | go run ./cmd/benchjson -compare BENCH_6.json -tol 0.25
 //
 // With -compare, the parsed report is diffed against a committed baseline
 // report: every shared (benchmark, metric) pair prints old, new, and the
@@ -27,6 +27,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -153,7 +155,7 @@ func metricDirection(unit string) int {
 
 // compareReports diffs the new report against the baseline file and
 // reports whether any directional metric regressed beyond tol.
-func compareReports(w *os.File, baselinePath string, rep report, tol float64) (bool, error) {
+func compareReports(w io.Writer, baselinePath string, rep report, tol float64) (bool, error) {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return false, err
@@ -170,7 +172,9 @@ func compareReports(w *os.File, baselinePath string, rep report, tol float64) (b
 	fmt.Fprintf(w, "comparison against %s (tolerance %.0f%%):\n", baselinePath, 100*tol)
 	fmt.Fprintf(w, "%-28s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	regressed := false
+	seen := make(map[string]bool, len(rep.Benchmarks))
 	for _, e := range rep.Benchmarks {
+		seen[e.Name] = true
 		b, ok := baseline[e.Name]
 		if !ok {
 			fmt.Fprintf(w, "%-28s (no baseline)\n", e.Name)
@@ -185,20 +189,65 @@ func compareReports(w *os.File, baselinePath string, rep report, tol float64) (b
 		sort.Strings(units)
 		for _, unit := range units {
 			oldV, newV := b.Metrics[unit], e.Metrics[unit]
-			var delta float64
-			if oldV != 0 {
-				delta = (newV - oldV) / oldV
+			dir := metricDirection(unit)
+			deltaCol, note := fmtDelta(oldV, newV, dir, tol)
+			if note != "" {
+				regressed = true
 			}
-			note := ""
-			if dir := metricDirection(unit); dir != 0 && oldV != 0 {
-				if worse := float64(dir) * -delta; worse > tol {
-					note = "  REGRESSION"
-					regressed = true
-				}
+			fmt.Fprintf(w, "%-28s %-12s %14.4g %14.4g %9s%s\n",
+				e.Name, unit, oldV, newV, deltaCol, note)
+		}
+		// Metrics the baseline had but the new run lost (e.g. a dropped
+		// -benchmem column) would otherwise vanish silently.
+		gone := make([]string, 0)
+		for unit := range b.Metrics {
+			if _, ok := e.Metrics[unit]; !ok {
+				gone = append(gone, unit)
 			}
-			fmt.Fprintf(w, "%-28s %-12s %14.4g %14.4g %+8.1f%%%s\n",
-				e.Name, unit, oldV, newV, 100*delta, note)
+		}
+		sort.Strings(gone)
+		for _, unit := range gone {
+			fmt.Fprintf(w, "%-28s %-12s %14.4g %14s %9s\n",
+				e.Name, unit, b.Metrics[unit], "-", "gone")
 		}
 	}
+	// Benchmarks present only in the baseline: surface them instead of
+	// silently comparing a shrunken suite against a full one.
+	missing := make([]string, 0)
+	for name := range baseline {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "%-28s (missing from new run)\n", name)
+	}
 	return regressed, nil
+}
+
+// fmtDelta renders the relative-change column and decides regression. A
+// zero (or non-finite) baseline has no meaningful relative delta — the
+// naive (new-old)/old is Inf or NaN — so those rows print "n/a" and are
+// judged by direction alone: appearing from zero on a lower-is-better
+// unit (say allocs/op climbing off 0) is a regression, while any growth
+// of a higher-is-better rate from zero is not.
+func fmtDelta(oldV, newV float64, dir int, tol float64) (col, note string) {
+	if math.IsNaN(oldV) || math.IsNaN(newV) || math.IsInf(oldV, 0) || math.IsInf(newV, 0) {
+		return "n/a", ""
+	}
+	if oldV == 0 {
+		if newV == 0 {
+			return "=", ""
+		}
+		if dir < 0 {
+			return "n/a", "  REGRESSION"
+		}
+		return "n/a", ""
+	}
+	delta := (newV - oldV) / oldV
+	if dir != 0 && float64(dir)*-delta > tol {
+		note = "  REGRESSION"
+	}
+	return fmt.Sprintf("%+8.1f%%", 100*delta), note
 }

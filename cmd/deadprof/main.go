@@ -33,6 +33,7 @@ func main() {
 	locality := flag.Bool("locality", false, "print static locality details")
 	mix := flag.Bool("mix", false, "print the dynamic instruction-class mix instead")
 	workers := flag.Int("j", 0, "max concurrently building profiles (0 = GOMAXPROCS)")
+	analyzeShards := flag.Int("analyze-shards", 0, "analyze-stage shard count (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the profiling runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -70,7 +71,7 @@ func main() {
 		if *regs >= 0 {
 			opts.NumRegs = *regs
 		}
-		res, err := core.Profile(p, &opts, *budget)
+		res, err := core.ProfileShards(p, &opts, *budget, *analyzeShards)
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.Name, err)
 		}

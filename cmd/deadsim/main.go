@@ -30,6 +30,7 @@ func main() {
 	regs := flag.Int("regs", 0, "override physical register count")
 	elim := flag.String("elim", "both", "off, on, or both")
 	workers := flag.Int("j", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
+	analyzeShards := flag.Int("analyze-shards", 0, "analyze-stage shard count (0 = GOMAXPROCS, 1 = serial)")
 	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulations to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -61,6 +62,7 @@ func main() {
 	}
 
 	w := core.NewWorkspaceWorkers(*budget, *workers)
+	w.AnalyzeShards = *analyzeShards
 	mc := metrics.New()
 	if *verbose {
 		mc.SetVerbose(os.Stderr)

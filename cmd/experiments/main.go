@@ -70,6 +70,7 @@ func run() int {
 	md := flag.Bool("md", false, "emit markdown sections (EXPERIMENTS.md body)")
 	asJSON := flag.Bool("json", false, "emit machine-readable metrics")
 	workers := flag.Int("j", 0, "max concurrently executing heavy tasks (0 = GOMAXPROCS)")
+	analyzeShards := flag.Int("analyze-shards", 0, "analyze-stage shard count per profile build (0 = GOMAXPROCS, 1 = serial)")
 	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
 	keepGoing := flag.Bool("keep-going", false, "run every experiment even after failures; report failures per experiment")
 	timeout := flag.Duration("timeout", 0, "deadline per experiment attempt (0 = none)")
@@ -110,6 +111,7 @@ func run() int {
 	}
 
 	w := core.NewWorkspaceWorkers(*budget, *workers)
+	w.AnalyzeShards = *analyzeShards
 	w.CacheBudget = cacheBytes
 	mc := metrics.New()
 	if *verbose {

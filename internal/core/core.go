@@ -57,33 +57,43 @@ func (r *ProfileResult) ReleaseArtifact() {
 
 // Profile builds a benchmark (optionally overriding its compile options),
 // runs it for at most budget instructions, and runs the deadness oracle.
+// The analyze stage shards across GOMAXPROCS by default; use
+// ProfileShards to pin the shard count.
 func Profile(p workload.Profile, opts *compiler.Options, budget int) (*ProfileResult, error) {
-	return profileWith(p, opts, budget, nil)
+	return profileWith(p, opts, budget, 0, nil)
+}
+
+// ProfileShards is Profile with an explicit analyze shard count
+// (0 = GOMAXPROCS, 1 = the serial in-line pass). The analysis is
+// bit-identical for every shard count; the knob only trades memory and
+// scheduling overhead against analyze-stage parallelism.
+func ProfileShards(p workload.Profile, opts *compiler.Options, budget, shards int) (*ProfileResult, error) {
+	return profileWith(p, opts, budget, shards, nil)
 }
 
 // profileWith is Profile with phase-level observability: compile, emulate,
 // link, and analyze each report wall time, instruction throughput, and
 // allocation deltas through the (nil-safe) collector.
-func profileWith(p workload.Profile, opts *compiler.Options, budget int, mc *metrics.Collector) (*ProfileResult, error) {
+func profileWith(p workload.Profile, opts *compiler.Options, budget, shards int, mc *metrics.Collector) (*ProfileResult, error) {
 	sp := mc.Start(metrics.PhaseCompile, p.Name)
 	prog, passStats, err := p.Compile(opts)
 	sp.End(0)
 	if err != nil {
 		return nil, err
 	}
-	return profileProgramWith(p.Name, prog, passStats, budget, mc)
+	return profileProgramWith(p.Name, prog, passStats, budget, shards, mc)
 }
 
 // ProfileProgram runs the oracle analysis over an already-compiled program.
 func ProfileProgram(name string, prog *program.Program, passStats compiler.PassStats, budget int) (*ProfileResult, error) {
-	return profileProgramWith(name, prog, passStats, budget, nil)
+	return profileProgramWith(name, prog, passStats, budget, 0, nil)
 }
 
-func profileProgramWith(name string, prog *program.Program, passStats compiler.PassStats, budget int, mc *metrics.Collector) (*ProfileResult, error) {
-	// The streaming path emulates and runs the fused link+analyze pass
-	// concurrently, one chunk apart; the spans it records keep emulation
-	// and the non-overlapped analysis tail separate.
-	tr, a, _, err := emu.CollectAnalyzedObserved(prog, budget, mc, name)
+func profileProgramWith(name string, prog *program.Program, passStats compiler.PassStats, budget, shards int, mc *metrics.Collector) (*ProfileResult, error) {
+	// The streaming path emulates and runs the sharded link+analyze pass
+	// concurrently, chunks dispatched as they fill; the spans it records
+	// keep emulation and the non-overlapped analysis tail separate.
+	tr, a, _, err := emu.CollectAnalyzedShardsObserved(prog, budget, shards, mc, name)
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling %s: %w", name, err)
 	}

@@ -22,7 +22,6 @@ package deadness
 import (
 	"errors"
 	"fmt"
-	"slices"
 
 	"repro/internal/isa"
 	"repro/internal/program"
@@ -111,6 +110,16 @@ func isRoot(op isa.Op) bool {
 	return op.IsControl() || op == isa.OUT || op == isa.HALT
 }
 
+// truncated reports whether the trace was cut off by an instruction
+// budget rather than ending at HALT. Both the serial and the sharded
+// reverse passes key the conservative unresolved-candidate root rule on
+// this one predicate, so the two paths cannot disagree on it — including
+// when the cut lands exactly on a chunk boundary.
+func truncated(t *trace.Trace) bool {
+	n := t.Len()
+	return n > 0 && t.OpAt(n-1) != isa.HALT
+}
+
 func newAnalysis(n int) *Analysis {
 	// The zero value of every column is the initial state: Live,
 	// non-candidate, unread, unresolved.
@@ -171,10 +180,23 @@ func (s *Stream) Chunk(c *trace.Chunk) error {
 	base := s.n
 	cn := c.Len()
 	end := base + cn
-	a.Kind = slices.Grow(a.Kind, cn)[:end]
-	a.Candidate = slices.Grow(a.Candidate, cn)[:end]
-	a.EverRead = slices.Grow(a.EverRead, cn)[:end]
-	a.Resolve = slices.Grow(a.Resolve, cn)[:end]
+	if cap(a.Resolve) < end {
+		// Grow every fact column together, at least doubling and by no
+		// less than four chunks: a streaming pass (final length unknown)
+		// then reallocates O(log n) times with little discarded churn,
+		// which keeps the GC quiet enough that the trace chunk pool
+		// survives between collections. An exact NewStream hint never
+		// takes this branch.
+		newCap := max(end, 2*cap(a.Resolve), 4*trace.ChunkSize)
+		a.Kind = append(make([]Kind, 0, newCap), a.Kind...)
+		a.Candidate = append(make([]bool, 0, newCap), a.Candidate...)
+		a.EverRead = append(make([]bool, 0, newCap), a.EverRead...)
+		a.Resolve = append(make([]int32, 0, newCap), a.Resolve...)
+	}
+	a.Kind = a.Kind[:end]
+	a.Candidate = a.Candidate[:end]
+	a.EverRead = a.EverRead[:end]
+	a.Resolve = a.Resolve[:end]
 	// The zero value of every column is the initial state (Live,
 	// non-candidate, unread, unresolved), so bulk clears replace the
 	// old element-wise init loop.
@@ -354,7 +376,7 @@ func (a *Analysis) finish(t *trace.Trace) *Analysis {
 	// might still be used beyond the horizon; hardware could never prove
 	// it dead, so the oracle conservatively treats unresolved candidates
 	// as useful roots.
-	truncated := n > 0 && t.OpAt(n-1) != isa.HALT
+	truncated := truncated(t)
 	useful := make([]bool, n)
 	resolve, cand := a.Resolve, a.Candidate
 	kind, everRead := a.Kind, a.EverRead

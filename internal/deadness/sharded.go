@@ -1,0 +1,654 @@
+// Sharded analysis: the fused link+analyze pass split across contiguous
+// chunk ranges of the columnar trace, so the forward last-writer walk and
+// the reverse usefulness walk run on multiple cores while producing an
+// Analysis bit-identical to the serial Stream.
+//
+// # Design
+//
+// The trace is partitioned into contiguous ranges of rangeChunks chunks;
+// each range is one shard. Every shard runs the forward pass of
+// Stream.Chunk over its own records with private register and memory
+// last-writer state. A shard other than the first cannot know the writers
+// that precede it, so its private state distinguishes "no writer yet in
+// this shard" from the serial pass's "no writer at all": whenever an
+// operand's producer (or a store's overwritten writer) falls before the
+// shard, the shard records a boundary fixup instead of a fact. Crucially,
+// every fact a shard does write — Candidate, EverRead, Resolve, the Src
+// producer columns — names only in-shard records, because the private
+// last-writer state only ever holds in-shard sequence numbers. Shards
+// therefore touch disjoint index ranges and run without locks.
+//
+// Reconciliation then walks the shards in order, maintaining the merged
+// prefix writer state (registers plus a WriterMap), and replays each
+// shard's fixups in sequence order against it before folding the shard's
+// final writer summary into the prefix (WriterMap.MergeInto). The replay
+// applies exactly the serial conditionals — EverRead |= true, and
+// Resolve is set only while still unresolved — and those are first-
+// resolver-wins: an in-shard resolver always precedes every cross-shard
+// resolver of the same producer (it has a smaller sequence number), and
+// cross-shard resolvers replay in global sequence order, so each record
+// resolves at the same point the serial pass would pick. Boundary loads
+// reserve a full-width producer span during the forward pass and are
+// rewritten here byte-by-byte (shard-local writer if the byte was claimed
+// in-shard, else the prefix writer), deduplicated in byte order — exactly
+// WriterMap.AppendLoadProducers' semantics, so the producer lists match
+// the serial link bit for bit.
+//
+// The reverse pass runs in three phases. R1 sweeps each shard backward in
+// parallel, marking usefulness from in-shard roots (FlagRoot plus the
+// truncated-trace unresolved-candidate rule, which reads the fully
+// reconciled Resolve column) and routing marks that target earlier shards
+// to a per-shard outbox. R2 merges the frontiers sequentially from the
+// last shard to the first: marks only ever travel backward (a producer
+// always precedes its consumer), so one back-to-front pass with a
+// worklist reaches the fixpoint, expanding each newly-useful record at
+// most once. R3 classifies each shard in parallel from the final useful
+// set, rewrites the unresolved sentinel to the trace length, and counts
+// candidates. useful is a monotone fixpoint, so the phase split cannot
+// change it, and classification reads only fixpoint state — which is why
+// it is a separate phase rather than fused into the sweep as in the
+// serial finish.
+package deadness
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// DefaultShards is the shard count used when a caller passes shards <= 0:
+// one shard per available CPU.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// sanitizeShards maps a user-facing shard knob to a usable count.
+func sanitizeShards(shards int) int {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	return min(shards, 256)
+}
+
+// Boundary fixup kinds, recorded by a shard's forward pass in scan order
+// (so each shard's fixup list is sequence-ordered by construction).
+const (
+	fixRegRead  = iota // register read whose producer precedes the shard
+	fixRegWrite        // first in-shard write of a register
+	fixLoad            // load with at least one byte unclaimed in-shard
+	fixStore           // store overwriting at least one pre-shard byte
+)
+
+// fixup is one unresolved boundary fact, replayed against the merged
+// prefix writer state during reconciliation.
+type fixup struct {
+	seq   int32
+	kind  uint8
+	slot  uint8    // fixRegRead: 1 (Src1) or 2 (Src2)
+	reg   isa.Reg  // register events
+	width uint8    // memory events
+	mask  uint8    // fixStore: bit b set ⇒ byte b was unclaimed in-shard
+	ci    int32    // fixRegRead/fixLoad: local index within c
+	c     *trace.Chunk
+	addr  uint64   // memory events
+	wr    [8]int32 // fixLoad: in-shard per-byte writers at load time
+}
+
+// shardState is one shard's private forward-pass state. All fields are
+// owned by the worker processing the shard until the stream is joined.
+type shardState struct {
+	base      int // global sequence number of the shard's first record
+	n         int // records consumed so far
+	auth      bool
+	regWriter [isa.NumRegs]int32
+	wm        *trace.WriterMap
+	// Per-shard fact columns, indexed by seq - base; copied into the
+	// global Analysis at assembly. Keeping them shard-local lets the
+	// stream size storage to the actual trace instead of the budget.
+	cand     []bool
+	everRead []bool
+	resolve  []int32
+	fixups   []fixup
+	prevBuf  []int32
+	err      error
+}
+
+// ShardedStream is the parallel counterpart of Stream: feed completed
+// trace chunks in order (Chunk), then Finish. Chunks are dispatched to
+// worker goroutines by shard, so the forward pass overlaps both the
+// producer (e.g. the emulator) and the other shards; errors surface at
+// Finish, deterministically the one with the lowest sequence number.
+type ShardedStream struct {
+	rangeChunks int // chunks per shard
+	workers     []chan dispatch
+	wg          sync.WaitGroup
+	states      []*shardState
+	sent        int // chunks dispatched so far
+	joined      bool
+	closed      bool
+}
+
+type dispatch struct {
+	c  *trace.Chunk
+	st *shardState
+}
+
+// NewShardedStream starts a sharded analysis pass with the given worker
+// count (shards <= 0 means DefaultShards). hint estimates the final trace
+// length (the emulation budget is fine); it only tunes the shard
+// granularity, not any allocation.
+func NewShardedStream(hint, shards int) *ShardedStream {
+	shards = sanitizeShards(shards)
+	// Aim for a few shards per worker so the tail of the trace still
+	// spreads across cores, with chunky enough ranges that boundary
+	// fixups stay rare.
+	estChunks := max(1, hint>>trace.ChunkBits)
+	k := max(1, min(estChunks/(4*shards), 64))
+	return newShardedStream(k, shards)
+}
+
+func newShardedStream(rangeChunks, workers int) *ShardedStream {
+	ss := &ShardedStream{rangeChunks: max(1, rangeChunks)}
+	for w := 0; w < workers; w++ {
+		ch := make(chan dispatch, 4)
+		ss.workers = append(ss.workers, ch)
+		ss.wg.Add(1)
+		go func() {
+			defer ss.wg.Done()
+			for d := range ch {
+				// Keep draining after an error so the dispatcher never
+				// blocks on a full channel.
+				if d.st.err == nil {
+					d.st.err = d.st.chunk(d.c)
+				}
+			}
+		}()
+	}
+	return ss
+}
+
+// Chunk dispatches the next chunk of the trace to its shard's worker.
+// Chunks must arrive in trace order; errors are reported by Finish.
+func (ss *ShardedStream) Chunk(c *trace.Chunk) {
+	r := ss.sent / ss.rangeChunks
+	ss.sent++
+	if r == len(ss.states) {
+		st := &shardState{
+			base: r * ss.rangeChunks << trace.ChunkBits,
+			auth: r == 0,
+			wm:   trace.NewWriterMap(),
+		}
+		for i := range st.regWriter {
+			st.regWriter[i] = trace.NoProducer
+		}
+		ss.states = append(ss.states, st)
+	}
+	ss.workers[r%len(ss.workers)] <- dispatch{c: c, st: ss.states[r]}
+}
+
+// join closes the worker channels and waits for in-flight chunks.
+func (ss *ShardedStream) join() {
+	if ss.joined {
+		return
+	}
+	ss.joined = true
+	for _, ch := range ss.workers {
+		close(ch)
+	}
+	ss.wg.Wait()
+}
+
+// Close joins the workers and releases every shard's writer-map pages
+// back to the shared pool. It is idempotent and safe after an aborted
+// pass; Finish calls it.
+func (ss *ShardedStream) Close() {
+	ss.join()
+	if ss.closed {
+		return
+	}
+	ss.closed = true
+	for _, st := range ss.states {
+		if st.wm != nil {
+			st.wm.Reset()
+			st.wm = nil
+		}
+		st.fixups = nil
+	}
+}
+
+// Finish completes the pass over the fully collected trace: it joins the
+// shard workers, assembles the per-shard facts, reconciles the shard
+// boundaries, and runs the three-phase reverse pass. The stream must not
+// be fed afterwards.
+func (ss *ShardedStream) Finish(t *trace.Trace) (*Analysis, error) {
+	ss.join()
+	for _, st := range ss.states {
+		// Shards hold disjoint ascending sequence ranges, so the first
+		// erroring shard's error is the lowest-sequence one — the same
+		// error the serial pass would have stopped at.
+		if st.err != nil {
+			ss.Close()
+			return nil, st.err
+		}
+	}
+	n := t.Len()
+	a := newAnalysis(n)
+	for _, st := range ss.states {
+		copy(a.Candidate[st.base:], st.cand)
+		copy(a.EverRead[st.base:], st.everRead)
+		copy(a.Resolve[st.base:], st.resolve)
+	}
+	ss.reconcile(a)
+	ss.Close()
+	t.Linked = true
+	ss.reverse(t, a)
+	return a, nil
+}
+
+// chunk is the shard-local forward pass: Stream.Chunk against private
+// writer state, with boundary fixups where that state runs out.
+func (st *shardState) chunk(c *trace.Chunk) error {
+	base := st.base + st.n
+	cn := c.Len()
+	off := st.n
+	end := off + cn
+	st.cand = slices.Grow(st.cand, cn)[:end]
+	st.everRead = slices.Grow(st.everRead, cn)[:end]
+	st.resolve = slices.Grow(st.resolve, cn)[:end]
+	clear(st.cand[off:end])
+	clear(st.everRead[off:end])
+	clear(st.resolve[off:end])
+
+	c.BeginLink()
+	op, rd, rs1, rs2 := c.Op[:cn], c.Rd[:cn], c.Rs1[:cn], c.Rs2[:cn]
+	memIdx := c.MemIdx[:cn]
+	src1, src2 := c.Src1[:cn], c.Src2[:cn]
+	resolve, everRead, cand := st.resolve, st.everRead, st.cand
+	lo := int32(st.base)
+	for i := 0; i < cn; i++ {
+		seq := int32(base + i)
+		li := off + i
+		f := op[i].Flags()
+		s1, s2 := trace.NoProducer, trace.NoProducer
+		if f&isa.FlagReadsRs1 != 0 && rs1[i] != isa.RZero {
+			if s1 = st.regWriter[rs1[i]]; s1 != trace.NoProducer {
+				everRead[s1-lo] = true
+				if resolve[s1-lo] == unresolved {
+					resolve[s1-lo] = seq
+				}
+			} else if !st.auth {
+				st.fixups = append(st.fixups, fixup{kind: fixRegRead, seq: seq, reg: rs1[i], slot: 1, c: c, ci: int32(i)})
+			}
+		}
+		if f&isa.FlagReadsRs2 != 0 && rs2[i] != isa.RZero {
+			if s2 = st.regWriter[rs2[i]]; s2 != trace.NoProducer {
+				everRead[s2-lo] = true
+				if resolve[s2-lo] == unresolved {
+					resolve[s2-lo] = seq
+				}
+			} else if !st.auth {
+				st.fixups = append(st.fixups, fixup{kind: fixRegRead, seq: seq, reg: rs2[i], slot: 2, c: c, ci: int32(i)})
+			}
+		}
+		src1[i], src2[i] = s1, s2
+		if mi := memIdx[i]; mi >= 0 {
+			o := op[i]
+			w := c.Width[mi]
+			if w == 0 || w != o.MemWidthFast() {
+				return fmt.Errorf("deadness: seq %d: %v has width %d, want %d",
+					seq, o, w, o.MemWidth())
+			}
+			addr := c.Addr[mi]
+			if f&isa.FlagLoad != 0 {
+				covered := st.auth
+				var bw [8]int32
+				if !covered {
+					covered = st.wm.ByteWriters(addr, int(w), &bw)
+				}
+				if covered {
+					for _, p := range c.LinkLoadProducers(i, st.wm) {
+						if p != trace.NoProducer {
+							everRead[p-lo] = true
+							if resolve[p-lo] == unresolved {
+								resolve[p-lo] = seq
+							}
+						}
+					}
+				} else {
+					// Boundary load: keep the in-shard producers now and
+					// reserve room for the reconciled full-width list (a
+					// width-w load has at most w distinct byte writers).
+					var buf [trace.MaxMemProducers]int32
+					local := appendDistinct(bw[:w], buf[:0])
+					c.ReserveLoadProducers(i, int(w), local)
+					for _, p := range local {
+						everRead[p-lo] = true
+						if resolve[p-lo] == unresolved {
+							resolve[p-lo] = seq
+						}
+					}
+					st.fixups = append(st.fixups, fixup{kind: fixLoad, seq: seq, c: c, ci: int32(i), addr: addr, width: w, wr: bw})
+				}
+			} else {
+				cand[li] = true
+				if !st.auth {
+					var bw [8]int32
+					if !st.wm.ByteWriters(addr, int(w), &bw) {
+						var m uint8
+						for b := 0; b < int(w); b++ {
+							if bw[b] == trace.NoProducer {
+								m |= 1 << b
+							}
+						}
+						st.fixups = append(st.fixups, fixup{kind: fixStore, seq: seq, addr: addr, width: w, mask: m})
+					}
+				}
+				st.prevBuf = st.wm.Overwrite(addr, int(w), seq, st.prevBuf[:0])
+				for _, prev := range st.prevBuf {
+					if resolve[prev-lo] == unresolved {
+						resolve[prev-lo] = seq
+					}
+				}
+			}
+		}
+		if f&isa.FlagHasDest != 0 && rd[i] != isa.RZero {
+			if f&isa.FlagControl == 0 {
+				cand[li] = true
+			}
+			if prev := st.regWriter[rd[i]]; prev != trace.NoProducer {
+				if resolve[prev-lo] == unresolved {
+					resolve[prev-lo] = seq
+				}
+			} else if !st.auth {
+				st.fixups = append(st.fixups, fixup{kind: fixRegWrite, seq: seq, reg: rd[i]})
+			}
+			st.regWriter[rd[i]] = seq
+		}
+	}
+	st.n += cn
+	return nil
+}
+
+// appendDistinct appends the distinct writers of a per-byte span to dst
+// in byte order, skipping NoProducer and capped at MaxMemProducers —
+// WriterMap.AppendLoadProducers' dedup, applied to materialized bytes.
+func appendDistinct(bw []int32, dst []int32) []int32 {
+outer:
+	for _, p := range bw {
+		if p == trace.NoProducer {
+			continue
+		}
+		for _, q := range dst {
+			if q == p {
+				continue outer
+			}
+		}
+		if len(dst) < trace.MaxMemProducers {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// reconcile replays every shard's boundary fixups, in global sequence
+// order, against the merged prefix writer state of the shards before it.
+func (ss *ShardedStream) reconcile(a *Analysis) {
+	var preg [isa.NumRegs]int32
+	for i := range preg {
+		preg[i] = trace.NoProducer
+	}
+	pwm := trace.NewWriterMap()
+	defer pwm.Reset()
+	resolve, everRead := a.Resolve, a.EverRead
+	for _, st := range ss.states {
+		for fi := range st.fixups {
+			f := &st.fixups[fi]
+			switch f.kind {
+			case fixRegRead:
+				p := preg[f.reg]
+				if f.slot == 1 {
+					f.c.Src1[f.ci] = p
+				} else {
+					f.c.Src2[f.ci] = p
+				}
+				if p != trace.NoProducer {
+					everRead[p] = true
+					if resolve[p] == unresolved {
+						resolve[p] = f.seq
+					}
+				}
+			case fixRegWrite:
+				if p := preg[f.reg]; p != trace.NoProducer && resolve[p] == unresolved {
+					resolve[p] = f.seq
+				}
+			case fixStore:
+				for b := 0; b < int(f.width); b++ {
+					if f.mask&(1<<b) == 0 {
+						continue
+					}
+					if p := pwm.Get(f.addr + uint64(b)); p != trace.NoProducer && resolve[p] == unresolved {
+						resolve[p] = f.seq
+					}
+				}
+			case fixLoad:
+				var bw [8]int32
+				for b := 0; b < int(f.width); b++ {
+					bw[b] = f.wr[b]
+					if bw[b] == trace.NoProducer {
+						bw[b] = pwm.Get(f.addr + uint64(b))
+					}
+				}
+				var buf [trace.MaxMemProducers]int32
+				list := appendDistinct(bw[:f.width], buf[:0])
+				f.c.SetLoadProducers(int(f.ci), list)
+				for _, p := range list {
+					everRead[p] = true
+					if resolve[p] == unresolved {
+						resolve[p] = f.seq
+					}
+				}
+			}
+		}
+		for r, w := range st.regWriter {
+			if w != trace.NoProducer {
+				preg[r] = w
+			}
+		}
+		st.wm.MergeInto(pwm)
+	}
+}
+
+// reverse is the sharded counterpart of Analysis.finish: parallel
+// per-shard usefulness sweeps (R1), a sequential back-to-front frontier
+// merge (R2), and parallel classification (R3).
+func (ss *ShardedStream) reverse(t *trace.Trace, a *Analysis) {
+	n := t.Len()
+	trunc := truncated(t)
+	useful := make([]bool, n)
+	nr := len(ss.states)
+	outbox := make([][]int32, nr)
+
+	// R1: each shard sweeps backward from its own roots, marking in-shard
+	// producers directly and routing cross-shard marks to its outbox.
+	ss.parallelRanges(func(r int) {
+		outbox[r] = ss.sweep(t, a, r, trunc, useful)
+	})
+
+	// R2: drain the frontiers from the last shard to the first. Marks
+	// only travel backward (producers precede consumers), so one pass
+	// reaches the fixpoint; each record is expanded at most once.
+	rangeRecs := ss.rangeChunks << trace.ChunkBits
+	pending := make([][]int32, nr)
+	for _, out := range outbox {
+		for _, p := range out {
+			pending[int(p)/rangeRecs] = append(pending[int(p)/rangeRecs], p)
+		}
+	}
+	var stack []int32
+	for r := nr - 1; r >= 0; r-- {
+		stack = append(stack[:0], pending[r]...)
+		lo := int32(ss.states[r].base)
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if useful[p] {
+				continue
+			}
+			useful[p] = true
+			c := t.Chunk(int(p) >> trace.ChunkBits)
+			i := int(p) & (trace.ChunkSize - 1)
+			mark := func(q int32) {
+				if q == trace.NoProducer {
+					return
+				}
+				if q >= lo {
+					stack = append(stack, q)
+				} else {
+					pending[int(q)/rangeRecs] = append(pending[int(q)/rangeRecs], q)
+				}
+			}
+			mark(c.Src1[i])
+			mark(c.Src2[i])
+			if c.MemIdx[i] >= 0 {
+				for _, q := range c.MemProducers(i) {
+					mark(q)
+				}
+			}
+		}
+	}
+
+	// R3: classify from the fixpoint useful set and rewrite the
+	// unresolved sentinel, each shard independently.
+	counts := make([]int, nr)
+	ss.parallelRanges(func(r int) {
+		counts[r] = ss.classify(t, a, r, useful)
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	a.candidates = total
+}
+
+// parallelRanges runs fn(r) for every shard index, spread over the
+// stream's worker count.
+func (ss *ShardedStream) parallelRanges(fn func(r int)) {
+	nr := len(ss.states)
+	nw := min(len(ss.workers), nr)
+	if nw <= 1 {
+		for r := 0; r < nr; r++ {
+			fn(r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := w; r < nr; r += nw {
+				fn(r)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// sweep is one shard's R1 backward walk. It writes useful only at
+// in-shard indexes; marks for earlier shards are returned.
+func (ss *ShardedStream) sweep(t *trace.Trace, a *Analysis, r int, trunc bool, useful []bool) []int32 {
+	st := ss.states[r]
+	lo := int32(st.base)
+	resolve, cand := a.Resolve, a.Candidate
+	var out []int32
+	firstChunk := st.base >> trace.ChunkBits
+	lastChunk := firstChunk + (st.n-1)>>trace.ChunkBits
+	for ci := lastChunk; ci >= firstChunk; ci-- {
+		c := t.Chunk(ci)
+		base := ci << trace.ChunkBits
+		cn := c.Len()
+		op, src1, src2, memIdx := c.Op[:cn], c.Src1[:cn], c.Src2[:cn], c.MemIdx[:cn]
+		for i := cn - 1; i >= 0; i-- {
+			seq := base + i
+			if !useful[seq] {
+				if op[i].Flags()&isa.FlagRoot == 0 {
+					// The conservative truncated-trace rule: an unresolved
+					// candidate may still be used beyond the horizon.
+					if !trunc || !cand[seq] || resolve[seq] != unresolved {
+						continue
+					}
+				}
+				useful[seq] = true
+			}
+			if p := src1[i]; p != trace.NoProducer {
+				if p >= lo {
+					useful[p] = true
+				} else {
+					out = append(out, p)
+				}
+			}
+			if p := src2[i]; p != trace.NoProducer {
+				if p >= lo {
+					useful[p] = true
+				} else {
+					out = append(out, p)
+				}
+			}
+			if memIdx[i] >= 0 {
+				for _, p := range c.MemProducers(i) {
+					if p >= lo {
+						useful[p] = true
+					} else {
+						out = append(out, p)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// classify is one shard's R3 pass: kind, candidate count, and the
+// unresolved→n sentinel rewrite, from the final useful set.
+func (ss *ShardedStream) classify(t *trace.Trace, a *Analysis, r int, useful []bool) int {
+	st := ss.states[r]
+	kind, cand, everRead, resolve := a.Kind, a.Candidate, a.EverRead, a.Resolve
+	n32 := int32(t.Len())
+	count := 0
+	for seq := st.base; seq < st.base+st.n; seq++ {
+		isCand := cand[seq]
+		if isCand {
+			count++
+		}
+		if resolve[seq] == unresolved {
+			resolve[seq] = n32
+		}
+		switch {
+		case useful[seq] || !isCand:
+			kind[seq] = Live
+		case everRead[seq]:
+			kind[seq] = Transitive
+		default:
+			kind[seq] = FirstLevel
+		}
+	}
+	return count
+}
+
+// LinkAndAnalyzeSharded is LinkAndAnalyze with the forward and reverse
+// passes spread across shards (shards <= 0 means DefaultShards). The
+// resulting Analysis and producer links are bit-identical to the serial
+// pass for every shard count, including shard counts exceeding the
+// trace's chunk count.
+func LinkAndAnalyzeSharded(t *trace.Trace, shards int) (*Analysis, error) {
+	shards = sanitizeShards(shards)
+	nc := t.NumChunks()
+	k := max(1, (nc+shards-1)/shards)
+	ss := newShardedStream(k, shards)
+	for ci := 0; ci < nc; ci++ {
+		ss.Chunk(t.Chunk(ci))
+	}
+	return ss.Finish(t)
+}

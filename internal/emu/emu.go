@@ -336,52 +336,99 @@ func Collect(p *program.Program, budget int) (*trace.Trace, *Machine, error) {
 	return t, m, nil
 }
 
-// CollectAnalyzed runs the program like Collect and streams completed
-// trace chunks through a small bounded ring into the fused link+analyze
-// pass: the oracle runs concurrently one chunk behind the emulator, so the
-// analysis cost hides under emulation instead of following it. The fused
-// pass itself stays sequential in trace order (chunks are consumed in
-// order by one goroutine), so results are bit-identical to analyzing after
-// the fact.
+// CollectAnalyzed runs the program like Collect and feeds completed trace
+// chunks straight into the fused link+analyze pass — serially in-line by
+// default on one CPU, or through the sharded analyzer's chunk scheduler
+// when more cores (or an explicit shard count) are available. Results are
+// bit-identical to analyzing after the fact in either mode.
 func CollectAnalyzed(p *program.Program, budget int) (*trace.Trace, *deadness.Analysis, *Machine, error) {
-	return CollectAnalyzedObserved(p, budget, nil, "")
+	return CollectAnalyzedShardsObserved(p, budget, 0, nil, "")
 }
 
-// analyzeRingDepth is the chunk-channel capacity: enough that the emulator
-// never stalls behind a momentarily slower analyzer, small enough that the
-// pair works on neighboring (cache-warm) chunks.
-const analyzeRingDepth = 2
+// CollectAnalyzedShards is CollectAnalyzed with an explicit analyze shard
+// count: shards <= 0 means deadness.DefaultShards (one per CPU), 1 forces
+// the serial in-line pass, and larger values spread the forward and
+// reverse analysis passes across that many shard workers.
+func CollectAnalyzedShards(p *program.Program, budget, shards int) (*trace.Trace, *deadness.Analysis, *Machine, error) {
+	return CollectAnalyzedShardsObserved(p, budget, shards, nil, "")
+}
 
 // CollectAnalyzedObserved is CollectAnalyzed with phase observability
-// through the (nil-safe) collector: PhaseEmulate spans the producer run,
-// and PhaseAnalyze spans only the non-overlapped tail of the fused pass —
-// the chunks still in flight when emulation finished, plus the reverse
-// usefulness pass — which is exactly the analysis time on the critical
-// path.
+// through the (nil-safe) collector.
 func CollectAnalyzedObserved(p *program.Program, budget int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
+	return CollectAnalyzedShardsObserved(p, budget, 0, mc, name)
+}
+
+// CollectAnalyzedShardsObserved is the full streaming emulate→analyze
+// entry point: PhaseEmulate spans the producer run (with the serial
+// analysis fused in-line, or chunk dispatch to the shard workers), and
+// PhaseAnalyze spans the non-overlapped tail — boundary reconciliation
+// plus the reverse usefulness pass — which is exactly the analysis time
+// on the critical path.
+func CollectAnalyzedShardsObserved(p *program.Program, budget, shards int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
+	if shards <= 0 {
+		shards = deadness.DefaultShards()
+	}
+	if shards == 1 {
+		return collectAnalyzedSerial(p, budget, mc, name)
+	}
+	return collectAnalyzedSharded(p, budget, shards, mc, name)
+}
+
+// collectAnalyzedSerial runs the fused pass in-line in the emulator's
+// sink: on a single CPU a consumer goroutine buys no overlap and costs
+// scheduling and channel traffic, so each completed chunk is analyzed
+// synchronously instead. The stream's fact arrays grow with the actual
+// trace (roughly doubling per growth step), not the budget hint — a
+// budget-sized hint over-allocated ~7 MB per short run.
+func collectAnalyzedSerial(p *program.Program, budget int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
 	m := New(p)
 	t := trace.NewWithCapacity(min(budget, collectCap))
-	st := deadness.NewStream(min(budget, collectCap))
-	ch := make(chan *trace.Chunk, analyzeRingDepth)
-	errCh := make(chan error, 1)
-	go func() {
-		var first error
-		for c := range ch {
-			// Keep draining after an error so the producer never blocks
-			// on a full ring.
-			if first == nil {
-				first = st.Chunk(c)
-			}
+	st := deadness.NewStream(0)
+	var aErr error
+	sent := 0
+	sp := mc.Start(metrics.PhaseEmulate, name)
+	runErr := m.Run(budget, func(r *trace.Record) {
+		t.Push(r)
+		if aErr == nil && t.Len()>>trace.ChunkBits > sent {
+			aErr = st.Chunk(t.Chunk(sent))
+			sent++
 		}
-		errCh <- first
-	}()
+	})
+	sp.End(int64(t.Len()))
 
+	sp = mc.Start(metrics.PhaseAnalyze, name)
+	if aErr == nil && sent < t.NumChunks() {
+		aErr = st.Chunk(t.Chunk(sent))
+	}
+	if runErr != nil && !errors.Is(runErr, ErrBudget) {
+		aErr = runErr
+	}
+	if aErr != nil {
+		st.Close()
+		t.Release()
+		sp.End(0)
+		return nil, nil, nil, aErr
+	}
+	a := st.Finish(t)
+	sp.End(int64(t.Len()))
+	return t, a, m, nil
+}
+
+// collectAnalyzedSharded feeds completed chunks to the sharded analyzer's
+// scheduler as they fill, so every shard's forward pass overlaps both the
+// emulator and the other shards; reconciliation and the reverse pass run
+// after emulation ends.
+func collectAnalyzedSharded(p *program.Program, budget, shards int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
+	m := New(p)
+	t := trace.NewWithCapacity(min(budget, collectCap))
+	ss := deadness.NewShardedStream(min(budget, collectCap), shards)
 	sent := 0
 	sp := mc.Start(metrics.PhaseEmulate, name)
 	runErr := m.Run(budget, func(r *trace.Record) {
 		t.Push(r)
 		if t.Len()>>trace.ChunkBits > sent {
-			ch <- t.Chunk(sent)
+			ss.Chunk(t.Chunk(sent))
 			sent++
 		}
 	})
@@ -389,21 +436,23 @@ func CollectAnalyzedObserved(p *program.Program, budget int, mc *metrics.Collect
 
 	sp = mc.Start(metrics.PhaseAnalyze, name)
 	if sent < t.NumChunks() {
-		ch <- t.Chunk(sent)
+		ss.Chunk(t.Chunk(sent))
 	}
-	close(ch)
-	aErr := <-errCh
 	if runErr != nil && !errors.Is(runErr, ErrBudget) {
-		st.Close()
+		// Join the workers and give back every pooled resource the
+		// aborted run holds: the shards' writer-map pages and the trace's
+		// chunk arenas.
+		ss.Close()
+		t.Release()
 		sp.End(0)
 		return nil, nil, nil, runErr
 	}
-	if aErr != nil {
-		st.Close()
+	a, err := ss.Finish(t)
+	if err != nil {
+		t.Release()
 		sp.End(0)
-		return nil, nil, nil, aErr
+		return nil, nil, nil, err
 	}
-	a := st.Finish(t)
 	sp.End(int64(t.Len()))
 	return t, a, m, nil
 }

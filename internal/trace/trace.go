@@ -163,6 +163,32 @@ func (c *Chunk) LinkLoadProducers(i int, w *WriterMap) []int32 {
 	return c.memSrcs[start:]
 }
 
+// ReserveLoadProducers records producers for the load at local index i
+// like LinkLoadProducers, but reserves capacity slots in the flat pool so
+// a later SetLoadProducers can rewrite the span with up to capacity
+// entries. Sharded analysis reserves the access width for boundary loads
+// whose final producer set is only known after reconciliation (a load of
+// width w has at most w distinct byte writers).
+func (c *Chunk) ReserveLoadProducers(i int, capacity int, producers []int32) {
+	mi := c.MemIdx[i]
+	start := len(c.memSrcs)
+	c.memSrcs = append(c.memSrcs, producers...)
+	for len(c.memSrcs) < start+capacity {
+		c.memSrcs = append(c.memSrcs, NoProducer)
+	}
+	c.srcOff[mi] = int32(start)
+	c.srcLen[mi] = uint8(len(producers))
+}
+
+// SetLoadProducers rewrites the producer span of the load at local index
+// i in place. The span must have been sized by ReserveLoadProducers with
+// capacity ≥ len(producers).
+func (c *Chunk) SetLoadProducers(i int, producers []int32) {
+	mi := c.MemIdx[i]
+	copy(c.memSrcs[c.srcOff[mi]:], producers)
+	c.srcLen[mi] = uint8(len(producers))
+}
+
 // push appends one record's fields to the columns. Non-memory records
 // canonicalize Addr/Width to zero (they have no side-table slot), and
 // MemSrcs are never taken from the input: producer links are derived

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestByteWritersRandomizedVsReference drives the shard-boundary export
+// (ByteWriters) over randomized unaligned/overlapping store sequences and
+// checks every byte against the per-byte reference map, including the
+// all-claimed verdict the sharded analyzer keys off.
+func TestByteWritersRandomizedVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		wm := NewWriterMap()
+		ref := refWriterMap{}
+		for seq, op := range randomOps(rng, 300) {
+			if op.store {
+				wm.Claim(op.addr, op.width, int32(seq))
+				ref.set(op.addr, op.width, int32(seq))
+				continue
+			}
+			var bw [8]int32
+			covered := wm.ByteWriters(op.addr, op.width, &bw)
+			all := true
+			for b := 0; b < op.width; b++ {
+				want := ref.get(op.addr + uint64(b))
+				if bw[b] != want {
+					t.Fatalf("trial %d seq %d: ByteWriters(%#x,%d)[%d] = %d, want %d",
+						trial, seq, op.addr, op.width, b, bw[b], want)
+				}
+				if want == NoProducer {
+					all = false
+				}
+			}
+			if covered != all {
+				t.Fatalf("trial %d seq %d: ByteWriters(%#x,%d) covered=%v, want %v",
+					trial, seq, op.addr, op.width, covered, all)
+			}
+		}
+		wm.Reset()
+	}
+}
+
+// TestMergeIntoRandomizedVsReference splits a random store sequence at an
+// arbitrary point, plays the prefix into dst and the suffix into src, and
+// checks that src.MergeInto(dst) equals playing the whole sequence into
+// one map — the exact contract the shard reconciliation's prefix merge
+// depends on (later shard's writers overwrite earlier ones byte by byte,
+// unclaimed bytes leave the prefix intact).
+func TestMergeIntoRandomizedVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		ops := randomOps(rng, 200)
+		cut := rng.Intn(len(ops) + 1)
+
+		dst, src := NewWriterMap(), NewWriterMap()
+		ref := refWriterMap{}
+		for seq, op := range ops {
+			w := int(op.width)
+			if !op.store {
+				w = 1 // loads don't matter here; claim a byte to vary masks
+			}
+			m := dst
+			if seq >= cut {
+				m = src
+			}
+			m.Claim(op.addr, w, int32(seq))
+			ref.set(op.addr, w, int32(seq))
+		}
+		src.MergeInto(dst)
+
+		// Check every byte the sequence could have touched (window from
+		// randomOps plus width slack on both sides).
+		base := uint64(wpageSize - 64)
+		for a := base - 8; a < base+176; a++ {
+			if got, want := dst.Get(a), ref.get(a); got != want {
+				t.Fatalf("trial %d cut %d: merged Get(%#x) = %d, want %d",
+					trial, cut, a, got, want)
+			}
+		}
+		dst.Reset()
+		src.Reset()
+	}
+}
+
+// TestMergeIntoEmptySrc pins the trivial cases: merging an empty map is a
+// no-op, and merging into an empty map copies the source exactly.
+func TestMergeIntoEmptySrc(t *testing.T) {
+	dst := NewWriterMap()
+	dst.Claim(0x100, 8, 5)
+	NewWriterMap().MergeInto(dst)
+	if got := dst.Get(0x100); got != 5 {
+		t.Errorf("empty merge clobbered writer: Get(0x100) = %d, want 5", got)
+	}
+
+	src := NewWriterMap()
+	src.Claim(0x40, 8, 9)
+	src.Set(0x13, 11) // partial word via the overflow array
+	empty := NewWriterMap()
+	src.MergeInto(empty)
+	if got := empty.Get(0x44); got != 9 {
+		t.Errorf("merge into empty: Get(0x44) = %d, want 9", got)
+	}
+	if got := empty.Get(0x13); got != 11 {
+		t.Errorf("merge into empty: Get(0x13) = %d, want 11", got)
+	}
+	if got := empty.Get(0x12); got != NoProducer {
+		t.Errorf("merge invented writer %d at unclaimed 0x12", got)
+	}
+}

@@ -1,0 +1,224 @@
+// Sharded-vs-serial equivalence guard: the sharded analyze pass
+// (deadness.LinkAndAnalyzeSharded and the streaming scheduler behind
+// emu.CollectAnalyzedShards) must reproduce the serial fused pass — and
+// therefore the seed's []Record reference — bit for bit: every producer
+// link, every Analysis fact, for every shard count and every
+// chunk-boundary shape, including traces truncated exactly on a chunk
+// boundary. Run under -race this also exercises the shard scheduler's
+// ownership discipline (disjoint fact ranges, channel handoff, join).
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/deadness"
+	"repro/internal/emu"
+	"repro/internal/faults"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// shardCounts is the sweep the issue pins: serial-equivalent single
+// shard, the smallest true split, one per CPU, and more shards than the
+// trace has chunks.
+func shardCounts(tr *trace.Trace) []int {
+	return []int{1, 2, runtime.NumCPU(), tr.NumChunks() + 7}
+}
+
+func TestShardedAnalysisMatchesSerial(t *testing.T) {
+	const budget = 120_000
+	for _, prof := range workload.Suite() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			raw, recs := collectRaw(t, prof, budget)
+			if err := refLink(recs); err != nil {
+				t.Fatal(err)
+			}
+			ref := refAnalyze(recs)
+
+			for _, shards := range shardCounts(raw) {
+				tr := raw.Clone()
+				a, err := deadness.LinkAndAnalyzeSharded(tr, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkAgainstRef(t, "sharded/"+itoa(shards), tr, a, recs, ref)
+			}
+
+			// Streaming scheduler path: chunks dispatched to shard workers
+			// while the emulator is still producing.
+			prog, _, err := prof.Compile(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 3} {
+				tr, a, _, err := emu.CollectAnalyzedShards(prog, budget, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkAgainstRef(t, "stream-sharded/"+itoa(shards), tr, a, recs, ref)
+				tr.Release()
+			}
+		})
+	}
+}
+
+// TestShardedChunkBoundaryShapes sweeps synthetic traces whose lengths
+// straddle every chunk-layout edge — in particular lengths that are exact
+// chunk multiples, so a truncated trace's cut lands precisely on a chunk
+// (and shard) boundary — against the reference, for several shard counts.
+func TestShardedChunkBoundaryShapes(t *testing.T) {
+	const cs = trace.ChunkSize
+	lengths := []int{1, 2, cs - 1, cs, cs + 1, 2 * cs, 2*cs + 1, 3*cs + cs/3}
+	for _, n := range lengths {
+		for _, halted := range []bool{false, true} {
+			name := "trunc"
+			if halted {
+				name = "halt"
+			}
+			t.Run(name+"/"+itoa(n), func(t *testing.T) {
+				recs := synthRecords(n, halted)
+				ref := append([]trace.Record(nil), recs...)
+				if err := refLink(ref); err != nil {
+					t.Fatal(err)
+				}
+				refA := refAnalyze(ref)
+
+				for _, shards := range []int{1, 2, 3, 64} {
+					tr := trace.FromRecords(recs)
+					a, err := deadness.LinkAndAnalyzeSharded(tr, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkAgainstRef(t, "sharded/"+itoa(shards), tr, a, ref, refA)
+
+					// Pin the unresolved→n sentinel rewrite directly: the
+					// internal sentinel is 0, no real resolve point can be
+					// 0 (a resolver strictly follows its producer), and
+					// end-of-trace resolution must surface as exactly n.
+					sawEnd := false
+					for seq, r := range a.Resolve {
+						if r == 0 {
+							t.Fatalf("shards=%d: seq %d: unresolved sentinel leaked", shards, seq)
+						}
+						if r == int32(n) {
+							sawEnd = true
+						}
+					}
+					if n > 0 && !sawEnd {
+						t.Errorf("shards=%d: no record resolved at the trace end", shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedStreamLifecycleUnderFaults is the chaos regression for the
+// stream teardown paths: with per-instruction faults injected at
+// emu.step, both the serial in-line path and the sharded scheduler must
+// release their pooled resources (writer-map pages, chunk arenas) on
+// every abort, and a clean run afterwards must still match the
+// fault-free analysis bit for bit. Run under -race this catches leaked
+// worker goroutines touching freed state.
+func TestShardedStreamLifecycleUnderFaults(t *testing.T) {
+	prof := workload.Suite()[0]
+	prog, _, err := prof.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 60_000
+
+	// Fault-free reference run.
+	cleanTr, clean, _, err := emu.CollectAnalyzedShards(prog, budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanTr.Release()
+
+	for _, shards := range []int{1, 2, 4} {
+		aborted := 0
+		for seed := uint64(1); seed <= 12; seed++ {
+			in := faults.NewInjector(seed).
+				Arm(faults.SiteEmuStep, faults.Rule{Kind: faults.Permanent, Rate: 0.0002, Max: 1})
+			faults.Set(in)
+			tr, a, _, err := emu.CollectAnalyzedShards(prog, budget, shards)
+			faults.Set(nil)
+			if err != nil {
+				aborted++
+				if tr != nil || a != nil {
+					t.Fatalf("shards=%d seed=%d: non-nil results alongside error %v", shards, seed, err)
+				}
+				continue
+			}
+			// The injector's schedule let this run finish: it must be
+			// indistinguishable from the fault-free run.
+			if a.Candidates() != clean.Candidates() || tr.Len() != cleanTr.Len() {
+				t.Fatalf("shards=%d seed=%d: clean run diverged after faults", shards, seed)
+			}
+			tr.Release()
+		}
+		if aborted == 0 {
+			t.Fatalf("shards=%d: injector never fired; chaos test is vacuous", shards)
+		}
+
+		// After every abort, pooled state must be intact: a fresh run
+		// still produces the exact fault-free analysis.
+		tr, a, _, err := emu.CollectAnalyzedShards(prog, budget, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: post-chaos run: %v", shards, err)
+		}
+		for seq := 0; seq < tr.Len(); seq++ {
+			if a.Kind[seq] != clean.Kind[seq] || a.Resolve[seq] != clean.Resolve[seq] ||
+				a.EverRead[seq] != clean.EverRead[seq] || a.Candidate[seq] != clean.Candidate[seq] {
+				t.Fatalf("shards=%d: post-chaos analysis diverges at seq %d", shards, seq)
+			}
+		}
+		tr.Release()
+	}
+}
+
+// TestLinkAndAnalyzeShardedError pins deterministic error surfacing: a
+// malformed record (bad memory width) must abort the sharded pass with
+// the same lowest-sequence error the serial pass reports, regardless of
+// shard count, and leave the stream reusable-free (Close idempotent).
+func TestLinkAndAnalyzeShardedError(t *testing.T) {
+	const cs = trace.ChunkSize
+	recs := synthRecords(2*cs+100, true)
+	// Corrupt one record in the second chunk.
+	bad := cs + 500
+	for recs[bad].Op.IsMem() {
+		bad++
+	}
+	recs[bad].Op = lastLoadOp(recs)
+	recs[bad].Addr, recs[bad].Width = 0x2000, 3 // no opcode has width 3
+
+	serialTr := trace.FromRecords(recs)
+	_, serialErr := deadness.LinkAndAnalyze(serialTr)
+	if serialErr == nil {
+		t.Fatal("serial pass accepted malformed record")
+	}
+	for _, shards := range []int{1, 2, 64} {
+		tr := trace.FromRecords(recs)
+		_, err := deadness.LinkAndAnalyzeSharded(tr, shards)
+		if err == nil {
+			t.Fatalf("shards=%d: malformed record accepted", shards)
+		}
+		if err.Error() != serialErr.Error() {
+			t.Errorf("shards=%d: error %q, serial %q", shards, err, serialErr)
+		}
+	}
+}
+
+// lastLoadOp picks a load opcode present in the synthetic trace so the
+// corrupted record exercises the width check, not the opcode switch.
+func lastLoadOp(recs []trace.Record) isa.Op {
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Op.IsLoad() {
+			return recs[i].Op
+		}
+	}
+	return isa.LD
+}
