@@ -11,8 +11,11 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The race-detector runs multiply wall time 10-20x; on a slow or
+# single-core host internal/core can exceed go test's default 10m
+# per-package timeout, so give it explicit headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # check is the CI gate: static analysis plus the full suite under the
 # race detector (which includes the concurrent-vs-sequential engine test).
@@ -28,18 +31,19 @@ fuzz:
 
 # chaos runs the fault-injection soak on its own under the race detector.
 chaos:
-	$(GO) test -race -run '^TestChaosSoak$$' -v ./internal/core
+	$(GO) test -race -timeout 30m -run '^TestChaosSoak$$' -v ./internal/core
 
 # SUBSTRATE_BENCHES are the per-substrate throughput benchmarks tracked in
 # the committed BENCH_*.json reports: emulator, fused oracle (plus its
 # legacy two-pass comparison), the analyze shard-count sweep, pipeline
-# timing model, and the full experiment engine.
-SUBSTRATE_BENCHES = ^(BenchmarkEmulator|BenchmarkCollectAnalyzed|BenchmarkDeadnessOracle|BenchmarkDeadnessOracleLegacy|BenchmarkAnalyzeShards|BenchmarkPipeline|BenchmarkEngineAllExperiments)$$
+# timing model, trace serialization round trips, the persistent artifact
+# tier's cold/warm comparison, and the full experiment engine.
+SUBSTRATE_BENCHES = ^(BenchmarkEmulator|BenchmarkCollectAnalyzed|BenchmarkDeadnessOracle|BenchmarkDeadnessOracleLegacy|BenchmarkAnalyzeShards|BenchmarkPipeline|BenchmarkTraceSaveLoad|BenchmarkProfileDiskCache|BenchmarkEngineAllExperiments)$$
 
 # BENCH_BASELINE is the committed report that bench-compare diffs against;
 # BENCH_TOL is the relative regression tolerance (benchmarks vary with
 # host hardware, so keep it loose).
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_7.json
 BENCH_TOL ?= 0.25
 
 # bench regenerates $(BENCH_BASELINE) from the substrate benchmarks (with

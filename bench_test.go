@@ -7,7 +7,9 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
+	"os"
 	"testing"
 
 	"repro/internal/asm"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -312,6 +315,113 @@ func BenchmarkPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e3, "Kinst/s")
+}
+
+// BenchmarkTraceSaveLoad measures trace serialization round trips in both
+// on-disk formats: v1 (records only, links re-derived on load) and the v2
+// linked format the persistent artifact tier writes (links stored, Load
+// skips the re-link pass). The delta between the two load paths is the
+// warm-start win per trace byte.
+func BenchmarkTraceSaveLoad(b *testing.B) {
+	prog, err := asm.Assemble("bench", benchProgramSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := emu.Collect(prog, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Link(); err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name string
+		save func(*trace.Trace, *bytes.Buffer) error
+	}{
+		{"v1", func(tr *trace.Trace, buf *bytes.Buffer) error { return tr.Save(buf) }},
+		{"linked", func(tr *trace.Trace, buf *bytes.Buffer) error { return tr.SaveLinked(buf) }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			if err := v.save(tr, &buf); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(buf.Len()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := v.save(tr, &buf); err != nil {
+					b.Fatal(err)
+				}
+				back, err := trace.Load(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				back.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkProfileDiskCache measures the persistent artifact tier's
+// headline trade, run against run: "cold" is the first -cache-dir run
+// (build the profile from scratch — emulate + link + analyze — and
+// write it through to a fresh cache directory), "warm" is the second
+// run over the populated directory (load the profile from disk instead
+// of rebuilding). The cold/warm ns-per-op ratio is the warm-start
+// speedup recorded in BENCH_7.json; the warm arm also asserts the
+// zero-rebuild contract via the artifact counters.
+func BenchmarkProfileDiskCache(b *testing.B) {
+	const bench = "gzip"
+	dir := b.TempDir()
+	seed := core.NewWorkspace(benchBudget)
+	if err := seed.OpenDiskCache(dir, 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seed.ProfileOf(bench); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cold, err := os.MkdirTemp(b.TempDir(), "cold")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			w := core.NewWorkspace(benchBudget)
+			if err := w.OpenDiskCache(cold, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := w.ProfileOf(bench); err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				ks := w.ArtifactStats().Kinds[core.KindProfile]
+				if ks.Misses != 1 || ks.DiskWrites == 0 {
+					b.Fatalf("cold iteration did not build and persist the profile: %+v", ks)
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := core.NewWorkspace(benchBudget)
+			if err := w.OpenDiskCache(dir, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := w.ProfileOf(bench); err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				ks := w.ArtifactStats().Kinds[core.KindProfile]
+				if ks.Misses != 0 || ks.DiskHits != 1 {
+					b.Fatalf("warm iteration rebuilt the profile: %+v", ks)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkEngineAllExperiments runs the full 18-experiment engine on a

@@ -1,21 +1,31 @@
 // Command deadprof prints the trace-level deadness profile of one
 // benchmark or the whole suite: dead-instruction fraction, first-level vs
 // transitive breakdown, per-cause attribution, and static locality.
-// Profiles build concurrently through a bounded pool; rows print in suite
-// order regardless of -j.
+// Profiles build concurrently through a workspace pool; rows print in
+// suite order regardless of -j.
+//
+// Profiles derive through the workspace's content-addressed artifact
+// cache: -cache-budget bounds its resident bytes, and -cache-dir attaches
+// a persistent disk tier shared across runs and processes, so a repeated
+// invocation loads its profiles from disk instead of re-emulating (use
+// -artifacts to see the hit/miss/disk counters proving it).
 //
 // Usage:
 //
 //	deadprof [-bench name] [-n budget] [-hoist n] [-licm n] [-regs n]
-//	         [-locality] [-mix] [-j workers]
+//	         [-locality] [-mix] [-j workers] [-cache-budget bytes]
+//	         [-cache-dir dir] [-disk-budget bytes] [-artifacts]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/bytesize"
+	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/deadness"
 	"repro/internal/metrics"
@@ -23,6 +33,15 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// benchRow is the plain data one benchmark contributes to the tables,
+// captured while its profile is pinned so no row render touches an
+// evictable trace.
+type benchRow struct {
+	summary  deadness.Summary
+	locality deadness.Locality
+	mix      deadness.Mix
+}
 
 func main() {
 	bench := flag.String("bench", "", "benchmark name (default: whole suite)")
@@ -34,6 +53,10 @@ func main() {
 	mix := flag.Bool("mix", false, "print the dynamic instruction-class mix instead")
 	workers := flag.Int("j", 0, "max concurrently building profiles (0 = GOMAXPROCS)")
 	analyzeShards := flag.Int("analyze-shards", 0, "analyze-stage shard count (0 = GOMAXPROCS, 1 = serial)")
+	cacheBudget := flag.String("cache-budget", "", "artifact-cache resident-byte budget, e.g. 256MiB (empty or 0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact-cache directory shared across runs (empty = memory only)")
+	diskBudget := flag.String("disk-budget", "", "disk byte budget for -cache-dir, e.g. 1GiB (empty or 0 = unlimited)")
+	artStats := flag.Bool("artifacts", false, "print the artifact-cache counter snapshot (JSON) to stderr at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the profiling runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -48,34 +71,66 @@ func main() {
 		profiles = []workload.Profile{p}
 	}
 
-	// Compiler-option overrides make these profiles distinct from the
-	// workspace defaults, so build them directly through a bounded pool
-	// (no memo to share) and render sequentially from the indexed results.
+	cacheBytes, err := bytesize.Parse(*cacheBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diskBytes, err := bytesize.Parse(*diskBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := core.NewWorkspaceWorkers(*budget, *workers)
+	w.AnalyzeShards = *analyzeShards
+	w.CacheBudget = cacheBytes
+	if *cacheDir != "" {
+		if err := w.OpenDiskCache(*cacheDir, diskBytes); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else if diskBytes != 0 {
+		fmt.Fprintln(os.Stderr, "deadprof: -disk-budget requires -cache-dir")
+		os.Exit(1)
+	}
+
 	stopCPU, err := metrics.StartCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	pool := core.NewPool(*workers)
-	results := make([]*core.ProfileResult, len(profiles))
-	err = pool.ForEach(context.Background(), len(profiles), func(i int) error {
+	needMix := *mix
+	rows := make([]benchRow, len(profiles))
+	err = w.Pool().ForEach(context.Background(), len(profiles), func(i int) error {
 		p := profiles[i]
-		opts := p.Opts
-		if *hoist >= 0 {
-			opts.MaxHoist = *hoist
+		// No override leaves opts nil, so the profile artifact (in memory
+		// and on disk) is the same one deadsim and experiments derive.
+		var opts *compiler.Options
+		if *hoist >= 0 || *licm >= 0 || *regs >= 0 {
+			o := p.Opts
+			if *hoist >= 0 {
+				o.MaxHoist = *hoist
+			}
+			if *licm >= 0 {
+				o.MaxLICM = *licm
+			}
+			if *regs >= 0 {
+				o.NumRegs = *regs
+			}
+			opts = &o
 		}
-		if *licm >= 0 {
-			opts.MaxLICM = *licm
-		}
-		if *regs >= 0 {
-			opts.NumRegs = *regs
-		}
-		res, err := core.ProfileShards(p, &opts, *budget, *analyzeShards)
+		err := w.WithProfileOptions(p.Name, opts, func(res *core.ProfileResult) error {
+			rows[i] = benchRow{summary: res.Summary, locality: res.Locality}
+			if needMix {
+				rows[i].mix = deadness.ComputeMix(res.Trace)
+			}
+			return nil
+		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.Name, err)
 		}
-		results[i] = res
 		return nil
 	})
 	stopCPU()
@@ -89,17 +144,24 @@ func main() {
 			os.Exit(1)
 		}
 	}()
+	if *artStats {
+		defer func() {
+			enc := json.NewEncoder(os.Stderr)
+			enc.SetIndent("", "  ")
+			enc.Encode(w.ArtifactStats())
+		}()
+	}
 
 	if *mix {
-		printMix(profiles, results)
+		printMix(profiles, rows)
 		return
 	}
 
 	tb := stats.NewTable("bench", "dyn", "dead%", "first%", "trans%",
 		"alu", "loads", "stores", "hoist-dead", "spill-dead", "statics")
 	for i, p := range profiles {
-		res := results[i]
-		s := res.Summary
+		s := rows[i].summary
+		loc := rows[i].locality
 		tb.AddRow(p.Name,
 			fmt.Sprint(s.Total),
 			stats.Pct(s.DeadFraction()),
@@ -110,14 +172,14 @@ func main() {
 			fmt.Sprint(s.DeadStores),
 			fmt.Sprint(s.ByProv[program.ProvHoisted].Dead),
 			fmt.Sprint(s.ByProv[program.ProvSpill].Dead+s.ByProv[program.ProvReload].Dead),
-			fmt.Sprint(res.Locality.DeadStatics),
+			fmt.Sprint(loc.DeadStatics),
 		)
 		if *locality {
 			fmt.Printf("%s locality: %d dead statics, %.1f%% of dead from partially dead statics\n",
-				p.Name, res.Locality.DeadStatics, 100*res.Locality.DeadFromPartial)
-			for i, pt := range res.Locality.CoveragePoints {
+				p.Name, loc.DeadStatics, 100*loc.DeadFromPartial)
+			for i, pt := range loc.CoveragePoints {
 				fmt.Printf("  top %4d statics cover %.1f%% of dead instances\n",
-					pt, 100*res.Locality.CoverageAt[i])
+					pt, 100*loc.CoverageAt[i])
 			}
 		}
 	}
@@ -126,11 +188,11 @@ func main() {
 
 // printMix emits the suite characterization table: dynamic instruction
 // class distribution and branch behaviour.
-func printMix(profiles []workload.Profile, results []*core.ProfileResult) {
+func printMix(profiles []workload.Profile, rows []benchRow) {
 	tb := stats.NewTable("bench", "dyn", "alu%", "muldiv%", "load%", "store%",
 		"branch%", "taken%", "jump%")
 	for i, p := range profiles {
-		m := deadness.ComputeMix(results[i].Trace)
+		m := rows[i].mix
 		tb.AddRow(p.Name, fmt.Sprint(m.Total),
 			stats.Pct(m.Fraction(m.ALU)), stats.Pct(m.Fraction(m.MulDiv)),
 			stats.Pct(m.Fraction(m.Loads)), stats.Pct(m.Fraction(m.Stores)),

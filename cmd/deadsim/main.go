@@ -7,7 +7,15 @@
 // Usage:
 //
 //	deadsim [-bench name] [-n budget] [-machine baseline|contended|deep]
-//	        [-regs n] [-elim off|on|both] [-j workers] [-v]
+//	        [-regs n] [-elim off|on|both] [-j workers] [-cache-budget bytes]
+//	        [-cache-dir dir] [-disk-budget bytes] [-v]
+//
+// Profiles and machine runs derive through the workspace's
+// content-addressed artifact cache; -cache-budget bounds its resident
+// bytes, and -cache-dir attaches a persistent disk tier shared across
+// runs and processes (bounded by -disk-budget), so repeated invocations
+// load artifacts from disk instead of recomputing them. The -v run
+// summary includes the per-kind cache and disk-tier counters.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bytesize"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
@@ -31,6 +40,9 @@ func main() {
 	elim := flag.String("elim", "both", "off, on, or both")
 	workers := flag.Int("j", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
 	analyzeShards := flag.Int("analyze-shards", 0, "analyze-stage shard count (0 = GOMAXPROCS, 1 = serial)")
+	cacheBudget := flag.String("cache-budget", "", "artifact-cache resident-byte budget, e.g. 256MiB (empty or 0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact-cache directory shared across runs (empty = memory only)")
+	diskBudget := flag.String("disk-budget", "", "disk byte budget for -cache-dir, e.g. 1GiB (empty or 0 = unlimited)")
 	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulations to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -61,8 +73,29 @@ func main() {
 		names = []string{*bench}
 	}
 
+	cacheBytes, err := bytesize.Parse(*cacheBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diskBytes, err := bytesize.Parse(*diskBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	w := core.NewWorkspaceWorkers(*budget, *workers)
 	w.AnalyzeShards = *analyzeShards
+	w.CacheBudget = cacheBytes
+	if *cacheDir != "" {
+		if err := w.OpenDiskCache(*cacheDir, diskBytes); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else if diskBytes != 0 {
+		fmt.Fprintln(os.Stderr, "deadsim: -disk-budget requires -cache-dir")
+		os.Exit(1)
+	}
 	mc := metrics.New()
 	if *verbose {
 		mc.SetVerbose(os.Stderr)

@@ -8,8 +8,8 @@
 // Usage:
 //
 //	experiments [-only id[,id...]] [-skip id[,id...]] [-n budget] [-j workers]
-//	            [-cache-budget bytes] [-v] [-md | -json]
-//	            [-keep-going] [-timeout d] [-retries n]
+//	            [-cache-budget bytes] [-cache-dir dir] [-disk-budget bytes]
+//	            [-v] [-md | -json] [-keep-going] [-timeout d] [-retries n]
 //
 // Experiment selection: -only restricts the run to the listed ids, -skip
 // excludes ids from whatever -only selected (default: all); both validate
@@ -20,7 +20,13 @@
 // machine runs through a content-addressed artifact cache; -cache-budget
 // bounds its resident bytes (suffixes KiB/MiB/GiB; 0 = unlimited), with
 // least-recently-used artifacts evicted and rebuilt deterministically on
-// demand. Per-kind hit/miss/eviction counters appear in the -v run
+// demand. -cache-dir additionally attaches a persistent disk tier shared
+// across runs (and safely across concurrent processes): artifacts write
+// through on build, cold misses load from disk instead of rebuilding, and
+// evictions spill to disk; -disk-budget bounds the directory, with the
+// oldest entries garbage-collected beyond it. Per-kind
+// hit/miss/eviction counters — and the disk tier's
+// hit/miss/write/verify-failure/GC counters — appear in the -v run
 // summary and the -json "artifacts" section.
 //
 // Failure handling: each experiment attempt is bounded by -timeout,
@@ -39,10 +45,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 
 	"repro/internal/artifact"
+	"repro/internal/bytesize"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -67,6 +73,8 @@ func run() int {
 	skip := flag.String("skip", "", "comma-separated experiment ids to exclude")
 	budget := flag.Int("n", core.DefaultBudget, "per-benchmark dynamic instruction budget")
 	cacheBudget := flag.String("cache-budget", "", "artifact-cache resident-byte budget, e.g. 256MiB (empty or 0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact-cache directory shared across runs (empty = memory only)")
+	diskBudget := flag.String("disk-budget", "", "disk byte budget for -cache-dir, e.g. 1GiB (empty or 0 = unlimited)")
 	md := flag.Bool("md", false, "emit markdown sections (EXPERIMENTS.md body)")
 	asJSON := flag.Bool("json", false, "emit machine-readable metrics")
 	workers := flag.Int("j", 0, "max concurrently executing heavy tasks (0 = GOMAXPROCS)")
@@ -104,7 +112,12 @@ func run() int {
 		return exitUsage
 	}
 
-	cacheBytes, err := parseBytes(*cacheBudget)
+	cacheBytes, err := bytesize.Parse(*cacheBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
+	}
+	diskBytes, err := bytesize.Parse(*diskBudget)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return exitUsage
@@ -113,6 +126,15 @@ func run() int {
 	w := core.NewWorkspaceWorkers(*budget, *workers)
 	w.AnalyzeShards = *analyzeShards
 	w.CacheBudget = cacheBytes
+	if *cacheDir != "" {
+		if err := w.OpenDiskCache(*cacheDir, diskBytes); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitUsage
+		}
+	} else if diskBytes != 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -disk-budget requires -cache-dir")
+		return exitUsage
+	}
 	mc := metrics.New()
 	if *verbose {
 		mc.SetVerbose(os.Stderr)
@@ -248,37 +270,6 @@ func selectExperiments(only, skip string) ([]string, error) {
 		return nil, fmt.Errorf("experiments: -only/-skip selected no experiments")
 	}
 	return list, nil
-}
-
-// parseBytes parses a byte count with an optional KB/MB/GB or binary
-// KiB/MiB/GiB suffix. Empty means 0 (unlimited).
-func parseBytes(s string) (int64, error) {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return 0, nil
-	}
-	orig := s
-	mult := int64(1)
-	upper := strings.ToUpper(s)
-	for _, suf := range []struct {
-		name string
-		mult int64
-	}{
-		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
-		{"KB", 1000}, {"MB", 1000 * 1000}, {"GB", 1000 * 1000 * 1000},
-		{"B", 1},
-	} {
-		if strings.HasSuffix(upper, suf.name) {
-			mult = suf.mult
-			s = strings.TrimSpace(s[:len(s)-len(suf.name)])
-			break
-		}
-	}
-	n, err := strconv.ParseInt(s, 10, 64)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("experiments: bad byte count %q (want e.g. 256MiB, 1GiB, 900000)", orig)
-	}
-	return n * mult, nil
 }
 
 // printJSON emits the machine-readable form: the experiments array is

@@ -11,12 +11,20 @@
 // Artifacts are pure functions of their spec: a rebuild after eviction
 // must be bit-identical to the original, which is what makes eviction
 // invisible to the experiment outputs.
+//
+// A store may additionally be backed by a persistent disk tier (SetDisk):
+// kinds with a registered Codec write through to a content-addressed
+// on-disk cache on build, cold misses load from disk instead of
+// rebuilding, and LRU-evicted artifacts spill to disk rather than being
+// dropped. Disk entries are integrity-verified on readback and the disk
+// tier is safe to share between concurrent processes; see Disk.
 package artifact
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -72,6 +80,19 @@ type KindStats struct {
 	// InflightWaits counts requesters that blocked on another goroutine's
 	// in-flight build of the same artifact.
 	InflightWaits int64 `json:"inflight_waits"`
+
+	// Disk-tier counters, populated only when the store has a persistent
+	// tier and a codec for the kind. DiskHits counts requests served by
+	// loading a verified disk entry (those do NOT count as Misses: no
+	// build ran). DiskMisses counts disk lookups that found nothing
+	// usable, DiskWrites successful persists, VerifyFailures entries
+	// rejected (and deleted) by integrity verification, and
+	// DiskGCEvictions entries deleted by the disk byte-budget GC.
+	DiskHits        int64 `json:"disk_hits,omitempty"`
+	DiskMisses      int64 `json:"disk_misses,omitempty"`
+	DiskWrites      int64 `json:"disk_writes,omitempty"`
+	VerifyFailures  int64 `json:"disk_verify_failures,omitempty"`
+	DiskGCEvictions int64 `json:"disk_gc_evictions,omitempty"`
 }
 
 // Stats is a snapshot of the store.
@@ -81,6 +102,10 @@ type Stats struct {
 	// held; BudgetBytes is the configured bound (0 = unlimited).
 	ResidentBytes int64 `json:"resident_bytes"`
 	BudgetBytes   int64 `json:"budget_bytes,omitempty"`
+	// DiskUsedBytes/DiskBudgetBytes describe the persistent tier when one
+	// is attached (see SetDisk).
+	DiskUsedBytes   int64 `json:"disk_used_bytes,omitempty"`
+	DiskBudgetBytes int64 `json:"disk_budget_bytes,omitempty"`
 }
 
 // entry is one artifact slot: in-flight until done is closed, then either
@@ -94,6 +119,7 @@ type entry struct {
 	size     int64
 	err      error
 	panicked bool
+	fromDisk bool // loaded from the persistent tier, already on disk
 
 	// Guarded by the store lock.
 	refs       int    // pinned readers (builder + hit requesters)
@@ -122,6 +148,10 @@ type Store struct {
 	// lru is a doubly-linked list of unpinned resident entries; head is
 	// the least recently released, tail the most recent.
 	head, tail *entry
+	// Persistent tier (nil = memory only) and the per-kind codec registry
+	// deciding which kinds it persists.
+	disk   *Disk
+	codecs map[Kind]Codec
 }
 
 // New creates a store bounded to budgetBytes of resident artifact data
@@ -137,6 +167,35 @@ func New(budgetBytes int64) *Store {
 
 // Budget returns the configured byte budget (0 = unlimited).
 func (s *Store) Budget() int64 { return s.budget }
+
+// RegisterCodec makes kind persistable through the disk tier. Register
+// codecs (and attach the disk with SetDisk) before first use: kinds
+// without a codec are never written to or read from disk.
+func (s *Store) RegisterCodec(kind Kind, c Codec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.codecs == nil {
+		s.codecs = make(map[Kind]Codec)
+	}
+	s.codecs[kind] = c
+}
+
+// SetDisk attaches a persistent disk tier (nil detaches). With a tier
+// attached, kinds with a registered codec write through on build, satisfy
+// cold misses from disk, and spill to disk when the in-memory LRU evicts
+// them. Set before first use.
+func (s *Store) SetDisk(d *Disk) {
+	s.mu.Lock()
+	s.disk = d
+	s.mu.Unlock()
+}
+
+// DiskTier returns the attached persistent tier, or nil.
+func (s *Store) DiskTier() *Disk {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.disk
+}
 
 // SetMetrics directs per-kind counters to mc as well (nil disables).
 // Safe to call between operations.
@@ -158,7 +217,21 @@ func (s *Store) Stats() Stats {
 	for k, ks := range s.stats {
 		out.Kinds[k] = *ks
 	}
+	if s.disk != nil {
+		// Lock order Store.mu → Disk.mu is safe: the disk tier never
+		// calls back into the store.
+		out.DiskBudgetBytes = s.disk.Budget()
+		out.DiskUsedBytes = s.disk.UsedBytes()
+	}
 	return out
+}
+
+// bump increments one per-kind disk counter without the store lock held
+// on entry.
+func (s *Store) bump(prefix string, k Kind, sel func(*KindStats) *int64) {
+	s.mu.Lock()
+	s.count(prefix, k, sel(s.kindStats(k)))
+	s.mu.Unlock()
 }
 
 // count bumps one per-kind counter pair (snapshot + collector). Call with
@@ -218,8 +291,8 @@ func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), e
 
 	e = &entry{key: key, done: make(chan struct{}), refs: 1}
 	s.items[key] = e
-	ks := s.kindStats(key.Kind)
-	s.count("artifact_misses", key.Kind, &ks.Misses)
+	codec := s.codecs[key.Kind]
+	disk := s.disk
 	s.mu.Unlock()
 
 	func() {
@@ -233,6 +306,16 @@ func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), e
 			}
 			close(e.done)
 		}()
+		if disk != nil && codec != nil {
+			if v, size, ok := s.diskLoad(key, disk, codec); ok {
+				e.val, e.size, e.fromDisk = v, size, true
+				return
+			}
+			s.bump("artifact_disk_misses", key.Kind, func(ks *KindStats) *int64 { return &ks.DiskMisses })
+		}
+		// Misses counts builds actually executed, so a disk hit above does
+		// not register one: "zero misses" on a warm run means zero rebuilds.
+		s.bump("artifact_misses", key.Kind, func(ks *KindStats) *int64 { return &ks.Misses })
 		var v T
 		v, e.size, e.err = build()
 		e.val = v
@@ -249,7 +332,59 @@ func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), e
 		s.used += e.size
 	}
 	s.mu.Unlock()
+	if e.err == nil && !e.fromDisk && disk != nil && codec != nil {
+		// Write through while the value is pinned by this Get: persistence
+		// must encode before any eviction can release pooled resources.
+		s.persist(key, e.val, disk, codec)
+	}
 	return finishGet[T](s, e)
+}
+
+// diskLoad tries to satisfy a cold miss from the persistent tier. It
+// reports ok only for an entry that passed integrity verification and
+// decoded cleanly; any failure (including a corrupt entry, which Read has
+// already deleted) degrades to a rebuild.
+func (s *Store) diskLoad(key Key, d *Disk, c Codec) (v any, size int64, ok bool) {
+	payload, release, err := d.ReadView(key)
+	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			s.bump("artifact_disk_verify_failures", key.Kind, func(ks *KindStats) *int64 { return &ks.VerifyFailures })
+		}
+		return nil, 0, false
+	}
+	v, size, err = c.Decode(payload)
+	release()
+	if err != nil {
+		// The bytes were intact (digest verified) but the codec rejected
+		// them — a stale format from another build of the code. Delete so
+		// the rebuild's write-through replaces it.
+		d.remove(key)
+		s.bump("artifact_disk_verify_failures", key.Kind, func(ks *KindStats) *int64 { return &ks.VerifyFailures })
+		return nil, 0, false
+	}
+	s.bump("artifact_disk_hits", key.Kind, func(ks *KindStats) *int64 { return &ks.DiskHits })
+	return v, size, true
+}
+
+// persist writes an artifact through to the disk tier (if not already
+// present) and runs the byte-budget GC. Persistence is best-effort: a
+// failed write leaves the in-memory artifact untouched.
+func (s *Store) persist(key Key, v any, d *Disk, c Codec) {
+	if d.Has(key) {
+		return
+	}
+	payload, err := encodeToBytes(c, v)
+	if err != nil {
+		return
+	}
+	if err := d.Write(key, payload); err != nil {
+		return
+	}
+	s.bump("artifact_disk_writes", key.Kind, func(ks *KindStats) *int64 { return &ks.DiskWrites })
+	for _, k := range d.GC() {
+		s.bump("artifact_disk_gc_evictions", k.Kind, func(ks *KindStats) *int64 { return &ks.DiskGCEvictions })
+	}
 }
 
 // finishGet reads a completed entry and hands the caller its pin.
@@ -284,7 +419,7 @@ func (s *Store) release(e *entry) {
 		victims = s.evictOverBudgetLocked()
 	}
 	s.mu.Unlock()
-	releaseVictims(victims)
+	s.releaseVictims(victims)
 }
 
 // EvictAll drops every unpinned resident artifact regardless of budget,
@@ -296,16 +431,34 @@ func (s *Store) EvictAll() {
 		victims = append(victims, s.evictHeadLocked())
 	}
 	s.mu.Unlock()
-	releaseVictims(victims)
+	s.releaseVictims(victims)
 }
 
-// releaseVictims runs evicted values' Releasers outside the store lock.
-func releaseVictims(victims []*entry) {
+// releaseVictims spills evicted values to the disk tier (if attached and
+// not already present there) and then runs their Releasers, all outside
+// the store lock. The spill must precede the Releaser: releasing may
+// recycle pooled resources the encoder still needs.
+func (s *Store) releaseVictims(victims []*entry) {
+	s.mu.Lock()
+	disk := s.disk
+	s.mu.Unlock()
 	for _, v := range victims {
+		if disk != nil && v.err == nil {
+			if c := s.codecFor(v.key.Kind); c != nil {
+				s.persist(v.key, v.val, disk, c)
+			}
+		}
 		if r, ok := v.val.(Releaser); ok {
 			r.ReleaseArtifact()
 		}
 	}
+}
+
+// codecFor returns the registered codec for kind, or nil.
+func (s *Store) codecFor(kind Kind) Codec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.codecs[kind]
 }
 
 // evictOverBudgetLocked drops least-recently-used unpinned entries until

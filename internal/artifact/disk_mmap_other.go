@@ -1,0 +1,15 @@
+//go:build !unix
+
+package artifact
+
+import "os"
+
+// mapFile reads the file at path into memory. Platforms without mmap
+// support fall back to a plain read; the release function is a no-op.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -1,0 +1,41 @@
+//go:build unix
+
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file at path into memory and returns its bytes plus a
+// release function that must be called exactly once when the caller is
+// done with them. The mapping is private (copy-on-write), so fault
+// injection mangling the returned bytes never reaches the file, and it is
+// writable only to permit that mangling. Mapping replaces a read that
+// would otherwise allocate and copy the whole entry through a syscall
+// loop — on the warm-start path the decoder consumes the pages directly.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("entry too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mmap: %w", err)
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,70 @@
+package bytesize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"", 0},
+		{"  ", 0},
+		{"0", 0},
+		{"900000", 900000},
+		{"1B", 1},
+		{"7b", 7},
+		{"1KB", 1000},
+		{"1KiB", 1024},
+		{"1kib", 1024},
+		{"256MiB", 256 << 20},
+		{"256 MiB", 256 << 20},
+		{"1GiB", 1 << 30},
+		{"2GB", 2_000_000_000},
+		{"3MB", 3_000_000},
+		{" 8 KiB ", 8192},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	for _, in := range []string{
+		"abc", "-1", "-5MiB", "MiB", "12XB", "1.5GiB", "0x10", "1 2MiB", "∞",
+	} {
+		if n, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %d, want error", in, n)
+		}
+	}
+}
+
+func TestParseOverflow(t *testing.T) {
+	// MaxInt64 with no suffix is fine; any scaling that would exceed it
+	// must error instead of silently wrapping.
+	if n, err := Parse("9223372036854775807"); err != nil || n != math.MaxInt64 {
+		t.Errorf("Parse(MaxInt64) = %d, %v", n, err)
+	}
+	for _, in := range []string{
+		"9223372036854775808", // > MaxInt64 before scaling
+		"9007199254740993GiB", // overflows after scaling
+		"10000000000GB",
+	} {
+		if n, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %d, want overflow error", in, n)
+		}
+	}
+	// The largest representable scaled values still parse.
+	if n, err := Parse("8589934591GiB"); err != nil || n != 8589934591<<30 {
+		t.Errorf("Parse(8589934591GiB) = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/compiler"
+	"repro/internal/deadness"
+	"repro/internal/lebytes"
+	"repro/internal/trace"
+)
+
+// firstNonBool returns the index of the first byte in b that is neither 0
+// nor 1, or -1 if every byte is a valid bool image; it scans a word at a
+// time.
+func firstNonBool(b []byte) int {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		if binary.LittleEndian.Uint64(b[i:])&^0x0101010101010101 != 0 {
+			break
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] > 1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Profile persistence: a profile artifact serializes as a small JSON
+// header (identity + summaries), the linked trace in the trace package's
+// version-2 binary format, and the analysis fact arrays as raw columns.
+// The program and pass stats are deliberately NOT stored — compilation is
+// deterministic and cheap, so Decode recompiles through the workspace's
+// program artifact instead of trusting serialized code.
+//
+// Layout: uvarint header length, JSON header, uvarint trace length,
+// SaveLinked trace, then Kind/Candidate/EverRead as one byte per record
+// and Resolve as little-endian int32. Every section is validated on
+// decode (strict JSON, the trace loader's own checks, 0/1 booleans,
+// deadness.Restore's invariants); a payload that fails any of them is
+// treated as corrupt and rebuilt.
+
+// profileHeader is the JSON section of a persisted profile.
+type profileHeader struct {
+	Bench    string
+	Budget   int
+	Opts     *compiler.Options `json:",omitempty"`
+	Summary  deadness.Summary
+	Locality deadness.Locality
+}
+
+// maxProfileHeaderBytes bounds the untrusted header-length prefix.
+const maxProfileHeaderBytes = 1 << 20
+
+// profileCodec persists KindProfile artifacts. It holds the workspace so
+// Decode can recompile the benchmark's program (served from the program
+// artifact, so repeated decodes compile once).
+type profileCodec struct {
+	w *Workspace
+}
+
+func (c profileCodec) Encode(w io.Writer, v any) error {
+	res, ok := v.(*ProfileResult)
+	if !ok {
+		return fmt.Errorf("core: profile codec got %T", v)
+	}
+	if res.Trace == nil || !res.Trace.Linked {
+		return fmt.Errorf("core: profile codec requires a linked trace")
+	}
+	n := res.Trace.Len()
+	a := res.Analysis
+	if a == nil || len(a.Kind) != n || len(a.Candidate) != n || len(a.EverRead) != n || len(a.Resolve) != n {
+		return fmt.Errorf("core: profile codec: analysis does not match %d-record trace", n)
+	}
+	hdr, err := json.Marshal(profileHeader{
+		Bench:    res.Bench,
+		Budget:   c.w.Budget,
+		Opts:     res.opts,
+		Summary:  res.Summary,
+		Locality: res.Locality,
+	})
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var lb [binary.MaxVarintLen64]byte
+	if _, err := bw.Write(lb[:binary.PutUvarint(lb[:], uint64(len(hdr)))]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.Write(lb[:binary.PutUvarint(lb[:], uint64(res.Trace.LinkedSize()))]); err != nil {
+		return err
+	}
+	if err := res.Trace.SaveLinked(bw); err != nil {
+		return err
+	}
+	if lebytes.Little {
+		// The analysis columns' memory images are their wire images.
+		for _, col := range [4][]byte{lebytes.U8(a.Kind), lebytes.Bool(a.Candidate),
+			lebytes.Bool(a.EverRead), lebytes.I32(a.Resolve)} {
+			if _, err := bw.Write(col); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	}
+	buf := make([]byte, n)
+	for i, k := range a.Kind {
+		buf[i] = byte(k)
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, col := range [2][]bool{a.Candidate, a.EverRead} {
+		for i, b := range col {
+			if b {
+				buf[i] = 1
+			} else {
+				buf[i] = 0
+			}
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	rbuf := make([]byte, 4*n)
+	for i, r := range a.Resolve {
+		binary.LittleEndian.PutUint32(rbuf[i*4:], uint32(r))
+	}
+	if _, err := bw.Write(rbuf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// EncodeSizeHint bounds the encoded size of a profile so the write path
+// can allocate its buffer once: the trace section's exact length, the
+// analysis columns' 7 bytes per record, and slack for the JSON header and
+// length prefixes.
+func (c profileCodec) EncodeSizeHint(v any) int {
+	res, ok := v.(*ProfileResult)
+	if !ok || res.Trace == nil || !res.Trace.Linked {
+		return 0
+	}
+	return int(res.Trace.LinkedSize()) + 7*res.Trace.Len() + 4096
+}
+
+func (c profileCodec) Decode(payload []byte) (any, int64, error) {
+	hlen, hn := binary.Uvarint(payload)
+	if hn <= 0 {
+		return nil, 0, fmt.Errorf("core: profile decode: header length: %w", io.ErrUnexpectedEOF)
+	}
+	if hlen > maxProfileHeaderBytes {
+		return nil, 0, fmt.Errorf("core: profile decode: header claims %d bytes", hlen)
+	}
+	off := hn
+	if uint64(len(payload)-off) < hlen {
+		return nil, 0, fmt.Errorf("core: profile decode: header: %w", io.ErrUnexpectedEOF)
+	}
+	var h profileHeader
+	dec := json.NewDecoder(bytes.NewReader(payload[off : off+int(hlen)]))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&h); err != nil {
+		return nil, 0, fmt.Errorf("core: profile decode: header: %w", err)
+	}
+	off += int(hlen)
+	if h.Bench == "" {
+		return nil, 0, fmt.Errorf("core: profile decode: empty benchmark name")
+	}
+	if h.Budget != c.w.Budget {
+		return nil, 0, fmt.Errorf("core: profile decode: entry budget %d, workspace budget %d", h.Budget, c.w.Budget)
+	}
+	// Recompiling the program shares no state with the payload, so it runs
+	// concurrently with the trace and analysis decode below; the channel is
+	// buffered so an early decode-error return never strands the goroutine.
+	type compiled struct {
+		cp  compiledProgram
+		err error
+	}
+	progCh := make(chan compiled, 1)
+	go func() {
+		cp, err := c.w.programOf(h.Bench, h.Opts)
+		progCh <- compiled{cp, err}
+	}()
+	tlen, tn := binary.Uvarint(payload[off:])
+	if tn <= 0 {
+		return nil, 0, fmt.Errorf("core: profile decode: trace length: %w", io.ErrUnexpectedEOF)
+	}
+	off += tn
+	if tlen > uint64(len(payload)-off) {
+		return nil, 0, fmt.Errorf("core: profile decode: trace section claims %d bytes, have %d", tlen, len(payload)-off)
+	}
+	tr, err := trace.LoadBytes(payload[off:off+int(tlen)], 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: profile decode: %w", err)
+	}
+	off += int(tlen)
+	n := tr.Len()
+	if len(payload)-off != 3*n+4*n {
+		return nil, 0, fmt.Errorf("core: profile decode: analysis section is %d bytes, want %d", len(payload)-off, 7*n)
+	}
+	kind := make([]deadness.Kind, n)
+	bools := [2][]bool{make([]bool, n), make([]bool, n)}
+	resolve := make([]int32, n)
+	if lebytes.Little {
+		copy(lebytes.U8(kind), payload[off:off+n])
+		off += n
+		for ci, col := range bools {
+			if i := firstNonBool(payload[off : off+n]); i >= 0 {
+				return nil, 0, fmt.Errorf("core: profile decode: bool column %d: byte %d", ci, payload[off+i])
+			}
+			copy(lebytes.Bool(col), payload[off:off+n])
+			off += n
+		}
+		copy(lebytes.I32(resolve), payload[off:off+4*n])
+	} else {
+		for i, b := range payload[off : off+n] {
+			kind[i] = deadness.Kind(b)
+		}
+		off += n
+		for ci, col := range bools {
+			for i, b := range payload[off : off+n] {
+				if b > 1 {
+					return nil, 0, fmt.Errorf("core: profile decode: bool column %d: byte %d", ci, b)
+				}
+				col[i] = b == 1
+			}
+			off += n
+		}
+		for i := range resolve {
+			resolve[i] = int32(binary.LittleEndian.Uint32(payload[off+i*4:]))
+		}
+	}
+	a, err := deadness.Restore(n, kind, bools[0], bools[1], resolve)
+	if err != nil {
+		return nil, 0, err
+	}
+	prog := <-progCh
+	if prog.err != nil {
+		return nil, 0, fmt.Errorf("core: profile decode: recompiling %s: %w", h.Bench, prog.err)
+	}
+	res := &ProfileResult{
+		Bench:     h.Bench,
+		Prog:      prog.cp.Prog,
+		Trace:     tr,
+		Analysis:  a,
+		Summary:   h.Summary,
+		Locality:  h.Locality,
+		PassStats: prog.cp.Stats,
+		opts:      h.Opts,
+	}
+	return res, res.SizeBytes(), nil
+}

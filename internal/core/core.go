@@ -30,6 +30,11 @@ type ProfileResult struct {
 	Summary   deadness.Summary
 	Locality  deadness.Locality
 	PassStats compiler.PassStats
+
+	// opts records the compile-option override the profile was built with
+	// (nil = the workload's own options), so the persistent artifact tier
+	// can recompile the program on decode instead of serializing it.
+	opts *compiler.Options
 }
 
 // SizeBytes estimates the resident footprint charged against the

@@ -178,9 +178,32 @@ func (w *Workspace) artifacts() *artifact.Store {
 		// fault, a cancelled context — is forgotten so a later attempt
 		// rebuilds it, which is what makes engine-level retry effective.
 		w.store.MemoErr = func(err error) bool { return !evictable(err) }
+		// Register the persistable kinds. Programs are deliberately absent:
+		// compiling is cheaper than encoding, and the profile codec
+		// recompiles on decode anyway.
+		w.store.RegisterCodec(KindProfile, profileCodec{w})
+		w.store.RegisterCodec(KindPredEval, artifact.JSONCodec[dip.Result]{Size: predEvalSize})
+		w.store.RegisterCodec(KindMachine, artifact.JSONCodec[pipeline.Stats]{Size: machineStatsSize})
 	}
 	w.store.SetMetrics(w.Metrics)
 	return w.store
+}
+
+// OpenDiskCache attaches a persistent disk tier rooted at dir to the
+// workspace's artifact store: profiles, predictor evaluations, and
+// machine runs write through to a content-addressed on-disk cache, cold
+// misses load from disk instead of rebuilding, and in-memory evictions
+// spill to disk. budgetBytes bounds the directory (0 = unlimited; the
+// oldest entries are garbage-collected beyond it). The directory may be
+// shared with concurrent processes. Call before the first artifact
+// request.
+func (w *Workspace) OpenDiskCache(dir string, budgetBytes int64) error {
+	d, err := artifact.OpenDisk(dir, budgetBytes)
+	if err != nil {
+		return err
+	}
+	w.artifacts().SetDisk(d)
+	return nil
 }
 
 // ArtifactStats snapshots the workspace's artifact-cache counters and
@@ -250,7 +273,13 @@ func (w *Workspace) ProfileWithOptions(name string, opts *compiler.Options) (*Pr
 // guaranteed resident (not evicted, chunks not recycled) until fn
 // returns. Use it for any consumer that reads res.Trace.
 func (w *Workspace) WithProfile(name string, fn func(*ProfileResult) error) error {
-	res, release, err := w.profileFor(name, nil)
+	return w.WithProfileOptions(name, nil, fn)
+}
+
+// WithProfileOptions is WithProfile with an explicit compile-option
+// override (nil means the workload's own options).
+func (w *Workspace) WithProfileOptions(name string, opts *compiler.Options, fn func(*ProfileResult) error) error {
+	res, release, err := w.profileFor(name, opts)
 	if err != nil {
 		return err
 	}
@@ -278,6 +307,7 @@ func (w *Workspace) buildProfile(name string, opts *compiler.Options) (res *Prof
 	if err != nil {
 		return nil, 0, err
 	}
+	res.opts = opts
 	return res, res.SizeBytes(), nil
 }
 

@@ -104,6 +104,41 @@ func (a *Analysis) SizeBytes() int64 {
 	return int64(cap(a.Kind) + cap(a.Candidate) + cap(a.EverRead) + cap(a.Resolve)*4)
 }
 
+// Restore reconstructs a finished Analysis from its serialized fact
+// arrays (a persisted profile artifact) for a trace of n records. The
+// arrays are untrusted input, so the post-finish invariants are checked:
+// equal lengths, valid kinds, non-candidates classified Live, and every
+// resolve point in [1, n] (the sentinel never survives finish). The
+// candidate count is recomputed rather than trusted.
+func Restore(n int, kind []Kind, candidate, everRead []bool, resolve []int32) (*Analysis, error) {
+	if len(kind) != n || len(candidate) != n || len(everRead) != n || len(resolve) != n {
+		return nil, fmt.Errorf("deadness: restore: array lengths %d/%d/%d/%d, want %d",
+			len(kind), len(candidate), len(everRead), len(resolve), n)
+	}
+	candidates := 0
+	for i := 0; i < n; i++ {
+		if kind[i] > Transitive {
+			return nil, fmt.Errorf("deadness: restore: record %d: invalid kind %d", i, uint8(kind[i]))
+		}
+		if !candidate[i] && kind[i] != Live {
+			return nil, fmt.Errorf("deadness: restore: record %d: non-candidate classified %v", i, kind[i])
+		}
+		if resolve[i] < 1 || resolve[i] > int32(n) {
+			return nil, fmt.Errorf("deadness: restore: record %d: resolve point %d out of range", i, resolve[i])
+		}
+		if candidate[i] {
+			candidates++
+		}
+	}
+	return &Analysis{
+		Kind:       kind,
+		Candidate:  candidate,
+		EverRead:   everRead,
+		Resolve:    resolve,
+		candidates: candidates,
+	}, nil
+}
+
 // isRoot reports usefulness roots: instructions whose execution matters
 // regardless of any produced value.
 func isRoot(op isa.Op) bool {

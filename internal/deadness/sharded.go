@@ -86,11 +86,11 @@ const (
 type fixup struct {
 	seq   int32
 	kind  uint8
-	slot  uint8    // fixRegRead: 1 (Src1) or 2 (Src2)
-	reg   isa.Reg  // register events
-	width uint8    // memory events
-	mask  uint8    // fixStore: bit b set ⇒ byte b was unclaimed in-shard
-	ci    int32    // fixRegRead/fixLoad: local index within c
+	slot  uint8   // fixRegRead: 1 (Src1) or 2 (Src2)
+	reg   isa.Reg // register events
+	width uint8   // memory events
+	mask  uint8   // fixStore: bit b set ⇒ byte b was unclaimed in-shard
+	ci    int32   // fixRegRead/fixLoad: local index within c
 	c     *trace.Chunk
 	addr  uint64   // memory events
 	wr    [8]int32 // fixLoad: in-shard per-byte writers at load time

@@ -42,6 +42,13 @@ const (
 	SiteWorkspaceMemo Site = "workspace.memo"
 	// SiteSimulate fires before each pipeline simulation in the workspace.
 	SiteSimulate Site = "core.simulate"
+	// SiteArtifactDisk fires on the persistent artifact tier's disk paths:
+	// once per write attempt (a fault abandons persistence for that
+	// artifact — the in-memory result is unaffected), once per rename, and
+	// once per readback (a fault degrades the lookup to a rebuild).
+	// Corrupt rules at this site mangle the payload bytes in flight, which
+	// the store's integrity verification must catch on readback.
+	SiteArtifactDisk Site = "artifact.disk"
 )
 
 // Kind is the failure mode a rule injects.

@@ -1,0 +1,42 @@
+// Package lebytes provides little-endian bulk views over numeric slices,
+// so serializers can move whole columns with one copy (memmove bandwidth)
+// instead of an element-at-a-time decode loop. On a little-endian host a
+// slice's in-memory image IS its little-endian wire image, so the views
+// are exact; Little gates every use, and callers fall back to scalar
+// encoding/binary loops when it is false.
+//
+// The views alias their argument's backing array via unsafe.Slice, which
+// is valid because the element types carry no pointers and the byte
+// length equals the original allocation's. Callers must not let a view
+// outlive its slice.
+package lebytes
+
+import "unsafe"
+
+// Little reports whether the host is little-endian.
+var Little = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// U8 views a byte-sized-element slice (enums, flags) as raw bytes.
+func U8[T ~uint8](s []T) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s))
+}
+
+// Bool views a bool slice as raw bytes. When writing through the view,
+// the caller must store only 0 or 1: any other value is not a valid Go
+// bool and comparisons on it misbehave.
+func Bool(s []bool) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s))
+}
+
+// I32 views an int32 slice as raw bytes (4 bytes per element).
+func I32(s []int32) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), 4*len(s))
+}
+
+// U64 views a uint64 slice as raw bytes (8 bytes per element).
+func U64(s []uint64) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), 8*len(s))
+}

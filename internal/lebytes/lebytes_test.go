@@ -1,0 +1,75 @@
+package lebytes
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestLittleAgreesWithEncodingBinary pins the endianness probe against
+// the standard library's arithmetic view: writing a multi-byte value
+// through the reinterpreted view must read back identically through
+// binary.LittleEndian exactly when Little is true.
+func TestLittleAgreesWithEncodingBinary(t *testing.T) {
+	s := []int32{0x04030201}
+	b := I32(s)
+	little := binary.LittleEndian.Uint32(b) == 0x04030201
+	if little != Little {
+		t.Fatalf("Little = %v, but byte order probe says little-endian = %v", Little, little)
+	}
+}
+
+// TestViewsAliasAndSize checks each view covers exactly the backing
+// array and writes through it are visible in the typed slice.
+func TestViewsAliasAndSize(t *testing.T) {
+	type kind uint8
+	ks := []kind{1, 2, 3}
+	if b := U8(ks); len(b) != 3 {
+		t.Fatalf("U8 len = %d", len(b))
+	} else {
+		b[1] = 9
+		if ks[1] != 9 {
+			t.Fatalf("U8 view does not alias: %v", ks)
+		}
+	}
+
+	bs := []bool{false, true}
+	if b := Bool(bs); len(b) != 2 || b[0] != 0 || b[1] != 1 {
+		t.Fatalf("Bool view = %v", b)
+	} else {
+		b[0] = 1
+		if !bs[0] {
+			t.Fatalf("Bool view does not alias: %v", bs)
+		}
+	}
+
+	is := []int32{-1, 7}
+	if b := I32(is); len(b) != 8 {
+		t.Fatalf("I32 len = %d", len(b))
+	}
+
+	us := []uint64{1, 2, 3}
+	if b := U64(us); len(b) != 24 {
+		t.Fatalf("U64 len = %d", len(b))
+	}
+
+	if b := I32(nil); len(b) != 0 {
+		t.Fatalf("nil I32 len = %d", len(b))
+	}
+}
+
+// TestRoundTrip copies a wire image into typed columns through the
+// views and checks the decoded values, the way the trace and profile
+// codecs use the package.
+func TestRoundTrip(t *testing.T) {
+	if !Little {
+		t.Skip("views are only used as wire images on little-endian hosts")
+	}
+	wire := make([]byte, 8)
+	binary.LittleEndian.PutUint32(wire[0:], 0xFFFFFFFE) // -2
+	binary.LittleEndian.PutUint32(wire[4:], 41)
+	got := make([]int32, 2)
+	copy(I32(got), wire)
+	if got[0] != -2 || got[1] != 41 {
+		t.Fatalf("decoded %v", got)
+	}
+}

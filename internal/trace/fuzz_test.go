@@ -32,6 +32,19 @@ func FuzzTraceLoad(f *testing.F) {
 	huge := bytes.Clone(full.Bytes())
 	binary.LittleEndian.PutUint32(huge[8:], 1<<30)
 	f.Add(huge)
+	// The version-2 linked format, whole and truncated mid-links. Larger
+	// real serializations (emulated benchmark prefixes in both formats)
+	// live in testdata/fuzz/FuzzTraceLoad.
+	linked := sampleTrace()
+	if err := linked.Link(); err != nil {
+		f.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := linked.SaveLinked(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:v2.Len()-6])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := LoadLimit(bytes.NewReader(data), 1<<16)
@@ -41,16 +54,21 @@ func FuzzTraceLoad(f *testing.F) {
 		if !tr.Linked {
 			t.Fatal("Load returned an unlinked trace")
 		}
-		var out bytes.Buffer
-		if err := tr.Save(&out); err != nil {
-			t.Fatalf("re-saving a loaded trace: %v", err)
-		}
-		back, err := LoadLimit(bytes.NewReader(out.Bytes()), 1<<16)
-		if err != nil {
-			t.Fatalf("reloading a re-saved trace: %v", err)
-		}
-		if !reflect.DeepEqual(back.Records(), tr.Records()) {
-			t.Fatal("Save/Load round trip is not a fixed point")
+		for _, save := range []func(*Trace, *bytes.Buffer) error{
+			func(tr *Trace, b *bytes.Buffer) error { return tr.Save(b) },
+			func(tr *Trace, b *bytes.Buffer) error { return tr.SaveLinked(b) },
+		} {
+			var out bytes.Buffer
+			if err := save(tr, &out); err != nil {
+				t.Fatalf("re-saving a loaded trace: %v", err)
+			}
+			back, err := LoadLimit(bytes.NewReader(out.Bytes()), 1<<16)
+			if err != nil {
+				t.Fatalf("reloading a re-saved trace: %v", err)
+			}
+			if !reflect.DeepEqual(back.Records(), tr.Records()) {
+				t.Fatal("Save/Load round trip is not a fixed point")
+			}
 		}
 	})
 }

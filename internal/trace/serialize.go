@@ -3,63 +3,258 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/isa"
+	"repro/internal/lebytes"
 )
 
-// Binary trace format: a fixed header followed by fixed-width records.
-// Producer links are not stored — they are derived state, recomputed by
-// Link on load — so the format stays compact (24 bytes per record) and
-// version-stable.
+// Binary trace formats: a fixed header followed by the trace body.
+//
+// Version 1 stores fixed-width row records only — producer links are
+// derived state, recomputed by Link on load — so the format stays compact
+// (24 bytes per record) and version-stable.
+//
+// Version 2 ("linked", written by SaveLinked) is the warm-start format of
+// the persistent artifact tier, laid out for load speed: after the header
+// comes a per-chunk byte-size table, then one self-contained columnar
+// section per chunk (hot columns back to back, then the memory address
+// side table, then each load's producer-store list). Column sections
+// decode with bulk reads and tight per-column loops instead of per-record
+// scatter, the size table lets chunks decode independently — in parallel
+// on multi-core hosts — and loading restores the links instead of
+// re-deriving them, which removes the writer-map walk from the warm-start
+// path. Every link is validated against the only invariant that matters
+// (a producer strictly precedes its consumer), so a corrupt links section
+// is rejected, never trusted.
 const (
-	traceMagic   = 0x64746363 // "dtcc"
-	traceVersion = 1
-	recordBytes  = 24
+	traceMagic         = 0x64746363 // "dtcc"
+	traceVersion       = 1
+	traceVersionLinked = 2
+	recordBytes        = 24 // version-1 row record image
+
+	// hotColumnBytes is the per-record cost of a version-2 section's fixed
+	// columns: PC(4) Op(1) Rd(1) Rs1(1) Rs2(1) Taken(1) NextPC(4) Src1(4)
+	// Src2(4).
+	hotColumnBytes = 21
+	// maxSectionBytesPerRecord bounds a version-2 chunk section per record:
+	// fixed columns, an 8-byte address, and a maximal producer list (count
+	// byte + 4 bytes per producer). The size table is validated against it
+	// so a corrupt table cannot demand an oversized allocation.
+	maxSectionBytesPerRecord = hotColumnBytes + 8 + 1 + 4*MaxMemProducers
 )
 
-// Save writes the trace to w. The trace need not be linked.
-func (t *Trace) Save(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
+// writeHeader emits the 12-byte file header.
+func writeHeader(bw *bufio.Writer, version uint32, n int) error {
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.n))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return err
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(n))
+	_, err := bw.Write(hdr[:])
+	return err
+}
+
+// encodeRecord fills one 24-byte version-1 record image.
+func (c *Chunk) encodeRecord(i int, buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(c.PC[i]))
+	buf[4] = uint8(c.Op[i])
+	buf[5] = uint8(c.Rd[i])
+	buf[6] = uint8(c.Rs1[i])
+	buf[7] = uint8(c.Rs2[i])
+	binary.LittleEndian.PutUint32(buf[8:], uint32(c.NextPC[i]))
+	var addr uint64
+	var width uint8
+	if mi := c.MemIdx[i]; mi >= 0 {
+		addr, width = c.Addr[mi], c.Width[mi]
 	}
-	var buf [recordBytes]byte
+	binary.LittleEndian.PutUint64(buf[12:], addr)
+	buf[20] = width
+	if c.Taken[i] {
+		buf[21] = 1
+	} else {
+		buf[21] = 0
+	}
+	// buf[22:24] reserved, zero.
+	buf[22], buf[23] = 0, 0
+}
+
+// writeRecords encodes the version-1 record section a chunk at a time:
+// each chunk's records are assembled into one reusable buffer and written
+// with a single Write, instead of one 24-byte Write per record.
+func (t *Trace) writeRecords(bw *bufio.Writer) error {
+	buf := make([]byte, ChunkSize*recordBytes)
 	for ci := 0; ci < t.NumChunks(); ci++ {
 		c := t.chunks[ci]
-		for i := 0; i < c.Len(); i++ {
-			binary.LittleEndian.PutUint32(buf[0:], uint32(c.PC[i]))
-			buf[4] = uint8(c.Op[i])
-			buf[5] = uint8(c.Rd[i])
-			buf[6] = uint8(c.Rs1[i])
-			buf[7] = uint8(c.Rs2[i])
-			binary.LittleEndian.PutUint32(buf[8:], uint32(c.NextPC[i]))
-			var addr uint64
-			var width uint8
-			if mi := c.MemIdx[i]; mi >= 0 {
-				addr, width = c.Addr[mi], c.Width[mi]
-			}
-			binary.LittleEndian.PutUint64(buf[12:], addr)
-			buf[20] = width
-			if c.Taken[i] {
-				buf[21] = 1
+		cn := c.Len()
+		b := buf[:cn*recordBytes]
+		for i := 0; i < cn; i++ {
+			c.encodeRecord(i, b[i*recordBytes:])
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Save writes the trace to w in the version-1 format (records only; links
+// are recomputed on load). The trace need not be linked.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeHeader(bw, traceVersion, t.n); err != nil {
+		return err
+	}
+	if err := t.writeRecords(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// sectionSize returns the byte length of the chunk's version-2 columnar
+// section.
+func (c *Chunk) sectionSize() int {
+	n := c.Len()*hotColumnBytes + len(c.Addr)*8
+	for i := 0; i < c.Len(); i++ {
+		if mi := c.MemIdx[i]; mi >= 0 && c.Op[i].IsLoad() {
+			n += 1 + 4*int(c.srcLen[mi])
+		}
+	}
+	return n
+}
+
+// encodeSection fills b (sized by sectionSize) with the chunk's columnar
+// section. Access widths are not stored: Link proved every memory record's
+// width equals its opcode's MemWidth, so the loader re-derives them. On
+// little-endian hosts each column is one copy (a Go bool is stored as 0 or
+// 1, so the Taken column's memory image is its wire image too).
+func (c *Chunk) encodeSection(b []byte) {
+	cn := c.Len()
+	var off int
+	if lebytes.Little {
+		copy(b[:4*cn], lebytes.I32(c.PC))
+		copy(b[4*cn:5*cn], lebytes.U8(c.Op))
+		copy(b[5*cn:6*cn], lebytes.U8(c.Rd))
+		copy(b[6*cn:7*cn], lebytes.U8(c.Rs1))
+		copy(b[7*cn:8*cn], lebytes.U8(c.Rs2))
+		copy(b[8*cn:9*cn], lebytes.Bool(c.Taken))
+		copy(b[9*cn:13*cn], lebytes.I32(c.NextPC))
+		copy(b[13*cn:17*cn], lebytes.I32(c.Src1))
+		copy(b[17*cn:21*cn], lebytes.I32(c.Src2))
+		copy(b[21*cn:], lebytes.U64(c.Addr))
+		off = 21*cn + 8*len(c.Addr)
+	} else {
+		for i, v := range c.PC {
+			binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+		}
+		off = 4 * cn
+		for i, v := range c.Op {
+			b[off+i] = byte(v)
+		}
+		off += cn
+		for i, v := range c.Rd {
+			b[off+i] = byte(v)
+		}
+		off += cn
+		for i, v := range c.Rs1 {
+			b[off+i] = byte(v)
+		}
+		off += cn
+		for i, v := range c.Rs2 {
+			b[off+i] = byte(v)
+		}
+		off += cn
+		for i, v := range c.Taken {
+			if v {
+				b[off+i] = 1
 			} else {
-				buf[21] = 0
+				b[off+i] = 0
 			}
-			// buf[22:24] reserved, zero.
-			buf[22], buf[23] = 0, 0
-			if _, err := bw.Write(buf[:]); err != nil {
-				return err
-			}
+		}
+		off += cn
+		for i, v := range c.NextPC {
+			binary.LittleEndian.PutUint32(b[off+i*4:], uint32(v))
+		}
+		off += 4 * cn
+		for i, v := range c.Src1 {
+			binary.LittleEndian.PutUint32(b[off+i*4:], uint32(v))
+		}
+		off += 4 * cn
+		for i, v := range c.Src2 {
+			binary.LittleEndian.PutUint32(b[off+i*4:], uint32(v))
+		}
+		off += 4 * cn
+		for i, v := range c.Addr {
+			binary.LittleEndian.PutUint64(b[off+i*8:], v)
+		}
+		off += 8 * len(c.Addr)
+	}
+	// Loads' producer-store lists, in record order: one count byte per
+	// load followed by the producers. Stores carry no list.
+	for i := 0; i < cn; i++ {
+		mi := c.MemIdx[i]
+		if mi < 0 || !c.Op[i].IsLoad() {
+			continue
+		}
+		b[off] = c.srcLen[mi]
+		off++
+		s := c.srcOff[mi]
+		for k := int32(0); k < int32(c.srcLen[mi]); k++ {
+			binary.LittleEndian.PutUint32(b[off:], uint32(c.memSrcs[s+k]))
+			off += 4
+		}
+	}
+}
+
+// SaveLinked writes the trace to w in the version-2 columnar format, which
+// carries the producer links alongside the records. Loading it skips the
+// link pass, so a persisted profile warm-starts without re-deriving
+// def-use state. The trace must be linked.
+func (t *Trace) SaveLinked(w io.Writer) error {
+	if !t.Linked {
+		return errors.New("trace: SaveLinked requires a linked trace (call Link first)")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeHeader(bw, traceVersionLinked, t.n); err != nil {
+		return err
+	}
+	nc := t.NumChunks()
+	sizes := make([]int, nc)
+	tbl := make([]byte, 4*nc)
+	maxSize := 0
+	for ci := 0; ci < nc; ci++ {
+		sizes[ci] = t.chunks[ci].sectionSize()
+		binary.LittleEndian.PutUint32(tbl[ci*4:], uint32(sizes[ci]))
+		maxSize = max(maxSize, sizes[ci])
+	}
+	if _, err := bw.Write(tbl); err != nil {
+		return err
+	}
+	buf := make([]byte, maxSize)
+	for ci := 0; ci < nc; ci++ {
+		b := buf[:sizes[ci]]
+		t.chunks[ci].encodeSection(b)
+		if _, err := bw.Write(b); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// LinkedSize returns the exact number of bytes SaveLinked will write for
+// the trace, so callers embedding a trace in a larger stream can length-
+// prefix the section without buffering it. The trace must be linked.
+func (t *Trace) LinkedSize() int64 {
+	nc := t.NumChunks()
+	n := int64(12 + 4*nc)
+	for ci := 0; ci < nc; ci++ {
+		n += int64(t.chunks[ci].sectionSize())
+	}
+	return n
 }
 
 // DefaultLoadLimit caps how many records Load accepts. The header count
@@ -69,88 +264,522 @@ func (t *Trace) Save(w io.Writer) error {
 // in memory) is far beyond any trace this repository produces.
 const DefaultLoadLimit = 1 << 24
 
-// Load reads a trace written by Save and links it. It rejects traces
-// larger than DefaultLoadLimit records; use LoadLimit for other bounds.
+// Load reads a trace written by Save or SaveLinked and returns it linked.
+// It rejects traces larger than DefaultLoadLimit records; use LoadLimit
+// for other bounds.
 func Load(r io.Reader) (*Trace, error) {
 	return LoadLimit(r, DefaultLoadLimit)
 }
 
-// LoadLimit reads a trace written by Save, rejecting headers that claim
-// more than limit records (limit <= 0 means DefaultLoadLimit). The record
-// slice grows incrementally as records validate, so a corrupt header
-// cannot force a giant upfront allocation, and the stream must end
-// exactly at the last record: trailing garbage and nonzero reserved bytes
+// parseHeader validates the 12-byte file header against limit and returns
+// the format version and record count.
+func parseHeader(hdr []byte, limit int) (version uint32, n int, err error) {
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != traceMagic {
+		return 0, 0, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	version = binary.LittleEndian.Uint32(hdr[4:])
+	cnt := binary.LittleEndian.Uint32(hdr[8:])
+	if uint64(cnt) > uint64(limit) {
+		return 0, 0, fmt.Errorf("trace: header claims %d records, limit %d", cnt, limit)
+	}
+	return version, int(cnt), nil
+}
+
+// bodyBound returns the largest body (post-header byte count) any valid
+// n-record trace of the given version can have. The header count is
+// validated against the load limit before this runs, so the bound caps how
+// much of an untrusted stream LoadLimit will ever buffer.
+func bodyBound(version uint32, n int) (int, error) {
+	switch version {
+	case traceVersion:
+		return n * recordBytes, nil
+	case traceVersionLinked:
+		if n == 0 {
+			return 0, nil
+		}
+		nc := (n-1)>>ChunkBits + 1
+		return 4*nc + n*maxSectionBytesPerRecord, nil
+	default:
+		return 0, fmt.Errorf("trace: unsupported version %d", version)
+	}
+}
+
+// LoadLimit reads a trace written by Save (version 1, links recomputed) or
+// SaveLinked (version 2, links restored and validated), rejecting headers
+// that claim more than limit records (limit <= 0 means DefaultLoadLimit).
+// The body is buffered incrementally up to the version's per-record bound,
+// so a corrupt header cannot force a giant upfront allocation, and the
+// stream must end exactly at the last byte: trailing garbage, malformed
+// records, and link entries that do not strictly precede their consumer
 // are errors.
 func LoadLimit(r io.Reader, limit int) (*Trace, error) {
 	if limit <= 0 {
 		limit = DefaultLoadLimit
 	}
-	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [12]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if m := binary.LittleEndian.Uint32(hdr[0:]); m != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %#x", m)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	n := binary.LittleEndian.Uint32(hdr[8:])
-	if uint64(n) > uint64(limit) {
-		return nil, fmt.Errorf("trace: header claims %d records, limit %d", n, limit)
-	}
-	// Honor the validated header count as the capacity hint: chunked
-	// storage means a lying header can demand at most one chunk of
-	// upfront allocation, and further chunks materialize only as records
-	// validate.
-	t := NewWithCapacity(int(n))
-	inj := faults.Active()
-	var buf [recordBytes]byte
-	for i := uint32(0); i < n; i++ {
-		if inj != nil {
-			if err := inj.Fire(faults.SiteTraceLoad); err != nil {
-				return nil, fmt.Errorf("trace: record %d: %w", i, err)
-			}
-		}
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
-		}
-		if inj != nil {
-			inj.Mangle(faults.SiteTraceLoad, buf[:])
-		}
-		if buf[22] != 0 || buf[23] != 0 {
-			return nil, fmt.Errorf("trace: record %d: nonzero reserved bytes", i)
-		}
-		var rec Record
-		rec.PC = int32(binary.LittleEndian.Uint32(buf[0:]))
-		rec.Op = isa.Op(buf[4])
-		rec.Rd = isa.Reg(buf[5])
-		rec.Rs1 = isa.Reg(buf[6])
-		rec.Rs2 = isa.Reg(buf[7])
-		rec.NextPC = int32(binary.LittleEndian.Uint32(buf[8:]))
-		rec.Addr = binary.LittleEndian.Uint64(buf[12:])
-		rec.Width = buf[20]
-		rec.Taken = buf[21] != 0
-		if !rec.Op.Valid() {
-			return nil, fmt.Errorf("trace: record %d: invalid opcode %d", i, buf[4])
-		}
-		if rec.Rd >= isa.NumRegs || rec.Rs1 >= isa.NumRegs || rec.Rs2 >= isa.NumRegs {
-			return nil, fmt.Errorf("trace: record %d: register out of range", i)
-		}
-		if !rec.Op.IsMem() && (rec.Addr != 0 || rec.Width != 0) {
-			return nil, fmt.Errorf("trace: record %d: memory fields on non-memory op %v", i, rec.Op)
-		}
-		t.append(&rec)
-	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		if err != nil {
-			return nil, fmt.Errorf("trace: after record %d: %w", n, err)
-		}
-		return nil, fmt.Errorf("trace: trailing garbage after %d records", n)
-	}
-	if err := t.Link(); err != nil {
+	version, n, err := parseHeader(hdr[:], limit)
+	if err != nil {
 		return nil, err
 	}
+	bound, err := bodyBound(version, n)
+	if err != nil {
+		return nil, err
+	}
+	// Read one byte past the bound: a stream still going at that point
+	// cannot be a valid trace, and cutting it off keeps a lying stream
+	// from exhausting memory.
+	body, err := io.ReadAll(io.LimitReader(r, int64(bound)+1))
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading body: %w", err)
+	}
+	if len(body) > bound {
+		return nil, fmt.Errorf("trace: trailing garbage after %d records", n)
+	}
+	return loadBody(version, n, body, false)
+}
+
+// LoadBytes decodes a trace image (as written by Save or SaveLinked) held
+// entirely in memory, with the same validation and limit semantics as
+// LoadLimit. Columnar sections decode straight out of data with no
+// intermediate copy, which makes this the fast path for callers that
+// already hold the image — the persistent artifact tier's warm start
+// reads a verified payload and decodes it in place. No reference to data
+// is retained.
+func LoadBytes(data []byte, limit int) (*Trace, error) {
+	if limit <= 0 {
+		limit = DefaultLoadLimit
+	}
+	if len(data) < 12 {
+		return nil, fmt.Errorf("trace: reading header: %w", io.ErrUnexpectedEOF)
+	}
+	version, n, err := parseHeader(data, limit)
+	if err != nil {
+		return nil, err
+	}
+	return loadBody(version, n, data[12:], true)
+}
+
+// loadBody decodes the post-header bytes of either format. shared marks a
+// body aliasing a caller-owned buffer, which fault injection must not
+// corrupt in place.
+func loadBody(version uint32, n int, body []byte, shared bool) (*Trace, error) {
+	inj := faults.Active()
+	if inj != nil && shared {
+		body = append([]byte(nil), body...)
+	}
+	switch version {
+	case traceVersion:
+		if len(body) < n*recordBytes {
+			return nil, fmt.Errorf("trace: record %d: %w", len(body)/recordBytes, io.ErrUnexpectedEOF)
+		}
+		if len(body) > n*recordBytes {
+			return nil, fmt.Errorf("trace: trailing garbage after %d records", n)
+		}
+		t, err := loadRecords(body, n, inj)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Link(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case traceVersionLinked:
+		return loadColumnar(body, n, inj)
+	default:
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+}
+
+// extend returns s resized to n elements, reusing its arena when the
+// capacity allows (the pooled-chunk fast path) and reallocating otherwise.
+// Contents are unspecified; the caller overwrites every element.
+func extend[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// loadRecords decodes the version-1 record section (already sized exactly
+// by loadBody) chunk by chunk, with tight per-column loops.
+func loadRecords(body []byte, n int, inj *faults.Injector) (*Trace, error) {
+	t := NewWithCapacity(n)
+	for base := 0; base < n; base += ChunkSize {
+		cn := min(n-base, ChunkSize)
+		b := body[base*recordBytes : (base+cn)*recordBytes]
+		if inj != nil {
+			if err := inj.Fire(faults.SiteTraceLoad); err != nil {
+				return nil, fmt.Errorf("trace: record %d: %w", base, err)
+			}
+			inj.Mangle(faults.SiteTraceLoad, b)
+		}
+		ci := base >> ChunkBits
+		var c *Chunk
+		if ci < len(t.chunks) {
+			c = t.chunks[ci]
+		} else {
+			c = newChunk(ChunkSize)
+			t.chunks = append(t.chunks, c)
+		}
+		if err := c.decodeRecords(b, base, cn); err != nil {
+			return nil, err
+		}
+		t.n += cn
+	}
 	return t, nil
+}
+
+// decodeRecords fills the chunk from cn version-1 row records, validating
+// each field (opcode, registers, memory fields only on memory ops).
+func (c *Chunk) decodeRecords(b []byte, base, cn int) error {
+	c.PC = extend(c.PC, cn)
+	c.Op = extend(c.Op, cn)
+	c.Rd = extend(c.Rd, cn)
+	c.Rs1 = extend(c.Rs1, cn)
+	c.Rs2 = extend(c.Rs2, cn)
+	c.Taken = extend(c.Taken, cn)
+	c.NextPC = extend(c.NextPC, cn)
+	c.Src1 = extend(c.Src1, cn)
+	c.Src2 = extend(c.Src2, cn)
+	c.MemIdx = extend(c.MemIdx, cn)
+	memCnt := 0
+	for i := 0; i < cn; i++ {
+		r := b[i*recordBytes : (i+1)*recordBytes]
+		if r[22] != 0 || r[23] != 0 {
+			return fmt.Errorf("trace: record %d: nonzero reserved bytes", base+i)
+		}
+		op := isa.Op(r[4])
+		if !op.Valid() {
+			return fmt.Errorf("trace: record %d: invalid opcode %d", base+i, r[4])
+		}
+		rd, rs1, rs2 := isa.Reg(r[5]), isa.Reg(r[6]), isa.Reg(r[7])
+		if rd >= isa.NumRegs || rs1 >= isa.NumRegs || rs2 >= isa.NumRegs {
+			return fmt.Errorf("trace: record %d: register out of range", base+i)
+		}
+		c.PC[i] = int32(binary.LittleEndian.Uint32(r[0:]))
+		c.Op[i] = op
+		c.Rd[i], c.Rs1[i], c.Rs2[i] = rd, rs1, rs2
+		c.NextPC[i] = int32(binary.LittleEndian.Uint32(r[8:]))
+		c.Taken[i] = r[21] != 0
+		c.Src1[i], c.Src2[i] = 0, 0
+		if op.IsMem() {
+			c.MemIdx[i] = int32(memCnt)
+			memCnt++
+		} else {
+			if binary.LittleEndian.Uint64(r[12:]) != 0 || r[20] != 0 {
+				return fmt.Errorf("trace: record %d: memory fields on non-memory op %v", base+i, op)
+			}
+			c.MemIdx[i] = -1
+		}
+	}
+	c.Addr = extend(c.Addr, memCnt)
+	c.Width = extend(c.Width, memCnt)
+	c.srcOff = extend(c.srcOff, memCnt)
+	c.srcLen = extend(c.srcLen, memCnt)
+	mi := 0
+	for i := 0; i < cn; i++ {
+		if c.MemIdx[i] < 0 {
+			continue
+		}
+		r := b[i*recordBytes:]
+		c.Addr[mi] = binary.LittleEndian.Uint64(r[12:])
+		c.Width[mi] = r[20]
+		c.srcOff[mi], c.srcLen[mi] = 0, 0
+		mi++
+	}
+	return nil
+}
+
+// loadColumnar decodes the version-2 body: the chunk size table, then one
+// columnar section per chunk, each sliced straight out of body with no
+// intermediate copy. Sections are independent, so on multi-core hosts they
+// decode in parallel — the warm-start path's wall clock is one chunk's
+// decode, not the sum over chunks.
+func loadColumnar(body []byte, n int, inj *faults.Injector) (*Trace, error) {
+	t := &Trace{Linked: true}
+	if n == 0 {
+		if len(body) != 0 {
+			return nil, fmt.Errorf("trace: trailing garbage after 0 records")
+		}
+		return t, nil
+	}
+	nc := (n-1)>>ChunkBits + 1
+	if len(body) < 4*nc {
+		return nil, fmt.Errorf("trace: chunk size table: %w", io.ErrUnexpectedEOF)
+	}
+	tbl := body[:4*nc]
+	if inj != nil {
+		if err := inj.Fire(faults.SiteTraceLoad); err != nil {
+			return nil, fmt.Errorf("trace: chunk size table: %w", err)
+		}
+		inj.Mangle(faults.SiteTraceLoad, tbl)
+	}
+	sizes := make([]int, nc)
+	for k := range sizes {
+		cn := min(n-k<<ChunkBits, ChunkSize)
+		sz := int(binary.LittleEndian.Uint32(tbl[k*4:]))
+		if sz < cn*hotColumnBytes || sz > cn*maxSectionBytesPerRecord {
+			return nil, fmt.Errorf("trace: chunk %d: section size %d out of range", k, sz)
+		}
+		sizes[k] = sz
+	}
+	parallel := nc > 1 && runtime.GOMAXPROCS(0) > 1
+	errs := make([]error, nc)
+	var wg sync.WaitGroup
+	off := 4 * nc
+	for k := 0; k < nc; k++ {
+		cn := min(n-k<<ChunkBits, ChunkSize)
+		if len(body)-off < sizes[k] {
+			wg.Wait()
+			return nil, fmt.Errorf("trace: chunk %d: %w", k, io.ErrUnexpectedEOF)
+		}
+		sec := body[off : off+sizes[k]]
+		off += sizes[k]
+		if inj != nil {
+			if err := inj.Fire(faults.SiteTraceLoad); err != nil {
+				wg.Wait()
+				return nil, fmt.Errorf("trace: chunk %d: %w", k, err)
+			}
+			inj.Mangle(faults.SiteTraceLoad, sec)
+		}
+		c := newChunk(min(cn, ChunkSize))
+		t.chunks = append(t.chunks, c)
+		base := k << ChunkBits
+		if parallel {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				errs[k] = c.decodeSection(sec, base, cn)
+			}(k)
+		} else {
+			errs[k] = c.decodeSection(sec, base, cn)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("trace: trailing garbage after %d records", n)
+	}
+	t.n = n
+	return t, nil
+}
+
+// Decoder classification table, 256-wide so an arbitrary opcode byte
+// indexes it safely: zero means invalid, otherwise the valid bit, the
+// memory/load flags, and the access width in the high nibble. Built from
+// the isa predicate methods so they stay the single source of truth
+// (mirroring isa's own flag tables).
+const (
+	opInfoValid = 1 << 0
+	opInfoMem   = 1 << 1
+	opInfoLoad  = 1 << 2
+)
+
+var opInfo = func() (t [256]uint8) {
+	for i := range t {
+		op := isa.Op(i)
+		if !op.Valid() {
+			continue
+		}
+		b := uint8(opInfoValid)
+		if op.IsMem() {
+			b |= opInfoMem
+		}
+		if op.IsLoad() {
+			b |= opInfoLoad
+		}
+		t[i] = b | uint8(op.MemWidth())<<4
+	}
+	return t
+}()
+
+// SWAR masks for word-at-a-time column validation. A register byte is
+// valid iff it carries no bit outside NumRegs-1 (NumRegs is a power of
+// two — enforced at compile time below); a taken byte must be 0 or 1.
+const (
+	swarSpread    = 0x0101010101010101
+	regHighBits   = 0xFF &^ (isa.NumRegs - 1)
+	regHighMask   = regHighBits * swarSpread
+	takenHighMask = 0xFE * swarSpread
+)
+
+var _ = [1]struct{}{}[isa.NumRegs&(isa.NumRegs-1)] // NumRegs must be a power of two
+
+// validateRegsTaken checks the three register columns against NumRegs and
+// the taken column against {0,1}, eight records per step; a failing word
+// falls back to a scalar scan to attribute the exact record.
+func validateRegsTaken(rdb, rs1b, rs2b, takenb []byte, base, cn int) error {
+	i := 0
+	for ; i+8 <= cn; i += 8 {
+		w := binary.LittleEndian.Uint64(rdb[i:]) |
+			binary.LittleEndian.Uint64(rs1b[i:]) |
+			binary.LittleEndian.Uint64(rs2b[i:])
+		if w&regHighMask != 0 || binary.LittleEndian.Uint64(takenb[i:])&takenHighMask != 0 {
+			break
+		}
+	}
+	for ; i < cn; i++ {
+		if rdb[i]|rs1b[i]|rs2b[i] >= isa.NumRegs {
+			return fmt.Errorf("trace: record %d: register out of range", base+i)
+		}
+		if takenb[i] > 1 {
+			return fmt.Errorf("trace: record %d: invalid taken flag %d", base+i, takenb[i])
+		}
+	}
+	return nil
+}
+
+// decodeSection fills the chunk from one version-2 columnar section whose
+// first record is trace sequence number base. Every field is validated:
+// opcodes, registers, taken flags, producer links strictly preceding
+// their consumer, load producer lists bounded by the access width and
+// distinct, and the section consumed exactly. On little-endian hosts the
+// columns transfer as single copies (their wire image is their memory
+// image) with the validation running as word-at-a-time scans; other hosts
+// take the scalar loops.
+func (c *Chunk) decodeSection(b []byte, base, cn int) error {
+	// Section size was validated >= cn*hotColumnBytes by the caller.
+	pcb := b[:4*cn]
+	opb := b[4*cn : 5*cn]
+	rdb := b[5*cn : 6*cn]
+	rs1b := b[6*cn : 7*cn]
+	rs2b := b[7*cn : 8*cn]
+	takenb := b[8*cn : 9*cn]
+	nextb := b[9*cn : 13*cn]
+	src1b := b[13*cn : 17*cn]
+	src2b := b[17*cn : 21*cn]
+	rest := b[21*cn:]
+
+	c.PC = extend(c.PC, cn)
+	c.Op = extend(c.Op, cn)
+	c.Rd = extend(c.Rd, cn)
+	c.Rs1 = extend(c.Rs1, cn)
+	c.Rs2 = extend(c.Rs2, cn)
+	c.Taken = extend(c.Taken, cn)
+	c.NextPC = extend(c.NextPC, cn)
+	c.Src1 = extend(c.Src1, cn)
+	c.Src2 = extend(c.Src2, cn)
+	c.MemIdx = extend(c.MemIdx, cn)
+
+	memCnt := 0
+	for i := 0; i < cn; i++ {
+		inf := opInfo[opb[i]]
+		if inf&opInfoValid == 0 {
+			return fmt.Errorf("trace: record %d: invalid opcode %d", base+i, opb[i])
+		}
+		if inf&opInfoMem != 0 {
+			c.MemIdx[i] = int32(memCnt)
+			memCnt++
+		} else {
+			c.MemIdx[i] = -1
+		}
+	}
+	if err := validateRegsTaken(rdb, rs1b, rs2b, takenb, base, cn); err != nil {
+		return err
+	}
+	if lebytes.Little {
+		copy(lebytes.U8(c.Op[:cn]), opb)
+		copy(lebytes.U8(c.Rd[:cn]), rdb)
+		copy(lebytes.U8(c.Rs1[:cn]), rs1b)
+		copy(lebytes.U8(c.Rs2[:cn]), rs2b)
+		copy(lebytes.Bool(c.Taken[:cn]), takenb) // bytes proved 0/1 above
+		copy(lebytes.I32(c.PC[:cn]), pcb)
+		copy(lebytes.I32(c.NextPC[:cn]), nextb)
+		copy(lebytes.I32(c.Src1[:cn]), src1b)
+		copy(lebytes.I32(c.Src2[:cn]), src2b)
+	} else {
+		for i := 0; i < cn; i++ {
+			c.Op[i] = isa.Op(opb[i])
+			c.Rd[i], c.Rs1[i], c.Rs2[i] = isa.Reg(rdb[i]), isa.Reg(rs1b[i]), isa.Reg(rs2b[i])
+			c.Taken[i] = takenb[i] != 0
+			c.PC[i] = int32(binary.LittleEndian.Uint32(pcb[i*4:]))
+			c.NextPC[i] = int32(binary.LittleEndian.Uint32(nextb[i*4:]))
+			c.Src1[i] = int32(binary.LittleEndian.Uint32(src1b[i*4:]))
+			c.Src2[i] = int32(binary.LittleEndian.Uint32(src2b[i*4:]))
+		}
+	}
+	for i, v := range c.Src1[:cn] {
+		if v != NoProducer && (v < 0 || v >= int32(base+i)) {
+			return fmt.Errorf("trace: record %d: src1 producer %d out of range", base+i, v)
+		}
+	}
+	for i, v := range c.Src2[:cn] {
+		if v != NoProducer && (v < 0 || v >= int32(base+i)) {
+			return fmt.Errorf("trace: record %d: src2 producer %d out of range", base+i, v)
+		}
+	}
+
+	if len(rest) < 8*memCnt {
+		return fmt.Errorf("trace: chunk at %d: truncated address column", base)
+	}
+	addrb := rest[:8*memCnt]
+	prod := rest[8*memCnt:]
+	c.Addr = extend(c.Addr, memCnt)
+	c.Width = extend(c.Width, memCnt)
+	c.srcOff = extend(c.srcOff, memCnt)
+	c.srcLen = extend(c.srcLen, memCnt)
+	if lebytes.Little {
+		copy(lebytes.U64(c.Addr[:memCnt]), addrb)
+	} else {
+		for i := 0; i < memCnt; i++ {
+			c.Addr[i] = binary.LittleEndian.Uint64(addrb[i*8:])
+		}
+	}
+	// One pass over the memory records fills the side tables and decodes
+	// each load's producer list. Widths are not stored: SaveLinked requires
+	// a linked trace, and Link proved every memory record's width equals
+	// its opcode's MemWidth.
+	c.memSrcs = c.memSrcs[:0]
+	mi := 0
+	for i := 0; i < cn; i++ {
+		if c.MemIdx[i] < 0 {
+			continue
+		}
+		inf := opInfo[opb[i]]
+		width := inf >> 4
+		c.Width[mi] = width
+		c.srcOff[mi], c.srcLen[mi] = 0, 0
+		if inf&opInfoLoad != 0 {
+			if len(prod) < 1 {
+				return fmt.Errorf("trace: record %d: producer count: unexpected EOF", base+i)
+			}
+			cnt := int(prod[0])
+			prod = prod[1:]
+			if cnt > MaxMemProducers || cnt > int(width) {
+				return fmt.Errorf("trace: record %d: %d producers exceeds width-%d load",
+					base+i, cnt, width)
+			}
+			if len(prod) < 4*cnt {
+				return fmt.Errorf("trace: record %d: truncated producer list", base+i)
+			}
+			start := len(c.memSrcs)
+			for k := 0; k < cnt; k++ {
+				p := int32(binary.LittleEndian.Uint32(prod[k*4:]))
+				if p < 0 || p >= int32(base+i) {
+					return fmt.Errorf("trace: record %d: load producer %d out of range", base+i, p)
+				}
+				for _, prev := range c.memSrcs[start:] {
+					if prev == p {
+						return fmt.Errorf("trace: record %d: duplicate load producer %d", base+i, p)
+					}
+				}
+				c.memSrcs = append(c.memSrcs, p)
+			}
+			prod = prod[4*cnt:]
+			c.srcOff[mi] = int32(start)
+			c.srcLen[mi] = uint8(cnt)
+		}
+		mi++
+	}
+	if len(prod) != 0 {
+		return fmt.Errorf("trace: chunk at %d: %d trailing bytes in section", base, len(prod))
+	}
+	return nil
 }

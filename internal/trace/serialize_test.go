@@ -164,3 +164,136 @@ func TestLoadUnderCorruptionInjection(t *testing.T) {
 		t.Error("injected transient load fault lost its retryability")
 	}
 }
+
+func TestSaveLinkedRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	if err := orig.Link(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveLinked(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(buf.Len()), orig.LinkedSize(); got != want {
+		t.Errorf("SaveLinked wrote %d bytes, LinkedSize says %d", got, want)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Linked {
+		t.Error("loaded linked trace not marked linked")
+	}
+	// Records() carries Src1/Src2/MemSrcs, so DeepEqual covers the links
+	// the version-2 format restored without a link pass.
+	if got, want := back.Records(), orig.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("records differ:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSaveLinkedMatchesRelink(t *testing.T) {
+	// The two load paths — restore links (v2) vs recompute links (v1) —
+	// must agree record for record.
+	orig := sampleTrace()
+	if err := orig.Link(); err != nil {
+		t.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	if err := orig.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SaveLinked(&v2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Load(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Records(), b.Records()) {
+		t.Fatal("v1 (relinked) and v2 (restored) loads disagree")
+	}
+}
+
+func TestSaveLinkedRequiresLink(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().SaveLinked(&buf); err == nil {
+		t.Error("SaveLinked accepted an unlinked trace")
+	}
+}
+
+// linkedSample returns the serialized v2 sample trace plus the offsets of
+// two of its columnar sections: the Src1 column and the load-producer
+// stream. The sample fits one chunk: header (12), a one-entry size table
+// (4), then the section — 13 bytes of fixed columns per record before
+// Src1, 21 after, then the address side table (two memory records).
+func linkedSample(t *testing.T) (b []byte, src1Off, prodOff int) {
+	t.Helper()
+	tr := sampleTrace()
+	if err := tr.Link(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveLinked(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n := tr.Len()
+	sec := 12 + 4
+	src1Off = sec + 13*n
+	prodOff = sec + 21*n + 2*8
+	return buf.Bytes(), src1Off, prodOff
+}
+
+func TestLoadRejectsCorruptLinks(t *testing.T) {
+	base, src1Off, prodOff := linkedSample(t)
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(bytes.Clone(base))
+		if _, err := Load(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Record 0 has no earlier instruction, so any non-NoProducer Src1 is
+	// out of range.
+	mutate("src producer not before consumer", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[src1Off:], 3)
+		return b
+	})
+	// The sample's only load (record 2) stores one producer; count 9
+	// exceeds both MaxMemProducers and the 8-byte access width.
+	mutate("producer count over width", func(b []byte) []byte {
+		b[prodOff] = 9
+		return b
+	})
+	// Load producer pointing at the load itself (not strictly earlier).
+	mutate("load producer not before load", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[prodOff+1:], 2)
+		return b
+	})
+	mutate("truncated section", func(b []byte) []byte {
+		return b[:src1Off+4]
+	})
+	mutate("undersized size-table entry", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[12:], 1)
+		return b
+	})
+	mutate("trailing garbage after links", func(b []byte) []byte {
+		return append(b, 0)
+	})
+}
+
+func TestLinkedLoadUnderCorruptionInjection(t *testing.T) {
+	base, _, _ := linkedSample(t)
+	for seed := uint64(0); seed < 20; seed++ {
+		in := faults.NewInjector(seed).
+			Arm(faults.SiteTraceLoad, faults.Rule{Kind: faults.Corrupt, Rate: 1})
+		faults.Set(in)
+		tr, err := Load(bytes.NewReader(base))
+		faults.Set(nil)
+		if err == nil && tr.Len() != 5 {
+			t.Errorf("seed %d: corrupted load returned %d records", seed, tr.Len())
+		}
+	}
+}
