@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-compare bench-all check fuzz chaos
+.PHONY: build test vet race bench bench-compare bench-all check fuzz chaos soak smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,18 @@ fuzz:
 # chaos runs the fault-injection soak on its own under the race detector.
 chaos:
 	$(GO) test -race -timeout 30m -run '^TestChaosSoak$$' -v ./internal/core
+
+# soak runs the daemon chaos soak: the full HTTP service path (admission,
+# backpressure, retries, drain) under injected faults, with completed
+# responses held bit-identical to a clean direct run.
+soak:
+	$(GO) test -race -timeout 30m -run '^TestServerChaosSoak$$' -v ./internal/server
+
+# smoke starts a real deadd with a temp persistent cache, drives it with
+# deadload, SIGTERMs it, and asserts a clean drain (exit 0) that spilled
+# artifacts to disk.
+smoke:
+	./scripts/daemon_smoke.sh
 
 # SUBSTRATE_BENCHES are the per-substrate throughput benchmarks tracked in
 # the committed BENCH_*.json reports: emulator, fused oracle (plus its

@@ -24,7 +24,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bytesize"
+	"repro/internal/cliflags"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/deadness"
@@ -45,17 +45,12 @@ type benchRow struct {
 
 func main() {
 	bench := flag.String("bench", "", "benchmark name (default: whole suite)")
-	budget := flag.Int("n", 1_000_000, "dynamic instruction budget")
 	hoist := flag.Int("hoist", -1, "override scheduler hoisting limit (-1 = profile default)")
 	licm := flag.Int("licm", -1, "override LICM limit (-1 = profile default)")
 	regs := flag.Int("regs", -1, "override allocatable registers (-1 = profile default)")
 	locality := flag.Bool("locality", false, "print static locality details")
 	mix := flag.Bool("mix", false, "print the dynamic instruction-class mix instead")
-	workers := flag.Int("j", 0, "max concurrently building profiles (0 = GOMAXPROCS)")
-	analyzeShards := flag.Int("analyze-shards", 0, "analyze-stage shard count (0 = GOMAXPROCS, 1 = serial)")
-	cacheBudget := flag.String("cache-budget", "", "artifact-cache resident-byte budget, e.g. 256MiB (empty or 0 = unlimited)")
-	cacheDir := flag.String("cache-dir", "", "persistent artifact-cache directory shared across runs (empty = memory only)")
-	diskBudget := flag.String("disk-budget", "", "disk byte budget for -cache-dir, e.g. 1GiB (empty or 0 = unlimited)")
+	wsFlags := cliflags.RegisterWorkspace(flag.CommandLine, "deadprof")
 	artStats := flag.Bool("artifacts", false, "print the artifact-cache counter snapshot (JSON) to stderr at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the profiling runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -71,27 +66,13 @@ func main() {
 		profiles = []workload.Profile{p}
 	}
 
-	cacheBytes, err := bytesize.Parse(*cacheBudget)
+	w, err := wsFlags.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	diskBytes, err := bytesize.Parse(*diskBudget)
-	if err != nil {
+	if _, err := cliflags.ArmFaults(nil, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	w := core.NewWorkspaceWorkers(*budget, *workers)
-	w.AnalyzeShards = *analyzeShards
-	w.CacheBudget = cacheBytes
-	if *cacheDir != "" {
-		if err := w.OpenDiskCache(*cacheDir, diskBytes); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	} else if diskBytes != 0 {
-		fmt.Fprintln(os.Stderr, "deadprof: -disk-budget requires -cache-dir")
 		os.Exit(1)
 	}
 

@@ -24,7 +24,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bytesize"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
@@ -34,15 +34,10 @@ import (
 
 func main() {
 	bench := flag.String("bench", "", "benchmark name (default: whole suite)")
-	budget := flag.Int("n", core.DefaultBudget, "dynamic instruction budget")
 	machine := flag.String("machine", "contended", "baseline, contended, or deep")
 	regs := flag.Int("regs", 0, "override physical register count")
 	elim := flag.String("elim", "both", "off, on, or both")
-	workers := flag.Int("j", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
-	analyzeShards := flag.Int("analyze-shards", 0, "analyze-stage shard count (0 = GOMAXPROCS, 1 = serial)")
-	cacheBudget := flag.String("cache-budget", "", "artifact-cache resident-byte budget, e.g. 256MiB (empty or 0 = unlimited)")
-	cacheDir := flag.String("cache-dir", "", "persistent artifact-cache directory shared across runs (empty = memory only)")
-	diskBudget := flag.String("disk-budget", "", "disk byte budget for -cache-dir, e.g. 1GiB (empty or 0 = unlimited)")
+	wsFlags := cliflags.RegisterWorkspace(flag.CommandLine, "deadsim")
 	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulations to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -73,27 +68,9 @@ func main() {
 		names = []string{*bench}
 	}
 
-	cacheBytes, err := bytesize.Parse(*cacheBudget)
+	w, err := wsFlags.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	diskBytes, err := bytesize.Parse(*diskBudget)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	w := core.NewWorkspaceWorkers(*budget, *workers)
-	w.AnalyzeShards = *analyzeShards
-	w.CacheBudget = cacheBytes
-	if *cacheDir != "" {
-		if err := w.OpenDiskCache(*cacheDir, diskBytes); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	} else if diskBytes != 0 {
-		fmt.Fprintln(os.Stderr, "deadsim: -disk-budget requires -cache-dir")
 		os.Exit(1)
 	}
 	mc := metrics.New()
@@ -101,6 +78,10 @@ func main() {
 		mc.SetVerbose(os.Stderr)
 	}
 	w.Metrics = mc
+	if _, err := cliflags.ArmFaults(mc, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	// One task per (benchmark, elim-mode) pair, fanned through the pool;
 	// results land by index so the table stays in suite order.

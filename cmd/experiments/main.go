@@ -48,9 +48,8 @@ import (
 	"strings"
 
 	"repro/internal/artifact"
-	"repro/internal/bytesize"
+	"repro/internal/cliflags"
 	"repro/internal/core"
-	"repro/internal/faults"
 	"repro/internal/metrics"
 )
 
@@ -71,14 +70,9 @@ func run() int {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	ids := flag.String("e", "", "alias of -only (legacy)")
 	skip := flag.String("skip", "", "comma-separated experiment ids to exclude")
-	budget := flag.Int("n", core.DefaultBudget, "per-benchmark dynamic instruction budget")
-	cacheBudget := flag.String("cache-budget", "", "artifact-cache resident-byte budget, e.g. 256MiB (empty or 0 = unlimited)")
-	cacheDir := flag.String("cache-dir", "", "persistent artifact-cache directory shared across runs (empty = memory only)")
-	diskBudget := flag.String("disk-budget", "", "disk byte budget for -cache-dir, e.g. 1GiB (empty or 0 = unlimited)")
+	wsFlags := cliflags.RegisterWorkspace(flag.CommandLine, "experiments")
 	md := flag.Bool("md", false, "emit markdown sections (EXPERIMENTS.md body)")
 	asJSON := flag.Bool("json", false, "emit machine-readable metrics")
-	workers := flag.Int("j", 0, "max concurrently executing heavy tasks (0 = GOMAXPROCS)")
-	analyzeShards := flag.Int("analyze-shards", 0, "analyze-stage shard count per profile build (0 = GOMAXPROCS, 1 = serial)")
 	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
 	keepGoing := flag.Bool("keep-going", false, "run every experiment even after failures; report failures per experiment")
 	timeout := flag.Duration("timeout", 0, "deadline per experiment attempt (0 = none)")
@@ -112,27 +106,9 @@ func run() int {
 		return exitUsage
 	}
 
-	cacheBytes, err := bytesize.Parse(*cacheBudget)
+	w, err := wsFlags.Open()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return exitUsage
-	}
-	diskBytes, err := bytesize.Parse(*diskBudget)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return exitUsage
-	}
-
-	w := core.NewWorkspaceWorkers(*budget, *workers)
-	w.AnalyzeShards = *analyzeShards
-	w.CacheBudget = cacheBytes
-	if *cacheDir != "" {
-		if err := w.OpenDiskCache(*cacheDir, diskBytes); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return exitUsage
-		}
-	} else if diskBytes != 0 {
-		fmt.Fprintln(os.Stderr, "experiments: -disk-budget requires -cache-dir")
 		return exitUsage
 	}
 	mc := metrics.New()
@@ -148,14 +124,9 @@ func run() int {
 		w.Retry = p
 	}
 
-	if inj, err := faults.FromEnv(); err != nil {
+	if _, err := cliflags.ArmFaults(mc, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return exitUsage
-	} else if inj != nil {
-		inj.Metrics = mc
-		faults.Set(inj)
-		fmt.Fprintf(os.Stderr, "fault injection armed at %d site(s) via $%s\n",
-			len(inj.Sites()), faults.EnvSpec)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -8,7 +8,16 @@
 // Usage:
 //
 //	predsweep [-bench name] [-n budget] [-mode point|sweep|assoc|cfi]
-//	          [-path n] [-slots n] [-j workers]
+//	          [-path n] [-slots n] [-j workers] [-cache-budget bytes]
+//	          [-cache-dir dir] [-disk-budget bytes]
+//
+// Traces, oracle analyses, and predictor evaluations derive through the
+// workspace's content-addressed artifact cache; -cache-budget bounds its
+// resident bytes, and -cache-dir attaches a persistent disk tier shared
+// across runs and processes (bounded by -disk-budget), so a sweep
+// re-invoked after a warm run loads its profiles from disk instead of
+// re-emulating. The FAULTS / FAULTS_SEED environment variables arm the
+// deterministic fault injector; malformed rules abort at startup.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/dip"
 	"repro/internal/stats"
@@ -25,11 +35,10 @@ import (
 
 func main() {
 	bench := flag.String("bench", "", "benchmark name (default: whole suite)")
-	budget := flag.Int("n", core.DefaultBudget, "dynamic instruction budget")
 	mode := flag.String("mode", "point", "point, sweep, assoc, or cfi")
 	pathLen := flag.Int("path", -1, "override signature path length")
 	slots := flag.Int("slots", -1, "override signature slots per entry")
-	workers := flag.Int("j", 0, "max concurrently executing evaluations (0 = GOMAXPROCS)")
+	wsFlags := cliflags.RegisterWorkspace(flag.CommandLine, "predsweep")
 	flag.Parse()
 	if *pathLen >= 0 {
 		overridePath = *pathLen
@@ -47,9 +56,16 @@ func main() {
 		names = []string{*bench}
 	}
 
-	w := core.NewWorkspaceWorkers(*budget, *workers)
+	w, err := wsFlags.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if _, err := cliflags.ArmFaults(nil, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
-	var err error
 	switch *mode {
 	case "point":
 		err = point(w, names)

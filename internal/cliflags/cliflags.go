@@ -1,0 +1,97 @@
+// Package cliflags factors the workspace-construction flags every tool
+// shares — worker and shard counts, the artifact-cache budgets, and the
+// persistent disk tier — so the binaries register one consistent flag
+// surface and build their workspace the same way. It also centralizes
+// arming the FAULTS environment injector so a typo'd rule fails loudly
+// at startup in every tool, not just the ones that remembered to check.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bytesize"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// WorkspaceFlags holds the parsed values of the shared workspace flags.
+// Register it on a FlagSet before Parse; call Open after.
+type WorkspaceFlags struct {
+	tool string
+
+	Budget        int
+	Workers       int
+	AnalyzeShards int
+	CacheBudget   string
+	CacheDir      string
+	DiskBudget    string
+}
+
+// RegisterWorkspace registers the shared workspace flags on fs:
+// -n, -j, -analyze-shards, -cache-budget, -cache-dir, and -disk-budget.
+// The tool name prefixes every error Open reports.
+func RegisterWorkspace(fs *flag.FlagSet, tool string) *WorkspaceFlags {
+	f := &WorkspaceFlags{tool: tool}
+	fs.IntVar(&f.Budget, "n", core.DefaultBudget, "per-benchmark dynamic instruction budget")
+	fs.IntVar(&f.Workers, "j", 0, "max concurrently executing heavy tasks (0 = GOMAXPROCS)")
+	fs.IntVar(&f.AnalyzeShards, "analyze-shards", 0, "analyze-stage shard count per profile build (0 = GOMAXPROCS, 1 = serial)")
+	fs.StringVar(&f.CacheBudget, "cache-budget", "", "artifact-cache resident-byte budget, e.g. 256MiB (empty or 0 = unlimited)")
+	fs.StringVar(&f.CacheDir, "cache-dir", "", "persistent artifact-cache directory shared across runs (empty = memory only)")
+	fs.StringVar(&f.DiskBudget, "disk-budget", "", "disk byte budget for -cache-dir, e.g. 1GiB (empty or 0 = unlimited)")
+	return f
+}
+
+// Open validates the flag values and builds the workspace they describe:
+// budgets parsed with binary suffixes, the disk tier attached when
+// -cache-dir is set. Errors carry the tool name so they read as usage
+// errors when printed bare.
+func (f *WorkspaceFlags) Open() (*core.Workspace, error) {
+	cacheBytes, err := bytesize.Parse(f.CacheBudget)
+	if err != nil {
+		return nil, fmt.Errorf("%s: -cache-budget: %w", f.tool, err)
+	}
+	diskBytes, err := bytesize.Parse(f.DiskBudget)
+	if err != nil {
+		return nil, fmt.Errorf("%s: -disk-budget: %w", f.tool, err)
+	}
+	if f.CacheDir == "" && diskBytes != 0 {
+		return nil, fmt.Errorf("%s: -disk-budget requires -cache-dir", f.tool)
+	}
+	w := core.NewWorkspaceWorkers(f.Budget, f.Workers)
+	w.AnalyzeShards = f.AnalyzeShards
+	w.CacheBudget = cacheBytes
+	if f.CacheDir != "" {
+		if err := w.OpenDiskCache(f.CacheDir, diskBytes); err != nil {
+			return nil, fmt.Errorf("%s: %w", f.tool, err)
+		}
+	}
+	return w, nil
+}
+
+// ArmFaults reads the FAULTS / FAULTS_SEED environment, arms the global
+// injector, and reports the armed sites on report (nil = os.Stderr). A
+// malformed spec — including an unknown site name — is returned as an
+// error quoting the offending rule, so a typo fails the tool at startup
+// instead of silently never firing. Returns whether an injector was
+// armed.
+func ArmFaults(mc *metrics.Collector, report io.Writer) (bool, error) {
+	inj, err := faults.FromEnv()
+	if err != nil {
+		return false, err
+	}
+	if inj == nil {
+		return false, nil
+	}
+	inj.Metrics = mc
+	faults.Set(inj)
+	if report == nil {
+		report = os.Stderr
+	}
+	fmt.Fprintf(report, "fault injection armed at %d site(s) via $%s\n",
+		len(inj.Sites()), faults.EnvSpec)
+	return true, nil
+}

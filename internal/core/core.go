@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compiler"
@@ -86,19 +87,22 @@ func profileWith(p workload.Profile, opts *compiler.Options, budget, shards int,
 	if err != nil {
 		return nil, err
 	}
-	return profileProgramWith(p.Name, prog, passStats, budget, shards, mc)
+	return profileProgramWith(context.Background(), p.Name, prog, passStats, budget, shards, mc)
 }
 
 // ProfileProgram runs the oracle analysis over an already-compiled program.
 func ProfileProgram(name string, prog *program.Program, passStats compiler.PassStats, budget int) (*ProfileResult, error) {
-	return profileProgramWith(name, prog, passStats, budget, 0, nil)
+	return profileProgramWith(context.Background(), name, prog, passStats, budget, 0, nil)
 }
 
-func profileProgramWith(name string, prog *program.Program, passStats compiler.PassStats, budget, shards int, mc *metrics.Collector) (*ProfileResult, error) {
+func profileProgramWith(ctx context.Context, name string, prog *program.Program, passStats compiler.PassStats, budget, shards int, mc *metrics.Collector) (*ProfileResult, error) {
 	// The streaming path emulates and runs the sharded link+analyze pass
 	// concurrently, chunks dispatched as they fill; the spans it records
-	// keep emulation and the non-overlapped analysis tail separate.
-	tr, a, _, err := emu.CollectAnalyzedShardsObserved(prog, budget, shards, mc, name)
+	// keep emulation and the non-overlapped analysis tail separate. A ctx
+	// cancellation aborts the emulation within a few thousand
+	// instructions and releases every pooled resource the partial run
+	// held (trace chunk arenas, writer-map pages).
+	tr, a, _, err := emu.CollectAnalyzedShardsCtx(ctx, prog, budget, shards, mc, name)
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling %s: %w", name, err)
 	}

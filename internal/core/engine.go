@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -56,6 +59,33 @@ func (e *RunError) Unwrap() []error {
 		errs[i] = f.Err
 	}
 	return errs
+}
+
+// Render serializes everything deterministic about a completed
+// experiment — id, title, claim, table, figure, and metrics with floats
+// at full precision — so byte-for-byte comparison catches any divergence
+// between runs. It is the bit-identity contract shared by the
+// equivalence suites, the chaos soak, and the daemon: a server response
+// for an experiment carries exactly this rendering, and must equal the
+// rendering a CLI run of the same spec produces.
+func (e *Experiment) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "id=%s title=%s claim=%s\n", e.ID, e.Title, e.Claim)
+	if e.Table != nil {
+		b.WriteString(e.Table.String())
+	}
+	if e.Figure != nil {
+		b.WriteString(e.Figure.String())
+	}
+	keys := make([]string, 0, len(e.Metrics))
+	for k := range e.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s\n", k, strconv.FormatFloat(e.Metrics[k], 'g', -1, 64))
+	}
+	return b.String()
 }
 
 // RunExperiments runs the requested experiments concurrently over the

@@ -2,37 +2,16 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"reflect"
-	"sort"
-	"strconv"
-	"strings"
 	"testing"
 
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 )
 
-// renderExperiment serializes everything deterministic about an
-// experiment, with floats at full precision, so byte-for-byte comparison
-// catches any divergence between scheduling orders.
-func renderExperiment(e *Experiment) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "id=%s title=%s claim=%s\n", e.ID, e.Title, e.Claim)
-	b.WriteString(e.Table.String())
-	if e.Figure != nil {
-		b.WriteString(e.Figure.String())
-	}
-	keys := make([]string, 0, len(e.Metrics))
-	for k := range e.Metrics {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "%s=%s\n", k, strconv.FormatFloat(e.Metrics[k], 'g', -1, 64))
-	}
-	return b.String()
-}
+// renderExperiment is Experiment.Render, kept as a free-function alias so
+// the equivalence suites read naturally.
+func renderExperiment(e *Experiment) string { return e.Render() }
 
 // TestRunExperimentsConcurrentMatchesSequential runs all 18 experiments
 // concurrently on a shared workspace and asserts every table, figure, and

@@ -42,9 +42,12 @@ func (p RetryPolicy) normalized() RetryPolicy {
 	return p
 }
 
-// backoff returns the delay before retrying after the given 1-based
-// failed attempt: BaseDelay << (attempt-1), capped at MaxDelay.
-func (p RetryPolicy) backoff(attempt int) time.Duration {
+// Backoff returns the delay before retrying after the given 1-based
+// failed attempt: BaseDelay << (attempt-1), capped at MaxDelay (zero
+// fields take the policy defaults). Exported so the server's request
+// retry loop shares the engine's backoff schedule.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.normalized()
 	d := p.BaseDelay
 	for i := 1; i < attempt; i++ {
 		d *= 2
@@ -76,7 +79,7 @@ func retryTransient(ctx context.Context, p RetryPolicy, mc *metrics.Collector, o
 		select {
 		case <-ctx.Done():
 			return attempt, ctx.Err()
-		case <-time.After(p.backoff(attempt)):
+		case <-time.After(p.Backoff(attempt)):
 		}
 	}
 }

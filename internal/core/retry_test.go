@@ -117,7 +117,7 @@ func TestBackoffGrowsAndCaps(t *testing.T) {
 		50 * time.Millisecond, 50 * time.Millisecond,
 	}
 	for i, w := range want {
-		if got := p.backoff(i + 1); got != w {
+		if got := p.Backoff(i + 1); got != w {
 			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
 		}
 	}

@@ -212,6 +212,16 @@ func (w *Workspace) ArtifactStats() artifact.Stats {
 	return w.artifacts().Stats()
 }
 
+// FlushSpill evicts every unpinned resident artifact from the in-memory
+// tier; with a disk tier attached each eviction spills (persists) the
+// artifact before its pooled resources are released, so anything whose
+// write-through was lost — e.g. to an injected artifact.disk fault —
+// gets a second persistence attempt. The daemon calls it during graceful
+// drain so warm state survives a restart.
+func (w *Workspace) FlushSpill() {
+	w.artifacts().EvictAll()
+}
+
 // programOf returns the compiled program artifact for a benchmark. The
 // value is plain GC-managed data, so it needs no pinning.
 func (w *Workspace) programOf(name string, opts *compiler.Options) (compiledProgram, error) {
@@ -241,10 +251,18 @@ func programSize(p *program.Program) int64 {
 // profileFor fetches (building on miss) the profile artifact for one
 // benchmark and compile-option override, returning it pinned: the trace
 // cannot be evicted until the release function runs.
-func (w *Workspace) profileFor(name string, opts *compiler.Options) (*ProfileResult, func(), error) {
+//
+// The context governs a build this call initiates: cancelling it aborts
+// the emulation and releases the partial run's pooled resources. Because
+// builds are single-flight, concurrent waiters on the same artifact then
+// observe context.Canceled even though their own contexts are live; the
+// store forgets cancelled builds (see evictable), so any such waiter that
+// retries rebuilds the artifact deterministically — the server's request
+// retry loop treats this casualty case as retryable.
+func (w *Workspace) profileFor(ctx context.Context, name string, opts *compiler.Options) (*ProfileResult, func(), error) {
 	key := artifact.Key{Kind: KindProfile, Digest: artifact.Digest(profileSpec{name, w.Budget, opts})}
 	return artifact.Get(w.artifacts(), key, func() (*ProfileResult, int64, error) {
-		return w.buildProfile(name, opts)
+		return w.buildProfile(ctx, name, opts)
 	})
 }
 
@@ -254,7 +272,7 @@ func (w *Workspace) profileFor(name string, opts *compiler.Options) (*ProfileRes
 // valid indefinitely, but Trace may be recycled once a cache budget is
 // set — callers that read the trace must use WithProfile instead.
 func (w *Workspace) ProfileOf(name string) (*ProfileResult, error) {
-	res, release, err := w.profileFor(name, nil)
+	res, release, err := w.profileFor(context.Background(), name, nil)
 	release()
 	return res, err
 }
@@ -264,7 +282,7 @@ func (w *Workspace) ProfileOf(name string) (*ProfileResult, error) {
 // (E3, E12) are distinct artifacts keyed by their options. The unpinned
 // contract of ProfileOf applies.
 func (w *Workspace) ProfileWithOptions(name string, opts *compiler.Options) (*ProfileResult, error) {
-	res, release, err := w.profileFor(name, opts)
+	res, release, err := w.profileFor(context.Background(), name, opts)
 	release()
 	return res, err
 }
@@ -276,10 +294,23 @@ func (w *Workspace) WithProfile(name string, fn func(*ProfileResult) error) erro
 	return w.WithProfileOptions(name, nil, fn)
 }
 
+// WithProfileCtx is WithProfile with cooperative cancellation of a build
+// this call initiates: the daemon uses it so a disconnected client's
+// profile build aborts instead of running to completion. See profileFor
+// for the single-flight casualty semantics.
+func (w *Workspace) WithProfileCtx(ctx context.Context, name string, fn func(*ProfileResult) error) error {
+	res, release, err := w.profileFor(ctx, name, nil)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return fn(res)
+}
+
 // WithProfileOptions is WithProfile with an explicit compile-option
 // override (nil means the workload's own options).
 func (w *Workspace) WithProfileOptions(name string, opts *compiler.Options, fn func(*ProfileResult) error) error {
-	res, release, err := w.profileFor(name, opts)
+	res, release, err := w.profileFor(context.Background(), name, opts)
 	if err != nil {
 		return err
 	}
@@ -290,7 +321,7 @@ func (w *Workspace) WithProfileOptions(name string, opts *compiler.Options, fn f
 // buildProfile runs one profile build with panic containment. The panic
 // is converted to an error here, inside the build, so the store memoizes
 // it like any other deterministic failure.
-func (w *Workspace) buildProfile(name string, opts *compiler.Options) (res *ProfileResult, size int64, err error) {
+func (w *Workspace) buildProfile(ctx context.Context, name string, opts *compiler.Options) (res *ProfileResult, size int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, size, err = nil, 0, recoveredError(fmt.Sprintf("core: profiling %s panicked", name), r)
@@ -303,7 +334,7 @@ func (w *Workspace) buildProfile(name string, opts *compiler.Options) (res *Prof
 	if err != nil {
 		return nil, 0, err
 	}
-	res, err = profileProgramWith(name, cp.Prog, cp.Stats, w.Budget, w.AnalyzeShards, w.Metrics)
+	res, err = profileProgramWith(ctx, name, cp.Prog, cp.Stats, w.Budget, w.AnalyzeShards, w.Metrics)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -325,6 +356,12 @@ func evictable(err error) bool {
 // artifact: specs canonicalize before digesting, so e.g. the default
 // CFI point requested by E5, E6, and E11 evaluates once.
 func (w *Workspace) EvalPredictor(name string, spec dip.Spec) (dip.Result, error) {
+	return w.EvalPredictorCtx(context.Background(), name, spec)
+}
+
+// EvalPredictorCtx is EvalPredictor with cooperative cancellation of any
+// profile build the evaluation initiates (see WithProfileCtx).
+func (w *Workspace) EvalPredictorCtx(ctx context.Context, name string, spec dip.Spec) (dip.Result, error) {
 	spec = spec.Canonical()
 	pred, err := spec.New()
 	if err != nil {
@@ -332,7 +369,7 @@ func (w *Workspace) EvalPredictor(name string, spec dip.Spec) (dip.Result, error
 	}
 	key := artifact.Key{Kind: KindPredEval, Digest: artifact.Digest(predEvalSpec{name, w.Budget, spec.Digest()})}
 	r, release, err := artifact.Get(w.artifacts(), key, func() (dip.Result, int64, error) {
-		return w.buildPredEval(name, spec, pred)
+		return w.buildPredEval(ctx, name, spec, pred)
 	})
 	release()
 	return r, err
@@ -341,7 +378,7 @@ func (w *Workspace) EvalPredictor(name string, spec dip.Spec) (dip.Result, error
 // predEvalSize is the flat footprint charged per evaluation result.
 const predEvalSize = int64(128)
 
-func (w *Workspace) buildPredEval(name string, spec dip.Spec, pred dip.Predictor) (res dip.Result, size int64, err error) {
+func (w *Workspace) buildPredEval(ctx context.Context, name string, spec dip.Spec, pred dip.Predictor) (res dip.Result, size int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, size, err = dip.Result{}, 0,
@@ -351,7 +388,7 @@ func (w *Workspace) buildPredEval(name string, spec dip.Spec, pred dip.Predictor
 	if err := faults.Fire(faults.SiteWorkspaceMemo); err != nil {
 		return dip.Result{}, 0, fmt.Errorf("core: evaluating %s on %s: %w", spec.Label(), name, err)
 	}
-	err = w.WithProfile(name, func(p *ProfileResult) error {
+	err = w.WithProfileCtx(ctx, name, func(p *ProfileResult) error {
 		sp := w.Metrics.Start("predict", name+" "+spec.Label())
 		r, eerr := pred.Evaluate(p.Trace, p.Analysis)
 		sp.End(int64(p.Trace.Len()))
@@ -372,9 +409,17 @@ func (w *Workspace) buildPredEval(name string, spec dip.Spec, pred dip.Predictor
 // on the calling goroutine — callers fanning out should do so through
 // the workspace pool.
 func (w *Workspace) RunMachine(name string, cfg pipeline.Config) (pipeline.Stats, error) {
+	return w.RunMachineCtx(context.Background(), name, cfg)
+}
+
+// RunMachineCtx is RunMachine with cooperative cancellation of any
+// profile build the simulation initiates (see WithProfileCtx). The
+// pipeline simulation itself is not interruptible; the profile build
+// dominates a cold request's wall time.
+func (w *Workspace) RunMachineCtx(ctx context.Context, name string, cfg pipeline.Config) (pipeline.Stats, error) {
 	key := artifact.Key{Kind: KindMachine, Digest: artifact.Digest(machineSpec{name, w.Budget, cfg.Digest()})}
 	st, release, err := artifact.Get(w.artifacts(), key, func() (pipeline.Stats, int64, error) {
-		return w.simulate(name, cfg)
+		return w.simulate(ctx, name, cfg)
 	})
 	release()
 	return st, err
@@ -383,7 +428,7 @@ func (w *Workspace) RunMachine(name string, cfg pipeline.Config) (pipeline.Stats
 // machineStatsSize is the flat footprint charged per simulation result.
 const machineStatsSize = int64(512)
 
-func (w *Workspace) simulate(name string, cfg pipeline.Config) (st pipeline.Stats, size int64, err error) {
+func (w *Workspace) simulate(ctx context.Context, name string, cfg pipeline.Config) (st pipeline.Stats, size int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			st, size, err = pipeline.Stats{}, 0,
@@ -393,7 +438,7 @@ func (w *Workspace) simulate(name string, cfg pipeline.Config) (st pipeline.Stat
 	if err := faults.Fire(faults.SiteSimulate); err != nil {
 		return pipeline.Stats{}, 0, fmt.Errorf("core: simulating %s %s: %w", name, cfg.Label(), err)
 	}
-	err = w.WithProfile(name, func(res *ProfileResult) error {
+	err = w.WithProfileCtx(ctx, name, func(res *ProfileResult) error {
 		sp := w.Metrics.Start(metrics.PhaseSimulate, fmt.Sprintf("%s %s", name, cfg.Label()))
 		s, serr := pipeline.Run(res.Trace, res.Analysis, cfg)
 		sp.End(int64(res.Trace.Len()))

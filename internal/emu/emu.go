@@ -9,6 +9,7 @@
 package emu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -296,6 +297,47 @@ func (m *Machine) Run(budget int, sink func(*trace.Record)) error {
 	return nil
 }
 
+// ctxCheckMask throttles cancellation polling in RunCtx: the context is
+// consulted once per 4096 committed instructions, so an emulation aborts
+// within microseconds of cancellation while the hot loop stays free of
+// per-step channel reads.
+const ctxCheckMask = 1<<12 - 1
+
+// RunCtx is Run with cooperative cancellation: it polls ctx every few
+// thousand committed instructions and returns ctx.Err() when the context
+// ends mid-run. The fault-opportunity sequence at faults.SiteEmuStep is
+// identical to Run's, so a run that completes under RunCtx is
+// bit-identical to the same run under Run.
+func (m *Machine) RunCtx(ctx context.Context, budget int, sink func(*trace.Record)) error {
+	if ctx == nil || ctx.Done() == nil {
+		return m.Run(budget, sink)
+	}
+	inj := faults.Active()
+	var rec trace.Record
+	for !m.Halted {
+		if m.Steps >= budget {
+			return ErrBudget
+		}
+		if m.Steps&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if inj != nil {
+			if err := inj.Fire(faults.SiteEmuStep); err != nil {
+				return fmt.Errorf("emu: step %d: %w", m.Steps, err)
+			}
+		}
+		if err := m.step(&rec); err != nil {
+			return err
+		}
+		if sink != nil {
+			sink(&rec)
+		}
+	}
+	return nil
+}
+
 // runInjected is Run with a per-step fault opportunity.
 func (m *Machine) runInjected(inj *faults.Injector, budget int, sink func(*trace.Record)) error {
 	var rec trace.Record
@@ -366,13 +408,23 @@ func CollectAnalyzedObserved(p *program.Program, budget int, mc *metrics.Collect
 // plus the reverse usefulness pass — which is exactly the analysis time
 // on the critical path.
 func CollectAnalyzedShardsObserved(p *program.Program, budget, shards int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
+	return CollectAnalyzedShardsCtx(context.Background(), p, budget, shards, mc, name)
+}
+
+// CollectAnalyzedShardsCtx is CollectAnalyzedShardsObserved with
+// cooperative cancellation: when ctx ends mid-collection the emulation
+// aborts within a few thousand instructions, every pooled resource the
+// partial run holds — the trace's chunk arenas and the analyzer's
+// writer-map pages — is released, and ctx.Err() is returned with nil
+// results. A run that completes is bit-identical to an uncancellable one.
+func CollectAnalyzedShardsCtx(ctx context.Context, p *program.Program, budget, shards int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
 	if shards <= 0 {
 		shards = deadness.DefaultShards()
 	}
 	if shards == 1 {
-		return collectAnalyzedSerial(p, budget, mc, name)
+		return collectAnalyzedSerial(ctx, p, budget, mc, name)
 	}
-	return collectAnalyzedSharded(p, budget, shards, mc, name)
+	return collectAnalyzedSharded(ctx, p, budget, shards, mc, name)
 }
 
 // collectAnalyzedSerial runs the fused pass in-line in the emulator's
@@ -381,14 +433,14 @@ func CollectAnalyzedShardsObserved(p *program.Program, budget, shards int, mc *m
 // synchronously instead. The stream's fact arrays grow with the actual
 // trace (roughly doubling per growth step), not the budget hint — a
 // budget-sized hint over-allocated ~7 MB per short run.
-func collectAnalyzedSerial(p *program.Program, budget int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
+func collectAnalyzedSerial(ctx context.Context, p *program.Program, budget int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
 	m := New(p)
 	t := trace.NewWithCapacity(min(budget, collectCap))
 	st := deadness.NewStream(0)
 	var aErr error
 	sent := 0
 	sp := mc.Start(metrics.PhaseEmulate, name)
-	runErr := m.Run(budget, func(r *trace.Record) {
+	runErr := m.RunCtx(ctx, budget, func(r *trace.Record) {
 		t.Push(r)
 		if aErr == nil && t.Len()>>trace.ChunkBits > sent {
 			aErr = st.Chunk(t.Chunk(sent))
@@ -419,13 +471,13 @@ func collectAnalyzedSerial(p *program.Program, budget int, mc *metrics.Collector
 // scheduler as they fill, so every shard's forward pass overlaps both the
 // emulator and the other shards; reconciliation and the reverse pass run
 // after emulation ends.
-func collectAnalyzedSharded(p *program.Program, budget, shards int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
+func collectAnalyzedSharded(ctx context.Context, p *program.Program, budget, shards int, mc *metrics.Collector, name string) (*trace.Trace, *deadness.Analysis, *Machine, error) {
 	m := New(p)
 	t := trace.NewWithCapacity(min(budget, collectCap))
 	ss := deadness.NewShardedStream(min(budget, collectCap), shards)
 	sent := 0
 	sp := mc.Start(metrics.PhaseEmulate, name)
-	runErr := m.Run(budget, func(r *trace.Record) {
+	runErr := m.RunCtx(ctx, budget, func(r *trace.Record) {
 		t.Push(r)
 		if t.Len()>>trace.ChunkBits > sent {
 			ss.Chunk(t.Chunk(sent))

@@ -49,6 +49,11 @@ func FromSpec(spec string, seed uint64) (*Injector, error) {
 		if len(parts) < 3 {
 			return nil, fmt.Errorf("faults: rule %q: want site:kind:rate[:max[:delay]]", field)
 		}
+		site := Site(parts[0])
+		if !IsKnownSite(site) {
+			return nil, fmt.Errorf("faults: rule %q: unknown site %q (known sites: %s)",
+				field, parts[0], joinSites(KnownSites()))
+		}
 		kind, err := parseKind(parts[1])
 		if err != nil {
 			return nil, fmt.Errorf("faults: rule %q: %w", field, err)
@@ -68,9 +73,19 @@ func FromSpec(spec string, seed uint64) (*Injector, error) {
 				return nil, fmt.Errorf("faults: rule %q: bad delay %q: %w", field, parts[4], err)
 			}
 		}
-		in.Arm(Site(parts[0]), r)
+		in.Arm(site, r)
 	}
 	return in, nil
+}
+
+// joinSites renders the known-site list for unknown-site errors, so a
+// typo'd rule shows what it could have named.
+func joinSites(sites []Site) string {
+	names := make([]string, len(sites))
+	for i, s := range sites {
+		names[i] = string(s)
+	}
+	return strings.Join(names, ", ")
 }
 
 func parseKind(s string) (Kind, error) {

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,53 @@ const (
 	// the store's integrity verification must catch on readback.
 	SiteArtifactDisk Site = "artifact.disk"
 )
+
+// knownSites is the registry FromSpec validates rule sites against: a
+// typo'd site name in $FAULTS would otherwise parse fine and silently
+// never fire, which makes a chaos run vacuous without anyone noticing.
+// Subsystems outside this package register their sites in an init
+// function (see internal/server).
+var (
+	knownMu    sync.Mutex
+	knownSites = map[Site]bool{
+		SitePoolTask:      true,
+		SiteTraceLoad:     true,
+		SiteEmuStep:       true,
+		SiteWorkspaceMemo: true,
+		SiteSimulate:      true,
+		SiteArtifactDisk:  true,
+	}
+)
+
+// RegisterSite adds injection sites to the known-site registry so FAULTS
+// rules naming them pass validation. Registration only affects spec
+// parsing: Fire and Mangle work at any site string.
+func RegisterSite(sites ...Site) {
+	knownMu.Lock()
+	defer knownMu.Unlock()
+	for _, s := range sites {
+		knownSites[s] = true
+	}
+}
+
+// KnownSites returns every registered site, sorted by name.
+func KnownSites() []Site {
+	knownMu.Lock()
+	defer knownMu.Unlock()
+	out := make([]Site, 0, len(knownSites))
+	for s := range knownSites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsKnownSite reports whether the site has been registered.
+func IsKnownSite(s Site) bool {
+	knownMu.Lock()
+	defer knownMu.Unlock()
+	return knownSites[s]
+}
 
 // Kind is the failure mode a rule injects.
 type Kind int

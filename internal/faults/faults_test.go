@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -221,13 +223,56 @@ func TestFromSpec(t *testing.T) {
 		"pool.task:transient:x",      // non-numeric rate
 		"pool.task:transient:0.5:-1", // negative max
 		"pool.task:delay:1:0:zzz",    // bad duration
+		"pool.tsk:transient:0.5",     // typo'd site name
 	} {
-		if _, err := FromSpec(bad, 1); err == nil {
+		_, err := FromSpec(bad, 1)
+		if err == nil {
 			t.Errorf("FromSpec(%q) accepted invalid rule", bad)
+			continue
+		}
+		// Every parse error must quote the offending rule so a typo in a
+		// multi-rule $FAULTS is attributable at a glance.
+		if !strings.Contains(err.Error(), fmt.Sprintf("%q", bad)) {
+			t.Errorf("FromSpec(%q) error does not quote the rule: %v", bad, err)
 		}
 	}
 	if in, err := FromSpec("  ", 1); err != nil || len(in.Sites()) != 0 {
 		t.Errorf("blank spec: in=%v err=%v, want empty injector", in, err)
+	}
+	// A bad rule mid-spec must name that rule, not a neighbor.
+	_, err = FromSpec("pool.task:transient:0.5,emu.stepp:transient:0.5", 1)
+	if err == nil || !strings.Contains(err.Error(), `"emu.stepp:transient:0.5"`) {
+		t.Errorf("mid-spec typo not attributed to its rule: %v", err)
+	}
+}
+
+func TestSiteRegistry(t *testing.T) {
+	for _, s := range []Site{SitePoolTask, SiteTraceLoad, SiteEmuStep,
+		SiteWorkspaceMemo, SiteSimulate, SiteArtifactDisk} {
+		if !IsKnownSite(s) {
+			t.Errorf("builtin site %q not registered", s)
+		}
+	}
+	// Unknown sites are rejected with the known-site list in the message...
+	_, err := FromSpec("custom.site:transient:0.5", 1)
+	if err == nil {
+		t.Fatal("unregistered site accepted")
+	}
+	if !strings.Contains(err.Error(), string(SitePoolTask)) {
+		t.Errorf("unknown-site error does not list known sites: %v", err)
+	}
+	// ...until a subsystem registers them.
+	RegisterSite("custom.site")
+	in, err := FromSpec("custom.site:transient:1:1", 1)
+	if err != nil {
+		t.Fatalf("registered site rejected: %v", err)
+	}
+	if err := in.Fire("custom.site"); err == nil {
+		t.Error("rate-1 rule at registered site did not fire")
+	}
+	sites := KnownSites()
+	if !sort.SliceIsSorted(sites, func(i, j int) bool { return sites[i] < sites[j] }) {
+		t.Errorf("KnownSites not sorted: %v", sites)
 	}
 }
 

@@ -39,6 +39,22 @@ const (
 	CounterExperimentFailures = "experiment_failures"
 )
 
+// Canonical counter names for the experiment service daemon
+// (internal/server): admitted requests, requests shed by the bounded
+// admission queue (429 backpressure), the live queue depth (incremented
+// on enqueue, decremented on dequeue or abandonment — a gauge carried on
+// the counter substrate), completed and failed requests, server-level
+// retries of transient failures, and streaming progress subscriptions.
+const (
+	CounterServerAdmitted   = "server_admitted"
+	CounterServerShed       = "server_shed"
+	CounterServerQueueDepth = "server_queue_depth"
+	CounterServerCompleted  = "server_completed"
+	CounterServerFailed     = "server_failed"
+	CounterServerRetries    = "server_retries"
+	CounterServerStreams    = "server_streams"
+)
+
 // Phase aggregates every span recorded under one phase name (compile,
 // emulate, link, analyze, simulate, ...).
 type Phase struct {

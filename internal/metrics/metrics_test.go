@@ -77,6 +77,129 @@ func TestConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestSnapshotUnderConcurrentUpdate hammers counters, spans, and memory
+// snapshots from writer goroutines while readers take JSON summaries, and
+// asserts every observed snapshot is internally consistent: counters and
+// phase aggregates only move forward between snapshots, phase invariants
+// (non-negative wall, insts = 10×count for this workload) hold in every
+// snapshot, and the final state matches the work performed exactly. Run
+// with -race: this is the regression for torn snapshots — a summary taken
+// mid-update must never observe a half-applied span or counter.
+func TestSnapshotUnderConcurrentUpdate(t *testing.T) {
+	c := New()
+	const (
+		writers          = 8
+		readersN         = 4
+		opsPerWriter     = 400
+		instsPerSpan     = 10
+		countersPerWrite = 2 // "reqs" +1, "bytes" +3
+	)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: take snapshots continuously, checking monotonicity against
+	// the previous snapshot and internal invariants of each one.
+	type view struct {
+		reqs, bytes int64
+		count       int64
+		insts       int64
+	}
+	errs := make(chan string, readersN*4)
+	for r := 0; r < readersN; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev view
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Round-trip through JSON, the same path the daemon's
+				// /metricz endpoint serves.
+				b, err := json.Marshal(c.Summary())
+				if err != nil {
+					errs <- "marshal: " + err.Error()
+					return
+				}
+				var s Summary
+				if err := json.Unmarshal(b, &s); err != nil {
+					errs <- "unmarshal: " + err.Error()
+					return
+				}
+				cur := view{
+					reqs:  s.Counters["reqs"],
+					bytes: s.Counters["bytes"],
+					count: s.Phases["work"].Count,
+					insts: s.Phases["work"].Insts,
+				}
+				if cur.reqs < prev.reqs || cur.bytes < prev.bytes ||
+					cur.count < prev.count || cur.insts < prev.insts {
+					errs <- "snapshot went backwards"
+					return
+				}
+				if cur.bytes != 3*cur.reqs {
+					// Both counters are bumped by the same writer loop
+					// iteration, but not atomically together — a snapshot
+					// may observe reqs ahead of bytes by at most the
+					// number of writers mid-iteration.
+					if cur.bytes > 3*cur.reqs || 3*cur.reqs-cur.bytes > 3*writers {
+						errs <- "counter pair torn beyond in-flight writers"
+						return
+					}
+				}
+				if cur.insts != instsPerSpan*cur.count {
+					errs <- "phase insts decoupled from phase count"
+					return
+				}
+				if p := s.Phases["work"]; p.WallSeconds < 0 {
+					errs <- "negative wall time"
+					return
+				}
+				prev = cur
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for j := 0; j < opsPerWriter; j++ {
+				c.Add("reqs", 1)
+				c.Add("bytes", 3)
+				sp := c.Start("work", "t")
+				sp.End(instsPerSpan)
+				if j%64 == 0 {
+					c.RecordMemStats()
+				}
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+
+	s := c.Summary()
+	if s.Counters["reqs"] != writers*opsPerWriter || s.Counters["bytes"] != 3*writers*opsPerWriter {
+		t.Errorf("final counters = %d/%d, want %d/%d",
+			s.Counters["reqs"], s.Counters["bytes"], writers*opsPerWriter, 3*writers*opsPerWriter)
+	}
+	if p := s.Phases["work"]; p.Count != writers*opsPerWriter || p.Insts != instsPerSpan*writers*opsPerWriter {
+		t.Errorf("final phase = %+v", p)
+	}
+	if s.Mem == nil {
+		t.Error("RecordMemStats never landed in the summary")
+	}
+}
+
 func TestVerboseAndText(t *testing.T) {
 	c := New()
 	var buf bytes.Buffer

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ErrDraining is returned by acquire once the server has begun graceful
+// shutdown: new work is rejected so in-flight work can finish.
+var ErrDraining = errors.New("server: draining, not accepting new work")
+
+// ShedError reports load-shedding backpressure: the admission queue was
+// full, and the client should retry after the hinted delay.
+type ShedError struct {
+	// RetryAfter is the server's estimate of when a retry has a chance
+	// of being admitted, derived from the queue depth and worker count.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("server: admission queue full, retry after %s", e.RetryAfter)
+}
+
+// ticket is one waiter in the admission queue.
+type ticket struct {
+	ready     chan struct{} // closed on grant
+	granted   bool
+	abandoned bool // waiter gave up (context ended) before grant
+}
+
+// admission is a bounded admission queue with per-client fairness:
+// at most workers requests execute concurrently, at most depth more may
+// wait, and waiting requests are granted round-robin across client
+// tokens — a client flooding the queue gets its requests interleaved
+// with everyone else's, not served as a burst. Requests beyond the
+// queue bound are shed immediately (the HTTP layer turns that into
+// 429 + Retry-After).
+type admission struct {
+	mu       sync.Mutex
+	workers  int
+	depth    int
+	active   int
+	queued   int // live (non-abandoned) queued tickets
+	draining bool
+
+	// rotation holds the client tokens that currently have queued
+	// tickets, in round-robin grant order; next is the rotation cursor.
+	rotation []string
+	next     int
+	byClient map[string][]*ticket
+
+	mc *metrics.Collector
+}
+
+func newAdmission(workers, depth int, mc *metrics.Collector) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &admission{
+		workers:  workers,
+		depth:    depth,
+		byClient: make(map[string][]*ticket),
+		mc:       mc,
+	}
+}
+
+// acquire admits one request for the given client token, blocking in the
+// fair queue when all workers are busy. It returns ErrDraining during
+// shutdown, a *ShedError when the queue is full, or the context's error
+// if the caller gives up while queued. On nil return the caller holds a
+// worker slot and must call release exactly once.
+func (a *admission) acquire(ctx context.Context, client string) error {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return ErrDraining
+	}
+	// Admit inline only when a worker is free AND nobody is queued:
+	// arrivals must not overtake waiters.
+	if a.active < a.workers && a.queued == 0 {
+		a.active++
+		a.mu.Unlock()
+		a.mc.Add(metrics.CounterServerAdmitted, 1)
+		return nil
+	}
+	if a.queued >= a.depth {
+		retry := a.retryAfterLocked()
+		a.mu.Unlock()
+		a.mc.Add(metrics.CounterServerShed, 1)
+		return &ShedError{RetryAfter: retry}
+	}
+	t := &ticket{ready: make(chan struct{})}
+	if len(a.byClient[client]) == 0 {
+		a.rotation = append(a.rotation, client)
+	}
+	a.byClient[client] = append(a.byClient[client], t)
+	a.queued++
+	a.mu.Unlock()
+	a.mc.Add(metrics.CounterServerQueueDepth, 1)
+
+	select {
+	case <-t.ready:
+		a.mc.Add(metrics.CounterServerAdmitted, 1)
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if t.granted {
+			// Grant raced the cancellation: the slot is ours, hand it on.
+			a.releaseLocked()
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+		t.abandoned = true
+		a.queued--
+		a.mu.Unlock()
+		a.mc.Add(metrics.CounterServerQueueDepth, -1)
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot and grants the next queued ticket, if
+// any, round-robin across clients.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.releaseLocked()
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked() {
+	a.active--
+	a.grantLocked()
+}
+
+// grantLocked hands a free worker slot to the next queued ticket in
+// round-robin client order, skipping abandoned tickets. Clients whose
+// queues empty leave the rotation.
+func (a *admission) grantLocked() {
+	for a.active < a.workers && len(a.rotation) > 0 {
+		if a.next >= len(a.rotation) {
+			a.next = 0
+		}
+		client := a.rotation[a.next]
+		q := a.byClient[client]
+		// Pop the client's head ticket; drop abandoned ones on the floor.
+		var t *ticket
+		for len(q) > 0 && t == nil {
+			if q[0].abandoned {
+				q = q[1:]
+				continue
+			}
+			t = q[0]
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(a.byClient, client)
+			a.rotation = append(a.rotation[:a.next], a.rotation[a.next+1:]...)
+			// next now points at the following client; no advance needed.
+		} else {
+			a.byClient[client] = q
+			a.next++ // move on so the next grant serves another client
+		}
+		if t != nil {
+			t.granted = true
+			a.active++
+			a.queued--
+			close(t.ready)
+			a.mc.Add(metrics.CounterServerQueueDepth, -1)
+		}
+	}
+}
+
+// retryAfterLocked estimates when a shed client should retry: one
+// scheduling quantum per queued-requests-per-worker, floored at one
+// second so Retry-After headers stay meaningful.
+func (a *admission) retryAfterLocked() time.Duration {
+	d := time.Duration(1+a.queued/a.workers) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// drain switches the queue into shutdown mode: new acquires fail with
+// ErrDraining; already-queued tickets still get granted as workers free
+// up, so accepted work completes.
+func (a *admission) drain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// snapshot reports the queue's instantaneous state for /metricz.
+func (a *admission) snapshot() (active, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active, a.queued
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestAdmissionInlineShedRelease(t *testing.T) {
+	mc := metrics.New()
+	a := newAdmission(2, 0, mc)
+	ctx := context.Background()
+
+	if err := a.acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	// Both workers busy, zero queue depth: the third arrival sheds.
+	err := a.acquire(ctx, "c")
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want *ShedError", err)
+	}
+	if shed.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %v, want >= 1s", shed.RetryAfter)
+	}
+	if got := mc.Counter(metrics.CounterServerShed); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+
+	a.release()
+	if err := a.acquire(ctx, "c"); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	if got := mc.Counter(metrics.CounterServerAdmitted); got != 3 {
+		t.Errorf("admitted counter = %d, want 3", got)
+	}
+}
+
+// enqueueWaiter parks one acquire in the queue and returns a channel
+// that yields its grant; it blocks until the ticket is actually queued.
+func enqueueWaiter(t *testing.T, a *admission, client string, record func(string)) {
+	t.Helper()
+	_, before := a.snapshot()
+	go func() {
+		if err := a.acquire(context.Background(), client); err != nil {
+			t.Errorf("%s: acquire: %v", client, err)
+			return
+		}
+		record(client)
+		a.release()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, q := a.snapshot(); q > before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: ticket never queued", client)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionFairness pins the round-robin grant order: a greedy
+// client that floods the queue cannot starve a light client — grants
+// interleave across client tokens.
+func TestAdmissionFairness(t *testing.T) {
+	mc := metrics.New()
+	a := newAdmission(1, 16, mc)
+
+	// Occupy the single worker so everything below queues.
+	if err := a.acquire(context.Background(), "holder"); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var grants []string
+	done := make(chan struct{})
+	record := func(c string) {
+		mu.Lock()
+		grants = append(grants, c)
+		n := len(grants)
+		mu.Unlock()
+		if n == 8 {
+			close(done)
+		}
+	}
+
+	// Greedy client queues six requests, then the light client queues
+	// two. Strict FIFO would serve all six greedy requests first.
+	for i := 0; i < 6; i++ {
+		enqueueWaiter(t, a, "greedy", record)
+	}
+	for i := 0; i < 2; i++ {
+		enqueueWaiter(t, a, "light", record)
+	}
+
+	a.release() // free the worker; grants chain through each release
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("grants never completed")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Round-robin across {greedy, light}: light's two requests must land
+	// within the first four grants, not after greedy's six.
+	lightSeen := 0
+	for i, c := range grants[:4] {
+		_ = i
+		if c == "light" {
+			lightSeen++
+		}
+	}
+	if lightSeen != 2 {
+		t.Errorf("grant order %v: light client served %d of first 4 grants, want 2 (starved by greedy)", grants, lightSeen)
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	mc := metrics.New()
+	a := newAdmission(1, 4, mc)
+	if err := a.acquire(context.Background(), "holder"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(ctx, "w") }()
+	waitQueued(t, a, 1)
+
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, q := a.snapshot(); q != 0 {
+		t.Errorf("queued = %d after abandonment, want 0", q)
+	}
+	if got := mc.Counter(metrics.CounterServerQueueDepth); got != 0 {
+		t.Errorf("queue depth gauge = %d, want 0", got)
+	}
+
+	// The abandoned ticket must not absorb the next grant.
+	a.release()
+	if err := a.acquire(context.Background(), "x"); err != nil {
+		t.Fatalf("acquire after abandoned ticket: %v", err)
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	mc := metrics.New()
+	a := newAdmission(1, 4, mc)
+	if err := a.acquire(context.Background(), "holder"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A request queued before the drain still gets served...
+	granted := make(chan error, 1)
+	go func() { granted <- a.acquire(context.Background(), "early") }()
+	waitQueued(t, a, 1)
+
+	a.drain()
+
+	// ...while new arrivals are rejected outright.
+	if err := a.acquire(context.Background(), "late"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire during drain = %v, want ErrDraining", err)
+	}
+
+	a.release()
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatalf("queued-before-drain acquire: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued-before-drain ticket never granted")
+	}
+}
+
+func waitQueued(t *testing.T, a *admission, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, q := a.snapshot(); q >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d", want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// broadcaster is an io.Writer that fans complete lines out to
+// subscribers. The metrics collector's verbose stream writes here, so
+// every per-span progress line the engine emits reaches each streaming
+// client. Slow subscribers lose lines rather than stall the engine:
+// publishes are non-blocking into a bounded per-subscriber channel.
+type broadcaster struct {
+	mu   sync.Mutex
+	subs map[chan string]struct{}
+	tee  io.Writer // optional local copy (the daemon's own stderr -v)
+	buf  bytes.Buffer
+}
+
+// subBuffer bounds each subscriber's backlog of progress lines.
+const subBuffer = 256
+
+func newBroadcaster(tee io.Writer) *broadcaster {
+	return &broadcaster{subs: make(map[chan string]struct{}), tee: tee}
+}
+
+// Write splits the stream into lines and publishes each complete line;
+// a trailing partial line is held until its newline arrives.
+func (b *broadcaster) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tee != nil {
+		b.tee.Write(p)
+	}
+	b.buf.Write(p)
+	for {
+		raw := b.buf.Bytes()
+		i := bytes.IndexByte(raw, '\n')
+		if i < 0 {
+			break
+		}
+		line := string(raw[:i])
+		b.buf.Next(i + 1)
+		for ch := range b.subs {
+			select {
+			case ch <- line:
+			default: // subscriber too slow; drop the line
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// subscribe registers a new progress-line subscriber; cancel
+// unregisters it and closes the channel.
+func (b *broadcaster) subscribe() (<-chan string, func()) {
+	ch := make(chan string, subBuffer)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			delete(b.subs, ch)
+			b.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}

@@ -1,0 +1,650 @@
+// Package server is the experiment service daemon behind cmd/deadd: an
+// HTTP+JSON front end over a shared core.Workspace, serving experiment,
+// predictor-evaluation, and profile queries with the robustness
+// machinery a long-lived service needs — a bounded admission queue with
+// load-shedding backpressure (429 + Retry-After), per-client round-robin
+// fairness, per-request deadlines with transient-fault retry, streaming
+// progress over chunked responses, health/readiness probes, and graceful
+// drain on shutdown.
+//
+// Every result the daemon serves derives through the workspace's
+// content-addressed artifact store, so responses are bit-identical to
+// what the CLI tools produce for the same spec: an experiment response
+// carries exactly Experiment.Render(), and the chaos soak holds the
+// daemon to that contract under injected faults.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/deadness"
+	"repro/internal/dip"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fault-injection sites owned by the daemon: SiteAccept fires as a
+// request enters admission (a failure there is pre-execution and always
+// retryable by the client), SiteHandle fires once per execution attempt
+// inside the server's retry loop.
+const (
+	SiteAccept faults.Site = "server.accept"
+	SiteHandle faults.Site = "server.handle"
+)
+
+func init() { faults.RegisterSite(SiteAccept, SiteHandle) }
+
+// Config assembles a Server.
+type Config struct {
+	// Workspace executes all queries; the daemon sets KeepGoing so
+	// multi-experiment requests return partial results.
+	Workspace *core.Workspace
+	// Workers bounds concurrently executing requests (0 = the
+	// workspace pool's worker count).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; arrivals beyond
+	// it are shed with 429 (0 = no waiting, shed when all workers busy).
+	QueueDepth int
+	// DefaultTimeout bounds a request that names no ?timeout (0 = none);
+	// MaxTimeout clamps client-requested deadlines (0 = no clamp).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Retry re-runs transiently failing request attempts (zero value =
+	// no retry).
+	Retry core.RetryPolicy
+	// Metrics receives the daemon's counters and, when its verbose
+	// stream is routed through the server (see New), the progress lines
+	// streamed to subscribers. Nil is ignored in the usual nil-safe way.
+	Metrics *metrics.Collector
+	// Verbose, when set, additionally tees engine progress lines to this
+	// writer (the daemon's -v).
+	Verbose io.Writer
+}
+
+// Server is the HTTP service; build one with New, expose Handler, and
+// call Drain on shutdown.
+type Server struct {
+	cfg Config
+	w   *core.Workspace
+	mc  *metrics.Collector
+	adm *admission
+	bc  *broadcaster
+	mux *http.ServeMux
+
+	// baseCtx parents every request execution; baseCancel is the drain
+	// deadline's hammer — cancelling it deadline-cancels in-flight work.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server over the given config. The workspace's metrics
+// collector is routed through the server's progress broadcaster so
+// streaming clients see per-span engine events.
+func New(cfg Config) *Server {
+	if cfg.Workspace == nil {
+		panic("server: Config.Workspace is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = cfg.Workspace.Pool().Workers()
+	}
+	s := &Server{
+		cfg: cfg,
+		w:   cfg.Workspace,
+		mc:  cfg.Metrics,
+		adm: newAdmission(workers, cfg.QueueDepth, cfg.Metrics),
+		bc:  newBroadcaster(cfg.Verbose),
+		mux: http.NewServeMux(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	// Route engine progress lines through the broadcaster so ?stream=1
+	// subscribers receive them.
+	cfg.Metrics.SetVerbose(s.bc)
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/predeval", s.handlePredEval)
+	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain performs graceful shutdown: stop admitting new requests
+// (readiness flips to 503, acquires fail with ErrDraining), let queued
+// and in-flight requests finish, and — if ctx expires first —
+// deadline-cancel whatever is still running and wait for it to unwind.
+// Finally the workspace's resident artifacts spill to the disk tier, so
+// a warm restart reloads them instead of recomputing. Returns ctx's
+// error if the deadline forced cancellation, nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.adm.drain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.baseCancel()
+		<-done // in-flight work observes cancellation and unwinds
+	}
+	s.w.FlushSpill()
+	return forced
+}
+
+// --- probes and introspection ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	active, queued := s.adm.snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		Run       metrics.Summary `json:"run"`
+		Artifacts artifact.Stats  `json:"artifacts"`
+		Active    int             `json:"active_requests"`
+		Queued    int             `json:"queued_requests"`
+		Draining  bool            `json:"draining"`
+	}{s.mc.Summary(), s.w.ArtifactStats(), active, queued, s.draining.Load()})
+}
+
+// --- request plumbing ---
+
+// errorBody is the JSON error envelope: what failed, how it classifies
+// (transient errors are worth a client retry), and how many attempts the
+// server made.
+type errorBody struct {
+	Error    string `json:"error"`
+	Kind     string `json:"kind"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error, attempts int) {
+	kind := "permanent"
+	switch {
+	case faults.IsTransient(err):
+		kind = "transient"
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = "deadline"
+	case errors.Is(err, context.Canceled):
+		kind = "cancelled"
+	}
+	writeJSON(w, status, errorBody{Error: err.Error(), Kind: kind, Attempts: attempts})
+}
+
+// clientToken identifies the requester for fair queueing: an explicit
+// X-Client-Token header when the client sets one, the remote address
+// otherwise.
+func clientToken(r *http.Request) string {
+	if tok := r.Header.Get("X-Client-Token"); tok != "" {
+		return tok
+	}
+	return r.RemoteAddr
+}
+
+// requestTimeout resolves the request's execution deadline: ?timeout=
+// parsed as a Go duration, clamped to MaxTimeout, defaulting to
+// DefaultTimeout. An unparsable value is a usage error.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	d := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		parsed, err := time.ParseDuration(v)
+		if err != nil || parsed <= 0 {
+			return 0, fmt.Errorf("server: bad timeout %q", v)
+		}
+		d = parsed
+	}
+	if s.cfg.MaxTimeout > 0 && (d == 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// execute runs fn under the daemon's full request discipline: the
+// server.accept fault site, drain checks, fair admission with
+// load-shedding, the per-request deadline, and a retry loop for
+// transient failures. The context passed to fn dies when the client
+// disconnects, the deadline passes, or a drain deadline forces
+// cancellation. Single-flight casualty semantics: a shared build
+// cancelled by another request's context surfaces context.Canceled even
+// though our own context is live — that case retries, and the store has
+// forgotten the cancelled build, so the retry rebuilds deterministically.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, error)) {
+	if err := faults.Fire(SiteAccept); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err, 0)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, ErrDraining, 0)
+		return
+	}
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	// A drain deadline cancels in-flight requests through baseCtx.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	if err := s.adm.acquire(ctx, clientToken(r)); err != nil {
+		var shed *ShedError
+		switch {
+		case errors.As(err, &shed):
+			w.Header().Set("Retry-After", strconv.Itoa(int(shed.RetryAfter.Seconds())))
+			writeError(w, http.StatusTooManyRequests, err, 0)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err, 0)
+		default: // client gave up while queued; best-effort status
+			writeError(w, statusForContext(ctx), err, 0)
+		}
+		return
+	}
+	defer s.adm.release()
+
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	stream := r.URL.Query().Get("stream") == "1"
+	var fw *streamWriter
+	if stream {
+		fw = newStreamWriter(w, s.bc, s.mc)
+		defer fw.close()
+	}
+
+	res, attempts, err := s.attempt(ctx, fn)
+	if err != nil {
+		s.mc.Add(metrics.CounterServerFailed, 1)
+		if fw != nil {
+			fw.event(streamEvent{Event: "error", Error: err.Error(), Attempts: attempts})
+			return
+		}
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// Client gone or drain-forced; the status is best-effort.
+			status = http.StatusServiceUnavailable
+		case faults.IsTransient(err):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err, attempts)
+		return
+	}
+	s.mc.Add(metrics.CounterServerCompleted, 1)
+	if fw != nil {
+		fw.event(streamEvent{Event: "result", Data: res, Attempts: attempts})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// attempt is the retry loop around one request execution: each attempt
+// fires the server.handle site, transient failures (and single-flight
+// cancellation casualties — see execute) retry with the shared backoff
+// schedule while our own context is live.
+func (s *Server) attempt(ctx context.Context, fn func(ctx context.Context) (any, error)) (any, int, error) {
+	max := s.cfg.Retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var res any
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, attempt, cerr
+		}
+		err = faults.Fire(SiteHandle)
+		if err == nil {
+			res, err = fn(ctx)
+		}
+		if err == nil {
+			return res, attempt, nil
+		}
+		casualty := errors.Is(err, context.Canceled) && ctx.Err() == nil
+		if ctx.Err() != nil || (!faults.IsTransient(err) && !casualty) || attempt >= max {
+			return nil, attempt, err
+		}
+		s.mc.Add(metrics.CounterServerRetries, 1)
+		select {
+		case <-ctx.Done():
+			return nil, attempt, ctx.Err()
+		case <-time.After(s.cfg.Retry.Backoff(attempt)):
+		}
+	}
+}
+
+func statusForContext(ctx context.Context) int {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusServiceUnavailable
+}
+
+// --- streaming ---
+
+// streamEvent is one NDJSON line of a ?stream=1 response: progress
+// events carry an engine progress line; the final event is result or
+// error.
+type streamEvent struct {
+	Event    string `json:"event"`
+	Line     string `json:"line,omitempty"`
+	Data     any    `json:"data,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// streamWriter subscribes to the progress broadcaster and relays lines
+// to one chunked NDJSON response while the request executes.
+type streamWriter struct {
+	mu     sync.Mutex
+	w      http.ResponseWriter
+	fl     http.Flusher
+	cancel func()
+	wg     sync.WaitGroup
+}
+
+func newStreamWriter(w http.ResponseWriter, bc *broadcaster, mc *metrics.Collector) *streamWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	sw := &streamWriter{w: w, fl: fl}
+	ch, cancel := bc.subscribe()
+	sw.cancel = cancel
+	mc.Add(metrics.CounterServerStreams, 1)
+	sw.wg.Add(1)
+	go func() {
+		defer sw.wg.Done()
+		// Drain until the subscription closes: lines published before
+		// close() are buffered in ch and must all reach the response,
+		// even if this goroutine is first scheduled after the request
+		// has already finished.
+		for line := range ch {
+			sw.event(streamEvent{Event: "progress", Line: line})
+		}
+	}()
+	return sw
+}
+
+func (sw *streamWriter) event(e streamEvent) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	sw.w.Write(append(b, '\n'))
+	if sw.fl != nil {
+		sw.fl.Flush()
+	}
+}
+
+func (sw *streamWriter) close() {
+	sw.cancel()
+	sw.wg.Wait()
+}
+
+// --- endpoints ---
+
+// ExperimentResult is the JSON form of one completed experiment. Render
+// is the deterministic serialization (Experiment.Render) — the server's
+// bit-identity contract with the CLI: for the same id and workspace
+// configuration it is byte-for-byte what `experiments` would print from
+// its tables.
+type ExperimentResult struct {
+	ID       string             `json:"id"`
+	Title    string             `json:"title,omitempty"`
+	Claim    string             `json:"claim,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Render   string             `json:"render,omitempty"`
+	Attempts int                `json:"attempts,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+func experimentResult(e *core.Experiment) ExperimentResult {
+	if e.Err != nil {
+		return ExperimentResult{ID: e.ID, Error: e.Err.Error(), Attempts: e.Attempts}
+	}
+	return ExperimentResult{
+		ID: e.ID, Title: e.Title, Claim: e.Claim,
+		Metrics: e.Metrics, Render: e.Render(), Attempts: e.Attempts,
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+func validExperimentIDs(ids []string) error {
+	known := make(map[string]bool)
+	for _, id := range core.ExperimentIDs() {
+		known[id] = true
+	}
+	for _, id := range ids {
+		if !known[id] {
+			return fmt.Errorf("server: unknown experiment %q", id)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	if err := validExperimentIDs([]string{req.ID}); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	s.execute(w, r, func(ctx context.Context) (any, error) {
+		exps, err := s.w.RunExperiments(ctx, []string{req.ID})
+		if err != nil {
+			// KeepGoing surfaces single-experiment failures as both a
+			// RunError and an entry with Err; prefer the concrete error.
+			if len(exps) == 1 && exps[0].Err != nil {
+				return nil, exps[0].Err
+			}
+			return nil, err
+		}
+		return experimentResult(exps[0]), nil
+	})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		IDs []string `json:"ids"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	if len(req.IDs) == 0 {
+		req.IDs = core.ExperimentIDs()
+	}
+	if err := validExperimentIDs(req.IDs); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	s.execute(w, r, func(ctx context.Context) (any, error) {
+		// Partial results: under the workspace's KeepGoing mode every
+		// requested experiment gets an entry, failed ones carrying their
+		// error; the response reports partial=true rather than failing
+		// the whole request. Without KeepGoing a failure fails the
+		// request (and the completed survivors are dropped).
+		exps, err := s.w.RunExperiments(ctx, req.IDs)
+		var runErr *core.RunError
+		if err != nil && !errors.As(err, &runErr) {
+			return nil, err
+		}
+		if err != nil && !s.w.KeepGoing {
+			return nil, err
+		}
+		out := struct {
+			Experiments []ExperimentResult `json:"experiments"`
+			Partial     bool               `json:"partial,omitempty"`
+			Failed      int                `json:"failed,omitempty"`
+		}{}
+		for _, e := range exps {
+			out.Experiments = append(out.Experiments, experimentResult(e))
+			if e.Err != nil {
+				out.Failed++
+			}
+		}
+		out.Partial = out.Failed > 0
+		return out, nil
+	})
+}
+
+// PredEvalResult wraps a predictor evaluation with its derived rates, so
+// clients need not recompute them.
+type PredEvalResult struct {
+	Bench    string     `json:"bench"`
+	Spec     string     `json:"spec"`
+	Result   dip.Result `json:"result"`
+	Coverage float64    `json:"coverage"`
+	Accuracy float64    `json:"accuracy"`
+}
+
+func (s *Server) handlePredEval(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Bench  string      `json:"bench"`
+		Flavor string      `json:"flavor"`
+		Config *dip.Config `json:"config"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	if _, err := workload.ByName(req.Bench); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	spec := dip.Spec{Flavor: req.Flavor, Config: dip.DefaultConfig()}
+	if spec.Flavor == "" {
+		spec.Flavor = dip.FlavorCFI
+	}
+	if req.Config != nil {
+		spec.Config = *req.Config
+	}
+	if _, err := spec.New(); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	s.execute(w, r, func(ctx context.Context) (any, error) {
+		res, err := s.w.EvalPredictorCtx(ctx, req.Bench, spec)
+		if err != nil {
+			return nil, err
+		}
+		return PredEvalResult{
+			Bench: req.Bench, Spec: spec.Label(), Result: res,
+			Coverage: res.Coverage(), Accuracy: res.Accuracy(),
+		}, nil
+	})
+}
+
+// ProfileStats is the profile-query response: the oracle summary and
+// static locality for one benchmark.
+type ProfileStats struct {
+	Bench        string            `json:"bench"`
+	Budget       int               `json:"budget"`
+	Summary      deadness.Summary  `json:"summary"`
+	Locality     deadness.Locality `json:"locality"`
+	DeadFraction float64           `json:"dead_fraction"`
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Bench string `json:"bench"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	if _, err := workload.ByName(req.Bench); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	s.execute(w, r, func(ctx context.Context) (any, error) {
+		var out ProfileStats
+		err := s.w.WithProfileCtx(ctx, req.Bench, func(p *core.ProfileResult) error {
+			out = ProfileStats{
+				Bench: req.Bench, Budget: s.w.Budget,
+				Summary: p.Summary, Locality: p.Locality,
+				DeadFraction: p.Summary.DeadFraction(),
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+}

@@ -1,0 +1,368 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+const testBudget = 50_000
+
+func newTestServer(t *testing.T, tune func(*Config)) (*Server, *httptest.Server, *metrics.Collector) {
+	t.Helper()
+	w := core.NewWorkspaceWorkers(testBudget, 2)
+	w.KeepGoing = true
+	mc := metrics.New()
+	w.Metrics = mc
+	cfg := Config{
+		Workspace:      w,
+		Workers:        2,
+		QueueDepth:     8,
+		DefaultTimeout: time.Minute,
+		Retry:          core.DefaultRetryPolicy(),
+		Metrics:        mc,
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, mc
+}
+
+func post(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestProbesAndDrain(t *testing.T) {
+	s, ts, _ := newTestServer(t, nil)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	// Work requests are rejected outright during/after drain.
+	r, _ := post(t, ts.URL+"/v1/profile", `{"bench":"`+core.SuiteNames()[0]+`"}`)
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("profile after drain: status %d, want 503", r.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	cases := []struct {
+		path, body string
+	}{
+		{"/v1/experiment", `{"id":"e999"}`},
+		{"/v1/experiment", `{oops`},
+		{"/v1/experiments", `{"ids":["e1","nope"]}`},
+		{"/v1/profile", `{"bench":"nonesuch"}`},
+		{"/v1/predeval", `{"bench":"nonesuch"}`},
+		{"/v1/predeval", `{"bench":"` + core.SuiteNames()[0] + `","flavor":"alien"}`},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400 (body %s)", tc.path, tc.body, resp.StatusCode, body)
+		}
+	}
+	// Bad ?timeout= is a usage error too.
+	resp, _ := post(t, ts.URL+"/v1/profile?timeout=banana", `{"bench":"`+core.SuiteNames()[0]+`"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad timeout: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestProfileEndpointMatchesDirect(t *testing.T) {
+	s, ts, _ := newTestServer(t, nil)
+	bench := core.SuiteNames()[0]
+
+	resp, body := post(t, ts.URL+"/v1/profile", `{"bench":"`+bench+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got ProfileStats
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-identity with a direct workspace computation at the same budget.
+	ref := core.NewWorkspace(testBudget)
+	var want ProfileStats
+	err := ref.WithProfile(bench, func(p *core.ProfileResult) error {
+		want = ProfileStats{Bench: bench, Budget: testBudget, Summary: p.Summary,
+			Locality: p.Locality, DeadFraction: p.Summary.DeadFraction()}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("profile response diverges from direct run:\nserver: %s\ndirect: %s", gb, wb)
+	}
+	_ = s
+}
+
+func TestRequestTimeout(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	bench := core.SuiteNames()[0]
+	resp, body := post(t, ts.URL+"/v1/profile?timeout=1ns", `{"bench":"`+bench+`"}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Kind != "deadline" {
+		t.Errorf("error kind %q, want deadline", eb.Kind)
+	}
+}
+
+func TestMaxTimeoutClamp(t *testing.T) {
+	s, _, _ := newTestServer(t, func(c *Config) { c.MaxTimeout = time.Second })
+	req := httptest.NewRequest(http.MethodPost, "/v1/profile?timeout=10m", nil)
+	d, err := s.requestTimeout(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != time.Second {
+		t.Errorf("timeout = %v, want clamped to 1s", d)
+	}
+}
+
+func TestStreamingProgress(t *testing.T) {
+	_, ts, mc := newTestServer(t, nil)
+	bench := core.SuiteNames()[0]
+
+	resp, err := http.Post(ts.URL+"/v1/profile?stream=1", "application/json",
+		strings.NewReader(`{"bench":"`+bench+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	var progress, results int
+	var final streamEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch e.Event {
+		case "progress":
+			progress++
+		case "result":
+			results++
+			final = e
+		case "error":
+			t.Fatalf("stream error: %s", e.Error)
+		}
+	}
+	if results != 1 {
+		t.Fatalf("result events = %d, want 1", results)
+	}
+	// A cold profile build emits compile/emulate/analyze spans, all of
+	// which flow through the broadcaster.
+	if progress == 0 {
+		t.Error("no progress events on a cold build")
+	}
+	if final.Data == nil {
+		t.Error("result event carries no data")
+	}
+	if got := mc.Counter(metrics.CounterServerStreams); got != 1 {
+		t.Errorf("stream counter = %d, want 1", got)
+	}
+}
+
+// TestClientDisconnectRecovery is the server half of the stream/chunk
+// lifecycle fix: a client that disconnects mid-request cancels the
+// request context, which aborts any build it initiated and releases its
+// pooled trace chunks and writer-map pages; an identical request
+// afterwards must succeed and match a clean workspace bit for bit.
+func TestClientDisconnectRecovery(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	bench := core.SuiteNames()[0]
+
+	// Fire a cold profile request and abandon it almost immediately,
+	// repeatedly, sweeping the cancellation point across the build.
+	for _, after := range []time.Duration{0, 200 * time.Microsecond, 2 * time.Millisecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/profile",
+			strings.NewReader(`{"bench":"`+bench+`"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		time.Sleep(after)
+		cancel()
+		wg.Wait()
+	}
+
+	// The pools must be intact: a clean request succeeds and matches a
+	// direct run.
+	resp, body := post(t, ts.URL+"/v1/profile", `{"bench":"`+bench+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect request: status %d: %s", resp.StatusCode, body)
+	}
+	var got ProfileStats
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	ref := core.NewWorkspace(testBudget)
+	var want deadnessSummaryProbe
+	if err := ref.WithProfile(bench, func(p *core.ProfileResult) error {
+		want = deadnessSummaryProbe{p.Summary.Total, p.Summary.Dead}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary.Total != want.total || got.Summary.Dead != want.dead {
+		t.Errorf("post-disconnect profile diverges: got %d/%d, want %d/%d",
+			got.Summary.Dead, got.Summary.Total, want.dead, want.total)
+	}
+}
+
+type deadnessSummaryProbe struct{ total, dead int }
+
+func TestShedUnderBurst(t *testing.T) {
+	_, ts, mc := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 0
+	})
+	bench := core.SuiteNames()[0]
+
+	// Hold the single worker for a deterministic interval per admitted
+	// request via a delay fault at server.handle (fired after admission,
+	// so the slot stays occupied through the sleep). Without this the
+	// test hinges on a cold build outlasting goroutine scheduling skew.
+	faults.Set(faults.NewInjector(1).Arm(SiteHandle,
+		faults.Rule{Kind: faults.Delay, Rate: 1, Delay: 50 * time.Millisecond}))
+	t.Cleanup(func() { faults.Set(nil) })
+
+	// Burst cold requests at a single worker with no queue: all but the
+	// one holding the worker shed with 429 + Retry-After.
+	const burst = 8
+	statuses := make([]int, burst)
+	retryAfter := make([]string, burst)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/profile", "application/json",
+				strings.NewReader(`{"bench":"`+bench+`"}`))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	sheds := 0
+	for i, st := range statuses {
+		if st == http.StatusTooManyRequests {
+			sheds++
+			if retryAfter[i] == "" {
+				t.Error("429 without Retry-After header")
+			}
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("no request was shed; backpressure test is vacuous")
+	}
+	if got := mc.Counter(metrics.CounterServerShed); int(got) != sheds {
+		t.Errorf("shed counter = %d, observed %d sheds", got, sheds)
+	}
+}
+
+func TestMetricz(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	bench := core.SuiteNames()[0]
+	if resp, _ := post(t, ts.URL+"/v1/profile", `{"bench":"`+bench+`"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile: %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Run      metrics.Summary `json:"run"`
+		Draining bool            `json:"draining"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Run.Counters[metrics.CounterServerCompleted] < 1 {
+		t.Errorf("completed counter = %d, want >= 1", m.Run.Counters[metrics.CounterServerCompleted])
+	}
+	if m.Draining {
+		t.Error("draining reported on a live server")
+	}
+}

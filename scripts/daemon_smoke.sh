@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Daemon smoke: build deadd + deadload, start the daemon with a
+# temporary persistent cache, run a load burst against it, SIGTERM it,
+# and assert (1) a zero exit after graceful drain and (2) a non-zero
+# artifact disk-write count in the final metrics dump — proving the
+# drain-time spill to the disk tier actually ran.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${DEADD_ADDR:-127.0.0.1:7391}"
+BUDGET="${DEADD_BUDGET:-60000}"
+REQUESTS="${DEADLOAD_N:-12}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/deadd" ./cmd/deadd
+go build -o "$WORK/deadload" ./cmd/deadload
+
+"$WORK/deadd" -addr "$ADDR" -n "$BUDGET" -cache-dir "$WORK/cache" \
+    >"$WORK/deadd.out" 2>"$WORK/deadd.err" &
+DEADD_PID=$!
+
+# Wait for readiness (the daemon binds before serving, so this is quick).
+ready=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$ready" != 1 ]; then
+    echo "daemon_smoke: deadd never became ready" >&2
+    cat "$WORK/deadd.err" >&2
+    kill "$DEADD_PID" 2>/dev/null || true
+    exit 1
+fi
+
+"$WORK/deadload" -addr "http://$ADDR" -n "$REQUESTS" -c 4 -seed 3 -strict
+
+kill -TERM "$DEADD_PID"
+status=0
+wait "$DEADD_PID" || status=$?
+if [ "$status" != 0 ]; then
+    echo "daemon_smoke: deadd exited $status after SIGTERM, want 0" >&2
+    cat "$WORK/deadd.err" >&2
+    exit 1
+fi
+
+# The final dump must record artifact disk writes (write-through during
+# the run plus the drain-time spill).
+if ! grep -Eq '"disk_writes": *[1-9]' "$WORK/deadd.out"; then
+    echo "daemon_smoke: no artifact disk writes in the final metrics dump:" >&2
+    cat "$WORK/deadd.out" >&2
+    exit 1
+fi
+
+echo "daemon_smoke: OK (exit 0 after drain, disk writes recorded)"

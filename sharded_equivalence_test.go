@@ -9,8 +9,11 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/deadness"
 	"repro/internal/emu"
@@ -174,6 +177,86 @@ func TestShardedStreamLifecycleUnderFaults(t *testing.T) {
 			if a.Kind[seq] != clean.Kind[seq] || a.Resolve[seq] != clean.Resolve[seq] ||
 				a.EverRead[seq] != clean.EverRead[seq] || a.Candidate[seq] != clean.Candidate[seq] {
 				t.Fatalf("shards=%d: post-chaos analysis diverges at seq %d", shards, seq)
+			}
+		}
+		tr.Release()
+	}
+}
+
+// TestShardedStreamLifecycleUnderCancellation is the companion regression
+// to the fault-injection lifecycle test above, for the other way a stream
+// dies early: the caller's context is cancelled mid-collection (a daemon
+// client disconnecting). The abort must surface context.Canceled with nil
+// results, release every pooled resource the partial run held (trace
+// chunk arenas, writer-map pages), and leave the pools intact — a clean
+// run afterwards must match the fault-free analysis bit for bit.
+func TestShardedStreamLifecycleUnderCancellation(t *testing.T) {
+	prof := workload.Suite()[0]
+	prog, _, err := prof.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 60_000
+
+	// Fault-free reference run.
+	cleanTr, clean, _, err := emu.CollectAnalyzedShardsCtx(context.Background(), prog, budget, 1, nil, prof.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanTr.Release()
+
+	for _, shards := range []int{1, 2, 4} {
+		aborted := 0
+		// Sweep cancellation points from "before the first instruction"
+		// up through mid-emulation; wall-clock delays make individual
+		// trials nondeterministic, so the assertions only distinguish
+		// "aborted cleanly" from "completed identically".
+		// The -1 sentinel cancels before the call even starts — the one
+		// trial guaranteed to abort however fast the collection runs.
+		delays := []time.Duration{-1, 0, 20 * time.Microsecond, 100 * time.Microsecond,
+			500 * time.Microsecond, 2 * time.Millisecond}
+		for _, d := range delays {
+			ctx, cancel := context.WithCancel(context.Background())
+			var timer *time.Timer
+			if d < 0 {
+				cancel()
+			} else {
+				timer = time.AfterFunc(d, cancel)
+			}
+			tr, a, _, err := emu.CollectAnalyzedShardsCtx(ctx, prog, budget, shards, nil, prof.Name)
+			if timer != nil {
+				timer.Stop()
+			}
+			cancel()
+			if err != nil {
+				aborted++
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("shards=%d delay=%v: error %v, want context.Canceled", shards, d, err)
+				}
+				if tr != nil || a != nil {
+					t.Fatalf("shards=%d delay=%v: non-nil results alongside cancellation", shards, d)
+				}
+				continue
+			}
+			if a.Candidates() != clean.Candidates() || tr.Len() != cleanTr.Len() {
+				t.Fatalf("shards=%d delay=%v: completed run diverged from reference", shards, d)
+			}
+			tr.Release()
+		}
+		if aborted == 0 {
+			t.Fatalf("shards=%d: no trial was cancelled mid-collection; test is vacuous", shards)
+		}
+
+		// After every abort, pooled state must be intact: a fresh run
+		// still produces the exact fault-free analysis.
+		tr, a, _, err := emu.CollectAnalyzedShardsCtx(context.Background(), prog, budget, shards, nil, prof.Name)
+		if err != nil {
+			t.Fatalf("shards=%d: post-cancellation run: %v", shards, err)
+		}
+		for seq := 0; seq < tr.Len(); seq++ {
+			if a.Kind[seq] != clean.Kind[seq] || a.Resolve[seq] != clean.Resolve[seq] ||
+				a.EverRead[seq] != clean.EverRead[seq] || a.Candidate[seq] != clean.Candidate[seq] {
+				t.Fatalf("shards=%d: post-cancellation analysis diverges at seq %d", shards, seq)
 			}
 		}
 		tr.Release()
