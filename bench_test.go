@@ -9,7 +9,13 @@ package repro_test
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/asm"
@@ -20,6 +26,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -422,6 +429,79 @@ func BenchmarkProfileDiskCache(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCoalescedLoad measures the service tier's redundant-work
+// elimination end to end over real HTTP: each iteration flushes the
+// daemon workspace's resident artifacts and issues profile requests
+// against the cold cache. "solo" is the one-request baseline, "burst8"
+// fires 8 identical requests concurrently (they coalesce into a single
+// flight, so ns/op should track solo, not 8x it), and "serial8" issues
+// the same 8 back to back (one build, then memory hits — no
+// coalescing). builds/burst counts profile-kind cache misses per
+// iteration: the burst8 contract is ~1 build for 8 requests, with the
+// other 7 visible in coalesced/burst.
+func BenchmarkCoalescedLoad(b *testing.B) {
+	run := func(b *testing.B, requests int, concurrent bool) {
+		w := core.NewWorkspaceWorkers(benchBudget, 2)
+		mc := metrics.New()
+		w.Metrics = mc
+		s := server.New(server.Config{Workspace: w, QueueDepth: 32, Metrics: mc})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		body := `{"bench":"gzip"}`
+		post := func() error {
+			resp, err := http.Post(ts.URL+"/v1/profile", "application/json", strings.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("profile request: status %d", resp.StatusCode)
+			}
+			return nil
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			w.FlushSpill()
+			b.StartTimer()
+			if concurrent {
+				var wg sync.WaitGroup
+				errc := make(chan error, requests)
+				for r := 0; r < requests; r++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						errc <- post()
+					}()
+				}
+				wg.Wait()
+				close(errc)
+				for err := range errc {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				for r := 0; r < requests; r++ {
+					if err := post(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.StopTimer()
+		builds := w.ArtifactStats().Kinds[core.KindProfile].Misses
+		b.ReportMetric(float64(builds)/float64(b.N), "builds/burst")
+		b.ReportMetric(float64(mc.Counter(metrics.CounterServerCoalesced))/float64(b.N), "coalesced/burst")
+	}
+	b.Run("solo", func(b *testing.B) { run(b, 1, false) })
+	b.Run("burst8", func(b *testing.B) { run(b, 8, true) })
+	b.Run("serial8", func(b *testing.B) { run(b, 8, false) })
 }
 
 // BenchmarkEngineAllExperiments runs the full 18-experiment engine on a

@@ -8,12 +8,16 @@
 //	deadd [-addr host:port] [-queue n] [-request-timeout d] [-max-timeout d]
 //	      [-retries n] [-drain-timeout d] [-n budget] [-j workers]
 //	      [-analyze-shards n] [-cache-budget bytes] [-cache-dir dir]
-//	      [-disk-budget bytes] [-v]
+//	      [-disk-budget bytes] [-remote-cache url] [-v]
 //
 // Endpoints: GET /healthz, /readyz, /metricz; POST /v1/experiment,
 // /v1/experiments, /v1/predeval, /v1/profile — all POST endpoints accept
 // ?timeout= per-request deadlines and ?stream=1 chunked NDJSON progress.
-// Requests beyond the worker and queue capacity are shed with 429 +
+// GET and PUT /v1/artifact/{kind}/{digest} transfer encoded artifacts
+// (CRC-framed), so a peer workspace started with -remote-cache pointed
+// here warm-starts from this daemon's cache instead of rebuilding.
+// Identical pending POST requests coalesce into a single execution;
+// requests beyond the worker and queue capacity are shed with 429 +
 // Retry-After; queued requests are granted round-robin across client
 // tokens (X-Client-Token header).
 //

@@ -5,16 +5,19 @@
 // suite order regardless of -j.
 //
 // Profiles derive through the workspace's content-addressed artifact
-// cache: -cache-budget bounds its resident bytes, and -cache-dir attaches
-// a persistent disk tier shared across runs and processes, so a repeated
-// invocation loads its profiles from disk instead of re-emulating (use
-// -artifacts to see the hit/miss/disk counters proving it).
+// cache: -cache-budget bounds its resident bytes, -cache-dir attaches a
+// persistent disk tier shared across runs and processes, and
+// -remote-cache attaches a warm deadd daemon as a third tier (lookup
+// order: memory, disk, remote, build), so a repeated invocation loads
+// its profiles instead of re-emulating (use -artifacts to see the
+// hit/miss/disk/remote counters proving it).
 //
 // Usage:
 //
 //	deadprof [-bench name] [-n budget] [-hoist n] [-licm n] [-regs n]
 //	         [-locality] [-mix] [-j workers] [-cache-budget bytes]
-//	         [-cache-dir dir] [-disk-budget bytes] [-artifacts]
+//	         [-cache-dir dir] [-disk-budget bytes] [-remote-cache url]
+//	         [-artifacts]
 package main
 
 import (

@@ -8,14 +8,16 @@
 //
 //	deadsim [-bench name] [-n budget] [-machine baseline|contended|deep]
 //	        [-regs n] [-elim off|on|both] [-j workers] [-cache-budget bytes]
-//	        [-cache-dir dir] [-disk-budget bytes] [-v]
+//	        [-cache-dir dir] [-disk-budget bytes] [-remote-cache url] [-v]
 //
 // Profiles and machine runs derive through the workspace's
 // content-addressed artifact cache; -cache-budget bounds its resident
-// bytes, and -cache-dir attaches a persistent disk tier shared across
-// runs and processes (bounded by -disk-budget), so repeated invocations
-// load artifacts from disk instead of recomputing them. The -v run
-// summary includes the per-kind cache and disk-tier counters.
+// bytes, -cache-dir attaches a persistent disk tier shared across runs
+// and processes (bounded by -disk-budget), and -remote-cache attaches a
+// warm deadd daemon as a third tier (lookup order: memory, disk, remote,
+// build), so repeated invocations load artifacts instead of recomputing
+// them. The -v run summary includes the per-kind cache, disk-tier, and
+// remote-tier counters.
 package main
 
 import (

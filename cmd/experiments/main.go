@@ -9,7 +9,8 @@
 //
 //	experiments [-only id[,id...]] [-skip id[,id...]] [-n budget] [-j workers]
 //	            [-cache-budget bytes] [-cache-dir dir] [-disk-budget bytes]
-//	            [-v] [-md | -json] [-keep-going] [-timeout d] [-retries n]
+//	            [-remote-cache url] [-v] [-md | -json] [-keep-going]
+//	            [-timeout d] [-retries n]
 //
 // Experiment selection: -only restricts the run to the listed ids, -skip
 // excludes ids from whatever -only selected (default: all); both validate
@@ -24,10 +25,13 @@
 // across runs (and safely across concurrent processes): artifacts write
 // through on build, cold misses load from disk instead of rebuilding, and
 // evictions spill to disk; -disk-budget bounds the directory, with the
-// oldest entries garbage-collected beyond it. Per-kind
-// hit/miss/eviction counters — and the disk tier's
-// hit/miss/write/verify-failure/GC counters — appear in the -v run
-// summary and the -json "artifacts" section.
+// oldest entries garbage-collected beyond it. -remote-cache attaches a
+// warm deadd daemon as a third tier behind memory and disk (lookup
+// order: memory, disk, remote, build): verified remote hits also warm
+// the local disk tier, and freshly built artifacts push back to the
+// daemon. Per-kind hit/miss/eviction counters — and the disk and remote
+// tiers' hit/miss/write/verify-failure/GC counters — appear in the -v
+// run summary and the -json "artifacts" section.
 //
 // Failure handling: each experiment attempt is bounded by -timeout,
 // transient failures (see internal/faults) retry up to -retries attempts

@@ -9,14 +9,14 @@
 //
 //	predsweep [-bench name] [-n budget] [-mode point|sweep|assoc|cfi]
 //	          [-path n] [-slots n] [-j workers] [-cache-budget bytes]
-//	          [-cache-dir dir] [-disk-budget bytes]
+//	          [-cache-dir dir] [-disk-budget bytes] [-remote-cache url]
 //
 // Traces, oracle analyses, and predictor evaluations derive through the
 // workspace's content-addressed artifact cache; -cache-budget bounds its
-// resident bytes, and -cache-dir attaches a persistent disk tier shared
-// across runs and processes (bounded by -disk-budget), so a sweep
-// re-invoked after a warm run loads its profiles from disk instead of
-// re-emulating. The FAULTS / FAULTS_SEED environment variables arm the
+// resident bytes, -cache-dir attaches a persistent disk tier shared
+// across runs and processes (bounded by -disk-budget), and -remote-cache
+// attaches a warm deadd daemon as a third tier, so a sweep re-invoked
+// after a warm run loads its profiles instead of re-emulating. The FAULTS / FAULTS_SEED environment variables arm the
 // deterministic fault injector; malformed rules abort at startup.
 package main
 

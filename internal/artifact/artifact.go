@@ -18,9 +18,24 @@
 // rebuilding, and LRU-evicted artifacts spill to disk rather than being
 // dropped. Disk entries are integrity-verified on readback and the disk
 // tier is safe to share between concurrent processes; see Disk.
+//
+// A third, remote tier (SetRemote) sits behind memory and disk: cold
+// misses that both inner tiers miss are fetched from a remote cache (an
+// HTTP daemon, see internal/client), and freshly built artifacts are
+// pushed back so a fleet of processes shares one warm cache. Remote
+// payloads reuse the disk tier's framed encoding, so integrity is
+// CRC-verified end to end and a corrupt fetch degrades to a local
+// rebuild.
+//
+// Builds run on a detached context owned by the set of requesters
+// currently waiting on them: when one requester disconnects, surviving
+// waiters adopt the in-flight build (counted as artifact_adoptions)
+// instead of watching it die with its originator and re-running it; only
+// when the last waiter leaves is the build cancelled.
 package artifact
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -30,6 +45,10 @@ import (
 
 	"repro/internal/metrics"
 )
+
+// ErrNotFound reports that no artifact (resident or on disk) exists under
+// a key, from EncodedArtifact.
+var ErrNotFound = errors.New("artifact: not found")
 
 // Kind names one artifact type. Per-kind counters are reported as
 // "artifact_hits.<kind>", "artifact_misses.<kind>",
@@ -93,6 +112,33 @@ type KindStats struct {
 	DiskWrites      int64 `json:"disk_writes,omitempty"`
 	VerifyFailures  int64 `json:"disk_verify_failures,omitempty"`
 	DiskGCEvictions int64 `json:"disk_gc_evictions,omitempty"`
+
+	// Adoptions counts in-flight builds handed off to surviving waiters
+	// after a requester (including the one that started the build)
+	// disconnected — each adopted build is one avoided re-run.
+	Adoptions int64 `json:"adoptions,omitempty"`
+
+	// Remote-tier counters, populated only when the store has a remote
+	// tier and a codec for the kind. RemoteHits counts requests served by
+	// a verified remote fetch (not Misses: no build ran), RemoteMisses
+	// remote lookups that found nothing, RemoteWrites successful pushes of
+	// freshly built artifacts, and RemoteFailures transport or
+	// verification errors (each of which degrades to a local rebuild).
+	RemoteHits     int64 `json:"remote_hits,omitempty"`
+	RemoteMisses   int64 `json:"remote_misses,omitempty"`
+	RemoteWrites   int64 `json:"remote_writes,omitempty"`
+	RemoteFailures int64 `json:"remote_failures,omitempty"`
+}
+
+// RemoteTier is a remote artifact cache (the third tier, behind memory
+// and disk). Fetch returns the framed-and-verified payload for key, with
+// found=false for a clean miss; Store pushes a payload built locally.
+// Implementations must verify payload integrity on fetch (see
+// internal/client); the store treats any error as a degraded lookup and
+// rebuilds locally.
+type RemoteTier interface {
+	Fetch(key Key) (payload []byte, found bool, err error)
+	Store(key Key, payload []byte) error
 }
 
 // Stats is a snapshot of the store.
@@ -115,14 +161,21 @@ type entry struct {
 	done chan struct{}
 
 	// Written by the builder before done closes, read-only after.
-	val      any
-	size     int64
-	err      error
-	panicked bool
-	fromDisk bool // loaded from the persistent tier, already on disk
+	val        any
+	size       int64
+	err        error
+	panicked   bool
+	fromDisk   bool // loaded from the persistent tier, already on disk
+	fromRemote bool // fetched from the remote tier (disk copy warmed on the way in)
+
+	// buildCancel aborts the detached build context; called by the last
+	// waiter to disconnect, and by the builder itself on completion.
+	buildCancel context.CancelFunc
 
 	// Guarded by the store lock.
 	refs       int    // pinned readers (builder + hit requesters)
+	waiters    int    // requesters blocked on the in-flight build
+	adopted    bool   // a requester left while others stayed (counted once)
 	resident   bool   // counted in usedBytes, evictable when refs == 0
 	prev, next *entry // LRU list links, set only while unpinned
 }
@@ -148,9 +201,10 @@ type Store struct {
 	// lru is a doubly-linked list of unpinned resident entries; head is
 	// the least recently released, tail the most recent.
 	head, tail *entry
-	// Persistent tier (nil = memory only) and the per-kind codec registry
-	// deciding which kinds it persists.
+	// Persistent tier (nil = memory only), remote tier (nil = none), and
+	// the per-kind codec registry deciding which kinds they carry.
 	disk   *Disk
+	remote RemoteTier
 	codecs map[Kind]Codec
 }
 
@@ -195,6 +249,23 @@ func (s *Store) DiskTier() *Disk {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.disk
+}
+
+// SetRemote attaches a remote cache tier (nil detaches). With a tier
+// attached, kinds with a registered codec are fetched remotely when both
+// memory and disk miss (a verified fetch also warms the disk tier), and
+// freshly built artifacts are pushed back. Set before first use.
+func (s *Store) SetRemote(r RemoteTier) {
+	s.mu.Lock()
+	s.remote = r
+	s.mu.Unlock()
+}
+
+// RemoteTierAttached reports whether a remote tier is attached.
+func (s *Store) RemoteTierAttached() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remote != nil
 }
 
 // SetMetrics directs per-kind counters to mc as well (nil disables).
@@ -256,16 +327,35 @@ func (s *Store) kindStats(k Kind) *KindStats {
 }
 
 // Get returns the artifact at key, computing it with build at most once
-// no matter how many goroutines ask concurrently. The artifact is pinned
-// until the returned release function is called: a pinned artifact is
-// never evicted, so values holding pooled resources (see Releaser) stay
-// valid until released. release is always non-nil and idempotent.
+// no matter how many goroutines ask concurrently. It is GetCtx with a
+// background context: the requester never disconnects, so it always
+// waits the build out.
+func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), error) {
+	return GetCtx(s, context.Background(), key, func(context.Context) (T, int64, error) {
+		return build()
+	})
+}
+
+// GetCtx returns the artifact at key, computing it with build at most
+// once no matter how many goroutines ask concurrently. The artifact is
+// pinned until the returned release function is called: a pinned
+// artifact is never evicted, so values holding pooled resources (see
+// Releaser) stay valid until released. release is always non-nil and
+// idempotent.
+//
+// The build runs on a goroutine of its own under a detached context that
+// is cancelled only when the last interested requester has disconnected:
+// if ctx is cancelled while other requesters still wait on the same
+// in-flight build, they adopt it (counted once per build as
+// artifact_adoptions) and the build keeps running for them; GetCtx then
+// returns ctx.Err() to the departed requester. The build callback
+// receives that detached context, not ctx.
 //
 // build returns the value and its resident size in bytes. A build error
 // is propagated to every concurrent requester; whether it stays memoized
 // is decided by the store's MemoErr. A panicking build is converted to an
 // error (never memoized) so waiters are not deadlocked.
-func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), error) {
+func GetCtx[T any](s *Store, ctx context.Context, key Key, build func(context.Context) (T, int64, error)) (T, func(), error) {
 	s.mu.Lock()
 	e, ok := s.items[key]
 	if ok {
@@ -281,20 +371,47 @@ func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), e
 		s.count("artifact_hits", key.Kind, &ks.Hits)
 		if building {
 			s.count("artifact_inflight_waits", key.Kind, &ks.InflightWaits)
+			e.waiters++
 		}
 		s.mu.Unlock()
 		if building {
-			<-e.done
+			if err := s.waitBuild(ctx, e); err != nil {
+				var zero T
+				return zero, func() {}, err
+			}
 		}
 		return finishGet[T](s, e)
 	}
 
-	e = &entry{key: key, done: make(chan struct{}), refs: 1}
+	// The build context is detached from the requester deliberately:
+	// ownership belongs to the waiter set (refcounted via e.waiters), not
+	// to whichever request happened to arrive first.
+	bctx, cancel := context.WithCancel(context.Background())
+	e = &entry{key: key, done: make(chan struct{}), refs: 2, waiters: 1, buildCancel: cancel}
 	s.items[key] = e
 	codec := s.codecs[key.Kind]
 	disk := s.disk
+	remote := s.remote
 	s.mu.Unlock()
 
+	go s.runBuild(e, bctx, disk, remote, codec, func(bctx context.Context) (any, int64, error) {
+		return build(bctx)
+	})
+
+	if err := s.waitBuild(ctx, e); err != nil {
+		var zero T
+		return zero, func() {}, err
+	}
+	return finishGet[T](s, e)
+}
+
+// runBuild executes one detached single-flight build: disk tier, then
+// remote tier, then the build callback. It owns one pin (released here,
+// before done closes, so the last requester release is what triggers
+// eviction — synchronously, as callers of Get have always observed) and
+// is the only writer of the entry's value fields until done closes.
+func (s *Store) runBuild(e *entry, bctx context.Context, disk *Disk, remote RemoteTier, codec Codec, build func(context.Context) (any, int64, error)) {
+	key := e.key
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -304,7 +421,6 @@ func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), e
 				e.err = fmt.Errorf("artifact: building %s panicked: %v", key, r)
 				e.panicked = true
 			}
-			close(e.done)
 		}()
 		if disk != nil && codec != nil {
 			if v, size, ok := s.diskLoad(key, disk, codec); ok {
@@ -313,13 +429,19 @@ func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), e
 			}
 			s.bump("artifact_disk_misses", key.Kind, func(ks *KindStats) *int64 { return &ks.DiskMisses })
 		}
-		// Misses counts builds actually executed, so a disk hit above does
-		// not register one: "zero misses" on a warm run means zero rebuilds.
+		if remote != nil && codec != nil {
+			if v, size, ok := s.remoteLoad(key, remote, codec, disk); ok {
+				e.val, e.size, e.fromRemote = v, size, true
+				return
+			}
+		}
+		// Misses counts builds actually executed, so a disk or remote hit
+		// above does not register one: "zero misses" on a warm run means
+		// zero rebuilds.
 		s.bump("artifact_misses", key.Kind, func(ks *KindStats) *int64 { return &ks.Misses })
-		var v T
-		v, e.size, e.err = build()
-		e.val = v
+		e.val, e.size, e.err = build(bctx)
 	}()
+	e.buildCancel()
 
 	s.mu.Lock()
 	if e.err != nil {
@@ -333,11 +455,60 @@ func Get[T any](s *Store, key Key, build func() (T, int64, error)) (T, func(), e
 	}
 	s.mu.Unlock()
 	if e.err == nil && !e.fromDisk && disk != nil && codec != nil {
-		// Write through while the value is pinned by this Get: persistence
-		// must encode before any eviction can release pooled resources.
-		s.persist(key, e.val, disk, codec)
+		// Write through while the value is pinned by the builder:
+		// persistence must encode before any eviction can release pooled
+		// resources. (A remote hit lands on disk inside remoteLoad, payload
+		// intact, so it is excluded alongside disk hits.)
+		if !e.fromRemote {
+			s.persist(key, e.val, disk, codec)
+		}
 	}
-	return finishGet[T](s, e)
+	if e.err == nil && !e.fromDisk && !e.fromRemote && remote != nil && codec != nil {
+		// Push only freshly built artifacts: anything from disk or remote
+		// was either already pushed or came from the remote itself.
+		s.remoteStore(key, e.val, remote, codec)
+	}
+	s.release(e)
+	close(e.done)
+}
+
+// waitBuild blocks until e's in-flight build completes (returning nil
+// with the caller's pin intact) or ctx is cancelled first. On
+// cancellation it drops the caller's pin and waiter slot: if other
+// waiters survive they adopt the build; if the caller was the last, the
+// detached build context is cancelled and the build dies promptly.
+func (s *Store) waitBuild(ctx context.Context, e *entry) error {
+	select {
+	case <-e.done:
+		s.mu.Lock()
+		e.waiters--
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	select {
+	case <-e.done:
+		// The build completed while we noticed the cancellation; serving
+		// the finished value is strictly better than an error.
+		e.waiters--
+		s.mu.Unlock()
+		return nil
+	default:
+	}
+	e.waiters--
+	e.refs--
+	last := e.waiters == 0
+	if !last && !e.adopted {
+		e.adopted = true
+		ks := s.kindStats(e.key.Kind)
+		s.count("artifact_adoptions", e.key.Kind, &ks.Adoptions)
+	}
+	s.mu.Unlock()
+	if last {
+		e.buildCancel()
+	}
+	return ctx.Err()
 }
 
 // diskLoad tries to satisfy a cold miss from the persistent tier. It
@@ -385,6 +556,138 @@ func (s *Store) persist(key Key, v any, d *Disk, c Codec) {
 	for _, k := range d.GC() {
 		s.bump("artifact_disk_gc_evictions", k.Kind, func(ks *KindStats) *int64 { return &ks.DiskGCEvictions })
 	}
+}
+
+// remoteLoad tries to satisfy a cold miss from the remote tier. A
+// verified fetch also warms the disk tier with the raw payload (counted
+// as a disk write), so the next cold start in this process needs no
+// network at all. Any failure — transport, verification, codec — is a
+// degraded lookup that falls back to a local build.
+func (s *Store) remoteLoad(key Key, r RemoteTier, c Codec, d *Disk) (v any, size int64, ok bool) {
+	payload, found, err := r.Fetch(key)
+	if err != nil {
+		s.bump("artifact_remote_failures", key.Kind, func(ks *KindStats) *int64 { return &ks.RemoteFailures })
+		return nil, 0, false
+	}
+	if !found {
+		s.bump("artifact_remote_misses", key.Kind, func(ks *KindStats) *int64 { return &ks.RemoteMisses })
+		return nil, 0, false
+	}
+	v, size, err = c.Decode(payload)
+	if err != nil {
+		s.bump("artifact_remote_failures", key.Kind, func(ks *KindStats) *int64 { return &ks.RemoteFailures })
+		return nil, 0, false
+	}
+	s.bump("artifact_remote_hits", key.Kind, func(ks *KindStats) *int64 { return &ks.RemoteHits })
+	if d != nil && !d.Has(key) {
+		if err := d.Write(key, payload); err == nil {
+			s.bump("artifact_disk_writes", key.Kind, func(ks *KindStats) *int64 { return &ks.DiskWrites })
+			for _, k := range d.GC() {
+				s.bump("artifact_disk_gc_evictions", k.Kind, func(ks *KindStats) *int64 { return &ks.DiskGCEvictions })
+			}
+		}
+	}
+	return v, size, true
+}
+
+// remoteStore pushes a freshly built artifact to the remote tier,
+// best-effort: a failed push leaves the local artifact untouched.
+func (s *Store) remoteStore(key Key, v any, r RemoteTier, c Codec) {
+	payload, err := encodeToBytes(c, v)
+	if err != nil {
+		return
+	}
+	if err := r.Store(key, payload); err != nil {
+		s.bump("artifact_remote_failures", key.Kind, func(ks *KindStats) *int64 { return &ks.RemoteFailures })
+		return
+	}
+	s.bump("artifact_remote_writes", key.Kind, func(ks *KindStats) *int64 { return &ks.RemoteWrites })
+}
+
+// EncodedArtifact returns the canonical encoded payload for key, from
+// the resident tier (encoding under a pin) or, failing that, the disk
+// tier. It returns ErrNotFound when neither tier holds the artifact or
+// the kind has no codec. This is the daemon-side read of the remote
+// protocol: what it returns is byte-for-byte what a local persist would
+// have written.
+func (s *Store) EncodedArtifact(key Key) ([]byte, error) {
+	s.mu.Lock()
+	codec := s.codecs[key.Kind]
+	disk := s.disk
+	e, ok := s.items[key]
+	if ok {
+		select {
+		case <-e.done:
+			ok = e.err == nil
+		default:
+			ok = false // in-flight; fall through to disk
+		}
+	}
+	if ok && codec != nil {
+		e.refs++
+		s.unlink(e)
+		s.mu.Unlock()
+		payload, err := encodeToBytes(codec, e.val)
+		s.release(e)
+		return payload, err
+	}
+	s.mu.Unlock()
+	if codec == nil {
+		return nil, ErrNotFound
+	}
+	if disk != nil {
+		if payload, err := disk.Read(key); err == nil {
+			return payload, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// InstallEncoded decodes payload (which has already passed frame
+// verification) and installs it as a completed resident artifact,
+// writing through to the disk tier. If the key is already resident or
+// building, the duplicate decode is discarded (its pooled resources
+// released) — the existing entry wins, but the disk write-through still
+// happens if the entry file is missing. This is the daemon-side write of
+// the remote protocol.
+func (s *Store) InstallEncoded(key Key, payload []byte) error {
+	s.mu.Lock()
+	codec := s.codecs[key.Kind]
+	disk := s.disk
+	s.mu.Unlock()
+	if codec == nil {
+		return fmt.Errorf("artifact: no codec registered for kind %q", key.Kind)
+	}
+	v, size, err := codec.Decode(payload)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	if _, exists := s.items[key]; exists {
+		s.mu.Unlock()
+		if r, ok := v.(Releaser); ok {
+			r.ReleaseArtifact()
+		}
+	} else {
+		done := make(chan struct{})
+		close(done)
+		e := &entry{key: key, done: done, refs: 1, resident: true, val: v, size: size}
+		s.items[key] = e
+		s.used += size
+		s.mu.Unlock()
+		s.release(e)
+	}
+
+	if disk != nil && !disk.Has(key) {
+		if err := disk.Write(key, payload); err == nil {
+			s.bump("artifact_disk_writes", key.Kind, func(ks *KindStats) *int64 { return &ks.DiskWrites })
+			for _, k := range disk.GC() {
+				s.bump("artifact_disk_gc_evictions", k.Kind, func(ks *KindStats) *int64 { return &ks.DiskGCEvictions })
+			}
+		}
+	}
+	return nil
 }
 
 // finishGet reads a completed entry and hands the caller its pin.

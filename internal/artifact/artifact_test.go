@@ -1,6 +1,7 @@
 package artifact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -286,6 +287,327 @@ func TestConcurrentChurn(t *testing.T) {
 	}
 	if ks.Evictions == 0 {
 		t.Error("churn over a tiny budget evicted nothing")
+	}
+}
+
+// TestAdoptionSurvivesOriginatorCancel is the handoff contract: the
+// requester that started a build disconnects mid-build, a second waiter
+// is already attached, and the build must complete once for the survivor
+// — no casualty, no re-run.
+func TestAdoptionSurvivesOriginatorCancel(t *testing.T) {
+	s := New(0)
+	var builds atomic.Int64
+	buildGate := make(chan struct{})  // held closed until the waiter has joined and the owner left
+	buildDied := make(chan struct{})  // closed if the build's detached ctx is cancelled
+	k := key("profile", "adopt")
+
+	ownerCtx, ownerCancel := context.WithCancel(context.Background())
+	ownerDone := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		_, _, err := GetCtx(s, ownerCtx, k, func(bctx context.Context) (int, int64, error) {
+			builds.Add(1)
+			close(started)
+			select {
+			case <-buildGate:
+				return 99, 8, nil
+			case <-bctx.Done():
+				close(buildDied)
+				return 0, 0, bctx.Err()
+			}
+		})
+		ownerDone <- err
+	}()
+	<-started
+
+	// Second requester attaches to the in-flight build.
+	waiterDone := make(chan int, 1)
+	go func() {
+		v, release, err := GetCtx(s, context.Background(), k, func(context.Context) (int, int64, error) {
+			builds.Add(1)
+			return -1, 8, nil
+		})
+		if err != nil {
+			t.Errorf("adopting waiter: %v", err)
+		}
+		release()
+		waiterDone <- v
+	}()
+	// Wait until the waiter is registered (InflightWaits ticks when it
+	// joins the in-flight entry).
+	for s.Stats().Kinds["profile"].InflightWaits == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ownerCancel()
+	if err := <-ownerDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled owner got %v, want context.Canceled", err)
+	}
+	close(buildGate)
+	if v := <-waiterDone; v != 99 {
+		t.Fatalf("adopting waiter got %d, want 99 from the adopted build", v)
+	}
+	select {
+	case <-buildDied:
+		t.Fatal("build context was cancelled despite a surviving waiter")
+	default:
+	}
+	ks := s.Stats().Kinds["profile"]
+	if builds.Load() != 1 || ks.Misses != 1 {
+		t.Errorf("builds=%d misses=%d, want 1/1 (adopted, not re-run)", builds.Load(), ks.Misses)
+	}
+	if ks.Adoptions != 1 {
+		t.Errorf("adoptions=%d, want 1", ks.Adoptions)
+	}
+}
+
+// TestLastWaiterCancelsBuild: with no surviving waiters the detached
+// build must be cancelled promptly, its error forgotten (per MemoErr),
+// and the next request rebuilds cleanly.
+func TestLastWaiterCancelsBuild(t *testing.T) {
+	s := New(0)
+	s.MemoErr = func(err error) bool { return !errors.Is(err, context.Canceled) }
+	var builds atomic.Int64
+	k := key("profile", "lone")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := GetCtx(s, ctx, k, func(bctx context.Context) (int, int64, error) {
+			builds.Add(1)
+			close(started)
+			<-bctx.Done() // must fire: the sole waiter leaves
+			return 0, 0, bctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("sole requester got %v, want context.Canceled", err)
+	}
+
+	// The cancelled build's error must not be memoized: rebuild succeeds.
+	deadline := time.After(5 * time.Second)
+	for {
+		v, release, err := Get(s, k, func() (int, int64, error) {
+			builds.Add(1)
+			return 7, 8, nil
+		})
+		if err == nil {
+			release()
+			if v != 7 {
+				t.Fatalf("rebuild returned %d, want 7", v)
+			}
+			break
+		}
+		// The detached builder may not have finished unwinding yet; a
+		// request landing in that window waits it out and sees Canceled.
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("rebuild: %v", err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("cancelled build error stayed memoized")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if ks := s.Stats().Kinds["profile"]; ks.Adoptions != 0 {
+		t.Errorf("adoptions=%d, want 0 (no survivor adopted anything)", ks.Adoptions)
+	}
+}
+
+// fakeRemote is an in-memory RemoteTier.
+type fakeRemote struct {
+	mu      sync.Mutex
+	entries map[Key][]byte
+	fetches int
+	stores  int
+	failing bool
+}
+
+func newFakeRemote() *fakeRemote { return &fakeRemote{entries: make(map[Key][]byte)} }
+
+func (r *fakeRemote) Fetch(key Key) ([]byte, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fetches++
+	if r.failing {
+		return nil, false, errors.New("remote unavailable")
+	}
+	p, ok := r.entries[key]
+	return p, ok, nil
+}
+
+func (r *fakeRemote) Store(key Key, payload []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stores++
+	if r.failing {
+		return errors.New("remote unavailable")
+	}
+	r.entries[key] = append([]byte(nil), payload...)
+	return nil
+}
+
+// TestRemoteTierRoundTrip: a build in one store pushes to the remote; a
+// second cold store fetches it instead of rebuilding, bit-identical.
+func TestRemoteTierRoundTrip(t *testing.T) {
+	remote := newFakeRemote()
+	k := key("run", "shared")
+	codec := JSONCodec[string]{Size: 8}
+
+	s1 := New(0)
+	s1.RegisterCodec("run", codec)
+	s1.SetRemote(remote)
+	v1, rel1, err := Get(s1, k, func() (string, int64, error) { return "payload", 8, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1()
+	ks1 := s1.Stats().Kinds["run"]
+	if ks1.Misses != 1 || ks1.RemoteMisses != 1 || ks1.RemoteWrites != 1 {
+		t.Fatalf("producer counters: %+v, want miss/remote-miss/remote-write = 1/1/1", ks1)
+	}
+
+	s2 := New(0)
+	s2.RegisterCodec("run", codec)
+	s2.SetRemote(remote)
+	v2, rel2, err := Get(s2, k, func() (string, int64, error) {
+		t.Error("consumer rebuilt despite a remote hit")
+		return "", 8, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+	if v1 != v2 {
+		t.Fatalf("remote round trip: %q != %q", v1, v2)
+	}
+	ks2 := s2.Stats().Kinds["run"]
+	if ks2.RemoteHits != 1 || ks2.Misses != 0 {
+		t.Fatalf("consumer counters: %+v, want remote_hits=1 misses=0", ks2)
+	}
+
+	// A failing remote degrades to a local rebuild, counted as a failure.
+	remote.failing = true
+	s3 := New(0)
+	s3.RegisterCodec("run", codec)
+	s3.SetRemote(remote)
+	v3, rel3, err := Get(s3, k, func() (string, int64, error) { return "payload", 8, nil })
+	if err != nil || v3 != "payload" {
+		t.Fatalf("degraded get: v=%q err=%v", v3, err)
+	}
+	rel3()
+	if ks3 := s3.Stats().Kinds["run"]; ks3.RemoteFailures == 0 || ks3.Misses != 1 {
+		t.Fatalf("degraded counters: %+v, want remote_failures>0 misses=1", ks3)
+	}
+}
+
+// TestRemoteHitWarmsDisk: a remote fetch lands the payload on the local
+// disk tier, so the next cold start is disk-local.
+func TestRemoteHitWarmsDisk(t *testing.T) {
+	remote := newFakeRemote()
+	k := key("run", "warm")
+	codec := JSONCodec[int]{Size: 4}
+	payload, err := encodeToBytes(codec, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Store(k, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(0)
+	s.RegisterCodec("run", codec)
+	s.SetDisk(disk)
+	s.SetRemote(remote)
+	v, rel, err := Get(s, k, func() (int, int64, error) {
+		t.Error("rebuilt despite remote entry")
+		return 0, 4, nil
+	})
+	if err != nil || v != 41 {
+		t.Fatalf("remote get: v=%d err=%v", v, err)
+	}
+	rel()
+	if !disk.Has(k) {
+		t.Fatal("remote hit did not warm the disk tier")
+	}
+	ks := s.Stats().Kinds["run"]
+	if ks.RemoteHits != 1 || ks.DiskWrites != 1 {
+		t.Fatalf("counters: %+v, want remote_hits=1 disk_writes=1", ks)
+	}
+}
+
+// TestEncodedArtifactAndInstall exercises the daemon-side halves of the
+// remote protocol against resident and disk-backed state.
+func TestEncodedArtifactAndInstall(t *testing.T) {
+	codec := JSONCodec[string]{Size: 8}
+	k := key("run", "enc")
+
+	s := New(0)
+	s.RegisterCodec("run", codec)
+	if _, err := s.EncodedArtifact(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store EncodedArtifact err = %v, want ErrNotFound", err)
+	}
+	_, rel, err := Get(s, k, func() (string, int64, error) { return "body", 8, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	payload, err := s.EncodedArtifact(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(0)
+	s2.RegisterCodec("run", codec)
+	if err := s2.InstallEncoded(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	v, rel2, err := Get(s2, k, func() (string, int64, error) {
+		t.Error("rebuilt despite installed artifact")
+		return "", 8, nil
+	})
+	if err != nil || v != "body" {
+		t.Fatalf("installed get: v=%q err=%v", v, err)
+	}
+	rel2()
+
+	if err := s2.InstallEncoded(k, []byte("{not json")); err == nil {
+		t.Fatal("corrupt payload installed without error")
+	}
+	if err := s2.InstallEncoded(key("nokind", "x"), payload); err == nil {
+		t.Fatal("install with no codec succeeded")
+	}
+}
+
+// TestFrameRoundTrip pins the wire framing to the disk format semantics:
+// a mangled byte anywhere must fail verification.
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("the artifact payload bytes")
+	framed := Frame(payload)
+	got, err := Unframe(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("round trip: %q != %q", got, payload)
+	}
+	for i := range framed {
+		bad := append([]byte(nil), framed...)
+		bad[i] ^= 0x40
+		if _, err := Unframe(bad); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+	if _, err := Unframe(framed[:diskHeaderSize-1]); err == nil {
+		t.Fatal("truncated header went undetected")
 	}
 }
 

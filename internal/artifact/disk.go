@@ -226,6 +226,31 @@ func (d *Disk) Read(key Key) ([]byte, error) {
 	return payload, nil
 }
 
+// Frame wraps payload in the disk tier's entry format (magic, version,
+// length, CRC-32C of the payload). The same framing travels over the
+// remote-cache wire (internal/client ↔ the daemon's /v1/artifact
+// endpoints), so transport corruption is caught by exactly the machinery
+// that catches disk corruption.
+func Frame(payload []byte) []byte {
+	out := make([]byte, diskHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], diskMagic)
+	binary.LittleEndian.PutUint32(out[4:], diskVersion)
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[16:], crc32.Checksum(payload, crcTable))
+	copy(out[diskHeaderSize:], payload)
+	return out
+}
+
+// Unframe verifies a framed image (see Frame) and returns its payload,
+// aliasing data. It returns an error naming the first integrity failure.
+func Unframe(data []byte) ([]byte, error) {
+	payload, reason := verifyEntry(data)
+	if reason != "" {
+		return nil, fmt.Errorf("artifact: frame verification failed: %s", reason)
+	}
+	return payload, nil
+}
+
 // verifyEntry checks an entry image end to end and returns its payload,
 // or a non-empty reason describing the first integrity failure.
 func verifyEntry(data []byte) (payload []byte, reason string) {

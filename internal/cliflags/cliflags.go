@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/bytesize"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -29,11 +30,12 @@ type WorkspaceFlags struct {
 	CacheBudget   string
 	CacheDir      string
 	DiskBudget    string
+	RemoteCache   string
 }
 
 // RegisterWorkspace registers the shared workspace flags on fs:
-// -n, -j, -analyze-shards, -cache-budget, -cache-dir, and -disk-budget.
-// The tool name prefixes every error Open reports.
+// -n, -j, -analyze-shards, -cache-budget, -cache-dir, -disk-budget, and
+// -remote-cache. The tool name prefixes every error Open reports.
 func RegisterWorkspace(fs *flag.FlagSet, tool string) *WorkspaceFlags {
 	f := &WorkspaceFlags{tool: tool}
 	fs.IntVar(&f.Budget, "n", core.DefaultBudget, "per-benchmark dynamic instruction budget")
@@ -42,12 +44,15 @@ func RegisterWorkspace(fs *flag.FlagSet, tool string) *WorkspaceFlags {
 	fs.StringVar(&f.CacheBudget, "cache-budget", "", "artifact-cache resident-byte budget, e.g. 256MiB (empty or 0 = unlimited)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", "persistent artifact-cache directory shared across runs (empty = memory only)")
 	fs.StringVar(&f.DiskBudget, "disk-budget", "", "disk byte budget for -cache-dir, e.g. 1GiB (empty or 0 = unlimited)")
+	fs.StringVar(&f.RemoteCache, "remote-cache", "", "base URL of a deadd daemon to use as a remote artifact tier, e.g. http://host:8080 (empty = none)")
 	return f
 }
 
 // Open validates the flag values and builds the workspace they describe:
 // budgets parsed with binary suffixes, the disk tier attached when
-// -cache-dir is set. Errors carry the tool name so they read as usage
+// -cache-dir is set, and a warm deadd daemon attached as the remote
+// artifact tier when -remote-cache is set (lookup order: memory, disk,
+// remote, build). Errors carry the tool name so they read as usage
 // errors when printed bare.
 func (f *WorkspaceFlags) Open() (*core.Workspace, error) {
 	cacheBytes, err := bytesize.Parse(f.CacheBudget)
@@ -68,6 +73,13 @@ func (f *WorkspaceFlags) Open() (*core.Workspace, error) {
 		if err := w.OpenDiskCache(f.CacheDir, diskBytes); err != nil {
 			return nil, fmt.Errorf("%s: %w", f.tool, err)
 		}
+	}
+	if f.RemoteCache != "" {
+		rc, err := client.New(f.RemoteCache)
+		if err != nil {
+			return nil, fmt.Errorf("%s: -remote-cache: %w", f.tool, err)
+		}
+		w.SetRemoteTier(rc)
 	}
 	return w, nil
 }

@@ -46,11 +46,27 @@ func TestOpenDiskTier(t *testing.T) {
 	}
 }
 
+func TestOpenRemoteTier(t *testing.T) {
+	f := newFlagSet(t, "-remote-cache", "http://127.0.0.1:7311")
+	w, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.RemoteTierAttached() {
+		t.Error("remote tier not attached with -remote-cache set")
+	}
+	if w2, err := newFlagSet(t).Open(); err != nil || w2.RemoteTierAttached() {
+		t.Errorf("remote tier attached without -remote-cache (err %v)", err)
+	}
+}
+
 func TestOpenErrorsCarryToolName(t *testing.T) {
 	cases := [][]string{
 		{"-cache-budget", "12zz"},
 		{"-disk-budget", "12zz"},
 		{"-disk-budget", "1MiB"}, // without -cache-dir
+		{"-remote-cache", "ftp://nope"},
+		{"-remote-cache", ":::"},
 	}
 	for _, args := range cases {
 		f := newFlagSet(t, args...)

@@ -182,8 +182,8 @@ func (w *Workspace) artifacts() *artifact.Store {
 		// compiling is cheaper than encoding, and the profile codec
 		// recompiles on decode anyway.
 		w.store.RegisterCodec(KindProfile, profileCodec{w})
-		w.store.RegisterCodec(KindPredEval, artifact.JSONCodec[dip.Result]{Size: predEvalSize})
-		w.store.RegisterCodec(KindMachine, artifact.JSONCodec[pipeline.Stats]{Size: machineStatsSize})
+		w.store.RegisterCodec(KindPredEval, predEvalCodec{})
+		w.store.RegisterCodec(KindMachine, machineCodec{})
 	}
 	w.store.SetMetrics(w.Metrics)
 	return w.store
@@ -206,10 +206,37 @@ func (w *Workspace) OpenDiskCache(dir string, budgetBytes int64) error {
 	return nil
 }
 
+// SetRemoteTier attaches a remote artifact cache — typically an
+// internal/client.Cache pointed at a warm daemon — as the third lookup
+// tier behind memory and disk: cold misses fetch from it (a verified hit
+// also warms the disk tier), and freshly built artifacts are pushed
+// back. nil detaches. Call before the first artifact request.
+func (w *Workspace) SetRemoteTier(r artifact.RemoteTier) {
+	w.artifacts().SetRemote(r)
+}
+
+// RemoteTierAttached reports whether a remote artifact tier is attached.
+func (w *Workspace) RemoteTierAttached() bool {
+	return w.artifacts().RemoteTierAttached()
+}
+
 // ArtifactStats snapshots the workspace's artifact-cache counters and
 // residency for run reports.
 func (w *Workspace) ArtifactStats() artifact.Stats {
 	return w.artifacts().Stats()
+}
+
+// EncodedArtifact serves the daemon's artifact GET endpoint: the encoded
+// payload for a completed artifact, from memory or the disk tier.
+// artifact.ErrNotFound when the workspace doesn't hold it.
+func (w *Workspace) EncodedArtifact(key artifact.Key) ([]byte, error) {
+	return w.artifacts().EncodedArtifact(key)
+}
+
+// InstallArtifact serves the daemon's artifact PUT endpoint: decode an
+// encoded payload pushed by a peer and install it as if built locally.
+func (w *Workspace) InstallArtifact(key artifact.Key, payload []byte) error {
+	return w.artifacts().InstallEncoded(key, payload)
 }
 
 // FlushSpill evicts every unpinned resident artifact from the in-memory
@@ -252,17 +279,17 @@ func programSize(p *program.Program) int64 {
 // benchmark and compile-option override, returning it pinned: the trace
 // cannot be evicted until the release function runs.
 //
-// The context governs a build this call initiates: cancelling it aborts
-// the emulation and releases the partial run's pooled resources. Because
-// builds are single-flight, concurrent waiters on the same artifact then
-// observe context.Canceled even though their own contexts are live; the
-// store forgets cancelled builds (see evictable), so any such waiter that
-// retries rebuilds the artifact deterministically — the server's request
-// retry loop treats this casualty case as retryable.
+// The context governs this requester's interest, not the build itself:
+// builds run on a detached context owned by every requester currently
+// waiting on them. Cancelling ctx while other requesters wait hands the
+// in-flight build to the survivors (artifact_adoptions); only when the
+// last interested requester disconnects is the emulation aborted and its
+// pooled resources released. A cancelled build is forgotten (see
+// evictable), so the next request rebuilds deterministically.
 func (w *Workspace) profileFor(ctx context.Context, name string, opts *compiler.Options) (*ProfileResult, func(), error) {
 	key := artifact.Key{Kind: KindProfile, Digest: artifact.Digest(profileSpec{name, w.Budget, opts})}
-	return artifact.Get(w.artifacts(), key, func() (*ProfileResult, int64, error) {
-		return w.buildProfile(ctx, name, opts)
+	return artifact.GetCtx(w.artifacts(), ctx, key, func(bctx context.Context) (*ProfileResult, int64, error) {
+		return w.buildProfile(bctx, name, opts)
 	})
 }
 
@@ -294,10 +321,11 @@ func (w *Workspace) WithProfile(name string, fn func(*ProfileResult) error) erro
 	return w.WithProfileOptions(name, nil, fn)
 }
 
-// WithProfileCtx is WithProfile with cooperative cancellation of a build
-// this call initiates: the daemon uses it so a disconnected client's
-// profile build aborts instead of running to completion. See profileFor
-// for the single-flight casualty semantics.
+// WithProfileCtx is WithProfile with cooperative cancellation of this
+// requester's interest in the profile: the daemon uses it so a
+// disconnected client's profile build aborts — unless other requesters
+// are waiting on the same build, in which case they adopt it and it runs
+// to completion for them. See profileFor.
 func (w *Workspace) WithProfileCtx(ctx context.Context, name string, fn func(*ProfileResult) error) error {
 	res, release, err := w.profileFor(ctx, name, nil)
 	if err != nil {
@@ -368,8 +396,8 @@ func (w *Workspace) EvalPredictorCtx(ctx context.Context, name string, spec dip.
 		return dip.Result{}, err
 	}
 	key := artifact.Key{Kind: KindPredEval, Digest: artifact.Digest(predEvalSpec{name, w.Budget, spec.Digest()})}
-	r, release, err := artifact.Get(w.artifacts(), key, func() (dip.Result, int64, error) {
-		return w.buildPredEval(ctx, name, spec, pred)
+	r, release, err := artifact.GetCtx(w.artifacts(), ctx, key, func(bctx context.Context) (dip.Result, int64, error) {
+		return w.buildPredEval(bctx, name, spec, pred)
 	})
 	release()
 	return r, err
@@ -418,8 +446,8 @@ func (w *Workspace) RunMachine(name string, cfg pipeline.Config) (pipeline.Stats
 // dominates a cold request's wall time.
 func (w *Workspace) RunMachineCtx(ctx context.Context, name string, cfg pipeline.Config) (pipeline.Stats, error) {
 	key := artifact.Key{Kind: KindMachine, Digest: artifact.Digest(machineSpec{name, w.Budget, cfg.Digest()})}
-	st, release, err := artifact.Get(w.artifacts(), key, func() (pipeline.Stats, int64, error) {
-		return w.simulate(ctx, name, cfg)
+	st, release, err := artifact.GetCtx(w.artifacts(), ctx, key, func(bctx context.Context) (pipeline.Stats, int64, error) {
+		return w.simulate(bctx, name, cfg)
 	})
 	release()
 	return st, err

@@ -53,6 +53,27 @@ const (
 	CounterServerFailed     = "server_failed"
 	CounterServerRetries    = "server_retries"
 	CounterServerStreams    = "server_streams"
+	// CounterServerCoalesced counts requests that subscribed to another
+	// identical pending request's execution instead of occupying their own
+	// queue slot — each is one admission, one execution, and (on a cold
+	// artifact) one build that the service tier did not repeat.
+	CounterServerCoalesced = "server_coalesced"
+	// Artifact-endpoint traffic: remote-tier reads served (hit/miss) and
+	// artifact payloads accepted from clients.
+	CounterServerArtifactHits   = "server_artifact_hits"
+	CounterServerArtifactMisses = "server_artifact_misses"
+	CounterServerArtifactPuts   = "server_artifact_puts"
+)
+
+// Histogram names recorded by the daemon, one per endpoint under
+// "<name>.<endpoint>": end-to-end request latency, time spent waiting for
+// an admission slot, and execution time after admission. The split makes
+// "slow because queued" and "slow because the work is slow"
+// distinguishable in /metricz without a profiler.
+const (
+	HistServerLatency   = "server_latency"
+	HistServerQueueWait = "server_queue_wait"
+	HistServerExec      = "server_exec"
 )
 
 // Phase aggregates every span recorded under one phase name (compile,
@@ -73,13 +94,114 @@ func (p Phase) MInstPerSec() float64 {
 	return float64(p.Insts) / p.Wall.Seconds() / 1e6
 }
 
-// Collector accumulates phase timings and counters.
+// Collector accumulates phase timings, counters, and latency histograms.
 type Collector struct {
 	mu       sync.Mutex
 	verbose  io.Writer
 	phases   map[string]*Phase
 	counters map[string]int64
+	hists    map[string]*histogram
 	mem      *MemStats
+}
+
+// histBuckets is the fixed bucket count of every histogram: bucket i
+// holds observations whose microsecond count has bit length i (i.e.
+// power-of-two-width buckets, 1µs granularity at the bottom, ~4.5 years
+// at the top — nothing saturates).
+const histBuckets = 48
+
+// histogram records counts per power-of-two microsecond bucket plus
+// exact count/sum/max. Guarded by the collector lock; an update is one
+// bit-length and four adds.
+type histogram struct {
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	buckets [histBuckets]int64
+}
+
+func histIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	i := bitLen64(us)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bitLen64 is bits.Len64, inlined to keep the import set stable.
+func bitLen64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Observe folds one duration into the named histogram.
+func (c *Collector) Observe(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	h := c.hists[name]
+	if h == nil {
+		if c.hists == nil {
+			c.hists = make(map[string]*histogram)
+		}
+		h = &histogram{}
+		c.hists[name] = h
+	}
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.buckets[histIndex(d)]++
+	c.mu.Unlock()
+}
+
+// quantile estimates the q-quantile (q in [0,1]) by walking the
+// cumulative bucket counts and interpolating linearly inside the target
+// bucket, clamped to the exact observed maximum. Call with c.mu held.
+func (h *histogram) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(n)
+		if cum < rank {
+			continue
+		}
+		// Bucket i spans [2^(i-1), 2^i) µs (bucket 0 is <1µs).
+		var lo, hi float64
+		if i > 0 {
+			lo = float64(uint64(1) << (i - 1))
+			hi = float64(uint64(1) << i)
+		} else {
+			lo, hi = 0, 1
+		}
+		frac := (rank - prev) / float64(n)
+		d := time.Duration((lo + frac*(hi-lo)) * float64(time.Microsecond))
+		if d > h.max {
+			d = h.max
+		}
+		return d
+	}
+	return h.max
 }
 
 // MemStats is the end-of-run process memory snapshot carried by the run
@@ -221,12 +343,25 @@ type PhaseSummary struct {
 	AllocBytes  int64   `json:"alloc_bytes"`
 }
 
+// HistogramSummary is the JSON form of one latency histogram: count,
+// mean, interpolated p50/p95/p99, and the exact observed maximum, all in
+// milliseconds.
+type HistogramSummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
 // Summary is the JSON-serializable snapshot of a collector. Mem is
 // present only after RecordMemStats.
 type Summary struct {
-	Phases   map[string]PhaseSummary `json:"phases,omitempty"`
-	Counters map[string]int64        `json:"counters,omitempty"`
-	Mem      *MemStats               `json:"mem,omitempty"`
+	Phases     map[string]PhaseSummary     `json:"phases,omitempty"`
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+	Mem        *MemStats                   `json:"mem,omitempty"`
 }
 
 // Summary snapshots the collector.
@@ -251,6 +386,23 @@ func (c *Collector) Summary() Summary {
 	}
 	for name, v := range c.counters {
 		s.Counters[name] = v
+	}
+	if len(c.hists) > 0 {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		s.Histograms = make(map[string]HistogramSummary, len(c.hists))
+		for name, h := range c.hists {
+			hs := HistogramSummary{
+				Count: h.count,
+				P50Ms: ms(h.quantile(0.50)),
+				P95Ms: ms(h.quantile(0.95)),
+				P99Ms: ms(h.quantile(0.99)),
+				MaxMs: ms(h.max),
+			}
+			if h.count > 0 {
+				hs.MeanMs = ms(h.sum) / float64(h.count)
+			}
+			s.Histograms[name] = hs
+		}
 	}
 	if c.mem != nil {
 		m := *c.mem
@@ -286,6 +438,16 @@ func (c *Collector) WriteText(w io.Writer) {
 	sort.Strings(ctrs)
 	for _, name := range ctrs {
 		fmt.Fprintf(w, "%-28s %d\n", name, s.Counters[name])
+	}
+	hists := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "%-28s n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			name, h.Count, h.MeanMs, h.P50Ms, h.P95Ms, h.P99Ms, h.MaxMs)
 	}
 	if s.Mem != nil {
 		fmt.Fprintf(w, "%-10s total=%s peak=%s inuse=%s gc=%d\n", "memory",

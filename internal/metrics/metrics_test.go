@@ -245,3 +245,86 @@ func TestFmtBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestNilCollectorObserveIsSafe(t *testing.T) {
+	var c *Collector
+	c.Observe("server_latency.profile", time.Millisecond) // must not panic
+	if s := c.Summary(); s.Histograms != nil {
+		t.Errorf("nil histogram summary = %+v", s.Histograms)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	c := New()
+	// 100 observations, 1ms..100ms: the quantiles of a uniform ramp are
+	// known to within one power-of-two bucket.
+	for i := 1; i <= 100; i++ {
+		c.Observe("lat", time.Duration(i)*time.Millisecond)
+	}
+	h := c.Summary().Histograms["lat"]
+	if h.Count != 100 {
+		t.Fatalf("count = %d, want 100", h.Count)
+	}
+	if h.MaxMs != 100 {
+		t.Errorf("max = %vms, want exactly 100", h.MaxMs)
+	}
+	wantMean := 50.5
+	if h.MeanMs < wantMean-0.01 || h.MeanMs > wantMean+0.01 {
+		t.Errorf("mean = %vms, want %vms", h.MeanMs, wantMean)
+	}
+	// Power-of-two buckets bound the interpolation error by 2x.
+	check := func(name string, got, exact float64) {
+		if got < exact/2 || got > exact*2 {
+			t.Errorf("%s = %vms, want within 2x of %vms", name, got, exact)
+		}
+	}
+	check("p50", h.P50Ms, 50)
+	check("p95", h.P95Ms, 95)
+	check("p99", h.P99Ms, 99)
+	if h.P50Ms > h.P95Ms || h.P95Ms > h.P99Ms || h.P99Ms > h.MaxMs {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v max=%v", h.P50Ms, h.P95Ms, h.P99Ms, h.MaxMs)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	c := New()
+	c.Observe("one", 7*time.Millisecond)
+	h := c.Summary().Histograms["one"]
+	if h.Count != 1 || h.P50Ms != 7 || h.P99Ms != 7 || h.MaxMs != 7 {
+		t.Errorf("single observation: %+v, want every quantile clamped to 7ms", h)
+	}
+
+	c.Observe("zero", 0)
+	c.Observe("zero", -time.Second) // clamped, not panicking
+	hz := c.Summary().Histograms["zero"]
+	if hz.Count != 2 || hz.MaxMs != 0 {
+		t.Errorf("zero observations: %+v", hz)
+	}
+
+	// A huge duration lands in the top bucket without overflow.
+	c.Observe("big", 365*24*time.Hour)
+	if hb := c.Summary().Histograms["big"]; hb.Count != 1 {
+		t.Errorf("big observation: %+v", hb)
+	}
+}
+
+func TestHistogramTextAndJSON(t *testing.T) {
+	c := New()
+	c.Observe("server_latency.profile", 3*time.Millisecond)
+	var buf bytes.Buffer
+	c.WriteText(&buf)
+	if !strings.Contains(buf.String(), "server_latency.profile") {
+		t.Errorf("WriteText omitted histograms:\n%s", buf.String())
+	}
+	b, err := json.Marshal(c.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Histograms["server_latency.profile"].Count != 1 {
+		t.Errorf("histogram lost in JSON round trip: %s", b)
+	}
+}

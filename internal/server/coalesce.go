@@ -1,0 +1,216 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Request coalescing: the admission queue recognizes identical pending
+// requests — same endpoint and same canonical spec digest — and collapses
+// them into one execution fanned out to every subscriber. The first
+// request for a key becomes the flight's leader: a dedicated goroutine
+// that queues through admission under the leader's client token, executes
+// once, and publishes the result. Requests that arrive while the flight
+// is pending subscribe instead of queueing (counted as server_coalesced):
+// they occupy no admission slot, add no queue depth, and receive the same
+// response bytes the leader does — responses are serialized per
+// subscriber from one shared result value, so coalesced responses are
+// bit-identical to independent runs by construction.
+//
+// Ownership is refcounted like artifact builds: a subscriber whose client
+// disconnects just leaves; the flight dies only when its last subscriber
+// has left, at which point it is removed from the table first so no new
+// request can join a dying flight. The per-request ?timeout of the
+// leader bounds the flight's execution (applied after admission, like
+// every request deadline here); a subscriber's own ?timeout bounds its
+// wait from the moment the flight is admitted, so "slow because queued"
+// time is excluded for subscribers exactly as it is for solo requests.
+// ?stream and ?timeout deliberately do not enter the coalescing key: they
+// shape the response channel, not the result.
+
+// flight is one pending coalesced execution.
+type flight struct {
+	key string
+
+	// admitted closes once the flight holds an admission slot; done
+	// closes after the result fields are published and the flight is out
+	// of the table. A flight that fails before admission (shed, drain)
+	// closes done with admitted still open — subscribers use that to keep
+	// shed responses plain (no stream opens for a request that never
+	// executed).
+	admitted chan struct{}
+	done     chan struct{}
+
+	// Published before done closes, read-only after.
+	res      any
+	attempts int
+	err      error
+
+	// cancel aborts the flight's execution context; called by the last
+	// departing subscriber.
+	cancel context.CancelFunc
+
+	// subs is the number of attached requests; guarded by coalescer.mu.
+	subs int
+}
+
+// coalescer is the flight table.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*flight)}
+}
+
+// joinResult is what a request takes away from a flight.
+type joinResult struct {
+	res      any
+	attempts int
+	err      error
+	// coalesced reports the request subscribed to an existing flight
+	// rather than leading one.
+	coalesced bool
+	// preExec reports the error (if any) happened before execution began:
+	// an admission shed, a drain rejection, or this subscriber abandoning
+	// its wait. Pre-execution failures are not counted as server_failed.
+	preExec bool
+}
+
+// execute runs one request through the coalescer: lead a new flight for
+// the key or subscribe to the pending one, then wait for the result,
+// ctx cancellation, or — once the flight is admitted — the subscriber's
+// own timeout. onAdmitted runs on this request's goroutine as soon as
+// the flight is admitted (and always before a post-admission result is
+// returned); the streaming path uses it to open the response stream
+// lazily, so requests that shed never commit a 200 status.
+func (c *coalescer) execute(s *Server, ctx context.Context, endpoint, key, client string, timeout time.Duration, onAdmitted func(), fn func(context.Context) (any, error)) joinResult {
+	c.mu.Lock()
+	f, ok := c.flights[key]
+	coalesced := ok
+	if ok {
+		f.subs++
+		c.mu.Unlock()
+		s.mc.Add(metrics.CounterServerCoalesced, 1)
+	} else {
+		fctx, fcancel := context.WithCancel(context.Background())
+		f = &flight{
+			key:      key,
+			admitted: make(chan struct{}),
+			done:     make(chan struct{}),
+			cancel:   fcancel,
+			subs:     1,
+		}
+		c.flights[key] = f
+		c.mu.Unlock()
+		go s.runFlight(f, fctx, endpoint, client, timeout, fn)
+	}
+
+	admitted := f.admitted
+	var timeoutC <-chan time.Time
+	for {
+		select {
+		case <-admitted:
+			onAdmitted()
+			if timeout > 0 {
+				t := time.NewTimer(timeout)
+				defer t.Stop()
+				timeoutC = t.C
+			}
+			admitted = nil // fires once; a nil channel never selects
+		case <-f.done:
+			if f.err == nil || f.attempts > 0 {
+				// The flight executed; make sure a streaming subscriber has
+				// its stream open even if it never won the admitted branch.
+				select {
+				case <-f.admitted:
+					onAdmitted()
+				default:
+				}
+			}
+			return joinResult{res: f.res, attempts: f.attempts, err: f.err, coalesced: coalesced, preExec: f.attempts == 0}
+		case <-ctx.Done():
+			c.leave(f)
+			return joinResult{err: ctx.Err(), coalesced: coalesced, preExec: admitted != nil}
+		case <-timeoutC:
+			c.leave(f)
+			return joinResult{err: context.DeadlineExceeded, coalesced: coalesced}
+		}
+	}
+}
+
+// leave detaches one subscriber. The last one out removes the flight
+// from the table (so no new request joins it) and cancels its execution.
+func (c *coalescer) leave(f *flight) {
+	c.mu.Lock()
+	f.subs--
+	last := f.subs == 0
+	if last && c.flights[f.key] == f {
+		delete(c.flights, f.key)
+	}
+	c.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// pending reports the number of live flights (for tests).
+func (c *coalescer) pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.flights)
+}
+
+// runFlight is the leader goroutine: admission (queue wait observed per
+// endpoint), then the retried execution (execution time observed per
+// endpoint), then publication. The flight leaves the table before done
+// closes, so late arrivals start a fresh flight instead of reading a
+// finished one — the artifact store's single-flight layer still
+// deduplicates any build they share.
+func (s *Server) runFlight(f *flight, fctx context.Context, endpoint, client string, timeout time.Duration, fn func(context.Context) (any, error)) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	defer f.cancel()
+	// A drain deadline cancels flights through baseCtx.
+	stop := context.AfterFunc(s.baseCtx, f.cancel)
+	defer stop()
+
+	qstart := time.Now()
+	err := s.adm.acquire(fctx, client)
+	s.mc.Observe(metrics.HistServerQueueWait+"."+endpoint, time.Since(qstart))
+	if err != nil {
+		s.finishFlight(f, nil, 0, err)
+		return
+	}
+	defer s.adm.release()
+	close(f.admitted)
+
+	ctx := fctx
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+	estart := time.Now()
+	res, attempts, rerr := s.attempt(ctx, fn)
+	s.mc.Observe(metrics.HistServerExec+"."+endpoint, time.Since(estart))
+	if attempts < 1 {
+		attempts = 1
+	}
+	s.finishFlight(f, res, attempts, rerr)
+}
+
+// finishFlight publishes the result and retires the flight.
+func (s *Server) finishFlight(f *flight, res any, attempts int, err error) {
+	f.res, f.attempts, f.err = res, attempts, err
+	s.coal.mu.Lock()
+	if s.coal.flights[f.key] == f {
+		delete(s.coal.flights, f.key)
+	}
+	s.coal.mu.Unlock()
+	close(f.done)
+}

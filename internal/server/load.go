@@ -30,6 +30,11 @@ type LoadConfig struct {
 	// profile, predeval, and experiment. Valid kinds: "profile",
 	// "predeval", "experiment".
 	Mix []string
+	// Burst repeats each planned spec this many consecutive times
+	// (default 1). Bursts of identical requests land on the daemon
+	// near-simultaneously through adjacent workers, exercising request
+	// coalescing; Requests stays the total count.
+	Burst int
 	// Stream requests ?stream=1 chunked progress responses.
 	Stream bool
 	// Timeout is the per-request client-side timeout (0 = none) and is
@@ -91,10 +96,18 @@ func planRequests(cfg LoadConfig) []loadRequest {
 	// Cheap experiments only: the load generator is for exercising the
 	// service machinery, not for regenerating every table.
 	expIDs := []string{"e1", "e2", "e5"}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = 1
+	}
 	rng := &loadRNG{state: cfg.Seed ^ 0xdeadd}
 	reqs := make([]loadRequest, cfg.Requests)
 	for i := range reqs {
-		kind := mix[i%len(mix)]
+		if i%burst != 0 {
+			reqs[i] = reqs[i-1]
+			continue
+		}
+		kind := mix[(i/burst)%len(mix)]
 		switch kind {
 		case "predeval":
 			b := benches[rng.next()%uint64(len(benches))]

@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,12 +77,13 @@ type Config struct {
 // Server is the HTTP service; build one with New, expose Handler, and
 // call Drain on shutdown.
 type Server struct {
-	cfg Config
-	w   *core.Workspace
-	mc  *metrics.Collector
-	adm *admission
-	bc  *broadcaster
-	mux *http.ServeMux
+	cfg  Config
+	w    *core.Workspace
+	mc   *metrics.Collector
+	adm  *admission
+	bc   *broadcaster
+	coal *coalescer
+	mux  *http.ServeMux
 
 	// baseCtx parents every request execution; baseCancel is the drain
 	// deadline's hammer — cancelling it deadline-cancels in-flight work.
@@ -107,9 +109,10 @@ func New(cfg Config) *Server {
 		cfg: cfg,
 		w:   cfg.Workspace,
 		mc:  cfg.Metrics,
-		adm: newAdmission(workers, cfg.QueueDepth, cfg.Metrics),
-		bc:  newBroadcaster(cfg.Verbose),
-		mux: http.NewServeMux(),
+		adm:  newAdmission(workers, cfg.QueueDepth, cfg.Metrics),
+		bc:   newBroadcaster(cfg.Verbose),
+		coal: newCoalescer(),
+		mux:  http.NewServeMux(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	// Route engine progress lines through the broadcaster so ?stream=1
@@ -123,6 +126,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/predeval", s.handlePredEval)
 	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/artifact/{kind}/{digest}", s.handleArtifactGet)
+	s.mux.HandleFunc("PUT /v1/artifact/{kind}/{digest}", s.handleArtifactPut)
 	return s
 }
 
@@ -248,15 +253,20 @@ func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
 }
 
 // execute runs fn under the daemon's full request discipline: the
-// server.accept fault site, drain checks, fair admission with
-// load-shedding, the per-request deadline, and a retry loop for
-// transient failures. The context passed to fn dies when the client
-// disconnects, the deadline passes, or a drain deadline forces
-// cancellation. Single-flight casualty semantics: a shared build
-// cancelled by another request's context surfaces context.Canceled even
-// though our own context is live — that case retries, and the store has
-// forgotten the cancelled build, so the retry rebuilds deterministically.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, error)) {
+// server.accept fault site, drain checks, coalescing with fair admission
+// and load-shedding, the per-request deadline, and a retry loop for
+// transient failures. key is the request's coalescing identity (endpoint
+// plus canonical spec digest): requests sharing a key while one is
+// pending collapse into a single execution whose result fans out to
+// every subscriber (see coalesce.go). The context passed to fn dies when
+// every interested client has disconnected, the deadline passes, or a
+// drain deadline forces cancellation. Single-flight casualty semantics:
+// a shared artifact build whose originating request disconnects is
+// adopted by surviving waiters in the store itself; the retry loop keeps
+// a casualty backstop for the narrow window where a cancelled build's
+// error still surfaces.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, endpoint, key string, fn func(ctx context.Context) (any, error)) {
+	start := time.Now()
 	if err := faults.Fire(SiteAccept); err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err, 0)
@@ -277,64 +287,65 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, fn func(ctx con
 
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
-	// A drain deadline cancels in-flight requests through baseCtx.
+	// A drain deadline abandons our wait through baseCtx (the flight
+	// itself is hammered the same way in runFlight).
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 
-	if err := s.adm.acquire(ctx, clientToken(r)); err != nil {
-		var shed *ShedError
-		switch {
-		case errors.As(err, &shed):
-			w.Header().Set("Retry-After", strconv.Itoa(int(shed.RetryAfter.Seconds())))
-			writeError(w, http.StatusTooManyRequests, err, 0)
-		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err, 0)
-		default: // client gave up while queued; best-effort status
-			writeError(w, statusForContext(ctx), err, 0)
-		}
-		return
-	}
-	defer s.adm.release()
-
-	if timeout > 0 {
-		var tcancel context.CancelFunc
-		ctx, tcancel = context.WithTimeout(ctx, timeout)
-		defer tcancel()
-	}
-
+	// The stream opens lazily once the flight is admitted, so a request
+	// that sheds or drains before executing still gets a plain 429/503.
 	stream := r.URL.Query().Get("stream") == "1"
 	var fw *streamWriter
-	if stream {
-		fw = newStreamWriter(w, s.bc, s.mc)
-		defer fw.close()
+	onAdmitted := func() {
+		if stream && fw == nil {
+			fw = newStreamWriter(w, s.bc, s.mc)
+		}
 	}
 
-	res, attempts, err := s.attempt(ctx, fn)
-	if err != nil {
+	jr := s.coal.execute(s, ctx, endpoint, key, clientToken(r), timeout, onAdmitted, fn)
+	if fw != nil {
+		defer fw.close()
+	}
+	s.mc.Observe(metrics.HistServerLatency+"."+endpoint, time.Since(start))
+
+	if jr.err != nil {
+		if jr.preExec {
+			var shed *ShedError
+			switch {
+			case errors.As(jr.err, &shed):
+				w.Header().Set("Retry-After", strconv.Itoa(int(shed.RetryAfter.Seconds())))
+				writeError(w, http.StatusTooManyRequests, jr.err, 0)
+			case errors.Is(jr.err, ErrDraining):
+				writeError(w, http.StatusServiceUnavailable, jr.err, 0)
+			default: // client gave up while the flight was queued
+				writeError(w, statusForContext(ctx), jr.err, 0)
+			}
+			return
+		}
 		s.mc.Add(metrics.CounterServerFailed, 1)
 		if fw != nil {
-			fw.event(streamEvent{Event: "error", Error: err.Error(), Attempts: attempts})
+			fw.event(streamEvent{Event: "error", Error: jr.err.Error(), Attempts: jr.attempts})
 			return
 		}
 		status := http.StatusInternalServerError
 		switch {
-		case errors.Is(err, context.DeadlineExceeded):
+		case errors.Is(jr.err, context.DeadlineExceeded):
 			status = http.StatusGatewayTimeout
-		case errors.Is(err, context.Canceled):
+		case errors.Is(jr.err, context.Canceled):
 			// Client gone or drain-forced; the status is best-effort.
 			status = http.StatusServiceUnavailable
-		case faults.IsTransient(err):
+		case faults.IsTransient(jr.err):
 			status = http.StatusServiceUnavailable
 		}
-		writeError(w, status, err, attempts)
+		writeError(w, status, jr.err, jr.attempts)
 		return
 	}
 	s.mc.Add(metrics.CounterServerCompleted, 1)
 	if fw != nil {
-		fw.event(streamEvent{Event: "result", Data: res, Attempts: attempts})
+		fw.event(streamEvent{Event: "result", Data: jr.res, Attempts: jr.attempts})
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeJSON(w, http.StatusOK, jr.res)
 }
 
 // attempt is the retry loop around one request execution: each attempt
@@ -504,7 +515,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err, 0)
 		return
 	}
-	s.execute(w, r, func(ctx context.Context) (any, error) {
+	s.execute(w, r, "experiment", "experiment:"+req.ID, func(ctx context.Context) (any, error) {
 		exps, err := s.w.RunExperiments(ctx, []string{req.ID})
 		if err != nil {
 			// KeepGoing surfaces single-experiment failures as both a
@@ -533,7 +544,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err, 0)
 		return
 	}
-	s.execute(w, r, func(ctx context.Context) (any, error) {
+	s.execute(w, r, "experiments", "experiments:"+strings.Join(req.IDs, ","), func(ctx context.Context) (any, error) {
 		// Partial results: under the workspace's KeepGoing mode every
 		// requested experiment gets an entry, failed ones carrying their
 		// error; the response reports partial=true rather than failing
@@ -598,7 +609,7 @@ func (s *Server) handlePredEval(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err, 0)
 		return
 	}
-	s.execute(w, r, func(ctx context.Context) (any, error) {
+	s.execute(w, r, "predeval", "predeval:"+req.Bench+":"+spec.Digest(), func(ctx context.Context) (any, error) {
 		res, err := s.w.EvalPredictorCtx(ctx, req.Bench, spec)
 		if err != nil {
 			return nil, err
@@ -632,7 +643,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err, 0)
 		return
 	}
-	s.execute(w, r, func(ctx context.Context) (any, error) {
+	s.execute(w, r, "profile", "profile:"+req.Bench, func(ctx context.Context) (any, error) {
 		var out ProfileStats
 		err := s.w.WithProfileCtx(ctx, req.Bench, func(p *core.ProfileResult) error {
 			out = ProfileStats{
@@ -647,4 +658,92 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		}
 		return out, nil
 	})
+}
+
+// --- artifact transfer (the remote-tier wire protocol) ---
+
+// maxArtifactBytes bounds a pushed artifact payload; profiles run tens
+// of megabytes, so the cap is generous but finite.
+const maxArtifactBytes = 1 << 31
+
+// validArtifactPath checks the {kind}/{digest} route values: kind is a
+// short lowercase identifier, digest a sha256 hex string — both double
+// as disk-tier file names, so nothing else is allowed through.
+func validArtifactPath(kind, digest string) error {
+	ok := func(s string, minLen, maxLen int, hexOnly bool) bool {
+		if len(s) < minLen || len(s) > maxLen {
+			return false
+		}
+		for _, c := range s {
+			switch {
+			case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+			case !hexOnly && (c >= 'g' && c <= 'z' || c == '_' || c == '-'):
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !ok(kind, 1, 64, false) {
+		return fmt.Errorf("server: bad artifact kind %q", kind)
+	}
+	if !ok(digest, 64, 64, true) {
+		return fmt.Errorf("server: bad artifact digest %q", digest)
+	}
+	return nil
+}
+
+// handleArtifactGet serves one encoded artifact, CRC-framed with the
+// disk tier's header, from the workspace's memory or disk tier. These
+// endpoints bypass admission: they never compute, only copy bytes, and
+// throttling them would defeat the remote tier's purpose of making a
+// warm peer cheaper than a rebuild. They stay up during drain for the
+// same reason — a draining daemon's artifacts are exactly the warm state
+// a successor wants to pull.
+func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	kind, digest := r.PathValue("kind"), r.PathValue("digest")
+	if err := validArtifactPath(kind, digest); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	payload, err := s.w.EncodedArtifact(artifact.Key{Kind: artifact.Kind(kind), Digest: digest})
+	if err != nil {
+		if errors.Is(err, artifact.ErrNotFound) {
+			s.mc.Add(metrics.CounterServerArtifactMisses, 1)
+			writeError(w, http.StatusNotFound, err, 0)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err, 0)
+		return
+	}
+	s.mc.Add(metrics.CounterServerArtifactHits, 1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(artifact.Frame(payload))
+}
+
+// handleArtifactPut accepts one CRC-framed encoded artifact and installs
+// it into the workspace as if locally built (write-through to the disk
+// tier included). A frame or decode failure is the pusher's problem: 400.
+func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	kind, digest := r.PathValue("kind"), r.PathValue("digest")
+	if err := validArtifactPath(kind, digest); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	framed, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxArtifactBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: artifact body: %w", err), 0)
+		return
+	}
+	payload, err := artifact.Unframe(framed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	if err := s.w.InstallArtifact(artifact.Key{Kind: artifact.Kind(kind), Digest: digest}, payload); err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	s.mc.Add(metrics.CounterServerArtifactPuts, 1)
+	w.WriteHeader(http.StatusCreated)
 }

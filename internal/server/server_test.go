@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -13,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/dip"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 )
@@ -288,7 +291,7 @@ func TestShedUnderBurst(t *testing.T) {
 		c.Workers = 1
 		c.QueueDepth = 0
 	})
-	bench := core.SuiteNames()[0]
+	benches := core.SuiteNames()
 
 	// Hold the single worker for a deterministic interval per admitted
 	// request via a delay fault at server.handle (fired after admission,
@@ -298,8 +301,10 @@ func TestShedUnderBurst(t *testing.T) {
 		faults.Rule{Kind: faults.Delay, Rate: 1, Delay: 50 * time.Millisecond}))
 	t.Cleanup(func() { faults.Set(nil) })
 
-	// Burst cold requests at a single worker with no queue: all but the
-	// one holding the worker shed with 429 + Retry-After.
+	// Burst cold requests for DISTINCT benches at a single worker with no
+	// queue: identical requests would coalesce instead of queueing, so
+	// every request here names its own bench, and all but the one holding
+	// the worker shed with 429 + Retry-After.
 	const burst = 8
 	statuses := make([]int, burst)
 	retryAfter := make([]string, burst)
@@ -311,7 +316,7 @@ func TestShedUnderBurst(t *testing.T) {
 			defer wg.Done()
 			<-start
 			resp, err := http.Post(ts.URL+"/v1/profile", "application/json",
-				strings.NewReader(`{"bench":"`+bench+`"}`))
+				strings.NewReader(`{"bench":"`+benches[i%len(benches)]+`"}`))
 			if err != nil {
 				return
 			}
@@ -365,4 +370,221 @@ func TestMetricz(t *testing.T) {
 	if m.Draining {
 		t.Error("draining reported on a live server")
 	}
+}
+
+// TestCoalescedBurstBitIdentical is the coalescing contract: identical
+// concurrent requests collapse into one execution (one build, no shed
+// even with a zero-depth queue) and every subscriber receives
+// byte-identical response bodies.
+func TestCoalescedBurstBitIdentical(t *testing.T) {
+	s, ts, mc := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		// No queue at all: any concurrent duplicate that failed to
+		// coalesce would shed with 429, so all-200 below proves the
+		// duplicates bypassed admission entirely.
+		c.QueueDepth = 0
+	})
+	bench := core.SuiteNames()[1]
+
+	// Hold the flight's execution open so every duplicate arrives while
+	// it is pending.
+	faults.Set(faults.NewInjector(7).Arm(SiteHandle,
+		faults.Rule{Kind: faults.Delay, Rate: 1, Delay: 100 * time.Millisecond}))
+	t.Cleanup(func() { faults.Set(nil) })
+
+	const dup = 6
+	statuses := make([]int, dup)
+	bodies := make([][]byte, dup)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/profile", "application/json",
+				strings.NewReader(`{"bench":"`+bench+`"}`))
+			if err != nil {
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			statuses[i], bodies[i] = resp.StatusCode, b
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, st := range statuses {
+		if st != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200 (body %s)", i, st, bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d body diverges from request 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if got := mc.Counter(metrics.CounterServerCoalesced); got == 0 {
+		t.Error("no request coalesced; the burst test is vacuous")
+	}
+	if got := mc.Counter(metrics.CounterServerCompleted); got != dup {
+		t.Errorf("completed counter = %d, want %d", got, dup)
+	}
+	if st := s.w.ArtifactStats().Kinds[core.KindProfile]; st.Misses != 1 {
+		t.Errorf("profile builds = %d, want exactly 1 for %d identical requests", st.Misses, dup)
+	}
+	if got := s.coal.pending(); got != 0 {
+		t.Errorf("pending flights = %d after burst, want 0", got)
+	}
+}
+
+// TestArtifactTransferEndpoints exercises the remote-tier wire protocol
+// end to end: a cold workspace with the daemon attached as its remote
+// tier warm-starts from it (GET), and pushes what it builds back (PUT).
+func TestArtifactTransferEndpoints(t *testing.T) {
+	_, ts, mc := newTestServer(t, nil)
+	bench := core.SuiteNames()[0]
+
+	// Warm the daemon with one profile build.
+	if resp, body := post(t, ts.URL+"/v1/profile", `{"bench":"`+bench+`"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm profile: %d: %s", resp.StatusCode, body)
+	}
+
+	// A second workspace at the same budget, with the daemon as remote
+	// tier, resolves the same profile without building it.
+	rc, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := core.NewWorkspaceWorkers(testBudget, 2)
+	w2.SetRemoteTier(rc)
+	var got deadnessSummaryProbe
+	if err := w2.WithProfile(bench, func(p *core.ProfileResult) error {
+		got = deadnessSummaryProbe{p.Summary.Total, p.Summary.Dead}
+		return nil
+	}); err != nil {
+		t.Fatalf("remote warm start: %v", err)
+	}
+	if got.total == 0 {
+		t.Error("remote-fetched profile is empty")
+	}
+	st := w2.ArtifactStats().Kinds[core.KindProfile]
+	if st.RemoteHits != 1 || st.Misses != 0 {
+		t.Errorf("profile remote_hits=%d misses=%d, want 1 hit and 0 misses", st.RemoteHits, st.Misses)
+	}
+	if hits := mc.Counter(metrics.CounterServerArtifactHits); hits == 0 {
+		t.Error("daemon served no artifact GET")
+	}
+
+	// Fresh builds push back: evaluate a predictor the daemon has never
+	// seen and the daemon receives the PUT.
+	if _, err := w2.EvalPredictor(bench, dip.Spec{Flavor: dip.FlavorCFI, Config: dip.DefaultConfig()}); err != nil {
+		t.Fatal(err)
+	}
+	if puts := mc.Counter(metrics.CounterServerArtifactPuts); puts == 0 {
+		t.Error("daemon received no artifact PUT after a fresh remote-attached build")
+	}
+
+	// Malformed paths are rejected; a well-formed unknown digest is a 404.
+	for _, path := range []string{
+		"/v1/artifact/Profile/" + strings.Repeat("0", 64), // uppercase kind
+		"/v1/artifact/profile/shortdigest",
+		"/v1/artifact/profile/" + strings.Repeat("x", 64), // non-hex digest
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/artifact/profile/" + strings.Repeat("0", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown digest: status %d, want 404", resp.StatusCode)
+	}
+	if misses := mc.Counter(metrics.CounterServerArtifactMisses); misses == 0 {
+		t.Error("artifact miss counter did not move on a 404")
+	}
+}
+
+// TestAdoptionAcrossRequests is the server half of build adoption: a
+// request that starts a cold build and disconnects does not doom the
+// build when a second request for the same artifact is waiting — the
+// survivor adopts the in-flight work instead of paying for a restart.
+func TestAdoptionAcrossRequests(t *testing.T) {
+	s, ts, _ := newTestServer(t, nil)
+	bench := core.SuiteNames()[2]
+
+	// The originator: starts the cold profile build, then vanishes.
+	octx, ocancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequestWithContext(octx, http.MethodPost, ts.URL+"/v1/profile",
+			strings.NewReader(`{"bench":"`+bench+`"}`))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	// The survivor: same request, distinct coalescing identity is NOT
+	// wanted here — it must either coalesce onto the originator's flight
+	// or wait on the same artifact build; both paths must survive the
+	// originator's disconnect.
+	done := make(chan deadnessSummaryProbe, 1)
+	errc := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond) // let the originator lead
+		resp, err := http.Post(ts.URL+"/v1/profile", "application/json",
+			strings.NewReader(`{"bench":"`+bench+`"}`))
+		if err != nil {
+			errc <- err
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errc <- fmt.Errorf("survivor: status %d: %s", resp.StatusCode, body)
+			return
+		}
+		var ps ProfileStats
+		if err := json.Unmarshal(body, &ps); err != nil {
+			errc <- err
+			return
+		}
+		done <- deadnessSummaryProbe{ps.Summary.Total, ps.Summary.Dead}
+	}()
+
+	time.Sleep(5 * time.Millisecond) // mid-build for the cold profile
+	ocancel()
+	wg.Wait()
+
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	case got := <-done:
+		ref := core.NewWorkspace(testBudget)
+		var want deadnessSummaryProbe
+		if err := ref.WithProfile(bench, func(p *core.ProfileResult) error {
+			want = deadnessSummaryProbe{p.Summary.Total, p.Summary.Dead}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("survivor got %+v, want %+v", got, want)
+		}
+	}
+	_ = s
 }

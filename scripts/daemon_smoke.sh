@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Daemon smoke: build deadd + deadload, start the daemon with a
-# temporary persistent cache, run a load burst against it, SIGTERM it,
-# and assert (1) a zero exit after graceful drain and (2) a non-zero
-# artifact disk-write count in the final metrics dump — proving the
-# drain-time spill to the disk tier actually ran.
+# Daemon smoke: build deadd + deadload + deadprof, start the daemon with
+# a temporary persistent cache, run a load burst against it, warm-start a
+# second process from the daemon's cache over HTTP, SIGTERM the daemon,
+# and assert (1) a remote warm start that rebuilt nothing (profile-kind
+# misses == 0, remote hits recorded), (2) a zero exit after graceful
+# drain, and (3) a non-zero artifact disk-write count in the final
+# metrics dump — proving the drain-time spill to the disk tier ran.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +19,7 @@ trap 'rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/deadd" ./cmd/deadd
 go build -o "$WORK/deadload" ./cmd/deadload
+go build -o "$WORK/deadprof" ./cmd/deadprof
 
 "$WORK/deadd" -addr "$ADDR" -n "$BUDGET" -cache-dir "$WORK/cache" \
     >"$WORK/deadd.out" 2>"$WORK/deadd.err" &
@@ -40,6 +43,25 @@ fi
 
 "$WORK/deadload" -addr "http://$ADDR" -n "$REQUESTS" -c 4 -seed 3 -strict
 
+# Remote warm start: make sure the daemon holds gzip's profile, then run
+# deadprof as a second process with the daemon as its remote artifact
+# tier and the same budget (profile keys include it). The profile must
+# arrive over HTTP — zero profile-kind builds, at least one remote hit.
+curl -fsS -X POST -d '{"bench":"gzip"}' "http://$ADDR/v1/profile" >/dev/null
+"$WORK/deadprof" -bench gzip -n "$BUDGET" -remote-cache "http://$ADDR" \
+    -artifacts >"$WORK/deadprof.out" 2>"$WORK/deadprof.err"
+prof_block="$(sed -n '/"profile": {/,/}/p' "$WORK/deadprof.err")"
+if ! echo "$prof_block" | grep -q '"misses": 0'; then
+    echo "daemon_smoke: remote warm start rebuilt the profile:" >&2
+    cat "$WORK/deadprof.err" >&2
+    exit 1
+fi
+if ! echo "$prof_block" | grep -Eq '"remote_hits": [1-9]'; then
+    echo "daemon_smoke: remote warm start recorded no remote hits:" >&2
+    cat "$WORK/deadprof.err" >&2
+    exit 1
+fi
+
 kill -TERM "$DEADD_PID"
 status=0
 wait "$DEADD_PID" || status=$?
@@ -57,4 +79,4 @@ if ! grep -Eq '"disk_writes": *[1-9]' "$WORK/deadd.out"; then
     exit 1
 fi
 
-echo "daemon_smoke: OK (exit 0 after drain, disk writes recorded)"
+echo "daemon_smoke: OK (remote warm start, exit 0 after drain, disk writes recorded)"

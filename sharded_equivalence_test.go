@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/deadness"
 	"repro/internal/emu"
 	"repro/internal/faults"
@@ -304,4 +305,80 @@ func lastLoadOp(recs []trace.Record) isa.Op {
 		}
 	}
 	return isa.LD
+}
+
+// TestProfileAdoptionUnderCancellation is the end-to-end adoption
+// regression: a request that initiates a cold profile build and is
+// cancelled mid-build must not doom the build when another request is
+// waiting on it — the survivor adopts the in-flight work (one build
+// total, counted in artifact_adoptions) and receives a result
+// bit-identical to a clean run, with the cancelled requester's pooled
+// resources released.
+func TestProfileAdoptionUnderCancellation(t *testing.T) {
+	const budget = 60_000
+	bench := workload.Suite()[0].Name
+
+	// Fault-free reference.
+	clean := core.NewWorkspace(budget)
+	var want deadness.Summary
+	if err := clean.WithProfile(bench, func(p *core.ProfileResult) error {
+		want = p.Summary
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the build's start open so the second request reliably joins
+	// while the first one's build is in flight.
+	in := faults.NewInjector(3).Arm(faults.SiteWorkspaceMemo,
+		faults.Rule{Kind: faults.Delay, Rate: 1, Max: 1, Delay: 150 * time.Millisecond})
+	faults.Set(in)
+	defer faults.Set(nil)
+
+	w := core.NewWorkspaceWorkers(budget, 2)
+	octx, ocancel := context.WithCancel(context.Background())
+	defer ocancel()
+	ownerErr := make(chan error, 1)
+	go func() {
+		ownerErr <- w.WithProfileCtx(octx, bench, func(*core.ProfileResult) error { return nil })
+	}()
+	var got deadness.Summary
+	waiterErr := make(chan error, 1)
+	go func() {
+		waiterErr <- w.WithProfileCtx(context.Background(), bench, func(p *core.ProfileResult) error {
+			got = p.Summary
+			return nil
+		})
+	}()
+
+	// Both requests share one in-flight build once a waiter is counted;
+	// then cancel the first requester mid-build.
+	deadline := time.Now().Add(10 * time.Second)
+	for w.ArtifactStats().Kinds[core.KindProfile].InflightWaits < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never attached to the in-flight build")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ocancel()
+
+	if err := <-ownerErr; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled requester: %v", err)
+	}
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("surviving requester failed after the originator's cancellation: %v", err)
+	}
+	if got != want {
+		t.Errorf("adopted build diverges from clean run:\n got %+v\nwant %+v", got, want)
+	}
+	st := w.ArtifactStats().Kinds[core.KindProfile]
+	if st.Misses != 1 {
+		t.Errorf("profile builds = %d, want exactly 1 (adoption, not restart)", st.Misses)
+	}
+	if st.Adoptions != 1 {
+		t.Errorf("adoptions = %d, want 1", st.Adoptions)
+	}
+	if in.Fired(faults.SiteWorkspaceMemo) == 0 {
+		t.Error("delay fault never fired; the mid-build window is vacuous")
+	}
 }
