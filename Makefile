@@ -47,16 +47,17 @@ smoke:
 
 # SUBSTRATE_BENCHES are the per-substrate throughput benchmarks tracked in
 # the committed BENCH_*.json reports: emulator, fused oracle (plus its
-# legacy two-pass comparison), the analyze shard-count sweep, pipeline
-# timing model, trace serialization round trips, the persistent artifact
-# tier's cold/warm comparison, the service tier's request-coalescing
-# burst comparison, and the full experiment engine.
-SUBSTRATE_BENCHES = ^(BenchmarkEmulator|BenchmarkCollectAnalyzed|BenchmarkDeadnessOracle|BenchmarkDeadnessOracleLegacy|BenchmarkAnalyzeShards|BenchmarkPipeline|BenchmarkTraceSaveLoad|BenchmarkProfileDiskCache|BenchmarkCoalescedLoad|BenchmarkEngineAllExperiments)$$
+# legacy two-pass comparison and the ineffectuality-dense variant), the
+# analyze shard-count sweep, pipeline timing model (single-cluster and
+# two-cluster steered), trace serialization round trips, the persistent
+# artifact tier's cold/warm comparison, the service tier's
+# request-coalescing burst comparison, and the full experiment engine.
+SUBSTRATE_BENCHES = ^(BenchmarkEmulator|BenchmarkCollectAnalyzed|BenchmarkDeadnessOracle|BenchmarkDeadnessOracleLegacy|BenchmarkIneffAnalysis|BenchmarkAnalyzeShards|BenchmarkPipeline|BenchmarkClusteredPipeline|BenchmarkTraceSaveLoad|BenchmarkProfileDiskCache|BenchmarkCoalescedLoad|BenchmarkEngineAllExperiments)$$
 
 # BENCH_BASELINE is the committed report that bench-compare diffs against;
 # BENCH_TOL is the relative regression tolerance (benchmarks vary with
 # host hardware, so keep it loose).
-BENCH_BASELINE ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_10.json
 BENCH_TOL ?= 0.25
 
 # bench regenerates $(BENCH_BASELINE) from the substrate benchmarks (with

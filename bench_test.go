@@ -1,5 +1,5 @@
 // Benchmark harness: one testing.B benchmark per reproduced table/figure
-// (experiments E1-E18, see DESIGN.md), plus micro-benchmarks of the
+// (experiments E1-E21, see DESIGN.md), plus micro-benchmarks of the
 // substrates. Each experiment benchmark reports its headline metrics with
 // b.ReportMetric, so `go test -bench=.` regenerates the numbers recorded
 // in EXPERIMENTS.md (at a reduced instruction budget; use cmd/experiments
@@ -128,6 +128,18 @@ func BenchmarkE17StaticHints(b *testing.B) {
 
 func BenchmarkE18WindowBias(b *testing.B) {
 	runExperiment(b, "e18", "dead_mean_at_10000", "dead_mean_full")
+}
+
+func BenchmarkE19IneffRates(b *testing.B) {
+	runExperiment(b, "e19", "ineff_mean", "silent_store_rate_mean")
+}
+
+func BenchmarkE20SteerPredictors(b *testing.B) {
+	runExperiment(b, "e20", "steer_coverage_bimodal-4k", "steer_accuracy_bimodal-4k")
+}
+
+func BenchmarkE21ClusteredIPC(b *testing.B) {
+	runExperiment(b, "e21", "speedup_steer_mean", "narrow_share_mean")
 }
 
 // ---------------------------------------------------------------------
@@ -322,6 +334,109 @@ func BenchmarkPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e3, "Kinst/s")
+}
+
+// ineffProgramSrc is an ineffectuality-dense loop: one silent store and a
+// three-deep x+0 chain per iteration alongside effectual work, so the
+// steered machine has both clusters busy and the analysis walk sees hint
+// bits on most records.
+const ineffProgramSrc = `
+.data
+buf: .space 64
+.text
+main:
+    addi r1, r0, 8000
+    la   r2, buf
+    addi r3, r0, 9
+    sd   r3, 0(r2)
+loop:
+    sd   r3, 0(r2)
+    add  r4, r3, r0
+    add  r5, r4, r0
+    add  r6, r5, r0
+    add  r7, r1, r6
+    sd   r7, 8(r2)
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    out  r6
+    halt
+`
+
+// BenchmarkClusteredPipeline compares the timing model with and without
+// the two-cluster steered configuration, on a mostly-live trace (the
+// steering overhead bound: clustered must stay within a few percent of
+// single-cluster when there is little to steer) and on an
+// ineffectuality-dense trace (where the IPC delta and narrow-cluster
+// occupancy are the payoff).
+func BenchmarkClusteredPipeline(b *testing.B) {
+	for _, pr := range []struct{ name, src string }{
+		{"live", benchProgramSrc},
+		{"ineff", ineffProgramSrc},
+	} {
+		prog, err := asm.Assemble("bench", pr.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, _, err := emu.Collect(prog, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		an, err := deadness.Analyze(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			cfg  pipeline.Config
+		}{
+			{"single", pipeline.ContendedConfig()},
+			{"clustered", pipeline.ClusteredConfig()},
+		} {
+			b.Run(pr.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var st pipeline.Stats
+				for i := 0; i < b.N; i++ {
+					st, err = pipeline.Run(tr, an, mode.cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(st.IPC(), "IPC")
+				if mode.cfg.Clustered() {
+					b.ReportMetric(100*float64(st.SteeredNarrow)/float64(st.Committed), "narrow_%")
+				}
+				b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e3, "Kinst/s")
+			})
+		}
+	}
+}
+
+// BenchmarkIneffAnalysis measures the fused link+analyze walk on an
+// ineffectuality-dense trace: the same single pass derives the deadness
+// and the Ineff fact columns, so the Minst/s delta against
+// BenchmarkDeadnessOracle (mostly hint-free records) bounds the cost of
+// carrying the second column.
+func BenchmarkIneffAnalysis(b *testing.B) {
+	prog, err := asm.Assemble("bench", ineffProgramSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := emu.Collect(prog, 1_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s deadness.Summary
+	for i := 0; i < b.N; i++ {
+		a, err := deadness.LinkAndAnalyze(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = a.Summarize(tr, nil)
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+	b.ReportMetric(100*s.IneffFraction(), "ineff_%")
 }
 
 // BenchmarkTraceSaveLoad measures trace serialization round trips in both

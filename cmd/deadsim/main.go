@@ -7,8 +7,14 @@
 // Usage:
 //
 //	deadsim [-bench name] [-n budget] [-machine baseline|contended|deep]
-//	        [-regs n] [-elim off|on|both] [-j workers] [-cache-budget bytes]
-//	        [-cache-dir dir] [-disk-budget bytes] [-remote-cache url] [-v]
+//	        [-regs n] [-elim off|on|both] [-clusters 1|2] [-steer predictor]
+//	        [-j workers] [-cache-budget bytes] [-cache-dir dir]
+//	        [-disk-budget bytes] [-remote-cache url] [-v]
+//
+// -clusters 2 reorganizes the selected machine as a full-width cluster
+// plus a single-issue narrow cluster fed by the ineffectuality steering
+// predictor (-steer names it; see experiments E19-E21), and the table
+// gains per-cluster commit and steering columns.
 //
 // Profiles and machine runs derive through the workspace's
 // content-addressed artifact cache; -cache-budget bounds its resident
@@ -39,6 +45,8 @@ func main() {
 	machine := flag.String("machine", "contended", "baseline, contended, or deep")
 	regs := flag.Int("regs", 0, "override physical register count")
 	elim := flag.String("elim", "both", "off, on, or both")
+	clusters := flag.Int("clusters", 1, "execution clusters: 1 (classic) or 2 (steered narrow cluster)")
+	steer := flag.String("steer", "", "steering direction predictor for -clusters 2 (default "+pipeline.SteerDirDefault+")")
 	wsFlags := cliflags.RegisterWorkspace(flag.CommandLine, "deadsim")
 	verbose := flag.Bool("v", false, "print per-phase progress lines and a run summary to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulations to this file")
@@ -59,6 +67,23 @@ func main() {
 	}
 	if *regs > 0 {
 		cfg.PhysRegs = *regs
+	}
+	if *clusters == 2 {
+		cfg.Clusters = 2
+		cfg.NarrowIssueWidth = 1
+		cfg.NarrowALUs = 1
+		cfg.SteerDir = *steer
+	} else if *clusters != 1 || *steer != "" {
+		if *clusters != 1 {
+			fmt.Fprintf(os.Stderr, "unsupported cluster count %d (1 or 2)\n", *clusters)
+		} else {
+			fmt.Fprintln(os.Stderr, "-steer requires -clusters 2")
+		}
+		os.Exit(1)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	names := core.SuiteNames()
@@ -126,15 +151,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	tb := stats.NewTable("bench", "elim", "IPC", "cycles", "allocs", "rf-reads",
-		"rf-writes", "dcache", "eliminated", "recoveries", "freelist-stall")
+	cols := []string{"bench", "elim", "IPC", "cycles", "allocs", "rf-reads",
+		"rf-writes", "dcache", "eliminated", "recoveries", "freelist-stall"}
+	if *clusters == 2 {
+		cols = append(cols, "narrow", "narrow-IPC", "steer-misp")
+	}
+	tb := stats.NewTable(cols...)
 	for i, tk := range tasks {
 		st := results[i]
-		tb.AddRow(tk.name, tk.mode,
+		row := []string{tk.name, tk.mode,
 			fmt.Sprintf("%.3f", st.IPC()), fmt.Sprint(st.Cycles),
 			fmt.Sprint(st.PhysAllocs), fmt.Sprint(st.RFReads), fmt.Sprint(st.RFWrites),
 			fmt.Sprint(st.Cache.Accesses), fmt.Sprint(st.Eliminated),
-			fmt.Sprint(st.DeadMispredicts), fmt.Sprint(st.StallFreeList))
+			fmt.Sprint(st.DeadMispredicts), fmt.Sprint(st.StallFreeList)}
+		if *clusters == 2 {
+			row = append(row, fmt.Sprint(st.ClusterCommitted[1]),
+				fmt.Sprintf("%.3f", st.ClusterIPC(1)), fmt.Sprint(st.SteerMispredicts))
+		}
+		tb.AddRow(row...)
 	}
 	fmt.Print(tb)
 

@@ -1,5 +1,5 @@
 // Command experiments regenerates every reproduced table and figure
-// (E1-E18 in DESIGN.md) and prints them in the format EXPERIMENTS.md
+// (E1-E21 in DESIGN.md) and prints them in the format EXPERIMENTS.md
 // records. Independent experiments run concurrently over a shared
 // workspace — machine runs are memoized by (benchmark, config), so sweeps
 // and elim-pairs shared across experiments simulate exactly once — and

@@ -7,9 +7,14 @@
 //
 // Usage:
 //
-//	predsweep [-bench name] [-n budget] [-mode point|sweep|assoc|cfi]
-//	          [-path n] [-slots n] [-j workers] [-cache-budget bytes]
-//	          [-cache-dir dir] [-disk-budget bytes] [-remote-cache url]
+//	predsweep [-bench name] [-n budget] [-mode point|sweep|assoc|cfi|steer]
+//	          [-path n] [-slots n] [-steer-dir name] [-j workers]
+//	          [-cache-budget bytes] [-cache-dir dir] [-disk-budget bytes]
+//	          [-remote-cache url]
+//
+// -mode steer evaluates the cluster-steering predictor (dip.FlavorSteer):
+// every registered direction predictor reinterpreted over ineffectuality
+// outcomes, or just the one named by -steer-dir.
 //
 // Traces, oracle analyses, and predictor evaluations derive through the
 // workspace's content-addressed artifact cache; -cache-budget bounds its
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bpred"
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/dip"
@@ -35,9 +41,10 @@ import (
 
 func main() {
 	bench := flag.String("bench", "", "benchmark name (default: whole suite)")
-	mode := flag.String("mode", "point", "point, sweep, assoc, or cfi")
+	mode := flag.String("mode", "point", "point, sweep, assoc, cfi, or steer")
 	pathLen := flag.Int("path", -1, "override signature path length")
 	slots := flag.Int("slots", -1, "override signature slots per entry")
+	steerDir := flag.String("steer-dir", "", "restrict -mode steer to one direction predictor")
 	wsFlags := cliflags.RegisterWorkspace(flag.CommandLine, "predsweep")
 	flag.Parse()
 	if *pathLen >= 0 {
@@ -75,6 +82,8 @@ func main() {
 		err = sweep(w, names)
 	case "assoc":
 		err = assoc(w, names)
+	case "steer":
+		err = steerSweep(w, names, *steerDir)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -184,6 +193,41 @@ func assoc(w *core.Workspace, names []string) error {
 		}
 		tb.AddRow(cfg.Name(), fmt.Sprintf("%.2f", cfg.StateKB()),
 			stats.Pct(stats.Mean(covs)), stats.Pct(stats.Mean(accs)))
+	}
+	fmt.Print(tb)
+	return nil
+}
+
+// steerSweep evaluates the cluster-steering predictor over the registered
+// direction predictors (or the one named by -steer-dir): the trace-level
+// twin of the two-cluster machine's steering stage.
+func steerSweep(w *core.Workspace, names []string, only string) error {
+	dirs := bpred.DirNames()
+	if only != "" {
+		dirs = []string{only}
+	}
+	tb := stats.NewTable("steer predictor", "ineff", "steered", "cov%", "acc%", "state-KB")
+	for _, dir := range dirs {
+		spec := dip.Spec{Flavor: dip.FlavorSteer, Dir: dir}
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+		results, err := evalAll(w, names, spec)
+		if err != nil {
+			return err
+		}
+		var covs, accs []float64
+		ineff, steered, bits := 0, 0, 0
+		for _, res := range results {
+			covs = append(covs, res.Coverage())
+			accs = append(accs, res.Accuracy())
+			ineff += res.Dead
+			steered += res.Predicted
+			bits = res.StateBits
+		}
+		tb.AddRow(dir, fmt.Sprint(ineff), fmt.Sprint(steered),
+			stats.Pct(stats.Mean(covs)), stats.Pct(stats.Mean(accs)),
+			fmt.Sprintf("%.2f", float64(bits)/8192))
 	}
 	fmt.Print(tb)
 	return nil

@@ -28,7 +28,40 @@ type refAnalysis struct {
 	Candidate  []bool
 	EverRead   []bool
 	Resolve    []int32
+	Ineff      []deadness.IneffKind
 	Candidates int
+}
+
+// refIneff is the reference reimplementation of the ineffectuality
+// classification policy: purely record-local, driven by the emulator's
+// hint bits. Kept verbatim as the seed semantics — silent stores only on
+// stores, result-equality only on non-control non-load register writers,
+// and an equality bit counts only if the op actually reads that source.
+func refIneff(r *trace.Record) deadness.IneffKind {
+	h := r.Ineff
+	if h == 0 {
+		return deadness.IneffNone
+	}
+	if r.Op.IsStore() {
+		if h&trace.HintSilentStore != 0 {
+			return deadness.SilentStore
+		}
+		return deadness.IneffNone
+	}
+	if !r.Op.HasDest() || r.Op.IsControl() || r.Op.IsLoad() || r.Rd == isa.RZero {
+		return deadness.IneffNone
+	}
+	eq := uint8(0)
+	if r.Op.ReadsRs1() {
+		eq |= trace.HintResultEqRs1
+	}
+	if r.Op.ReadsRs2() {
+		eq |= trace.HintResultEqRs2
+	}
+	if h&eq != 0 {
+		return deadness.TrivialOp
+	}
+	return deadness.IneffNone
 }
 
 // refLink fills producer fields exactly as the seed's slice-based
@@ -83,6 +116,10 @@ func refAnalyze(recs []trace.Record) *refAnalysis {
 		Candidate: make([]bool, n),
 		EverRead:  make([]bool, n),
 		Resolve:   make([]int32, n),
+		Ineff:     make([]deadness.IneffKind, n),
+	}
+	for i := range recs {
+		a.Ineff[i] = refIneff(&recs[i])
 	}
 	for i := range a.Resolve {
 		a.Resolve[i] = int32(n)
@@ -193,6 +230,9 @@ func checkAgainstRef(t *testing.T, tag string, tr *trace.Trace, a *deadness.Anal
 	}
 	if !reflect.DeepEqual(a.Resolve, ref.Resolve) {
 		t.Errorf("%s: Resolve differs", tag)
+	}
+	if !reflect.DeepEqual(a.Ineff, ref.Ineff) {
+		t.Errorf("%s: Ineff differs", tag)
 	}
 	if a.Candidates() != ref.Candidates {
 		t.Errorf("%s: Candidates() = %d, reference %d", tag, a.Candidates(), ref.Candidates)
@@ -334,17 +374,35 @@ func synthRecords(n int, halted bool) []trace.Record {
 		switch i % 11 {
 		case 0, 1, 2, 3:
 			recs[i] = trace.Record{PC: pc, Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2}
+			// Sprinkle result-equality hints so the Ineff column is
+			// non-vacuous across every chunk shape (only bits the
+			// emulator could have produced for the op).
+			if i%5 == 0 {
+				recs[i].Ineff |= trace.HintResultEqRs1
+			}
+			if i%7 == 0 {
+				recs[i].Ineff |= trace.HintResultEqRs2
+			}
 		case 4, 5:
 			recs[i] = trace.Record{PC: pc, Op: isa.ADDI, Rd: rd, Rs1: rs1}
+			if i%4 == 0 {
+				recs[i].Ineff = trace.HintResultEqRs1
+			}
 		case 6:
 			addr := uint64(0x1000 + 8*(i%97) + i%3) // sometimes unaligned
 			recs[i] = trace.Record{PC: pc, Op: isa.SD, Rs1: rs1, Rs2: rs2, Addr: addr, Width: 8}
+			if i%3 == 0 {
+				recs[i].Ineff = trace.HintSilentStore
+			}
 		case 7:
 			addr := uint64(0x1000 + 8*((i+55)%97) + i%3)
 			recs[i] = trace.Record{PC: pc, Op: isa.LD, Rd: rd, Rs1: rs1, Addr: addr, Width: 8}
 		case 8:
 			addr := uint64(0x1000 + 4*(i%193))
 			recs[i] = trace.Record{PC: pc, Op: isa.SW, Rs1: rs1, Rs2: rs2, Addr: addr, Width: 4}
+			if i%2 == 0 {
+				recs[i].Ineff = trace.HintSilentStore
+			}
 		case 9:
 			addr := uint64(0x1000 + 4*((i+31)%193))
 			recs[i] = trace.Record{PC: pc, Op: isa.LW, Rd: rd, Rs1: rs1, Addr: addr, Width: 4}

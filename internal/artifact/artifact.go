@@ -643,6 +643,49 @@ func (s *Store) EncodedArtifact(key Key) ([]byte, error) {
 	return nil, ErrNotFound
 }
 
+// EncodedFrame returns the CRC-framed wire image for key plus a release
+// function the caller must call exactly once after the bytes are written
+// out. A resident artifact encodes under a pin and frames the copy
+// (release is then a no-op); otherwise the disk tier's mapped entry file
+// is served as-is with spilled=true — the framed bytes on disk ARE the
+// wire format, so the spill-through path performs no decode, re-encode,
+// or frame copy. ErrNotFound when neither tier holds the artifact.
+func (s *Store) EncodedFrame(key Key) (framed []byte, release func(), spilled bool, err error) {
+	s.mu.Lock()
+	codec := s.codecs[key.Kind]
+	disk := s.disk
+	e, ok := s.items[key]
+	if ok {
+		select {
+		case <-e.done:
+			ok = e.err == nil
+		default:
+			ok = false // in-flight; fall through to disk
+		}
+	}
+	if ok && codec != nil {
+		e.refs++
+		s.unlink(e)
+		s.mu.Unlock()
+		payload, err := encodeToBytes(codec, e.val)
+		s.release(e)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return Frame(payload), func() {}, false, nil
+	}
+	s.mu.Unlock()
+	if codec == nil {
+		return nil, nil, false, ErrNotFound
+	}
+	if disk != nil {
+		if framed, release, err := disk.FrameView(key); err == nil {
+			return framed, release, true, nil
+		}
+	}
+	return nil, nil, false, ErrNotFound
+}
+
 // InstallEncoded decodes payload (which has already passed frame
 // verification) and installs it as a completed resident artifact,
 // writing through to the disk tier. If the key is already resident or

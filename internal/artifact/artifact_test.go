@@ -297,8 +297,8 @@ func TestConcurrentChurn(t *testing.T) {
 func TestAdoptionSurvivesOriginatorCancel(t *testing.T) {
 	s := New(0)
 	var builds atomic.Int64
-	buildGate := make(chan struct{})  // held closed until the waiter has joined and the owner left
-	buildDied := make(chan struct{})  // closed if the build's detached ctx is cancelled
+	buildGate := make(chan struct{}) // held closed until the waiter has joined and the owner left
+	buildDied := make(chan struct{}) // closed if the build's detached ctx is cancelled
 	k := key("profile", "adopt")
 
 	ownerCtx, ownerCancel := context.WithCancel(context.Background())

@@ -226,6 +226,30 @@ func (d *Disk) Read(key Key) ([]byte, error) {
 	return payload, nil
 }
 
+// FrameView returns the verified entry stored under key as a view of the
+// complete framed image — header included — over the entry's mapped
+// pages, plus a release function the caller must call exactly once. The
+// on-disk entry format and the remote-cache wire format are the same
+// framing (see Frame), so a server can write the view straight to the
+// wire without unframing and re-framing. Error semantics match ReadView.
+func (d *Disk) FrameView(key Key) ([]byte, func(), error) {
+	data, release, err := mapFile(d.path(key))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := faults.Fire(faults.SiteArtifactDisk); err != nil {
+		release()
+		return nil, nil, fmt.Errorf("artifact: disk read %s: %w", key, err)
+	}
+	faults.Mangle(faults.SiteArtifactDisk, data)
+	if _, reason := verifyEntry(data); reason != "" {
+		release()
+		d.remove(key)
+		return nil, nil, &CorruptError{Key: key, Reason: reason}
+	}
+	return data, release, nil
+}
+
 // Frame wraps payload in the disk tier's entry format (magic, version,
 // length, CRC-32C of the payload). The same framing travels over the
 // remote-cache wire (internal/client ↔ the daemon's /v1/artifact

@@ -34,20 +34,30 @@ func firstNonBool(b []byte) int {
 
 // Profile persistence: a profile artifact serializes as a small JSON
 // header (identity + summaries), the linked trace in the trace package's
-// version-2 binary format, and the analysis fact arrays as raw columns.
+// linked binary format, and the analysis fact arrays as raw columns.
 // The program and pass stats are deliberately NOT stored — compilation is
 // deterministic and cheap, so Decode recompiles through the workspace's
 // program artifact instead of trusting serialized code.
 //
 // Layout: uvarint header length, JSON header, uvarint trace length,
-// SaveLinked trace, then Kind/Candidate/EverRead as one byte per record
-// and Resolve as little-endian int32. Every section is validated on
-// decode (strict JSON, the trace loader's own checks, 0/1 booleans,
+// SaveLinked trace, then Kind/Candidate/EverRead/Ineff as one byte per
+// record and Resolve as little-endian int32. Every section is validated
+// on decode (strict JSON, the trace loader's own checks, 0/1 booleans,
 // deadness.Restore's invariants); a payload that fails any of them is
 // treated as corrupt and rebuilt.
 
+// profileCodecVersion is the format generation of the profile payload.
+// It gates every structural change to the layout (currently: version 2
+// added the Ineff fact column): an entry written by a different
+// generation — including pre-versioning entries, whose headers decode
+// with Version 0 — is *stale*, not corrupt. Decode rejects it with an
+// ordinary error, which the artifact tiers translate into delete +
+// rebuild (Store.diskLoad), never into a corruption failure.
+const profileCodecVersion = 2
+
 // profileHeader is the JSON section of a persisted profile.
 type profileHeader struct {
+	Version  int `json:",omitempty"`
 	Bench    string
 	Budget   int
 	Opts     *compiler.Options `json:",omitempty"`
@@ -75,10 +85,12 @@ func (c profileCodec) Encode(w io.Writer, v any) error {
 	}
 	n := res.Trace.Len()
 	a := res.Analysis
-	if a == nil || len(a.Kind) != n || len(a.Candidate) != n || len(a.EverRead) != n || len(a.Resolve) != n {
+	if a == nil || len(a.Kind) != n || len(a.Candidate) != n || len(a.EverRead) != n ||
+		len(a.Resolve) != n || len(a.Ineff) != n {
 		return fmt.Errorf("core: profile codec: analysis does not match %d-record trace", n)
 	}
 	hdr, err := json.Marshal(profileHeader{
+		Version:  profileCodecVersion,
 		Bench:    res.Bench,
 		Budget:   c.w.Budget,
 		Opts:     res.opts,
@@ -104,8 +116,8 @@ func (c profileCodec) Encode(w io.Writer, v any) error {
 	}
 	if lebytes.Little {
 		// The analysis columns' memory images are their wire images.
-		for _, col := range [4][]byte{lebytes.U8(a.Kind), lebytes.Bool(a.Candidate),
-			lebytes.Bool(a.EverRead), lebytes.I32(a.Resolve)} {
+		for _, col := range [5][]byte{lebytes.U8(a.Kind), lebytes.Bool(a.Candidate),
+			lebytes.Bool(a.EverRead), lebytes.U8(a.Ineff), lebytes.I32(a.Resolve)} {
 			if _, err := bw.Write(col); err != nil {
 				return err
 			}
@@ -131,6 +143,12 @@ func (c profileCodec) Encode(w io.Writer, v any) error {
 			return err
 		}
 	}
+	for i, k := range a.Ineff {
+		buf[i] = byte(k)
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
 	rbuf := make([]byte, 4*n)
 	for i, r := range a.Resolve {
 		binary.LittleEndian.PutUint32(rbuf[i*4:], uint32(r))
@@ -150,7 +168,7 @@ func (c profileCodec) EncodeSizeHint(v any) int {
 	if !ok || res.Trace == nil || !res.Trace.Linked {
 		return 0
 	}
-	return int(res.Trace.LinkedSize()) + 7*res.Trace.Len() + 4096
+	return int(res.Trace.LinkedSize()) + 8*res.Trace.Len() + 4096
 }
 
 func (c profileCodec) Decode(payload []byte) (any, int64, error) {
@@ -172,6 +190,13 @@ func (c profileCodec) Decode(payload []byte) (any, int64, error) {
 		return nil, 0, fmt.Errorf("core: profile decode: header: %w", err)
 	}
 	off += int(hlen)
+	if h.Version != profileCodecVersion {
+		// A different format generation (including pre-versioning entries,
+		// which decode with Version 0) is stale, not corrupt: the caller
+		// deletes the entry and rebuilds through the ordinary build path.
+		return nil, 0, fmt.Errorf("core: profile decode: stale codec version %d, want %d",
+			h.Version, profileCodecVersion)
+	}
 	if h.Bench == "" {
 		return nil, 0, fmt.Errorf("core: profile decode: empty benchmark name")
 	}
@@ -204,11 +229,12 @@ func (c profileCodec) Decode(payload []byte) (any, int64, error) {
 	}
 	off += int(tlen)
 	n := tr.Len()
-	if len(payload)-off != 3*n+4*n {
-		return nil, 0, fmt.Errorf("core: profile decode: analysis section is %d bytes, want %d", len(payload)-off, 7*n)
+	if len(payload)-off != 4*n+4*n {
+		return nil, 0, fmt.Errorf("core: profile decode: analysis section is %d bytes, want %d", len(payload)-off, 8*n)
 	}
 	kind := make([]deadness.Kind, n)
 	bools := [2][]bool{make([]bool, n), make([]bool, n)}
+	ineff := make([]deadness.IneffKind, n)
 	resolve := make([]int32, n)
 	if lebytes.Little {
 		copy(lebytes.U8(kind), payload[off:off+n])
@@ -220,6 +246,8 @@ func (c profileCodec) Decode(payload []byte) (any, int64, error) {
 			copy(lebytes.Bool(col), payload[off:off+n])
 			off += n
 		}
+		copy(lebytes.U8(ineff), payload[off:off+n])
+		off += n
 		copy(lebytes.I32(resolve), payload[off:off+4*n])
 	} else {
 		for i, b := range payload[off : off+n] {
@@ -235,11 +263,15 @@ func (c profileCodec) Decode(payload []byte) (any, int64, error) {
 			}
 			off += n
 		}
+		for i, b := range payload[off : off+n] {
+			ineff[i] = deadness.IneffKind(b)
+		}
+		off += n
 		for i := range resolve {
 			resolve[i] = int32(binary.LittleEndian.Uint32(payload[off+i*4:]))
 		}
 	}
-	a, err := deadness.Restore(n, kind, bools[0], bools[1], resolve)
+	a, err := deadness.Restore(n, kind, bools[0], bools[1], resolve, ineff)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,7 +1,7 @@
 // Package core is the facade tying the substrates together: it runs a
 // workload through the emulator, the deadness oracle, the dead-instruction
 // predictor, and the pipeline timing model, and exposes one driver per
-// experiment (E1-E18) of DESIGN.md's experiment index.
+// experiment (E1-E21) of DESIGN.md's experiment index.
 package core
 
 import (

@@ -109,7 +109,7 @@ func TestSuiteNames(t *testing.T) {
 func TestExperimentDispatch(t *testing.T) {
 	w := NewWorkspace(testBudget)
 	ids := ExperimentIDs()
-	if len(ids) != 18 {
+	if len(ids) != 21 {
 		t.Fatalf("experiment ids = %v", ids)
 	}
 	if _, err := w.RunExperiment(context.Background(), "bogus"); err == nil {

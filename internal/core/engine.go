@@ -272,6 +272,12 @@ func (w *Workspace) dispatch(ctx context.Context, id string) (*Experiment, error
 		return w.E17(ctx)
 	case "e18":
 		return w.E18(ctx)
+	case "e19":
+		return w.E19(ctx)
+	case "e20":
+		return w.E20(ctx)
+	case "e21":
+		return w.E21(ctx)
 	}
 	return nil, fmt.Errorf("core: unknown experiment %q", id)
 }

@@ -41,7 +41,7 @@ type Experiment struct {
 // ExperimentIDs lists the reproduced experiments in order.
 func ExperimentIDs() []string {
 	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-		"e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
+		"e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21"}
 }
 
 // E1 measures the dynamic dead-instruction fraction of every benchmark and

@@ -23,7 +23,9 @@ import (
 // strict: version, CRC, and exact length all must match, so a payload
 // from a different build of the code rebuilds instead of mis-decoding.
 const (
-	resultCodecVersion = 1
+	// Version history: 1 had a 25-field machine column; 2 appended the six
+	// clustering counters. Old entries fail the version check and rebuild.
+	resultCodecVersion = 2
 	resultHeaderSize   = 1 + 4 // version byte + CRC-32C of the body
 )
 
@@ -139,13 +141,13 @@ func (predEvalCodec) Decode(payload []byte) (any, int64, error) {
 	return r, predEvalSize, nil
 }
 
-// machineCodec persists pipeline.Stats as a fixed 25-field u64 column.
+// machineCodec persists pipeline.Stats as a fixed 31-field u64 column.
 // The field order below is part of the format: changing pipeline.Stats
 // requires updating both column functions and bumping resultCodecVersion
 // — TestResultCodecsCoverEveryField catches a field added without one.
 type machineCodec struct{}
 
-const machineFields = 25
+const machineFields = 31
 
 func machineStatsColumn(st pipeline.Stats) [machineFields]uint64 {
 	cacheCol := func(c cache.Stats) [4]uint64 {
@@ -165,6 +167,9 @@ func machineStatsColumn(st pipeline.Stats) [machineFields]uint64 {
 		uint64(st.Eliminated), uint64(st.DeadPredictions), uint64(st.DeadMispredicts),
 		uint64(st.StallFreeList), uint64(st.StallIQ), uint64(st.StallLSQ),
 		uint64(st.StallROB), uint64(st.StallRecovery),
+		uint64(st.ClusterCommitted[0]), uint64(st.ClusterCommitted[1]),
+		uint64(st.ClusterOccupancy[0]), uint64(st.ClusterOccupancy[1]),
+		uint64(st.SteeredNarrow), uint64(st.SteerMispredicts),
 	}
 }
 
@@ -179,12 +184,15 @@ func machineStatsFromColumn(col [machineFields]uint64) pipeline.Stats {
 		Cycles: int64(col[0]), Committed: int64(col[1]),
 		PhysAllocs: int64(col[2]), PhysFrees: int64(col[3]),
 		RFReads: int64(col[4]), RFWrites: int64(col[5]),
-		Cache:   cacheStats(col[6:10]),
-		L2:      cacheStats(col[10:14]),
+		Cache:             cacheStats(col[6:10]),
+		L2:                cacheStats(col[10:14]),
 		BranchMispredicts: int64(col[14]), BTBMisses: int64(col[15]), ReturnMispredicts: int64(col[16]),
 		Eliminated: int64(col[17]), DeadPredictions: int64(col[18]), DeadMispredicts: int64(col[19]),
 		StallFreeList: int64(col[20]), StallIQ: int64(col[21]), StallLSQ: int64(col[22]),
 		StallROB: int64(col[23]), StallRecovery: int64(col[24]),
+		ClusterCommitted: [2]int64{int64(col[25]), int64(col[26])},
+		ClusterOccupancy: [2]int64{int64(col[27]), int64(col[28])},
+		SteeredNarrow:    int64(col[29]), SteerMispredicts: int64(col[30]),
 	}
 }
 

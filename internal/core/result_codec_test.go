@@ -23,6 +23,10 @@ func fillDistinct(v reflect.Value, next *int) {
 			}
 			fillDistinct(f, next)
 		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillDistinct(v.Index(i), next)
+		}
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
 		*next++
 		v.SetInt(int64(1000 + *next))

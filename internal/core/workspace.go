@@ -233,6 +233,15 @@ func (w *Workspace) EncodedArtifact(key artifact.Key) ([]byte, error) {
 	return w.artifacts().EncodedArtifact(key)
 }
 
+// EncodedArtifactFrame serves the daemon's artifact GET endpoint: the
+// CRC-framed wire image for a completed artifact, served zero-copy from
+// the disk tier's mapped entry file when the artifact is spilled
+// (spilled=true) and encoded fresh from the resident tier otherwise.
+// Call release exactly once after the bytes are written out.
+func (w *Workspace) EncodedArtifactFrame(key artifact.Key) (framed []byte, release func(), spilled bool, err error) {
+	return w.artifacts().EncodedFrame(key)
+}
+
 // InstallArtifact serves the daemon's artifact PUT endpoint: decode an
 // encoded payload pushed by a peer and install it as if built locally.
 func (w *Workspace) InstallArtifact(key artifact.Key, payload []byte) error {

@@ -62,6 +62,72 @@ func (k Kind) String() string {
 // Dead reports whether the kind is one of the dead classes.
 func (k Kind) Dead() bool { return k != Live }
 
+// IneffKind classifies one dynamic instruction instance along the
+// *ineffectuality* axis, which generalizes deadness: a dead instruction's
+// result is never useful, while an ineffectual one computes something the
+// machine state already held. The two taxonomies are deliberately
+// orthogonal columns — Kind is the paper's oracle, pinned bit-identical
+// across refactors, and IneffKind is the generalized fact layered beside
+// it (a record can be both, e.g. a dead silent store).
+type IneffKind uint8
+
+const (
+	// IneffNone means the record is not provably ineffectual.
+	IneffNone IneffKind = iota
+	// SilentStore means the store wrote the value its bytes already held.
+	SilentStore
+	// TrivialOp means the result provably equals one of the instruction's
+	// register source values (x+0, x|0, x&x, mov-self, mul-by-1/0).
+	TrivialOp
+)
+
+func (k IneffKind) String() string {
+	switch k {
+	case IneffNone:
+		return "none"
+	case SilentStore:
+		return "silent-store"
+	case TrivialOp:
+		return "trivial-op"
+	}
+	return fmt.Sprintf("ineff(%d)", uint8(k))
+}
+
+// Ineffectual reports whether the kind is one of the ineffectual classes.
+func (k IneffKind) Ineffectual() bool { return k != IneffNone }
+
+// classifyIneff is the one policy that turns the emulator's raw
+// value-equality hints into an ineffectuality class. All three forward
+// walks (Stream.Chunk, Analyze, the sharded shard walk) call exactly this
+// function per record, so the three paths cannot disagree: the input is
+// purely record-local (op flags, destination, hint bits), never
+// cross-record state.
+func classifyIneff(f isa.OpFlags, rd isa.Reg, h uint8) IneffKind {
+	if h == 0 {
+		return IneffNone
+	}
+	if f&isa.FlagStore != 0 {
+		if h&trace.HintSilentStore != 0 {
+			return SilentStore
+		}
+		return IneffNone
+	}
+	if f&(isa.FlagHasDest|isa.FlagControl|isa.FlagLoad) != isa.FlagHasDest || rd == isa.RZero {
+		return IneffNone
+	}
+	eq := uint8(0)
+	if f&isa.FlagReadsRs1 != 0 {
+		eq |= trace.HintResultEqRs1
+	}
+	if f&isa.FlagReadsRs2 != 0 {
+		eq |= trace.HintResultEqRs2
+	}
+	if h&eq != 0 {
+		return TrivialOp
+	}
+	return IneffNone
+}
+
 // unresolved is the internal Resolve sentinel used while the forward pass
 // runs: a streaming analysis cannot pre-fill "trace length" because the
 // length is unknown until the last chunk arrives. finish rewrites every
@@ -89,6 +155,9 @@ type Analysis struct {
 	// outcome: the overwriting write (dead) or the first read (read).
 	// Records resolved only by the end of the trace get the trace length.
 	Resolve []int32
+	// Ineff classifies each record along the ineffectuality axis
+	// (silent stores, trivial ops), orthogonal to Kind.
+	Ineff []IneffKind
 
 	// candidates is the number of true entries in Candidate, counted once
 	// during classification.
@@ -101,7 +170,7 @@ func (a *Analysis) Candidates() int { return a.candidates }
 // SizeBytes estimates the memory the analysis retains (its per-record
 // fact arrays), for artifact-cache byte accounting.
 func (a *Analysis) SizeBytes() int64 {
-	return int64(cap(a.Kind) + cap(a.Candidate) + cap(a.EverRead) + cap(a.Resolve)*4)
+	return int64(cap(a.Kind) + cap(a.Candidate) + cap(a.EverRead) + cap(a.Resolve)*4 + cap(a.Ineff))
 }
 
 // Restore reconstructs a finished Analysis from its serialized fact
@@ -110,18 +179,26 @@ func (a *Analysis) SizeBytes() int64 {
 // equal lengths, valid kinds, non-candidates classified Live, and every
 // resolve point in [1, n] (the sentinel never survives finish). The
 // candidate count is recomputed rather than trusted.
-func Restore(n int, kind []Kind, candidate, everRead []bool, resolve []int32) (*Analysis, error) {
-	if len(kind) != n || len(candidate) != n || len(everRead) != n || len(resolve) != n {
-		return nil, fmt.Errorf("deadness: restore: array lengths %d/%d/%d/%d, want %d",
-			len(kind), len(candidate), len(everRead), len(resolve), n)
+func Restore(n int, kind []Kind, candidate, everRead []bool, resolve []int32, ineff []IneffKind) (*Analysis, error) {
+	if len(kind) != n || len(candidate) != n || len(everRead) != n || len(resolve) != n || len(ineff) != n {
+		return nil, fmt.Errorf("deadness: restore: array lengths %d/%d/%d/%d/%d, want %d",
+			len(kind), len(candidate), len(everRead), len(resolve), len(ineff), n)
 	}
 	candidates := 0
 	for i := 0; i < n; i++ {
 		if kind[i] > Transitive {
 			return nil, fmt.Errorf("deadness: restore: record %d: invalid kind %d", i, uint8(kind[i]))
 		}
+		if ineff[i] > TrivialOp {
+			return nil, fmt.Errorf("deadness: restore: record %d: invalid ineff kind %d", i, uint8(ineff[i]))
+		}
 		if !candidate[i] && kind[i] != Live {
 			return nil, fmt.Errorf("deadness: restore: record %d: non-candidate classified %v", i, kind[i])
+		}
+		if !candidate[i] && ineff[i] != IneffNone {
+			// Silent stores are stores and trivial ops are non-control
+			// register writers; both are candidates by construction.
+			return nil, fmt.Errorf("deadness: restore: record %d: non-candidate classified %v", i, ineff[i])
 		}
 		if resolve[i] < 1 || resolve[i] > int32(n) {
 			return nil, fmt.Errorf("deadness: restore: record %d: resolve point %d out of range", i, resolve[i])
@@ -135,6 +212,7 @@ func Restore(n int, kind []Kind, candidate, everRead []bool, resolve []int32) (*
 		Candidate:  candidate,
 		EverRead:   everRead,
 		Resolve:    resolve,
+		Ineff:      ineff,
 		candidates: candidates,
 	}, nil
 }
@@ -163,6 +241,7 @@ func newAnalysis(n int) *Analysis {
 		Candidate: make([]bool, n),
 		EverRead:  make([]bool, n),
 		Resolve:   make([]int32, n),
+		Ineff:     make([]IneffKind, n),
 	}
 }
 
@@ -198,6 +277,7 @@ func NewStream(hint int) *Stream {
 			Candidate: make([]bool, 0, hint),
 			EverRead:  make([]bool, 0, hint),
 			Resolve:   make([]int32, 0, hint),
+			Ineff:     make([]IneffKind, 0, hint),
 		},
 		memWriter: trace.NewWriterMap(),
 	}
@@ -227,11 +307,13 @@ func (s *Stream) Chunk(c *trace.Chunk) error {
 		a.Candidate = append(make([]bool, 0, newCap), a.Candidate...)
 		a.EverRead = append(make([]bool, 0, newCap), a.EverRead...)
 		a.Resolve = append(make([]int32, 0, newCap), a.Resolve...)
+		a.Ineff = append(make([]IneffKind, 0, newCap), a.Ineff...)
 	}
 	a.Kind = a.Kind[:end]
 	a.Candidate = a.Candidate[:end]
 	a.EverRead = a.EverRead[:end]
 	a.Resolve = a.Resolve[:end]
+	a.Ineff = a.Ineff[:end]
 	// The zero value of every column is the initial state (Live,
 	// non-candidate, unread, unresolved), so bulk clears replace the
 	// old element-wise init loop.
@@ -239,6 +321,7 @@ func (s *Stream) Chunk(c *trace.Chunk) error {
 	clear(a.Candidate[base:end])
 	clear(a.EverRead[base:end])
 	clear(a.Resolve[base:end])
+	clear(a.Ineff[base:end])
 
 	c.BeginLink()
 	// Slice every column to the chunk length once so the loop body indexes
@@ -248,10 +331,15 @@ func (s *Stream) Chunk(c *trace.Chunk) error {
 	op, rd, rs1, rs2 := c.Op[:cn], c.Rd[:cn], c.Rs1[:cn], c.Rs2[:cn]
 	memIdx := c.MemIdx[:cn]
 	src1, src2 := c.Src1[:cn], c.Src2[:cn]
+	hints := c.Ineff[:cn]
 	resolve, everRead, cand := a.Resolve, a.EverRead, a.Candidate
+	ineff := a.Ineff
 	for i := 0; i < cn; i++ {
 		seq := int32(base + i)
 		f := op[i].Flags()
+		if h := hints[i]; h != 0 {
+			ineff[seq] = classifyIneff(f, rd[i], h)
+		}
 		s1, s2 := trace.NoProducer, trace.NoProducer
 		if f&isa.FlagReadsRs1 != 0 && rs1[i] != isa.RZero {
 			if s1 = s.regWriter[rs1[i]]; s1 != trace.NoProducer {
@@ -359,6 +447,9 @@ func Analyze(t *trace.Trace) (*Analysis, error) {
 				a.markRead(p, seq)
 			}
 			o := c.Op[i]
+			if h := c.Ineff[i]; h != 0 {
+				a.Ineff[seq] = classifyIneff(o.Flags(), c.Rd[i], h)
+			}
 			if o.IsStore() {
 				a.Candidate[seq] = true
 				mi := c.MemIdx[i]
@@ -484,6 +575,15 @@ type Summary struct {
 	DeadLoads  int
 	DeadStores int
 
+	// Ineffectuality classes, orthogonal to the dead counts above: a
+	// record can be both (e.g. a dead silent store), so these do not sum
+	// with Dead.
+	SilentStores int // stores that rewrote the bytes already in memory
+	TrivialOps   int // results provably equal to a source value
+	// Stores counts all dynamic stores, the denominator for the
+	// silent-store rate.
+	Stores int
+
 	// ByProv attributes dynamic candidates and dead instances to the
 	// compiler transformation that emitted the static instruction.
 	ByProv [program.NumProvenances]ProvCount
@@ -493,6 +593,9 @@ type Summary struct {
 type ProvCount struct {
 	Dyn  int // candidate instances
 	Dead int
+	// Silent and Trivial are the provenance's ineffectual instances.
+	Silent  int
+	Trivial int
 }
 
 // DeadFraction is dead candidates over all dynamic instructions, the
@@ -502,6 +605,16 @@ func (s Summary) DeadFraction() float64 {
 		return 0
 	}
 	return float64(s.Dead) / float64(s.Total)
+}
+
+// IneffFraction is ineffectual instances (silent stores plus trivial
+// ops) over all dynamic instructions — the generalized counterpart of
+// DeadFraction.
+func (s Summary) IneffFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.SilentStores+s.TrivialOps) / float64(s.Total)
 }
 
 // Summarize aggregates the analysis. prog supplies provenance; it may be
@@ -518,11 +631,22 @@ func (a *Analysis) Summarize(t *trace.Trace, prog *program.Program) Summary {
 				continue
 			}
 			s.Candidates++
+			if c.Op[i].IsStore() {
+				s.Stores++
+			}
 			prov := program.ProvNormal
 			if prog != nil {
 				prov = prog.ProvenanceOf(int(c.PC[i]))
 			}
 			s.ByProv[prov].Dyn++
+			switch a.Ineff[seq] {
+			case SilentStore:
+				s.SilentStores++
+				s.ByProv[prov].Silent++
+			case TrivialOp:
+				s.TrivialOps++
+				s.ByProv[prov].Trivial++
+			}
 			if !a.Kind[seq].Dead() {
 				continue
 			}

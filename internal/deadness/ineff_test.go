@@ -1,0 +1,361 @@
+package deadness_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/deadness"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// ineffAtPC returns the IneffKind of the n-th dynamic instance of static
+// pc (n is zero-based).
+func ineffAtPC(t *testing.T, tr *trace.Trace, a *deadness.Analysis, pc, n int) deadness.IneffKind {
+	t.Helper()
+	for seq := 0; seq < tr.Len(); seq++ {
+		if int(tr.PCAt(seq)) == pc {
+			if n == 0 {
+				return a.Ineff[seq]
+			}
+			n--
+		}
+	}
+	t.Fatalf("instance %d of pc %d not in trace", n, pc)
+	return deadness.IneffNone
+}
+
+func TestSilentStoreDetected(t *testing.T) {
+	tr, a, p := analyzeSrc(t, `
+.data
+buf: .space 8
+.text
+main:
+    la   r1, buf
+    addi r2, r0, 7
+    sd   r2, 0(r1)    # 2: memory held 0, writes 7 -> not silent
+    sd   r2, 0(r1)    # 3: rewrites 7 over 7 -> silent
+    sd   r0, 8(r1)    # 4: writes 0 over fresh zeroed memory -> silent
+    ld   r3, 0(r1)
+    out  r3
+    halt
+`)
+	if got := ineffAtPC(t, tr, a, 2, 0); got != deadness.IneffNone {
+		t.Errorf("first store = %v, want none", got)
+	}
+	if got := ineffAtPC(t, tr, a, 3, 0); got != deadness.SilentStore {
+		t.Errorf("same-value store = %v, want silent-store", got)
+	}
+	if got := ineffAtPC(t, tr, a, 4, 0); got != deadness.SilentStore {
+		t.Errorf("zero-over-zero store = %v, want silent-store", got)
+	}
+	s := a.Summarize(tr, p)
+	if s.SilentStores != 2 || s.Stores != 3 {
+		t.Errorf("summary silent/stores = %d/%d, want 2/3", s.SilentStores, s.Stores)
+	}
+}
+
+func TestTrivialOpsDetected(t *testing.T) {
+	tr, a, p := analyzeSrc(t, `
+main:
+    addi r1, r0, 5    # 0: result 5 != rs1 value 0 -> none
+    add  r2, r1, r0   # 1: x+0 -> trivial
+    or   r3, r1, r0   # 2: x|0 -> trivial
+    and  r4, r1, r1   # 3: x&x -> trivial
+    addi r5, r0, 1    # 4: none
+    mul  r6, r1, r5   # 5: x*1 -> trivial
+    mul  r7, r1, r0   # 6: x*0 == r0's value -> trivial
+    add  r7, r1, r5   # 7: 5+1 -> none
+    out  r7
+    halt
+`)
+	want := map[int]deadness.IneffKind{
+		0: deadness.IneffNone,
+		1: deadness.TrivialOp,
+		2: deadness.TrivialOp,
+		3: deadness.TrivialOp,
+		4: deadness.IneffNone,
+		5: deadness.TrivialOp,
+		6: deadness.TrivialOp,
+		7: deadness.IneffNone,
+	}
+	for pc, w := range want {
+		if got := ineffAtPC(t, tr, a, pc, 0); got != w {
+			t.Errorf("pc %d = %v, want %v", pc, got, w)
+		}
+	}
+	if s := a.Summarize(tr, p); s.TrivialOps != 5 {
+		t.Errorf("summary trivial ops = %d, want 5", s.TrivialOps)
+	}
+}
+
+func TestTrivialOpIsValueDriven(t *testing.T) {
+	// The same static x+r2 instruction flips between trivial and
+	// effectual as r2's runtime value changes — ineffectuality is a
+	// dynamic fact, not a static pattern match.
+	tr, a, _ := analyzeSrc(t, `
+main:
+    addi r1, r0, 9
+    addi r2, r0, 0
+    add  r3, r1, r2   # 2, instance 0: r2 == 0 -> trivial
+    addi r2, r0, 4
+    add  r3, r1, r2   # 4 (same shape, different pc): r2 == 4 -> none
+    out  r3
+    halt
+`)
+	if got := ineffAtPC(t, tr, a, 2, 0); got != deadness.TrivialOp {
+		t.Errorf("x+0 instance = %v, want trivial-op", got)
+	}
+	if got := ineffAtPC(t, tr, a, 4, 0); got != deadness.IneffNone {
+		t.Errorf("x+4 instance = %v, want none", got)
+	}
+}
+
+// TestIneffOrthogonalToDeadness pins that the two fact columns are
+// independent: a silent store can be live (its value is later loaded) and
+// a trivial op can be dead (its result is never read).
+func TestIneffOrthogonalToDeadness(t *testing.T) {
+	tr, a, _ := analyzeSrc(t, `
+.data
+buf: .space 8
+.text
+main:
+    la   r1, buf
+    addi r2, r0, 3
+    sd   r2, 0(r1)    # 2: live store, not silent
+    sd   r2, 0(r1)    # 3: silent AND live (load below reads it)
+    ld   r4, 0(r1)    # 4
+    add  r5, r4, r0   # 5: trivial AND dead (r5 never read)
+    out  r4
+    halt
+`)
+	if k, in := kindAtPC(t, tr, a, 3), ineffAtPC(t, tr, a, 3, 0); k != deadness.Live || in != deadness.SilentStore {
+		t.Errorf("silent live store: kind=%v ineff=%v, want live/silent-store", k, in)
+	}
+	if k, in := kindAtPC(t, tr, a, 5), ineffAtPC(t, tr, a, 5, 0); !k.Dead() || in != deadness.TrivialOp {
+		t.Errorf("dead trivial op: kind=%v ineff=%v, want dead/trivial-op", k, in)
+	}
+}
+
+// collectRawSrc assembles src and emulates it into an unlinked columnar
+// trace, so each analysis path below can run on its own clone.
+func collectRawSrc(t *testing.T, src string, budget int) *trace.Trace {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := emu.New(p)
+	tr := &trace.Trace{}
+	if err := m.Run(budget, tr.Push); err != nil && !errors.Is(err, emu.ErrBudget) {
+		t.Fatalf("run: %v", err)
+	}
+	return tr
+}
+
+// TestIneffChainAcrossChunkBoundary runs a loop long enough that its
+// silent stores and x+0 trivial chains span multiple trace chunks, and
+// requires the serial, sharded, and per-instance facts to agree — the
+// chunk seam must be invisible to the ineffectuality column.
+func TestIneffChainAcrossChunkBoundary(t *testing.T) {
+	// 7 instructions per iteration; 1400 iterations ≈ 9800 records,
+	// crossing the 8192-record chunk boundary mid-loop.
+	const iters = 1400
+	src := `
+.data
+buf: .space 8
+.text
+main:
+    la   r1, buf
+    addi r2, r0, 9
+    sd   r2, 0(r1)       # prime memory: loop stores rewrite 9 over 9
+    addi r4, r0, ` + itoa(iters) + `
+loop:
+    sd   r2, 0(r1)       # 4: silent every iteration
+    add  r5, r2, r0      # 5: x+0 chain head
+    add  r6, r5, r0      # 6: chain link, also trivial
+    add  r7, r6, r0      # 7: chain tail, also trivial
+    addi r4, r4, -1
+    bne  r4, r0, loop
+    out  r7
+    halt
+`
+	raw := collectRawSrc(t, src, 20_000)
+	if raw.NumChunks() < 2 {
+		t.Fatalf("trace has %d chunks; loop too short to cross a boundary", raw.NumChunks())
+	}
+
+	serialTr := raw.Clone()
+	serial, err := deadness.LinkAndAnalyze(serialTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every dynamic instance of the loop body classifies, on both sides
+	// of the chunk seam.
+	silent, trivial := 0, 0
+	for seq := 0; seq < serialTr.Len(); seq++ {
+		switch pc := serialTr.PCAt(seq); pc {
+		case 4:
+			if serial.Ineff[seq] != deadness.SilentStore {
+				t.Fatalf("seq %d (loop store): %v, want silent-store", seq, serial.Ineff[seq])
+			}
+			silent++
+		case 5, 6, 7:
+			if serial.Ineff[seq] != deadness.TrivialOp {
+				t.Fatalf("seq %d (chain pc %d): %v, want trivial-op", seq, pc, serial.Ineff[seq])
+			}
+			trivial++
+		}
+	}
+	if silent != iters || trivial != 3*iters {
+		t.Errorf("instances: silent=%d trivial=%d, want %d/%d", silent, trivial, iters, 3*iters)
+	}
+
+	for _, shards := range []int{1, 3, 64} {
+		tr := raw.Clone()
+		a, err := deadness.LinkAndAnalyzeSharded(tr, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Ineff, serial.Ineff) {
+			t.Errorf("shards=%d: Ineff column diverges from serial", shards)
+		}
+		if !reflect.DeepEqual(a.Kind, serial.Kind) {
+			t.Errorf("shards=%d: Kind column diverges from serial", shards)
+		}
+	}
+}
+
+// randIneffRecords generates a random well-formed record stream with
+// random emulator-producible hint bits: ALU ops with result-equality
+// hints, stores with silent-store hints, loads, and branches. The hints
+// are adversarial inputs to classification, not required to be mutually
+// consistent with the values — classification must be a pure function of
+// the record either way.
+func randIneffRecords(rng *rand.Rand, n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		pc := int32(rng.Intn(97))
+		rd := isa.Reg(1 + rng.Intn(7))
+		rs1 := isa.Reg(rng.Intn(8))
+		rs2 := isa.Reg(rng.Intn(8))
+		r := trace.Record{PC: pc, Rd: rd, Rs1: rs1, Rs2: rs2}
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			r.Op = isa.ADD
+			if rng.Intn(3) == 0 {
+				r.Ineff |= trace.HintResultEqRs1
+			}
+			if rng.Intn(3) == 0 {
+				r.Ineff |= trace.HintResultEqRs2
+			}
+		case 3, 4:
+			r.Op = isa.ADDI
+			if rng.Intn(3) == 0 {
+				r.Ineff = trace.HintResultEqRs1
+			}
+		case 5, 6:
+			r.Op = isa.SD
+			r.Addr = uint64(0x1000 + 8*rng.Intn(101))
+			r.Width = 8
+			if rng.Intn(2) == 0 {
+				r.Ineff = trace.HintSilentStore
+			}
+		case 7:
+			r.Op = isa.SW
+			r.Addr = uint64(0x1000 + 4*rng.Intn(211))
+			r.Width = 4
+			if rng.Intn(2) == 0 {
+				r.Ineff = trace.HintSilentStore
+			}
+		case 8:
+			r.Op = isa.LD
+			r.Addr = uint64(0x1000 + 8*rng.Intn(101))
+			r.Width = 8
+		case 9:
+			r.Op = isa.BNE
+			r.Taken = rng.Intn(2) == 0
+		}
+		r.NextPC = int32((i + 1) % 97)
+		recs[i] = r
+	}
+	return recs
+}
+
+// TestIneffShardedMatchesSerialRandom is the randomized property guard:
+// for random traces with random hint bits, at lengths straddling chunk
+// boundaries, the sharded pass must reproduce every serial fact column —
+// including Ineff — at every shard count.
+func TestIneffShardedMatchesSerialRandom(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	totalIneff := 0
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(9200 + seed)))
+		n := 1 + rng.Intn(3*trace.ChunkSize)
+		if rng.Intn(4) == 0 {
+			// Force an exact chunk-multiple length: the cut lands on a
+			// shard boundary.
+			n = trace.ChunkSize * (1 + rng.Intn(3))
+		}
+		recs := randIneffRecords(rng, n)
+
+		serialTr := trace.FromRecords(recs)
+		serial, err := deadness.LinkAndAnalyze(serialTr)
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		for _, k := range serial.Ineff {
+			if k.Ineffectual() {
+				totalIneff++
+			}
+		}
+
+		for _, shards := range []int{1, 2, 5, 64} {
+			tr := trace.FromRecords(recs)
+			a, err := deadness.LinkAndAnalyzeSharded(tr, shards)
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+			}
+			if !reflect.DeepEqual(a.Ineff, serial.Ineff) {
+				t.Fatalf("seed %d shards %d: Ineff diverges", seed, shards)
+			}
+			if !reflect.DeepEqual(a.Kind, serial.Kind) {
+				t.Fatalf("seed %d shards %d: Kind diverges", seed, shards)
+			}
+			if !reflect.DeepEqual(a.Candidate, serial.Candidate) {
+				t.Fatalf("seed %d shards %d: Candidate diverges", seed, shards)
+			}
+			if !reflect.DeepEqual(a.EverRead, serial.EverRead) {
+				t.Fatalf("seed %d shards %d: EverRead diverges", seed, shards)
+			}
+			if !reflect.DeepEqual(a.Resolve, serial.Resolve) {
+				t.Fatalf("seed %d shards %d: Resolve diverges", seed, shards)
+			}
+		}
+	}
+	if totalIneff == 0 {
+		t.Fatal("no ineffectual instances across all seeds; property test is vacuous")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -110,6 +110,7 @@ type shardState struct {
 	cand     []bool
 	everRead []bool
 	resolve  []int32
+	ineff    []IneffKind
 	fixups   []fixup
 	prevBuf  []int32
 	err      error
@@ -239,6 +240,7 @@ func (ss *ShardedStream) Finish(t *trace.Trace) (*Analysis, error) {
 		copy(a.Candidate[st.base:], st.cand)
 		copy(a.EverRead[st.base:], st.everRead)
 		copy(a.Resolve[st.base:], st.resolve)
+		copy(a.Ineff[st.base:], st.ineff)
 	}
 	ss.reconcile(a)
 	ss.Close()
@@ -257,20 +259,30 @@ func (st *shardState) chunk(c *trace.Chunk) error {
 	st.cand = slices.Grow(st.cand, cn)[:end]
 	st.everRead = slices.Grow(st.everRead, cn)[:end]
 	st.resolve = slices.Grow(st.resolve, cn)[:end]
+	st.ineff = slices.Grow(st.ineff, cn)[:end]
 	clear(st.cand[off:end])
 	clear(st.everRead[off:end])
 	clear(st.resolve[off:end])
+	clear(st.ineff[off:end])
 
 	c.BeginLink()
 	op, rd, rs1, rs2 := c.Op[:cn], c.Rd[:cn], c.Rs1[:cn], c.Rs2[:cn]
 	memIdx := c.MemIdx[:cn]
 	src1, src2 := c.Src1[:cn], c.Src2[:cn]
+	hints := c.Ineff[:cn]
 	resolve, everRead, cand := st.resolve, st.everRead, st.cand
+	ineff := st.ineff
 	lo := int32(st.base)
 	for i := 0; i < cn; i++ {
 		seq := int32(base + i)
 		li := off + i
 		f := op[i].Flags()
+		// Ineffectuality classification is record-local (no cross-shard
+		// state), so the shard applies the shared policy directly — no
+		// boundary fixup can ever be needed for it.
+		if h := hints[i]; h != 0 {
+			ineff[li] = classifyIneff(f, rd[i], h)
+		}
 		s1, s2 := trace.NoProducer, trace.NoProducer
 		if f&isa.FlagReadsRs1 != 0 && rs1[i] != isa.RZero {
 			if s1 = st.regWriter[rs1[i]]; s1 != trace.NoProducer {

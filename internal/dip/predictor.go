@@ -41,6 +41,11 @@ const (
 	// FlavorStaticHint is the profile-guided per-instruction hint
 	// baseline (see StaticHintResult).
 	FlavorStaticHint = "statichint"
+	// FlavorSteer is the cluster-steering predictor: a per-PC binary
+	// predictor (a bpred direction predictor reinterpreted over
+	// ineffectuality outcomes) deciding which instances route to the
+	// narrow degraded cluster (see steer).
+	FlavorSteer = "steer"
 )
 
 // DefaultDirName is the registered name of the direction predictor used
@@ -75,6 +80,7 @@ var flavors = map[string]func(Spec) (Predictor, error){
 	FlavorCounter:    newEvalPredictor,
 	FlavorOracle:     newEvalPredictor,
 	FlavorStaticHint: func(s Spec) (Predictor, error) { return staticHint{s.TrainFrac, s.HintThreshold}, nil },
+	FlavorSteer:      newSteer,
 }
 
 // Flavors lists the registered flavor names, sorted.
@@ -91,7 +97,8 @@ func Flavors() []string {
 // digests: the default direction predictor is named explicitly, a
 // counter flavor zeroes the (unused) path length, a CFI spec whose
 // geometry disables path signatures *is* the counter flavor, and the
-// static-hint flavor zeroes the table fields it ignores.
+// static-hint and steer flavors zero the fields they ignore (steer has no
+// table — its only state is the named direction predictor).
 func (s Spec) Canonical() Spec {
 	switch s.Flavor {
 	case FlavorCFI, FlavorCounter, FlavorOracle:
@@ -107,6 +114,12 @@ func (s Spec) Canonical() Spec {
 		s.TrainFrac, s.HintThreshold = 0, 0
 	case FlavorStaticHint:
 		s.Config, s.Dir = Config{}, ""
+	case FlavorSteer:
+		if s.Dir == "" {
+			s.Dir = DefaultDirName
+		}
+		s.Config = Config{}
+		s.TrainFrac, s.HintThreshold = 0, 0
 	}
 	return s
 }
@@ -126,6 +139,14 @@ func (s Spec) Validate() error {
 		}
 		if s.HintThreshold < 0 || s.HintThreshold > 1 {
 			return fmt.Errorf("dip: static-hint threshold %g outside [0, 1]", s.HintThreshold)
+		}
+		return nil
+	}
+	if s.Flavor == FlavorSteer {
+		// Steer carries no table geometry; the direction predictor is its
+		// whole configuration.
+		if _, err := bpred.NewDirByName(s.Dir); err != nil {
+			return err
 		}
 		return nil
 	}
@@ -154,6 +175,8 @@ func (s Spec) Label() string {
 	switch s.Flavor {
 	case FlavorStaticHint:
 		return fmt.Sprintf("statichint-f%g-t%g", s.TrainFrac, s.HintThreshold)
+	case FlavorSteer:
+		return "steer+" + s.Dir
 	case FlavorOracle:
 		return s.Config.Name() + "-oracle"
 	default:

@@ -113,7 +113,7 @@ func TestSpecValidate(t *testing.T) {
 }
 
 func TestFlavorsRegistry(t *testing.T) {
-	want := []string{FlavorCFI, FlavorCounter, FlavorOracle, FlavorStaticHint}
+	want := []string{FlavorCFI, FlavorCounter, FlavorOracle, FlavorStaticHint, FlavorSteer}
 	got := Flavors()
 	if len(got) != len(want) {
 		t.Fatalf("Flavors() = %v, want %d entries", got, len(want))
@@ -139,6 +139,8 @@ func TestSpecLabels(t *testing.T) {
 		{Spec{Flavor: FlavorOracle, Config: cfg}, cfg.Name() + "-oracle"},
 		{Spec{Flavor: FlavorCFI, Config: cfg, Dir: "bimodal-4k"}, cfg.Name() + "+bimodal-4k"},
 		{Spec{Flavor: FlavorStaticHint, TrainFrac: 0.5, HintThreshold: 0.9}, "statichint-f0.5-t0.9"},
+		{Spec{Flavor: FlavorSteer}, "steer+" + DefaultDirName},
+		{Spec{Flavor: FlavorSteer, Dir: "bimodal-4k"}, "steer+bimodal-4k"},
 	}
 	for _, tc := range cases {
 		if got := tc.spec.Label(); got != tc.want {

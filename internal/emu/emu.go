@@ -162,6 +162,7 @@ func (m *Machine) step(rec *trace.Record) error {
 	rec.Taken = false
 	rec.Addr, rec.Width = 0, 0
 	rec.Src1, rec.Src2, rec.NumMemSrcs = 0, 0, 0
+	rec.Ineff = 0
 	a, b := m.reg(in.Rs1), m.reg(in.Rs2)
 	imm := uint64(int64(in.Imm)) // sign-extended
 	next := m.PC + 1
@@ -228,6 +229,14 @@ func (m *Machine) step(rec *trace.Record) error {
 	case isa.SB, isa.SH, isa.SW, isa.SD:
 		w := in.Op.MemWidth()
 		addr := a + imm
+		// Silent-store observation: the emulator is the only component
+		// that sees memory values, so it records here whether the store
+		// wrote the bytes already in place. Load zero-extends the low w
+		// bytes, so masking b to the access width makes the comparison
+		// exact for every width.
+		if m.Load(addr, w) == b&widthMask(w) {
+			rec.Ineff = trace.HintSilentStore
+		}
 		m.Store(addr, w, b)
 		rec.Addr, rec.Width = addr, uint8(w)
 	case isa.BEQ:
@@ -266,10 +275,34 @@ func (m *Machine) step(rec *trace.Record) error {
 		return fmt.Errorf("emu: pc=%d: unimplemented opcode %v", m.PC, in.Op)
 	}
 
+	// Trivial-op observation: a non-control, non-load result that equals
+	// the pre-instruction value of a register source could have been
+	// satisfied by a rename-table remap (x+0, x|0, x&x, mul-by-1, and the
+	// 0*x family all land here). a and b hold the operand values read
+	// before the destination write, so rd==rs cases compare correctly.
+	if f := in.Op.Flags(); f&(isa.FlagHasDest|isa.FlagControl|isa.FlagLoad) == isa.FlagHasDest &&
+		in.Rd != isa.RZero {
+		v := m.Regs[in.Rd]
+		if f&isa.FlagReadsRs1 != 0 && v == a {
+			rec.Ineff |= trace.HintResultEqRs1
+		}
+		if f&isa.FlagReadsRs2 != 0 && v == b {
+			rec.Ineff |= trace.HintResultEqRs2
+		}
+	}
+
 	rec.NextPC = int32(next)
 	m.PC = next
 	m.Steps++
 	return nil
+}
+
+// widthMask returns the value mask of a width-byte access.
+func widthMask(w int) uint64 {
+	if w >= 8 {
+		return ^uint64(0)
+	}
+	return 1<<(8*w) - 1
 }
 
 // Run executes until HALT or until budget instructions have committed,
@@ -297,11 +330,17 @@ func (m *Machine) Run(budget int, sink func(*trace.Record)) error {
 	return nil
 }
 
-// ctxCheckMask throttles cancellation polling in RunCtx: the context is
-// consulted once per 4096 committed instructions, so an emulation aborts
-// within microseconds of cancellation while the hot loop stays free of
-// per-step channel reads.
-const ctxCheckMask = 1<<12 - 1
+// CtxCheckInterval is the cancellation poll interval of RunCtx: the
+// context is consulted once per this many committed instructions, so an
+// emulation aborts within microseconds of cancellation while the hot
+// loop stays free of per-step channel reads. It is deliberately at most
+// half a trace chunk (trace.ChunkSize), so a cancelled collection never
+// commits a full chunk past the poll that observes the cancellation —
+// the bound the service tier's drain and request-timeout paths rely on
+// (DESIGN.md §10). It must be a power of two; RunCtx masks with it.
+const CtxCheckInterval = 1 << 12
+
+const ctxCheckMask = CtxCheckInterval - 1
 
 // RunCtx is Run with cooperative cancellation: it polls ctx every few
 // thousand committed instructions and returns ctx.Err() when the context

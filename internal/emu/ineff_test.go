@@ -1,0 +1,179 @@
+package emu
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// TestIneffHintSilentStore checks that the emulator marks a store that
+// rewrites the bytes already in memory, and only that store.
+func TestIneffHintSilentStore(t *testing.T) {
+	_, tr := run(t, `
+main:
+    addi r1, r0, 4096
+    addi r2, r0, 7
+    sd   r2, 0(r1)     # first store to fresh memory...
+    sd   r2, 0(r1)     # ...then the same value again: silent
+    addi r3, r0, 9
+    sd   r3, 0(r1)     # different value: not silent
+    sw   r3, 0(r1)     # low 4 bytes already 9: silent at width 4
+    halt
+`, 1000)
+	var silents []int32
+	for i := 0; i < tr.Len(); i++ {
+		r := tr.At(i)
+		if r.Ineff&trace.HintSilentStore != 0 {
+			if !r.Op.IsStore() {
+				t.Errorf("seq %d: silent-store hint on %v", i, r.Op)
+			}
+			silents = append(silents, r.PC)
+		}
+	}
+	if len(silents) != 2 || silents[0] != 3 || silents[1] != 6 {
+		t.Errorf("silent stores at pcs %v, want [3 6]", silents)
+	}
+}
+
+// TestIneffHintSilentStoreZeroToFresh checks the boundary case the
+// zero-filled memory model creates: storing zero to untouched memory is
+// silent (the bytes were already zero).
+func TestIneffHintSilentStoreZeroToFresh(t *testing.T) {
+	_, tr := run(t, `
+main:
+    addi r1, r0, 8192
+    sd   r0, 0(r1)
+    halt
+`, 100)
+	r := tr.At(1)
+	if r.Ineff&trace.HintSilentStore == 0 {
+		t.Error("store of zero to fresh memory not marked silent")
+	}
+}
+
+// TestIneffHintTrivialOps checks the result-equals-input hints across the
+// listed trivial patterns and their non-trivial controls.
+func TestIneffHintTrivialOps(t *testing.T) {
+	_, tr := run(t, `
+main:
+    addi r1, r0, 42
+    add  r2, r1, r0    # x+0: result == rs1 value (and == rs2? 42 != 0)
+    or   r3, r1, r0    # x|0: trivial
+    and  r4, r1, r1    # x&x: trivial both sources
+    addi r5, r1, 0     # mov-self idiom: trivial
+    addi r6, r1, 1     # not trivial
+    add  r7, r1, r1    # 42+42: not trivial
+    mul  r8, r1, r0    # x*0 = 0 == rs2 value: trivial
+    halt
+`, 1000)
+	eq := trace.HintResultEqRs1 | trace.HintResultEqRs2
+	wantTrivial := map[int32]bool{1: true, 2: true, 3: true, 4: true, 7: true}
+	for i := 0; i < tr.Len(); i++ {
+		r := tr.At(i)
+		if r.Op == isa.HALT || r.PC == 0 {
+			continue
+		}
+		got := r.Ineff&eq != 0
+		if got != wantTrivial[r.PC] {
+			t.Errorf("pc %d (%v): trivial hint = %v, want %v", r.PC, r.Op, got, wantTrivial[r.PC])
+		}
+	}
+	// x&x must be flagged equal to both sources.
+	if r := tr.At(3); r.Ineff&eq != eq {
+		t.Errorf("x&x hints = %#x, want both eq bits", r.Ineff)
+	}
+}
+
+// TestIneffHintNotOnControl checks that link-writing control instructions
+// never carry trivial-op hints even when the link value collides with an
+// operand.
+func TestIneffHintNotOnControl(t *testing.T) {
+	_, tr := run(t, `
+main:
+    addi r1, r0, 1
+    jal  r2, target
+    halt
+target:
+    beq  r1, r1, back  # control: no hints regardless of operand equality
+back:
+    halt
+`, 1000)
+	for i := 0; i < tr.Len(); i++ {
+		r := tr.At(i)
+		if r.Op.IsControl() && r.Ineff != 0 {
+			t.Errorf("seq %d: control op %v carries hint %#x", i, r.Op, r.Ineff)
+		}
+	}
+}
+
+// alwaysCancelled is a context whose Err is already non-nil; its Done
+// channel is closed from the start, so RunCtx's poll observes the
+// cancellation deterministically at the first opportunity.
+func alwaysCancelled() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestRunCtxAbortLatency pins the cancellation bound the service tier
+// relies on: a cancelled RunCtx commits at most CtxCheckInterval
+// instructions past the poll that observes it — strictly under one trace
+// chunk — and the interval constant itself stays within a chunk.
+func TestRunCtxAbortLatency(t *testing.T) {
+	if CtxCheckInterval > trace.ChunkSize/2 {
+		t.Fatalf("CtxCheckInterval %d exceeds half a trace chunk (%d)", CtxCheckInterval, trace.ChunkSize)
+	}
+	if CtxCheckInterval&(CtxCheckInterval-1) != 0 {
+		t.Fatalf("CtxCheckInterval %d is not a power of two", CtxCheckInterval)
+	}
+	p, err := asm.Assemble("spin", `
+main:
+    addi r1, r0, 1
+loop:
+    add  r2, r2, r1
+    bne  r1, r0, loop
+    halt
+`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	// Pre-cancelled context: the first poll fires before anything commits.
+	m := New(p)
+	committed := 0
+	err = m.RunCtx(alwaysCancelled(), 1<<20, func(*trace.Record) { committed++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if committed != 0 {
+		t.Errorf("pre-cancelled run committed %d instructions, want 0", committed)
+	}
+
+	// Mid-run cancellation between polls: the abort lands at the next
+	// poll boundary, so the overshoot past the cancel point is bounded by
+	// one interval.
+	const cancelAt = 100
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m = New(p)
+	committed = 0
+	err = m.RunCtx(ctx, 1<<20, func(*trace.Record) {
+		committed++
+		if committed == cancelAt {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if over := committed - cancelAt; over < 0 || over > CtxCheckInterval {
+		t.Errorf("aborted run overshot the cancel point by %d instructions, want <= %d",
+			over, CtxCheckInterval)
+	}
+	if committed >= trace.ChunkSize {
+		t.Errorf("abort latency %d reached a full chunk (%d)", committed, trace.ChunkSize)
+	}
+}

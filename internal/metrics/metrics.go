@@ -63,6 +63,11 @@ const (
 	CounterServerArtifactHits   = "server_artifact_hits"
 	CounterServerArtifactMisses = "server_artifact_misses"
 	CounterServerArtifactPuts   = "server_artifact_puts"
+	// CounterServerArtifactSpillthrough counts the GET hits served straight
+	// from the disk tier's mapped entry file — the framed bytes on disk ARE
+	// the wire format, so the response skips the decode/re-encode/re-frame
+	// round trip (a subset of server_artifact_hits).
+	CounterServerArtifactSpillthrough = "server_artifact_spillthrough"
 )
 
 // Histogram names recorded by the daemon, one per endpoint under

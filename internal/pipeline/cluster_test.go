@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// ineffLoopSrc mixes steady ineffectual work (an x+0 trivial op with a
+// live consumer and a silent store) into a loop of effectual work, so a
+// steered machine has something to learn and something to keep at full
+// width.
+const ineffLoopSrc = `
+main:
+    addi r1, r0, 400
+    addi r2, r0, 0
+    addi r4, r0, 4096
+    addi r5, r0, 7
+    sd   r5, 0(r4)        # first store: not silent
+loop:
+    add  r3, r5, r2       # x+0: trivial every iteration
+    sd   r5, 0(r4)        # silent every iteration
+    out  r3
+    add  r2, r2, r1       # effectual
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    out  r2
+    halt
+`
+
+func TestClusteredMachineSteersIneffectualWork(t *testing.T) {
+	tr, a := prep(t, ineffLoopSrc, 100000)
+	cfg := ClusteredConfig()
+	st, err := Run(tr, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != int64(tr.Len()) {
+		t.Fatalf("committed %d of %d", st.Committed, tr.Len())
+	}
+	if got := st.ClusterCommitted[0] + st.ClusterCommitted[1]; got != st.Committed {
+		t.Errorf("cluster commit counts sum to %d, want Committed = %d", got, st.Committed)
+	}
+	if st.SteeredNarrow < 100 {
+		t.Errorf("steered only %d instances to the narrow cluster", st.SteeredNarrow)
+	}
+	if st.ClusterCommitted[1] == 0 {
+		t.Error("narrow cluster committed nothing")
+	}
+	// The ineffectual PCs repeat every iteration; a per-PC predictor must
+	// be right far more often than wrong once warm.
+	if st.SteerMispredicts*4 > st.SteeredNarrow {
+		t.Errorf("steering mispredicted %d of %d steered instances",
+			st.SteerMispredicts, st.SteeredNarrow)
+	}
+	if st.ClusterOccupancy[0] == 0 {
+		t.Error("full cluster occupancy never sampled")
+	}
+	if ipc := st.ClusterIPC(1); ipc <= 0 {
+		t.Errorf("narrow-cluster IPC = %v, want > 0", ipc)
+	}
+
+	// Determinism: the steered machine is as replayable as the classic one.
+	st2, err := Run(tr, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != st2 {
+		t.Errorf("two clustered runs differ:\n%+v\n%+v", st, st2)
+	}
+}
+
+// TestSingleClusterUntouchedByClustering pins the compatibility story: a
+// single-cluster machine never populates the clustering counters, and its
+// canonical JSON — hence its digest, hence every pre-clustering cache key
+// — does not mention the new fields at all.
+func TestSingleClusterUntouchedByClustering(t *testing.T) {
+	tr, a := prep(t, ineffLoopSrc, 100000)
+	st, err := Run(tr, a, ContendedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SteeredNarrow != 0 || st.SteerMispredicts != 0 ||
+		st.ClusterCommitted != [2]int64{} || st.ClusterOccupancy != [2]int64{} {
+		t.Errorf("single-cluster run populated clustering counters: %+v", st)
+	}
+
+	b, err := json.Marshal(ContendedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"Clusters", "NarrowIssueWidth", "NarrowALUs", "SteerDir"} {
+		if strings.Contains(string(b), field) {
+			t.Errorf("single-cluster config JSON mentions %q — pre-clustering digests would shift", field)
+		}
+	}
+	if ContendedConfig().Digest() == ClusteredConfig().Digest() {
+		t.Error("clustered and single-cluster configs share a digest")
+	}
+}
+
+func TestClusteredConfigValidation(t *testing.T) {
+	good := ClusteredConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("ClusteredConfig invalid: %v", err)
+	}
+	if label := good.Label(); !strings.Contains(label, "+2c") {
+		t.Errorf("clustered label %q does not mark the mode", label)
+	}
+
+	bad := ClusteredConfig()
+	bad.Clusters = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("3 clusters accepted")
+	}
+	bad = ClusteredConfig()
+	bad.NarrowIssueWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("clustered config without narrow issue width accepted")
+	}
+	bad = ClusteredConfig()
+	bad.SteerDir = "no-such-dir"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown steering predictor accepted")
+	}
+	alt := ClusteredConfig()
+	alt.SteerDir = "bimodal-4k"
+	if err := alt.Validate(); err != nil {
+		t.Errorf("named steering predictor rejected: %v", err)
+	}
+	if alt.Digest() == ClusteredConfig().Digest() {
+		t.Error("steering predictor choice does not reach the digest")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/dip"
 )
@@ -80,6 +81,62 @@ type Config struct {
 	// actually-dead candidate is eliminated and nothing else. This is the
 	// limit study of experiment E13 (no mispredictions, no recoveries).
 	OracleElim bool
+
+	// Clusters selects the execution organization: 0 or 1 is the classic
+	// single cluster; 2 adds a narrow degraded cluster that instructions
+	// *predicted ineffectual* (silent stores, trivial ops) are steered to
+	// at rename (experiments E19-E21). The clustering fields carry
+	// omitempty so every single-cluster config keeps the digest it had
+	// before clustering existed — E1-E18 cache keys and labels are
+	// untouched.
+	Clusters int `json:",omitempty"`
+	// NarrowIssueWidth and NarrowALUs size the degraded cluster: its own
+	// issue bandwidth and ALU pool. Memory ports and mul/div units remain
+	// shared (one data cache), and narrow-cluster instructions pay one
+	// extra cycle of execution latency (cross-cluster bypass), so steering
+	// an effectual instruction there is a real penalty.
+	NarrowIssueWidth int `json:",omitempty"`
+	NarrowALUs       int `json:",omitempty"`
+	// SteerDir names the bpred direction predictor reinterpreted as the
+	// per-PC ineffectuality steering predictor ("taken" = ineffectual).
+	// It is the hardware twin of the trace-level dip.FlavorSteer
+	// evaluation, with one deliberate difference: empty selects the
+	// history-free "bimodal-4k", not dip.DefaultDirName's gshare. The
+	// pipeline predicts at rename but trains at commit, and the candidates
+	// in flight between those points shift a global history register, so a
+	// history-indexed predictor trains entries other than the ones it
+	// predicted from and never converges; a PC-indexed table is immune.
+	SteerDir string `json:",omitempty"`
+}
+
+// Clustered reports whether the configuration runs the two-cluster
+// steered organization.
+func (c Config) Clustered() bool { return c.Clusters == 2 }
+
+// SteerDirDefault is the steering predictor an empty SteerDir selects
+// (see the SteerDir field doc for why it is not dip.DefaultDirName).
+const SteerDirDefault = "bimodal-4k"
+
+// steerDirName resolves the steering predictor name.
+func (c Config) steerDirName() string {
+	if c.SteerDir == "" {
+		return SteerDirDefault
+	}
+	return c.SteerDir
+}
+
+// ClusteredConfig is the two-cluster machine of experiments E19-E21: the
+// contended machine reorganized as a full-width primary cluster plus a
+// single-issue narrow cluster fed by the ineffectuality steering
+// predictor. Total issue bandwidth matches ContendedConfig plus one
+// narrow slot, so the interesting comparison is where committed work
+// lands, not raw width.
+func ClusteredConfig() Config {
+	c := ContendedConfig()
+	c.Clusters = 2
+	c.NarrowIssueWidth = 1
+	c.NarrowALUs = 1
+	return c
 }
 
 // BaselineConfig is a generously provisioned 4-wide machine in the spirit
@@ -190,6 +247,9 @@ func (c Config) Label() string {
 	case c.Elim:
 		mode = "elim"
 	}
+	if c.Clustered() {
+		mode += "+2c"
+	}
 	return fmt.Sprintf("%s r%d [%s]", mode, c.PhysRegs, c.Digest()[:8])
 }
 
@@ -213,6 +273,15 @@ func (c Config) Validate() error {
 		return errors.New("pipeline: DeadRecoveryPenalty must be >= 1")
 	case c.GshareLogEntries < 1 || c.BTBLogEntries < 1 || c.RASDepth < 1:
 		return errors.New("pipeline: predictor geometry must be positive")
+	case c.Clusters < 0 || c.Clusters > 2:
+		return fmt.Errorf("pipeline: %d clusters unsupported (0/1 = single, 2 = steered)", c.Clusters)
+	case c.Clustered() && (c.NarrowIssueWidth < 1 || c.NarrowALUs < 1):
+		return errors.New("pipeline: clustered config needs NarrowIssueWidth and NarrowALUs >= 1")
+	}
+	if c.Clustered() {
+		if _, err := bpred.NewDirByName(c.steerDirName()); err != nil {
+			return err
+		}
 	}
 	if err := c.Cache.Validate(); err != nil {
 		return err

@@ -33,6 +33,12 @@ type uop struct {
 	hasDest   bool
 	isLoad    bool
 	isStore   bool
+	// cluster is the execution cluster (always 0 on single-cluster
+	// machines; 1 is the narrow degraded cluster of a steered machine).
+	cluster uint8
+	// pc caches the record's static PC so commit-time predictor training
+	// does not re-derive a trace Ref on the commit hot path.
+	pc int32
 }
 
 // pendingUpd is a dead-predictor training event waiting for its resolution
@@ -57,6 +63,9 @@ type Machine struct {
 	mem  memSystem    // access path: the L1 alone or an L1+L2 hierarchy
 	l2   *cache.Cache
 	pred *dip.Table
+	// steer is the ineffectuality steering predictor of a two-cluster
+	// machine ("taken" = ineffectual); nil on single-cluster configs.
+	steer bpred.DirPredictor
 
 	// Reorder buffer as a ring keyed by sequence number. Slots are values
 	// in a fixed arena indexed seq%ROBSize, so renaming an instruction
@@ -70,6 +79,10 @@ type Machine struct {
 	// marked -1 until compaction. Capacity is fixed at IQSize.
 	iq       []int32
 	lsqCount int
+	// iqCount tracks the live (non -1) iq entries per cluster, maintained
+	// at the two iq mutation sites so the per-cycle occupancy sample is
+	// O(1) instead of a queue scan. Only maintained on a steered machine.
+	iqCount [2]int
 
 	freeRegs int
 	// Architectural rename state: poisoned marks registers whose current
@@ -168,6 +181,12 @@ func New(t *trace.Trace, a *deadness.Analysis, cfg Config) (*Machine, error) {
 		m.pendTail = make([]int32, t.Len())
 		m.pendFree = -1
 	}
+	if cfg.Clustered() {
+		var err error
+		if m.steer, err = bpred.NewDirByName(cfg.steerDirName()); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 
@@ -258,6 +277,14 @@ func (m *Machine) commit() {
 			m.freeRegs++
 			m.stats.PhysFrees++
 		}
+		if m.steer != nil {
+			m.stats.ClusterCommitted[u.cluster]++
+			if m.an.Candidate[u.seq] {
+				// The steering predictor trains at commit with the actual
+				// ineffectuality outcome, mirroring dip.FlavorSteer.
+				m.steer.Update(int(u.pc), m.an.Ineff[u.seq].Ineffectual())
+			}
+		}
 		// Dead-predictor training events resolved by this instruction.
 		if m.pred != nil {
 			idx := m.pendHead[u.seq]
@@ -323,13 +350,38 @@ func (m *Machine) issue() {
 	readsUsed := 0
 	issued := 0
 
-	for i := 0; i < len(m.iq) && issued < m.cfg.IssueWidth; i++ {
+	// A steered machine has a second issue budget and a private narrow ALU
+	// pool; mul/div units, memory ports, and register-file ports stay
+	// shared between the clusters.
+	narrowALUs := m.cfg.NarrowALUs
+	narrowCap := 0
+	if m.steer != nil {
+		m.stats.ClusterOccupancy[0] += int64(m.iqCount[0])
+		m.stats.ClusterOccupancy[1] += int64(m.iqCount[1])
+		// The narrow budget only widens the scan bound when a narrow uop
+		// is actually waiting; with none queued the extra scan could
+		// never issue anything, so skipping it changes no decision.
+		if m.iqCount[1] > 0 {
+			narrowCap = m.cfg.NarrowIssueWidth
+		}
+	}
+	narrowIssued := 0
+
+	for i := 0; i < len(m.iq) && issued+narrowIssued < m.cfg.IssueWidth+narrowCap; i++ {
 		s := m.iq[i]
 		if s < 0 {
 			continue
 		}
 		u := m.at(int(s))
 		if u.state != sWaiting {
+			continue
+		}
+		narrow := u.cluster == 1
+		if narrow {
+			if narrowIssued == narrowCap {
+				continue
+			}
+		} else if issued == m.cfg.IssueWidth {
 			continue
 		}
 		r := m.tr.Ref(u.seq)
@@ -341,7 +393,11 @@ func (m *Machine) issue() {
 		case 3:
 			unit = &memPorts
 		default:
-			unit = &alus
+			if narrow {
+				unit = &narrowALUs
+			} else {
+				unit = &alus
+			}
 		}
 		if *unit == 0 {
 			continue
@@ -368,10 +424,22 @@ func (m *Machine) issue() {
 
 		*unit--
 		readsUsed += nsrc
-		issued++
+		if narrow {
+			narrowIssued++
+		} else {
+			issued++
+		}
 		m.stats.RFReads += int64(nsrc)
 		u.state = sIssued
 		u.doneCycle = m.now + int64(m.execLatency(u, r))
+		if narrow {
+			// Cross-cluster bypass: results computed in the narrow cluster
+			// reach full-cluster consumers one cycle later.
+			u.doneCycle++
+		}
+		if m.steer != nil {
+			m.iqCount[u.cluster]--
+		}
 		m.iq[i] = -1
 	}
 	m.compactIQ()
@@ -451,6 +519,7 @@ func (m *Machine) rename() {
 			seq:     seq,
 			isLoad:  r.Op().IsLoad(),
 			isStore: r.Op().IsStore(),
+			pc:      r.PC(),
 		}
 		if _, ok := rdest(r); ok {
 			u.hasDest = true
@@ -499,6 +568,15 @@ func (m *Machine) rename() {
 				m.stats.PhysAllocs++
 				u.allocated = true
 			}
+			// Cluster steering happens last, past every stall-return above,
+			// so a rename retry cannot double-count a steering decision.
+			if m.steer != nil && m.an.Candidate[seq] && m.steer.Predict(int(r.PC())) {
+				u.cluster = 1
+				m.stats.SteeredNarrow++
+				if !m.an.Ineff[seq].Ineffectual() {
+					m.stats.SteerMispredicts++
+				}
+			}
 		}
 
 		// Commit point of no return: consume the fetch queue entry.
@@ -515,6 +593,9 @@ func (m *Machine) rename() {
 		} else {
 			u.state = sWaiting
 			m.iq = append(m.iq, int32(seq))
+			if m.steer != nil {
+				m.iqCount[u.cluster]++
+			}
 			if u.isLoad || u.isStore {
 				m.lsqCount++
 			}

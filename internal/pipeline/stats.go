@@ -39,6 +39,19 @@ type Stats struct {
 	StallLSQ      int64
 	StallROB      int64
 	StallRecovery int64
+
+	// Clustering (populated only for Clusters == 2 configurations).
+	// ClusterCommitted splits Committed by the cluster each instruction
+	// retired from (eliminated instructions count as cluster 0);
+	// ClusterOccupancy sums each cluster's issue-queue occupancy over all
+	// cycles, so occupancy/Cycles is the mean waiting population.
+	ClusterCommitted [2]int64
+	ClusterOccupancy [2]int64
+	// SteeredNarrow counts instances the steering predictor routed to the
+	// narrow cluster; SteerMispredicts is the subset that was actually
+	// effectual (useful work degraded to the slow lanes).
+	SteeredNarrow    int64
+	SteerMispredicts int64
 }
 
 // IPC is committed instructions per cycle.
@@ -47,4 +60,12 @@ func (s Stats) IPC() float64 {
 		return 0
 	}
 	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// ClusterIPC is one cluster's committed instructions per cycle.
+func (s Stats) ClusterIPC(cluster int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ClusterCommitted[cluster]) / float64(s.Cycles)
 }

@@ -54,11 +54,11 @@ type LoadConfig struct {
 type LoadReport struct {
 	Sent     int            `json:"sent"`
 	OK       int            `json:"ok"`
-	Shed     int            `json:"shed"`         // 429 responses observed (before any retry succeeded)
-	Failed   int            `json:"failed"`       // requests that never got a 200
-	Invalid  int            `json:"invalid"`      // 200 responses Verify rejected
-	ByStatus map[int]int    `json:"by_status"`    // final status per request
-	ByKind   map[string]int `json:"by_kind"`      // requests sent per kind
+	Shed     int            `json:"shed"`          // 429 responses observed (before any retry succeeded)
+	Failed   int            `json:"failed"`        // requests that never got a 200
+	Invalid  int            `json:"invalid"`       // 200 responses Verify rejected
+	ByStatus map[int]int    `json:"by_status"`     // final status per request
+	ByKind   map[string]int `json:"by_kind"`       // requests sent per kind
 	Events   int            `json:"stream_events"` // NDJSON events seen across streamed responses
 	// ShedNoHint counts 429 responses that arrived without a
 	// Retry-After header — always zero against a conforming server.

@@ -106,9 +106,9 @@ func New(cfg Config) *Server {
 		workers = cfg.Workspace.Pool().Workers()
 	}
 	s := &Server{
-		cfg: cfg,
-		w:   cfg.Workspace,
-		mc:  cfg.Metrics,
+		cfg:  cfg,
+		w:    cfg.Workspace,
+		mc:   cfg.Metrics,
 		adm:  newAdmission(workers, cfg.QueueDepth, cfg.Metrics),
 		bc:   newBroadcaster(cfg.Verbose),
 		coal: newCoalescer(),
@@ -706,7 +706,8 @@ func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err, 0)
 		return
 	}
-	payload, err := s.w.EncodedArtifact(artifact.Key{Kind: artifact.Kind(kind), Digest: digest})
+	framed, release, spilled, err := s.w.EncodedArtifactFrame(
+		artifact.Key{Kind: artifact.Kind(kind), Digest: digest})
 	if err != nil {
 		if errors.Is(err, artifact.ErrNotFound) {
 			s.mc.Add(metrics.CounterServerArtifactMisses, 1)
@@ -716,9 +717,15 @@ func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err, 0)
 		return
 	}
+	defer release()
 	s.mc.Add(metrics.CounterServerArtifactHits, 1)
+	if spilled {
+		// Served straight off the disk tier's mapped entry file: the framed
+		// bytes on disk are the wire format, no re-encode happened.
+		s.mc.Add(metrics.CounterServerArtifactSpillthrough, 1)
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(artifact.Frame(payload))
+	w.Write(framed)
 }
 
 // handleArtifactPut accepts one CRC-framed encoded artifact and installs

@@ -512,6 +512,51 @@ func TestArtifactTransferEndpoints(t *testing.T) {
 	}
 }
 
+// TestArtifactGetSpillThrough pins the disk-tier fast path: when the
+// requested artifact lives only in the daemon's disk tier, the GET serves
+// the mapped entry file bytes directly (the on-disk framing IS the wire
+// framing) and counts a spill-through; a remote-attached workspace must
+// decode those bytes as a normal warm start.
+func TestArtifactGetSpillThrough(t *testing.T) {
+	dir := t.TempDir()
+	s, ts, mc := newTestServer(t, func(cfg *Config) {
+		if err := cfg.Workspace.OpenDiskCache(dir, 64<<20); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bench := core.SuiteNames()[0]
+	if resp, body := post(t, ts.URL+"/v1/profile", `{"bench":"`+bench+`"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm profile: %d: %s", resp.StatusCode, body)
+	}
+	// Evict the resident tier: the only remaining copy is the spilled disk
+	// entry, so the GET below must take the spill-through path.
+	s.w.FlushSpill()
+
+	rc, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := core.NewWorkspaceWorkers(testBudget, 2)
+	w2.SetRemoteTier(rc)
+	var total int
+	if err := w2.WithProfile(bench, func(p *core.ProfileResult) error {
+		total = p.Summary.Total
+		return nil
+	}); err != nil {
+		t.Fatalf("remote warm start from spilled entry: %v", err)
+	}
+	if total == 0 {
+		t.Error("spill-through-fetched profile is empty")
+	}
+	spills := mc.Counter(metrics.CounterServerArtifactSpillthrough)
+	if spills == 0 {
+		t.Error("no spill-through recorded for a disk-only artifact GET")
+	}
+	if hits := mc.Counter(metrics.CounterServerArtifactHits); hits < spills {
+		t.Errorf("spill-throughs (%d) exceed artifact hits (%d)", spills, hits)
+	}
+}
+
 // TestAdoptionAcrossRequests is the server half of build adoption: a
 // request that starts a cold build and disconnects does not doom the
 // build when a second request for the same artifact is waiting — the

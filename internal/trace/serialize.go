@@ -16,11 +16,14 @@ import (
 
 // Binary trace formats: a fixed header followed by the trace body.
 //
-// Version 1 stores fixed-width row records only — producer links are
-// derived state, recomputed by Link on load — so the format stays compact
-// (24 bytes per record) and version-stable.
+// Version 1 stores fixed-width row records — producer links are derived
+// state, recomputed by Link on load — so the format stays compact (24
+// bytes per record) and version-stable. Ineffectuality hints travel in
+// the record image (they are value observations the trace cannot
+// re-derive); the pre-hint layout kept the byte reserved-zero, so old
+// images remain decodable.
 //
-// Version 2 ("linked", written by SaveLinked) is the warm-start format of
+// Version 3 ("linked", written by SaveLinked) is the warm-start format of
 // the persistent artifact tier, laid out for load speed: after the header
 // comes a per-chunk byte-size table, then one self-contained columnar
 // section per chunk (hot columns back to back, then the memory address
@@ -33,16 +36,20 @@ import (
 // (a producer strictly precedes its consumer), so a corrupt links section
 // is rejected, never trusted.
 const (
-	traceMagic         = 0x64746363 // "dtcc"
-	traceVersion       = 1
-	traceVersionLinked = 2
+	traceMagic   = 0x64746363 // "dtcc"
+	traceVersion = 1
+	// traceVersionLinked is 3: version 2 was the columnar layout without
+	// the ineffectuality hint column and is no longer readable (the only
+	// persisted v2 images lived inside profile artifacts, whose own codec
+	// version gate rejects them as stale before the trace section decodes).
+	traceVersionLinked = 3
 	recordBytes        = 24 // version-1 row record image
 
-	// hotColumnBytes is the per-record cost of a version-2 section's fixed
+	// hotColumnBytes is the per-record cost of a version-3 section's fixed
 	// columns: PC(4) Op(1) Rd(1) Rs1(1) Rs2(1) Taken(1) NextPC(4) Src1(4)
-	// Src2(4).
-	hotColumnBytes = 21
-	// maxSectionBytesPerRecord bounds a version-2 chunk section per record:
+	// Src2(4) Ineff(1).
+	hotColumnBytes = 22
+	// maxSectionBytesPerRecord bounds a version-3 chunk section per record:
 	// fixed columns, an 8-byte address, and a maximal producer list (count
 	// byte + 4 bytes per producer). The size table is validated against it
 	// so a corrupt table cannot demand an oversized allocation.
@@ -79,8 +86,8 @@ func (c *Chunk) encodeRecord(i int, buf []byte) {
 	} else {
 		buf[21] = 0
 	}
-	// buf[22:24] reserved, zero.
-	buf[22], buf[23] = 0, 0
+	buf[22] = c.Ineff[i]
+	buf[23] = 0 // reserved
 }
 
 // writeRecords encodes the version-1 record section a chunk at a time:
@@ -115,7 +122,7 @@ func (t *Trace) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// sectionSize returns the byte length of the chunk's version-2 columnar
+// sectionSize returns the byte length of the chunk's version-3 columnar
 // section.
 func (c *Chunk) sectionSize() int {
 	n := c.Len()*hotColumnBytes + len(c.Addr)*8
@@ -145,8 +152,9 @@ func (c *Chunk) encodeSection(b []byte) {
 		copy(b[9*cn:13*cn], lebytes.I32(c.NextPC))
 		copy(b[13*cn:17*cn], lebytes.I32(c.Src1))
 		copy(b[17*cn:21*cn], lebytes.I32(c.Src2))
-		copy(b[21*cn:], lebytes.U64(c.Addr))
-		off = 21*cn + 8*len(c.Addr)
+		copy(b[21*cn:22*cn], c.Ineff)
+		copy(b[22*cn:], lebytes.U64(c.Addr))
+		off = 22*cn + 8*len(c.Addr)
 	} else {
 		for i, v := range c.PC {
 			binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
@@ -188,6 +196,8 @@ func (c *Chunk) encodeSection(b []byte) {
 			binary.LittleEndian.PutUint32(b[off+i*4:], uint32(v))
 		}
 		off += 4 * cn
+		copy(b[off:off+cn], c.Ineff)
+		off += cn
 		for i, v := range c.Addr {
 			binary.LittleEndian.PutUint64(b[off+i*8:], v)
 		}
@@ -210,7 +220,7 @@ func (c *Chunk) encodeSection(b []byte) {
 	}
 }
 
-// SaveLinked writes the trace to w in the version-2 columnar format, which
+// SaveLinked writes the trace to w in the version-3 columnar format, which
 // carries the producer links alongside the records. Loading it skips the
 // link pass, so a persisted profile warm-starts without re-deriving
 // def-use state. The trace must be linked.
@@ -305,7 +315,7 @@ func bodyBound(version uint32, n int) (int, error) {
 }
 
 // LoadLimit reads a trace written by Save (version 1, links recomputed) or
-// SaveLinked (version 2, links restored and validated), rejecting headers
+// SaveLinked (version 3, links restored and validated), rejecting headers
 // that claim more than limit records (limit <= 0 means DefaultLoadLimit).
 // The body is buffered incrementally up to the version's per-record bound,
 // so a corrupt header cannot force a giant upfront allocation, and the
@@ -445,11 +455,12 @@ func (c *Chunk) decodeRecords(b []byte, base, cn int) error {
 	c.Src1 = extend(c.Src1, cn)
 	c.Src2 = extend(c.Src2, cn)
 	c.MemIdx = extend(c.MemIdx, cn)
+	c.Ineff = extend(c.Ineff, cn)
 	memCnt := 0
 	for i := 0; i < cn; i++ {
 		r := b[i*recordBytes : (i+1)*recordBytes]
-		if r[22] != 0 || r[23] != 0 {
-			return fmt.Errorf("trace: record %d: nonzero reserved bytes", base+i)
+		if r[23] != 0 {
+			return fmt.Errorf("trace: record %d: nonzero reserved byte", base+i)
 		}
 		op := isa.Op(r[4])
 		if !op.Valid() {
@@ -459,6 +470,10 @@ func (c *Chunk) decodeRecords(b []byte, base, cn int) error {
 		if rd >= isa.NumRegs || rs1 >= isa.NumRegs || rs2 >= isa.NumRegs {
 			return fmt.Errorf("trace: record %d: register out of range", base+i)
 		}
+		if h := r[22]; h != 0 && !validIneffHint(r[4], rd, h) {
+			return fmt.Errorf("trace: record %d: invalid ineffectuality hint %#x for %v", base+i, r[22], op)
+		}
+		c.Ineff[i] = r[22]
 		c.PC[i] = int32(binary.LittleEndian.Uint32(r[0:]))
 		c.Op[i] = op
 		c.Rd[i], c.Rs1[i], c.Rs2[i] = rd, rs1, rs2
@@ -493,7 +508,7 @@ func (c *Chunk) decodeRecords(b []byte, base, cn int) error {
 	return nil
 }
 
-// loadColumnar decodes the version-2 body: the chunk size table, then one
+// loadColumnar decodes the version-3 body: the chunk size table, then one
 // columnar section per chunk, each sliced straight out of body with no
 // intermediate copy. Sections are independent, so on multi-core hosts they
 // decode in parallel — the warm-start path's wall clock is one chunk's
@@ -582,6 +597,43 @@ const (
 	opInfoLoad  = 1 << 2
 )
 
+// hintAllowed maps an opcode byte to the hint bits the emulator can
+// legally produce for it: silent-store on stores, result-equals-source
+// bits on result-producing ops for the sources the op actually reads.
+// Anything outside that in a hint byte marks a corrupt image — the
+// loaders reject it rather than let forged hints reach the analysis.
+var hintAllowed = func() (t [256]uint8) {
+	for i := range t {
+		op := isa.Op(i)
+		if !op.Valid() {
+			continue
+		}
+		f := op.Flags()
+		switch {
+		case f&isa.FlagStore != 0:
+			t[i] = HintSilentStore
+		case f&(isa.FlagHasDest|isa.FlagControl|isa.FlagLoad) == isa.FlagHasDest:
+			if f&isa.FlagReadsRs1 != 0 {
+				t[i] |= HintResultEqRs1
+			}
+			if f&isa.FlagReadsRs2 != 0 {
+				t[i] |= HintResultEqRs2
+			}
+		}
+	}
+	return t
+}()
+
+// validIneffHint reports whether h is a hint byte the emulator could have
+// produced for an op/rd pair: no bits beyond the opcode's allowance, and
+// result-equality bits only on instructions with a real destination.
+func validIneffHint(op byte, rd isa.Reg, h uint8) bool {
+	if h&^hintAllowed[op] != 0 {
+		return false
+	}
+	return h&(HintResultEqRs1|HintResultEqRs2) == 0 || rd != isa.RZero
+}
+
 var opInfo = func() (t [256]uint8) {
 	for i := range t {
 		op := isa.Op(i)
@@ -636,7 +688,7 @@ func validateRegsTaken(rdb, rs1b, rs2b, takenb []byte, base, cn int) error {
 	return nil
 }
 
-// decodeSection fills the chunk from one version-2 columnar section whose
+// decodeSection fills the chunk from one version-3 columnar section whose
 // first record is trace sequence number base. Every field is validated:
 // opcodes, registers, taken flags, producer links strictly preceding
 // their consumer, load producer lists bounded by the access width and
@@ -655,7 +707,8 @@ func (c *Chunk) decodeSection(b []byte, base, cn int) error {
 	nextb := b[9*cn : 13*cn]
 	src1b := b[13*cn : 17*cn]
 	src2b := b[17*cn : 21*cn]
-	rest := b[21*cn:]
+	ineffb := b[21*cn : 22*cn]
+	rest := b[22*cn:]
 
 	c.PC = extend(c.PC, cn)
 	c.Op = extend(c.Op, cn)
@@ -667,6 +720,7 @@ func (c *Chunk) decodeSection(b []byte, base, cn int) error {
 	c.Src1 = extend(c.Src1, cn)
 	c.Src2 = extend(c.Src2, cn)
 	c.MemIdx = extend(c.MemIdx, cn)
+	c.Ineff = extend(c.Ineff, cn)
 
 	memCnt := 0
 	for i := 0; i < cn; i++ {
@@ -684,6 +738,12 @@ func (c *Chunk) decodeSection(b []byte, base, cn int) error {
 	if err := validateRegsTaken(rdb, rs1b, rs2b, takenb, base, cn); err != nil {
 		return err
 	}
+	for i, h := range ineffb {
+		if h != 0 && !validIneffHint(opb[i], isa.Reg(rdb[i]), h) {
+			return fmt.Errorf("trace: record %d: invalid ineffectuality hint %#x for %v",
+				base+i, h, isa.Op(opb[i]))
+		}
+	}
 	if lebytes.Little {
 		copy(lebytes.U8(c.Op[:cn]), opb)
 		copy(lebytes.U8(c.Rd[:cn]), rdb)
@@ -694,6 +754,7 @@ func (c *Chunk) decodeSection(b []byte, base, cn int) error {
 		copy(lebytes.I32(c.NextPC[:cn]), nextb)
 		copy(lebytes.I32(c.Src1[:cn]), src1b)
 		copy(lebytes.I32(c.Src2[:cn]), src2b)
+		copy(c.Ineff[:cn], ineffb)
 	} else {
 		for i := 0; i < cn; i++ {
 			c.Op[i] = isa.Op(opb[i])
@@ -704,6 +765,7 @@ func (c *Chunk) decodeSection(b []byte, base, cn int) error {
 			c.Src1[i] = int32(binary.LittleEndian.Uint32(src1b[i*4:]))
 			c.Src2[i] = int32(binary.LittleEndian.Uint32(src2b[i*4:]))
 		}
+		copy(c.Ineff[:cn], ineffb)
 	}
 	for i, v := range c.Src1[:cn] {
 		if v != NoProducer && (v < 0 || v >= int32(base+i)) {

@@ -13,9 +13,11 @@ import (
 )
 
 func sampleTrace() *Trace {
+	// Records 0 and 1 carry ineffectuality hints so every round-trip test
+	// proves the hint byte survives both wire formats.
 	t := FromRecords([]Record{
-		{PC: 0, Op: isa.ADDI, Rd: 1, NextPC: 1},
-		{PC: 1, Op: isa.SD, Rs1: 1, Rs2: 1, Addr: 0x1234, Width: 8, NextPC: 2},
+		{PC: 0, Op: isa.ADDI, Rd: 1, NextPC: 1, Ineff: HintResultEqRs1},
+		{PC: 1, Op: isa.SD, Rs1: 1, Rs2: 1, Addr: 0x1234, Width: 8, NextPC: 2, Ineff: HintSilentStore},
 		{PC: 2, Op: isa.LD, Rd: 2, Rs1: 1, Addr: 0x1234, Width: 8, NextPC: 3},
 		{PC: 3, Op: isa.BNE, Rs1: 2, Rs2: 0, Taken: true, NextPC: 0},
 		{PC: 4, Op: isa.HALT, NextPC: 4},
@@ -113,9 +115,37 @@ func TestLoadRejectsNonzeroReservedBytes(t *testing.T) {
 	var buf bytes.Buffer
 	_ = sampleTrace().Save(&buf)
 	b := buf.Bytes()
-	b[12+22] = 1 // first record's reserved area
+	b[12+23] = 1 // first record's reserved byte
 	if _, err := Load(bytes.NewReader(b)); err == nil {
 		t.Error("nonzero reserved byte accepted")
+	}
+}
+
+// TestLoadRejectsInvalidIneffHint checks that both formats validate the
+// hint byte against what the emulator can actually produce: hint bits the
+// opcode cannot carry, and undefined bits, are corruption.
+func TestLoadRejectsInvalidIneffHint(t *testing.T) {
+	mutate := func(name string, f func(b []byte)) {
+		var buf bytes.Buffer
+		_ = sampleTrace().Save(&buf)
+		b := buf.Bytes()
+		f(b)
+		if _, err := Load(bytes.NewReader(b)); err == nil {
+			t.Errorf("v1: %s accepted", name)
+		}
+	}
+	// Record 0 is an ADDI: a silent-store hint is impossible there.
+	mutate("silent-store hint on ALU op", func(b []byte) { b[12+22] = HintSilentStore })
+	mutate("undefined hint bits", func(b []byte) { b[12+22] = 0x80 })
+	// Record 1 is a store: result-equality hints are impossible there.
+	mutate("result-eq hint on store", func(b []byte) { b[12+24+22] = HintResultEqRs1 })
+
+	// Linked format: the Ineff column sits after Src2, 21 bytes per record
+	// into the section.
+	lb, _, _ := linkedSample(t)
+	lb[12+4+21*5] = HintSilentStore // record 0 (ADDI)
+	if _, err := Load(bytes.NewReader(lb)); err == nil {
+		t.Error("linked: silent-store hint on ALU op accepted")
 	}
 }
 
@@ -225,11 +255,12 @@ func TestSaveLinkedRequiresLink(t *testing.T) {
 	}
 }
 
-// linkedSample returns the serialized v2 sample trace plus the offsets of
-// two of its columnar sections: the Src1 column and the load-producer
-// stream. The sample fits one chunk: header (12), a one-entry size table
-// (4), then the section — 13 bytes of fixed columns per record before
-// Src1, 21 after, then the address side table (two memory records).
+// linkedSample returns the serialized linked sample trace plus the
+// offsets of two of its columnar sections: the Src1 column and the
+// load-producer stream. The sample fits one chunk: header (12), a
+// one-entry size table (4), then the section — 13 bytes of fixed columns
+// per record before Src1, 22 in total, then the address side table (two
+// memory records).
 func linkedSample(t *testing.T) (b []byte, src1Off, prodOff int) {
 	t.Helper()
 	tr := sampleTrace()
@@ -243,7 +274,7 @@ func linkedSample(t *testing.T) (b []byte, src1Off, prodOff int) {
 	n := tr.Len()
 	sec := 12 + 4
 	src1Off = sec + 13*n
-	prodOff = sec + 21*n + 2*8
+	prodOff = sec + 22*n + 2*8
 	return buf.Bytes(), src1Off, prodOff
 }
 

@@ -28,6 +28,27 @@ import (
 // register or memory byte still held its initial (pre-trace) value.
 const NoProducer int32 = -1
 
+// Ineffectuality hint bits, set per record by the emulator — the only
+// component that observes architectural values — and consumed by the
+// deadness pass, which owns the policy of turning raw value-equality
+// observations into ineffectuality classes. The bits are mechanism, not
+// classification: HintSilentStore records that a store wrote bytes equal
+// to the bytes already in memory, and HintResultEqRs1/HintResultEqRs2
+// record that a result-producing instruction computed a value equal to
+// the (pre-instruction) value of that register source. Unlike producer
+// links the hints are NOT derivable from the trace (the trace carries no
+// data values), so both wire formats persist them — the warm-start
+// invariant is bit-identical records, hints included.
+const (
+	HintSilentStore uint8 = 1 << iota
+	HintResultEqRs1
+	HintResultEqRs2
+
+	// HintMask covers every defined hint bit; bytes with bits outside it
+	// are rejected by the loaders.
+	HintMask = HintSilentStore | HintResultEqRs1 | HintResultEqRs2
+)
+
 // MaxMemProducers bounds the producer stores of one load: a load reads at
 // most 8 bytes, each with one most-recent writer.
 const MaxMemProducers = 8
@@ -67,6 +88,9 @@ type Record struct {
 	// MemSrcs[:NumMemSrcs] are the distinct producer stores of a load.
 	MemSrcs    [MaxMemProducers]int32
 	NumMemSrcs uint8
+
+	// Ineff carries the emulator's ineffectuality hint bits (Hint*).
+	Ineff uint8
 }
 
 // HasResult reports whether the record produces a register value that a
@@ -114,6 +138,10 @@ type Chunk struct {
 	// MemIdx[i] is record i's slot in the memory side tables, or -1 when
 	// the record is not a memory access.
 	MemIdx []int32
+	// Ineff holds the emulator's per-record ineffectuality hint bits
+	// (HintSilentStore & co.). Derived facts live in deadness.Analysis;
+	// this column is the raw observation stream.
+	Ineff []uint8
 
 	// Memory side tables, indexed by MemIdx slot.
 	Addr  []uint64
@@ -203,6 +231,7 @@ func (c *Chunk) push(r *Record) {
 	c.NextPC = append(c.NextPC, r.NextPC)
 	c.Src1 = append(c.Src1, r.Src1)
 	c.Src2 = append(c.Src2, r.Src2)
+	c.Ineff = append(c.Ineff, r.Ineff)
 	mi := int32(-1)
 	if r.Op.IsMem() {
 		mi = int32(len(c.Addr))
@@ -225,6 +254,7 @@ func (c *Chunk) reset() {
 	c.NextPC = c.NextPC[:0]
 	c.Src1 = c.Src1[:0]
 	c.Src2 = c.Src2[:0]
+	c.Ineff = c.Ineff[:0]
 	c.MemIdx = c.MemIdx[:0]
 	c.Addr = c.Addr[:0]
 	c.Width = c.Width[:0]
@@ -248,6 +278,7 @@ func allocChunk(capacity int) *Chunk {
 		NextPC: make([]int32, 0, capacity),
 		Src1:   make([]int32, 0, capacity),
 		Src2:   make([]int32, 0, capacity),
+		Ineff:  make([]uint8, 0, capacity),
 		MemIdx: make([]int32, 0, capacity),
 		Addr:   make([]uint64, 0, memCap),
 		Width:  make([]uint8, 0, memCap),
@@ -335,7 +366,8 @@ func (t *Trace) SizeBytes() int64 {
 // sizeBytes is the capacity footprint of one chunk's column arenas.
 func (c *Chunk) sizeBytes() int64 {
 	hot := cap(c.PC)*4 + cap(c.Op) + cap(c.Rd) + cap(c.Rs1) + cap(c.Rs2) +
-		cap(c.Taken) + cap(c.NextPC)*4 + cap(c.Src1)*4 + cap(c.Src2)*4 + cap(c.MemIdx)*4
+		cap(c.Taken) + cap(c.NextPC)*4 + cap(c.Src1)*4 + cap(c.Src2)*4 +
+		cap(c.Ineff) + cap(c.MemIdx)*4
 	side := cap(c.Addr)*8 + cap(c.Width) + cap(c.srcOff)*4 + cap(c.srcLen) + cap(c.memSrcs)*4
 	return int64(hot + side)
 }
@@ -377,6 +409,7 @@ func (t *Trace) At(seq int) Record {
 		PC: c.PC[i], Op: c.Op[i], Rd: c.Rd[i], Rs1: c.Rs1[i], Rs2: c.Rs2[i],
 		Taken: c.Taken[i], NextPC: c.NextPC[i],
 		Src1: c.Src1[i], Src2: c.Src2[i],
+		Ineff: c.Ineff[i],
 	}
 	if mi := c.MemIdx[i]; mi >= 0 {
 		r.Addr, r.Width = c.Addr[mi], c.Width[mi]
@@ -417,6 +450,9 @@ func (r Ref) Taken() bool   { return r.c.Taken[r.i] }
 func (r Ref) NextPC() int32 { return r.c.NextPC[r.i] }
 func (r Ref) Src1() int32   { return r.c.Src1[r.i] }
 func (r Ref) Src2() int32   { return r.c.Src2[r.i] }
+
+// Ineff returns the record's ineffectuality hint bits (Hint*).
+func (r Ref) Ineff() uint8 { return r.c.Ineff[r.i] }
 
 // Addr returns the memory address of a load or store (0 otherwise).
 func (r Ref) Addr() uint64 {
@@ -507,6 +543,7 @@ func (t *Trace) AppendRange(src *Trace, start, end int) {
 		c.Rs2 = append(c.Rs2, sc.Rs2[si:si+run]...)
 		c.Taken = append(c.Taken, sc.Taken[si:si+run]...)
 		c.NextPC = append(c.NextPC, sc.NextPC[si:si+run]...)
+		c.Ineff = append(c.Ineff, sc.Ineff[si:si+run]...)
 		for k := 0; k < run; k++ {
 			c.Src1 = append(c.Src1, 0)
 			c.Src2 = append(c.Src2, 0)
@@ -541,6 +578,7 @@ func (t *Trace) Clone() *Trace {
 			NextPC:  append([]int32(nil), c.NextPC...),
 			Src1:    append([]int32(nil), c.Src1...),
 			Src2:    append([]int32(nil), c.Src2...),
+			Ineff:   append([]uint8(nil), c.Ineff...),
 			MemIdx:  append([]int32(nil), c.MemIdx...),
 			Addr:    append([]uint64(nil), c.Addr...),
 			Width:   append([]uint8(nil), c.Width...),

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Daemon smoke: build deadd + deadload + deadprof, start the daemon with
-# a temporary persistent cache, run a load burst against it, warm-start a
+# a temporary persistent cache, run a load burst against it, run one E19
+# ineffectuality experiment through the experiment endpoint, warm-start a
 # second process from the daemon's cache over HTTP, SIGTERM the daemon,
-# and assert (1) a remote warm start that rebuilt nothing (profile-kind
-# misses == 0, remote hits recorded), (2) a zero exit after graceful
-# drain, and (3) a non-zero artifact disk-write count in the final
-# metrics dump — proving the drain-time spill to the disk tier ran.
+# and assert (1) E19 dispatches and returns a non-error result, (2) a
+# remote warm start that rebuilt nothing (profile-kind misses == 0,
+# remote hits recorded), (3) a zero exit after graceful drain, and (4) a
+# non-zero artifact disk-write count in the final metrics dump — proving
+# the drain-time spill to the disk tier ran.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,6 +45,21 @@ fi
 
 "$WORK/deadload" -addr "http://$ADDR" -n "$REQUESTS" -c 4 -seed 3 -strict
 
+# Ineffectuality experiment over the real process boundary: E19 must
+# dispatch through the daemon's experiment endpoint and come back with a
+# rendered result, not an error.
+e19="$(curl -fsS -X POST -d '{"id":"e19"}' "http://$ADDR/v1/experiment")"
+if ! echo "$e19" | grep -q '"e19"'; then
+    echo "daemon_smoke: E19 response missing experiment id:" >&2
+    echo "$e19" >&2
+    exit 1
+fi
+if echo "$e19" | grep -q '"error"'; then
+    echo "daemon_smoke: E19 returned an error:" >&2
+    echo "$e19" >&2
+    exit 1
+fi
+
 # Remote warm start: make sure the daemon holds gzip's profile, then run
 # deadprof as a second process with the daemon as its remote artifact
 # tier and the same budget (profile keys include it). The profile must
@@ -79,4 +96,4 @@ if ! grep -Eq '"disk_writes": *[1-9]' "$WORK/deadd.out"; then
     exit 1
 fi
 
-echo "daemon_smoke: OK (remote warm start, exit 0 after drain, disk writes recorded)"
+echo "daemon_smoke: OK (E19 via daemon, remote warm start, exit 0 after drain, disk writes recorded)"
